@@ -1,0 +1,52 @@
+"""Fig. 11 — workload balancing across workers.
+
+Paper panels: (a) estimated per-core workload from the scheduler, (b)
+actual per-core running time. A good knapsack allocation keeps both flat
+across workers. The bench reproduces both series and checks the balance
+ratio of the *estimates* plus agreement between estimate shares and actual
+shares.
+"""
+
+import numpy as np
+
+from bench_support import cpd_config, format_table, get_scenario, report
+from repro.core import CPDConfig, CPDModel, FitOptions
+from repro.parallel import ParallelEStepRunner
+
+N_WORKERS = 4
+N_COMMUNITIES = 6
+
+
+def _run():
+    graph, _ = get_scenario("twitter")
+    config = cpd_config(N_COMMUNITIES).with_overrides(n_iterations=3)
+    with ParallelEStepRunner(graph, config, n_workers=N_WORKERS, rng=0) as runner:
+        CPDModel(config, rng=0).fit(graph, FitOptions(document_sweeper=runner))
+        estimated = runner.schedule.estimated_worker_seconds()
+        actual = runner.stats.mean_worker_seconds()
+    return estimated, actual
+
+
+def test_fig11_workload_balancing(benchmark):
+    estimated, actual = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [worker + 1, estimated[worker], actual[worker]]
+        for worker in range(N_WORKERS)
+    ]
+    report(
+        "fig11_workload",
+        format_table(
+            "Fig. 11: estimated workload vs actual running time per worker",
+            ["worker", "estimated seconds", "actual seconds/iter"],
+            rows,
+        ),
+    )
+    busy = estimated > 0
+    assert busy.sum() >= 2, "allocation should use several workers"
+    # (a) the knapsack keeps estimated loads balanced
+    ratio = estimated[busy].max() / estimated[busy].mean()
+    assert ratio < 2.5
+    # (b) actual time share correlates with the estimated share
+    est_share = estimated / estimated.sum()
+    act_share = actual / max(actual.sum(), 1e-12)
+    assert np.abs(est_share - act_share).max() < 0.45

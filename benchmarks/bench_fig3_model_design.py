@@ -1,0 +1,65 @@
+"""Fig. 3(a)-(f) — model-design study: joint modelling and heterogeneity.
+
+Paper series: conductance, friendship-link AUC and diffusion-link AUC as a
+function of |C| for {No Heterogeneity, No Joint Modeling, Ours} on Twitter
+(a-c) and DBLP (d-f). Expected shape: Ours beats No Joint everywhere; No
+Heterogeneity is comparable on detection/friendship but clearly worse on
+diffusion prediction.
+"""
+
+import numpy as np
+
+from bench_support import (
+    COMMUNITY_SWEEP,
+    format_table,
+    get_scores,
+    report,
+)
+
+VARIANTS = ("no_heterogeneity", "no_joint", "CPD")
+LABELS = {"no_heterogeneity": "No Heterogeneity", "no_joint": "No Joint Modeling", "CPD": "Ours"}
+
+
+def _series(scenario: str) -> dict:
+    return {
+        variant: [get_scores(scenario, variant, c) for c in COMMUNITY_SWEEP]
+        for variant in VARIANTS
+    }
+
+
+def _emit(scenario: str, series: dict, panel: str) -> None:
+    for metric, caption in (
+        ("conductance", f"Fig. 3({panel[0]}): community detection ({scenario}) — lower is better"),
+        ("friendship_auc", f"Fig. 3({panel[1]}): friendship link prediction ({scenario}) — higher is better"),
+        ("diffusion_auc", f"Fig. 3({panel[2]}): diffusion link prediction ({scenario}) — higher is better"),
+    ):
+        rows = [
+            [LABELS[variant]] + [scores[metric] for scores in series[variant]]
+            for variant in VARIANTS
+        ]
+        report(
+            f"fig3_{metric}_{scenario}",
+            format_table(caption, ["method"] + [f"|C|={c}" for c in COMMUNITY_SWEEP], rows),
+        )
+
+
+def _mean(series, variant, metric):
+    return float(np.mean([s[metric] for s in series[variant]]))
+
+
+def test_fig3_twitter(benchmark):
+    series = benchmark.pedantic(_series, args=("twitter",), rounds=1, iterations=1)
+    _emit("twitter", series, "abc")
+    # Ours beats No Joint on every sweep-averaged metric
+    assert _mean(series, "CPD", "conductance") < _mean(series, "no_joint", "conductance")
+    assert _mean(series, "CPD", "friendship_auc") > _mean(series, "no_joint", "friendship_auc")
+    # Ours beats No Heterogeneity on diffusion prediction
+    assert _mean(series, "CPD", "diffusion_auc") > _mean(series, "no_heterogeneity", "diffusion_auc")
+
+
+def test_fig3_dblp(benchmark):
+    series = benchmark.pedantic(_series, args=("dblp",), rounds=1, iterations=1)
+    _emit("dblp", series, "def")
+    assert _mean(series, "CPD", "conductance") < _mean(series, "no_joint", "conductance")
+    assert _mean(series, "CPD", "friendship_auc") > _mean(series, "no_joint", "friendship_auc")
+    assert _mean(series, "CPD", "diffusion_auc") > _mean(series, "no_heterogeneity", "diffusion_auc")

@@ -1,0 +1,104 @@
+"""Fig. 6 — profile-driven community ranking (MAF@K curves).
+
+Paper series: MAF@K for K = 1..20 comparing {COLD, COLD+Agg, CRM+Agg, Ours}
+at |C| in {50, 100} on both datasets. Here K runs 1..|C| (the scaled |C| is
+small) and the sweep uses the two larger |C| values. Expected shape: Ours
+above the baselines, converging earlier.
+"""
+
+import numpy as np
+
+from bench_support import (
+    COMMUNITY_SWEEP,
+    format_table,
+    get_fitted,
+    get_scenario,
+    report,
+)
+from repro.apps import CommunityRanker
+from repro.evaluation import ranking_scores, select_queries
+
+METHODS = ("COLD", "COLD+Agg", "CRM+Agg", "CPD")
+LABELS = {"COLD": "COLD", "COLD+Agg": "COLD+Agg", "CRM+Agg": "CRM+Agg", "CPD": "Ours"}
+
+
+def _queries(scenario):
+    graph, _ = get_scenario(scenario)
+    if scenario == "twitter":
+        return select_queries(graph, min_frequency=3, hashtags_only=True, max_queries=30)
+    return select_queries(
+        graph, min_frequency=4, remove_top_frequent=10, max_queries=40
+    )
+
+
+def _maf_curve(scenario: str, kind: str, n_communities: int, queries) -> np.ndarray:
+    """MAF@K for one method using Eq. 19 over its own profiles."""
+    graph, _ = get_scenario(scenario)
+    method = get_fitted(scenario, kind, n_communities)
+    profiles = method.profiles()
+    memberships = method.memberships()
+    # rank communities by Eq. 19 with the method's own theta/eta/phi
+    top = np.argsort(-memberships, axis=1)[:, :1]
+    members = [
+        np.flatnonzero((top == community).any(axis=1))
+        for community in range(memberships.shape[1])
+    ]
+    rankings = []
+    relevant = []
+    for query in queries:
+        log_affinity = np.log(np.maximum(profiles.phi[:, [query.word_id]], 1e-300)).sum(axis=1)
+        affinity = np.exp(log_affinity - log_affinity.max())
+        scores = np.einsum("cdz,dz->c", profiles.eta, profiles.theta * affinity[None, :])
+        order = np.argsort(-scores)
+        rankings.append([members[c] for c in order])
+        relevant.append(query.relevant_users)
+    return ranking_scores(rankings, relevant, max_k=n_communities).maf_at_k
+
+
+def _series(scenario: str, n_communities: int) -> dict:
+    queries = _queries(scenario)
+    assert queries, f"no ranking queries for {scenario}"
+    return {
+        kind: _maf_curve(scenario, kind, n_communities, queries) for kind in METHODS
+    }
+
+
+def _emit(scenario: str, n_communities: int, series: dict) -> None:
+    ks = list(range(1, n_communities + 1))
+    rows = [[LABELS[kind]] + list(series[kind]) for kind in METHODS]
+    report(
+        f"fig6_ranking_{scenario}_C{n_communities}",
+        format_table(
+            f"Fig. 6: MAF@K, |C|={n_communities} ({scenario})",
+            ["method"] + [f"K={k}" for k in ks],
+            rows,
+        ),
+    )
+
+
+def _assert_ours_competitive(series: dict) -> None:
+    ours = float(np.mean(series["CPD"]))
+    for kind in ("COLD+Agg", "CRM+Agg"):
+        assert ours > float(np.mean(series[kind])) * 0.95, (
+            f"Ours should be at least competitive with {kind}"
+        )
+
+
+def test_fig6ab_twitter(benchmark):
+    def _run():
+        return {c: _series("twitter", c) for c in COMMUNITY_SWEEP[1:]}
+
+    by_c = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for c, series in by_c.items():
+        _emit("twitter", c, series)
+        _assert_ours_competitive(series)
+
+
+def test_fig6cd_dblp(benchmark):
+    def _run():
+        return {c: _series("dblp", c) for c in COMMUNITY_SWEEP[1:]}
+
+    by_c = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for c, series in by_c.items():
+        _emit("dblp", c, series)
+        _assert_ours_competitive(series)

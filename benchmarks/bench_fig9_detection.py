@@ -1,0 +1,55 @@
+"""Fig. 9 — community detection quality vs. baselines.
+
+Paper series: conductance (a, c) and friendship-link AUC (b, d) as a
+function of |C| for {PMTLM, CRM, COLD, Ours}. Expected shape: Ours ahead —
+PMTLM and COLD do not model friendship links at all, and CRM treats
+diffusion ties homophilously, which pollutes its blocks when weak ties are
+strong.
+"""
+
+import numpy as np
+
+from bench_support import COMMUNITY_SWEEP, format_table, get_scores, report
+
+METHODS = ("PMTLM", "CRM", "COLD", "CPD")
+
+
+def _series(scenario: str) -> dict:
+    return {
+        kind: [get_scores(scenario, kind, c) for c in COMMUNITY_SWEEP]
+        for kind in METHODS
+    }
+
+
+def _emit(scenario: str, panels: str, series: dict) -> None:
+    for metric, caption in (
+        ("conductance", f"Fig. 9({panels[0]}): community detection ({scenario}) — lower is better"),
+        ("friendship_auc", f"Fig. 9({panels[1]}): friendship link prediction ({scenario}) — higher is better"),
+    ):
+        rows = [
+            [kind if kind != "CPD" else "Ours"] + [s[metric] for s in series[kind]]
+            for kind in METHODS
+        ]
+        report(
+            f"fig9_{metric}_{scenario}",
+            format_table(caption, ["method"] + [f"|C|={c}" for c in COMMUNITY_SWEEP], rows),
+        )
+
+
+def _mean(series, kind, metric):
+    return float(np.mean([s[metric] for s in series[kind]]))
+
+
+def test_fig9ab_twitter(benchmark):
+    series = benchmark.pedantic(_series, args=("twitter",), rounds=1, iterations=1)
+    _emit("twitter", "ab", series)
+    # Ours beats the two methods that ignore friendship links
+    assert _mean(series, "CPD", "friendship_auc") > _mean(series, "PMTLM", "friendship_auc")
+    assert _mean(series, "CPD", "conductance") < _mean(series, "PMTLM", "conductance")
+
+
+def test_fig9cd_dblp(benchmark):
+    series = benchmark.pedantic(_series, args=("dblp",), rounds=1, iterations=1)
+    _emit("dblp", "cd", series)
+    assert _mean(series, "CPD", "friendship_auc") > _mean(series, "PMTLM", "friendship_auc")
+    assert _mean(series, "CPD", "conductance") < _mean(series, "PMTLM", "conductance")

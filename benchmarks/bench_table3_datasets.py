@@ -1,0 +1,55 @@
+"""Table 3 — data set statistics.
+
+Paper: Twitter 137,325 users / 3.59M friendship links / 0.99M diffusion
+links / 39.9M docs; DBLP 916,907 users / 3.06M / 10.2M / 4.1M. The
+laptop-scale scenarios reproduce the *relative shape*: Twitter has more
+friendship than diffusion links and many documents per user; DBLP has more
+diffusion (citations) than friendship (co-authorship) links.
+"""
+
+from bench_support import format_table, get_scenario, report
+
+
+def _rows():
+    rows = []
+    for name in ("twitter", "dblp"):
+        graph, _ = get_scenario(name)
+        stats = graph.stats()
+        rows.append(
+            [
+                name,
+                stats.n_users,
+                stats.n_friendship_links,
+                stats.n_diffusion_links,
+                stats.n_documents,
+                stats.n_words,
+            ]
+        )
+    return rows
+
+
+def test_table3_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    from repro.graph import compute_statistics
+
+    structural = []
+    for name in ("twitter", "dblp"):
+        graph, _ = get_scenario(name)
+        stats = compute_statistics(graph)
+        structural.append(f"\n{name} structural profile:\n{stats.describe()}")
+    report(
+        "table3_datasets",
+        format_table(
+            "Table 3: data set statistics (scaled scenarios)",
+            ["dataset", "#(user)", "#(friend.link)", "#(diff.link)", "#(doc.)", "#(word)"],
+            rows,
+        )
+        + "\n"
+        + "\n".join(structural),
+    )
+    twitter, dblp = rows
+    # the Table 3 shape: Twitter friend > diff; DBLP diff > friend
+    assert twitter[2] > twitter[3]
+    assert dblp[3] > dblp[2]
+    # Twitter documents per user exceed DBLP's
+    assert twitter[4] / twitter[1] > dblp[4] / dblp[1]

@@ -1,0 +1,11 @@
+"""Benchmark session configuration.
+
+The benchmark suite regenerates every table and figure of the paper; run it
+with ``pytest benchmarks/ --benchmark-only``. Series are printed (visible
+with ``-s``) and always written to ``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

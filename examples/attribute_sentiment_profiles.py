@@ -1,0 +1,93 @@
+"""Extended profiles: attributes and sentiments (paper Sect. 7 future work).
+
+The paper defines profiles as "community-X" probabilities and names user
+attributes and sentiments as the next X's. This example plants categorical
+attributes on a fitted scenario, profiles them per community, predicts
+held-out attributes from memberships, and — on a small real-text graph —
+derives internal and external sentiment profiles.
+
+Run:  python examples/attribute_sentiment_profiles.py
+"""
+
+import numpy as np
+
+from repro import CPDConfig, CPDModel, fit_cpd, twitter_scenario
+from repro.extensions import (
+    AttributeProfiler,
+    AttributeSchema,
+    plant_attributes,
+    sentiment_profile,
+)
+from repro.graph import SocialGraphBuilder
+
+
+def attribute_demo() -> None:
+    graph, truth = twitter_scenario("small", rng=6)
+    result = fit_cpd(graph, n_communities=6, n_topics=12, n_iterations=20,
+                     rng=6, alpha=0.5, rho=0.5)
+
+    # plant region/platform attributes correlated with the *true* communities
+    schema = AttributeSchema(names=["region", "platform"], cardinalities=[4, 3])
+    table, planted = plant_attributes(truth.pi, schema, concentration=0.15,
+                                      missing_rate=0.2, rng=6)
+
+    # profile them with the *inferred* memberships
+    profiler = AttributeProfiler(result.pi, table)
+    print("community attribute profiles (region):")
+    for community in range(result.n_communities):
+        tops = profiler.top_values(community, "region", n=2)
+        rendered = ", ".join(f"v{v}:{p:.2f}" for v, p in tops)
+        print(f"  c{community:02d}: {rendered}")
+
+    holdout = np.arange(graph.n_users)
+    accuracy = profiler.prediction_accuracy("region", holdout)
+    print(f"\nattribute prediction from memberships: {accuracy:.2f} accuracy "
+          f"(chance = {1 / schema.cardinalities[0]:.2f})")
+    print(f"region distinctiveness across communities: "
+          f"{profiler.distinctiveness('region'):.3f}")
+
+
+def sentiment_demo() -> None:
+    # a small real-text graph so the sentiment lexicon has words to score
+    builder = SocialGraphBuilder(name="product-reviews")
+    fans = [builder.add_user(name=f"fan{i}") for i in range(3)]
+    critics = [builder.add_user(name=f"critic{i}") for i in range(3)]
+    texts_fan = ["great amazing product love results",
+                 "excellent fast robust design win",
+                 "wonderful improvement best release"]
+    texts_critic = ["terrible broken crash bug fail",
+                    "awful slow flawed release problem",
+                    "worst buggy useless disappointing update"]
+    docs = []
+    for i, user in enumerate(fans):
+        docs.append(builder.add_document(user, texts_fan[i % 3].split(), timestamp=i))
+        docs.append(builder.add_document(user, texts_fan[(i + 1) % 3].split(), timestamp=i))
+    for i, user in enumerate(critics):
+        docs.append(builder.add_document(user, texts_critic[i % 3].split(), timestamp=i))
+        docs.append(builder.add_document(user, texts_critic[(i + 1) % 3].split(), timestamp=i))
+    for a in fans:
+        for b in fans:
+            if a != b:
+                builder.add_friendship(a, b)
+    for a in critics:
+        for b in critics:
+            if a != b:
+                builder.add_friendship(a, b)
+    builder.add_diffusion(0, 7)
+    builder.add_diffusion(6, 1)
+    graph = builder.build()
+
+    config = CPDConfig(n_communities=2, n_topics=2, n_iterations=15, rho=0.1, alpha=0.5)
+    result = CPDModel(config, rng=0).fit(graph)
+    profile = sentiment_profile(result, graph)
+    print()
+    print(profile.describe())
+    print(f"most positive community: c{profile.most_positive_community()}")
+    print(f"most negative community: c{profile.most_negative_community()}")
+    print("cross-community diffusion polarity (rows diffuse columns):")
+    print(np.round(profile.pair_polarity, 2))
+
+
+if __name__ == "__main__":
+    attribute_demo()
+    sentiment_demo()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build an editable wheel. This shim
+enables the legacy ``python setup.py develop`` path, which only needs
+setuptools. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

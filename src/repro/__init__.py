@@ -1,0 +1,71 @@
+"""repro — reproduction of "From Community Detection to Community Profiling".
+
+Cai, Zheng, Zhu, Chang, Huang. PVLDB 10(6), VLDB 2017 (arXiv:1701.04528).
+
+The package implements the CPD model — joint Community Profiling and
+Detection over a social graph ``G = (U, D, F, E)`` — together with every
+substrate it needs (Pólya-Gamma augmented Gibbs sampling, LDA, diffusion
+factor features, a parallel E-step runtime), the paper's baselines and
+ablations, the three community-level applications, and the full evaluation
+harness.
+
+Quickstart::
+
+    from repro import fit_cpd, twitter_scenario
+    graph, truth = twitter_scenario("small", rng=0)
+    result = fit_cpd(graph, n_communities=6, n_topics=12, rng=0,
+                     alpha=0.5, rho=0.5)
+    print(result.summary(graph.vocabulary))
+"""
+
+from .core import (
+    CPDConfig,
+    CPDModel,
+    CPDResult,
+    CommunityProfile,
+    ContentProfile,
+    DiffusionParameters,
+    DiffusionProfile,
+    FitOptions,
+    all_profiles,
+    fit_cpd,
+    profile_of,
+)
+from .apps import CommunityRanker, DiffusionPredictor
+from .datasets import (
+    GroundTruth,
+    SyntheticConfig,
+    dblp_scenario,
+    generate_synthetic,
+    twitter_scenario,
+)
+from .graph import SocialGraph, SocialGraphBuilder, Vocabulary, load_graph, save_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPDConfig",
+    "CPDModel",
+    "CPDResult",
+    "CommunityProfile",
+    "CommunityRanker",
+    "ContentProfile",
+    "DiffusionParameters",
+    "DiffusionPredictor",
+    "DiffusionProfile",
+    "FitOptions",
+    "GroundTruth",
+    "SocialGraph",
+    "SocialGraphBuilder",
+    "SyntheticConfig",
+    "Vocabulary",
+    "all_profiles",
+    "dblp_scenario",
+    "fit_cpd",
+    "generate_synthetic",
+    "load_graph",
+    "profile_of",
+    "save_graph",
+    "twitter_scenario",
+    "__version__",
+]

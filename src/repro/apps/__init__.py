@@ -1,0 +1,25 @@
+"""Community-level applications built on the CPD outputs (paper Sect. 5)."""
+
+from .community_ranking import CommunityRanker
+from .diffusion_prediction import DiffusionPredictor
+from .visualization import (
+    ascii_render,
+    build_diffusion_graph,
+    community_labels,
+    openness_report,
+    to_dot,
+    to_json,
+    topic_generality,
+)
+
+__all__ = [
+    "CommunityRanker",
+    "DiffusionPredictor",
+    "ascii_render",
+    "build_diffusion_graph",
+    "community_labels",
+    "openness_report",
+    "to_dot",
+    "to_json",
+    "topic_generality",
+]

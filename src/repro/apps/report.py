@@ -1,0 +1,108 @@
+"""Markdown community report — the SocialLens-style offline deliverable.
+
+The paper ships an interactive system for browsing communities by content
+and interaction (footnote 1, Sect. 1); this headless library produces the
+equivalent static artifact: one markdown report covering every community's
+content profile, diffusion profile, openness, top diffusion partners and
+ranking hits for selected queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import CPDResult
+from ..evaluation.queries import Query
+from ..graph.social_graph import SocialGraph
+from .community_ranking import CommunityRanker
+from .visualization import community_labels, openness_report, topic_generality
+
+
+def _topic_line(result: CPDResult, graph: SocialGraph, topic: int) -> str:
+    words = ", ".join(w for w, _p in result.top_words(topic, 4, graph.vocabulary))
+    return f"T{topic} ({words})"
+
+
+def community_section(result: CPDResult, graph: SocialGraph, community: int) -> str:
+    """One community's markdown section."""
+    lines = [f"### Community c{community:02d}", ""]
+    lines.append(f"- openness: {result.openness(community):.3f}")
+    members = result.community_members(k=1)[community]
+    lines.append(f"- members (argmax assignment): {len(members)} users")
+    lines.append("- content profile:")
+    for topic, weight in result.top_topics(community, 3):
+        lines.append(f"  - {_topic_line(result, graph, topic)}: {weight:.3f}")
+    lines.append("- diffusion profile (strongest targets, topic-aggregated):")
+    aggregated = result.eta[community].sum(axis=1)
+    for target in np.argsort(-aggregated)[:3]:
+        top_topic, strength = result.top_diffused_topics(community, int(target), 1)[0]
+        lines.append(
+            f"  - -> c{int(target):02d} total {aggregated[target]:.4f}, "
+            f"mostly on {_topic_line(result, graph, top_topic)} ({strength:.4f})"
+        )
+    return "\n".join(lines)
+
+
+def build_report(
+    result: CPDResult,
+    graph: SocialGraph,
+    queries: list[Query] | None = None,
+    title: str | None = None,
+) -> str:
+    """Full markdown report over all communities (plus optional queries)."""
+    title = title or f"Community profile report — {graph.name}"
+    lines = [f"# {title}", ""]
+    stats = graph.stats()
+    lines.append(
+        f"{stats.n_users} users, {stats.n_documents} documents, "
+        f"{stats.n_friendship_links} friendship links, "
+        f"{stats.n_diffusion_links} diffusion links, "
+        f"{result.n_communities} communities, {result.n_topics} topics."
+    )
+    factors = result.diffusion.factor_contributions()
+    lines.append(
+        f"Diffusion factor weights — community: {factors['community']:.2f}, "
+        f"topic popularity: {factors['topic_popularity']:.2f}, "
+        f"individual: {factors['individual']:.2f}."
+    )
+    lines.append("")
+
+    lines.append("## Openness ranking")
+    lines.append("")
+    labels = community_labels(result, graph.vocabulary, n_words=3)
+    for label, openness in openness_report(result, labels):
+        lines.append(f"- {label}: {openness:.3f}")
+    lines.append("")
+
+    lines.append("## Topic generality")
+    lines.append("")
+    generality = topic_generality(result)
+    order = np.argsort(-generality)
+    most = ", ".join(_topic_line(result, graph, int(z)) for z in order[:2])
+    least = ", ".join(_topic_line(result, graph, int(z)) for z in order[-2:])
+    lines.append(f"- most general: {most}")
+    lines.append(f"- most specialised: {least}")
+    lines.append("")
+
+    lines.append("## Communities")
+    lines.append("")
+    for community in range(result.n_communities):
+        lines.append(community_section(result, graph, community))
+        lines.append("")
+
+    if queries:
+        ranker = CommunityRanker(result, graph)
+        lines.append("## Query rankings")
+        lines.append("")
+        for query in queries:
+            try:
+                top = ranker.rank(query.term)[:3]
+            except KeyError:
+                continue
+            ranked = ", ".join(f"c{c:02d} ({score:.4f})" for c, score in top)
+            lines.append(
+                f"- {query.term!r} ({query.frequency} diffusing docs): {ranked}"
+            )
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Command-line interface for the offline profiling workflow.
+
+The paper's workflow is "profile once offline, serve many applications"
+(Sect. 1). The CLI mirrors it:
+
+    repro generate  --scenario twitter --scale small --out graph.json.gz
+    repro fit       --graph graph.json.gz --communities 6 --topics 12 \\
+                    --out model.cpd.npz
+    repro evaluate  --graph graph.json.gz --model model.cpd.npz
+    repro rank      --graph graph.json.gz --model model.cpd.npz --query "#topic3"
+    repro report    --graph graph.json.gz --model model.cpd.npz --out report.md
+    repro visualize --graph graph.json.gz --model model.cpd.npz --format dot
+
+Every command is also importable (``run_generate`` etc.) for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .apps import (
+    CommunityRanker,
+    DiffusionPredictor,
+    ascii_render,
+    build_diffusion_graph,
+    community_labels,
+    to_dot,
+    to_json,
+)
+from .apps.report import build_report
+from .core import CPDConfig, CPDModel, load_result, save_result
+from .datasets import dblp_scenario, twitter_scenario
+from .evaluation import (
+    average_conductance,
+    content_perplexity,
+    diffusion_auc_folds,
+    friendship_auc_folds,
+    select_queries,
+)
+from .graph import load_graph, save_graph
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CPD: joint community profiling and detection (VLDB'17 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic scenario graph")
+    generate.add_argument("--scenario", choices=("twitter", "dblp"), default="twitter")
+    generate.add_argument("--scale", choices=("tiny", "small", "medium"), default="small")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output path (.json or .json.gz)")
+
+    fit = commands.add_parser("fit", help="fit CPD on a saved graph")
+    fit.add_argument("--graph", required=True)
+    fit.add_argument("--communities", type=int, required=True)
+    fit.add_argument("--topics", type=int, required=True)
+    fit.add_argument("--iterations", type=int, default=25)
+    fit.add_argument("--alpha", type=float, default=0.5)
+    fit.add_argument("--rho", type=float, default=0.5)
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--out", required=True, help="output path (.cpd.npz)")
+
+    evaluate = commands.add_parser("evaluate", help="score a fitted model")
+    evaluate.add_argument("--graph", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    rank = commands.add_parser("rank", help="rank communities for a query")
+    rank.add_argument("--graph", required=True)
+    rank.add_argument("--model", required=True)
+    rank.add_argument("--query", required=True)
+    rank.add_argument("--top", type=int, default=5)
+
+    report = commands.add_parser("report", help="write a markdown community report")
+    report.add_argument("--graph", required=True)
+    report.add_argument("--model", required=True)
+    report.add_argument("--out", required=True)
+    report.add_argument("--queries", type=int, default=5, help="number of auto-selected queries")
+
+    visualize = commands.add_parser("visualize", help="export the diffusion graph")
+    visualize.add_argument("--graph", required=True)
+    visualize.add_argument("--model", required=True)
+    visualize.add_argument("--topic", type=int, default=None)
+    visualize.add_argument("--format", choices=("ascii", "dot", "json"), default="ascii")
+    visualize.add_argument("--out", default=None, help="output file (default: stdout)")
+    return parser
+
+
+def run_generate(args, out=None) -> int:
+    out = out or sys.stdout
+    maker = {"twitter": twitter_scenario, "dblp": dblp_scenario}[args.scenario]
+    graph, _truth = maker(args.scale, rng=args.seed)
+    save_graph(graph, args.out)
+    print(f"wrote {graph!r} to {args.out}", file=out)
+    return 0
+
+
+def run_fit(args, out=None) -> int:
+    out = out or sys.stdout
+    graph = load_graph(args.graph)
+    config = CPDConfig(
+        n_communities=args.communities,
+        n_topics=args.topics,
+        n_iterations=args.iterations,
+        alpha=args.alpha,
+        rho=args.rho,
+    )
+    result = CPDModel(config, rng=args.seed).fit(graph)
+    save_result(result, args.out)
+    print(result.summary(graph.vocabulary), file=out)
+    print(f"\nwrote model to {args.out}", file=out)
+    return 0
+
+
+def run_evaluate(args, out=None) -> int:
+    out = out or sys.stdout
+    graph = load_graph(args.graph)
+    result = load_result(args.model)
+    predictor = DiffusionPredictor(result, graph)
+    pi = result.pi
+    diffusion = diffusion_auc_folds(graph, predictor.score_pairs, rng=args.seed)
+    friendship = friendship_auc_folds(
+        graph, lambda u, v: np.einsum("ij,ij->i", pi[u], pi[v]), rng=args.seed
+    )
+    perplexity = content_perplexity(graph, result.pi, result.theta, result.phi)
+    conductance = average_conductance(graph, result.pi, top_k=1)
+    print(f"diffusion link AUC : {diffusion.mean:.4f} +- {diffusion.std:.4f}", file=out)
+    print(f"friendship link AUC: {friendship.mean:.4f} +- {friendship.std:.4f}", file=out)
+    print(f"content perplexity : {perplexity:.1f}", file=out)
+    print(f"conductance (top-1): {conductance:.4f}", file=out)
+    return 0
+
+
+def run_rank(args, out=None) -> int:
+    out = out or sys.stdout
+    graph = load_graph(args.graph)
+    result = load_result(args.model)
+    ranker = CommunityRanker(result, graph)
+    try:
+        ranking = ranker.rank(args.query)
+    except KeyError:
+        print(f"error: no term of query {args.query!r} is in the vocabulary", file=out)
+        return 1
+    print(f"query {args.query!r} topics: "
+          + ", ".join(f"z{z}:{w:.2f}" for z, w in ranker.query_topics(args.query)),
+          file=out)
+    for rank, (community, score) in enumerate(ranking[: args.top], start=1):
+        print(f"  #{rank} c{community:02d}  score={score:.6f}", file=out)
+    return 0
+
+
+def run_report(args, out=None) -> int:
+    out = out or sys.stdout
+    graph = load_graph(args.graph)
+    result = load_result(args.model)
+    queries = select_queries(graph, min_frequency=2, max_queries=args.queries)
+    text = build_report(result, graph, queries=queries)
+    Path(args.out).write_text(text, encoding="utf-8")
+    print(f"wrote report to {args.out}", file=out)
+    return 0
+
+
+def run_visualize(args, out=None) -> int:
+    out = out or sys.stdout
+    graph = load_graph(args.graph)
+    result = load_result(args.model)
+    labels = community_labels(result, graph.vocabulary)
+    view = build_diffusion_graph(result, topic=args.topic, labels=labels)
+    if args.format == "dot":
+        rendered = to_dot(view)
+    elif args.format == "json":
+        rendered = to_json(view)
+    else:
+        rendered = ascii_render(view)
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"wrote {args.format} view to {args.out}", file=out)
+    else:
+        print(rendered, file=out)
+    return 0
+
+
+_RUNNERS = {
+    "generate": run_generate,
+    "fit": run_fit,
+    "evaluate": run_evaluate,
+    "rank": run_rank,
+    "report": run_report,
+    "visualize": run_visualize,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _RUNNERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""CPD core: joint community profiling and detection (paper Sects. 3-4)."""
+
+from .config import CPDConfig
+from .diagnostics import (
+    ConvergenceAssessment,
+    LikelihoodReport,
+    assess_convergence,
+    likelihood_report,
+)
+from .gibbs import CPDSampler
+from .io import load_result, save_result
+from .model import CPDModel, FitOptions, fit_cpd
+from .parameters import DiffusionParameters
+from .profiles import (
+    CommunityProfile,
+    ContentProfile,
+    DiffusionProfile,
+    all_profiles,
+    profile_of,
+)
+from .result import CPDResult, IterationTrace
+from .state import CPDState
+
+__all__ = [
+    "CPDConfig",
+    "CPDModel",
+    "CPDResult",
+    "CPDSampler",
+    "CPDState",
+    "ConvergenceAssessment",
+    "LikelihoodReport",
+    "assess_convergence",
+    "likelihood_report",
+    "load_result",
+    "save_result",
+    "CommunityProfile",
+    "ContentProfile",
+    "DiffusionParameters",
+    "DiffusionProfile",
+    "FitOptions",
+    "IterationTrace",
+    "all_profiles",
+    "fit_cpd",
+    "profile_of",
+]

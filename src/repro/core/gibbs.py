@@ -1,0 +1,429 @@
+"""Collapsed Gibbs sampler for CPD (paper Sect. 4.1, Eqs. 13-16).
+
+One :class:`CPDSampler` owns the mutable sampling state for one graph:
+
+* per-document topic and community assignments with their count matrices
+  (:class:`~repro.core.state.CPDState`),
+* the Pólya-Gamma augmentation variables ``lambda`` (one per friendship
+  link, Eq. 15) and ``delta`` (one per diffusion link, Eq. 16),
+* the incremental topic-popularity table ``n_tz``.
+
+Sweep mechanics follow Alg. 1: for every document, sample its topic by
+Eq. 13 then its community by Eq. 14; afterwards redraw the augmentation
+variables. Two documented deviations from a literal reading (both noted in
+DESIGN.md §3):
+
+* A diffusion link's "shared topic" is its *source* document's topic, so
+  incoming links contribute constants to the topic conditional and are
+  skipped there (they still constrain the community conditional).
+* The candidate community only perturbs ``pi_hat_u`` in the link factors —
+  its second-order effect through ``theta_hat`` is ignored, exactly the
+  ``(C_neg, Z_neg)`` estimation the paper writes under Eqs. 13-14.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diffusion.features import UserFeatures
+from ..diffusion.popularity import TopicPopularity
+from ..graph.social_graph import SocialGraph
+from ..sampling.categorical import sample_log_categorical
+from ..sampling.polya_gamma import log_psi, sample_pg_array
+from ..sampling.rng import RngLike, ensure_rng
+from .config import CPDConfig
+from .parameters import DiffusionParameters
+from .state import CPDState
+
+
+class CPDSampler:
+    """E-step machinery: document sweeps plus augmentation-variable draws."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        config: CPDConfig,
+        params: DiffusionParameters,
+        rng: RngLike = None,
+        fixed_communities: np.ndarray | None = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.params = params
+        self.rng = ensure_rng(rng)
+        self.fixed_communities = (
+            None if fixed_communities is None else np.asarray(fixed_communities, dtype=np.int64)
+        )
+
+        self.state = CPDState(graph, config)
+        self.state.random_init(self.rng, fixed_communities=self.fixed_communities)
+
+        self._doc_user = graph.document_user_array()
+        self._doc_time = np.asarray([doc.timestamp for doc in graph.documents], dtype=np.int64)
+        self._doc_unique = [
+            np.unique(doc.words, return_counts=True) for doc in graph.documents
+        ]
+        self._doc_lengths = np.asarray([len(doc.words) for doc in graph.documents])
+
+        self._build_link_structures()
+        self._build_popularity()
+
+        # Augmentation variables start at the PG(1, 0) mean of 1/4.
+        self.lambdas = np.full(self.n_friend_links, 0.25)
+        self.deltas = np.full(self.n_diff_links, 0.25)
+
+    # ------------------------------------------------------------------ setup
+
+    def _build_link_structures(self) -> None:
+        graph = self.graph
+        self.n_friend_links = graph.n_friendship_links
+        self.f_src = np.asarray([l.source for l in graph.friendship_links], dtype=np.int64)
+        self.f_tgt = np.asarray([l.target for l in graph.friendship_links], dtype=np.int64)
+        self._user_friend_incidence: list[list[tuple[int, int]]] = [
+            [] for _ in range(graph.n_users)
+        ]
+        for index in range(self.n_friend_links):
+            u, v = int(self.f_src[index]), int(self.f_tgt[index])
+            self._user_friend_incidence[u].append((v, index))
+            self._user_friend_incidence[v].append((u, index))
+
+        self.n_diff_links = graph.n_diffusion_links
+        self.e_src = np.asarray([l.source_doc for l in graph.diffusion_links], dtype=np.int64)
+        self.e_tgt = np.asarray([l.target_doc for l in graph.diffusion_links], dtype=np.int64)
+        self.e_time = np.asarray([l.timestamp for l in graph.diffusion_links], dtype=np.int64)
+        self._doc_diff_incidence: list[list[tuple[int, int, bool]]] = [
+            [] for _ in range(graph.n_documents)
+        ]
+        for index in range(self.n_diff_links):
+            i, j = int(self.e_src[index]), int(self.e_tgt[index])
+            self._doc_diff_incidence[i].append((index, j, True))
+            self._doc_diff_incidence[j].append((index, i, False))
+
+        self.user_features = UserFeatures(graph)
+        if self.n_diff_links:
+            self.e_features = self.user_features.pair_features_batch(
+                self._doc_user[self.e_src], self._doc_user[self.e_tgt]
+            )
+        else:
+            self.e_features = np.zeros((0, UserFeatures.N_FEATURES))
+
+    def _build_popularity(self) -> None:
+        n_buckets = int(self._doc_time.max()) + 1 if len(self._doc_time) else 1
+        self.popularity = TopicPopularity.from_assignments(
+            self._doc_time,
+            self.state.doc_topic,
+            n_topics=self.config.n_topics,
+            n_time_buckets=n_buckets,
+            mode=self.config.popularity_mode,
+            weight=self.config.popularity_weight,
+        )
+
+    # ------------------------------------------------------------- snapshots
+
+    def export_snapshot(self) -> dict[str, np.ndarray]:
+        """Assignment + augmentation snapshot (parallel E-step hand-off)."""
+        return {
+            "doc_community": self.state.doc_community.copy(),
+            "doc_topic": self.state.doc_topic.copy(),
+            "lambdas": self.lambdas.copy(),
+            "deltas": self.deltas.copy(),
+        }
+
+    def load_snapshot(self, snapshot: dict[str, np.ndarray]) -> None:
+        """Rebuild counts, popularity and augmentation state from a snapshot."""
+        self.state.load_assignments(snapshot["doc_community"], snapshot["doc_topic"])
+        self.lambdas = np.asarray(snapshot["lambdas"], dtype=np.float64).copy()
+        self.deltas = np.asarray(snapshot["deltas"], dtype=np.float64).copy()
+        self._build_popularity()
+
+    def apply_assignments(self, doc_ids: np.ndarray, communities: np.ndarray, topics: np.ndarray) -> None:
+        """Overwrite assignments for ``doc_ids`` (merging worker results)."""
+        for doc_id, community, topic in zip(doc_ids, communities, topics):
+            doc_id = int(doc_id)
+            _old_c, old_z = self.state.unassign(doc_id)
+            self.popularity.decrement(int(self._doc_time[doc_id]), old_z)
+            self.state.assign(doc_id, int(community), int(topic))
+            self.popularity.increment(int(self._doc_time[doc_id]), int(topic))
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def uses_profile_diffusion(self) -> bool:
+        """True when diffusion links go through the Eq. 5 profile factor."""
+        return self.config.model_diffusion and self.config.heterogeneity
+
+    @property
+    def uses_similarity_diffusion(self) -> bool:
+        """True in the "no heterogeneity" ablation: E modelled like F (Eq. 3)."""
+        return self.config.model_diffusion and not self.config.heterogeneity
+
+    # -------------------------------------------------------------- doc sweep
+
+    def sweep_documents(self, doc_ids: np.ndarray | None = None) -> None:
+        """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
+        if doc_ids is None:
+            doc_ids = np.arange(self.graph.n_documents)
+        for doc_id in doc_ids:
+            self._resample_document(int(doc_id))
+
+    def _resample_document(self, doc_id: int) -> None:
+        state = self.state
+        old_community, old_topic = state.unassign(doc_id)
+        self.popularity.decrement(self._doc_time[doc_id], old_topic)
+
+        current_community = old_community
+        topic = self._sample_topic(doc_id, current_community)
+        if self.fixed_communities is not None:
+            community = int(self.fixed_communities[doc_id])
+        else:
+            community = self._sample_community(doc_id, topic)
+
+        state.assign(doc_id, community, topic)
+        self.popularity.increment(self._doc_time[doc_id], topic)
+
+    # ------------------------------------------------------- topic conditional
+
+    def _sample_topic(self, doc_id: int, community: int) -> int:
+        """Eq. 13: community-topic prior x word likelihood x diffusion factors."""
+        state = self.state
+        cfg = self.config
+        n_topics = cfg.n_topics
+
+        # community-topic term (n^z_c + alpha); denominator is z-independent
+        log_weights = np.log(state.community_topic[community] + state.alpha)
+
+        # block word-likelihood term of Eq. 13
+        words, counts = self._doc_unique[doc_id]
+        for word, count in zip(words, counts):
+            steps = np.arange(count)
+            log_weights += np.log(
+                state.topic_word[:, word][:, None] + state.beta + steps
+            ).sum(axis=1)
+        total_steps = np.arange(self._doc_lengths[doc_id])
+        log_weights -= np.log(
+            state.topic_totals[:, None] + state.n_words * state.beta + total_steps
+        ).sum(axis=1)
+
+        # diffusion-link factors (outgoing links only; the shared topic is the
+        # source document's, so incoming links are z-constants)
+        if self.uses_profile_diffusion:
+            for link_index, other_doc, is_source in self._doc_diff_incidence[doc_id]:
+                if not is_source:
+                    continue
+                scores = self._link_scores_per_topic(doc_id, other_doc, link_index)
+                log_weights += log_psi(scores, self.deltas[link_index])
+
+        return sample_log_categorical(log_weights, self.rng)
+
+    def _link_scores_per_topic(
+        self, source_doc: int, target_doc: int, link_index: int
+    ) -> np.ndarray:
+        """Eq. 5 logits for one link as a function of the candidate topic z."""
+        state = self.state
+        params = self.params
+        theta = state.theta_hat()  # (C, Z)
+        pi_u = state.pi_hat_user(self._doc_user[source_doc])
+        pi_v = state.pi_hat_user(self._doc_user[target_doc])
+        weighted_u = pi_u[:, None] * theta  # (C, Z)
+        weighted_v = pi_v[:, None] * theta
+        bilinear = np.einsum("cz,cdz,dz->z", weighted_u, params.eta, weighted_v)
+
+        scores = params.comm_weight * bilinear + params.bias
+        if self.config.use_topic_factor:
+            scores = scores + params.pop_weight * self.popularity.scores(
+                int(self.e_time[link_index])
+            )
+        if self.config.use_individual_factor:
+            scores = scores + float(params.nu @ self.e_features[link_index])
+        return scores
+
+    # --------------------------------------------------- community conditional
+
+    def _sample_community(self, doc_id: int, topic: int) -> int:
+        """Eq. 14: user prior x content term x friendship & diffusion factors."""
+        state = self.state
+        cfg = self.config
+        user = int(self._doc_user[doc_id])
+
+        base_num = state.user_community[user] + state.rho  # counts exclude doc
+        denominator = state.user_totals[user] + 1.0 + cfg.n_communities * state.rho
+
+        log_weights = np.log(base_num)
+        if cfg.community_uses_content:
+            log_weights = log_weights + np.log(
+                state.community_topic[:, topic] + state.alpha
+            ) - np.log(state.community_totals + cfg.n_topics * state.alpha)
+
+        if cfg.model_friendship:
+            for neighbor, link_index in self._user_friend_incidence[user]:
+                pi_v = state.pi_hat_user(neighbor)
+                dots = (base_num @ pi_v + pi_v) / denominator
+                log_weights += log_psi(dots, self.lambdas[link_index])
+
+        if self.uses_profile_diffusion:
+            theta = state.theta_hat()
+            for link_index, other_doc, is_source in self._doc_diff_incidence[doc_id]:
+                link_topic = topic if is_source else int(state.doc_topic[other_doc])
+                if link_topic < 0:
+                    continue  # the other endpoint is mid-resample
+                q = self._community_projection(other_doc, link_topic, is_source, theta)
+                bilinear = (base_num @ q + q) / denominator
+                constant = self.params.bias
+                if cfg.use_topic_factor:
+                    constant += self.params.pop_weight * self.popularity.score(
+                        int(self.e_time[link_index]), link_topic
+                    )
+                if cfg.use_individual_factor:
+                    constant += float(self.params.nu @ self.e_features[link_index])
+                scores = self.params.comm_weight * bilinear + constant
+                log_weights += log_psi(scores, self.deltas[link_index])
+        elif self.uses_similarity_diffusion:
+            for link_index, other_doc, _ in self._doc_diff_incidence[doc_id]:
+                pi_w = state.pi_hat_user(int(self._doc_user[other_doc]))
+                dots = (base_num @ pi_w + pi_w) / denominator
+                log_weights += log_psi(dots, self.deltas[link_index])
+
+        return sample_log_categorical(log_weights, self.rng)
+
+    def _community_projection(
+        self, other_doc: int, link_topic: int, is_source: bool, theta: np.ndarray
+    ) -> np.ndarray:
+        """``q`` such that the link's bilinear term is ``a_cand @ q``.
+
+        ``a_cand`` is the candidate-dependent ``pi_hat`` of the resampled
+        document's user; the other endpoint is folded into ``q``.
+        """
+        pi_other = self.state.pi_hat_user(int(self._doc_user[other_doc]))
+        theta_z = theta[:, link_topic]
+        eta_z = self.params.eta[:, :, link_topic]
+        other_weighted = pi_other * theta_z
+        if is_source:
+            return theta_z * (eta_z @ other_weighted)
+        return theta_z * (eta_z.T @ other_weighted)
+
+    # -------------------------------------------------- augmentation variables
+
+    def friendship_dots(self) -> np.ndarray:
+        """``pi_hat_u . pi_hat_v`` for every friendship link (Eq. 3 logits)."""
+        pi = self.state.pi_hat()
+        if self.n_friend_links == 0:
+            return np.zeros(0)
+        return np.einsum("ij,ij->i", pi[self.f_src], pi[self.f_tgt])
+
+    def diffusion_logits(
+        self,
+        source_docs: np.ndarray | None = None,
+        target_docs: np.ndarray | None = None,
+        timestamps: np.ndarray | None = None,
+        features: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Eq. 5 logits for a batch of document pairs (default: all of E)."""
+        if source_docs is None:
+            source_docs, target_docs, timestamps = self.e_src, self.e_tgt, self.e_time
+            features = self.e_features
+        components = self.diffusion_components(source_docs, target_docs, timestamps, features)
+        params = self.params
+        return (
+            params.comm_weight * components["community"]
+            + params.pop_weight * components["popularity"]
+            + components["features"] @ params.nu
+            + params.bias
+        )
+
+    def diffusion_components(
+        self,
+        source_docs: np.ndarray,
+        target_docs: np.ndarray,
+        timestamps: np.ndarray,
+        features: np.ndarray | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Raw per-factor values for a batch of pairs (M-step features)."""
+        source_docs = np.asarray(source_docs, dtype=np.int64)
+        target_docs = np.asarray(target_docs, dtype=np.int64)
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        n = len(source_docs)
+        if n == 0:
+            return {
+                "community": np.zeros(0),
+                "popularity": np.zeros(0),
+                "features": np.zeros((0, UserFeatures.N_FEATURES)),
+            }
+        state = self.state
+        pi = state.pi_hat()
+        theta = state.theta_hat()
+        link_topics = state.doc_topic[source_docs]
+        link_topics = np.where(link_topics >= 0, link_topics, 0)
+
+        if self.uses_similarity_diffusion:
+            community_score = np.einsum(
+                "ij,ij->i",
+                pi[self._doc_user[source_docs]],
+                pi[self._doc_user[target_docs]],
+            )
+        else:
+            theta_z = theta[:, link_topics].T  # (n, C)
+            weighted_u = pi[self._doc_user[source_docs]] * theta_z
+            weighted_v = pi[self._doc_user[target_docs]] * theta_z
+            eta_z = np.transpose(self.params.eta[:, :, link_topics], (2, 0, 1))  # (n, C, C)
+            community_score = np.einsum("nc,ncd,nd->n", weighted_u, eta_z, weighted_v)
+
+        if self.config.use_topic_factor:
+            matrix = self.popularity.score_matrix()
+            popularity_score = matrix[timestamps, link_topics]
+        else:
+            popularity_score = np.zeros(n)
+
+        if features is None:
+            features = self.user_features.pair_features_batch(
+                self._doc_user[source_docs], self._doc_user[target_docs]
+            )
+        if not self.config.use_individual_factor:
+            features = np.zeros_like(features)
+        return {
+            "community": community_score,
+            "popularity": popularity_score,
+            "features": features,
+        }
+
+    def sample_lambdas(self) -> None:
+        """Eq. 15: ``lambda_uv ~ PG(1, pi_hat_u . pi_hat_v)`` for every F link."""
+        if self.n_friend_links == 0 or not self.config.model_friendship:
+            return
+        self.lambdas = sample_pg_array(
+            self.friendship_dots(), self.rng, n_terms=self.config.pg_terms
+        )
+
+    def sample_deltas(self) -> None:
+        """Eq. 16: ``delta_ij ~ PG(1, logit_ij)`` for every E link."""
+        if self.n_diff_links == 0 or not self.config.model_diffusion:
+            return
+        if self.uses_similarity_diffusion:
+            pi = self.state.pi_hat()
+            logits = np.einsum(
+                "ij,ij->i", pi[self._doc_user[self.e_src]], pi[self._doc_user[self.e_tgt]]
+            )
+        else:
+            logits = self.diffusion_logits()
+        self.deltas = sample_pg_array(logits, self.rng, n_terms=self.config.pg_terms)
+
+    # ---------------------------------------------------------------- M-step
+
+    def aggregate_eta(self) -> np.ndarray:
+        """Alg. 1 step 12: re-estimate eta from current assignments.
+
+        Counts ``(c_source, c_target, z_source)`` over diffusion links, adds
+        ``eta_smoothing`` so unseen cells keep mass, and normalises globally
+        (probabilities of "community-community-topic" diffusion events,
+        matching the magnitudes of the paper's Fig. 5(c)).
+        """
+        cfg = self.config
+        counts = np.full(
+            (cfg.n_communities, cfg.n_communities, cfg.n_topics), cfg.eta_smoothing
+        )
+        state = self.state
+        for index in range(self.n_diff_links):
+            c_source = int(state.doc_community[self.e_src[index]])
+            c_target = int(state.doc_community[self.e_tgt[index]])
+            z_source = int(state.doc_topic[self.e_src[index]])
+            counts[c_source, c_target, z_source] += 1.0
+        return counts / counts.sum()

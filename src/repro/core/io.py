@@ -1,0 +1,99 @@
+"""Serialisation of fitted CPD results.
+
+Community profiling is "done once offline" and then serves several
+applications (paper Sect. 1); persisting the five outputs — ``pi``,
+``theta``, ``phi``, ``eta`` and the diffusion parameters — is what makes
+that workflow real. Arrays go into a compressed ``.npz``; config, trace
+and scalars ride along in a JSON sidecar entry inside the same file.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .config import CPDConfig
+from .parameters import DiffusionParameters
+from .result import CPDResult, IterationTrace
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+_META_NAME = "cpd_meta.json"
+
+
+def save_result(result: CPDResult, path: PathLike) -> None:
+    """Persist a fitted result to ``path`` (conventionally ``.cpd.npz``)."""
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "graph_name": result.graph_name,
+        "config": asdict(result.config),
+        "diffusion": {
+            "comm_weight": result.diffusion.comm_weight,
+            "pop_weight": result.diffusion.pop_weight,
+            "bias": result.diffusion.bias,
+        },
+        "trace": [asdict(entry) for entry in result.trace],
+    }
+    arrays = {
+        "pi": result.pi,
+        "theta": result.theta,
+        "phi": result.phi,
+        "eta": result.diffusion.eta,
+        "nu": result.diffusion.nu,
+        "doc_community": result.doc_community,
+        "doc_topic": result.doc_topic,
+    }
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr("arrays.npz", buffer.getvalue())
+        archive.writestr(_META_NAME, json.dumps(meta))
+
+
+def load_result(path: PathLike) -> CPDResult:
+    """Load a result written by :func:`save_result`."""
+    path = Path(path)
+    with zipfile.ZipFile(path, "r") as archive:
+        meta = json.loads(archive.read(_META_NAME).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported CPD result format version: {meta.get('format_version')!r}"
+            )
+        with archive.open("arrays.npz") as handle:
+            arrays = np.load(io.BytesIO(handle.read()))
+            pi = arrays["pi"]
+            theta = arrays["theta"]
+            phi = arrays["phi"]
+            eta = arrays["eta"]
+            nu = arrays["nu"]
+            doc_community = arrays["doc_community"]
+            doc_topic = arrays["doc_topic"]
+
+    config = CPDConfig(**meta["config"])
+    diffusion = DiffusionParameters(
+        eta=eta,
+        comm_weight=meta["diffusion"]["comm_weight"],
+        pop_weight=meta["diffusion"]["pop_weight"],
+        nu=nu,
+        bias=meta["diffusion"]["bias"],
+    )
+    trace = [IterationTrace(**entry) for entry in meta["trace"]]
+    return CPDResult(
+        config=config,
+        pi=pi,
+        theta=theta,
+        phi=phi,
+        diffusion=diffusion,
+        doc_community=doc_community,
+        doc_topic=doc_topic,
+        trace=trace,
+        graph_name=meta.get("graph_name", ""),
+    )

@@ -1,0 +1,198 @@
+"""CPD model driver: variational EM around the collapsed Gibbs sampler.
+
+Implements Alg. 1 of the paper: each outer iteration runs one E-step
+(a Gibbs sweep over all documents, then fresh Pólya-Gamma draws for every
+link) followed by an M-step (re-aggregate ``eta`` from the current
+assignments, then fit the diffusion factor weights ``nu`` by logistic
+regression against sampled negative links).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..diffusion.logistic import LogisticTrainer, LogisticTrainerConfig
+from ..diffusion.negative_sampling import sample_negative_diffusion_pairs
+from ..graph.social_graph import SocialGraph
+from ..sampling.polya_gamma import sigmoid
+from ..sampling.rng import RngLike, ensure_rng
+from .config import CPDConfig
+from .gibbs import CPDSampler
+from .parameters import DiffusionParameters
+from .result import CPDResult, IterationTrace
+
+
+@dataclass
+class FitOptions:
+    """Per-fit options that are not model hyper-parameters."""
+
+    #: freeze per-document community assignments (the profiling phase of the
+    #: "no joint modeling" ablation)
+    fixed_communities: np.ndarray | None = None
+    #: record per-iteration diagnostics (cheap, on by default)
+    record_trace: bool = True
+    #: replacement for the serial document sweep — a callable taking the
+    #: sampler; the parallel runtime (repro.parallel) plugs in here
+    document_sweeper: object | None = None
+
+
+class CPDModel:
+    """Joint community profiling and detection (Problem 1 of the paper)."""
+
+    def __init__(self, config: CPDConfig, rng: RngLike = None) -> None:
+        self.config = config
+        self.rng = ensure_rng(rng)
+
+    def fit(self, graph: SocialGraph, options: FitOptions | None = None) -> CPDResult:
+        """Run T1 EM iterations on ``graph`` and return the inferred profiles."""
+        options = options or FitOptions()
+        config = self.config
+        params = DiffusionParameters.initial(config.n_communities, config.n_topics)
+        sampler = CPDSampler(
+            graph,
+            config,
+            params,
+            rng=self.rng,
+            fixed_communities=options.fixed_communities,
+        )
+        trace: list[IterationTrace] = []
+        for iteration in range(config.n_iterations):
+            started = time.perf_counter()
+            # E-step (Alg. 1 steps 3-10)
+            if options.document_sweeper is not None:
+                options.document_sweeper(sampler)
+            else:
+                sampler.sweep_documents()
+            sampler.sample_lambdas()
+            sampler.sample_deltas()
+            # M-step (Alg. 1 steps 11-14)
+            self._m_step(graph, sampler)
+            if options.record_trace:
+                trace.append(self._trace_entry(iteration, started, sampler))
+        return self._build_result(graph, sampler, trace)
+
+    # ----------------------------------------------------------------- M-step
+
+    def _m_step(self, graph: SocialGraph, sampler: CPDSampler) -> None:
+        config = self.config
+        if not (config.model_diffusion and graph.n_diffusion_links):
+            return
+        if sampler.uses_profile_diffusion:
+            sampler.params.eta = sampler.aggregate_eta()
+            self._fit_factor_weights(graph, sampler)
+
+    def _fit_factor_weights(self, graph: SocialGraph, sampler: CPDSampler) -> None:
+        """Fit (comm_weight, pop_weight, nu, bias) by offset-free logistic
+        regression on observed links vs. sampled non-links (Sect. 4.2)."""
+        config = self.config
+        n_positive = graph.n_diffusion_links
+        n_negative = int(round(config.negative_ratio * n_positive))
+        negatives = sample_negative_diffusion_pairs(
+            graph, n_negative, self.rng, allow_fewer=True
+        )
+        if not negatives:
+            return
+        neg_src = np.asarray([n[0] for n in negatives], dtype=np.int64)
+        neg_tgt = np.asarray([n[1] for n in negatives], dtype=np.int64)
+        neg_time = np.asarray([n[2] for n in negatives], dtype=np.int64)
+
+        positive = sampler.diffusion_components(
+            sampler.e_src, sampler.e_tgt, sampler.e_time, sampler.e_features
+        )
+        negative = sampler.diffusion_components(neg_src, neg_tgt, neg_time)
+
+        design = np.vstack(
+            [
+                np.column_stack(
+                    [positive["community"], positive["popularity"], positive["features"]]
+                ),
+                np.column_stack(
+                    [negative["community"], negative["popularity"], negative["features"]]
+                ),
+            ]
+        )
+        labels = np.concatenate(
+            [np.ones(n_positive), np.zeros(len(negatives))]
+        )
+        params = sampler.params
+        initial = np.concatenate([[params.comm_weight, params.pop_weight], params.nu])
+        trainer = LogisticTrainer(
+            LogisticTrainerConfig(
+                learning_rate=config.nu_learning_rate,
+                n_iterations=config.nu_iterations,
+                l2_penalty=config.nu_l2_penalty,
+                standardize=True,
+                nonnegative=(0, 1),  # community and popularity are strengths
+            )
+        )
+        fit = trainer.fit(design, labels, initial_weights=initial, initial_bias=params.bias)
+        params.comm_weight = float(fit.weights[0])
+        params.pop_weight = float(fit.weights[1])
+        params.nu = fit.weights[2:].copy()
+        params.bias = fit.bias
+
+    # ------------------------------------------------------------ diagnostics
+
+    def _trace_entry(
+        self, iteration: int, started: float, sampler: CPDSampler
+    ) -> IterationTrace:
+        friendship_prob = float("nan")
+        diffusion_prob = float("nan")
+        if sampler.n_friend_links and self.config.model_friendship:
+            friendship_prob = float(sigmoid(sampler.friendship_dots()).mean())
+        if sampler.n_diff_links and self.config.model_diffusion:
+            if sampler.uses_profile_diffusion:
+                diffusion_prob = float(sigmoid(sampler.diffusion_logits()).mean())
+            else:
+                pi = sampler.state.pi_hat()
+                dots = np.einsum(
+                    "ij,ij->i",
+                    pi[sampler._doc_user[sampler.e_src]],
+                    pi[sampler._doc_user[sampler.e_tgt]],
+                )
+                diffusion_prob = float(sigmoid(dots).mean())
+        return IterationTrace(
+            iteration=iteration,
+            seconds=time.perf_counter() - started,
+            mean_friendship_probability=friendship_prob,
+            mean_diffusion_probability=diffusion_prob,
+        )
+
+    # ----------------------------------------------------------------- result
+
+    def _build_result(
+        self, graph: SocialGraph, sampler: CPDSampler, trace: list[IterationTrace]
+    ) -> CPDResult:
+        state = sampler.state
+        return CPDResult(
+            config=self.config,
+            pi=state.pi_hat(),
+            theta=state.theta_hat(),
+            phi=state.phi_hat(),
+            diffusion=sampler.params.copy(),
+            doc_community=state.doc_community.copy(),
+            doc_topic=state.doc_topic.copy(),
+            trace=trace,
+            graph_name=graph.name,
+        )
+
+
+def fit_cpd(
+    graph: SocialGraph,
+    n_communities: int,
+    n_topics: int,
+    n_iterations: int = 30,
+    rng: RngLike = None,
+    **config_overrides,
+) -> CPDResult:
+    """One-call convenience API: configure, fit, return profiles."""
+    config = CPDConfig(
+        n_communities=n_communities,
+        n_topics=n_topics,
+        n_iterations=n_iterations,
+        **config_overrides,
+    )
+    return CPDModel(config, rng=rng).fit(graph)

@@ -1,0 +1,161 @@
+"""Count state of the collapsed Gibbs sampler.
+
+The collapsed posterior (paper Eq. 12) depends on the data only through
+count matrices: ``n_u^c`` (documents of user u in community c), ``n_c^z``
+(documents of community c on topic z) and ``n_z^w`` (occurrences of word w
+under topic z). This module owns those counters, the document-level
+assignment vectors, and the smoothed estimators ``pi_hat`` / ``theta_hat``
+/ ``phi_hat`` the conditionals are built from (Sect. 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.social_graph import SocialGraph
+from ..sampling.rng import RngLike, ensure_rng
+from .config import CPDConfig
+
+
+class CPDState:
+    """Mutable assignments + counts; add/remove keep every counter in sync."""
+
+    def __init__(self, graph: SocialGraph, config: CPDConfig) -> None:
+        self.n_users = graph.n_users
+        self.n_docs = graph.n_documents
+        self.n_words = graph.n_words
+        self.n_communities = config.n_communities
+        self.n_topics = config.n_topics
+        self.alpha = config.resolved_alpha
+        self.rho = config.resolved_rho
+        self.beta = config.beta
+
+        self.doc_topic = np.full(self.n_docs, -1, dtype=np.int64)
+        self.doc_community = np.full(self.n_docs, -1, dtype=np.int64)
+
+        self.user_community = np.zeros((self.n_users, self.n_communities), dtype=np.float64)
+        self.community_topic = np.zeros((self.n_communities, self.n_topics), dtype=np.float64)
+        self.topic_word = np.zeros((self.n_topics, self.n_words), dtype=np.float64)
+        self.user_totals = np.zeros(self.n_users, dtype=np.float64)
+        self.community_totals = np.zeros(self.n_communities, dtype=np.float64)
+        self.topic_totals = np.zeros(self.n_topics, dtype=np.float64)
+
+        self._doc_user = graph.document_user_array()
+        self._doc_words = [doc.words for doc in graph.documents]
+
+    # -------------------------------------------------------------- mutation
+
+    def assign(self, doc_id: int, community: int, topic: int) -> None:
+        """Assign ``(community, topic)`` to an unassigned document."""
+        if self.doc_topic[doc_id] != -1:
+            raise ValueError(f"document {doc_id} is already assigned")
+        user = self._doc_user[doc_id]
+        words = self._doc_words[doc_id]
+        self.doc_community[doc_id] = community
+        self.doc_topic[doc_id] = topic
+        self.user_community[user, community] += 1
+        self.user_totals[user] += 1
+        self.community_topic[community, topic] += 1
+        self.community_totals[community] += 1
+        np.add.at(self.topic_word[topic], words, 1.0)
+        self.topic_totals[topic] += len(words)
+
+    def unassign(self, doc_id: int) -> tuple[int, int]:
+        """Remove a document's assignment; returns the old ``(community, topic)``."""
+        community = int(self.doc_community[doc_id])
+        topic = int(self.doc_topic[doc_id])
+        if topic == -1:
+            raise ValueError(f"document {doc_id} is not assigned")
+        user = self._doc_user[doc_id]
+        words = self._doc_words[doc_id]
+        self.user_community[user, community] -= 1
+        self.user_totals[user] -= 1
+        self.community_topic[community, topic] -= 1
+        self.community_totals[community] -= 1
+        np.add.at(self.topic_word[topic], words, -1.0)
+        self.topic_totals[topic] -= len(words)
+        self.doc_community[doc_id] = -1
+        self.doc_topic[doc_id] = -1
+        return community, topic
+
+    def reset(self) -> None:
+        """Drop all assignments and zero every counter."""
+        self.doc_topic.fill(-1)
+        self.doc_community.fill(-1)
+        self.user_community.fill(0.0)
+        self.community_topic.fill(0.0)
+        self.topic_word.fill(0.0)
+        self.user_totals.fill(0.0)
+        self.community_totals.fill(0.0)
+        self.topic_totals.fill(0.0)
+
+    def load_assignments(self, doc_community: np.ndarray, doc_topic: np.ndarray) -> None:
+        """Rebuild counts from snapshot assignment vectors (parallel E-step)."""
+        doc_community = np.asarray(doc_community, dtype=np.int64)
+        doc_topic = np.asarray(doc_topic, dtype=np.int64)
+        if doc_community.shape != (self.n_docs,) or doc_topic.shape != (self.n_docs,):
+            raise ValueError("assignment snapshots must cover every document")
+        self.reset()
+        for doc_id in range(self.n_docs):
+            self.assign(doc_id, int(doc_community[doc_id]), int(doc_topic[doc_id]))
+
+    def random_init(self, rng: RngLike = None, fixed_communities: np.ndarray | None = None) -> None:
+        """Uniformly random initial assignments (optionally with frozen C)."""
+        generator = ensure_rng(rng)
+        for doc_id in range(self.n_docs):
+            if fixed_communities is None:
+                community = int(generator.integers(0, self.n_communities))
+            else:
+                community = int(fixed_communities[doc_id])
+            topic = int(generator.integers(0, self.n_topics))
+            self.assign(doc_id, community, topic)
+
+    # ------------------------------------------------------------ estimators
+
+    def pi_hat(self) -> np.ndarray:
+        """Smoothed memberships ``(n_u^c + rho) / (n_u + |C| rho)``, shape (U, C)."""
+        return (self.user_community + self.rho) / (
+            self.user_totals[:, None] + self.n_communities * self.rho
+        )
+
+    def pi_hat_user(self, user: int) -> np.ndarray:
+        """One user's smoothed membership vector."""
+        return (self.user_community[user] + self.rho) / (
+            self.user_totals[user] + self.n_communities * self.rho
+        )
+
+    def theta_hat(self) -> np.ndarray:
+        """Smoothed content profiles ``(n_c^z + alpha) / (n_c + |Z| alpha)``, shape (C, Z)."""
+        return (self.community_topic + self.alpha) / (
+            self.community_totals[:, None] + self.n_topics * self.alpha
+        )
+
+    def phi_hat(self) -> np.ndarray:
+        """Smoothed topic-word distributions, shape (Z, W)."""
+        return (self.topic_word + self.beta) / (
+            self.topic_totals[:, None] + self.n_words * self.beta
+        )
+
+    # ---------------------------------------------------------------- checks
+
+    def check_consistency(self) -> None:
+        """Verify counters against assignments; raises on drift (test hook)."""
+        user_community = np.zeros_like(self.user_community)
+        community_topic = np.zeros_like(self.community_topic)
+        topic_word = np.zeros_like(self.topic_word)
+        for doc_id in range(self.n_docs):
+            c = self.doc_community[doc_id]
+            z = self.doc_topic[doc_id]
+            if z == -1:
+                continue
+            user_community[self._doc_user[doc_id], c] += 1
+            community_topic[c, z] += 1
+            np.add.at(topic_word[z], self._doc_words[doc_id], 1.0)
+        if not (
+            np.array_equal(user_community, self.user_community)
+            and np.array_equal(community_topic, self.community_topic)
+            and np.array_equal(topic_word, self.topic_word)
+        ):
+            raise AssertionError("count state drifted from assignments")
+        if np.any(self.user_community < 0) or np.any(self.community_topic < 0):
+            raise AssertionError("negative counts in state")

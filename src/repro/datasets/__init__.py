@@ -1,0 +1,25 @@
+"""Dataset substrate: planted-profile synthetic graphs and scenario flavours."""
+
+from .dblp import DBLP_SCALES, dblp_config, dblp_scenario
+from .subsample import subsample_graph
+from .synthetic import (
+    GroundTruth,
+    SyntheticConfig,
+    SyntheticGenerator,
+    generate_synthetic,
+)
+from .twitter import TWITTER_SCALES, twitter_config, twitter_scenario
+
+__all__ = [
+    "DBLP_SCALES",
+    "GroundTruth",
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "TWITTER_SCALES",
+    "dblp_config",
+    "dblp_scenario",
+    "generate_synthetic",
+    "subsample_graph",
+    "twitter_config",
+    "twitter_scenario",
+]

@@ -1,0 +1,93 @@
+"""Graph subsampling for scalability experiments (paper Fig. 10(a)).
+
+"Each value p in the x-axis indicates that we randomly sample (p x 100)
+percents of the total documents, friendship links and diffusion links for
+experiments." Users left without documents are dropped and ids are
+re-densified, as in the preprocessing contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.documents import DiffusionLink, Document, FriendshipLink, User
+from ..graph.social_graph import SocialGraph
+from ..sampling.rng import RngLike, ensure_rng
+
+
+def subsample_graph(graph: SocialGraph, fraction: float, rng: RngLike = None) -> SocialGraph:
+    """A random sub-graph with ``fraction`` of docs and links retained."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    if fraction == 1.0:
+        return graph
+    generator = ensure_rng(rng)
+
+    n_keep_docs = max(1, int(round(fraction * graph.n_documents)))
+    kept_docs = np.sort(
+        generator.choice(graph.n_documents, size=n_keep_docs, replace=False)
+    )
+    kept_doc_set = set(kept_docs.tolist())
+
+    kept_users = sorted(
+        {graph.documents[d].user_id for d in kept_docs}
+    )
+    new_user_id = {old: new for new, old in enumerate(kept_users)}
+    new_doc_id = {int(old): new for new, old in enumerate(kept_docs)}
+
+    users = [
+        User(user_id=new, name=graph.users[old].name)
+        for new, old in enumerate(kept_users)
+    ]
+    documents = []
+    for old in kept_docs:
+        doc = graph.documents[int(old)]
+        new_doc = Document(
+            doc_id=new_doc_id[int(old)],
+            user_id=new_user_id[doc.user_id],
+            words=doc.words,
+            timestamp=doc.timestamp,
+        )
+        documents.append(new_doc)
+        users[new_doc.user_id].doc_ids.append(new_doc.doc_id)
+
+    eligible_friendships = [
+        link
+        for link in graph.friendship_links
+        if link.source in new_user_id and link.target in new_user_id
+    ]
+    n_keep_friend = int(round(fraction * graph.n_friendship_links))
+    if len(eligible_friendships) > n_keep_friend:
+        indices = generator.choice(
+            len(eligible_friendships), size=n_keep_friend, replace=False
+        )
+        eligible_friendships = [eligible_friendships[i] for i in sorted(indices)]
+    friendship_links = [
+        FriendshipLink(new_user_id[l.source], new_user_id[l.target])
+        for l in eligible_friendships
+    ]
+
+    eligible_diffusions = [
+        link
+        for link in graph.diffusion_links
+        if link.source_doc in kept_doc_set and link.target_doc in kept_doc_set
+    ]
+    n_keep_diff = int(round(fraction * graph.n_diffusion_links))
+    if len(eligible_diffusions) > n_keep_diff:
+        indices = generator.choice(
+            len(eligible_diffusions), size=n_keep_diff, replace=False
+        )
+        eligible_diffusions = [eligible_diffusions[i] for i in sorted(indices)]
+    diffusion_links = [
+        DiffusionLink(new_doc_id[l.source_doc], new_doc_id[l.target_doc], l.timestamp)
+        for l in eligible_diffusions
+    ]
+
+    return SocialGraph(
+        users=users,
+        documents=documents,
+        friendship_links=friendship_links,
+        diffusion_links=diffusion_links,
+        vocabulary=graph.vocabulary,
+        name=f"{graph.name}-p{fraction:.2f}",
+    )

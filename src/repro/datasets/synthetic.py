@@ -1,0 +1,483 @@
+"""Planted-profile synthetic social graphs.
+
+The paper evaluates on a 2011 Twitter crawl and a DBLP snapshot — neither
+redistributable nor laptop-sized. This module substitutes them with graphs
+sampled from the CPD generative process itself (paper Sect. 3.2) with known
+ground truth:
+
+* communities with planted content profiles ``theta_c`` over block-structured
+  topics ``phi_z``,
+* homophilous friendship links (denser inside communities — the low
+  conductance assumption of Eq. 3),
+* timestamped diffusion links driven by a planted diffusion profile ``eta``
+  that deliberately contains strong *inter*-community entries (the
+  "weak ties" heterogeneity of Sect. 1), plus a non-conforming fraction
+  driven by topic popularity bursts and target-user celebrity status (the
+  nonconformity factors of Sect. 3.1).
+
+Every code path the real crawls exercise — heterogeneous links, short
+documents, skewed activity, time-varying topic popularity — is exercised
+here, and the planted truth additionally enables recovery tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.documents import DiffusionLink, Document, FriendshipLink, User
+from ..graph.social_graph import SocialGraph
+from ..graph.vocabulary import Vocabulary
+from ..sampling.rng import RngLike, ensure_rng
+
+
+@dataclass
+class SyntheticConfig:
+    """Knobs of the planted-profile generator.
+
+    Defaults give a balanced mid-size graph; the Twitter/DBLP scenario
+    modules override the flavour-specific fields.
+    """
+
+    n_users: int = 120
+    n_communities: int = 6
+    n_topics: int = 12
+    vocabulary_size: int = 400
+    docs_per_user_mean: float = 4.0
+    docs_per_user_skew: float = 0.0
+    doc_length_mean: float = 7.0
+    n_friendship_links: int = 900
+    intra_community_friendship: float = 0.8
+    symmetric_friendship: bool = False
+    n_diffusion_links: int = 700
+    conforming_fraction: float = 0.75
+    n_time_buckets: int = 16
+    temporal_topic_burst: float = 3.0
+    hashtag_probability: float = 0.0
+    retweet_word_copy_fraction: float = 0.0
+    citation_time_lag: bool = False
+    own_topics_per_community: int = 2
+    community_topic_boost: float = 8.0
+    topic_word_block_boost: float = 20.0
+    pi_concentration: float = 0.08
+    pi_primary_boost: float = 4.0
+    cross_community_pairs: int = 4
+    eta_base: float = 0.005
+    eta_self: float = 0.7
+    eta_cross: float = 0.95
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.n_communities < 1 or self.n_topics < 1:
+            raise ValueError("need at least one community and one topic")
+        if self.n_users < 2:
+            raise ValueError("need at least two users")
+        if not 0.0 <= self.conforming_fraction <= 1.0:
+            raise ValueError("conforming_fraction must lie in [0, 1]")
+        if self.n_time_buckets < 1:
+            raise ValueError("need at least one time bucket")
+
+
+@dataclass
+class GroundTruth:
+    """Planted parameters the generator sampled the graph from."""
+
+    pi: np.ndarray
+    theta: np.ndarray
+    phi: np.ndarray
+    eta_intended: np.ndarray
+    eta_realized: np.ndarray
+    doc_community: np.ndarray
+    doc_topic: np.ndarray
+    primary_community: np.ndarray
+    topic_peak_time: np.ndarray
+    hashtag_word_ids: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.theta.shape[0])
+
+    @property
+    def n_topics(self) -> int:
+        return int(self.theta.shape[1])
+
+
+class SyntheticGenerator:
+    """Samples a :class:`SocialGraph` plus :class:`GroundTruth` from a config."""
+
+    def __init__(self, config: SyntheticConfig, rng: RngLike = None) -> None:
+        self.config = config
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------ parameters
+
+    def _sample_phi(self) -> np.ndarray:
+        """Block-structured topic-word distributions: topic z owns a word block."""
+        cfg = self.config
+        phi = np.empty((cfg.n_topics, cfg.vocabulary_size))
+        block = max(1, cfg.vocabulary_size // cfg.n_topics)
+        for z in range(cfg.n_topics):
+            concentration = np.full(cfg.vocabulary_size, 0.05)
+            start = (z * block) % cfg.vocabulary_size
+            concentration[start : start + block] += cfg.topic_word_block_boost / block
+            phi[z] = self.rng.dirichlet(concentration)
+        return phi
+
+    def _sample_theta(self) -> tuple[np.ndarray, list[list[int]]]:
+        """Peaked content profiles: each community owns a few topics."""
+        cfg = self.config
+        theta = np.empty((cfg.n_communities, cfg.n_topics))
+        own_topics: list[list[int]] = []
+        for c in range(cfg.n_communities):
+            topics = [
+                (c * cfg.own_topics_per_community + k) % cfg.n_topics
+                for k in range(cfg.own_topics_per_community)
+            ]
+            own_topics.append(topics)
+            concentration = np.full(cfg.n_topics, 0.15)
+            concentration[topics] += cfg.community_topic_boost
+            theta[c] = self.rng.dirichlet(concentration)
+        return theta, own_topics
+
+    def _sample_pi(self) -> tuple[np.ndarray, np.ndarray]:
+        """Peaked memberships with a designated primary community per user."""
+        cfg = self.config
+        primary = self.rng.integers(0, cfg.n_communities, size=cfg.n_users)
+        # guarantee every community is inhabited so link sampling never starves
+        for c in range(min(cfg.n_communities, cfg.n_users)):
+            primary[c] = c
+        pi = np.empty((cfg.n_users, cfg.n_communities))
+        for u in range(cfg.n_users):
+            concentration = np.full(cfg.n_communities, cfg.pi_concentration)
+            concentration[primary[u]] += cfg.pi_primary_boost
+            pi[u] = self.rng.dirichlet(concentration)
+        return pi, primary
+
+    def _build_eta(self, own_topics: list[list[int]]) -> np.ndarray:
+        """Planted diffusion profile with strong self and cross entries.
+
+        The cross entries implement the paper's weak-ties example: community
+        a diffuses community b's content on one of *b's* own topics (SE
+        citing ML on deep learning), so inter-community diffusion is not
+        uniformly weaker than intra-community diffusion.
+        """
+        cfg = self.config
+        eta = np.full((cfg.n_communities, cfg.n_communities, cfg.n_topics), cfg.eta_base)
+        for c in range(cfg.n_communities):
+            for z in own_topics[c]:
+                eta[c, c, z] = cfg.eta_self
+        if cfg.n_communities > 1:
+            for _ in range(cfg.cross_community_pairs):
+                a, b = self.rng.choice(cfg.n_communities, size=2, replace=False)
+                z = int(self.rng.choice(own_topics[b]))
+                eta[a, b, z] = cfg.eta_cross
+        return eta
+
+    # ------------------------------------------------------------- documents
+
+    def _docs_per_user(self) -> np.ndarray:
+        cfg = self.config
+        if cfg.docs_per_user_skew > 0:
+            raw = self.rng.zipf(1.0 + cfg.docs_per_user_skew, size=cfg.n_users)
+            counts = np.clip(raw, 1, max(2, int(cfg.docs_per_user_mean * 6)))
+            # rescale to the requested mean while preserving the skew shape
+            scale = cfg.docs_per_user_mean / max(counts.mean(), 1e-9)
+            counts = np.maximum(1, np.round(counts * scale)).astype(np.int64)
+        else:
+            counts = 1 + self.rng.poisson(max(cfg.docs_per_user_mean - 1.0, 0.0), size=cfg.n_users)
+        return counts.astype(np.int64)
+
+    def _sample_documents(
+        self,
+        pi: np.ndarray,
+        theta: np.ndarray,
+        phi: np.ndarray,
+        topic_peak: np.ndarray,
+        hashtag_ids: dict[int, int],
+    ) -> tuple[list[Document], np.ndarray, np.ndarray]:
+        cfg = self.config
+        documents: list[Document] = []
+        doc_community: list[int] = []
+        doc_topic: list[int] = []
+        n_docs_per_user = self._docs_per_user()
+        time_spread = cfg.n_time_buckets / cfg.temporal_topic_burst
+        for u in range(cfg.n_users):
+            for _ in range(int(n_docs_per_user[u])):
+                c = int(self.rng.choice(cfg.n_communities, p=pi[u]))
+                z = int(self.rng.choice(cfg.n_topics, p=theta[c]))
+                length = max(2, int(self.rng.poisson(cfg.doc_length_mean)))
+                words = self.rng.choice(cfg.vocabulary_size, size=length, p=phi[z]).tolist()
+                if hashtag_ids and self.rng.random() < cfg.hashtag_probability:
+                    words.append(hashtag_ids[z])
+                timestamp = int(
+                    np.clip(
+                        round(self.rng.normal(topic_peak[z], time_spread)),
+                        0,
+                        cfg.n_time_buckets - 1,
+                    )
+                )
+                documents.append(
+                    Document(
+                        doc_id=len(documents),
+                        user_id=u,
+                        words=np.asarray(words, dtype=np.int64),
+                        timestamp=timestamp,
+                    )
+                )
+                doc_community.append(c)
+                doc_topic.append(z)
+        return (
+            documents,
+            np.asarray(doc_community, dtype=np.int64),
+            np.asarray(doc_topic, dtype=np.int64),
+        )
+
+    # ----------------------------------------------------------------- links
+
+    def _sample_friendships(self, primary: np.ndarray) -> list[FriendshipLink]:
+        cfg = self.config
+        members: list[np.ndarray] = [
+            np.flatnonzero(primary == c) for c in range(cfg.n_communities)
+        ]
+        community_weights = np.asarray([max(len(m), 0) for m in members], dtype=np.float64)
+        multi_member = community_weights >= 2
+        links: set[tuple[int, int]] = set()
+        target = cfg.n_friendship_links
+        attempts = 0
+        max_attempts = target * 50 + 1000
+        while len(links) < target and attempts < max_attempts:
+            attempts += 1
+            intra_possible = multi_member.any()
+            if intra_possible and self.rng.random() < cfg.intra_community_friendship:
+                weights = np.where(multi_member, community_weights, 0.0)
+                c = int(self.rng.choice(cfg.n_communities, p=weights / weights.sum()))
+                u, v = self.rng.choice(members[c], size=2, replace=False)
+            else:
+                u, v = self.rng.choice(cfg.n_users, size=2, replace=False)
+            u, v = int(u), int(v)
+            links.add((u, v))
+            if cfg.symmetric_friendship:
+                links.add((v, u))
+        return [FriendshipLink(u, v) for u, v in sorted(links)]
+
+    def _group_docs(
+        self, doc_community: np.ndarray, doc_topic: np.ndarray
+    ) -> tuple[dict[tuple[int, int], np.ndarray], dict[int, np.ndarray]]:
+        by_community_topic: dict[tuple[int, int], np.ndarray] = {}
+        by_topic: dict[int, np.ndarray] = {}
+        for z in range(self.config.n_topics):
+            in_topic = np.flatnonzero(doc_topic == z)
+            if in_topic.size:
+                by_topic[z] = in_topic
+            for c in range(self.config.n_communities):
+                ids = in_topic[doc_community[in_topic] == c]
+                if ids.size:
+                    by_community_topic[(c, z)] = ids
+        return by_community_topic, by_topic
+
+    def _sample_diffusions(
+        self,
+        documents: list[Document],
+        doc_community: np.ndarray,
+        doc_topic: np.ndarray,
+        eta: np.ndarray,
+        follower_counts: np.ndarray,
+    ) -> list[DiffusionLink]:
+        cfg = self.config
+        by_community_topic, by_topic = self._group_docs(doc_community, doc_topic)
+        doc_user = np.asarray([doc.user_id for doc in documents], dtype=np.int64)
+        doc_time = np.asarray([doc.timestamp for doc in documents], dtype=np.int64)
+
+        # availability-masked eta: only (c, c', z) cells with documents on both ends
+        weights = np.array(eta, copy=True)
+        for c in range(cfg.n_communities):
+            for c2 in range(cfg.n_communities):
+                for z in range(cfg.n_topics):
+                    if (c, z) not in by_community_topic or (c2, z) not in by_community_topic:
+                        weights[c, c2, z] = 0.0
+        flat = weights.reshape(-1)
+        topic_sizes = np.asarray(
+            [by_topic.get(z, np.empty(0)).size for z in range(cfg.n_topics)],
+            dtype=np.float64,
+        )
+
+        # burstiness: diffusion prefers source documents published while their
+        # topic is hot — this plants the ``n_tz`` signal of Sect. 3.1
+        time_topic_counts = np.zeros((int(doc_time.max()) + 1, cfg.n_topics))
+        for t, z in zip(doc_time, doc_topic):
+            time_topic_counts[t, z] += 1.0
+        burst = time_topic_counts[doc_time, doc_topic] ** 2
+
+        links: dict[tuple[int, int], int] = {}
+        target = cfg.n_diffusion_links
+        attempts = 0
+        max_attempts = target * 60 + 2000
+        celebrity = follower_counts.astype(np.float64) + 1.0
+        flat_p = flat / flat.sum() if flat.sum() > 0 else None
+        while len(links) < target and attempts < max_attempts:
+            attempts += 1
+            # Conforming links are explained purely by the community profile;
+            # non-conforming links by the nonconformity factors (topic burst
+            # for the source, celebrity preference for the target). Keeping
+            # the factors on disjoint link populations is what lets the
+            # ablations of Sect. 6.2 show their paper-shaped gaps.
+            if flat_p is not None and self.rng.random() < cfg.conforming_fraction:
+                cell = int(self.rng.choice(flat.size, p=flat_p))
+                c, rest = divmod(cell, cfg.n_communities * cfg.n_topics)
+                c2, z = divmod(rest, cfg.n_topics)
+                sources = by_community_topic[(c, z)]
+                targets = by_community_topic[(c2, z)]
+                i = int(self.rng.choice(sources))
+                # mild celebrity preference even on conforming links: famous
+                # authors are cited a bit more everywhere (Fig. 5(a))
+                target_weights = np.sqrt(celebrity[doc_user[targets]])
+                j = int(self.rng.choice(targets, p=target_weights / target_weights.sum()))
+            else:
+                if topic_sizes.sum() == 0:
+                    break
+                z = int(self.rng.choice(cfg.n_topics, p=topic_sizes / topic_sizes.sum()))
+                sources = by_topic[z]
+                targets = by_topic[z]
+                source_weights = burst[sources]
+                if source_weights.sum() <= 0:
+                    continue
+                i = int(self.rng.choice(sources, p=source_weights / source_weights.sum()))
+                target_weights = celebrity[doc_user[targets]] ** 2
+                j = int(self.rng.choice(targets, p=target_weights / target_weights.sum()))
+            if i == j or doc_user[i] == doc_user[j]:
+                continue
+            if cfg.citation_time_lag and doc_time[j] > doc_time[i]:
+                continue
+            links[(i, j)] = int(doc_time[i])
+        return [DiffusionLink(i, j, t) for (i, j), t in sorted(links.items())]
+
+    def _apply_retweet_copying(
+        self, documents: list[Document], links: list[DiffusionLink]
+    ) -> list[Document]:
+        """Make diffusing documents near-copies of their targets (tweets/RTs)."""
+        fraction = self.config.retweet_word_copy_fraction
+        if fraction <= 0:
+            return documents
+        mutable = {doc.doc_id: doc for doc in documents}
+        for link in links:
+            source = mutable[link.source_doc]
+            target = mutable[link.target_doc]
+            n_copy = int(round(fraction * len(source.words)))
+            if n_copy == 0 or len(target.words) == 0:
+                continue
+            copied = self.rng.choice(target.words, size=n_copy)
+            # drop from the front: hashtags sit at the end and must survive
+            kept = source.words[min(n_copy, len(source.words) - 1):]
+            mutable[link.source_doc] = Document(
+                doc_id=source.doc_id,
+                user_id=source.user_id,
+                words=np.concatenate([kept, copied]),
+                timestamp=source.timestamp,
+            )
+        return [mutable[doc_id] for doc_id in range(len(documents))]
+
+    # -------------------------------------------------------------- assembly
+
+    def _realized_eta(
+        self,
+        links: list[DiffusionLink],
+        doc_community: np.ndarray,
+        doc_topic: np.ndarray,
+    ) -> np.ndarray:
+        cfg = self.config
+        counts = np.zeros((cfg.n_communities, cfg.n_communities, cfg.n_topics))
+        for link in links:
+            c = doc_community[link.source_doc]
+            c2 = doc_community[link.target_doc]
+            z = doc_topic[link.source_doc]
+            counts[c, c2, z] += 1.0
+        total = counts.sum()
+        return counts / total if total > 0 else counts
+
+    def _build_vocabulary(self, hashtag_ids: dict[int, int]) -> Vocabulary:
+        vocabulary = Vocabulary()
+        width = len(str(max(self.config.vocabulary_size - 1, 1)))
+        for w in range(self.config.vocabulary_size):
+            vocabulary.add(f"w{w:0{width}d}", 0)
+        for z in sorted(hashtag_ids):
+            vocabulary.add(f"#topic{z}", 0)
+        return vocabulary
+
+    def generate(self) -> tuple[SocialGraph, GroundTruth]:
+        """Sample one graph + ground truth pair."""
+        cfg = self.config
+        phi = self._sample_phi()
+        theta, own_topics = self._sample_theta()
+        pi, primary = self._sample_pi()
+        eta_intended = self._build_eta(own_topics)
+        topic_peak = self.rng.integers(0, cfg.n_time_buckets, size=cfg.n_topics)
+
+        hashtag_ids: dict[int, int] = {}
+        if cfg.hashtag_probability > 0:
+            hashtag_ids = {z: cfg.vocabulary_size + z for z in range(cfg.n_topics)}
+
+        documents, doc_community, doc_topic = self._sample_documents(
+            pi, theta, phi, topic_peak, hashtag_ids
+        )
+        friendship_links = self._sample_friendships(primary)
+
+        follower_counts = np.zeros(cfg.n_users, dtype=np.int64)
+        for link in friendship_links:
+            follower_counts[link.target] += 1
+
+        diffusion_links = self._sample_diffusions(
+            documents, doc_community, doc_topic, eta_intended, follower_counts
+        )
+        documents = self._apply_retweet_copying(documents, diffusion_links)
+
+        vocabulary = self._build_vocabulary(hashtag_ids)
+        users = [User(user_id=u, name=f"user-{u}") for u in range(cfg.n_users)]
+        for doc in documents:
+            users[doc.user_id].doc_ids.append(doc.doc_id)
+        for word_id, frequency in _word_frequencies(documents, len(vocabulary)).items():
+            vocabulary.add(vocabulary.word_of(word_id), frequency)
+
+        graph = SocialGraph(
+            users=users,
+            documents=documents,
+            friendship_links=friendship_links,
+            diffusion_links=diffusion_links,
+            vocabulary=vocabulary,
+            name=cfg.name,
+        )
+        # ground-truth phi over the full vocabulary (hashtags get tiny mass)
+        if hashtag_ids:
+            full_phi = np.full((cfg.n_topics, len(vocabulary)), 1e-12)
+            full_phi[:, : cfg.vocabulary_size] = phi
+            for z, word_id in hashtag_ids.items():
+                full_phi[z, word_id] = cfg.hashtag_probability
+            full_phi /= full_phi.sum(axis=1, keepdims=True)
+            phi = full_phi
+        truth = GroundTruth(
+            pi=pi,
+            theta=theta,
+            phi=phi,
+            eta_intended=eta_intended,
+            eta_realized=self._realized_eta(diffusion_links, doc_community, doc_topic),
+            doc_community=doc_community,
+            doc_topic=doc_topic,
+            primary_community=primary,
+            topic_peak_time=topic_peak,
+            hashtag_word_ids=hashtag_ids,
+        )
+        return graph, truth
+
+
+def _word_frequencies(documents: list[Document], n_words: int) -> dict[int, int]:
+    counts = np.zeros(n_words, dtype=np.int64)
+    for doc in documents:
+        np.add.at(counts, doc.words, 1)
+    return {int(w): int(c) for w, c in enumerate(counts) if c > 0}
+
+
+def generate_synthetic(
+    config: SyntheticConfig | None = None, rng: RngLike = None
+) -> tuple[SocialGraph, GroundTruth]:
+    """Convenience wrapper: sample one planted-profile social graph."""
+    return SyntheticGenerator(config or SyntheticConfig(), rng).generate()

@@ -1,0 +1,76 @@
+"""Twitter-flavoured synthetic scenario.
+
+Mirrors the *shape* of the paper's Twitter 2011 crawl (Table 3) at laptop
+scale: a directed follower graph, many short documents per user with a
+heavily skewed activity distribution, hashtags usable as ranking queries,
+retweets that are near-copies of their source (the property that makes
+PMTLM inapplicable to Twitter, Sect. 6.3.1), and more friendship links than
+diffusion links.
+"""
+
+from __future__ import annotations
+
+from ..sampling.rng import RngLike
+from .synthetic import GroundTruth, SyntheticConfig, SyntheticGenerator
+from ..graph.social_graph import SocialGraph
+
+#: Scenario sizes. "tiny" is for unit tests, "small" for benchmarks,
+#: "medium" for examples and longer experiments.
+TWITTER_SCALES: dict[str, dict] = {
+    "tiny": dict(
+        n_users=40,
+        n_communities=4,
+        n_topics=8,
+        vocabulary_size=160,
+        docs_per_user_mean=4.0,
+        n_friendship_links=240,
+        n_diffusion_links=110,
+    ),
+    "small": dict(
+        n_users=120,
+        n_communities=6,
+        n_topics=12,
+        vocabulary_size=360,
+        docs_per_user_mean=6.0,
+        n_friendship_links=1100,
+        n_diffusion_links=420,
+    ),
+    "medium": dict(
+        n_users=260,
+        n_communities=8,
+        n_topics=16,
+        vocabulary_size=600,
+        docs_per_user_mean=8.0,
+        n_friendship_links=3200,
+        n_diffusion_links=1300,
+    ),
+}
+
+
+def twitter_config(scale: str = "small", **overrides) -> SyntheticConfig:
+    """Build the Twitter-flavoured :class:`SyntheticConfig` for ``scale``."""
+    if scale not in TWITTER_SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(TWITTER_SCALES)}")
+    params = dict(
+        name=f"twitter-{scale}",
+        doc_length_mean=6.0,
+        docs_per_user_skew=1.1,
+        symmetric_friendship=False,
+        intra_community_friendship=0.8,
+        conforming_fraction=0.75,
+        n_time_buckets=24,
+        hashtag_probability=0.35,
+        retweet_word_copy_fraction=0.15,
+        citation_time_lag=False,
+        cross_community_pairs=8,
+    )
+    params.update(TWITTER_SCALES[scale])
+    params.update(overrides)
+    return SyntheticConfig(**params)
+
+
+def twitter_scenario(
+    scale: str = "small", rng: RngLike = None, **overrides
+) -> tuple[SocialGraph, GroundTruth]:
+    """Generate the Twitter-flavoured graph and its planted ground truth."""
+    return SyntheticGenerator(twitter_config(scale, **overrides), rng).generate()

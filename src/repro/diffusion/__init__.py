@@ -1,0 +1,19 @@
+"""Diffusion-factor substrate: features, topic popularity, ``nu`` training."""
+
+from .features import UserFeatures
+from .logistic import LogisticFit, LogisticTrainer, LogisticTrainerConfig
+from .negative_sampling import (
+    sample_negative_diffusion_pairs,
+    sample_negative_friendship_pairs,
+)
+from .popularity import TopicPopularity
+
+__all__ = [
+    "LogisticFit",
+    "LogisticTrainer",
+    "LogisticTrainerConfig",
+    "TopicPopularity",
+    "UserFeatures",
+    "sample_negative_diffusion_pairs",
+    "sample_negative_friendship_pairs",
+]

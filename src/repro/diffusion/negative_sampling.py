@@ -1,0 +1,151 @@
+"""Negative-link sampling for training and evaluation.
+
+Two uses in the paper: the ``nu`` M-step "randomly sample[s] the same
+amount of non-observed diffusion links as negative instances" (Sect. 4.2),
+and AUC evaluation samples as many negative links as held-out positives
+(Sect. 6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.social_graph import SocialGraph
+from ..sampling.rng import RngLike, ensure_rng
+
+
+def _shared_word_candidates(
+    graph: SocialGraph, doc_id: int, rng: np.random.Generator, index: dict[int, np.ndarray]
+) -> np.ndarray:
+    """Documents sharing a *rare* word with ``doc_id`` (hard-negative pool).
+
+    Words are drawn with probability inversely proportional to their squared
+    document frequency: rare words are topic-indicative, so the sampled
+    non-link is on-topic and cannot be rejected by surface similarity alone.
+    """
+    words = np.unique(graph.documents[doc_id].words)
+    if len(words) == 0:
+        return np.zeros(0, dtype=np.int64)
+    frequencies = np.asarray(
+        [max(len(index.get(int(w), ())), 1) for w in words], dtype=np.float64
+    )
+    weights = 1.0 / frequencies**2
+    word = int(words[rng.choice(len(words), p=weights / weights.sum())])
+    return index.get(word, np.zeros(0, dtype=np.int64))
+
+
+def build_word_document_index(graph: SocialGraph) -> dict[int, np.ndarray]:
+    """Inverted word -> documents index (hard negative sampling)."""
+    buckets: dict[int, list[int]] = {}
+    for doc in graph.documents:
+        for word in set(int(w) for w in doc.words):
+            buckets.setdefault(word, []).append(doc.doc_id)
+    return {word: np.asarray(ids, dtype=np.int64) for word, ids in buckets.items()}
+
+
+def sample_negative_diffusion_pairs(
+    graph: SocialGraph,
+    n_samples: int,
+    rng: RngLike = None,
+    exclude: set[tuple[int, int]] | None = None,
+    allow_fewer: bool = False,
+    hard_fraction: float = 0.5,
+    word_index: dict[int, np.ndarray] | None = None,
+    timestamp_mode: str = "uniform",
+) -> list[tuple[int, int, int]]:
+    """Sample ``(source_doc, target_doc, timestamp)`` triples absent from E.
+
+    Pairs between documents of the same user are rejected (they cannot carry
+    a diffusion decision), as are observed pairs and anything in ``exclude``.
+
+    A non-observed link ``E^t_ij = 0`` is a (pair, time) event: with the
+    default ``timestamp_mode="uniform"`` negatives get a uniform random time
+    bucket, so the topic-popularity factor ``n_tz`` can discriminate
+    diffusions (which happen while their topic trends) from non-events.
+    ``timestamp_mode="source"`` stamps the source document's time instead.
+
+    ``hard_fraction`` of the negatives are *content-plausible*: the two
+    documents share at least one word. Purely uniform negatives are almost
+    always off-topic, which lets raw content similarity solve the task and
+    hides the community/diffusion structure the paper evaluates; mixing in
+    shared-word non-links keeps the discrimination problem about *who
+    diffuses whom*, not *what looks alike* (DESIGN.md §3).
+    """
+    generator = ensure_rng(rng)
+    if not 0.0 <= hard_fraction <= 1.0:
+        raise ValueError("hard_fraction must lie in [0, 1]")
+    if timestamp_mode not in ("uniform", "source"):
+        raise ValueError("timestamp_mode must be 'uniform' or 'source'")
+    max_time = max((doc.timestamp for doc in graph.documents), default=0)
+    observed = graph.diffusion_pairs()
+    if exclude:
+        observed = observed | exclude
+    doc_user = graph.document_user_array()
+    n_docs = graph.n_documents
+    if n_docs < 2:
+        raise ValueError("need at least two documents to sample negatives")
+    if hard_fraction > 0 and word_index is None:
+        word_index = build_word_document_index(graph)
+
+    negatives: list[tuple[int, int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    max_attempts = n_samples * 100 + 1000
+    attempts = 0
+    while len(negatives) < n_samples and attempts < max_attempts:
+        attempts += 1
+        i = int(generator.integers(0, n_docs))
+        if generator.random() < hard_fraction:
+            pool = _shared_word_candidates(graph, i, generator, word_index)
+            if len(pool) == 0:
+                continue
+            j = int(pool[generator.integers(0, len(pool))])
+        else:
+            j = int(generator.integers(0, n_docs))
+        if i == j or doc_user[i] == doc_user[j]:
+            continue
+        if (i, j) in observed or (i, j) in seen:
+            continue
+        seen.add((i, j))
+        if timestamp_mode == "uniform":
+            timestamp = int(generator.integers(0, max_time + 1))
+        else:
+            timestamp = graph.documents[i].timestamp
+        negatives.append((i, j, timestamp))
+    if len(negatives) < n_samples and not allow_fewer:
+        raise RuntimeError(
+            f"could only sample {len(negatives)}/{n_samples} negative diffusion pairs"
+        )
+    return negatives
+
+
+def sample_negative_friendship_pairs(
+    graph: SocialGraph,
+    n_samples: int,
+    rng: RngLike = None,
+    exclude: set[tuple[int, int]] | None = None,
+) -> list[tuple[int, int]]:
+    """Sample directed user pairs absent from F (friendship AUC negatives)."""
+    generator = ensure_rng(rng)
+    observed = graph.friendship_pairs()
+    if exclude:
+        observed = observed | exclude
+    n_users = graph.n_users
+    if n_users < 2:
+        raise ValueError("need at least two users to sample negatives")
+    negatives: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    max_attempts = n_samples * 100 + 1000
+    attempts = 0
+    while len(negatives) < n_samples and attempts < max_attempts:
+        attempts += 1
+        u = int(generator.integers(0, n_users))
+        v = int(generator.integers(0, n_users))
+        if u == v or (u, v) in observed or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        negatives.append((u, v))
+    if len(negatives) < n_samples:
+        raise RuntimeError(
+            f"could only sample {len(negatives)}/{n_samples} negative friendship pairs"
+        )
+    return negatives

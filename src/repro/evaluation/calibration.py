@@ -1,0 +1,106 @@
+"""Probability calibration of diffusion predictions.
+
+AUC (the paper's metric) only ranks; a deployed "will user u retweet this"
+predictor also needs calibrated probabilities. This module adds the Brier
+score and a reliability-diagram binning so the predictor of Eq. 18 can be
+audited as a probability model, not just a ranker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def brier_score(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared error between predicted probabilities and outcomes."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities and labels must align")
+    if probabilities.size == 0:
+        raise ValueError("need at least one prediction")
+    if np.any((probabilities < 0) | (probabilities > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return float(((probabilities - labels) ** 2).mean())
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of the reliability diagram."""
+
+    lower: float
+    upper: float
+    n_examples: int
+    mean_probability: float
+    fraction_positive: float
+
+    @property
+    def gap(self) -> float:
+        """Calibration gap of this bin (prediction minus outcome rate)."""
+        return self.mean_probability - self.fraction_positive
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Reliability diagram plus scalar calibration summaries."""
+
+    bins: list[ReliabilityBin]
+    brier: float
+    expected_calibration_error: float
+
+    def describe(self) -> str:
+        lines = [
+            f"Brier score {self.brier:.4f}, ECE {self.expected_calibration_error:.4f}"
+        ]
+        for bin_ in self.bins:
+            if bin_.n_examples == 0:
+                continue
+            lines.append(
+                f"  [{bin_.lower:.1f}, {bin_.upper:.1f}): n={bin_.n_examples:4d} "
+                f"predicted {bin_.mean_probability:.3f} observed {bin_.fraction_positive:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def calibration_report(
+    probabilities: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> CalibrationReport:
+    """Equal-width reliability binning with expected calibration error."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    brier = brier_score(probabilities, labels)
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: list[ReliabilityBin] = []
+    weighted_gap = 0.0
+    for b in range(n_bins):
+        lower, upper = float(edges[b]), float(edges[b + 1])
+        if b == n_bins - 1:
+            mask = (probabilities >= lower) & (probabilities <= upper)
+        else:
+            mask = (probabilities >= lower) & (probabilities < upper)
+        count = int(mask.sum())
+        if count:
+            mean_probability = float(probabilities[mask].mean())
+            fraction_positive = float(labels[mask].mean())
+            weighted_gap += count * abs(mean_probability - fraction_positive)
+        else:
+            mean_probability = (lower + upper) / 2.0
+            fraction_positive = float("nan")
+        bins.append(
+            ReliabilityBin(
+                lower=lower,
+                upper=upper,
+                n_examples=count,
+                mean_probability=mean_probability,
+                fraction_positive=fraction_positive,
+            )
+        )
+    ece = weighted_gap / probabilities.size
+    return CalibrationReport(
+        bins=bins, brier=brier, expected_calibration_error=float(ece)
+    )

@@ -1,0 +1,69 @@
+"""Conductance of detected communities (paper Sect. 6.1, Figs. 3 & 9).
+
+Conductance of a user set S is ``cut(S, S_bar) / min(vol(S), vol(S_bar))``
+over the friendship graph. Following the paper (which follows [17]), each
+user is assigned to her top five communities, and the reported score is the
+average conductance across communities. Smaller is better.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.social_graph import SocialGraph
+
+
+def set_conductance(graph: SocialGraph, members: np.ndarray) -> float:
+    """Conductance of one user set over the undirected friendship graph.
+
+    Degenerate sets (empty, all users, or zero volume) score 1.0 — the worst
+    value — so algorithms cannot win by emitting empty communities.
+    """
+    member_mask = np.zeros(graph.n_users, dtype=bool)
+    member_mask[np.asarray(members, dtype=np.int64)] = True
+    n_inside = int(member_mask.sum())
+    if n_inside == 0 or n_inside == graph.n_users:
+        return 1.0
+    cut = 0
+    volume_inside = 0
+    volume_outside = 0
+    for link in graph.friendship_links:
+        inside_s = member_mask[link.source]
+        inside_t = member_mask[link.target]
+        if inside_s != inside_t:
+            cut += 1
+        if inside_s:
+            volume_inside += 1
+        else:
+            volume_outside += 1
+        if inside_t:
+            volume_inside += 1
+        else:
+            volume_outside += 1
+    denominator = min(volume_inside, volume_outside)
+    if denominator == 0:
+        return 1.0
+    return cut / denominator
+
+
+def average_conductance(
+    graph: SocialGraph,
+    memberships: np.ndarray,
+    top_k: int = 5,
+) -> float:
+    """Mean conductance over communities under top-``k`` soft assignment.
+
+    ``memberships`` is the (U, C) probability matrix ``pi``; each user joins
+    her ``k`` most probable communities, exactly the paper's protocol.
+    """
+    memberships = np.asarray(memberships, dtype=np.float64)
+    if memberships.ndim != 2 or memberships.shape[0] != graph.n_users:
+        raise ValueError("memberships must be a (n_users, n_communities) matrix")
+    n_communities = memberships.shape[1]
+    k = min(top_k, n_communities)
+    top = np.argsort(-memberships, axis=1)[:, :k]
+    scores = []
+    for community in range(n_communities):
+        members = np.flatnonzero((top == community).any(axis=1))
+        scores.append(set_conductance(graph, members))
+    return float(np.mean(scores))

@@ -1,0 +1,104 @@
+"""Model selection: choosing |C| and |Z|.
+
+The paper sweeps |C| over {20, 50, 100, 150} and reports every point; a
+library user usually wants one number back. This module fits CPD across a
+sweep and selects by a weighted combination of the paper's own quality
+criteria: content perplexity (profile quality) and conductance (detection
+quality), both normalised within the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.config import CPDConfig
+from ..core.model import CPDModel
+from ..core.result import CPDResult
+from ..graph.social_graph import SocialGraph
+from ..sampling.rng import RngLike, ensure_rng
+from .conductance import average_conductance
+from .perplexity import content_perplexity
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Quality scores of one fitted sweep configuration."""
+
+    n_communities: int
+    perplexity: float
+    conductance: float
+    combined: float
+    result: CPDResult
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """All sweep points plus the selected one."""
+
+    points: list[SweepPoint]
+    selected: SweepPoint
+
+    def table(self) -> list[tuple[int, float, float, float]]:
+        return [
+            (p.n_communities, p.perplexity, p.conductance, p.combined)
+            for p in self.points
+        ]
+
+
+def _normalise(values: np.ndarray) -> np.ndarray:
+    """Min-max to [0, 1]; constant series map to 0 (no preference)."""
+    low, high = float(values.min()), float(values.max())
+    if high - low < 1e-12:
+        return np.zeros_like(values)
+    return (values - low) / (high - low)
+
+
+def select_n_communities(
+    graph: SocialGraph,
+    candidates: Sequence[int],
+    base_config: CPDConfig | None = None,
+    perplexity_weight: float = 0.5,
+    top_k: int = 1,
+    rng: RngLike = None,
+) -> SweepOutcome:
+    """Fit CPD for every candidate |C| and pick the best combined score.
+
+    Both criteria are lower-better; ``combined`` is the convex combination
+    of their within-sweep min-max normalisations with ``perplexity_weight``
+    on perplexity.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    if not 0.0 <= perplexity_weight <= 1.0:
+        raise ValueError("perplexity_weight must lie in [0, 1]")
+    generator = ensure_rng(rng)
+    if base_config is None:
+        base_config = CPDConfig(n_communities=candidates[0], n_topics=12, rho=0.5, alpha=0.5)
+
+    fits = []
+    for n_communities in candidates:
+        config = base_config.with_overrides(n_communities=n_communities)
+        result = CPDModel(config, rng=generator).fit(graph)
+        perplexity = content_perplexity(graph, result.pi, result.theta, result.phi)
+        conductance = average_conductance(graph, result.pi, top_k=top_k)
+        fits.append((n_communities, perplexity, conductance, result))
+
+    perplexities = _normalise(np.asarray([f[1] for f in fits]))
+    conductances = _normalise(np.asarray([f[2] for f in fits]))
+    combined = perplexity_weight * perplexities + (1 - perplexity_weight) * conductances
+
+    points = [
+        SweepPoint(
+            n_communities=fits[i][0],
+            perplexity=fits[i][1],
+            conductance=fits[i][2],
+            combined=float(combined[i]),
+            result=fits[i][3],
+        )
+        for i in range(len(fits))
+    ]
+    selected = min(points, key=lambda p: p.combined)
+    return SweepOutcome(points=points, selected=selected)

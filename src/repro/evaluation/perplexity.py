@@ -1,0 +1,51 @@
+"""Content-profile perplexity (paper Fig. 8).
+
+Perplexity measures how well the community content profiles generate the
+observed user content: ``exp(-sum_d sum_w log p(w|u_d) / n_tokens)`` with
+``p(w|u) = sum_c pi_uc sum_z theta_cz phi_zw``. Same definition as [17];
+lower is better. The paper's Fig. 8 shows joint CPD beating "first detect,
+then aggregate" baselines by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.social_graph import SocialGraph
+
+
+def content_perplexity(
+    graph: SocialGraph,
+    pi: np.ndarray,
+    theta: np.ndarray,
+    phi: np.ndarray,
+    doc_ids: np.ndarray | None = None,
+) -> float:
+    """Perplexity of (a subset of) the corpus under a content profile."""
+    pi = np.asarray(pi, dtype=np.float64)
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    if pi.shape[0] != graph.n_users:
+        raise ValueError("pi must have one row per user")
+    if pi.shape[1] != theta.shape[0]:
+        raise ValueError("pi columns must match theta rows")
+    if theta.shape[1] != phi.shape[0]:
+        raise ValueError("theta columns must match phi rows")
+
+    # per-user word distribution p(w|u), computed once per user
+    user_word = pi @ theta @ phi  # (U, W)
+    log_user_word = np.log(np.maximum(user_word, 1e-300))
+
+    if doc_ids is None:
+        doc_ids = np.arange(graph.n_documents)
+    log_likelihood = 0.0
+    n_tokens = 0
+    for doc_id in doc_ids:
+        doc = graph.documents[int(doc_id)]
+        if len(doc.words) == 0:
+            continue
+        log_likelihood += float(log_user_word[doc.user_id, doc.words].sum())
+        n_tokens += len(doc.words)
+    if n_tokens == 0:
+        raise ValueError("cannot compute perplexity without tokens")
+    return float(np.exp(-log_likelihood / n_tokens))

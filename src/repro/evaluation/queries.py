@@ -1,0 +1,106 @@
+"""Ranking-query selection (paper Sect. 6.3.2 guidelines).
+
+Queries are single terms that (1) are easy to assess — hashtags on Twitter,
+plain words on DBLP; (2) are meaningful — the top-N most frequent words are
+removed on DBLP; (3) appear in *diffused* content with at least a minimum
+frequency. For each query the relevant user set ``U*_q`` contains the users
+whose diffusing documents mention the query.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.social_graph import SocialGraph
+
+
+@dataclass(frozen=True)
+class Query:
+    """One ranking query with its ground-truth relevant users."""
+
+    term: str
+    word_id: int
+    frequency: int
+    relevant_users: np.ndarray
+
+
+def _diffusing_documents(graph: SocialGraph) -> set[int]:
+    """Documents that are the source of at least one diffusion link."""
+    return {link.source_doc for link in graph.diffusion_links}
+
+
+def select_queries(
+    graph: SocialGraph,
+    min_frequency: int = 5,
+    hashtags_only: bool = False,
+    remove_top_frequent: int = 0,
+    max_queries: int | None = None,
+) -> list[Query]:
+    """Select queries and their relevant users from diffused content.
+
+    ``hashtags_only`` mirrors the Twitter guideline; ``remove_top_frequent``
+    mirrors the DBLP guideline of dropping the 1,000 most frequent words
+    (scaled down for synthetic corpora).
+    """
+    diffusing = _diffusing_documents(graph)
+    if not diffusing:
+        return []
+
+    frequency: Counter[int] = Counter()
+    users_by_word: dict[int, set[int]] = defaultdict(set)
+    for doc_id in diffusing:
+        doc = graph.documents[doc_id]
+        for word_id in set(int(w) for w in doc.words):
+            frequency[word_id] += 1
+            users_by_word[word_id].add(doc.user_id)
+
+    banned: set[int] = set()
+    if remove_top_frequent > 0:
+        for word, _count in graph.vocabulary.top_words(remove_top_frequent):
+            banned.add(graph.vocabulary.id_of(word))
+
+    queries: list[Query] = []
+    for word_id, count in frequency.most_common():
+        if count < min_frequency:
+            break
+        if word_id in banned:
+            continue
+        term = graph.vocabulary.word_of(word_id)
+        if hashtags_only and not term.startswith("#"):
+            continue
+        queries.append(
+            Query(
+                term=term,
+                word_id=word_id,
+                frequency=count,
+                relevant_users=np.asarray(sorted(users_by_word[word_id]), dtype=np.int64),
+            )
+        )
+        if max_queries is not None and len(queries) >= max_queries:
+            break
+    return queries
+
+
+def queries_by_frequency_band(
+    queries: list[Query], n_bands: int = 5
+) -> list[list[Query]]:
+    """Split queries into equal-width frequency intervals (Sect. 6.3.2's
+    query-subset robustness check)."""
+    if not queries:
+        return [[] for _ in range(n_bands)]
+    frequencies = np.asarray([q.frequency for q in queries], dtype=np.float64)
+    low, high = frequencies.min(), frequencies.max()
+    if high == low:
+        bands: list[list[Query]] = [[] for _ in range(n_bands)]
+        bands[0] = list(queries)
+        return bands
+    edges = np.linspace(low, high, n_bands + 1)
+    bands = [[] for _ in range(n_bands)]
+    for query in queries:
+        band = int(np.searchsorted(edges, query.frequency, side="right") - 1)
+        band = min(max(band, 0), n_bands - 1)
+        bands[band].append(query)
+    return bands

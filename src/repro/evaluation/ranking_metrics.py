@@ -1,0 +1,119 @@
+"""Community-ranking metrics: MAP@K, MAR@K, MAF@K (paper Sect. 6.1).
+
+For a query q, the relevant users ``U*_q`` are those who actually diffused
+content containing q. A ranking of communities is scored by how many
+relevant users the union of the top-K communities covers:
+
+    P(K, q) = |U*_q intersec U_K| / |U_K|
+    R(K, q) = |U*_q intersec U_K| / |U*_q|
+
+MAP@K averages ``P(i, q)`` over i = 1..K then over queries; MAR@K does the
+same with recall; MAF@K is their harmonic mean (the curves of Fig. 6 and
+the AP/AR/AF columns of Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def precision_recall_at_k(
+    ranked_communities: list[np.ndarray],
+    relevant_users: np.ndarray,
+    k: int,
+) -> tuple[float, float]:
+    """``(P(K, q), R(K, q))`` for one query.
+
+    ``ranked_communities[i]`` holds the member user ids of the community at
+    rank i+1; members of the top-K communities are unioned.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    relevant = set(int(u) for u in np.asarray(relevant_users).ravel())
+    if not relevant:
+        raise ValueError("the query has no relevant users")
+    union: set[int] = set()
+    for community_members in ranked_communities[:k]:
+        union.update(int(u) for u in np.asarray(community_members).ravel())
+    if not union:
+        return 0.0, 0.0
+    hit = len(relevant & union)
+    return hit / len(union), hit / len(relevant)
+
+
+@dataclass(frozen=True)
+class RankingScores:
+    """MAP/MAR/MAF at each K from 1 to ``max_k``."""
+
+    map_at_k: np.ndarray
+    mar_at_k: np.ndarray
+    maf_at_k: np.ndarray
+
+    @property
+    def max_k(self) -> int:
+        return int(self.map_at_k.shape[0])
+
+    def at(self, k: int) -> tuple[float, float, float]:
+        """``(MAP@k, MAR@k, MAF@k)``."""
+        index = k - 1
+        return (
+            float(self.map_at_k[index]),
+            float(self.mar_at_k[index]),
+            float(self.maf_at_k[index]),
+        )
+
+
+def ranking_scores(
+    per_query_rankings: list[list[np.ndarray]],
+    per_query_relevant: list[np.ndarray],
+    max_k: int = 20,
+) -> RankingScores:
+    """Aggregate MAP/MAR/MAF@K over a query set (the Fig. 6 series).
+
+    ``per_query_rankings[q]`` is the ranked community-member lists for query
+    q; ``per_query_relevant[q]`` its relevant users.
+    """
+    if len(per_query_rankings) != len(per_query_relevant):
+        raise ValueError("rankings and relevance sets must align")
+    if not per_query_rankings:
+        raise ValueError("need at least one query")
+    n_queries = len(per_query_rankings)
+    precision = np.zeros((n_queries, max_k))
+    recall = np.zeros((n_queries, max_k))
+    for q, (ranking, relevant) in enumerate(zip(per_query_rankings, per_query_relevant)):
+        depth = min(max_k, len(ranking))
+        for i in range(depth):
+            p, r = precision_recall_at_k(ranking, relevant, i + 1)
+            precision[q, i] = p
+            recall[q, i] = r
+        if depth < max_k:
+            precision[q, depth:] = precision[q, depth - 1]
+            recall[q, depth:] = recall[q, depth - 1]
+
+    # average precision over ranks 1..K, then over queries (MAP@K definition)
+    steps = np.arange(1, max_k + 1)
+    map_at_k = (np.cumsum(precision, axis=1) / steps).mean(axis=0)
+    mar_at_k = (np.cumsum(recall, axis=1) / steps).mean(axis=0)
+    denominator = np.where(map_at_k + mar_at_k > 0, map_at_k + mar_at_k, 1.0)
+    maf_at_k = 2.0 * map_at_k * mar_at_k / denominator
+    return RankingScores(map_at_k=map_at_k, mar_at_k=mar_at_k, maf_at_k=maf_at_k)
+
+
+def average_precision_recall_f1(
+    ranked_communities: list[np.ndarray],
+    relevant_users: np.ndarray,
+    k: int,
+) -> tuple[float, float, float]:
+    """``AP@K, AR@K, AF@K`` for a single query (the Table 6 columns)."""
+    precisions = []
+    recalls = []
+    for i in range(1, k + 1):
+        p, r = precision_recall_at_k(ranked_communities, relevant_users, i)
+        precisions.append(p)
+        recalls.append(r)
+    ap = float(np.mean(precisions))
+    ar = float(np.mean(recalls))
+    af = 0.0 if ap + ar == 0 else 2.0 * ap * ar / (ap + ar)
+    return ap, ar, af

@@ -1,0 +1,30 @@
+"""Future-work extensions from the paper's Sect. 7: other profile types X
+(user attributes, user sentiments) in the community-profile framework."""
+
+from .attributes import (
+    AttributeProfiler,
+    AttributeSchema,
+    AttributeTable,
+    plant_attributes,
+)
+from .sentiments import (
+    BANDS,
+    SentimentProfile,
+    band_of,
+    score_documents,
+    score_tokens,
+    sentiment_profile,
+)
+
+__all__ = [
+    "AttributeProfiler",
+    "AttributeSchema",
+    "AttributeTable",
+    "BANDS",
+    "SentimentProfile",
+    "band_of",
+    "plant_attributes",
+    "score_documents",
+    "score_tokens",
+    "sentiment_profile",
+]

@@ -1,0 +1,180 @@
+"""Attribute profiles — the paper's first future-work extension (Sect. 7).
+
+The paper defines a community profile as probabilities of "community-X" and
+"community-community-X" and notes that beyond X = content, "other types of
+X's may exist in different networks, e.g., attributes in Facebook". This
+module implements X = categorical user attributes:
+
+* :class:`AttributeTable` — per-user categorical attributes (age band,
+  location, role, ...),
+* :class:`AttributeProfiler` — membership-weighted community-attribute
+  profiles ``p(value | community, attribute)`` with posterior-mean
+  smoothing, attribute prediction for held-out users, and a planted-
+  attribute generator for testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sampling.rng import RngLike, ensure_rng
+
+
+@dataclass
+class AttributeSchema:
+    """Names and cardinalities of the categorical attributes."""
+
+    names: list[str]
+    cardinalities: list[int]
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.cardinalities):
+            raise ValueError("names and cardinalities must align")
+        if any(c < 2 for c in self.cardinalities):
+            raise ValueError("attributes need at least two values")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("attribute names must be unique")
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.names)
+
+    def index_of(self, name: str) -> int:
+        return self.names.index(name)
+
+
+@dataclass
+class AttributeTable:
+    """Dense (n_users, n_attributes) table of categorical value ids.
+
+    ``-1`` marks a missing value; profilers skip those cells.
+    """
+
+    schema: AttributeSchema
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.int64)
+        if self.values.ndim != 2 or self.values.shape[1] != self.schema.n_attributes:
+            raise ValueError("values must be (n_users, n_attributes)")
+        for a, cardinality in enumerate(self.schema.cardinalities):
+            column = self.values[:, a]
+            valid = column[column >= 0]
+            if valid.size and valid.max() >= cardinality:
+                raise ValueError(f"attribute {self.schema.names[a]!r} has out-of-range values")
+
+    @property
+    def n_users(self) -> int:
+        return int(self.values.shape[0])
+
+    def column(self, name: str) -> np.ndarray:
+        return self.values[:, self.schema.index_of(name)]
+
+
+def plant_attributes(
+    pi: np.ndarray,
+    schema: AttributeSchema,
+    concentration: float = 0.3,
+    missing_rate: float = 0.0,
+    rng: RngLike = None,
+) -> tuple[AttributeTable, list[np.ndarray]]:
+    """Sample user attributes from planted community-attribute profiles.
+
+    Each community draws one Dirichlet distribution per attribute; each
+    user samples her values from her membership-mixed distribution. Returns
+    the table plus the planted per-attribute ``(C, V)`` profiles.
+    """
+    generator = ensure_rng(rng)
+    n_users, n_communities = pi.shape
+    planted: list[np.ndarray] = []
+    values = np.empty((n_users, schema.n_attributes), dtype=np.int64)
+    for a, cardinality in enumerate(schema.cardinalities):
+        profile = generator.dirichlet(
+            np.full(cardinality, concentration), size=n_communities
+        )
+        planted.append(profile)
+        mixed = pi @ profile  # (U, V)
+        for user in range(n_users):
+            values[user, a] = int(generator.choice(cardinality, p=mixed[user]))
+    if missing_rate > 0:
+        mask = generator.random(values.shape) < missing_rate
+        values[mask] = -1
+    return AttributeTable(schema=schema, values=values), planted
+
+
+@dataclass
+class AttributeProfiler:
+    """Community-attribute profiles from memberships + attribute table.
+
+    The estimator is the membership-weighted analogue of the paper's
+    "community-X" probability: ``p(v | c, a)`` proportional to
+    ``sum_u pi_uc [x_ua = v]`` with additive smoothing.
+    """
+
+    memberships: np.ndarray
+    table: AttributeTable
+    smoothing: float = 0.1
+    _profiles: list[np.ndarray] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.memberships = np.asarray(self.memberships, dtype=np.float64)
+        if self.memberships.shape[0] != self.table.n_users:
+            raise ValueError("memberships must cover every user in the table")
+        if self.smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self._profiles = self._estimate()
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.memberships.shape[1])
+
+    def _estimate(self) -> list[np.ndarray]:
+        profiles = []
+        for a, cardinality in enumerate(self.table.schema.cardinalities):
+            counts = np.full((self.n_communities, cardinality), self.smoothing)
+            column = self.table.values[:, a]
+            for user in range(self.table.n_users):
+                value = column[user]
+                if value >= 0:
+                    counts[:, value] += self.memberships[user]
+            profiles.append(counts / counts.sum(axis=1, keepdims=True))
+        return profiles
+
+    def profile(self, attribute: str) -> np.ndarray:
+        """``p(value | community)`` matrix for one attribute, shape (C, V)."""
+        return self._profiles[self.table.schema.index_of(attribute)]
+
+    def top_values(self, community: int, attribute: str, n: int = 3) -> list[tuple[int, float]]:
+        """The community's most characteristic values of one attribute."""
+        row = self.profile(attribute)[community]
+        order = np.argsort(-row)[:n]
+        return [(int(v), float(row[v])) for v in order]
+
+    def predict_attribute(self, user: int, attribute: str) -> np.ndarray:
+        """``p(value | user) = sum_c pi_uc p(value | c)`` — attribute inference."""
+        return self.memberships[user] @ self.profile(attribute)
+
+    def prediction_accuracy(self, attribute: str, holdout_users: np.ndarray) -> float:
+        """Top-1 accuracy of attribute prediction on users with known values."""
+        column = self.table.column(attribute)
+        correct = 0
+        total = 0
+        for user in np.asarray(holdout_users, dtype=np.int64):
+            value = column[user]
+            if value < 0:
+                continue
+            predicted = int(np.argmax(self.predict_attribute(int(user), attribute)))
+            correct += int(predicted == value)
+            total += 1
+        if total == 0:
+            raise ValueError("no held-out users with known attribute values")
+        return correct / total
+
+    def distinctiveness(self, attribute: str) -> float:
+        """Mean total-variation distance between community profiles and the
+        population profile — 0 when communities are attribute-blind."""
+        profile = self.profile(attribute)
+        population = profile.mean(axis=0)
+        return float(0.5 * np.abs(profile - population).sum(axis=1).mean())

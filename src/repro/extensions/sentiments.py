@@ -1,0 +1,153 @@
+"""Sentiment profiles — the paper's second future-work extension (Sect. 7).
+
+Implements X = sentiment in the community-profile framework:
+
+* a small, self-contained lexicon scorer (no network access) assigning each
+  document a polarity in [-1, 1],
+* an **internal** sentiment profile: the distribution of a community's
+  document sentiment (``p(sentiment-band | c)`` plus its mean polarity),
+* an **external** sentiment profile: the mean polarity of the diffusion
+  events between each community pair — does community a amplify community
+  b's positive or negative content?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import CPDResult
+from ..graph.social_graph import SocialGraph
+from ..graph.vocabulary import Vocabulary
+
+POSITIVE_WORDS: frozenset[str] = frozenset(
+    """
+    good great excellent amazing awesome love win wins winning best happy
+    beautiful nice fantastic wonderful success successful improve improved
+    improvement efficient effective novel robust strong elegant fast
+    breakthrough promising impressive outstanding superior
+    """.split()
+)
+
+NEGATIVE_WORDS: frozenset[str] = frozenset(
+    """
+    bad terrible awful horrible hate lose loses losing worst sad ugly poor
+    fail failed failure broken slow weak inferior bug buggy crash crashes
+    flaw flawed wrong problem problematic vulnerable attack spam toxic
+    disappointing useless
+    """.split()
+)
+
+#: sentiment bands of the internal profile
+BANDS = ("negative", "neutral", "positive")
+
+
+def score_tokens(tokens: list[str]) -> float:
+    """Lexicon polarity of one token list, in [-1, 1]."""
+    if not tokens:
+        return 0.0
+    positive = sum(1 for token in tokens if token in POSITIVE_WORDS)
+    negative = sum(1 for token in tokens if token in NEGATIVE_WORDS)
+    if positive + negative == 0:
+        return 0.0
+    return (positive - negative) / (positive + negative)
+
+
+def score_documents(graph: SocialGraph) -> np.ndarray:
+    """Polarity per document, decoded through the graph vocabulary."""
+    scores = np.zeros(graph.n_documents)
+    vocabulary: Vocabulary = graph.vocabulary
+    for doc in graph.documents:
+        tokens = [vocabulary.word_of(int(w)) for w in doc.words]
+        scores[doc.doc_id] = score_tokens(tokens)
+    return scores
+
+
+def band_of(score: float, neutral_width: float = 0.15) -> int:
+    """Map a polarity to the index of its band in :data:`BANDS`."""
+    if score < -neutral_width:
+        return 0
+    if score > neutral_width:
+        return 2
+    return 1
+
+
+@dataclass(frozen=True)
+class SentimentProfile:
+    """Internal and external sentiment profiles of all communities."""
+
+    band_distribution: np.ndarray  # (C, 3): p(band | community)
+    mean_polarity: np.ndarray  # (C,)
+    pair_polarity: np.ndarray  # (C, C): mean polarity of diffusions a->b
+    pair_counts: np.ndarray  # (C, C): diffusion events behind each cell
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.mean_polarity.shape[0])
+
+    def most_positive_community(self) -> int:
+        return int(np.argmax(self.mean_polarity))
+
+    def most_negative_community(self) -> int:
+        return int(np.argmin(self.mean_polarity))
+
+    def describe(self) -> str:
+        lines = ["community sentiment profiles:"]
+        for c in range(self.n_communities):
+            bands = ", ".join(
+                f"{name}={self.band_distribution[c, i]:.2f}"
+                for i, name in enumerate(BANDS)
+            )
+            lines.append(
+                f"  c{c:02d} mean polarity {self.mean_polarity[c]:+.3f} ({bands})"
+            )
+        return "\n".join(lines)
+
+
+def sentiment_profile(
+    result: CPDResult,
+    graph: SocialGraph,
+    smoothing: float = 0.5,
+    neutral_width: float = 0.15,
+) -> SentimentProfile:
+    """Estimate internal and external sentiment profiles from a CPD fit.
+
+    Internal: documents vote into their assigned community's band
+    distribution. External: each diffusion link contributes its source
+    document's polarity to the (source community, target community) cell.
+    """
+    scores = score_documents(graph)
+    n_communities = result.n_communities
+
+    band_counts = np.full((n_communities, len(BANDS)), smoothing)
+    polarity_sum = np.zeros(n_communities)
+    polarity_n = np.zeros(n_communities)
+    for doc_id in range(graph.n_documents):
+        community = int(result.doc_community[doc_id])
+        if community < 0:
+            continue
+        band_counts[community, band_of(scores[doc_id], neutral_width)] += 1.0
+        polarity_sum[community] += scores[doc_id]
+        polarity_n[community] += 1.0
+
+    pair_sum = np.zeros((n_communities, n_communities))
+    pair_counts = np.zeros((n_communities, n_communities))
+    for link in graph.diffusion_links:
+        source_c = int(result.doc_community[link.source_doc])
+        target_c = int(result.doc_community[link.target_doc])
+        if source_c < 0 or target_c < 0:
+            continue
+        pair_sum[source_c, target_c] += scores[link.source_doc]
+        pair_counts[source_c, target_c] += 1.0
+
+    with np.errstate(invalid="ignore"):
+        mean_polarity = np.where(polarity_n > 0, polarity_sum / np.maximum(polarity_n, 1), 0.0)
+        pair_polarity = np.where(pair_counts > 0, pair_sum / np.maximum(pair_counts, 1), 0.0)
+
+    return SentimentProfile(
+        band_distribution=band_counts / band_counts.sum(axis=1, keepdims=True),
+        mean_polarity=mean_polarity,
+        pair_polarity=pair_polarity,
+        pair_counts=pair_counts,
+    )

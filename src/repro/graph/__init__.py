@@ -1,0 +1,26 @@
+"""Social-graph substrate: ``G = (U, D, F, E)`` plus vocabulary and IO."""
+
+from .builder import SocialGraphBuilder
+from .documents import DiffusionLink, Document, FriendshipLink, User
+from .io import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .social_graph import GraphStats, SocialGraph
+from .statistics import DegreeSummary, GraphStatistics, compute_statistics
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "DiffusionLink",
+    "Document",
+    "FriendshipLink",
+    "DegreeSummary",
+    "GraphStatistics",
+    "GraphStats",
+    "SocialGraph",
+    "SocialGraphBuilder",
+    "User",
+    "compute_statistics",
+    "Vocabulary",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "save_graph",
+]

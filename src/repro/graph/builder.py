@@ -1,0 +1,170 @@
+"""Incremental construction of a :class:`SocialGraph` from raw records.
+
+The builder applies the paper's preprocessing contract while the graph is
+assembled: documents whose processed text falls under the length floor are
+dropped, users who end up with no documents are removed, and links pointing
+at dropped entities are discarded (Sect. 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..text.pipeline import Preprocessor
+from .documents import DiffusionLink, Document, FriendshipLink, User
+from .social_graph import SocialGraph
+from .vocabulary import Vocabulary
+
+
+class SocialGraphBuilder:
+    """Accumulates users, documents and links, then compacts into a graph."""
+
+    def __init__(
+        self,
+        preprocessor: Optional[Preprocessor] = None,
+        name: str = "social-graph",
+    ) -> None:
+        self._preprocessor = preprocessor
+        self._name = name
+        self._user_names: list[str] = []
+        self._user_key_to_id: dict[object, int] = {}
+        self._doc_tokens: list[list[str]] = []
+        self._doc_user: list[int] = []
+        self._doc_timestamp: list[int] = []
+        self._doc_key_to_id: dict[object, int] = {}
+        self._friendships: set[tuple[int, int]] = set()
+        self._diffusions: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------- additions
+
+    def add_user(self, key: object = None, name: str = "") -> int:
+        """Register a user; ``key`` allows later lookups by external id."""
+        user_id = len(self._user_names)
+        self._user_names.append(name or f"user-{user_id}")
+        if key is not None:
+            if key in self._user_key_to_id:
+                raise ValueError(f"duplicate user key {key!r}")
+            self._user_key_to_id[key] = user_id
+        return user_id
+
+    def user_id(self, key: object) -> int:
+        """Resolve an external user key to the internal id."""
+        return self._user_key_to_id[key]
+
+    def add_document(
+        self,
+        user: int,
+        text: str | Sequence[str],
+        timestamp: int = 0,
+        key: object = None,
+    ) -> int:
+        """Register a document by raw text (preprocessed) or by token list."""
+        if not 0 <= user < len(self._user_names):
+            raise ValueError(f"unknown user id {user}")
+        if isinstance(text, str):
+            if self._preprocessor is None:
+                tokens = text.split()
+            else:
+                tokens = self._preprocessor.process_document(text)
+        else:
+            tokens = list(text)
+        doc_id = len(self._doc_tokens)
+        self._doc_tokens.append(tokens)
+        self._doc_user.append(user)
+        self._doc_timestamp.append(int(timestamp))
+        if key is not None:
+            if key in self._doc_key_to_id:
+                raise ValueError(f"duplicate document key {key!r}")
+            self._doc_key_to_id[key] = doc_id
+        return doc_id
+
+    def doc_id(self, key: object) -> int:
+        """Resolve an external document key to the internal id."""
+        return self._doc_key_to_id[key]
+
+    def add_friendship(self, source: int, target: int) -> None:
+        """Register a directed friendship link ``F_uv``; duplicates collapse."""
+        if source == target:
+            raise ValueError("self-friendship links are not allowed")
+        self._friendships.add((source, target))
+
+    def add_diffusion(self, source_doc: int, target_doc: int, timestamp: Optional[int] = None) -> None:
+        """Register a diffusion link ``E^t_ij``; default timestamp is the source doc's."""
+        if source_doc == target_doc:
+            raise ValueError("self-diffusion links are not allowed")
+        if timestamp is None:
+            timestamp = self._doc_timestamp[source_doc]
+        self._diffusions[(source_doc, target_doc)] = int(timestamp)
+
+    # ----------------------------------------------------------------- build
+
+    def build(self, min_words_per_document: Optional[int] = None) -> SocialGraph:
+        """Compact into a validated :class:`SocialGraph`.
+
+        Applies the paper's filters: short documents out, empty users out,
+        dangling links out; remaining ids are re-densified.
+        """
+        if min_words_per_document is None:
+            if self._preprocessor is not None:
+                min_words_per_document = self._preprocessor.options.min_words_per_document
+            else:
+                min_words_per_document = 1
+
+        doc_kept = [len(tokens) >= min_words_per_document for tokens in self._doc_tokens]
+        user_has_doc = [False] * len(self._user_names)
+        for doc_id, kept in enumerate(doc_kept):
+            if kept:
+                user_has_doc[self._doc_user[doc_id]] = True
+
+        new_user_id = {}
+        users: list[User] = []
+        for old_id, has_doc in enumerate(user_has_doc):
+            if has_doc:
+                new_user_id[old_id] = len(users)
+                users.append(User(user_id=len(users), name=self._user_names[old_id]))
+
+        vocabulary = Vocabulary.from_token_lists(
+            tokens for tokens, kept in zip(self._doc_tokens, doc_kept) if kept
+        )
+
+        new_doc_id = {}
+        documents: list[Document] = []
+        for old_id, kept in enumerate(doc_kept):
+            if not kept:
+                continue
+            owner = new_user_id[self._doc_user[old_id]]
+            words = np.asarray(
+                [vocabulary.id_of(token) for token in self._doc_tokens[old_id]],
+                dtype=np.int64,
+            )
+            new_doc_id[old_id] = len(documents)
+            documents.append(
+                Document(
+                    doc_id=len(documents),
+                    user_id=owner,
+                    words=words,
+                    timestamp=self._doc_timestamp[old_id],
+                )
+            )
+            users[owner].doc_ids.append(len(documents) - 1)
+
+        friendship_links = [
+            FriendshipLink(new_user_id[s], new_user_id[t])
+            for (s, t) in sorted(self._friendships)
+            if s in new_user_id and t in new_user_id
+        ]
+        diffusion_links = [
+            DiffusionLink(new_doc_id[i], new_doc_id[j], t)
+            for (i, j), t in sorted(self._diffusions.items())
+            if i in new_doc_id and j in new_doc_id
+        ]
+        return SocialGraph(
+            users=users,
+            documents=documents,
+            friendship_links=friendship_links,
+            diffusion_links=diffusion_links,
+            vocabulary=vocabulary,
+            name=self._name,
+        )

@@ -1,0 +1,71 @@
+"""Document and link records of the social graph (paper Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Document:
+    """One user-published document ``d_ui`` (a tweet or a paper title).
+
+    ``words`` holds vocabulary ids; ``timestamp`` is the integer time bucket
+    the topic-popularity factor ``n_tz`` is indexed by (Sect. 3.1).
+    """
+
+    doc_id: int
+    user_id: int
+    words: np.ndarray
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        words = np.asarray(self.words, dtype=np.int64)
+        object.__setattr__(self, "words", words)
+        if words.ndim != 1:
+            raise ValueError("words must be a one-dimensional id array")
+
+    def __len__(self) -> int:
+        return int(self.words.shape[0])
+
+
+@dataclass(frozen=True)
+class FriendshipLink:
+    """Directed friendship link ``F_uv`` (follows / co-authors with)."""
+
+    source: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("self-friendship links are not allowed")
+
+
+@dataclass(frozen=True)
+class DiffusionLink:
+    """Directed, timestamped diffusion link ``E^t_ij`` (retweet / citation).
+
+    ``source_doc`` diffuses (retweets/cites) ``target_doc`` at ``timestamp``.
+    """
+
+    source_doc: int
+    target_doc: int
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.source_doc == self.target_doc:
+            raise ValueError("self-diffusion links are not allowed")
+
+
+@dataclass
+class User:
+    """A network user with her published documents."""
+
+    user_id: int
+    name: str = ""
+    doc_ids: list[int] = field(default_factory=list)
+
+    @property
+    def n_documents(self) -> int:
+        return len(self.doc_ids)

@@ -1,0 +1,95 @@
+"""JSON round-trip for :class:`SocialGraph` (sharing and caching datasets)."""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .documents import DiffusionLink, Document, FriendshipLink, User
+from .social_graph import SocialGraph
+from .vocabulary import Vocabulary
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: SocialGraph) -> dict:
+    """Serialise a social graph to plain JSON-compatible types."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "vocabulary": graph.vocabulary.to_dict(),
+        "users": [{"name": user.name} for user in graph.users],
+        "documents": [
+            {
+                "user": doc.user_id,
+                "words": doc.words.tolist(),
+                "timestamp": doc.timestamp,
+            }
+            for doc in graph.documents
+        ],
+        "friendship_links": [[link.source, link.target] for link in graph.friendship_links],
+        "diffusion_links": [
+            [link.source_doc, link.target_doc, link.timestamp]
+            for link in graph.diffusion_links
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> SocialGraph:
+    """Rebuild a social graph serialised by :func:`graph_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported social-graph format version: {version!r}")
+    vocabulary = Vocabulary.from_dict(payload["vocabulary"])
+    users = [
+        User(user_id=index, name=record.get("name", f"user-{index}"))
+        for index, record in enumerate(payload["users"])
+    ]
+    documents = []
+    for index, record in enumerate(payload["documents"]):
+        doc = Document(
+            doc_id=index,
+            user_id=record["user"],
+            words=np.asarray(record["words"], dtype=np.int64),
+            timestamp=record.get("timestamp", 0),
+        )
+        documents.append(doc)
+        users[doc.user_id].doc_ids.append(index)
+    friendship_links = [FriendshipLink(s, t) for s, t in payload["friendship_links"]]
+    diffusion_links = [DiffusionLink(i, j, t) for i, j, t in payload["diffusion_links"]]
+    return SocialGraph(
+        users=users,
+        documents=documents,
+        friendship_links=friendship_links,
+        diffusion_links=diffusion_links,
+        vocabulary=vocabulary,
+        name=payload.get("name", "social-graph"),
+    )
+
+
+def save_graph(graph: SocialGraph, path: PathLike) -> None:
+    """Write a graph as JSON; ``.gz`` suffixes enable transparent gzip."""
+    path = Path(path)
+    payload = json.dumps(graph_to_dict(graph))
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+
+
+def load_graph(path: PathLike) -> SocialGraph:
+    """Load a graph written by :func:`save_graph`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    return graph_from_dict(payload)

@@ -1,0 +1,119 @@
+"""Word <-> integer-id mapping shared by documents and topic models."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class Vocabulary:
+    """Bidirectional word/id mapping with optional frequency tracking.
+
+    Topic-word distributions (``phi_z`` in the paper) are indexed by these
+    ids; the ranking experiments (Sect. 6.3.2) additionally need document
+    frequencies to select queries, so the vocabulary counts occurrences.
+    """
+
+    def __init__(self) -> None:
+        self._word_to_id: dict[str, int] = {}
+        self._id_to_word: list[str] = []
+        self._frequencies: list[int] = []
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    @property
+    def frozen(self) -> bool:
+        """Whether new words are rejected rather than added."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Stop admitting new words; unknown words then raise ``KeyError``."""
+        self._frozen = True
+
+    def add(self, word: str, count: int = 1) -> int:
+        """Register ``word`` (or bump its frequency) and return its id."""
+        if word in self._word_to_id:
+            word_id = self._word_to_id[word]
+            self._frequencies[word_id] += count
+            return word_id
+        if self._frozen:
+            raise KeyError(f"vocabulary is frozen; unknown word {word!r}")
+        word_id = len(self._id_to_word)
+        self._word_to_id[word] = word_id
+        self._id_to_word.append(word)
+        self._frequencies.append(count)
+        return word_id
+
+    def id_of(self, word: str) -> int:
+        """Return the id of ``word``; raises ``KeyError`` when unknown."""
+        return self._word_to_id[word]
+
+    def word_of(self, word_id: int) -> str:
+        """Return the word with id ``word_id``."""
+        return self._id_to_word[word_id]
+
+    def frequency(self, word: str) -> int:
+        """Corpus frequency recorded for ``word`` (0 if unknown)."""
+        word_id = self._word_to_id.get(word)
+        return 0 if word_id is None else self._frequencies[word_id]
+
+    def encode(self, tokens: Iterable[str], grow: bool = True) -> np.ndarray:
+        """Map tokens to an id array, registering new words unless frozen.
+
+        With ``grow=False`` unknown tokens are silently skipped — the
+        behaviour needed when encoding held-out text against a trained model.
+        """
+        ids = []
+        for token in tokens:
+            if grow and not self._frozen:
+                ids.append(self.add(token))
+            elif token in self._word_to_id:
+                word_id = self._word_to_id[token]
+                self._frequencies[word_id] += 1
+                ids.append(word_id)
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Map an id sequence back to words."""
+        return [self._id_to_word[i] for i in ids]
+
+    def top_words(self, n: int) -> list[tuple[str, int]]:
+        """The ``n`` most frequent words with their counts (query filtering)."""
+        order = sorted(
+            range(len(self._id_to_word)),
+            key=lambda i: (-self._frequencies[i], self._id_to_word[i]),
+        )
+        return [(self._id_to_word[i], self._frequencies[i]) for i in order[:n]]
+
+    @classmethod
+    def from_token_lists(cls, documents: Iterable[Iterable[str]]) -> "Vocabulary":
+        """Build a vocabulary from tokenised documents."""
+        vocabulary = cls()
+        counts: Counter[str] = Counter()
+        for tokens in documents:
+            counts.update(tokens)
+        for word, count in sorted(counts.items()):
+            vocabulary.add(word, count)
+        return vocabulary
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (paired with :meth:`from_dict`)."""
+        return {"words": list(self._id_to_word), "frequencies": list(self._frequencies)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Vocabulary":
+        """Rebuild a vocabulary serialised by :meth:`to_dict`."""
+        vocabulary = cls()
+        for word, frequency in zip(payload["words"], payload["frequencies"]):
+            vocabulary.add(word, frequency)
+        return vocabulary

@@ -1,0 +1,125 @@
+"""0-1 knapsack segment allocation (paper Sect. 4.3, Eq. 17).
+
+The paper distributes ``|Z|`` data segments over M threads by solving M
+standard 0-1 knapsack problems: each thread greedily receives the subset of
+remaining segments whose total workload is as close to ``O/M`` as possible
+without exceeding it. An exact dynamic program (weights = values =
+workloads, scaled to integers) solves each knapsack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def solve_knapsack(
+    workloads: np.ndarray, capacity: float, resolution: int = 1000
+) -> list[int]:
+    """Indices of the workload subset maximising total <= ``capacity``.
+
+    Classic subset-sum DP: workloads are scaled to ``resolution`` integer
+    buckets relative to the capacity, so the table stays small regardless
+    of the absolute time units.
+    """
+    workloads = np.asarray(workloads, dtype=np.float64)
+    if np.any(workloads < 0):
+        raise ValueError("workloads must be non-negative")
+    if capacity <= 0 or workloads.size == 0:
+        return []
+    scale = resolution / capacity
+    weights = np.minimum(
+        np.ceil(workloads * scale).astype(np.int64), resolution + 1
+    )
+    weights = np.maximum(weights, 1)  # zero-cost items still occupy a slot
+
+    # best[w] = max scaled load achievable with total scaled weight <= w
+    best = np.full(resolution + 1, -1, dtype=np.int64)
+    best[0] = 0
+    taken = np.zeros((len(weights), resolution + 1), dtype=bool)
+    for item, weight in enumerate(weights):
+        weight = int(weight)
+        for w in range(resolution, weight - 1, -1):
+            candidate = best[w - weight] + weight
+            if best[w - weight] >= 0 and candidate > best[w]:
+                best[w] = candidate
+                taken[item, w] = True
+    target = int(np.argmax(best))
+    if best[target] <= 0:
+        return []
+    chosen: list[int] = []
+    w = target
+    for item in range(len(weights) - 1, -1, -1):
+        if taken[item, w]:
+            chosen.append(item)
+            w -= int(weights[item])
+    chosen.reverse()
+    return chosen
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Segments assigned to each worker plus the estimated per-worker load."""
+
+    assignments: list[list[int]]
+    estimated_loads: np.ndarray
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.assignments)
+
+    def imbalance(self) -> float:
+        """Max/mean load ratio; 1.0 is perfectly balanced."""
+        loads = self.estimated_loads
+        positive = loads[loads > 0]
+        if positive.size == 0:
+            return 1.0
+        return float(loads.max() / positive.mean())
+
+
+def allocate_segments(workloads: np.ndarray, n_workers: int) -> Allocation:
+    """Eq. 17: assign every segment to a worker, balancing total workload.
+
+    Workers are filled one by one with a knapsack capped at ``O/M``; any
+    residue (possible because knapsacks must not exceed capacity) is spread
+    greedily onto the lightest workers.
+    """
+    workloads = np.asarray(workloads, dtype=np.float64)
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    total = float(workloads.sum())
+    capacity = total / n_workers if total > 0 else 1.0
+    remaining = list(range(len(workloads)))
+    assignments: list[list[int]] = []
+    for _worker in range(n_workers - 1):
+        chosen_local = solve_knapsack(workloads[remaining], capacity)
+        chosen = [remaining[i] for i in chosen_local]
+        assignments.append(chosen)
+        remaining = [i for i in remaining if i not in set(chosen)]
+    assignments.append(list(remaining))
+
+    loads = np.asarray(
+        [float(workloads[segment_ids].sum()) for segment_ids in assignments]
+    )
+    # greedy rebalance of stragglers: move the smallest segment of the
+    # heaviest worker to the lightest worker while it helps
+    improved = True
+    while improved:
+        improved = False
+        heavy = int(np.argmax(loads))
+        light = int(np.argmin(loads))
+        if heavy == light or not assignments[heavy]:
+            break
+        candidates = sorted(assignments[heavy], key=lambda i: workloads[i])
+        for segment in candidates:
+            new_heavy = loads[heavy] - workloads[segment]
+            new_light = loads[light] + workloads[segment]
+            if max(new_heavy, new_light) < loads[heavy]:
+                assignments[heavy].remove(segment)
+                assignments[light].append(segment)
+                loads[heavy] = new_heavy
+                loads[light] = new_light
+                improved = True
+                break
+    return Allocation(assignments=assignments, estimated_loads=loads)

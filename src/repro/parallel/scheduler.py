@@ -1,0 +1,109 @@
+"""Workload estimation and segment scheduling (paper Sect. 4.3).
+
+The paper estimates the average processing time per document and per link
+from a serial run, derives per-user workloads (documents + incident links),
+sums them per segment, and knapsack-allocates segments to threads so every
+thread carries about ``O/M``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.gibbs import CPDSampler
+from .knapsack import Allocation, allocate_segments
+from .segmentation import DataSegment
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """Average per-item processing costs measured on a serial run."""
+
+    seconds_per_document: float
+    seconds_per_friendship_link: float
+    seconds_per_diffusion_link: float
+
+    def estimate_segment(self, segment: DataSegment) -> float:
+        """Estimated seconds for one E-step sweep over a segment."""
+        return (
+            segment.n_documents * self.seconds_per_document
+            + segment.n_friendship_links * self.seconds_per_friendship_link
+            + segment.n_diffusion_links * self.seconds_per_diffusion_link
+        )
+
+
+def measure_workload_model(
+    sampler: CPDSampler, probe_documents: int = 50
+) -> WorkloadModel:
+    """Time a small serial probe to calibrate the per-item costs.
+
+    Document cost is measured by sweeping a probe subset; link costs are
+    measured from the augmentation-variable batch draws, scaled per link.
+    """
+    n_docs = sampler.graph.n_documents
+    probe = np.arange(min(probe_documents, n_docs))
+    started = time.perf_counter()
+    sampler.sweep_documents(probe)
+    per_document = (time.perf_counter() - started) / max(len(probe), 1)
+
+    per_friend = 0.0
+    if sampler.n_friend_links:
+        started = time.perf_counter()
+        sampler.sample_lambdas()
+        per_friend = (time.perf_counter() - started) / sampler.n_friend_links
+
+    per_diff = 0.0
+    if sampler.n_diff_links:
+        started = time.perf_counter()
+        sampler.sample_deltas()
+        per_diff = (time.perf_counter() - started) / sampler.n_diff_links
+
+    return WorkloadModel(
+        seconds_per_document=per_document,
+        seconds_per_friendship_link=per_friend,
+        seconds_per_diffusion_link=per_diff,
+    )
+
+
+@dataclass
+class Schedule:
+    """Segments bound to workers, with the loads used to balance them."""
+
+    segments: list[DataSegment]
+    allocation: Allocation
+    segment_workloads: np.ndarray
+
+    @property
+    def n_workers(self) -> int:
+        return self.allocation.n_workers
+
+    def worker_doc_ids(self, worker: int) -> np.ndarray:
+        """All document ids assigned to one worker."""
+        segment_ids = self.allocation.assignments[worker]
+        if not segment_ids:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate([self.segments[s].doc_ids for s in segment_ids])
+
+    def estimated_worker_seconds(self) -> np.ndarray:
+        """Per-worker estimated E-step seconds (the Fig. 11(a) series)."""
+        return self.allocation.estimated_loads
+
+
+def build_schedule(
+    segments: list[DataSegment],
+    workload_model: WorkloadModel,
+    n_workers: int,
+) -> Schedule:
+    """Estimate per-segment workloads and knapsack-allocate them to workers."""
+    if not segments:
+        raise ValueError("need at least one segment")
+    workloads = np.asarray(
+        [workload_model.estimate_segment(segment) for segment in segments]
+    )
+    allocation = allocate_segments(workloads, n_workers)
+    return Schedule(
+        segments=segments, allocation=allocation, segment_workloads=workloads
+    )

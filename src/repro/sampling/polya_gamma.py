@@ -1,0 +1,209 @@
+"""Pólya-Gamma random variables for sigmoid-likelihood data augmentation.
+
+CPD models friendship links (Eq. 3) and diffusion links (Eq. 5) through
+sigmoid functions, which makes the collapsed Gibbs conditionals intractable.
+Following Polson, Scott & Windle (2013) — reference [28] of the paper — the
+sigmoid is rewritten as a Gaussian mixture against a Pólya-Gamma density
+(paper Eq. 7), and the augmented variables ``lambda_uv`` / ``delta_ij`` are
+drawn from their PG(1, c) conditionals (paper Eqs. 15-16).
+
+Two samplers are provided:
+
+* :func:`sample_pg1` — the exact Devroye alternating-series sampler on the
+  exponentially tilted Jacobi density, the method the paper cites.
+* :func:`sample_pg_array` — a vectorised truncated sum-of-gammas sampler
+  (the definitional series in Sect. 4.1) with an analytic mean correction
+  for the dropped tail, used on bulk link arrays where a Python-level
+  rejection loop per link would dominate the E-step.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import log_ndtr
+
+from .rng import RngLike, ensure_rng
+
+#: Devroye's crossover point between the inverse-Gaussian body and the
+#: exponential tail of the Jacobi proposal.
+_TRUNC = 0.64
+
+
+def pg_mean(b: float, z: float) -> float:
+    """Mean of PG(b, z): ``b/(2z) * tanh(z/2)``, with the ``z -> 0`` limit ``b/4``."""
+    if b <= 0:
+        raise ValueError("shape b must be positive")
+    z = abs(z)
+    if z < 1e-8:
+        # tanh(z/2)/(2z) -> 1/4 - z^2/48 + O(z^4)
+        return b * (0.25 - z * z / 48.0)
+    return b * math.tanh(z / 2.0) / (2.0 * z)
+
+
+def pg_variance(b: float, z: float) -> float:
+    """Variance of PG(b, z), with the ``z -> 0`` limit ``b/24``."""
+    if b <= 0:
+        raise ValueError("shape b must be positive")
+    z = abs(z)
+    if z < 1e-4:
+        return b / 24.0
+    cosh_half = math.cosh(z / 2.0)
+    return b * (math.sinh(z) - z) / (4.0 * z**3 * cosh_half**2)
+
+
+def _a_coef(n: int, x: float) -> float:
+    """Devroye's alternating-series coefficients ``a_n(x)`` (piecewise in x)."""
+    if x > _TRUNC:
+        return math.pi * (n + 0.5) * math.exp(-((n + 0.5) ** 2) * math.pi**2 * x / 2.0)
+    return (
+        math.pi
+        * (n + 0.5)
+        * (2.0 / (math.pi * x)) ** 1.5
+        * math.exp(-2.0 * (n + 0.5) ** 2 / x)
+    )
+
+
+def _mass_texpon(z: float) -> float:
+    """Probability mass of the exponential branch of the Jacobi proposal."""
+    t = _TRUNC
+    fz = math.pi**2 / 8.0 + z * z / 2.0
+    right = math.sqrt(1.0 / t) * (t * z - 1.0)
+    left = -math.sqrt(1.0 / t) * (t * z + 1.0)
+    x0 = math.log(fz) + fz * t
+    log_right = x0 - z + log_ndtr(right)
+    log_left = x0 + z + log_ndtr(left)
+    q_over_p = 4.0 / math.pi * (math.exp(log_right) + math.exp(log_left))
+    return 1.0 / (1.0 + q_over_p)
+
+
+def _sample_truncated_inverse_gaussian(z: float, rng: np.random.Generator) -> float:
+    """Draw IG(mu=1/z, lambda=1) restricted to ``(0, _TRUNC)`` (Devroye)."""
+    t = _TRUNC
+    z = abs(z)
+    if z < 1.0 / t:
+        # mean above the truncation point: rejection from the chi-based proposal
+        while True:
+            e1 = rng.exponential()
+            e2 = rng.exponential()
+            while e1 * e1 > 2.0 * e2 / t:
+                e1 = rng.exponential()
+                e2 = rng.exponential()
+            x = t / (1.0 + t * e1) ** 2
+            if rng.random() <= math.exp(-0.5 * z * z * x):
+                return x
+    mu = 1.0 / z
+    while True:
+        y = rng.normal() ** 2
+        mu_y = mu * y
+        x = mu + 0.5 * mu * mu_y - 0.5 * mu * math.sqrt(4.0 * mu_y + mu_y * mu_y)
+        if rng.random() > mu / (mu + x):
+            x = mu * mu / x
+        if x <= t:
+            return x
+
+
+def sample_pg1(z: float, rng: RngLike = None) -> float:
+    """Exact draw from PG(1, z) via Devroye's alternating-series method.
+
+    ``PG(1, z)`` equals one quarter of a Jacobi variable tilted by
+    ``cosh(z/2)``; the proposal mixes a truncated inverse-Gaussian body with
+    an exponential tail, and the alternating partial sums of ``a_n``
+    squeeze-accept the draw.
+    """
+    generator = ensure_rng(rng)
+    half_z = abs(z) * 0.5
+    fz = math.pi**2 / 8.0 + half_z * half_z / 2.0
+    prob_exponential = _mass_texpon(half_z)
+    while True:
+        if generator.random() < prob_exponential:
+            x = _TRUNC + generator.exponential() / fz
+        else:
+            x = _sample_truncated_inverse_gaussian(half_z, generator)
+        series = _a_coef(0, x)
+        threshold = generator.random() * series
+        n = 0
+        while True:
+            n += 1
+            if n % 2 == 1:
+                series -= _a_coef(n, x)
+                if threshold <= series:
+                    return 0.25 * x
+            else:
+                series += _a_coef(n, x)
+                if threshold > series:
+                    break  # reject this proposal, draw a new one
+
+
+def sample_pg(b: int, z: float, rng: RngLike = None) -> float:
+    """Exact draw from PG(b, z) for integer ``b`` as a sum of PG(1, z) draws."""
+    if b < 1 or int(b) != b:
+        raise ValueError("b must be a positive integer")
+    generator = ensure_rng(rng)
+    return float(sum(sample_pg1(z, generator) for _ in range(int(b))))
+
+
+def _series_tail_mean(z: np.ndarray, n_terms: int) -> np.ndarray:
+    """Expected mass of the dropped series tail, computed analytically.
+
+    The definitional series gives ``E[PG(1,z)] = (1/(2 pi^2)) * sum_k
+    1/((k-1/2)^2 + c^2)`` with ``c = z/(2 pi)``; the full sum has the closed
+    form ``(pi/(2c)) tanh(pi c)``, so the expected tail is the difference
+    between the closed form and the retained partial sum.
+    """
+    c = np.abs(z) / (2.0 * math.pi)
+    k = np.arange(1, n_terms + 1, dtype=np.float64)
+    denom = (k - 0.5) ** 2 + c[..., None] ** 2
+    partial = denom.__rtruediv__(1.0).sum(axis=-1)
+    small = c < 1e-8
+    with np.errstate(divide="ignore", invalid="ignore"):
+        full = np.where(small, math.pi**2 / 2.0, (math.pi / (2.0 * np.maximum(c, 1e-300))) * np.tanh(math.pi * c))
+    return (full - partial) / (2.0 * math.pi**2)
+
+
+def sample_pg_array(
+    z: np.ndarray,
+    rng: RngLike = None,
+    n_terms: int = 64,
+) -> np.ndarray:
+    """Vectorised PG(1, z_i) draws via the truncated definitional series.
+
+    Each draw is ``(1/(2 pi^2)) * sum_{k<=K} g_k / ((k-1/2)^2 + z^2/(4 pi^2))``
+    with ``g_k ~ Gamma(1, 1)``, plus the analytic expectation of the dropped
+    tail so the sampler stays unbiased in the mean. With ``K = 64`` the
+    tail holds under 0.2% of the variance, which is negligible against the
+    Monte-Carlo noise of a Gibbs sweep.
+    """
+    generator = ensure_rng(rng)
+    z = np.atleast_1d(np.asarray(z, dtype=np.float64))
+    if n_terms < 1:
+        raise ValueError("n_terms must be at least 1")
+    k = np.arange(1, n_terms + 1, dtype=np.float64)
+    denom = (k - 0.5) ** 2 + (z[..., None] / (2.0 * math.pi)) ** 2
+    gammas = generator.standard_gamma(1.0, size=denom.shape)
+    draws = (gammas / denom).sum(axis=-1) / (2.0 * math.pi**2)
+    return draws + _series_tail_mean(z, n_terms)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function ``1 / (1 + exp(-x))``."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def log_psi(w: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Log of the mixture kernel ``psi(w, x) = exp(w/2 - x w^2 / 2)`` (Eq. 7).
+
+    ``psi`` is the Gaussian factor of the Pólya-Gamma mixture representation
+    of the sigmoid; the Gibbs conditionals for topics and communities
+    (Eqs. 13-14) multiply one ``psi`` per incident link.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * w - 0.5 * x * w * w

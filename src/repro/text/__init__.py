@@ -1,0 +1,20 @@
+"""Text preprocessing substrate: tokenizer, stop words, stemmer, pipeline."""
+
+from .pipeline import PreprocessOptions, Preprocessor
+from .stemmer import stem, stem_tokens
+from .stopwords import FUNCTION_WORDS, STOP_WORDS, is_function_word, is_stop_word
+from .tokenizer import is_hashtag, tokenize, tokenize_all
+
+__all__ = [
+    "FUNCTION_WORDS",
+    "PreprocessOptions",
+    "Preprocessor",
+    "STOP_WORDS",
+    "is_function_word",
+    "is_hashtag",
+    "is_stop_word",
+    "stem",
+    "stem_tokens",
+    "tokenize",
+    "tokenize_all",
+]

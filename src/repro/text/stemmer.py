@@ -1,0 +1,171 @@
+"""Porter stemmer (Porter, 1980), implemented from the original definition.
+
+The paper stems tweets and paper titles before topic modeling (Sect. 6.1).
+Hashtags are passed through unchanged — they are queries in the ranking
+experiments and must stay literal.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Porter's ``m``: the number of vowel-consonant sequences in ``stem``."""
+    forms = "".join("c" if _is_consonant(stem, i) else "v" for i in range(len(stem)))
+    collapsed = []
+    for ch in forms:
+        if not collapsed or collapsed[-1] != ch:
+            collapsed.append(ch)
+    return "".join(collapsed).count("vc")
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+def _replace(word: str, suffix: str, replacement: str, min_measure: int) -> str | None:
+    """Replace ``suffix`` if present and the remaining stem has ``m > min_measure``."""
+    if not word.endswith(suffix):
+        return None
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > min_measure:
+        return stem + replacement
+    return word
+
+
+_STEP2_RULES = [
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+    ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+    ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+    ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+]
+
+_STEP3_RULES = [
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+]
+
+_STEP4_SUFFIXES = [
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment",
+    "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+]
+
+
+def stem(word: str) -> str:
+    """Return the Porter stem of ``word``; hashtags and short words pass through."""
+    if not isinstance(word, str):
+        raise TypeError("word must be a string")
+    if word.startswith("#") or len(word) <= 2:
+        return word
+    word = word.lower()
+
+    # Step 1a: plurals
+    if word.endswith("sses"):
+        word = word[:-2]
+    elif word.endswith("ies"):
+        word = word[:-2]
+    elif word.endswith("ss"):
+        pass
+    elif word.endswith("s"):
+        word = word[:-1]
+
+    # Step 1b: -ed / -ing
+    if word.endswith("eed"):
+        if _measure(word[:-3]) > 0:
+            word = word[:-1]
+    else:
+        trimmed = None
+        if word.endswith("ed") and _contains_vowel(word[:-2]):
+            trimmed = word[:-2]
+        elif word.endswith("ing") and _contains_vowel(word[:-3]):
+            trimmed = word[:-3]
+        if trimmed is not None:
+            word = trimmed
+            if word.endswith(("at", "bl", "iz")):
+                word += "e"
+            elif _ends_double_consonant(word) and not word.endswith(("l", "s", "z")):
+                word = word[:-1]
+            elif _measure(word) == 1 and _ends_cvc(word):
+                word += "e"
+
+    # Step 1c: terminal y -> i after a vowel
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        word = word[:-1] + "i"
+
+    # Step 2
+    for suffix, replacement in _STEP2_RULES:
+        result = _replace(word, suffix, replacement, 0)
+        if result is not None:
+            word = result
+            break
+
+    # Step 3
+    for suffix, replacement in _STEP3_RULES:
+        result = _replace(word, suffix, replacement, 0)
+        if result is not None:
+            word = result
+            break
+
+    # Step 4: drop residual suffixes when m > 1
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem_part = word[: len(word) - len(suffix)]
+            if suffix == "ion" and not stem_part.endswith(("s", "t")):
+                continue
+            if _measure(stem_part) > 1:
+                word = stem_part
+            break
+    else:
+        if word.endswith("ion"):
+            stem_part = word[:-3]
+            if stem_part.endswith(("s", "t")) and _measure(stem_part) > 1:
+                word = stem_part
+
+    # Step 5a: drop terminal e
+    if word.endswith("e"):
+        stem_part = word[:-1]
+        m = _measure(stem_part)
+        if m > 1 or (m == 1 and not _ends_cvc(stem_part)):
+            word = stem_part
+
+    # Step 5b: -ll -> -l when m > 1
+    if _measure(word) > 1 and _ends_double_consonant(word) and word.endswith("l"):
+        word = word[:-1]
+
+    return word
+
+
+def stem_tokens(tokens: list[str]) -> list[str]:
+    """Stem every token in a document, preserving order."""
+    return [stem(token) for token in tokens]

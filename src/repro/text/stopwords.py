@@ -1,0 +1,56 @@
+"""English stop words and function words.
+
+Two lists are kept separate because they serve different paper steps:
+
+* ``STOP_WORDS`` — the conventional stop list removed before topic modeling
+  (Sect. 6.1 "removing stop words").
+* ``FUNCTION_WORDS`` — a broader closed-class list (pronouns, conjunctions,
+  determiners, auxiliaries, common adverbs). The paper keeps only nouns,
+  verbs and hashtags via the Stanford POS tagger; offline we approximate
+  that filter by removing closed-class words, which is the part of speech
+  the tagger would have discarded (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+STOP_WORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can't cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he he'd he'll he's
+    her here here's hers herself him himself his how how's i i'd i'll i'm
+    i've if in into is isn't it it's its itself let's me more most mustn't my
+    myself no nor not of off on once only or other ought our ours ourselves
+    out over own same shan't she she'd she'll she's should shouldn't so some
+    such than that that's the their theirs them themselves then there there's
+    these they they'd they'll they're they've this those through to too under
+    until up very was wasn't we we'd we'll we're we've were weren't what
+    what's when when's where where's which while who who's whom why why's
+    with won't would wouldn't you you'd you'll you're you've your yours
+    yourself yourselves rt via amp
+    """.split()
+)
+
+FUNCTION_WORDS: frozenset[str] = STOP_WORDS | frozenset(
+    """
+    also just really quite rather even still yet already often sometimes
+    always never ever maybe perhaps indeed however therefore thus hence
+    moreover furthermore meanwhile anyway besides though although despite
+    unless whereas whether either neither else instead otherwise
+    today tomorrow yesterday now later soon ago
+    one two three first second third many much more less least
+    something anything nothing everything someone anyone everyone nobody
+    well okay ok yeah yes oh hey hi hello please thanks thank lol
+    """.split()
+)
+
+
+def is_stop_word(token: str) -> bool:
+    """True when ``token`` is on the conventional stop list."""
+    return token in STOP_WORDS
+
+
+def is_function_word(token: str) -> bool:
+    """True when ``token`` is closed-class (the POS-filter approximation)."""
+    return token in FUNCTION_WORDS

@@ -1,0 +1,5 @@
+"""Topic-modeling substrate: collapsed-Gibbs LDA."""
+
+from .lda import LDA, LDAConfig
+
+__all__ = ["LDA", "LDAConfig"]

@@ -1,0 +1,53 @@
+"""Shared fixtures: tiny scenario graphs and a pre-fitted CPD result.
+
+Expensive artifacts (graph generation, CPD fits) are session-scoped so the
+whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig, CPDModel
+from repro.datasets import dblp_scenario, twitter_scenario
+
+
+@pytest.fixture(scope="session")
+def twitter_tiny():
+    """Twitter-flavoured tiny graph with ground truth."""
+    return twitter_scenario("tiny", rng=42)
+
+
+@pytest.fixture(scope="session")
+def dblp_tiny():
+    """DBLP-flavoured tiny graph with ground truth."""
+    return dblp_scenario("tiny", rng=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """CPD config matched to the tiny scenarios' planted dimensions."""
+    return CPDConfig(
+        n_communities=4, n_topics=8, n_iterations=10, rho=0.5, alpha=0.5
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_cpd(twitter_tiny, tiny_config):
+    """One CPD fit on the tiny Twitter graph, shared by read-only tests."""
+    graph, _truth = twitter_tiny
+    return CPDModel(tiny_config, rng=1).fit(graph)
+
+
+@pytest.fixture(scope="session")
+def fitted_cpd_dblp(dblp_tiny, tiny_config):
+    """One CPD fit on the tiny DBLP graph, shared by read-only tests."""
+    graph, _truth = dblp_tiny
+    return CPDModel(tiny_config, rng=2).fit(graph)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,75 @@
+"""Tests for the community-aware diffusion predictor (Eq. 18)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import DiffusionPredictor
+from repro.evaluation import diffusion_auc_folds
+
+
+@pytest.fixture(scope="module")
+def predictor(fitted_cpd, twitter_tiny):
+    graph, _ = twitter_tiny
+    return DiffusionPredictor(fitted_cpd, graph)
+
+
+class TestTopicPosteriors:
+    def test_document_posterior_normalised(self, predictor):
+        posterior = predictor.document_topic_posterior(0)
+        assert posterior.shape == (8,)
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_pair_posterior_normalised(self, predictor):
+        posterior = predictor.pair_topic_posterior(0, 5)
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_pair_posterior_sharper_than_single(self, predictor, twitter_tiny):
+        """Two word sets give at least as much evidence as one."""
+        graph, _ = twitter_tiny
+        link = graph.diffusion_links[0]
+        single = predictor.document_topic_posterior(link.target_doc)
+        pair = predictor.pair_topic_posterior(link.source_doc, link.target_doc)
+        assert pair.max() >= single.max() - 0.2
+
+
+class TestPredict:
+    def test_probability_range(self, predictor, twitter_tiny):
+        graph, _ = twitter_tiny
+        p = predictor.predict(source_user=0, target_doc=1, timestamp=2)
+        assert 0.0 <= p <= 1.0
+
+    def test_score_pairs_batch_matches_single(self, predictor, twitter_tiny):
+        graph, _ = twitter_tiny
+        link = graph.diffusion_links[0]
+        batch = predictor.score_pairs(
+            np.array([link.source_doc]), np.array([link.target_doc]),
+            np.array([link.timestamp]),
+        )
+        single = predictor.score_pair(link.source_doc, link.target_doc, link.timestamp)
+        assert batch[0] == pytest.approx(single)
+
+    def test_timestamp_clamped(self, predictor):
+        assert 0.0 <= predictor.predict(0, 1, timestamp=10**6) <= 1.0
+        assert 0.0 <= predictor.predict(0, 1, timestamp=-5) <= 1.0
+
+
+class TestDiscrimination:
+    def test_beats_chance_on_observed_links(self, predictor, twitter_tiny):
+        graph, _ = twitter_tiny
+        folded = diffusion_auc_folds(graph, predictor.score_pairs, rng=3)
+        assert folded.mean > 0.6
+
+    def test_rank_potential_diffusers(self, predictor, twitter_tiny):
+        graph, _ = twitter_tiny
+        ranked = predictor.rank_potential_diffusers(target_doc=0, timestamp=3, k=5)
+        assert len(ranked) == 5
+        scores = [score for _u, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        publisher = graph.documents[0].user_id
+        assert all(user != publisher for user, _s in ranked)
+
+    def test_candidate_restriction(self, predictor):
+        ranked = predictor.rank_potential_diffusers(
+            target_doc=0, timestamp=3, candidate_users=np.array([1, 2, 3]), k=10
+        )
+        assert {user for user, _s in ranked} <= {1, 2, 3}

@@ -1,0 +1,80 @@
+"""Tests for profile-driven community ranking (Eq. 19)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CommunityRanker
+from repro.evaluation import select_queries
+
+
+@pytest.fixture(scope="module")
+def ranker(fitted_cpd, twitter_tiny):
+    graph, _ = twitter_tiny
+    return CommunityRanker(fitted_cpd, graph)
+
+
+@pytest.fixture(scope="module")
+def a_query(twitter_tiny):
+    graph, _ = twitter_tiny
+    queries = select_queries(graph, min_frequency=2, hashtags_only=True, max_queries=3)
+    assert queries, "tiny twitter scenario should yield hashtag queries"
+    return queries[0]
+
+
+class TestQueryAffinity:
+    def test_affinity_shape(self, ranker, a_query):
+        affinity = ranker.query_topic_affinity(a_query.term)
+        assert affinity.shape == (8,)
+        assert affinity.max() == pytest.approx(1.0)  # normalised to the peak
+
+    def test_unknown_term_raises(self, ranker):
+        with pytest.raises(KeyError):
+            ranker.query_topic_affinity("zzzz-not-a-word")
+
+    def test_multi_term_query(self, ranker, a_query, twitter_tiny):
+        graph, _ = twitter_tiny
+        another = graph.vocabulary.word_of(0)
+        affinity = ranker.query_topic_affinity([a_query.term, another])
+        assert affinity.shape == (8,)
+
+    def test_query_topics_normalised(self, ranker, a_query):
+        topics = ranker.query_topics(a_query.term, n=3)
+        assert len(topics) == 3
+        assert all(0.0 <= weight <= 1.0 for _z, weight in topics)
+
+
+class TestRanking:
+    def test_rank_orders_scores(self, ranker, a_query):
+        ranked = ranker.rank(a_query.term)
+        scores = [score for _c, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert len(ranked) == 4
+
+    def test_scores_nonnegative(self, ranker, a_query):
+        assert np.all(ranker.scores(a_query.term) >= 0.0)
+
+    def test_top_k(self, ranker, a_query):
+        top = ranker.top_k(a_query.term, k=2)
+        assert len(top) == 2
+        assert top == [c for c, _s in ranker.rank(a_query.term)[:2]]
+
+    def test_ranked_member_lists_align(self, ranker, a_query):
+        members = ranker.ranked_member_lists(a_query.term)
+        assert len(members) == 4
+        assert all(isinstance(group, np.ndarray) for group in members)
+
+    def test_hashtag_query_ranks_matching_community_first(
+        self, fitted_cpd, twitter_tiny
+    ):
+        """The planted hashtag #topicZ should rank communities that both
+        discuss and diffuse topic Z at the top."""
+        graph, truth = twitter_tiny
+        ranker = CommunityRanker(fitted_cpd, graph)
+        queries = select_queries(graph, min_frequency=2, hashtags_only=True)
+        if not queries:
+            pytest.skip("no hashtag queries in this draw")
+        query = queries[0]
+        best_community = ranker.top_k(query.term, k=1)[0]
+        # the top community must hold at least one relevant user
+        members = fitted_cpd.community_members(k=2)[best_community]
+        assert set(members.tolist()) & set(query.relevant_users.tolist())

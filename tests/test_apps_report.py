@@ -1,0 +1,45 @@
+"""Tests for the markdown community report generator."""
+
+import pytest
+
+from repro.apps.report import build_report, community_section
+from repro.evaluation import select_queries
+
+
+class TestCommunitySection:
+    def test_section_contents(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        section = community_section(fitted_cpd, graph, 0)
+        assert section.startswith("### Community c00")
+        assert "openness" in section
+        assert "content profile" in section
+        assert "diffusion profile" in section
+
+
+class TestBuildReport:
+    def test_full_report_structure(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        report = build_report(fitted_cpd, graph)
+        assert report.startswith("# Community profile report")
+        assert "## Openness ranking" in report
+        assert "## Topic generality" in report
+        assert "## Communities" in report
+        for community in range(fitted_cpd.n_communities):
+            assert f"### Community c{community:02d}" in report
+
+    def test_queries_included(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        queries = select_queries(graph, min_frequency=2, hashtags_only=True, max_queries=2)
+        report = build_report(fitted_cpd, graph, queries=queries)
+        assert "## Query rankings" in report
+        assert queries[0].term in report
+
+    def test_custom_title(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        report = build_report(fitted_cpd, graph, title="My Network")
+        assert report.startswith("# My Network")
+
+    def test_factor_weights_reported(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        report = build_report(fitted_cpd, graph)
+        assert "Diffusion factor weights" in report

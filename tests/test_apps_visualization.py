@@ -1,0 +1,97 @@
+"""Tests for diffusion visualization exports (Fig. 7 machinery)."""
+
+import json
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ascii_render,
+    build_diffusion_graph,
+    community_labels,
+    openness_report,
+    to_dot,
+    to_json,
+    topic_generality,
+)
+
+
+class TestBuildGraph:
+    def test_aggregated_graph(self, fitted_cpd):
+        graph = build_diffusion_graph(fitted_cpd)
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.number_of_nodes() == fitted_cpd.n_communities
+        assert graph.graph["topic"] == "aggregated"
+
+    def test_topic_specific_graph(self, fitted_cpd):
+        graph = build_diffusion_graph(fitted_cpd, topic=0)
+        assert graph.graph["topic"] == 0
+        for _s, _t, data in graph.edges(data=True):
+            assert data["weight"] > 0
+
+    def test_pruning_below_average(self, fitted_cpd):
+        pruned = build_diffusion_graph(fitted_cpd, prune_below_average=True)
+        full = build_diffusion_graph(fitted_cpd, prune_below_average=False)
+        assert pruned.number_of_edges() <= full.number_of_edges()
+        threshold = fitted_cpd.aggregated_diffusion_matrix().mean()
+        for _s, _t, data in pruned.edges(data=True):
+            assert data["weight"] > threshold
+
+    def test_invalid_topic(self, fitted_cpd):
+        with pytest.raises(ValueError):
+            build_diffusion_graph(fitted_cpd, topic=99)
+
+    def test_node_attributes(self, fitted_cpd):
+        graph = build_diffusion_graph(fitted_cpd)
+        for node, data in graph.nodes(data=True):
+            assert "openness" in data
+            assert data["label"].startswith("c")
+
+
+class TestLabels:
+    def test_labels_from_vocabulary(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        labels = community_labels(fitted_cpd, graph.vocabulary, n_words=3)
+        assert len(labels) == fitted_cpd.n_communities
+        assert all(label for label in labels)
+
+    def test_labels_attached_to_graph(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        labels = community_labels(fitted_cpd, graph.vocabulary)
+        diffusion_graph = build_diffusion_graph(fitted_cpd, labels=labels)
+        assert diffusion_graph.nodes[0]["label"] == labels[0]
+
+
+class TestRenderers:
+    def test_dot_output(self, fitted_cpd):
+        dot = to_dot(build_diffusion_graph(fitted_cpd))
+        assert dot.startswith("digraph")
+        assert "->" in dot and dot.rstrip().endswith("}")
+
+    def test_json_output_parses(self, fitted_cpd):
+        payload = json.loads(to_json(build_diffusion_graph(fitted_cpd)))
+        assert len(payload["nodes"]) == fitted_cpd.n_communities
+        assert all("weight" in edge for edge in payload["edges"])
+
+    def test_ascii_render(self, fitted_cpd):
+        art = ascii_render(build_diffusion_graph(fitted_cpd))
+        assert "community diffusion" in art
+        assert "#" in art
+
+    def test_ascii_respects_max_edges(self, fitted_cpd):
+        art = ascii_render(build_diffusion_graph(fitted_cpd, prune_below_average=False), max_edges=3)
+        assert len(art.splitlines()) <= 4
+
+
+class TestAnalysis:
+    def test_openness_report_sorted(self, fitted_cpd):
+        report = openness_report(fitted_cpd)
+        values = [v for _label, v in report]
+        assert values == sorted(values, reverse=True)
+        assert len(report) == fitted_cpd.n_communities
+
+    def test_topic_generality_shape(self, fitted_cpd):
+        generality = topic_generality(fitted_cpd)
+        assert generality.shape == (fitted_cpd.n_topics,)
+        assert np.all(generality >= 0)

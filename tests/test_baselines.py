@@ -1,0 +1,175 @@
+"""Tests for the baseline implementations (PMTLM, WTM, CRM, COLD, +Agg)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    COLD,
+    COLDAgg,
+    CRM,
+    CRMAgg,
+    PMTLM,
+    WTM,
+    aggregate_content_profile,
+    aggregate_diffusion_profile,
+)
+from repro.evaluation import auc_score, diffusion_auc_folds
+from repro.diffusion import sample_negative_diffusion_pairs
+
+
+def links_arrays(graph):
+    src = np.asarray([l.source_doc for l in graph.diffusion_links])
+    tgt = np.asarray([l.target_doc for l in graph.diffusion_links])
+    t = np.asarray([l.timestamp for l in graph.diffusion_links])
+    return src, tgt, t
+
+
+@pytest.fixture(scope="module")
+def fitted_pmtlm(dblp_tiny):
+    graph, _ = dblp_tiny
+    return PMTLM(4, lda_iterations=15).fit(graph, rng=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_wtm(dblp_tiny):
+    graph, _ = dblp_tiny
+    return WTM().fit(graph, rng=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_crm(dblp_tiny):
+    graph, _ = dblp_tiny
+    return CRM(4, n_iterations=20).fit(graph, rng=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_cold(dblp_tiny):
+    graph, _ = dblp_tiny
+    return COLD(4, 8, n_iterations=8, rho=0.5, alpha=0.5).fit(graph, rng=0)
+
+
+class TestPMTLM:
+    def test_memberships_normalised(self, fitted_pmtlm, dblp_tiny):
+        graph, _ = dblp_tiny
+        pi = fitted_pmtlm.memberships()
+        assert pi.shape == (graph.n_users, 4)
+        np.testing.assert_allclose(pi.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_diffusion_scores_beat_chance(self, fitted_pmtlm, dblp_tiny, rng):
+        graph, _ = dblp_tiny
+        folded = diffusion_auc_folds(graph, fitted_pmtlm.diffusion_scores, rng=rng)
+        assert folded.mean > 0.5
+
+    def test_friendship_scores_default_similarity(self, fitted_pmtlm):
+        scores = fitted_pmtlm.friendship_scores(np.array([0, 1]), np.array([2, 3]))
+        assert scores.shape == (2,)
+
+    def test_profiles_exposed(self, fitted_pmtlm):
+        profiles = fitted_pmtlm.profiles()
+        assert profiles is not None
+        assert profiles.eta.shape == (4, 4, 4)
+        np.testing.assert_allclose(profiles.theta.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_requires_fit(self, dblp_tiny):
+        graph, _ = dblp_tiny
+        model = PMTLM(4)
+        with pytest.raises(RuntimeError):
+            model.diffusion_scores(np.array([0]), np.array([1]), np.array([0]))
+
+
+class TestWTM:
+    def test_no_membership(self, fitted_wtm):
+        assert fitted_wtm.memberships() is None
+        with pytest.raises(NotImplementedError):
+            fitted_wtm.friendship_scores(np.array([0]), np.array([1]))
+
+    def test_diffusion_beats_chance(self, fitted_wtm, dblp_tiny, rng):
+        graph, _ = dblp_tiny
+        src, tgt, t = links_arrays(graph)
+        positives = fitted_wtm.diffusion_scores(src, tgt, t)
+        negatives_raw = sample_negative_diffusion_pairs(graph, len(src), rng)
+        ns = np.array([n[0] for n in negatives_raw])
+        nt = np.array([n[1] for n in negatives_raw])
+        ntt = np.array([n[2] for n in negatives_raw])
+        negatives = fitted_wtm.diffusion_scores(ns, nt, ntt)
+        assert auc_score(positives, negatives) > 0.55
+
+    def test_scores_are_probabilities(self, fitted_wtm, dblp_tiny):
+        graph, _ = dblp_tiny
+        src, tgt, t = links_arrays(graph)
+        scores = fitted_wtm.diffusion_scores(src[:10], tgt[:10], t[:10])
+        assert np.all((scores >= 0) & (scores <= 1))
+
+
+class TestCRM:
+    def test_memberships_valid(self, fitted_crm, dblp_tiny):
+        graph, _ = dblp_tiny
+        pi = fitted_crm.memberships()
+        assert pi.shape == (graph.n_users, 4)
+        np.testing.assert_allclose(pi.sum(axis=1), 1.0, rtol=1e-6)
+        assert np.all(pi > 0)  # smoothed
+
+    def test_blocks_better_than_chance(self, fitted_crm, dblp_tiny, rng):
+        """CRM must recover enough block structure to predict friendships."""
+        from repro.evaluation import friendship_auc_folds
+
+        graph, _ = dblp_tiny
+        folded = friendship_auc_folds(graph, fitted_crm.friendship_scores, rng=rng)
+        assert folded.mean > 0.6
+
+    def test_roles_nonnegative(self, fitted_crm):
+        assert np.all(fitted_crm.roles() >= 0)
+
+    def test_diffusion_scores_shape(self, fitted_crm, dblp_tiny):
+        graph, _ = dblp_tiny
+        src, tgt, t = links_arrays(graph)
+        scores = fitted_crm.diffusion_scores(src[:5], tgt[:5], t[:5])
+        assert scores.shape == (5,)
+
+
+class TestCOLD:
+    def test_ignores_friendship_by_config(self, fitted_cold):
+        assert fitted_cold.config.model_friendship is False
+        assert fitted_cold.config.use_topic_factor is False
+        assert fitted_cold.config.use_individual_factor is False
+
+    def test_profiles_exposed(self, fitted_cold):
+        profiles = fitted_cold.profiles()
+        assert profiles.eta.sum() == pytest.approx(1.0)
+
+    def test_memberships(self, fitted_cold, dblp_tiny):
+        graph, _ = dblp_tiny
+        assert fitted_cold.memberships().shape == (graph.n_users, 4)
+
+
+class TestAggregation:
+    def test_eq20_content_profile(self, dblp_tiny, rng):
+        graph, _ = dblp_tiny
+        memberships = rng.dirichlet(np.ones(3), size=graph.n_users)
+        mixtures = rng.dirichlet(np.ones(5), size=graph.n_documents)
+        theta = aggregate_content_profile(graph, memberships, mixtures)
+        assert theta.shape == (3, 5)
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_eq21_diffusion_profile(self, dblp_tiny, rng):
+        graph, _ = dblp_tiny
+        memberships = rng.dirichlet(np.ones(3), size=graph.n_users)
+        mixtures = rng.dirichlet(np.ones(5), size=graph.n_documents)
+        eta = aggregate_diffusion_profile(graph, memberships, mixtures)
+        assert eta.shape == (3, 3, 5)
+        assert eta.sum() == pytest.approx(1.0)
+
+    def test_crm_agg_pipeline(self, dblp_tiny):
+        graph, _ = dblp_tiny
+        model = CRMAgg(4, 8, n_iterations=10).fit(graph, rng=0)
+        profiles = model.profiles()
+        assert profiles is not None
+        np.testing.assert_allclose(profiles.theta.sum(axis=1), 1.0, rtol=1e-9)
+        scores = model.diffusion_scores(*links_arrays(graph))
+        assert scores.shape == (graph.n_diffusion_links,)
+
+    def test_cold_agg_pipeline(self, dblp_tiny):
+        graph, _ = dblp_tiny
+        model = COLDAgg(4, 8, n_iterations=5, rho=0.5, alpha=0.5).fit(graph, rng=0)
+        assert model.profiles() is not None
+        assert model.memberships() is not None

@@ -1,0 +1,108 @@
+"""Tests for the heuristic link-prediction baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FriendshipHeuristics,
+    PopularityDiffusionBaseline,
+    RecencyDiffusionBaseline,
+)
+from repro.evaluation import auc_score, friendship_auc_folds
+from repro.diffusion import sample_negative_diffusion_pairs
+
+
+@pytest.fixture(scope="module")
+def heuristics(twitter_tiny):
+    graph, _ = twitter_tiny
+    return FriendshipHeuristics(graph)
+
+
+class TestFriendshipHeuristics:
+    def test_common_neighbors_counts(self, heuristics, twitter_tiny):
+        graph, _ = twitter_tiny
+        u, v = 0, 1
+        expected = len(
+            set(graph.friendship_neighbors(u)) & set(graph.friendship_neighbors(v))
+        )
+        assert heuristics.common_neighbors(np.array([u]), np.array([v]))[0] == expected
+
+    def test_adamic_adar_nonnegative(self, heuristics):
+        scores = heuristics.adamic_adar(np.arange(10), np.arange(10, 20))
+        assert np.all(scores >= 0)
+
+    def test_preferential_attachment_product(self, heuristics, twitter_tiny):
+        graph, _ = twitter_tiny
+        score = heuristics.preferential_attachment(np.array([2]), np.array([3]))[0]
+        expected = len(graph.friendship_neighbors(2)) * len(graph.friendship_neighbors(3))
+        assert score == expected
+
+    def test_jaccard_bounded(self, heuristics):
+        scores = heuristics.jaccard(np.arange(15), np.arange(15, 30))
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_adamic_adar_beats_chance(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        heuristics = FriendshipHeuristics(graph)
+        folded = friendship_auc_folds(graph, heuristics.adamic_adar, rng=rng)
+        assert folded.mean > 0.55
+
+    def test_common_neighbors_beats_chance(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        heuristics = FriendshipHeuristics(graph)
+        folded = friendship_auc_folds(graph, heuristics.common_neighbors, rng=rng)
+        assert folded.mean > 0.55
+
+
+class TestDiffusionHeuristics:
+    def _auc(self, graph, model, rng):
+        src = np.asarray([l.source_doc for l in graph.diffusion_links])
+        tgt = np.asarray([l.target_doc for l in graph.diffusion_links])
+        t = np.asarray([l.timestamp for l in graph.diffusion_links])
+        positives = model.diffusion_scores(src, tgt, t)
+        negatives_raw = sample_negative_diffusion_pairs(graph, len(src), rng)
+        negatives = model.diffusion_scores(
+            np.asarray([n[0] for n in negatives_raw]),
+            np.asarray([n[1] for n in negatives_raw]),
+            np.asarray([n[2] for n in negatives_raw]),
+        )
+        return auc_score(positives, negatives)
+
+    def test_popularity_beats_chance(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        model = PopularityDiffusionBaseline().fit(graph)
+        assert self._auc(graph, model, rng) > 0.5
+
+    def test_popularity_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PopularityDiffusionBaseline().diffusion_scores(
+                np.array([0]), np.array([1]), np.array([0])
+            )
+
+    def test_recency_scores_finite(self, dblp_tiny, rng):
+        graph, _ = dblp_tiny
+        model = RecencyDiffusionBaseline().fit(graph)
+        src = np.asarray([l.source_doc for l in graph.diffusion_links[:20]])
+        tgt = np.asarray([l.target_doc for l in graph.diffusion_links[:20]])
+        t = np.asarray([l.timestamp for l in graph.diffusion_links[:20]])
+        assert np.all(np.isfinite(model.diffusion_scores(src, tgt, t)))
+
+    def test_recency_penalises_future_targets(self, dblp_tiny):
+        graph, _ = dblp_tiny
+        model = RecencyDiffusionBaseline().fit(graph)
+        # the same target scored before vs after its publication
+        target = 0
+        published = graph.documents[target].timestamp
+        past = model.diffusion_scores(
+            np.array([1]), np.array([target]), np.array([published + 1])
+        )[0]
+        future = model.diffusion_scores(
+            np.array([1]), np.array([target]), np.array([published - 1])
+        )[0]
+        assert past > future
+
+    def test_no_friendship_support(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        model = PopularityDiffusionBaseline().fit(graph)
+        with pytest.raises(NotImplementedError):
+            model.friendship_scores(np.array([0]), np.array([1]))

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface (full offline workflow)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """Generate a graph and fit a model once for all CLI tests."""
+    root = tmp_path_factory.mktemp("cli")
+    graph_path = root / "graph.json.gz"
+    model_path = root / "model.cpd.npz"
+    assert main([
+        "generate", "--scenario", "twitter", "--scale", "tiny",
+        "--seed", "42", "--out", str(graph_path),
+    ]) == 0
+    assert main([
+        "fit", "--graph", str(graph_path), "--communities", "4",
+        "--topics", "8", "--iterations", "6", "--seed", "0",
+        "--out", str(model_path),
+    ]) == 0
+    return root, graph_path, model_path
+
+
+class TestGenerate:
+    def test_graph_file_created(self, workspace):
+        _root, graph_path, _model = workspace
+        assert graph_path.exists()
+        from repro.graph import load_graph
+
+        graph = load_graph(graph_path)
+        assert graph.n_users > 0
+
+    def test_dblp_scenario(self, tmp_path):
+        out = tmp_path / "dblp.json"
+        assert main([
+            "generate", "--scenario", "dblp", "--scale", "tiny",
+            "--seed", "1", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+
+
+class TestFit:
+    def test_model_file_created(self, workspace):
+        _root, _graph, model_path = workspace
+        assert model_path.exists()
+        from repro.core import load_result
+
+        result = load_result(model_path)
+        assert result.n_communities == 4
+
+
+class TestEvaluate:
+    def test_prints_metrics(self, workspace, capsys):
+        _root, graph_path, model_path = workspace
+        assert main([
+            "evaluate", "--graph", str(graph_path), "--model", str(model_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "diffusion link AUC" in out
+        assert "perplexity" in out
+
+
+class TestRank:
+    def test_known_query(self, workspace, capsys):
+        _root, graph_path, model_path = workspace
+        from repro.evaluation import select_queries
+        from repro.graph import load_graph
+
+        graph = load_graph(graph_path)
+        queries = select_queries(graph, min_frequency=1, hashtags_only=True)
+        assert main([
+            "rank", "--graph", str(graph_path), "--model", str(model_path),
+            "--query", queries[0].term, "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "#1" in out
+
+    def test_unknown_query_fails_cleanly(self, workspace):
+        _root, graph_path, model_path = workspace
+        assert main([
+            "rank", "--graph", str(graph_path), "--model", str(model_path),
+            "--query", "zz-not-a-term",
+        ]) == 1
+
+
+class TestReport:
+    def test_markdown_written(self, workspace):
+        root, graph_path, model_path = workspace
+        report_path = root / "report.md"
+        assert main([
+            "report", "--graph", str(graph_path), "--model", str(model_path),
+            "--out", str(report_path),
+        ]) == 0
+        text = report_path.read_text()
+        assert text.startswith("# ")
+        assert "## Communities" in text
+        assert "openness" in text.lower()
+
+
+class TestVisualize:
+    def test_ascii_to_stdout(self, workspace, capsys):
+        _root, graph_path, model_path = workspace
+        assert main([
+            "visualize", "--graph", str(graph_path), "--model", str(model_path),
+        ]) == 0
+        assert "community diffusion" in capsys.readouterr().out
+
+    def test_dot_to_file(self, workspace):
+        root, graph_path, model_path = workspace
+        out = root / "view.dot"
+        assert main([
+            "visualize", "--graph", str(graph_path), "--model", str(model_path),
+            "--format", "dot", "--out", str(out),
+        ]) == 0
+        assert out.read_text().startswith("digraph")
+
+    def test_topic_specific_json(self, workspace):
+        root, graph_path, model_path = workspace
+        out = root / "view.json"
+        assert main([
+            "visualize", "--graph", str(graph_path), "--model", str(model_path),
+            "--format", "json", "--topic", "0", "--out", str(out),
+        ]) == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["topic"] == 0

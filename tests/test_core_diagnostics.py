@@ -1,0 +1,98 @@
+"""Tests for likelihood reporting and convergence assessment."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CPDConfig,
+    CPDModel,
+    assess_convergence,
+    likelihood_report,
+)
+from repro.core.result import CPDResult, IterationTrace
+
+
+class TestLikelihoodReport:
+    def test_report_fields(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        report = likelihood_report(fitted_cpd, graph)
+        assert report.content_log_likelihood < 0
+        assert report.content_tokens > 0
+        assert report.friendship_log_likelihood < 0
+        assert report.diffusion_log_likelihood < 0
+        assert report.content_per_token == pytest.approx(
+            report.content_log_likelihood / report.content_tokens
+        )
+
+    def test_fitted_beats_random_profiles(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        fitted = likelihood_report(fitted_cpd, graph)
+        rng = np.random.default_rng(0)
+        shuffled = CPDResult(
+            config=fitted_cpd.config,
+            pi=fitted_cpd.pi,
+            theta=fitted_cpd.theta,
+            phi=rng.dirichlet(np.ones(graph.n_words), size=fitted_cpd.n_topics),
+            diffusion=fitted_cpd.diffusion,
+            doc_community=fitted_cpd.doc_community,
+            doc_topic=fitted_cpd.doc_topic,
+        )
+        random = likelihood_report(shuffled, graph)
+        assert fitted.content_per_token > random.content_per_token
+
+
+def _trace(values):
+    return [
+        IterationTrace(
+            iteration=i,
+            seconds=0.1,
+            mean_friendship_probability=v,
+            mean_diffusion_probability=v,
+        )
+        for i, v in enumerate(values)
+    ]
+
+
+def _result_with_trace(fitted, values):
+    return CPDResult(
+        config=fitted.config,
+        pi=fitted.pi,
+        theta=fitted.theta,
+        phi=fitted.phi,
+        diffusion=fitted.diffusion,
+        doc_community=fitted.doc_community,
+        doc_topic=fitted.doc_topic,
+        trace=_trace(values),
+    )
+
+
+class TestConvergenceAssessment:
+    def test_flat_trace_converges(self, fitted_cpd):
+        result = _result_with_trace(fitted_cpd, [0.6] * 10)
+        assessment = assess_convergence(result, window=4)
+        assert assessment.converged
+        assert assessment.stable_from == 0
+
+    def test_drifting_trace_does_not(self, fitted_cpd):
+        result = _result_with_trace(fitted_cpd, list(np.linspace(0.3, 0.9, 10)))
+        assessment = assess_convergence(result, window=4, tolerance=0.02)
+        assert not assessment.converged
+
+    def test_stabilising_trace_finds_onset(self, fitted_cpd):
+        values = [0.3, 0.45, 0.58, 0.64, 0.65, 0.65, 0.65, 0.65, 0.65, 0.65]
+        result = _result_with_trace(fitted_cpd, values)
+        assessment = assess_convergence(result, window=4, tolerance=0.02)
+        assert assessment.converged
+        assert assessment.stable_from >= 3
+
+    def test_short_trace_not_converged(self, fitted_cpd):
+        result = _result_with_trace(fitted_cpd, [0.5, 0.5])
+        assert not assess_convergence(result, window=5).converged
+
+    def test_real_fit_diagnosable(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=12, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(graph)
+        assessment = assess_convergence(result, window=3, tolerance=0.2)
+        assert assessment.iterations_run == 12
+        assert 0.0 <= assessment.final_diffusion_probability <= 1.0

@@ -1,0 +1,169 @@
+"""Tests for the CPD collapsed Gibbs sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig, DiffusionParameters
+from repro.core.gibbs import CPDSampler
+
+
+@pytest.fixture()
+def sampler(twitter_tiny, tiny_config):
+    graph, _ = twitter_tiny
+    params = DiffusionParameters.initial(
+        tiny_config.n_communities, tiny_config.n_topics
+    )
+    return CPDSampler(graph, tiny_config, params, rng=0)
+
+
+class TestInitialisation:
+    def test_all_documents_assigned(self, sampler):
+        assert np.all(sampler.state.doc_topic >= 0)
+        sampler.state.check_consistency()
+
+    def test_link_structures(self, sampler, twitter_tiny):
+        graph, _ = twitter_tiny
+        assert sampler.n_friend_links == graph.n_friendship_links
+        assert sampler.n_diff_links == graph.n_diffusion_links
+        assert sampler.e_features.shape == (graph.n_diffusion_links, 4)
+
+    def test_augmentation_starts_at_pg_mean(self, sampler):
+        np.testing.assert_allclose(sampler.lambdas, 0.25)
+        np.testing.assert_allclose(sampler.deltas, 0.25)
+
+    def test_popularity_tracks_assignments(self, sampler, twitter_tiny):
+        graph, _ = twitter_tiny
+        assert sampler.popularity.counts_matrix().sum() == graph.n_documents
+
+
+class TestSweep:
+    def test_sweep_keeps_consistency(self, sampler):
+        sampler.sweep_documents()
+        sampler.state.check_consistency()
+        assert np.all(sampler.state.doc_topic >= 0)
+
+    def test_sweep_subset(self, sampler):
+        before = sampler.state.doc_topic.copy()
+        sampler.sweep_documents(np.array([0, 1, 2]))
+        # untouched documents keep their assignments
+        np.testing.assert_array_equal(
+            sampler.state.doc_topic[3:], before[3:]
+        )
+
+    def test_popularity_in_sync_after_sweep(self, sampler, twitter_tiny):
+        graph, _ = twitter_tiny
+        sampler.sweep_documents()
+        counts = sampler.popularity.counts_matrix()
+        assert counts.sum() == graph.n_documents
+        # spot-check one (t, z) cell against the assignment vectors
+        doc_times = np.array([d.timestamp for d in graph.documents])
+        t, z = doc_times[0], sampler.state.doc_topic[0]
+        expected = int(
+            ((doc_times == t) & (sampler.state.doc_topic == z)).sum()
+        )
+        assert counts[t, z] == expected
+
+    def test_fixed_communities_never_move(self, twitter_tiny, tiny_config):
+        graph, _ = twitter_tiny
+        fixed = np.zeros(graph.n_documents, dtype=np.int64)
+        params = DiffusionParameters.initial(4, 8)
+        sampler = CPDSampler(graph, tiny_config, params, rng=0, fixed_communities=fixed)
+        sampler.sweep_documents()
+        np.testing.assert_array_equal(sampler.state.doc_community, 0)
+
+
+class TestAugmentation:
+    def test_lambda_draws_positive(self, sampler):
+        sampler.sample_lambdas()
+        assert np.all(sampler.lambdas > 0)
+        assert sampler.lambdas.shape == (sampler.n_friend_links,)
+
+    def test_delta_draws_positive(self, sampler):
+        sampler.sample_deltas()
+        assert np.all(sampler.deltas > 0)
+
+    def test_friendship_dots_in_unit_range(self, sampler):
+        dots = sampler.friendship_dots()
+        assert np.all(dots >= 0.0) and np.all(dots <= 1.0)
+
+
+class TestDiffusionScoring:
+    def test_logits_shape(self, sampler):
+        logits = sampler.diffusion_logits()
+        assert logits.shape == (sampler.n_diff_links,)
+        assert np.all(np.isfinite(logits))
+
+    def test_components_zeroed_by_flags(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        config = CPDConfig(
+            n_communities=4, n_topics=8, rho=0.5, alpha=0.5,
+            use_topic_factor=False, use_individual_factor=False,
+        )
+        params = DiffusionParameters.initial(4, 8)
+        sampler = CPDSampler(graph, config, params, rng=0)
+        components = sampler.diffusion_components(
+            sampler.e_src, sampler.e_tgt, sampler.e_time
+        )
+        np.testing.assert_array_equal(components["popularity"], 0.0)
+        np.testing.assert_array_equal(components["features"], 0.0)
+
+    def test_empty_batch(self, sampler):
+        components = sampler.diffusion_components(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )
+        assert components["community"].shape == (0,)
+
+
+class TestEtaAggregation:
+    def test_eta_is_distribution(self, sampler):
+        eta = sampler.aggregate_eta()
+        assert eta.shape == (4, 4, 8)
+        assert eta.sum() == pytest.approx(1.0)
+        assert np.all(eta > 0)  # smoothing keeps every cell positive
+
+    def test_eta_reflects_assignments(self, twitter_tiny, tiny_config):
+        graph, _ = twitter_tiny
+        params = DiffusionParameters.initial(4, 8)
+        sampler = CPDSampler(graph, tiny_config, params, rng=0)
+        # force all docs into community 0 / topic 0: mass concentrates there
+        snapshot = {
+            "doc_community": np.zeros(graph.n_documents, dtype=np.int64),
+            "doc_topic": np.zeros(graph.n_documents, dtype=np.int64),
+            "lambdas": sampler.lambdas,
+            "deltas": sampler.deltas,
+        }
+        sampler.load_snapshot(snapshot)
+        eta = sampler.aggregate_eta()
+        assert eta[0, 0, 0] == eta.max()
+
+
+class TestSnapshots:
+    def test_export_load_roundtrip(self, sampler):
+        sampler.sweep_documents()
+        snapshot = sampler.export_snapshot()
+        theta = sampler.state.theta_hat().copy()
+        sampler.load_snapshot(snapshot)
+        np.testing.assert_allclose(sampler.state.theta_hat(), theta)
+        sampler.state.check_consistency()
+
+    def test_apply_assignments(self, sampler):
+        doc_ids = np.array([0, 1])
+        sampler.apply_assignments(doc_ids, np.array([2, 3]), np.array([5, 6]))
+        assert sampler.state.doc_community[0] == 2
+        assert sampler.state.doc_topic[1] == 6
+        sampler.state.check_consistency()
+        counts = sampler.popularity.counts_matrix()
+        assert counts.sum() == sampler.graph.n_documents
+
+
+class TestHeterogeneityModes:
+    def test_similarity_mode_flags(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, heterogeneity=False, rho=0.5, alpha=0.5)
+        params = DiffusionParameters.initial(4, 8)
+        sampler = CPDSampler(graph, config, params, rng=0)
+        assert sampler.uses_similarity_diffusion
+        assert not sampler.uses_profile_diffusion
+        sampler.sweep_documents()
+        sampler.sample_deltas()
+        sampler.state.check_consistency()

@@ -1,0 +1,74 @@
+"""Tests for CPD result serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import load_result, save_result
+
+
+class TestResultRoundTrip:
+    def test_arrays_preserved(self, fitted_cpd, tmp_path):
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        clone = load_result(path)
+        np.testing.assert_allclose(clone.pi, fitted_cpd.pi)
+        np.testing.assert_allclose(clone.theta, fitted_cpd.theta)
+        np.testing.assert_allclose(clone.phi, fitted_cpd.phi)
+        np.testing.assert_allclose(clone.eta, fitted_cpd.eta)
+        np.testing.assert_array_equal(clone.doc_community, fitted_cpd.doc_community)
+        np.testing.assert_array_equal(clone.doc_topic, fitted_cpd.doc_topic)
+
+    def test_parameters_preserved(self, fitted_cpd, tmp_path):
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        clone = load_result(path)
+        assert clone.diffusion.comm_weight == pytest.approx(fitted_cpd.diffusion.comm_weight)
+        assert clone.diffusion.pop_weight == pytest.approx(fitted_cpd.diffusion.pop_weight)
+        assert clone.diffusion.bias == pytest.approx(fitted_cpd.diffusion.bias)
+        np.testing.assert_allclose(clone.diffusion.nu, fitted_cpd.diffusion.nu)
+
+    def test_config_preserved(self, fitted_cpd, tmp_path):
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        clone = load_result(path)
+        assert clone.config == fitted_cpd.config
+
+    def test_trace_preserved(self, fitted_cpd, tmp_path):
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        clone = load_result(path)
+        assert len(clone.trace) == len(fitted_cpd.trace)
+        assert clone.trace[0].iteration == fitted_cpd.trace[0].iteration
+
+    def test_graph_name_preserved(self, fitted_cpd, tmp_path):
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        assert load_result(path).graph_name == fitted_cpd.graph_name
+
+    def test_loaded_result_usable_in_apps(self, fitted_cpd, twitter_tiny, tmp_path):
+        from repro.apps import DiffusionPredictor
+
+        graph, _ = twitter_tiny
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        clone = load_result(path)
+        predictor = DiffusionPredictor(clone, graph)
+        assert 0.0 <= predictor.predict(0, 1, 2) <= 1.0
+
+    def test_version_check(self, fitted_cpd, tmp_path):
+        import json
+        import zipfile
+
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        # corrupt the version field
+        with zipfile.ZipFile(path) as archive:
+            meta = json.loads(archive.read("cpd_meta.json"))
+            arrays = archive.read("arrays.npz")
+        meta["format_version"] = 999
+        bad = tmp_path / "bad.cpd.npz"
+        with zipfile.ZipFile(bad, "w") as archive:
+            archive.writestr("arrays.npz", arrays)
+            archive.writestr("cpd_meta.json", json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_result(bad)

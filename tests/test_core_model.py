@@ -1,0 +1,150 @@
+"""Tests for the CPD EM driver and convenience API."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig, CPDModel, FitOptions, fit_cpd
+from repro.evaluation import normalized_mutual_information
+
+
+class TestFit:
+    def test_result_shapes(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        result = fitted_cpd
+        assert result.pi.shape == (graph.n_users, 4)
+        assert result.theta.shape == (4, 8)
+        assert result.phi.shape == (8, graph.n_words)
+        assert result.eta.shape == (4, 4, 8)
+        assert result.doc_community.shape == (graph.n_documents,)
+
+    def test_distributions_normalised(self, fitted_cpd):
+        result = fitted_cpd
+        np.testing.assert_allclose(result.pi.sum(axis=1), 1.0, rtol=1e-9)
+        np.testing.assert_allclose(result.theta.sum(axis=1), 1.0, rtol=1e-9)
+        np.testing.assert_allclose(result.phi.sum(axis=1), 1.0, rtol=1e-9)
+        assert result.eta.sum() == pytest.approx(1.0)
+
+    def test_trace_recorded(self, fitted_cpd, tiny_config):
+        assert len(fitted_cpd.trace) == tiny_config.n_iterations
+        assert all(entry.seconds > 0 for entry in fitted_cpd.trace)
+
+    def test_factor_weights_learned(self, fitted_cpd):
+        params = fitted_cpd.diffusion
+        # nonnegative projection on the two factor strengths
+        assert params.comm_weight >= 0.0
+        assert params.pop_weight >= 0.0
+        assert params.nu.shape == (4,)
+
+    def test_reproducible_with_seed(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=3, rho=0.5, alpha=0.5)
+        a = CPDModel(config, rng=5).fit(graph)
+        b = CPDModel(config, rng=5).fit(graph)
+        np.testing.assert_array_equal(a.doc_topic, b.doc_topic)
+        np.testing.assert_allclose(a.pi, b.pi)
+
+    def test_different_seeds_differ(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=3, rho=0.5, alpha=0.5)
+        a = CPDModel(config, rng=5).fit(graph)
+        b = CPDModel(config, rng=6).fit(graph)
+        assert not np.array_equal(a.doc_topic, b.doc_topic)
+
+
+class TestFitOptions:
+    def test_fixed_communities(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        fixed = np.arange(graph.n_documents) % 4
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=3, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(
+            graph, FitOptions(fixed_communities=fixed)
+        )
+        np.testing.assert_array_equal(result.doc_community, fixed)
+
+    def test_trace_can_be_disabled(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=2, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(graph, FitOptions(record_trace=False))
+        assert result.trace == []
+
+    def test_custom_sweeper_called(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        calls = []
+
+        def sweeper(sampler):
+            calls.append(1)
+            sampler.sweep_documents()
+
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=3, rho=0.5, alpha=0.5)
+        CPDModel(config, rng=0).fit(graph, FitOptions(document_sweeper=sweeper))
+        assert len(calls) == 3
+
+
+class TestRecovery:
+    def test_recovers_planted_communities(self, twitter_tiny):
+        """The headline sanity check: CPD finds the planted structure."""
+        graph, truth = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=20, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=1).fit(graph)
+        nmi = normalized_mutual_information(
+            result.hard_community_per_user(), truth.primary_community
+        )
+        assert nmi > 0.3  # far above the ~0.05 chance level
+
+    def test_topics_correlate_with_planted(self, twitter_tiny):
+        graph, truth = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=20, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=1).fit(graph)
+        nmi = normalized_mutual_information(result.doc_topic, truth.doc_topic)
+        assert nmi > 0.3
+
+
+class TestFitCpd:
+    def test_convenience_api(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        result = fit_cpd(
+            graph, n_communities=4, n_topics=8, n_iterations=2, rng=0, rho=0.5, alpha=0.5
+        )
+        assert result.n_communities == 4
+        assert result.n_topics == 8
+
+    def test_ablation_flags_reach_model(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        result = fit_cpd(
+            graph, n_communities=4, n_topics=8, n_iterations=2, rng=0,
+            rho=0.5, alpha=0.5, use_topic_factor=False,
+        )
+        assert result.config.use_topic_factor is False
+
+
+class TestEdgeCases:
+    def test_no_diffusion_links(self, twitter_tiny):
+        """CPD degrades gracefully to content + friendship modelling."""
+        from repro.graph import SocialGraph
+
+        graph, _ = twitter_tiny
+        stripped = SocialGraph(
+            users=graph.users,
+            documents=graph.documents,
+            friendship_links=graph.friendship_links,
+            diffusion_links=[],
+            vocabulary=graph.vocabulary,
+        )
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=2, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(stripped)
+        assert result.pi.shape[0] == graph.n_users
+
+    def test_no_friendship_links(self, twitter_tiny):
+        from repro.graph import SocialGraph
+
+        graph, _ = twitter_tiny
+        stripped = SocialGraph(
+            users=graph.users,
+            documents=graph.documents,
+            friendship_links=[],
+            diffusion_links=graph.diffusion_links,
+            vocabulary=graph.vocabulary,
+        )
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=2, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(stripped)
+        assert result.eta.sum() == pytest.approx(1.0)

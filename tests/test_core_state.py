@@ -1,0 +1,121 @@
+"""Tests for the Gibbs count state (incl. hypothesis inversion property)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CPDConfig
+from repro.core.state import CPDState
+
+
+@pytest.fixture()
+def state(twitter_tiny, tiny_config):
+    graph, _ = twitter_tiny
+    return CPDState(graph, tiny_config)
+
+
+class TestAssignUnassign:
+    def test_assign_updates_counts(self, state):
+        state.assign(0, community=1, topic=2)
+        assert state.doc_community[0] == 1
+        assert state.doc_topic[0] == 2
+        assert state.community_topic[1, 2] == 1
+        assert state.community_totals[1] == 1
+
+    def test_double_assign_rejected(self, state):
+        state.assign(0, 0, 0)
+        with pytest.raises(ValueError):
+            state.assign(0, 1, 1)
+
+    def test_unassign_restores(self, state):
+        state.assign(0, 1, 2)
+        old = state.unassign(0)
+        assert old == (1, 2)
+        assert state.community_topic.sum() == 0
+        assert state.topic_word.sum() == 0
+        assert state.user_community.sum() == 0
+
+    def test_unassign_unassigned_rejected(self, state):
+        with pytest.raises(ValueError):
+            state.unassign(0)
+
+    def test_random_init_covers_all_docs(self, state, rng):
+        state.random_init(rng)
+        assert np.all(state.doc_topic >= 0)
+        assert np.all(state.doc_community >= 0)
+        state.check_consistency()
+
+    def test_fixed_communities_respected(self, state, rng, twitter_tiny):
+        graph, _ = twitter_tiny
+        fixed = np.zeros(graph.n_documents, dtype=np.int64)
+        state.random_init(rng, fixed_communities=fixed)
+        np.testing.assert_array_equal(state.doc_community, 0)
+
+
+class TestEstimators:
+    def test_pi_hat_normalised(self, state, rng):
+        state.random_init(rng)
+        np.testing.assert_allclose(state.pi_hat().sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_theta_phi_normalised(self, state, rng):
+        state.random_init(rng)
+        np.testing.assert_allclose(state.theta_hat().sum(axis=1), 1.0, rtol=1e-9)
+        np.testing.assert_allclose(state.phi_hat().sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_pi_hat_user_matches_matrix(self, state, rng):
+        state.random_init(rng)
+        np.testing.assert_allclose(state.pi_hat_user(3), state.pi_hat()[3])
+
+    def test_smoothing_formula(self, state):
+        state.assign(0, 0, 0)  # doc 0 belongs to some user u
+        user = int(np.flatnonzero(state.user_totals)[0])
+        pi = state.pi_hat_user(user)
+        expected_top = (1 + state.rho) / (1 + state.n_communities * state.rho)
+        assert pi[0] == pytest.approx(expected_top)
+
+
+class TestSnapshots:
+    def test_load_assignments_roundtrip(self, state, rng):
+        state.random_init(rng)
+        communities = state.doc_community.copy()
+        topics = state.doc_topic.copy()
+        theta_before = state.theta_hat()
+        state.load_assignments(communities, topics)
+        state.check_consistency()
+        np.testing.assert_allclose(state.theta_hat(), theta_before)
+
+    def test_reset_clears(self, state, rng):
+        state.random_init(rng)
+        state.reset()
+        assert state.topic_word.sum() == 0
+        assert np.all(state.doc_topic == -1)
+
+    def test_load_rejects_wrong_shape(self, state):
+        with pytest.raises(ValueError):
+            state.load_assignments(np.zeros(3), np.zeros(3))
+
+
+class TestInversionProperty:
+    @given(
+        moves=st.lists(
+            st.tuples(st.integers(0, 19), st.integers(0, 3), st.integers(0, 7)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_assign_unassign_sequences_keep_consistency(
+        self, twitter_tiny, tiny_config, moves
+    ):
+        """Arbitrary assign/unassign interleavings never desync counters."""
+        graph, _ = twitter_tiny
+        state = CPDState(graph, tiny_config)
+        for doc_id, community, topic in moves:
+            if state.doc_topic[doc_id] == -1:
+                state.assign(doc_id, community, topic)
+            else:
+                state.unassign(doc_id)
+        state.check_consistency()
+        assert np.all(state.user_community >= 0)
+        assert np.all(state.topic_word >= 0)

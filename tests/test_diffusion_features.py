@@ -1,0 +1,131 @@
+"""Tests for user features and topic popularity."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import TopicPopularity, UserFeatures
+
+
+class TestUserFeatures:
+    def test_shapes(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        features = UserFeatures(graph)
+        assert features.popularity.shape == (graph.n_users,)
+        assert features.activeness.shape == (graph.n_users,)
+
+    def test_pair_features_layout(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        features = UserFeatures(graph)
+        pair = features.pair_features(0, 1)
+        assert pair.shape == (UserFeatures.N_FEATURES,)
+        assert pair[0] == features.popularity[0]
+        assert pair[2] == features.popularity[1]
+
+    def test_batch_matches_single(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        features = UserFeatures(graph)
+        batch = features.pair_features_batch(np.array([0, 2]), np.array([1, 3]))
+        np.testing.assert_allclose(batch[0], features.pair_features(0, 1))
+        np.testing.assert_allclose(batch[1], features.pair_features(2, 3))
+
+    def test_batch_rejects_mismatched(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        features = UserFeatures(graph)
+        with pytest.raises(ValueError):
+            features.pair_features_batch(np.array([0]), np.array([1, 2]))
+
+    def test_popularity_reflects_followers(self, twitter_tiny):
+        """Popularity is the smoothed follower (in-degree) count."""
+        graph, _ = twitter_tiny
+        features = UserFeatures(graph, log_scale=False)
+        followers = np.array([graph.follower_count(u) for u in range(graph.n_users)])
+        np.testing.assert_allclose(features.popularity, followers + 1.0)
+
+    def test_popularity_varies_on_symmetric_graphs(self, dblp_tiny):
+        """The paper's follower/followee ratio is constant 1 on symmetric
+        co-authorship graphs; the follower-count definition still varies."""
+        graph, _ = dblp_tiny
+        features = UserFeatures(graph)
+        assert features.popularity.std() > 0
+
+    def test_log_scale_default(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        raw = UserFeatures(graph, log_scale=False)
+        logged = UserFeatures(graph, log_scale=True)
+        np.testing.assert_allclose(logged.popularity, np.log(raw.popularity))
+
+
+class TestTopicPopularity:
+    def test_increment_decrement_roundtrip(self):
+        table = TopicPopularity(n_topics=3, n_time_buckets=4)
+        table.increment(1, 2)
+        assert table.count(1, 2) == 1
+        table.decrement(1, 2)
+        assert table.count(1, 2) == 0
+
+    def test_underflow_raises(self):
+        table = TopicPopularity(n_topics=2, n_time_buckets=2)
+        with pytest.raises(ValueError):
+            table.decrement(0, 0)
+
+    def test_move(self):
+        table = TopicPopularity(n_topics=3, n_time_buckets=2)
+        table.increment(0, 1)
+        table.move(0, 1, 2)
+        assert table.count(0, 1) == 0
+        assert table.count(0, 2) == 1
+
+    def test_from_assignments(self):
+        table = TopicPopularity.from_assignments(
+            timestamps=np.array([0, 0, 1]),
+            topics=np.array([1, 1, 0]),
+            n_topics=2,
+            n_time_buckets=2,
+        )
+        assert table.count(0, 1) == 2
+        assert table.count(1, 0) == 1
+
+    def test_proportion_mode_bounded(self):
+        table = TopicPopularity(n_topics=2, n_time_buckets=1, mode="proportion")
+        for _ in range(10):
+            table.increment(0, 0)
+        scores = table.scores(0)
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] == pytest.approx(0.0)
+
+    def test_raw_mode(self):
+        table = TopicPopularity(n_topics=2, n_time_buckets=1, mode="raw")
+        table.increment(0, 0)
+        table.increment(0, 0)
+        assert table.score(0, 0) == pytest.approx(2.0)
+
+    def test_log_mode(self):
+        table = TopicPopularity(n_topics=2, n_time_buckets=1, mode="log")
+        table.increment(0, 1)
+        assert table.score(0, 1) == pytest.approx(np.log(2.0))
+
+    def test_weight_scales_scores(self):
+        table = TopicPopularity(n_topics=1, n_time_buckets=1, mode="raw", weight=3.0)
+        table.increment(0, 0)
+        assert table.score(0, 0) == pytest.approx(3.0)
+
+    def test_score_matrix_matches_rows(self):
+        table = TopicPopularity.from_assignments(
+            timestamps=np.array([0, 1, 1]),
+            topics=np.array([0, 1, 1]),
+            n_topics=2,
+            n_time_buckets=2,
+        )
+        matrix = table.score_matrix()
+        np.testing.assert_allclose(matrix[0], table.scores(0))
+        np.testing.assert_allclose(matrix[1], table.scores(1))
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            TopicPopularity(1, 1, mode="exotic")
+
+    def test_totals_per_topic(self):
+        table = TopicPopularity.from_assignments(
+            np.array([0, 1]), np.array([1, 1]), n_topics=2, n_time_buckets=2
+        )
+        np.testing.assert_allclose(table.totals_per_topic(), [0.0, 2.0])

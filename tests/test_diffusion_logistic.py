@@ -1,0 +1,127 @@
+"""Tests for the offset logistic-regression trainer."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import LogisticTrainer, LogisticTrainerConfig
+
+
+def separable_data(rng, n=400):
+    x = rng.normal(size=(n, 2))
+    logits = 2.0 * x[:, 0] - 1.0 * x[:, 1] + 0.5
+    labels = (rng.random(n) < 1 / (1 + np.exp(-logits))).astype(float)
+    return x, labels
+
+
+class TestFit:
+    def test_learns_signs(self, rng):
+        x, y = separable_data(rng)
+        fit = LogisticTrainer(LogisticTrainerConfig(n_iterations=300)).fit(x, y)
+        assert fit.weights[0] > 0.5
+        assert fit.weights[1] < -0.2
+
+    def test_predictions_discriminate(self, rng):
+        x, y = separable_data(rng)
+        fit = LogisticTrainer(LogisticTrainerConfig(n_iterations=300)).fit(x, y)
+        probs = fit.predict_proba(x)
+        assert probs[y == 1].mean() > probs[y == 0].mean() + 0.2
+
+    def test_loss_decreases(self, rng):
+        x, y = separable_data(rng)
+        trainer = LogisticTrainer(LogisticTrainerConfig(n_iterations=5))
+        short = trainer.fit(x, y)
+        longer = LogisticTrainer(LogisticTrainerConfig(n_iterations=200)).fit(x, y)
+        assert longer.final_loss <= short.final_loss
+
+    def test_offsets_shift_logits(self, rng):
+        x, y = separable_data(rng)
+        fit = LogisticTrainer().fit(x, y)
+        base = fit.logits(x[:3])
+        shifted = fit.logits(x[:3], offsets=np.full(3, 2.0))
+        np.testing.assert_allclose(shifted - base, 2.0)
+
+    def test_offset_training_absorbs_offset(self, rng):
+        """A constant positive offset on positives should reduce the bias."""
+        x, y = separable_data(rng)
+        offsets = 3.0 * y  # informative offset
+        fit = LogisticTrainer(LogisticTrainerConfig(n_iterations=200)).fit(
+            x, y, offsets=offsets
+        )
+        fit_no = LogisticTrainer(LogisticTrainerConfig(n_iterations=200)).fit(x, y)
+        assert fit.bias < fit_no.bias
+
+    def test_warm_start(self, rng):
+        x, y = separable_data(rng)
+        cold = LogisticTrainer(LogisticTrainerConfig(n_iterations=1)).fit(x, y)
+        warm = LogisticTrainer(LogisticTrainerConfig(n_iterations=1)).fit(
+            x, y, initial_weights=np.array([2.0, -1.0]), initial_bias=0.5
+        )
+        assert warm.final_loss < cold.final_loss
+
+
+class TestStandardize:
+    def test_scale_invariance(self, rng):
+        """With standardisation, a tiny-scale feature is learned as well."""
+        x, y = separable_data(rng)
+        x_scaled = x.copy()
+        x_scaled[:, 0] *= 1e-4
+        fit = LogisticTrainer(
+            LogisticTrainerConfig(n_iterations=300, standardize=True)
+        ).fit(x_scaled, y)
+        probs = fit.predict_proba(x_scaled)
+        assert probs[y == 1].mean() > probs[y == 0].mean() + 0.2
+        # folded-back raw weight must be large to compensate the tiny scale
+        assert abs(fit.weights[0]) > 1e3
+
+    def test_constant_column_is_safe(self, rng):
+        x, y = separable_data(rng)
+        x_const = np.column_stack([x, np.ones(len(x))])
+        fit = LogisticTrainer(
+            LogisticTrainerConfig(n_iterations=100, standardize=True)
+        ).fit(x_const, y)
+        assert np.all(np.isfinite(fit.weights))
+
+    def test_standardized_matches_plain_predictions(self, rng):
+        x, y = separable_data(rng)
+        plain = LogisticTrainer(LogisticTrainerConfig(n_iterations=500)).fit(x, y)
+        standardized = LogisticTrainer(
+            LogisticTrainerConfig(n_iterations=500, standardize=True)
+        ).fit(x, y)
+        # both converge to similar decision functions
+        corr = np.corrcoef(plain.logits(x), standardized.logits(x))[0, 1]
+        assert corr > 0.99
+
+
+class TestNonnegative:
+    def test_projection_enforced(self, rng):
+        x, y = separable_data(rng)
+        # feature 1 truly has a negative weight; projection pins it at >= 0
+        fit = LogisticTrainer(
+            LogisticTrainerConfig(n_iterations=200, nonnegative=(1,))
+        ).fit(x, y)
+        assert fit.weights[1] >= 0.0
+        assert fit.weights[0] > 0.0
+
+
+class TestValidation:
+    def test_rejects_non_binary_labels(self, rng):
+        with pytest.raises(ValueError):
+            LogisticTrainer().fit(np.ones((3, 1)), np.array([0.0, 0.5, 1.0]))
+
+    def test_rejects_misaligned(self, rng):
+        with pytest.raises(ValueError):
+            LogisticTrainer().fit(np.ones((3, 1)), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            LogisticTrainer().fit(
+                np.ones((2, 1)), np.array([0.0, 1.0]), offsets=np.zeros(3)
+            )
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            LogisticTrainer().fit(np.ones(3), np.array([0.0, 1.0, 0.0]))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            LogisticTrainer(LogisticTrainerConfig(learning_rate=0.0))
+        with pytest.raises(ValueError):
+            LogisticTrainer(LogisticTrainerConfig(n_iterations=0))

@@ -1,0 +1,84 @@
+"""Tests for conductance."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import average_conductance, set_conductance
+from repro.graph import Document, FriendshipLink, SocialGraph, User, Vocabulary
+
+
+def two_cliques_graph():
+    """Users 0-2 and 3-5 form two cliques joined by one edge."""
+    vocab = Vocabulary()
+    vocab.add("w")
+    users = [User(u, doc_ids=[u]) for u in range(6)]
+    documents = [Document(d, d, np.array([0])) for d in range(6)]
+    links = []
+    for clique in ([0, 1, 2], [3, 4, 5]):
+        for a in clique:
+            for b in clique:
+                if a < b:
+                    links.append(FriendshipLink(a, b))
+    links.append(FriendshipLink(2, 3))  # the single cross edge
+    return SocialGraph(users, documents, links, [], vocab)
+
+
+class TestSetConductance:
+    def test_perfect_community(self):
+        graph = two_cliques_graph()
+        # clique {0,1,2}: cut=1, volume inside = 2*3 (intra) + 1 (cross) = 7
+        value = set_conductance(graph, np.array([0, 1, 2]))
+        assert value == pytest.approx(1.0 / 7.0)
+
+    def test_terrible_community(self):
+        graph = two_cliques_graph()
+        # one node from each clique: everything it touches is cut
+        value = set_conductance(graph, np.array([0, 3]))
+        good = set_conductance(graph, np.array([0, 1, 2]))
+        assert value > good
+
+    def test_empty_set_is_worst(self):
+        graph = two_cliques_graph()
+        assert set_conductance(graph, np.array([], dtype=int)) == 1.0
+
+    def test_full_set_is_worst(self):
+        graph = two_cliques_graph()
+        assert set_conductance(graph, np.arange(6)) == 1.0
+
+    def test_bounded(self):
+        graph = two_cliques_graph()
+        for members in ([0], [0, 1], [0, 3, 4]):
+            assert 0.0 <= set_conductance(graph, np.array(members)) <= 1.0
+
+
+class TestAverageConductance:
+    def test_ideal_partition_scores_low(self):
+        graph = two_cliques_graph()
+        memberships = np.zeros((6, 2))
+        memberships[:3, 0] = 1.0
+        memberships[3:, 1] = 1.0
+        value = average_conductance(graph, memberships, top_k=1)
+        assert value == pytest.approx(1.0 / 7.0)
+
+    def test_random_partition_scores_higher(self, rng):
+        graph = two_cliques_graph()
+        ideal = np.zeros((6, 2))
+        ideal[:3, 0] = 1.0
+        ideal[3:, 1] = 1.0
+        scrambled = np.zeros((6, 2))
+        scrambled[[0, 3, 4], 0] = 1.0
+        scrambled[[1, 2, 5], 1] = 1.0
+        assert average_conductance(graph, scrambled, top_k=1) > average_conductance(
+            graph, ideal, top_k=1
+        )
+
+    def test_top_k_overlap(self):
+        graph = two_cliques_graph()
+        memberships = np.full((6, 2), 0.5)
+        # with top_k=2 every user joins both communities -> full sets -> 1.0
+        assert average_conductance(graph, memberships, top_k=2) == 1.0
+
+    def test_shape_validation(self):
+        graph = two_cliques_graph()
+        with pytest.raises(ValueError):
+            average_conductance(graph, np.ones(6))

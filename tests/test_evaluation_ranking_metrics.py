@@ -1,0 +1,102 @@
+"""Tests for MAP/MAR/MAF ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    average_precision_recall_f1,
+    precision_recall_at_k,
+    ranking_scores,
+)
+
+
+def members(*groups):
+    return [np.asarray(g, dtype=np.int64) for g in groups]
+
+
+class TestPrecisionRecallAtK:
+    def test_perfect_first_community(self):
+        ranking = members([1, 2], [3, 4])
+        p, r = precision_recall_at_k(ranking, np.array([1, 2]), k=1)
+        assert p == 1.0 and r == 1.0
+
+    def test_union_semantics(self):
+        ranking = members([1], [2])
+        p, r = precision_recall_at_k(ranking, np.array([1, 2]), k=2)
+        assert p == 1.0 and r == 1.0
+
+    def test_precision_dilution(self):
+        ranking = members([1, 9, 8])  # one relevant of three members
+        p, r = precision_recall_at_k(ranking, np.array([1, 2]), k=1)
+        assert p == pytest.approx(1 / 3)
+        assert r == pytest.approx(1 / 2)
+
+    def test_duplicate_members_counted_once(self):
+        ranking = members([1, 2], [2, 3])
+        p, r = precision_recall_at_k(ranking, np.array([2]), k=2)
+        assert p == pytest.approx(1 / 3)  # union is {1, 2, 3}, one relevant
+        assert r == 1.0
+
+    def test_empty_relevant_raises(self):
+        with pytest.raises(ValueError):
+            precision_recall_at_k(members([1]), np.array([]), k=1)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            precision_recall_at_k(members([1]), np.array([1]), k=0)
+
+
+class TestRankingScores:
+    def test_monotone_recall(self):
+        rankings = [members([1], [2], [3])]
+        relevant = [np.array([1, 2, 3])]
+        scores = ranking_scores(rankings, relevant, max_k=3)
+        assert np.all(np.diff(scores.mar_at_k) >= -1e-12)
+
+    def test_perfect_ranking(self):
+        rankings = [members([1, 2])]
+        relevant = [np.array([1, 2])]
+        scores = ranking_scores(rankings, relevant, max_k=1)
+        assert scores.at(1) == (1.0, 1.0, 1.0)
+
+    def test_f1_harmonic_mean(self):
+        rankings = [members([1, 9])]  # precision 0.5, recall 1.0
+        relevant = [np.array([1])]
+        scores = ranking_scores(rankings, relevant, max_k=1)
+        map1, mar1, maf1 = scores.at(1)
+        assert maf1 == pytest.approx(2 * map1 * mar1 / (map1 + mar1))
+
+    def test_averages_over_queries(self):
+        rankings = [members([1]), members([9])]
+        relevant = [np.array([1]), np.array([1])]
+        scores = ranking_scores(rankings, relevant, max_k=1)
+        assert scores.at(1)[0] == pytest.approx(0.5)
+
+    def test_short_rankings_padded(self):
+        rankings = [members([1])]
+        relevant = [np.array([1])]
+        scores = ranking_scores(rankings, relevant, max_k=5)
+        assert scores.max_k == 5
+        assert scores.map_at_k[4] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ranking_scores([], [], max_k=3)
+        with pytest.raises(ValueError):
+            ranking_scores([members([1])], [], max_k=3)
+
+
+class TestAveragePrecisionRecallF1:
+    def test_matches_manual(self):
+        ranking = members([1], [9])
+        relevant = np.array([1])
+        ap, ar, af = average_precision_recall_f1(ranking, relevant, k=2)
+        # P(1)=1, P(2)=1/2 -> AP=0.75 ; R(1)=R(2)=1 -> AR=1
+        assert ap == pytest.approx(0.75)
+        assert ar == pytest.approx(1.0)
+        assert af == pytest.approx(2 * 0.75 / 1.75)
+
+    def test_zero_case(self):
+        ranking = members([9])
+        ap, ar, af = average_precision_recall_f1(ranking, np.array([1]), k=1)
+        assert (ap, ar, af) == (0.0, 0.0, 0.0)

@@ -1,0 +1,129 @@
+"""Tests for held-out link splits and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig
+from repro.evaluation import (
+    select_n_communities,
+    split_diffusion_links,
+    split_friendship_links,
+)
+
+
+class TestDiffusionSplit:
+    def test_partition(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        split = split_diffusion_links(graph, 0.2, rng)
+        assert split.n_heldout == round(0.2 * graph.n_diffusion_links)
+        assert (
+            split.train_graph.n_diffusion_links + split.n_heldout
+            == graph.n_diffusion_links
+        )
+
+    def test_heldout_not_in_train(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        split = split_diffusion_links(graph, 0.2, rng)
+        train_pairs = split.train_graph.diffusion_pairs()
+        for link in split.heldout_links:
+            assert (link.source_doc, link.target_doc) not in train_pairs
+
+    def test_documents_untouched(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        split = split_diffusion_links(graph, 0.2, rng)
+        assert split.train_graph.n_documents == graph.n_documents
+        assert split.train_graph.n_users == graph.n_users
+
+    def test_arrays(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        split = split_diffusion_links(graph, 0.1, rng)
+        src, tgt, t = split.heldout_arrays()
+        assert len(src) == len(tgt) == len(t) == split.n_heldout
+
+    def test_deterministic(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        a = split_diffusion_links(graph, 0.2, 5)
+        b = split_diffusion_links(graph, 0.2, 5)
+        assert a.heldout_links == b.heldout_links
+
+    def test_invalid_fraction(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        for fraction in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                split_diffusion_links(graph, fraction)
+
+    def test_heldout_prediction_workflow(self, twitter_tiny):
+        """Train on the split graph, score truly unseen links above chance."""
+        from repro.apps import DiffusionPredictor
+        from repro.core import CPDModel
+        from repro.diffusion import sample_negative_diffusion_pairs
+        from repro.evaluation import auc_score
+
+        graph, _ = twitter_tiny
+        split = split_diffusion_links(graph, 0.2, rng=1)
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=15, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(split.train_graph)
+        predictor = DiffusionPredictor(result, split.train_graph)
+        src, tgt, t = split.heldout_arrays()
+        positives = predictor.score_pairs(src, tgt, t)
+        negatives_raw = sample_negative_diffusion_pairs(
+            graph, len(src), 3, exclude=graph.diffusion_pairs()
+        )
+        negatives = predictor.score_pairs(
+            np.array([n[0] for n in negatives_raw]),
+            np.array([n[1] for n in negatives_raw]),
+            np.array([n[2] for n in negatives_raw]),
+        )
+        assert auc_score(positives, negatives) > 0.55
+
+
+class TestFriendshipSplit:
+    def test_partition(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        split = split_friendship_links(graph, 0.25, rng)
+        assert (
+            split.train_graph.n_friendship_links + split.n_heldout
+            == graph.n_friendship_links
+        )
+
+    def test_arrays(self, twitter_tiny, rng):
+        graph, _ = twitter_tiny
+        split = split_friendship_links(graph, 0.1, rng)
+        src, tgt = split.heldout_arrays()
+        assert len(src) == split.n_heldout
+
+    def test_invalid_fraction(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        with pytest.raises(ValueError):
+            split_friendship_links(graph, 1.5)
+
+
+class TestModelSelection:
+    def test_sweep_selects_a_candidate(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        base = CPDConfig(n_communities=2, n_topics=8, n_iterations=5, rho=0.5, alpha=0.5)
+        outcome = select_n_communities(
+            graph, candidates=[2, 4], base_config=base, rng=0
+        )
+        assert outcome.selected.n_communities in (2, 4)
+        assert len(outcome.points) == 2
+        assert outcome.table()[0][0] == 2
+
+    def test_combined_score_in_unit_range(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        base = CPDConfig(n_communities=2, n_topics=8, n_iterations=4, rho=0.5, alpha=0.5)
+        outcome = select_n_communities(graph, [2, 3], base_config=base, rng=0)
+        assert all(0.0 <= p.combined <= 1.0 for p in outcome.points)
+
+    def test_selected_minimises_combined(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        base = CPDConfig(n_communities=2, n_topics=8, n_iterations=4, rho=0.5, alpha=0.5)
+        outcome = select_n_communities(graph, [2, 3, 4], base_config=base, rng=0)
+        assert outcome.selected.combined == min(p.combined for p in outcome.points)
+
+    def test_validation(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        with pytest.raises(ValueError):
+            select_n_communities(graph, [])
+        with pytest.raises(ValueError):
+            select_n_communities(graph, [2], perplexity_weight=2.0)

@@ -1,0 +1,128 @@
+"""Tests for the attribute-profile extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    AttributeProfiler,
+    AttributeSchema,
+    AttributeTable,
+    plant_attributes,
+)
+
+
+@pytest.fixture()
+def schema():
+    return AttributeSchema(names=["region", "role"], cardinalities=[3, 2])
+
+
+@pytest.fixture()
+def peaked_pi(rng):
+    """60 users in 3 near-hard communities."""
+    pi = np.full((60, 3), 0.05)
+    for user in range(60):
+        pi[user, user % 3] = 0.9
+    return pi / pi.sum(axis=1, keepdims=True)
+
+
+class TestSchema:
+    def test_valid(self, schema):
+        assert schema.n_attributes == 2
+        assert schema.index_of("role") == 1
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            AttributeSchema(names=["a"], cardinalities=[2, 3])
+
+    def test_rejects_unary_attribute(self):
+        with pytest.raises(ValueError):
+            AttributeSchema(names=["a"], cardinalities=[1])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            AttributeSchema(names=["a", "a"], cardinalities=[2, 2])
+
+
+class TestTable:
+    def test_valid(self, schema):
+        table = AttributeTable(schema, np.zeros((5, 2), dtype=np.int64))
+        assert table.n_users == 5
+
+    def test_rejects_out_of_range(self, schema):
+        values = np.zeros((5, 2), dtype=np.int64)
+        values[0, 1] = 9
+        with pytest.raises(ValueError):
+            AttributeTable(schema, values)
+
+    def test_missing_values_allowed(self, schema):
+        values = np.full((5, 2), -1, dtype=np.int64)
+        table = AttributeTable(schema, values)
+        assert np.all(table.column("region") == -1)
+
+
+class TestPlantAttributes:
+    def test_shapes(self, schema, peaked_pi, rng):
+        table, planted = plant_attributes(peaked_pi, schema, rng=rng)
+        assert table.n_users == 60
+        assert planted[0].shape == (3, 3)
+        assert planted[1].shape == (3, 2)
+        np.testing.assert_allclose(planted[0].sum(axis=1), 1.0)
+
+    def test_missing_rate(self, schema, peaked_pi, rng):
+        table, _ = plant_attributes(peaked_pi, schema, missing_rate=0.5, rng=rng)
+        missing = (table.values == -1).mean()
+        assert 0.3 < missing < 0.7
+
+
+class TestProfiler:
+    def test_profiles_normalised(self, schema, peaked_pi, rng):
+        table, _ = plant_attributes(peaked_pi, schema, rng=rng)
+        profiler = AttributeProfiler(peaked_pi, table)
+        np.testing.assert_allclose(profiler.profile("region").sum(axis=1), 1.0)
+
+    def test_recovers_planted_profiles(self, schema, peaked_pi, rng):
+        """With peaked memberships the estimator must track the planted
+        community-attribute distributions."""
+        table, planted = plant_attributes(
+            peaked_pi, schema, concentration=0.15, rng=rng
+        )
+        profiler = AttributeProfiler(peaked_pi, table)
+        estimated = profiler.profile("region")
+        # dominant value agrees per community
+        agreement = (estimated.argmax(axis=1) == planted[0].argmax(axis=1)).mean()
+        assert agreement >= 2 / 3
+
+    def test_prediction_beats_chance(self, schema, peaked_pi, rng):
+        table, _ = plant_attributes(peaked_pi, schema, concentration=0.1, rng=rng)
+        profiler = AttributeProfiler(peaked_pi, table)
+        accuracy = profiler.prediction_accuracy("region", np.arange(60))
+        assert accuracy > 1.0 / 3.0
+
+    def test_top_values_sorted(self, schema, peaked_pi, rng):
+        table, _ = plant_attributes(peaked_pi, schema, rng=rng)
+        profiler = AttributeProfiler(peaked_pi, table)
+        tops = profiler.top_values(0, "region", n=3)
+        weights = [w for _v, w in tops]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_distinctiveness_detects_signal(self, schema, peaked_pi, rng):
+        planted_table, _ = plant_attributes(peaked_pi, schema, concentration=0.1, rng=rng)
+        signal = AttributeProfiler(peaked_pi, planted_table).distinctiveness("region")
+        random_values = rng.integers(0, 3, size=(60, 1))
+        random_table = AttributeTable(
+            AttributeSchema(["region"], [3]), random_values
+        )
+        noise = AttributeProfiler(peaked_pi, random_table).distinctiveness("region")
+        assert signal > noise
+
+    def test_missing_values_skipped(self, schema, peaked_pi, rng):
+        table, _ = plant_attributes(peaked_pi, schema, missing_rate=0.9, rng=rng)
+        profiler = AttributeProfiler(peaked_pi, table)
+        assert np.all(np.isfinite(profiler.profile("role")))
+
+    def test_validation(self, schema, peaked_pi, rng):
+        table, _ = plant_attributes(peaked_pi, schema, rng=rng)
+        with pytest.raises(ValueError):
+            AttributeProfiler(peaked_pi[:10], table)
+        with pytest.raises(ValueError):
+            AttributeProfiler(peaked_pi, table, smoothing=0.0)

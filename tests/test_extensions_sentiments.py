@@ -1,0 +1,101 @@
+"""Tests for the sentiment-profile extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig, CPDModel
+from repro.extensions import (
+    BANDS,
+    band_of,
+    score_documents,
+    score_tokens,
+    sentiment_profile,
+)
+from repro.graph import SocialGraphBuilder
+
+
+class TestScoring:
+    def test_positive_tokens(self):
+        assert score_tokens(["great", "amazing", "results"]) > 0
+
+    def test_negative_tokens(self):
+        assert score_tokens(["terrible", "broken", "bug"]) < 0
+
+    def test_neutral_tokens(self):
+        assert score_tokens(["database", "query", "index"]) == 0.0
+
+    def test_mixed_tokens(self):
+        score = score_tokens(["great", "terrible"])
+        assert score == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert score_tokens([]) == 0.0
+
+    def test_bounded(self):
+        assert -1.0 <= score_tokens(["awful"] * 10 + ["great"]) <= 1.0
+
+
+class TestBands:
+    def test_band_mapping(self):
+        assert BANDS[band_of(-0.9)] == "negative"
+        assert BANDS[band_of(0.0)] == "neutral"
+        assert BANDS[band_of(0.9)] == "positive"
+
+    def test_width_respected(self):
+        assert band_of(0.1, neutral_width=0.15) == 1
+        assert band_of(0.1, neutral_width=0.05) == 2
+
+
+@pytest.fixture(scope="module")
+def sentiment_graph():
+    """Two users posting clearly positive vs clearly negative content."""
+    builder = SocialGraphBuilder(name="sentiment-demo")
+    happy = builder.add_user(name="happy")
+    grumpy = builder.add_user(name="grumpy")
+    third = builder.add_user(name="third")
+    for i in range(4):
+        builder.add_document(happy, ["great", "amazing", "results", f"tok{i}"], timestamp=i)
+        builder.add_document(grumpy, ["terrible", "broken", "crash", f"tok{i}"], timestamp=i)
+        builder.add_document(third, ["database", "index", "query", f"tok{i}"], timestamp=i)
+    builder.add_friendship(happy, third)
+    builder.add_friendship(grumpy, third)
+    builder.add_diffusion(0, 3)  # happy doc diffuses grumpy doc
+    builder.add_diffusion(4, 1)  # grumpy doc diffuses happy doc
+    return builder.build()
+
+
+class TestSentimentProfile:
+    def test_profile_shapes_and_normalisation(self, sentiment_graph):
+        config = CPDConfig(n_communities=3, n_topics=3, n_iterations=5, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(sentiment_graph)
+        profile = sentiment_profile(result, sentiment_graph)
+        assert profile.band_distribution.shape == (3, 3)
+        np.testing.assert_allclose(profile.band_distribution.sum(axis=1), 1.0)
+        assert profile.pair_polarity.shape == (3, 3)
+
+    def test_document_scores_sign(self, sentiment_graph):
+        scores = score_documents(sentiment_graph)
+        # docs 0..3 are happy's (positive), 4..7 grumpy's (negative)
+        assert scores[0] > 0
+        assert scores[4] < 0
+
+    def test_extreme_communities_identified(self, sentiment_graph):
+        config = CPDConfig(n_communities=3, n_topics=3, n_iterations=15, rho=0.1, alpha=0.5)
+        result = CPDModel(config, rng=1).fit(sentiment_graph)
+        profile = sentiment_profile(result, sentiment_graph)
+        most_positive = profile.most_positive_community()
+        most_negative = profile.most_negative_community()
+        assert profile.mean_polarity[most_positive] >= profile.mean_polarity[most_negative]
+
+    def test_describe_readable(self, sentiment_graph):
+        config = CPDConfig(n_communities=2, n_topics=2, n_iterations=3, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(sentiment_graph)
+        text = sentiment_profile(result, sentiment_graph).describe()
+        assert "mean polarity" in text
+        assert "c00" in text
+
+    def test_pair_counts_match_links(self, sentiment_graph):
+        config = CPDConfig(n_communities=2, n_topics=2, n_iterations=3, rho=0.5, alpha=0.5)
+        result = CPDModel(config, rng=0).fit(sentiment_graph)
+        profile = sentiment_profile(result, sentiment_graph)
+        assert profile.pair_counts.sum() == sentiment_graph.n_diffusion_links

@@ -1,0 +1,122 @@
+"""Tests for SocialGraphBuilder (incremental construction + filters)."""
+
+import pytest
+
+from repro.graph import SocialGraphBuilder
+from repro.text import Preprocessor
+
+
+class TestBasicConstruction:
+    def test_token_list_documents(self):
+        builder = SocialGraphBuilder()
+        u0 = builder.add_user()
+        u1 = builder.add_user()
+        builder.add_document(u0, ["graph", "mining"], timestamp=3)
+        builder.add_document(u1, ["graph", "query"])
+        builder.add_friendship(u0, u1)
+        graph = builder.build()
+        assert graph.n_users == 2
+        assert graph.n_documents == 2
+        assert graph.documents[0].timestamp == 3
+        assert graph.vocabulary.frequency("graph") == 2
+
+    def test_user_keys(self):
+        builder = SocialGraphBuilder()
+        builder.add_user(key="alice")
+        assert builder.user_id("alice") == 0
+        with pytest.raises(ValueError):
+            builder.add_user(key="alice")
+
+    def test_doc_keys(self):
+        builder = SocialGraphBuilder()
+        user = builder.add_user()
+        builder.add_document(user, ["a", "b"], key="t1")
+        assert builder.doc_id("t1") == 0
+
+    def test_unknown_user_rejected(self):
+        builder = SocialGraphBuilder()
+        with pytest.raises(ValueError):
+            builder.add_document(5, ["a", "b"])
+
+    def test_self_links_rejected(self):
+        builder = SocialGraphBuilder()
+        user = builder.add_user()
+        builder.add_document(user, ["a", "b"])
+        with pytest.raises(ValueError):
+            builder.add_friendship(user, user)
+        with pytest.raises(ValueError):
+            builder.add_diffusion(0, 0)
+
+
+class TestFilters:
+    def test_short_documents_dropped(self):
+        builder = SocialGraphBuilder()
+        user = builder.add_user()
+        builder.add_document(user, ["solo"])
+        builder.add_document(user, ["two", "words"])
+        graph = builder.build(min_words_per_document=2)
+        assert graph.n_documents == 1
+
+    def test_empty_users_dropped_with_their_links(self):
+        builder = SocialGraphBuilder()
+        u0 = builder.add_user()
+        u1 = builder.add_user()
+        builder.add_document(u0, ["keep", "me"])
+        builder.add_document(u1, ["x"])  # will be dropped
+        builder.add_friendship(u0, u1)
+        graph = builder.build(min_words_per_document=2)
+        assert graph.n_users == 1
+        assert graph.n_friendship_links == 0
+
+    def test_dangling_diffusion_dropped(self):
+        builder = SocialGraphBuilder()
+        u0 = builder.add_user()
+        u1 = builder.add_user()
+        d0 = builder.add_document(u0, ["a", "b"])
+        d1 = builder.add_document(u1, ["c"])
+        builder.add_diffusion(d0, d1)
+        graph = builder.build(min_words_per_document=2)
+        assert graph.n_diffusion_links == 0
+
+    def test_ids_re_densified(self):
+        builder = SocialGraphBuilder()
+        u0 = builder.add_user()
+        u1 = builder.add_user()
+        builder.add_document(u0, ["x"])  # dropped
+        builder.add_document(u1, ["a", "b"])
+        graph = builder.build(min_words_per_document=2)
+        assert graph.documents[0].doc_id == 0
+        assert graph.documents[0].user_id == 0
+
+
+class TestWithPreprocessor:
+    def test_raw_text_is_preprocessed(self):
+        builder = SocialGraphBuilder(preprocessor=Preprocessor())
+        user = builder.add_user()
+        builder.add_document(user, "The networks are learning! #ai", timestamp=1)
+        graph = builder.build()
+        words = set(graph.vocabulary)
+        assert "#ai" in words
+        assert "network" in words
+        assert "the" not in words
+
+    def test_diffusion_default_timestamp_from_source(self):
+        builder = SocialGraphBuilder()
+        user0 = builder.add_user()
+        user1 = builder.add_user()
+        d0 = builder.add_document(user0, ["a", "b"], timestamp=5)
+        d1 = builder.add_document(user1, ["c", "d"], timestamp=2)
+        builder.add_diffusion(d0, d1)
+        graph = builder.build()
+        assert graph.diffusion_links[0].timestamp == 5
+
+    def test_duplicate_links_collapse(self):
+        builder = SocialGraphBuilder()
+        u0 = builder.add_user()
+        u1 = builder.add_user()
+        builder.add_document(u0, ["a", "b"])
+        builder.add_document(u1, ["c", "d"])
+        builder.add_friendship(u0, u1)
+        builder.add_friendship(u0, u1)
+        graph = builder.build()
+        assert graph.n_friendship_links == 1

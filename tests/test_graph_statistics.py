@@ -1,0 +1,71 @@
+"""Tests for descriptive graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import compute_statistics
+from repro.graph.statistics import DegreeSummary, _gini
+
+
+class TestGini:
+    def test_equal_values(self):
+        assert _gini(np.ones(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_extreme_skew(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert _gini(values) > 0.9
+
+    def test_bounded(self, rng):
+        values = rng.exponential(size=200)
+        assert 0.0 <= _gini(values) <= 1.0
+
+    def test_zero_total(self):
+        assert _gini(np.zeros(5)) == 0.0
+
+
+class TestDegreeSummary:
+    def test_from_degrees(self):
+        summary = DegreeSummary.from_degrees(np.array([1, 2, 3, 10]))
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.maximum == 10
+
+    def test_empty(self):
+        summary = DegreeSummary.from_degrees(np.array([]))
+        assert summary.mean == 0.0
+        assert summary.maximum == 0
+
+
+class TestComputeStatistics:
+    def test_twitter_profile(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        stats = compute_statistics(graph)
+        assert stats.followers.mean > 0
+        assert 0.0 <= stats.reciprocity <= 1.0
+        assert 0.0 <= stats.clustering_coefficient <= 1.0
+        assert stats.n_cascades > 0
+        assert stats.largest_cascade >= 2
+
+    def test_dblp_reciprocity_full(self, dblp_tiny):
+        """Symmetric co-authorship graphs are fully reciprocated."""
+        graph, _ = dblp_tiny
+        stats = compute_statistics(graph)
+        assert stats.reciprocity == pytest.approx(1.0)
+
+    def test_twitter_reciprocity_partial(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        stats = compute_statistics(graph)
+        assert stats.reciprocity < 1.0
+
+    def test_activity_skew_measured(self, twitter_tiny):
+        """Zipf activity in the Twitter flavour shows up as high Gini."""
+        graph, _ = twitter_tiny
+        stats = compute_statistics(graph)
+        assert stats.documents_per_user.gini > 0.15
+
+    def test_describe_readable(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        text = compute_statistics(graph).describe()
+        assert "followers" in text
+        assert "cascades" in text

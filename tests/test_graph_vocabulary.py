@@ -1,0 +1,94 @@
+"""Tests for repro.graph.vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Vocabulary
+
+
+class TestAddAndLookup:
+    def test_ids_are_dense(self):
+        vocab = Vocabulary()
+        assert vocab.add("alpha") == 0
+        assert vocab.add("beta") == 1
+        assert len(vocab) == 2
+
+    def test_duplicate_add_bumps_frequency(self):
+        vocab = Vocabulary()
+        vocab.add("alpha")
+        assert vocab.add("alpha") == 0
+        assert vocab.frequency("alpha") == 2
+
+    def test_id_word_roundtrip(self):
+        vocab = Vocabulary()
+        vocab.add("alpha")
+        assert vocab.word_of(vocab.id_of("alpha")) == "alpha"
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(KeyError):
+            Vocabulary().id_of("ghost")
+
+    def test_contains(self):
+        vocab = Vocabulary()
+        vocab.add("alpha")
+        assert "alpha" in vocab and "beta" not in vocab
+
+    def test_iteration_order(self):
+        vocab = Vocabulary()
+        for word in ("c", "a", "b"):
+            vocab.add(word)
+        assert list(vocab) == ["c", "a", "b"]
+
+
+class TestFreeze:
+    def test_frozen_rejects_new_words(self):
+        vocab = Vocabulary()
+        vocab.add("alpha")
+        vocab.freeze()
+        assert vocab.frozen
+        with pytest.raises(KeyError):
+            vocab.add("beta")
+
+    def test_frozen_still_counts_existing(self):
+        vocab = Vocabulary()
+        vocab.add("alpha")
+        vocab.freeze()
+        assert vocab.add("alpha") == 0
+
+
+class TestEncode:
+    def test_growing_encode(self):
+        vocab = Vocabulary()
+        ids = vocab.encode(["a", "b", "a"])
+        np.testing.assert_array_equal(ids, [0, 1, 0])
+
+    def test_non_growing_encode_skips_unknown(self):
+        vocab = Vocabulary()
+        vocab.add("a")
+        ids = vocab.encode(["a", "zzz"], grow=False)
+        np.testing.assert_array_equal(ids, [0])
+
+    def test_decode(self):
+        vocab = Vocabulary()
+        vocab.encode(["x", "y"])
+        assert vocab.decode([1, 0]) == ["y", "x"]
+
+
+class TestTopWordsAndSerialization:
+    def test_top_words(self):
+        vocab = Vocabulary()
+        vocab.encode(["a", "a", "b", "c", "a", "b"])
+        top = vocab.top_words(2)
+        assert top[0] == ("a", 3)
+        assert top[1] == ("b", 2)
+
+    def test_from_token_lists(self):
+        vocab = Vocabulary.from_token_lists([["b", "a"], ["a"]])
+        assert len(vocab) == 2
+        assert vocab.frequency("a") == 2
+
+    def test_dict_roundtrip(self):
+        vocab = Vocabulary.from_token_lists([["x", "y", "x"]])
+        clone = Vocabulary.from_dict(vocab.to_dict())
+        assert list(clone) == list(vocab)
+        assert clone.frequency("x") == vocab.frequency("x")

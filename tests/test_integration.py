@@ -1,0 +1,138 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the realistic pipelines a downstream user runs: build a
+graph from raw text, fit CPD, use all three applications, compare against
+a baseline, and round-trip artifacts through serialisation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CPDConfig,
+    CPDModel,
+    CommunityRanker,
+    DiffusionPredictor,
+    SocialGraphBuilder,
+    fit_cpd,
+)
+from repro.apps import build_diffusion_graph, community_labels, to_json
+from repro.baselines import COLDAgg, CPDVariant
+from repro.evaluation import (
+    content_perplexity,
+    diffusion_auc_folds,
+    friendship_auc_folds,
+    paired_one_tailed_ttest,
+    select_queries,
+)
+from repro.text import Preprocessor
+
+
+class TestRawTextPipeline:
+    """From raw strings to fitted profiles — the builder + text substrate."""
+
+    def test_full_pipeline_from_text(self):
+        builder = SocialGraphBuilder(preprocessor=Preprocessor(), name="raw-demo")
+        authors = {}
+        corpus = {
+            "alice": [
+                "Deep learning networks for image recognition #ai",
+                "Training deep neural networks efficiently #ai",
+            ],
+            "bob": [
+                "Database query optimization techniques",
+                "Indexing structures for database systems",
+            ],
+            "carol": [
+                "Deep networks applied to databases #ai",
+                "Neural query optimizers for modern databases",
+            ],
+        }
+        for name, texts in corpus.items():
+            authors[name] = builder.add_user(key=name, name=name)
+            for index, text in enumerate(texts):
+                builder.add_document(authors[name], text, timestamp=index, key=(name, index))
+        builder.add_friendship(authors["alice"], authors["carol"])
+        builder.add_friendship(authors["bob"], authors["carol"])
+        builder.add_diffusion(builder.doc_id(("carol", 0)), builder.doc_id(("alice", 0)))
+        builder.add_diffusion(builder.doc_id(("carol", 1)), builder.doc_id(("bob", 1)))
+        graph = builder.build()
+
+        result = fit_cpd(
+            graph, n_communities=2, n_topics=2, n_iterations=10, rng=0,
+            rho=0.5, alpha=0.5,
+        )
+        assert result.pi.shape == (3, 2)
+        # the profiles must explain the corpus better than a uniform model
+        uniform_perplexity = graph.n_words
+        fitted = content_perplexity(graph, result.pi, result.theta, result.phi)
+        assert fitted < uniform_perplexity
+
+
+class TestApplicationsTogether:
+    def test_all_three_applications_run(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        # application 1: community-aware diffusion
+        predictor = DiffusionPredictor(fitted_cpd, graph)
+        probability = predictor.predict(source_user=1, target_doc=0, timestamp=2)
+        assert 0.0 <= probability <= 1.0
+        # application 2: profile-driven ranking
+        queries = select_queries(graph, min_frequency=2, hashtags_only=True)
+        ranker = CommunityRanker(fitted_cpd, graph)
+        ranked = ranker.rank(queries[0].term)
+        assert len(ranked) == fitted_cpd.n_communities
+        # application 3: visualization
+        labels = community_labels(fitted_cpd, graph.vocabulary)
+        diffusion_graph = build_diffusion_graph(fitted_cpd, labels=labels)
+        payload = to_json(diffusion_graph)
+        assert "nodes" in payload
+
+    def test_predictions_scored_by_protocol(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        predictor = DiffusionPredictor(fitted_cpd, graph)
+        diffusion = diffusion_auc_folds(graph, predictor.score_pairs, rng=0)
+        pi = fitted_cpd.pi
+        friendship = friendship_auc_folds(
+            graph, lambda u, v: np.einsum("ij,ij->i", pi[u], pi[v]), rng=0
+        )
+        assert diffusion.mean > 0.55
+        assert friendship.mean > 0.55
+
+
+class TestJointBeatsAggregationOnPerplexity:
+    """The Fig. 8 claim at test scale: joint profiling explains content far
+    better than detect-then-aggregate."""
+
+    def test_perplexity_gap(self, twitter_tiny, fitted_cpd):
+        graph, _ = twitter_tiny
+        baseline = COLDAgg(4, 8, n_iterations=6, rho=0.5, alpha=0.5).fit(graph, rng=0)
+        profiles = baseline.profiles()
+        agg_perplexity = content_perplexity(
+            graph, baseline.memberships(), profiles.theta, profiles.phi
+        )
+        cpd_perplexity = content_perplexity(
+            graph, fitted_cpd.pi, fitted_cpd.theta, fitted_cpd.phi
+        )
+        assert cpd_perplexity < agg_perplexity
+
+
+class TestSignificanceWorkflow:
+    def test_fold_pairing(self, twitter_tiny, fitted_cpd):
+        graph, _ = twitter_tiny
+        predictor = DiffusionPredictor(fitted_cpd, graph)
+        ours = diffusion_auc_folds(graph, predictor.score_pairs, rng=1)
+        chance = diffusion_auc_folds(
+            graph, lambda s, t, ts: np.ones(len(s)), rng=1
+        )
+        result = paired_one_tailed_ttest(ours.fold_scores, chance.fold_scores)
+        assert result.mean_difference > 0
+
+    def test_model_with_more_iterations_not_worse(self, twitter_tiny):
+        """Sanity: longer EM should not collapse the fit."""
+        graph, truth = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=2, rho=0.5, alpha=0.5)
+        short = CPDModel(config, rng=3).fit(graph)
+        longer = CPDModel(config.with_overrides(n_iterations=15), rng=3).fit(graph)
+        short_perp = content_perplexity(graph, short.pi, short.theta, short.phi)
+        long_perp = content_perplexity(graph, longer.pi, longer.theta, longer.phi)
+        assert long_perp < short_perp * 1.1

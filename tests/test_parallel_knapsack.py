@@ -1,0 +1,93 @@
+"""Tests for knapsack segment allocation (incl. hypothesis feasibility)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import allocate_segments, solve_knapsack
+
+
+class TestSolveKnapsack:
+    def test_exact_fit(self):
+        chosen = solve_knapsack(np.array([3.0, 5.0, 2.0]), capacity=5.0)
+        total = sum([3.0, 5.0, 2.0][i] for i in chosen)
+        assert total <= 5.0 + 1e-9
+        assert total >= 5.0 - 0.05  # 5.0 alone or 3+2
+
+    def test_capacity_respected(self):
+        workloads = np.array([4.0, 4.0, 4.0])
+        chosen = solve_knapsack(workloads, capacity=7.0)
+        assert sum(workloads[i] for i in chosen) <= 7.0 * 1.01
+
+    def test_empty_inputs(self):
+        assert solve_knapsack(np.array([]), 5.0) == []
+        assert solve_knapsack(np.array([1.0]), 0.0) == []
+
+    def test_single_item_larger_than_capacity(self):
+        assert solve_knapsack(np.array([10.0]), capacity=1.0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            solve_knapsack(np.array([-1.0]), 1.0)
+
+    @given(
+        workloads=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=12),
+        capacity=st.floats(1.0, 150.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_property(self, workloads, capacity):
+        workloads = np.asarray(workloads)
+        chosen = solve_knapsack(workloads, capacity)
+        assert len(set(chosen)) == len(chosen)  # no duplicates
+        # scaled-integer rounding can overshoot by at most one bucket
+        assert sum(workloads[i] for i in chosen) <= capacity * 1.01 + 0.01
+
+
+class TestAllocateSegments:
+    def test_every_segment_assigned_once(self):
+        workloads = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        allocation = allocate_segments(workloads, n_workers=2)
+        assigned = [s for worker in allocation.assignments for s in worker]
+        assert sorted(assigned) == list(range(5))
+
+    def test_balanced_loads(self):
+        workloads = np.array([4.0, 4.0, 4.0, 4.0])
+        allocation = allocate_segments(workloads, n_workers=2)
+        np.testing.assert_allclose(allocation.estimated_loads, [8.0, 8.0])
+        assert allocation.imbalance() == pytest.approx(1.0)
+
+    def test_single_worker_gets_everything(self):
+        allocation = allocate_segments(np.array([1.0, 2.0]), n_workers=1)
+        assert allocation.assignments == [[0, 1]]
+
+    def test_more_workers_than_segments(self):
+        allocation = allocate_segments(np.array([3.0]), n_workers=4)
+        assigned = [s for worker in allocation.assignments for s in worker]
+        assert assigned == [0]
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_segments(np.array([1.0]), 0)
+
+    def test_skewed_workloads_rebalanced(self):
+        workloads = np.array([10.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        allocation = allocate_segments(workloads, n_workers=3)
+        # the heavy segment must sit alone-ish; no worker should carry
+        # more than the heavy segment plus a little
+        assert allocation.estimated_loads.max() <= 11.0
+
+    @given(
+        workloads=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=10),
+        n_workers=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_property(self, workloads, n_workers):
+        workloads = np.asarray(workloads)
+        allocation = allocate_segments(workloads, n_workers)
+        assigned = sorted(s for worker in allocation.assignments for s in worker)
+        assert assigned == list(range(len(workloads)))
+        assert len(allocation.assignments) == n_workers
+        np.testing.assert_allclose(
+            allocation.estimated_loads.sum(), workloads.sum(), rtol=1e-9
+        )

@@ -1,0 +1,72 @@
+"""Tests for the process-parallel E-step runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig, CPDModel, FitOptions
+from repro.evaluation import normalized_mutual_information
+from repro.parallel import ParallelEStepRunner, SerialSweeper
+
+
+@pytest.fixture(scope="module")
+def runner_setup(twitter_tiny):
+    graph, _ = twitter_tiny
+    config = CPDConfig(n_communities=4, n_topics=8, n_iterations=4, rho=0.5, alpha=0.5)
+    return graph, config
+
+
+class TestSerialSweeper:
+    def test_records_stats(self, runner_setup):
+        graph, config = runner_setup
+        sweeper = SerialSweeper()
+        CPDModel(config, rng=0).fit(graph, FitOptions(document_sweeper=sweeper))
+        assert sweeper.stats.iterations == config.n_iterations
+        assert sweeper.stats.worker_seconds[0] > 0
+
+
+class TestParallelRunner:
+    def test_parallel_fit_produces_valid_result(self, runner_setup):
+        graph, config = runner_setup
+        with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:
+            result = CPDModel(config, rng=0).fit(
+                graph, FitOptions(document_sweeper=runner)
+            )
+        np.testing.assert_allclose(result.pi.sum(axis=1), 1.0, rtol=1e-9)
+        assert result.eta.sum() == pytest.approx(1.0)
+        assert runner.stats.iterations == config.n_iterations
+        assert runner.stats.worker_seconds.sum() > 0
+
+    def test_parallel_matches_serial_quality(self, twitter_tiny):
+        """AD-LDA-style merging should not destroy community recovery."""
+        graph, truth = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=12, rho=0.5, alpha=0.5)
+        with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:
+            result = CPDModel(config, rng=0).fit(
+                graph, FitOptions(document_sweeper=runner)
+            )
+        nmi = normalized_mutual_information(
+            result.hard_community_per_user(), truth.primary_community
+        )
+        assert nmi > 0.2
+
+    def test_workers_cover_all_documents(self, runner_setup):
+        graph, config = runner_setup
+        with ParallelEStepRunner(graph, config, n_workers=3, rng=0) as runner:
+            docs = np.sort(
+                np.concatenate(
+                    [runner.schedule.worker_doc_ids(w) for w in range(3)]
+                )
+            )
+            np.testing.assert_array_equal(docs, np.arange(graph.n_documents))
+
+    def test_closed_runner_rejected(self, runner_setup):
+        graph, config = runner_setup
+        runner = ParallelEStepRunner(graph, config, n_workers=1, rng=0)
+        runner.close()
+        with pytest.raises(RuntimeError):
+            runner(None)
+
+    def test_invalid_worker_count(self, runner_setup):
+        graph, config = runner_setup
+        with pytest.raises(ValueError):
+            ParallelEStepRunner(graph, config, n_workers=0)

@@ -1,0 +1,126 @@
+"""Cross-cutting property tests on library invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import graph_from_dict, graph_to_dict
+from repro.sampling import normalize, smoothed_probability
+from repro.text import stem, tokenize
+
+_WORDS = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15)
+
+
+class TestStemmerProperties:
+    @given(word=_WORDS)
+    @settings(max_examples=200, deadline=None)
+    def test_converges_to_fixpoint(self, word):
+        """Porter stemming is famously not idempotent (e.g. 'aase' -> 'aas'
+        -> 'aa'), but repeated application must converge fast: each pass
+        never lengthens the word, so a fixpoint is reached within a few
+        iterations and no oscillation is possible."""
+        current = word
+        for _ in range(6):
+            following = stem(current)
+            assert len(following) <= len(current)
+            if following == current:
+                break
+            current = following
+        assert stem(current) == current
+
+    @given(word=_WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_never_longer(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(word=_WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_nonempty_output(self, word):
+        assert stem(word)
+
+
+class TestTokenizerProperties:
+    @given(text=st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_never_crashes_and_lowercases(self, text):
+        tokens = tokenize(text)
+        assert all(token == token.lower() for token in tokens)
+
+    @given(text=st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_tokens_have_no_whitespace(self, text):
+        assert all(" " not in token for token in tokenize(text))
+
+
+class TestEstimatorProperties:
+    @given(
+        counts=st.lists(st.integers(0, 1000), min_size=1, max_size=20),
+        prior=st.floats(0.01, 10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_smoothed_probability_simplex(self, counts, prior):
+        out = smoothed_probability(np.asarray(counts, dtype=float), prior)
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out > 0)
+
+    @given(
+        counts=st.lists(st.integers(0, 100), min_size=2, max_size=10),
+        prior=st.floats(0.01, 5.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_smoothing_preserves_order(self, counts, prior):
+        counts = np.asarray(counts, dtype=float)
+        out = smoothed_probability(counts, prior)
+        for i in range(len(counts)):
+            for j in range(len(counts)):
+                if counts[i] > counts[j]:
+                    assert out[i] > out[j]
+
+    @given(
+        values=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_normalize_simplex(self, values):
+        out = normalize(np.asarray(values))
+        assert out.sum() == pytest.approx(1.0)
+
+
+class TestGraphSerializationProperties:
+    def test_double_roundtrip_stable(self, twitter_tiny):
+        """Serialise twice: the payloads must be byte-identical."""
+        graph, _ = twitter_tiny
+        once = graph_to_dict(graph)
+        twice = graph_to_dict(graph_from_dict(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("missing", ["vocabulary", "users", "documents"])
+    def test_missing_sections_rejected(self, twitter_tiny, missing):
+        graph, _ = twitter_tiny
+        payload = graph_to_dict(graph)
+        del payload[missing]
+        with pytest.raises((KeyError, ValueError, TypeError)):
+            graph_from_dict(payload)
+
+    def test_corrupt_link_rejected(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        payload = graph_to_dict(graph)
+        payload["friendship_links"][0] = [0, 10**6]
+        with pytest.raises(ValueError):
+            graph_from_dict(payload)
+
+
+class TestResultInvariants:
+    def test_eta_simplex_and_profiles_consistent(self, fitted_cpd):
+        assert fitted_cpd.eta.sum() == pytest.approx(1.0)
+        # openness values derive from eta rows consistently
+        for community in range(fitted_cpd.n_communities):
+            outgoing = fitted_cpd.eta[community].sum()
+            internal = fitted_cpd.eta[community, community].sum()
+            if outgoing > 0:
+                expected = 1.0 - internal / outgoing
+                assert fitted_cpd.openness(community) == pytest.approx(expected)
+
+    def test_membership_rows_simplex(self, fitted_cpd):
+        np.testing.assert_allclose(fitted_cpd.pi.sum(axis=1), 1.0, rtol=1e-9)
+        assert np.all(fitted_cpd.pi > 0)

@@ -1,0 +1,142 @@
+"""Tests for repro.sampling.categorical (incl. hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sampling import (
+    log_normalize,
+    normalize,
+    sample_categorical,
+    sample_log_categorical,
+    sample_many_categorical,
+)
+
+
+class TestSampleCategorical:
+    def test_degenerate_distribution(self, rng):
+        weights = np.array([0.0, 1.0, 0.0])
+        assert all(sample_categorical(weights, rng) == 1 for _ in range(20))
+
+    def test_respects_proportions(self, rng):
+        weights = np.array([1.0, 3.0])
+        draws = np.array([sample_categorical(weights, rng) for _ in range(4000)])
+        assert 0.70 < draws.mean() < 0.80  # expect 0.75
+
+    def test_unnormalised_ok(self, rng):
+        weights = np.array([100.0, 300.0])
+        draws = np.array([sample_categorical(weights, rng) for _ in range(4000)])
+        assert 0.70 < draws.mean() < 0.80
+
+    def test_rejects_all_zero(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(np.zeros(3), rng)
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(np.array([0.5, -0.1]), rng)
+
+    def test_rejects_nan(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(np.array([0.5, np.nan]), rng)
+
+    def test_rejects_matrix(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical(np.ones((2, 2)), rng)
+
+    @given(
+        weights=arrays(
+            np.float64,
+            st.integers(1, 20),
+            elements=st.floats(0.0, 100.0),
+        ).filter(lambda w: w.sum() > 0)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_in_range(self, weights):
+        index = sample_categorical(weights, np.random.default_rng(0))
+        assert 0 <= index < len(weights)
+        assert weights[index] > 0  # zero-weight outcomes are never drawn
+
+
+class TestSampleLogCategorical:
+    def test_matches_linear_space(self, rng):
+        weights = np.array([0.2, 0.8])
+        draws = np.array(
+            [sample_log_categorical(np.log(weights), rng) for _ in range(4000)]
+        )
+        assert 0.75 < draws.mean() < 0.85
+
+    def test_handles_large_negative_logs(self, rng):
+        log_weights = np.array([-1000.0, -1001.0, -5000.0])
+        draws = [sample_log_categorical(log_weights, rng) for _ in range(50)]
+        assert all(d in (0, 1) for d in draws)
+
+    def test_handles_neg_inf_entries(self, rng):
+        log_weights = np.array([-np.inf, 0.0])
+        assert all(sample_log_categorical(log_weights, rng) == 1 for _ in range(20))
+
+    def test_all_neg_inf_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_log_categorical(np.array([-np.inf, -np.inf]), rng)
+
+
+class TestSampleManyCategorical:
+    def test_shape(self, rng):
+        rows = np.ones((5, 3))
+        out = sample_many_categorical(rows, rng)
+        assert out.shape == (5,)
+        assert np.all((out >= 0) & (out < 3))
+
+    def test_deterministic_rows(self, rng):
+        rows = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = sample_many_categorical(rows, rng)
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_zero_row_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_many_categorical(np.array([[1.0, 1.0], [0.0, 0.0]]), rng)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            sample_many_categorical(np.ones(3), rng)
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        out = normalize(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(out.sum(), 1.0)
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_zero_rows_become_uniform(self):
+        out = normalize(np.array([[0.0, 0.0], [2.0, 2.0]]))
+        np.testing.assert_allclose(out[0], [0.5, 0.5])
+        np.testing.assert_allclose(out[1], [0.5, 0.5])
+
+    def test_axis_zero(self):
+        out = normalize(np.array([[1.0, 0.0], [3.0, 0.0]]), axis=0)
+        np.testing.assert_allclose(out[:, 0], [0.25, 0.75])
+        np.testing.assert_allclose(out[:, 1], [0.5, 0.5])
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(1, 5)),
+            elements=st.floats(0.0, 1e6),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rows_always_sum_to_one(self, matrix):
+        out = normalize(matrix)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+
+class TestLogNormalize:
+    def test_matches_softmax(self):
+        logs = np.array([0.0, np.log(3.0)])
+        np.testing.assert_allclose(log_normalize(logs), [0.25, 0.75])
+
+    def test_shift_invariance(self):
+        logs = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(log_normalize(logs), log_normalize(logs + 500.0))

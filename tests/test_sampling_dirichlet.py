@@ -1,0 +1,77 @@
+"""Tests for repro.sampling.dirichlet."""
+
+import numpy as np
+import pytest
+from scipy.special import gammaln
+
+from repro.sampling import (
+    dirichlet_expected_log,
+    log_delta,
+    log_delta_ratio,
+    smoothed_probability,
+)
+
+
+class TestLogDelta:
+    def test_matches_gamma_functions(self):
+        x = np.array([1.0, 2.0, 3.0])
+        expected = gammaln(x).sum() - gammaln(x.sum())
+        assert log_delta(x) == pytest.approx(expected)
+
+    def test_uniform_two(self):
+        # Delta([1, 1]) = Gamma(1)^2 / Gamma(2) = 1
+        assert log_delta(np.array([1.0, 1.0])) == pytest.approx(0.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_delta(np.array([1.0, 0.0]))
+
+
+class TestLogDeltaRatio:
+    def test_zero_counts_is_zero(self):
+        assert log_delta_ratio(np.zeros(4), 0.5) == pytest.approx(0.0)
+
+    def test_increases_with_concentrated_counts(self):
+        spread = log_delta_ratio(np.array([2.0, 2.0]), 0.5)
+        peaked = log_delta_ratio(np.array([4.0, 0.0]), 0.5)
+        assert peaked > spread
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValueError):
+            log_delta_ratio(np.ones(3), 0.0)
+
+
+class TestSmoothedProbability:
+    def test_normalised(self):
+        out = smoothed_probability(np.array([1.0, 3.0]), prior=0.5)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_paper_estimator_form(self):
+        counts = np.array([2.0, 0.0])
+        out = smoothed_probability(counts, prior=0.5)
+        np.testing.assert_allclose(out, [(2 + 0.5) / 3.0, 0.5 / 3.0])
+
+    def test_zero_counts_uniform(self):
+        out = smoothed_probability(np.zeros(4), prior=1.0)
+        np.testing.assert_allclose(out, 0.25)
+
+    def test_matrix_rows(self):
+        counts = np.array([[1.0, 0.0], [0.0, 0.0]])
+        out = smoothed_probability(counts, prior=1.0)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValueError):
+            smoothed_probability(np.ones(3), prior=-1.0)
+
+
+class TestDirichletExpectedLog:
+    def test_below_log_of_mean(self):
+        counts = np.array([5.0, 5.0])
+        expected_log = dirichlet_expected_log(counts, prior=1.0)
+        mean = smoothed_probability(counts, prior=1.0)
+        assert np.all(expected_log < np.log(mean))
+
+    def test_ordering_follows_counts(self):
+        out = dirichlet_expected_log(np.array([10.0, 1.0]), prior=0.5)
+        assert out[0] > out[1]

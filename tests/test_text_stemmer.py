@@ -1,0 +1,117 @@
+"""Tests for the Porter stemmer implementation."""
+
+import pytest
+
+from repro.text import stem, stem_tokens
+
+
+class TestClassicExamples:
+    """Canonical examples from Porter's 1980 paper."""
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_porter_pairs(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestDomainWords:
+    def test_common_research_words(self):
+        assert stem("networks") == "network"
+        assert stem("communities") == "commun"
+        assert stem("learning") == "learn"
+        assert stem("routing") == "rout"
+
+    def test_idempotent_on_short_words(self):
+        assert stem("db") == "db"
+        assert stem("ai") == "ai"
+
+
+class TestSpecialHandling:
+    def test_hashtags_pass_through(self):
+        assert stem("#running") == "#running"
+
+    def test_case_normalised(self):
+        assert stem("Running") == stem("running")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            stem(None)
+
+
+class TestStemTokens:
+    def test_preserves_order_and_length(self):
+        tokens = ["running", "#tag", "networks"]
+        assert stem_tokens(tokens) == ["run", "#tag", "network"]
+
+    def test_empty(self):
+        assert stem_tokens([]) == []

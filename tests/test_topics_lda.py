@@ -1,0 +1,100 @@
+"""Tests for the collapsed-Gibbs LDA substrate."""
+
+import numpy as np
+import pytest
+
+from repro.topics import LDA, LDAConfig
+
+
+def block_corpus(rng, n_docs=60, n_topics=3, words_per_topic=10, doc_length=12):
+    """Documents drawn from disjoint word blocks — trivially separable."""
+    docs = []
+    labels = []
+    for d in range(n_docs):
+        topic = d % n_topics
+        base = topic * words_per_topic
+        docs.append(base + rng.integers(0, words_per_topic, size=doc_length))
+        labels.append(topic)
+    return docs, np.asarray(labels), n_topics * words_per_topic
+
+
+class TestConfig:
+    def test_alpha_convention(self):
+        assert LDAConfig(n_topics=10).resolved_alpha() == pytest.approx(5.0)
+
+    def test_alpha_override(self):
+        assert LDAConfig(n_topics=10, alpha=0.3).resolved_alpha() == 0.3
+
+    def test_rejects_zero_topics(self):
+        with pytest.raises(ValueError):
+            LDA(LDAConfig(n_topics=0))
+
+
+class TestFit:
+    def test_outputs_normalised(self, rng):
+        docs, _, n_words = block_corpus(rng)
+        lda = LDA(LDAConfig(n_topics=3, n_iterations=15, alpha=0.5), rng=rng)
+        lda.fit(docs, n_words)
+        np.testing.assert_allclose(lda.phi.sum(axis=1), 1.0, rtol=1e-9)
+        np.testing.assert_allclose(lda.doc_topic_distribution.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_recovers_block_structure(self, rng):
+        docs, labels, n_words = block_corpus(rng)
+        lda = LDA(LDAConfig(n_topics=3, n_iterations=30, alpha=0.2), rng=rng)
+        lda.fit(docs, n_words)
+        dominant = lda.dominant_topics()
+        # same-block documents should share their dominant topic
+        for topic in range(3):
+            block = dominant[labels == topic]
+            majority = np.bincount(block, minlength=3).max() / len(block)
+            assert majority > 0.8
+
+    def test_requires_fit_before_reads(self):
+        lda = LDA(LDAConfig(n_topics=2))
+        with pytest.raises(RuntimeError):
+            _ = lda.phi
+
+    def test_rejects_empty_vocabulary(self, rng):
+        lda = LDA(LDAConfig(n_topics=2), rng=rng)
+        with pytest.raises(ValueError):
+            lda.fit([np.array([0, 1])], 0)
+
+    def test_handles_empty_documents(self, rng):
+        lda = LDA(LDAConfig(n_topics=2, n_iterations=3), rng=rng)
+        lda.fit([np.array([], dtype=np.int64), np.array([0, 1])], 2)
+        assert lda.doc_topic_distribution.shape == (2, 2)
+
+
+class TestUserSegmentation:
+    def test_dominant_topic_per_user(self, rng):
+        docs, labels, n_words = block_corpus(rng)
+        lda = LDA(LDAConfig(n_topics=3, n_iterations=20, alpha=0.2), rng=rng)
+        lda.fit(docs, n_words)
+        # users own consecutive same-topic docs: user u -> docs with label u%3
+        doc_user = labels.copy()  # user id == planted topic id
+        user_topics = lda.dominant_topic_per_user(doc_user, 3)
+        assert len(set(user_topics.tolist())) == 3
+
+
+class TestInference:
+    def test_infer_document_identifies_block(self, rng):
+        docs, _, n_words = block_corpus(rng)
+        lda = LDA(LDAConfig(n_topics=3, n_iterations=25, alpha=0.2), rng=rng)
+        lda.fit(docs, n_words)
+        # a fresh document from block 0's words
+        mixture = lda.infer_document(np.arange(5))
+        block0_topic = lda.dominant_topics()[0]
+        assert np.argmax(mixture) == block0_topic
+
+    def test_perplexity_better_than_uniform(self, rng):
+        docs, _, n_words = block_corpus(rng)
+        lda = LDA(LDAConfig(n_topics=3, n_iterations=25, alpha=0.2), rng=rng)
+        lda.fit(docs, n_words)
+        assert lda.perplexity() < n_words  # uniform model scores exactly n_words
+
+    def test_heldout_perplexity(self, rng):
+        docs, _, n_words = block_corpus(rng)
+        lda = LDA(LDAConfig(n_topics=3, n_iterations=15, alpha=0.2), rng=rng)
+        lda.fit(docs, n_words)
+        heldout = [np.arange(8), np.arange(10, 18)]
+        assert lda.perplexity(heldout) > 0
