@@ -1,0 +1,81 @@
+"""Sweep-kernel hot path: reference loops vs the vectorized kernel.
+
+Times one full E-step document sweep (Alg. 1 steps 3-6) on the Fig. 10(a)
+twitter scenario at full fraction for both values of
+``CPDConfig.sweep_kernel`` and reports docs/sec plus the speedup. The two
+kernels are measured interleaved and summarised by their best round so
+background load on the machine cannot bias the ratio. Results go to
+``benchmarks/results/`` and — as the cross-PR perf trajectory record — to
+``BENCH_sweep.json`` at the repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from bench_support import cpd_config, format_table, get_scenario, report
+from repro.core import DiffusionParameters
+from repro.core.gibbs import CPDSampler
+
+N_COMMUNITIES = 6
+MEASURE_ROUNDS = 8
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def _build_sampler(graph, kernel: str) -> CPDSampler:
+    config = cpd_config(N_COMMUNITIES).with_overrides(sweep_kernel=kernel)
+    params = DiffusionParameters.initial(config.n_communities, config.n_topics)
+    sampler = CPDSampler(graph, config, params, rng=0)
+    sampler.sweep_documents()  # warm-up: caches, CSR layouts, allocator
+    return sampler
+
+
+def _measure(graph) -> dict:
+    samplers = {
+        "reference": _build_sampler(graph, "reference"),
+        "vectorized": _build_sampler(graph, "vectorized"),
+    }
+    best = {name: float("inf") for name in samplers}
+    for _ in range(MEASURE_ROUNDS):
+        for name, sampler in samplers.items():
+            started = time.perf_counter()
+            sampler.sweep_documents()
+            best[name] = min(best[name], time.perf_counter() - started)
+    return best
+
+
+def test_sweep_hotpath_speedup(benchmark):
+    graph, _ = get_scenario("twitter")
+    best = benchmark.pedantic(_measure, args=(graph,), rounds=1, iterations=1)
+    speedup = best["reference"] / best["vectorized"]
+    payload = {
+        "scenario": "twitter_small_full_fraction",
+        "n_documents": graph.n_documents,
+        "n_friendship_links": graph.n_friendship_links,
+        "n_diffusion_links": graph.n_diffusion_links,
+        "reference_sweep_seconds": best["reference"],
+        "vectorized_sweep_seconds": best["vectorized"],
+        "reference_docs_per_second": graph.n_documents / best["reference"],
+        "vectorized_docs_per_second": graph.n_documents / best["vectorized"],
+        "speedup": speedup,
+        "measure_rounds": MEASURE_ROUNDS,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        [name, best[name], graph.n_documents / best[name]]
+        for name in ("reference", "vectorized")
+    ]
+    rows.append(["speedup", speedup, float("nan")])
+    report(
+        "sweep_hotpath",
+        format_table(
+            "Sweep kernel hot path (twitter, full fraction): E-step sweep seconds",
+            ["kernel", "seconds/sweep", "docs/sec"],
+            rows,
+        ),
+    )
+    # the vectorized kernel targets >= 4x on a quiet machine; assert a
+    # conservative floor so CI noise cannot flake the suite
+    assert speedup >= 2.5

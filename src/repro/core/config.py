@@ -62,6 +62,10 @@ class CPDConfig:
     # --- sampler numerics ---
     #: series terms for the bulk Pólya-Gamma draws
     pg_terms: int = 64
+    #: E-step sweep implementation: "vectorized" (array-native kernel, the
+    #: default) or "reference" (the literal per-word/per-link loops of
+    #: Eqs. 13-14, kept as the executable specification — DESIGN.md §4)
+    sweep_kernel: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.n_communities < 1:
@@ -82,6 +86,8 @@ class CPDConfig:
             raise ValueError("negative_ratio must be positive")
         if self.eta_smoothing <= 0:
             raise ValueError("eta_smoothing must be positive")
+        if self.sweep_kernel not in ("reference", "vectorized"):
+            raise ValueError("sweep_kernel must be reference or vectorized")
 
     @property
     def resolved_alpha(self) -> float:

@@ -10,7 +10,13 @@ One :class:`CPDSampler` owns the mutable sampling state for one graph:
 
 Sweep mechanics follow Alg. 1: for every document, sample its topic by
 Eq. 13 then its community by Eq. 14; afterwards redraw the augmentation
-variables. Two documented deviations from a literal reading (both noted in
+variables. The conditional log-weights are computed by a sweep kernel
+(:mod:`repro.core.kernel`) selected by ``CPDConfig.sweep_kernel``: the
+default "vectorized" kernel does no per-word or per-link Python work, while
+"reference" keeps the literal loops below as the executable specification.
+Link incidence is stored as flat CSR index arrays shared by both kernels.
+
+Two documented deviations from a literal reading (both noted in
 DESIGN.md §3):
 
 * A diffusion link's "shared topic" is its *source* document's topic, so
@@ -28,12 +34,12 @@ import numpy as np
 from ..diffusion.features import UserFeatures
 from ..diffusion.popularity import TopicPopularity
 from ..graph.social_graph import SocialGraph
-from ..sampling.categorical import sample_log_categorical
 from ..sampling.polya_gamma import log_psi, sample_pg_array
 from ..sampling.rng import RngLike, ensure_rng
 from .config import CPDConfig
+from .kernel import make_kernel
 from .parameters import DiffusionParameters
-from .state import CPDState
+from .state import CPDState, counts_to_indptr
 
 
 class CPDSampler:
@@ -58,12 +64,15 @@ class CPDSampler:
         self.state = CPDState(graph, config)
         self.state.random_init(self.rng, fixed_communities=self.fixed_communities)
 
-        self._doc_user = graph.document_user_array()
+        self._doc_user = np.asarray(graph.document_user_array(), dtype=np.int64)
         self._doc_time = np.asarray([doc.timestamp for doc in graph.documents], dtype=np.int64)
-        self._doc_unique = [
-            np.unique(doc.words, return_counts=True) for doc in graph.documents
-        ]
-        self._doc_lengths = np.asarray([len(doc.words) for doc in graph.documents])
+        self._doc_time_ints = self._doc_time.tolist()
+        # per-doc (unique words, multiplicities) and lengths — computed once
+        # by CPDState
+        self._doc_unique = list(
+            zip(self.state._doc_unique_words, self.state._doc_unique_counts)
+        )
+        self._doc_lengths = self.state._doc_word_lengths
 
         self._build_link_structures()
         self._build_popularity()
@@ -72,32 +81,56 @@ class CPDSampler:
         self.lambdas = np.full(self.n_friend_links, 0.25)
         self.deltas = np.full(self.n_diff_links, 0.25)
 
+        self.kernel = make_kernel(self)
+
     # ------------------------------------------------------------------ setup
 
     def _build_link_structures(self) -> None:
+        """Flat CSR incidence arrays for friendship and diffusion links.
+
+        ``f_csr_*``: for each user, the friendship links they touch (both
+        endpoints). ``d_csr_*``: for each document, the diffusion links it
+        touches (both endpoints, with the direction flag). ``dout_csr_*``:
+        outgoing diffusion links only, for the topic conditional.
+        """
         graph = self.graph
         self.n_friend_links = graph.n_friendship_links
         self.f_src = np.asarray([l.source for l in graph.friendship_links], dtype=np.int64)
         self.f_tgt = np.asarray([l.target for l in graph.friendship_links], dtype=np.int64)
-        self._user_friend_incidence: list[list[tuple[int, int]]] = [
-            [] for _ in range(graph.n_users)
-        ]
-        for index in range(self.n_friend_links):
-            u, v = int(self.f_src[index]), int(self.f_tgt[index])
-            self._user_friend_incidence[u].append((v, index))
-            self._user_friend_incidence[v].append((u, index))
+
+        endpoints = np.concatenate([self.f_src, self.f_tgt])
+        partners = np.concatenate([self.f_tgt, self.f_src])
+        f_links = np.concatenate([np.arange(self.n_friend_links, dtype=np.int64)] * 2)
+        order = np.argsort(endpoints, kind="stable")
+        self.f_csr_indptr = counts_to_indptr(np.bincount(endpoints, minlength=graph.n_users))
+        self.f_csr_neighbor = partners[order]
+        self.f_csr_link = f_links[order]
 
         self.n_diff_links = graph.n_diffusion_links
         self.e_src = np.asarray([l.source_doc for l in graph.diffusion_links], dtype=np.int64)
         self.e_tgt = np.asarray([l.target_doc for l in graph.diffusion_links], dtype=np.int64)
         self.e_time = np.asarray([l.timestamp for l in graph.diffusion_links], dtype=np.int64)
-        self._doc_diff_incidence: list[list[tuple[int, int, bool]]] = [
-            [] for _ in range(graph.n_documents)
-        ]
-        for index in range(self.n_diff_links):
-            i, j = int(self.e_src[index]), int(self.e_tgt[index])
-            self._doc_diff_incidence[i].append((index, j, True))
-            self._doc_diff_incidence[j].append((index, i, False))
+
+        doc_ends = np.concatenate([self.e_src, self.e_tgt])
+        doc_others = np.concatenate([self.e_tgt, self.e_src])
+        d_links = np.concatenate([np.arange(self.n_diff_links, dtype=np.int64)] * 2)
+        d_is_source = np.concatenate(
+            [np.ones(self.n_diff_links, dtype=bool), np.zeros(self.n_diff_links, dtype=bool)]
+        )
+        order = np.argsort(doc_ends, kind="stable")
+        self.d_csr_indptr = counts_to_indptr(
+            np.bincount(doc_ends, minlength=graph.n_documents)
+        )
+        self.d_csr_link = d_links[order]
+        self.d_csr_other = doc_others[order]
+        self.d_csr_is_source = d_is_source[order]
+
+        out_order = np.argsort(self.e_src, kind="stable")
+        self.dout_csr_indptr = counts_to_indptr(
+            np.bincount(self.e_src, minlength=graph.n_documents)
+        )
+        self.dout_csr_link = out_order.astype(np.int64)
+        self.dout_csr_target = self.e_tgt[out_order]
 
         self.user_features = UserFeatures(graph)
         if self.n_diff_links:
@@ -137,13 +170,19 @@ class CPDSampler:
         self._build_popularity()
 
     def apply_assignments(self, doc_ids: np.ndarray, communities: np.ndarray, topics: np.ndarray) -> None:
-        """Overwrite assignments for ``doc_ids`` (merging worker results)."""
-        for doc_id, community, topic in zip(doc_ids, communities, topics):
-            doc_id = int(doc_id)
-            _old_c, old_z = self.state.unassign(doc_id)
-            self.popularity.decrement(int(self._doc_time[doc_id]), old_z)
-            self.state.assign(doc_id, int(community), int(topic))
-            self.popularity.increment(int(self._doc_time[doc_id]), int(topic))
+        """Overwrite assignments for ``doc_ids`` (merging worker results).
+
+        One batched count move per merge instead of a per-document
+        unassign/assign round trip.
+        """
+        doc_ids = np.asarray(doc_ids, dtype=np.int64)
+        topics = np.asarray(topics, dtype=np.int64)
+        if len(doc_ids) == 0:
+            return
+        _old_communities, old_topics = self.state.reassign_many(
+            doc_ids, communities, topics
+        )
+        self.popularity.move_many(self._doc_time[doc_ids], old_topics, topics)
 
     # ------------------------------------------------------------- properties
 
@@ -162,32 +201,42 @@ class CPDSampler:
     def sweep_documents(self, doc_ids: np.ndarray | None = None) -> None:
         """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
         if doc_ids is None:
-            doc_ids = np.arange(self.graph.n_documents)
-        for doc_id in doc_ids:
-            self._resample_document(int(doc_id))
+            ids = range(self.graph.n_documents)
+        elif isinstance(doc_ids, np.ndarray):
+            # plain ints are cheaper in the hot loop; copy=False keeps the
+            # int64 common case allocation-free
+            ids = doc_ids.astype(np.int64, copy=False).tolist()
+        else:
+            ids = [int(doc_id) for doc_id in doc_ids]
+        for doc_id in ids:
+            self._resample_document(doc_id)
 
     def _resample_document(self, doc_id: int) -> None:
         state = self.state
+        kernel = self.kernel
+        draw = kernel.draw
+        timestamp = self._doc_time_ints[doc_id]
         old_community, old_topic = state.unassign(doc_id)
-        self.popularity.decrement(self._doc_time[doc_id], old_topic)
+        self.popularity.decrement(timestamp, old_topic)
 
-        current_community = old_community
-        topic = self._sample_topic(doc_id, current_community)
+        topic = draw(kernel.topic_log_weights(doc_id, old_community), self.rng)
         if self.fixed_communities is not None:
             community = int(self.fixed_communities[doc_id])
         else:
-            community = self._sample_community(doc_id, topic)
+            community = draw(kernel.community_log_weights(doc_id, topic), self.rng)
 
         state.assign(doc_id, community, topic)
-        self.popularity.increment(self._doc_time[doc_id], topic)
+        self.popularity.increment(timestamp, topic)
 
     # ------------------------------------------------------- topic conditional
 
-    def _sample_topic(self, doc_id: int, community: int) -> int:
-        """Eq. 13: community-topic prior x word likelihood x diffusion factors."""
+    def reference_topic_log_weights(self, doc_id: int, community: int) -> np.ndarray:
+        """Eq. 13: community-topic prior x word likelihood x diffusion factors.
+
+        Literal per-word / per-link loops; the vectorized kernel must match
+        this to floating-point noise (tests/test_core_kernel.py).
+        """
         state = self.state
-        cfg = self.config
-        n_topics = cfg.n_topics
 
         # community-topic term (n^z_c + alpha); denominator is z-independent
         log_weights = np.log(state.community_topic[community] + state.alpha)
@@ -207,13 +256,14 @@ class CPDSampler:
         # diffusion-link factors (outgoing links only; the shared topic is the
         # source document's, so incoming links are z-constants)
         if self.uses_profile_diffusion:
-            for link_index, other_doc, is_source in self._doc_diff_incidence[doc_id]:
-                if not is_source:
-                    continue
-                scores = self._link_scores_per_topic(doc_id, other_doc, link_index)
+            start, end = self.dout_csr_indptr[doc_id], self.dout_csr_indptr[doc_id + 1]
+            for position in range(start, end):
+                link_index = int(self.dout_csr_link[position])
+                target_doc = int(self.dout_csr_target[position])
+                scores = self._link_scores_per_topic(doc_id, target_doc, link_index)
                 log_weights += log_psi(scores, self.deltas[link_index])
 
-        return sample_log_categorical(log_weights, self.rng)
+        return log_weights
 
     def _link_scores_per_topic(
         self, source_doc: int, target_doc: int, link_index: int
@@ -239,8 +289,12 @@ class CPDSampler:
 
     # --------------------------------------------------- community conditional
 
-    def _sample_community(self, doc_id: int, topic: int) -> int:
-        """Eq. 14: user prior x content term x friendship & diffusion factors."""
+    def reference_community_log_weights(self, doc_id: int, topic: int) -> np.ndarray:
+        """Eq. 14: user prior x content term x friendship & diffusion factors.
+
+        Literal per-link loops; the vectorized kernel must match this to
+        floating-point noise (tests/test_core_kernel.py).
+        """
         state = self.state
         cfg = self.config
         user = int(self._doc_user[doc_id])
@@ -255,14 +309,21 @@ class CPDSampler:
             ) - np.log(state.community_totals + cfg.n_topics * state.alpha)
 
         if cfg.model_friendship:
-            for neighbor, link_index in self._user_friend_incidence[user]:
+            start, end = self.f_csr_indptr[user], self.f_csr_indptr[user + 1]
+            for position in range(start, end):
+                neighbor = int(self.f_csr_neighbor[position])
+                link_index = int(self.f_csr_link[position])
                 pi_v = state.pi_hat_user(neighbor)
                 dots = (base_num @ pi_v + pi_v) / denominator
                 log_weights += log_psi(dots, self.lambdas[link_index])
 
+        start, end = self.d_csr_indptr[doc_id], self.d_csr_indptr[doc_id + 1]
         if self.uses_profile_diffusion:
             theta = state.theta_hat()
-            for link_index, other_doc, is_source in self._doc_diff_incidence[doc_id]:
+            for position in range(start, end):
+                link_index = int(self.d_csr_link[position])
+                other_doc = int(self.d_csr_other[position])
+                is_source = bool(self.d_csr_is_source[position])
                 link_topic = topic if is_source else int(state.doc_topic[other_doc])
                 if link_topic < 0:
                     continue  # the other endpoint is mid-resample
@@ -278,12 +339,14 @@ class CPDSampler:
                 scores = self.params.comm_weight * bilinear + constant
                 log_weights += log_psi(scores, self.deltas[link_index])
         elif self.uses_similarity_diffusion:
-            for link_index, other_doc, _ in self._doc_diff_incidence[doc_id]:
+            for position in range(start, end):
+                link_index = int(self.d_csr_link[position])
+                other_doc = int(self.d_csr_other[position])
                 pi_w = state.pi_hat_user(int(self._doc_user[other_doc]))
                 dots = (base_num @ pi_w + pi_w) / denominator
                 log_weights += log_psi(dots, self.deltas[link_index])
 
-        return sample_log_categorical(log_weights, self.rng)
+        return log_weights
 
     def _community_projection(
         self, other_doc: int, link_topic: int, is_source: bool, theta: np.ndarray
@@ -305,7 +368,7 @@ class CPDSampler:
 
     def friendship_dots(self) -> np.ndarray:
         """``pi_hat_u . pi_hat_v`` for every friendship link (Eq. 3 logits)."""
-        pi = self.state.pi_hat()
+        pi = self.state.pi_hat_view()
         if self.n_friend_links == 0:
             return np.zeros(0)
         return np.einsum("ij,ij->i", pi[self.f_src], pi[self.f_tgt])
@@ -349,8 +412,8 @@ class CPDSampler:
                 "features": np.zeros((0, UserFeatures.N_FEATURES)),
             }
         state = self.state
-        pi = state.pi_hat()
-        theta = state.theta_hat()
+        pi = state.pi_hat_view()
+        theta = state.theta_hat_view()
         link_topics = state.doc_topic[source_docs]
         link_topics = np.where(link_topics >= 0, link_topics, 0)
 
@@ -398,7 +461,7 @@ class CPDSampler:
         if self.n_diff_links == 0 or not self.config.model_diffusion:
             return
         if self.uses_similarity_diffusion:
-            pi = self.state.pi_hat()
+            pi = self.state.pi_hat_view()
             logits = np.einsum(
                 "ij,ij->i", pi[self._doc_user[self.e_src]], pi[self._doc_user[self.e_tgt]]
             )
@@ -411,19 +474,24 @@ class CPDSampler:
     def aggregate_eta(self) -> np.ndarray:
         """Alg. 1 step 12: re-estimate eta from current assignments.
 
-        Counts ``(c_source, c_target, z_source)`` over diffusion links, adds
-        ``eta_smoothing`` so unseen cells keep mass, and normalises globally
-        (probabilities of "community-community-topic" diffusion events,
-        matching the magnitudes of the paper's Fig. 5(c)).
+        Counts ``(c_source, c_target, z_source)`` over diffusion links with
+        one scatter-add, adds ``eta_smoothing`` so unseen cells keep mass,
+        and normalises globally (probabilities of "community-community-topic"
+        diffusion events, matching the magnitudes of the paper's Fig. 5(c)).
         """
         cfg = self.config
         counts = np.full(
             (cfg.n_communities, cfg.n_communities, cfg.n_topics), cfg.eta_smoothing
         )
-        state = self.state
-        for index in range(self.n_diff_links):
-            c_source = int(state.doc_community[self.e_src[index]])
-            c_target = int(state.doc_community[self.e_tgt[index]])
-            z_source = int(state.doc_topic[self.e_src[index]])
-            counts[c_source, c_target, z_source] += 1.0
+        if self.n_diff_links:
+            state = self.state
+            np.add.at(
+                counts,
+                (
+                    state.doc_community[self.e_src],
+                    state.doc_community[self.e_tgt],
+                    state.doc_topic[self.e_src],
+                ),
+                1.0,
+            )
         return counts / counts.sum()

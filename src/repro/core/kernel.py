@@ -1,0 +1,385 @@
+"""Sweep kernels: the array-native hot path of the Gibbs E-step.
+
+``CPDSampler`` delegates the Eq. 13 / Eq. 14 conditional computation to a
+kernel object selected by ``CPDConfig.sweep_kernel``:
+
+* :class:`ReferenceKernel` delegates back to the sampler's literal
+  per-word / per-link loops — the executable specification of the model.
+* :class:`VectorizedKernel` computes the same log-weights with no Python
+  iteration inside a document: the ascending-factorial word likelihood is
+  evaluated through the ``gammaln`` identity ``sum_{s<m} log(x + s) =
+  gammaln(x + m) - gammaln(x)`` (with a direct log-gather fast path for the
+  dominant count==1 words), and every incident link of the document is
+  scored in one batch against the sampler's CSR incidence arrays.
+
+The vectorized kernel keeps per-document work down to a handful of array
+operations by materialising everything per-link in CSR order once — link
+timestamps, feature projections ``nu^T f``, augmentation variables, and the
+two ``eta`` orientations — so the hot path reads contiguous slices instead
+of doing fancy gathers, and by folding the per-link ``log_psi`` sum into
+``0.5 * (sum_l w_l - x . w^2)`` (one matvec per factor group).
+
+Both kernels read the same mutable state, so they are interchangeable
+mid-fit; the equivalence argument and parity tests live in DESIGN.md §4 and
+``tests/test_core_kernel.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+from scipy.special import gammaln
+
+from ..sampling.categorical import draw_log_categorical, sample_log_categorical
+from .state import counts_to_indptr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .gibbs import CPDSampler
+
+
+def make_kernel(sampler: "CPDSampler"):
+    """Build the sweep kernel selected by ``sampler.config.sweep_kernel``."""
+    if sampler.config.sweep_kernel == "reference":
+        return ReferenceKernel(sampler)
+    return VectorizedKernel(sampler)
+
+
+class ReferenceKernel:
+    """Per-word / per-link loop implementation (the executable spec)."""
+
+    name = "reference"
+    #: the fully-validating draw — identical math and RNG consumption to the
+    #: fast path, so matched seeds stay aligned across kernels
+    draw = staticmethod(sample_log_categorical)
+
+    def __init__(self, sampler: "CPDSampler") -> None:
+        self.sampler = sampler
+
+    def topic_log_weights(self, doc_id: int, community: int) -> np.ndarray:
+        return self.sampler.reference_topic_log_weights(doc_id, community)
+
+    def community_log_weights(self, doc_id: int, topic: int) -> np.ndarray:
+        return self.sampler.reference_community_log_weights(doc_id, topic)
+
+
+class VectorizedKernel:
+    """Array-native implementation of the Eq. 13 / Eq. 14 conditionals."""
+
+    name = "vectorized"
+    #: trusted-input draw; the kernel's log-weights are finite by
+    #: construction, so the validation passes are skipped
+    draw = staticmethod(draw_log_categorical)
+
+    def __init__(self, sampler: "CPDSampler") -> None:
+        self.sampler = sampler
+        self.state = sampler.state
+        config = sampler.config
+
+        # config- and prior-derived constants (fixed for the sampler's life)
+        self._profile_mode = sampler.uses_profile_diffusion
+        self._similarity_mode = sampler.uses_similarity_diffusion
+        self._model_friendship = config.model_friendship
+        self._use_topic_factor = config.use_topic_factor
+        self._use_individual_factor = config.use_individual_factor
+        self._community_uses_content = config.community_uses_content
+        state = sampler.state
+        self._alpha = state.alpha
+        self._rho = state.rho
+        self._beta = state.beta
+        self._words_beta = state.n_words * state.beta
+        self._topics_alpha = config.n_topics * state.alpha
+        self._denominator_offset = 1.0 + config.n_communities * state.rho
+
+        self._build_word_layout(sampler)
+        self._build_link_layout(sampler)
+
+        # identity-keyed caches over per-iteration arrays (see _refresh_caches)
+        self._eta_source: np.ndarray | None = None
+        self._nu_source: np.ndarray | None = None
+        self._lambdas_source: np.ndarray | None = None
+        self._deltas_source: np.ndarray | None = None
+
+    # ---------------------------------------------------------------- layout
+
+    def _build_word_layout(self, sampler: "CPDSampler") -> None:
+        """CSR doc -> (word, count) layout, split by multiplicity.
+
+        Words occurring once in a document (the dominant case in short
+        social-media posts) go through a plain log-gather; repeated words
+        go through the two-``gammaln`` ascending-factorial form.
+        """
+        single_rows: list[np.ndarray] = []
+        multi_rows: list[np.ndarray] = []
+        multi_count_rows: list[np.ndarray] = []
+        single_lengths = np.zeros(len(sampler._doc_unique), dtype=np.int64)
+        multi_lengths = np.zeros(len(sampler._doc_unique), dtype=np.int64)
+        for doc_id, (words, counts) in enumerate(sampler._doc_unique):
+            words = np.asarray(words, dtype=np.int64)
+            counts = np.asarray(counts, dtype=np.int64)
+            once = counts == 1
+            single_rows.append(words[once])
+            multi_rows.append(words[~once])
+            multi_count_rows.append(counts[~once])
+            single_lengths[doc_id] = int(once.sum())
+            multi_lengths[doc_id] = len(words) - int(once.sum())
+
+        def concat(rows: list[np.ndarray]) -> np.ndarray:
+            return np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
+
+        self.ws_words = concat(single_rows)
+        self.wm_words = concat(multi_rows)
+        self.wm_counts = concat(multi_count_rows).astype(np.float64)
+        ws_indptr = counts_to_indptr(single_lengths)
+        wm_indptr = counts_to_indptr(multi_lengths)
+        self.ws_indptr = ws_indptr
+        self.wm_indptr = wm_indptr
+        # plain-int copies: python-int indexing is markedly cheaper on the
+        # hot path than numpy scalar extraction
+        self._ws_indptr = ws_indptr.tolist()
+        self._wm_indptr = wm_indptr.tolist()
+        self._doc_lengths = sampler._doc_lengths.astype(np.float64).tolist()
+
+    def _build_link_layout(self, sampler: "CPDSampler") -> None:
+        """Static per-link arrays materialised in CSR order.
+
+        Reordering once here turns every per-document access into a
+        contiguous slice (a view) instead of a fancy gather.
+        """
+        self._f_indptr = sampler.f_csr_indptr.tolist()
+        self._d_indptr = sampler.d_csr_indptr.tolist()
+        self._dout_indptr = sampler.dout_csr_indptr.tolist()
+        self._doc_user = sampler._doc_user.tolist()
+
+        self._d_other = sampler.d_csr_other
+        self._d_orientation = sampler.d_csr_is_source.astype(np.int8)
+        # offset into the flattened [orientation, z] eta table
+        self._d_orientation_offset = (
+            sampler.d_csr_is_source.astype(np.int64) * sampler.config.n_topics
+        )
+        self._d_other_user = sampler._doc_user[sampler.d_csr_other]
+        self._d_time = sampler.e_time[sampler.d_csr_link]
+        self._dout_target_user = sampler._doc_user[sampler.dout_csr_target]
+        self._dout_time = sampler.e_time[sampler.dout_csr_link]
+
+        # which documents have a self-link (the one way the document being
+        # resampled can appear as its own "other endpoint")
+        doc_self_link = np.zeros(sampler.graph.n_documents, dtype=bool)
+        doc_self_link[sampler.e_src[sampler.e_src == sampler.e_tgt]] = True
+        self._doc_self_link = doc_self_link.tolist()
+
+
+    def _refresh_caches(self) -> None:
+        """Re-derive per-iteration link arrays when their source changes.
+
+        ``eta`` / ``nu`` are replaced by the M-step and ``lambdas`` /
+        ``deltas`` by the augmentation draws — all whole-array swaps, so an
+        identity check per conditional is enough to keep CSR-ordered copies
+        in sync. In-place mutation of a snapshotted source array is not
+        supported; each source is frozen (``writeable = False``) so such a
+        mutation raises instead of silently serving stale conditionals.
+        """
+        sampler = self.sampler
+        params = sampler.params
+        if params.eta is not self._eta_source:
+            self._eta_source = params.eta
+            params.eta.flags.writeable = False
+            # [orientation * Z + z, c, d]: orientation 1 reads eta[c, d, z]
+            # (outgoing links), orientation 0 its transpose (incoming)
+            pair = np.ascontiguousarray(
+                np.stack(
+                    [np.transpose(params.eta, (2, 1, 0)), np.transpose(params.eta, (2, 0, 1))]
+                )
+            )
+            n_topics = params.eta.shape[2]
+            self._eta_oriented_flat = pair.reshape(2 * n_topics, *pair.shape[2:])
+            self._eta_zcd = self._eta_oriented_flat[n_topics:]
+        if params.nu is not self._nu_source:
+            self._nu_source = params.nu
+            params.nu.flags.writeable = False
+            projection = (
+                sampler.e_features @ params.nu
+                if len(sampler.e_features)
+                else np.zeros(0)
+            )
+            self._d_feature = projection[sampler.d_csr_link]
+            self._dout_feature = projection[sampler.dout_csr_link]
+        if sampler.lambdas is not self._lambdas_source:
+            self._lambdas_source = sampler.lambdas
+            sampler.lambdas.flags.writeable = False
+            self._f_lambdas = sampler.lambdas[sampler.f_csr_link]
+        if sampler.deltas is not self._deltas_source:
+            self._deltas_source = sampler.deltas
+            sampler.deltas.flags.writeable = False
+            self._d_deltas = sampler.deltas[sampler.d_csr_link]
+            self._dout_deltas = sampler.deltas[sampler.dout_csr_link]
+
+    # ------------------------------------------------------- topic conditional
+
+    def topic_log_weights(self, doc_id: int, community: int) -> np.ndarray:
+        """Eq. 13 log-weights over all Z topics, no per-word Python work."""
+        self._refresh_caches()
+        state = self.state
+        beta = self._beta
+        topic_word = state.topic_word
+
+        # community-topic term (n^z_c + alpha); denominator is z-independent
+        log_weights = np.log(state.community_topic[community] + self._alpha)
+
+        # word likelihood: count==1 fast path is a log-gather ...
+        start, end = self._ws_indptr[doc_id], self._ws_indptr[doc_id + 1]
+        if end > start:
+            log_weights += np.log(topic_word[:, self.ws_words[start:end]] + beta).sum(axis=1)
+        # ... repeated words use gammaln(x + m) - gammaln(x)
+        start, end = self._wm_indptr[doc_id], self._wm_indptr[doc_id + 1]
+        if end > start:
+            gathered = topic_word[:, self.wm_words[start:end]] + beta
+            counts = self.wm_counts[start:end]
+            log_weights += (gammaln(gathered + counts) - gammaln(gathered)).sum(axis=1)
+        # denominator: one ascending factorial of length |d| per topic
+        length = self._doc_lengths[doc_id]
+        if length:
+            totals = state.topic_totals + self._words_beta
+            log_weights -= gammaln(totals + length) - gammaln(totals)
+
+        # outgoing diffusion links (incoming ones are z-constants)
+        if self._profile_mode:
+            start, end = self._dout_indptr[doc_id], self._dout_indptr[doc_id + 1]
+            if end > start:
+                log_weights += self._outgoing_link_factors(doc_id, start, end)
+        return log_weights
+
+    def _outgoing_link_factors(self, doc_id: int, start: int, end: int) -> np.ndarray:
+        """Summed ``log_psi`` of Eq. 5 scores for all outgoing links, per topic."""
+        sampler = self.sampler
+        state = self.state
+        params = sampler.params
+
+        theta = state.theta_hat_view()  # (C, Z)
+        pi = state.pi_hat_view()  # (U, C)
+        weighted_u = pi[self._doc_user[doc_id]][:, None] * theta  # (C, Z)
+        # folded[d, z] = sum_c weighted_u[c, z] eta[c, d, z]
+        folded = np.matmul(weighted_u.T[:, None, :], self._eta_zcd)[:, 0, :].T
+        # bilinear[l, z] = pi_v[l] . (theta * folded)[:, z]
+        bilinear = pi[self._dout_target_user[start:end]] @ (theta * folded)
+
+        scores = params.comm_weight * bilinear + params.bias
+        if self._use_topic_factor:
+            scores += params.pop_weight * sampler.popularity.scores_batch(
+                self._dout_time[start:end]
+            )
+        if self._use_individual_factor:
+            scores += self._dout_feature[start:end][:, None]
+        deltas = self._dout_deltas[start:end]
+        # sum_l log_psi(w_l, x_l) = 0.5 (sum_l w_l - x . w^2)
+        return 0.5 * (scores.sum(axis=0) - deltas @ (scores * scores))
+
+    # --------------------------------------------------- community conditional
+
+    def community_log_weights(self, doc_id: int, topic: int) -> np.ndarray:
+        """Eq. 14 log-weights over all C communities, no per-link Python work."""
+        self._refresh_caches()
+        sampler = self.sampler
+        state = self.state
+        user = self._doc_user[doc_id]
+
+        base_num = state.user_community[user] + self._rho  # counts exclude doc
+        denominator = state.user_totals[user] + self._denominator_offset
+
+        if self._community_uses_content:
+            # one log over the fused product instead of three separate logs
+            log_weights = np.log(
+                base_num * (state.community_topic[:, topic] + self._alpha)
+                / (state.community_totals + self._topics_alpha)
+            )
+        else:
+            log_weights = np.log(base_num)
+
+        f_start, f_end = self._f_indptr[user], self._f_indptr[user + 1]
+        d_start, d_end = self._d_indptr[doc_id], self._d_indptr[doc_id + 1]
+        if f_end == f_start and d_end == d_start:
+            return log_weights
+        pi = state.pi_hat_view()
+
+        if self._model_friendship and f_end > f_start:
+            pi_neighbors = pi[sampler.f_csr_neighbor[f_start:f_end]]
+            dots = ((pi_neighbors @ base_num)[:, None] + pi_neighbors) / denominator
+            lambdas = self._f_lambdas[f_start:f_end]
+            log_weights += 0.5 * (dots.sum(axis=0) - lambdas @ (dots * dots))
+
+        if d_end > d_start:
+            if self._profile_mode:
+                log_weights += self._incident_link_factors(
+                    doc_id, topic, d_start, d_end, base_num, denominator, pi
+                )
+            elif self._similarity_mode:
+                pi_others = pi[self._d_other_user[d_start:d_end]]
+                dots = ((pi_others @ base_num)[:, None] + pi_others) / denominator
+                deltas = self._d_deltas[d_start:d_end]
+                log_weights += 0.5 * (dots.sum(axis=0) - deltas @ (dots * dots))
+        return log_weights
+
+    def _incident_link_factors(
+        self,
+        doc_id: int,
+        topic: int,
+        start: int,
+        end: int,
+        base_num: np.ndarray,
+        denominator: float,
+        pi: np.ndarray,
+    ) -> np.ndarray:
+        """Summed ``log_psi`` of Eq. 5 scores over all incident links, per community.
+
+        Links whose other endpoint is mid-resample (unassigned) are
+        skipped, matching the reference loop's ``continue``. The scan for
+        such links is elided when the state proves none can exist: exactly
+        one document (this one) is unassigned and it has no self-link.
+        """
+        sampler = self.sampler
+        state = self.state
+        params = sampler.params
+
+        orientation = self._d_orientation[start:end]
+        link_topics = np.where(orientation, topic, state.doc_topic[self._d_other[start:end]])
+        orientation_offset = self._d_orientation_offset[start:end]
+        other_users = self._d_other_user[start:end]
+        times = self._d_time[start:end]
+        features = self._d_feature[start:end]
+        deltas = self._d_deltas[start:end]
+        endpoint_may_be_unassigned = (
+            state.n_unassigned > 1
+            or self._doc_self_link[doc_id]
+            or state.doc_topic[doc_id] != -1  # off-contract: another doc is the unassigned one
+        )
+        if endpoint_may_be_unassigned and link_topics.min() < 0:
+            valid = link_topics >= 0
+            if not valid.any():
+                return 0.0
+            orientation_offset, link_topics = orientation_offset[valid], link_topics[valid]
+            other_users, times = other_users[valid], times[valid]
+            features, deltas = features[valid], deltas[valid]
+
+        theta = state.theta_hat_view()  # (C, Z)
+        theta_z = theta[:, link_topics].T  # (L, C)
+        other_weighted = pi[other_users] * theta_z
+        # fold the fixed endpoint into q so the bilinear term is a_cand @ q;
+        # eta enters as eta[:, :, z] for outgoing links, transposed for
+        # incoming ones — both orientations pre-stacked in the flat table
+        eta_oriented = self._eta_oriented_flat[orientation_offset + link_topics]  # (L, C, C)
+        q = theta_z * np.matmul(eta_oriented, other_weighted[:, :, None])[:, :, 0]
+        bilinear = ((q @ base_num)[:, None] + q) / denominator
+
+        constant = params.bias
+        if self._use_topic_factor:
+            constant = constant + params.pop_weight * sampler.popularity.scores_at(
+                times, link_topics
+            )
+        if self._use_individual_factor:
+            constant = constant + features
+        scores = params.comm_weight * bilinear
+        if isinstance(constant, np.ndarray):
+            scores += constant[:, None]
+        else:
+            scores += constant
+        return 0.5 * (scores.sum(axis=0) - deltas @ (scores * scores))

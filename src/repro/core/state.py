@@ -6,6 +6,13 @@ count matrices: ``n_u^c`` (documents of user u in community c), ``n_c^z``
 under topic z). This module owns those counters, the document-level
 assignment vectors, and the smoothed estimators ``pi_hat`` / ``theta_hat``
 / ``phi_hat`` the conditionals are built from (Sect. 4.2).
+
+The ``pi_hat`` / ``theta_hat`` matrices are cached across a sweep: one
+document move touches exactly one user row and at most two community rows,
+so ``assign`` / ``unassign`` record dirty rows and the accessors refresh
+only those (DESIGN.md §4). ``pi_hat()`` / ``theta_hat()`` return copies;
+the ``*_view`` accessors expose the cache itself for the hot path and must
+be treated as read-only.
 """
 
 from __future__ import annotations
@@ -15,6 +22,13 @@ import numpy as np
 from ..graph.social_graph import SocialGraph
 from ..sampling.rng import RngLike, ensure_rng
 from .config import CPDConfig
+
+
+def counts_to_indptr(counts: np.ndarray) -> np.ndarray:
+    """CSR index pointer from per-row entry counts."""
+    indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
 
 
 class CPDState:
@@ -32,6 +46,9 @@ class CPDState:
 
         self.doc_topic = np.full(self.n_docs, -1, dtype=np.int64)
         self.doc_community = np.full(self.n_docs, -1, dtype=np.int64)
+        #: number of currently unassigned documents; lets the sweep kernel
+        #: prove cheaply that no link endpoint can be mid-resample
+        self.n_unassigned = self.n_docs
 
         self.user_community = np.zeros((self.n_users, self.n_communities), dtype=np.float64)
         self.community_topic = np.zeros((self.n_communities, self.n_topics), dtype=np.float64)
@@ -40,8 +57,37 @@ class CPDState:
         self.community_totals = np.zeros(self.n_communities, dtype=np.float64)
         self.topic_totals = np.zeros(self.n_topics, dtype=np.float64)
 
-        self._doc_user = graph.document_user_array()
-        self._doc_words = [doc.words for doc in graph.documents]
+        self._doc_user = np.asarray(graph.document_user_array(), dtype=np.int64)
+
+        # flat occurrence layout: word occurrences of doc d live in
+        # _all_words[_word_indptr[d]:_word_indptr[d+1]]; the per-doc arrays
+        # are views into it, so the corpus is stored once
+        doc_word_arrays = [np.asarray(doc.words, dtype=np.int64) for doc in graph.documents]
+        self._doc_word_lengths = np.asarray(
+            [len(words) for words in doc_word_arrays], dtype=np.int64
+        )
+        self._word_indptr = counts_to_indptr(self._doc_word_lengths)
+        self._all_words = (
+            np.concatenate(doc_word_arrays)
+            if doc_word_arrays
+            else np.zeros(0, dtype=np.int64)
+        )
+        self._doc_words = [
+            self._all_words[self._word_indptr[doc_id] : self._word_indptr[doc_id + 1]]
+            for doc_id in range(self.n_docs)
+        ]
+        # unique words + multiplicities per doc: lets assign/unassign use a
+        # fancy-indexed in-place add (safe on unique indices, faster than
+        # the general np.add.at scatter)
+        doc_unique = [np.unique(words, return_counts=True) for words in self._doc_words]
+        self._doc_unique_words = [unique for unique, _ in doc_unique]
+        self._doc_unique_counts = [counts.astype(np.float64) for _, counts in doc_unique]
+
+        # lazily built estimator caches with dirty-row invalidation
+        self._pi_cache: np.ndarray | None = None
+        self._theta_cache: np.ndarray | None = None
+        self._pi_dirty: set[int] = set()
+        self._theta_dirty: set[int] = set()
 
     # -------------------------------------------------------------- mutation
 
@@ -50,15 +96,19 @@ class CPDState:
         if self.doc_topic[doc_id] != -1:
             raise ValueError(f"document {doc_id} is already assigned")
         user = self._doc_user[doc_id]
-        words = self._doc_words[doc_id]
         self.doc_community[doc_id] = community
         self.doc_topic[doc_id] = topic
         self.user_community[user, community] += 1
         self.user_totals[user] += 1
         self.community_topic[community, topic] += 1
         self.community_totals[community] += 1
-        np.add.at(self.topic_word[topic], words, 1.0)
-        self.topic_totals[topic] += len(words)
+        self.topic_word[topic][self._doc_unique_words[doc_id]] += self._doc_unique_counts[doc_id]
+        self.topic_totals[topic] += self._doc_word_lengths[doc_id]
+        self.n_unassigned -= 1
+        if self._pi_cache is not None:
+            self._pi_dirty.add(int(user))
+        if self._theta_cache is not None:
+            self._theta_dirty.add(int(community))
 
     def unassign(self, doc_id: int) -> tuple[int, int]:
         """Remove a document's assignment; returns the old ``(community, topic)``."""
@@ -67,16 +117,86 @@ class CPDState:
         if topic == -1:
             raise ValueError(f"document {doc_id} is not assigned")
         user = self._doc_user[doc_id]
-        words = self._doc_words[doc_id]
         self.user_community[user, community] -= 1
         self.user_totals[user] -= 1
         self.community_topic[community, topic] -= 1
         self.community_totals[community] -= 1
-        np.add.at(self.topic_word[topic], words, -1.0)
-        self.topic_totals[topic] -= len(words)
+        self.topic_word[topic][self._doc_unique_words[doc_id]] -= self._doc_unique_counts[doc_id]
+        self.topic_totals[topic] -= self._doc_word_lengths[doc_id]
         self.doc_community[doc_id] = -1
         self.doc_topic[doc_id] = -1
+        self.n_unassigned += 1
+        if self._pi_cache is not None:
+            self._pi_dirty.add(int(user))
+        if self._theta_cache is not None:
+            self._theta_dirty.add(community)
         return community, topic
+
+    def reassign_many(
+        self, doc_ids: np.ndarray, communities: np.ndarray, topics: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Move many assigned documents at once (parallel E-step merge).
+
+        Count matrices are updated by batched scatter-adds instead of a
+        per-document unassign/assign round trip. Returns the old
+        ``(communities, topics)`` arrays.
+        """
+        doc_ids = np.asarray(doc_ids, dtype=np.int64)
+        communities = np.asarray(communities, dtype=np.int64)
+        topics = np.asarray(topics, dtype=np.int64)
+        if len(doc_ids) == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        if len(np.unique(doc_ids)) != len(doc_ids):
+            raise ValueError("reassign_many requires unique document ids")
+        if np.any(communities < 0) or np.any(communities >= self.n_communities):
+            raise ValueError("community ids out of range")
+        if np.any(topics < 0) or np.any(topics >= self.n_topics):
+            raise ValueError("topic ids out of range")
+        old_communities = self.doc_community[doc_ids].copy()
+        old_topics = self.doc_topic[doc_ids].copy()
+        if np.any(old_topics < 0):
+            raise ValueError("reassign_many requires currently-assigned documents")
+
+        users = self._doc_user[doc_ids]
+        np.add.at(self.user_community, (users, old_communities), -1.0)
+        np.add.at(self.user_community, (users, communities), 1.0)
+        np.add.at(self.community_topic, (old_communities, old_topics), -1.0)
+        np.add.at(self.community_topic, (communities, topics), 1.0)
+        np.add.at(self.community_totals, old_communities, -1.0)
+        np.add.at(self.community_totals, communities, 1.0)
+
+        changed = old_topics != topics
+        if np.any(changed):
+            moved_docs = doc_ids[changed]
+            occurrences = self._occurrence_indices(moved_docs)
+            words = self._all_words[occurrences]
+            lengths = self._doc_word_lengths[moved_docs]
+            np.add.at(
+                self.topic_word, (np.repeat(old_topics[changed], lengths), words), -1.0
+            )
+            np.add.at(self.topic_word, (np.repeat(topics[changed], lengths), words), 1.0)
+            np.add.at(self.topic_totals, old_topics[changed], -lengths.astype(np.float64))
+            np.add.at(self.topic_totals, topics[changed], lengths.astype(np.float64))
+
+        self.doc_community[doc_ids] = communities
+        self.doc_topic[doc_ids] = topics
+        if self._pi_cache is not None:
+            self._pi_dirty.update(users.tolist())
+        if self._theta_cache is not None:
+            self._theta_dirty.update(old_communities.tolist())
+            self._theta_dirty.update(communities.tolist())
+        return old_communities, old_topics
+
+    def _occurrence_indices(self, doc_ids: np.ndarray) -> np.ndarray:
+        """Flat indices into ``_all_words`` for the given documents' words."""
+        starts = self._word_indptr[doc_ids]
+        lengths = self._doc_word_lengths[doc_ids]
+        total = int(lengths.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        prefix = np.zeros(len(doc_ids), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=prefix[1:])
+        return np.repeat(starts - prefix, lengths) + np.arange(total)
 
     def reset(self) -> None:
         """Drop all assignments and zero every counter."""
@@ -88,16 +208,45 @@ class CPDState:
         self.user_totals.fill(0.0)
         self.community_totals.fill(0.0)
         self.topic_totals.fill(0.0)
+        self.n_unassigned = self.n_docs
+        self._drop_caches()
 
     def load_assignments(self, doc_community: np.ndarray, doc_topic: np.ndarray) -> None:
-        """Rebuild counts from snapshot assignment vectors (parallel E-step)."""
+        """Rebuild counts from snapshot assignment vectors (parallel E-step).
+
+        The rebuild is bincount-based: no per-document Python work, one
+        scatter per count matrix.
+        """
         doc_community = np.asarray(doc_community, dtype=np.int64)
         doc_topic = np.asarray(doc_topic, dtype=np.int64)
         if doc_community.shape != (self.n_docs,) or doc_topic.shape != (self.n_docs,):
             raise ValueError("assignment snapshots must cover every document")
-        self.reset()
-        for doc_id in range(self.n_docs):
-            self.assign(doc_id, int(doc_community[doc_id]), int(doc_topic[doc_id]))
+        if np.any(doc_community < 0) or np.any(doc_community >= self.n_communities):
+            raise ValueError("community ids out of range")
+        if np.any(doc_topic < 0) or np.any(doc_topic >= self.n_topics):
+            raise ValueError("topic ids out of range")
+
+        n_c, n_z, n_w = self.n_communities, self.n_topics, self.n_words
+        users = self._doc_user
+        self.doc_community = doc_community.copy()
+        self.doc_topic = doc_topic.copy()
+        self.user_community = np.bincount(
+            users * n_c + doc_community, minlength=self.n_users * n_c
+        ).reshape(self.n_users, n_c).astype(np.float64)
+        self.community_topic = np.bincount(
+            doc_community * n_z + doc_topic, minlength=n_c * n_z
+        ).reshape(n_c, n_z).astype(np.float64)
+        occurrence_topics = np.repeat(doc_topic, self._doc_word_lengths)
+        self.topic_word = np.bincount(
+            occurrence_topics * n_w + self._all_words, minlength=n_z * n_w
+        ).reshape(n_z, n_w).astype(np.float64)
+        self.user_totals = np.bincount(users, minlength=self.n_users).astype(np.float64)
+        self.community_totals = np.bincount(doc_community, minlength=n_c).astype(np.float64)
+        self.topic_totals = np.bincount(
+            doc_topic, weights=self._doc_word_lengths.astype(np.float64), minlength=n_z
+        )
+        self.n_unassigned = 0
+        self._drop_caches()
 
     def random_init(self, rng: RngLike = None, fixed_communities: np.ndarray | None = None) -> None:
         """Uniformly random initial assignments (optionally with frozen C)."""
@@ -114,9 +263,30 @@ class CPDState:
 
     def pi_hat(self) -> np.ndarray:
         """Smoothed memberships ``(n_u^c + rho) / (n_u + |C| rho)``, shape (U, C)."""
-        return (self.user_community + self.rho) / (
-            self.user_totals[:, None] + self.n_communities * self.rho
-        )
+        return self.pi_hat_view().copy()
+
+    def pi_hat_view(self) -> np.ndarray:
+        """Cached ``pi_hat`` matrix, refreshed row-wise; treat as read-only."""
+        denominator_offset = self.n_communities * self.rho
+        if self._pi_cache is None:
+            self._pi_cache = (self.user_community + self.rho) / (
+                self.user_totals[:, None] + denominator_offset
+            )
+            self._pi_dirty.clear()
+        elif self._pi_dirty:
+            if len(self._pi_dirty) <= 8:  # the per-document steady state
+                cache = self._pi_cache
+                for row in self._pi_dirty:
+                    cache[row] = (self.user_community[row] + self.rho) / (
+                        self.user_totals[row] + denominator_offset
+                    )
+            else:
+                rows = np.fromiter(self._pi_dirty, dtype=np.int64, count=len(self._pi_dirty))
+                self._pi_cache[rows] = (self.user_community[rows] + self.rho) / (
+                    self.user_totals[rows, None] + denominator_offset
+                )
+            self._pi_dirty.clear()
+        return self._pi_cache
 
     def pi_hat_user(self, user: int) -> np.ndarray:
         """One user's smoothed membership vector."""
@@ -126,15 +296,44 @@ class CPDState:
 
     def theta_hat(self) -> np.ndarray:
         """Smoothed content profiles ``(n_c^z + alpha) / (n_c + |Z| alpha)``, shape (C, Z)."""
-        return (self.community_topic + self.alpha) / (
-            self.community_totals[:, None] + self.n_topics * self.alpha
-        )
+        return self.theta_hat_view().copy()
+
+    def theta_hat_view(self) -> np.ndarray:
+        """Cached ``theta_hat`` matrix, refreshed row-wise; treat as read-only."""
+        denominator_offset = self.n_topics * self.alpha
+        if self._theta_cache is None:
+            self._theta_cache = (self.community_topic + self.alpha) / (
+                self.community_totals[:, None] + denominator_offset
+            )
+            self._theta_dirty.clear()
+        elif self._theta_dirty:
+            if len(self._theta_dirty) <= 8:  # the per-document steady state
+                cache = self._theta_cache
+                for row in self._theta_dirty:
+                    cache[row] = (self.community_topic[row] + self.alpha) / (
+                        self.community_totals[row] + denominator_offset
+                    )
+            else:
+                rows = np.fromiter(
+                    self._theta_dirty, dtype=np.int64, count=len(self._theta_dirty)
+                )
+                self._theta_cache[rows] = (self.community_topic[rows] + self.alpha) / (
+                    self.community_totals[rows, None] + denominator_offset
+                )
+            self._theta_dirty.clear()
+        return self._theta_cache
 
     def phi_hat(self) -> np.ndarray:
         """Smoothed topic-word distributions, shape (Z, W)."""
         return (self.topic_word + self.beta) / (
             self.topic_totals[:, None] + self.n_words * self.beta
         )
+
+    def _drop_caches(self) -> None:
+        self._pi_cache = None
+        self._theta_cache = None
+        self._pi_dirty.clear()
+        self._theta_dirty.clear()
 
     # ---------------------------------------------------------------- checks
 
@@ -159,3 +358,17 @@ class CPDState:
             raise AssertionError("count state drifted from assignments")
         if np.any(self.user_community < 0) or np.any(self.community_topic < 0):
             raise AssertionError("negative counts in state")
+        if self.n_unassigned != int((self.doc_topic == -1).sum()):
+            raise AssertionError("n_unassigned drifted from assignments")
+        if self._pi_cache is not None:
+            fresh_pi = (self.user_community + self.rho) / (
+                self.user_totals[:, None] + self.n_communities * self.rho
+            )
+            if not np.allclose(self.pi_hat_view(), fresh_pi, rtol=1e-12, atol=1e-12):
+                raise AssertionError("pi_hat cache drifted from counts")
+        if self._theta_cache is not None:
+            fresh_theta = (self.community_topic + self.alpha) / (
+                self.community_totals[:, None] + self.n_topics * self.alpha
+            )
+            if not np.allclose(self.theta_hat_view(), fresh_theta, rtol=1e-12, atol=1e-12):
+                raise AssertionError("theta_hat cache drifted from counts")

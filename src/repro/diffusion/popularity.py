@@ -37,6 +37,10 @@ class TopicPopularity:
         self.mode = mode
         self.weight = weight
         self._counts = np.zeros((n_time_buckets, n_topics), dtype=np.float64)
+        # lazily built cache of transformed score rows with dirty-row
+        # invalidation; backs scores_batch on the vectorized sweep hot path
+        self._score_cache: np.ndarray | None = None
+        self._dirty_rows: set[int] = set()
 
     @classmethod
     def from_assignments(
@@ -50,8 +54,7 @@ class TopicPopularity:
     ) -> "TopicPopularity":
         """Build the table from current document topic assignments."""
         table = cls(n_topics, n_time_buckets, mode=mode, weight=weight)
-        for t, z in zip(np.asarray(timestamps), np.asarray(topics)):
-            table.increment(int(t), int(z))
+        table.increment_many(timestamps, topics)
         return table
 
     # ------------------------------------------------------------ maintenance
@@ -59,6 +62,8 @@ class TopicPopularity:
     def increment(self, timestamp: int, topic: int) -> None:
         """Register one document of ``topic`` at ``timestamp``."""
         self._counts[timestamp, topic] += 1.0
+        if self._score_cache is not None:
+            self._dirty_rows.add(int(timestamp))
 
     def decrement(self, timestamp: int, topic: int) -> None:
         """Remove one document of ``topic`` at ``timestamp``."""
@@ -67,12 +72,43 @@ class TopicPopularity:
                 f"popularity count underflow at (t={timestamp}, z={topic})"
             )
         self._counts[timestamp, topic] -= 1.0
+        if self._score_cache is not None:
+            self._dirty_rows.add(int(timestamp))
 
     def move(self, timestamp: int, old_topic: int, new_topic: int) -> None:
         """Reassign one document's topic at a fixed timestamp."""
         if old_topic != new_topic:
             self.decrement(timestamp, old_topic)
             self.increment(timestamp, new_topic)
+
+    def increment_many(self, timestamps: np.ndarray, topics: np.ndarray) -> None:
+        """Register one document per ``(timestamp, topic)`` pair (batched)."""
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        topics = np.asarray(topics, dtype=np.int64)
+        if len(timestamps):
+            np.add.at(self._counts, (timestamps, topics), 1.0)
+            if self._score_cache is not None:
+                self._dirty_rows.update(timestamps.tolist())
+
+    def decrement_many(self, timestamps: np.ndarray, topics: np.ndarray) -> None:
+        """Remove one document per ``(timestamp, topic)`` pair (batched)."""
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        topics = np.asarray(topics, dtype=np.int64)
+        if not len(timestamps):
+            return
+        np.add.at(self._counts, (timestamps, topics), -1.0)
+        if np.any(self._counts[timestamps, topics] < 0.0):
+            np.add.at(self._counts, (timestamps, topics), 1.0)  # restore
+            raise ValueError("popularity count underflow in batched decrement")
+        if self._score_cache is not None:
+            self._dirty_rows.update(timestamps.tolist())
+
+    def move_many(
+        self, timestamps: np.ndarray, old_topics: np.ndarray, new_topics: np.ndarray
+    ) -> None:
+        """Batched :meth:`move` — reassign many documents' topics at once."""
+        self.decrement_many(timestamps, old_topics)
+        self.increment_many(timestamps, new_topics)
 
     # ---------------------------------------------------------------- lookups
 
@@ -86,7 +122,46 @@ class TopicPopularity:
 
     def scores(self, timestamp: int) -> np.ndarray:
         """Popularity term for every topic at ``timestamp`` (vectorised)."""
-        row = self._counts[timestamp]
+        return self._transform_row(self._counts[timestamp])
+
+    def scores_batch(self, timestamps: np.ndarray) -> np.ndarray:
+        """Popularity terms for every topic at each timestamp, shape (N, Z).
+
+        Row-for-row identical to stacking :meth:`scores` over ``timestamps``;
+        used by the vectorized sweep kernel to score all incident links of a
+        document in one gather against the dirty-row score cache.
+        """
+        return self._scores_view()[timestamps]
+
+    def scores_at(self, timestamps: np.ndarray, topics: np.ndarray) -> np.ndarray:
+        """Scalar popularity terms for aligned ``(timestamp, topic)`` pairs.
+
+        Equivalent to ``scores_batch(timestamps)[arange(n), topics]`` without
+        materialising the intermediate rows.
+        """
+        view = self._scores_view()
+        return view.ravel()[timestamps * self.n_topics + topics]
+
+    def _scores_view(self) -> np.ndarray:
+        """Cached transformed score matrix; refreshed row-wise, read-only."""
+        if self._score_cache is None:
+            self._score_cache = self.score_matrix()
+            self._dirty_rows.clear()
+        elif self._dirty_rows:
+            if len(self._dirty_rows) <= 8:  # the per-document steady state
+                cache = self._score_cache
+                for row in self._dirty_rows:
+                    cache[row] = self._transform_row(self._counts[row])
+            else:
+                rows = np.fromiter(
+                    self._dirty_rows, dtype=np.int64, count=len(self._dirty_rows)
+                )
+                self._score_cache[rows] = self._transform_rows(self._counts[rows])
+            self._dirty_rows.clear()
+        return self._score_cache
+
+    def _transform_row(self, row: np.ndarray) -> np.ndarray:
+        """Single-row transform with scalar arithmetic (per-document hot path)."""
         if self.mode == "raw":
             transformed = row
         elif self.mode == "proportion":
@@ -95,16 +170,19 @@ class TopicPopularity:
             transformed = np.log1p(row)
         return self.weight * transformed
 
+    def _transform_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Row-wise transform of a (N, Z) count block."""
+        if self.mode == "raw":
+            transformed = rows
+        elif self.mode == "proportion":
+            transformed = rows / np.maximum(rows.sum(axis=1, keepdims=True), 1.0)
+        else:  # log
+            transformed = np.log1p(rows)
+        return self.weight * transformed
+
     def score_matrix(self) -> np.ndarray:
         """Popularity term for every (time bucket, topic) cell (vectorised)."""
-        if self.mode == "raw":
-            transformed = self._counts
-        elif self.mode == "proportion":
-            row_sums = np.maximum(self._counts.sum(axis=1, keepdims=True), 1.0)
-            transformed = self._counts / row_sums
-        else:  # log
-            transformed = np.log1p(self._counts)
-        return self.weight * transformed
+        return self._transform_rows(self._counts)
 
     def totals_per_topic(self) -> np.ndarray:
         """Column sums — overall topic frequencies, used by case studies."""

@@ -12,7 +12,11 @@ with the same algorithmic structure (documented substitution, DESIGN.md §3):
    its new assignments back to be merged.
 
 Workers build their sampler once (process initialiser) and reload only the
-small snapshot arrays per iteration.
+small snapshot arrays per iteration. Per-iteration reloads are array-native
+end to end: snapshot counts rebuild by bincount
+(:meth:`repro.core.state.CPDState.load_assignments`), worker sweeps run the
+vectorized kernel selected by ``CPDConfig.sweep_kernel``, and merged results
+apply as one batched count move (:meth:`CPDSampler.apply_assignments`).
 """
 
 from __future__ import annotations
@@ -98,9 +102,12 @@ class ParallelEStepRunner:
         n_segments: int | None = None,
         rng: RngLike = None,
         segmentation_lda_iterations: int = 15,
+        sweep_kernel: str | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        if sweep_kernel is not None:
+            config = config.with_overrides(sweep_kernel=sweep_kernel)
         self.graph = graph
         self.config = config
         self.n_workers = n_workers

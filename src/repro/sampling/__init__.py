@@ -4,8 +4,10 @@ from .categorical import (
     log_normalize,
     normalize,
     sample_categorical,
+    draw_log_categorical,
     sample_log_categorical,
     sample_many_categorical,
+    sample_many_log_categorical,
 )
 from .dirichlet import (
     dirichlet_expected_log,
@@ -38,8 +40,10 @@ __all__ = [
     "pg_mean",
     "pg_variance",
     "sample_categorical",
+    "draw_log_categorical",
     "sample_log_categorical",
     "sample_many_categorical",
+    "sample_many_log_categorical",
     "sample_pg",
     "sample_pg1",
     "sample_pg_array",

@@ -7,6 +7,8 @@ normalised distributions when a cumulative-sum inverse draw suffices.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from .rng import RngLike, ensure_rng
@@ -31,7 +33,13 @@ def sample_categorical(weights: np.ndarray, rng: RngLike = None) -> int:
         raise ValueError("weights must not all be zero")
     cumulative = np.cumsum(weights)
     draw = generator.random() * total
-    return int(np.searchsorted(cumulative, draw, side="right").clip(0, len(weights) - 1))
+    index = int(np.searchsorted(cumulative, draw, side="right").clip(0, len(weights) - 1))
+    # ``draw`` can round up to ``total`` (e.g. denormal weights), overflowing
+    # past the last positive-weight outcome; walk back so a zero-weight
+    # outcome is never drawn
+    while index > 0 and weights[index] == 0.0:
+        index -= 1
+    return index
 
 
 def sample_log_categorical(log_weights: np.ndarray, rng: RngLike = None) -> int:
@@ -63,6 +71,74 @@ def sample_many_categorical(weight_rows: np.ndarray, rng: RngLike = None) -> np.
     draws = generator.random(size=(weight_rows.shape[0], 1)) * totals
     indices = (cumulative < draws).sum(axis=1)
     return np.clip(indices, 0, weight_rows.shape[1] - 1)
+
+
+def draw_log_categorical(log_weights: np.ndarray, generator: np.random.Generator) -> int:
+    """Minimal-overhead draw from trusted, finite log-weights (hot path).
+
+    Semantics and RNG consumption (one uniform) match
+    :func:`sample_log_categorical`, but the input-validation passes are
+    skipped and ``log_weights`` may be consumed as scratch space: callers
+    must guarantee a finite 1-D float64 array they no longer need and a
+    real ``numpy`` Generator. The Gibbs sweep draws two of these per
+    document, which makes the checks the dominant cost at small graph
+    scales; for the few-category case a scalar scan beats the array
+    machinery outright.
+    """
+    size = len(log_weights)
+    if size <= 32:  # typical |Z| / |C|: python-scalar path, ~2.5x faster
+        values = log_weights.tolist()
+        shift = max(values)
+        total = 0.0
+        cumulative = []
+        append = cumulative.append
+        for value in values:
+            total += math.exp(value - shift)
+            append(total)
+        draw = generator.random() * total
+        for index, bound in enumerate(cumulative):
+            if bound > draw:
+                return index
+        # draw rounded up to the total: walk back past zero-weight outcomes,
+        # mirroring sample_categorical
+        index = size - 1
+        while index > 0 and cumulative[index] == cumulative[index - 1]:
+            index -= 1
+        return index
+    log_weights -= log_weights.max()
+    weights = np.exp(log_weights, out=log_weights)
+    cumulative = weights.cumsum(out=weights)
+    draw = generator.random() * cumulative[-1]
+    index = int(np.searchsorted(cumulative, draw, side="right"))
+    last = size - 1
+    if index >= last:
+        index = last
+        while index > 0 and cumulative[index] == cumulative[index - 1]:
+            index -= 1
+    return index
+
+
+def sample_many_log_categorical(
+    log_weight_rows: np.ndarray, rng: RngLike = None
+) -> np.ndarray:
+    """Vectorised draw of one index per row of ``log_weight_rows``, stably.
+
+    The row-wise maximum over finite entries is subtracted before
+    exponentiation, mirroring :func:`sample_log_categorical`; ``-inf``
+    entries get zero weight, a row of all ``-inf`` raises.
+    """
+    generator = ensure_rng(rng)
+    rows = np.asarray(log_weight_rows, dtype=np.float64)
+    if rows.ndim != 2:
+        raise ValueError("log_weight_rows must be two-dimensional")
+    finite = np.isfinite(rows)
+    if not np.all(finite.any(axis=1)):
+        raise ValueError("every row needs at least one finite log-weight")
+    row_max = np.max(np.where(finite, rows, -np.inf), axis=1, keepdims=True)
+    shifted = rows - row_max
+    finite_shifted = np.isfinite(shifted)
+    weights = np.exp(shifted, where=finite_shifted, out=np.zeros_like(shifted))
+    return sample_many_categorical(weights, generator)
 
 
 def normalize(weights: np.ndarray, axis: int = -1) -> np.ndarray:

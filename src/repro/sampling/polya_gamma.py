@@ -155,7 +155,7 @@ def _series_tail_mean(z: np.ndarray, n_terms: int) -> np.ndarray:
     c = np.abs(z) / (2.0 * math.pi)
     k = np.arange(1, n_terms + 1, dtype=np.float64)
     denom = (k - 0.5) ** 2 + c[..., None] ** 2
-    partial = denom.__rtruediv__(1.0).sum(axis=-1)
+    partial = (1.0 / denom).sum(axis=-1)
     small = c < 1e-8
     with np.errstate(divide="ignore", invalid="ignore"):
         full = np.where(small, math.pi**2 / 2.0, (math.pi / (2.0 * np.maximum(c, 1e-300))) * np.tanh(math.pi * c))

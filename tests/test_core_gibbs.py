@@ -50,6 +50,11 @@ class TestSweep:
             sampler.state.doc_topic[3:], before[3:]
         )
 
+    def test_sweep_accepts_float_and_list_doc_ids(self, sampler):
+        sampler.sweep_documents(np.array([0.0, 1.0]))
+        sampler.sweep_documents([2, 3])
+        sampler.state.check_consistency()
+
     def test_popularity_in_sync_after_sweep(self, sampler, twitter_tiny):
         graph, _ = twitter_tiny
         sampler.sweep_documents()
@@ -114,7 +119,64 @@ class TestDiffusionScoring:
         assert components["community"].shape == (0,)
 
 
+class TestLinkCSRStructures:
+    def test_friend_csr_covers_both_endpoints(self, sampler, twitter_tiny):
+        graph, _ = twitter_tiny
+        assert sampler.f_csr_indptr[-1] == 2 * graph.n_friendship_links
+        assert len(sampler.f_csr_neighbor) == 2 * graph.n_friendship_links
+        # every user's slice holds exactly the links incident to them
+        for user in range(graph.n_users):
+            start, end = sampler.f_csr_indptr[user], sampler.f_csr_indptr[user + 1]
+            for position in range(start, end):
+                link = int(sampler.f_csr_link[position])
+                neighbor = int(sampler.f_csr_neighbor[position])
+                endpoints = {int(sampler.f_src[link]), int(sampler.f_tgt[link])}
+                assert user in endpoints
+                assert neighbor in endpoints or neighbor == user
+
+    def test_diffusion_csr_covers_both_endpoints(self, sampler, twitter_tiny):
+        graph, _ = twitter_tiny
+        assert sampler.d_csr_indptr[-1] == 2 * graph.n_diffusion_links
+        for doc in range(graph.n_documents):
+            start, end = sampler.d_csr_indptr[doc], sampler.d_csr_indptr[doc + 1]
+            for position in range(start, end):
+                link = int(sampler.d_csr_link[position])
+                if sampler.d_csr_is_source[position]:
+                    assert int(sampler.e_src[link]) == doc
+                    assert int(sampler.d_csr_other[position]) == int(sampler.e_tgt[link])
+                else:
+                    assert int(sampler.e_tgt[link]) == doc
+                    assert int(sampler.d_csr_other[position]) == int(sampler.e_src[link])
+
+    def test_outgoing_csr_matches_sources(self, sampler, twitter_tiny):
+        graph, _ = twitter_tiny
+        assert sampler.dout_csr_indptr[-1] == graph.n_diffusion_links
+        for doc in range(graph.n_documents):
+            start, end = sampler.dout_csr_indptr[doc], sampler.dout_csr_indptr[doc + 1]
+            links = sampler.dout_csr_link[start:end]
+            np.testing.assert_array_equal(sampler.e_src[links], doc)
+            np.testing.assert_array_equal(
+                sampler.dout_csr_target[start:end], sampler.e_tgt[links]
+            )
+
+
 class TestEtaAggregation:
+    def test_vectorized_matches_per_link_loop(self, sampler):
+        sampler.sweep_documents()
+        eta = sampler.aggregate_eta()
+        config = sampler.config
+        state = sampler.state
+        counts = np.full(
+            (config.n_communities, config.n_communities, config.n_topics),
+            config.eta_smoothing,
+        )
+        for index in range(sampler.n_diff_links):
+            c_source = int(state.doc_community[sampler.e_src[index]])
+            c_target = int(state.doc_community[sampler.e_tgt[index]])
+            z_source = int(state.doc_topic[sampler.e_src[index]])
+            counts[c_source, c_target, z_source] += 1.0
+        np.testing.assert_allclose(eta, counts / counts.sum())
+
     def test_eta_is_distribution(self, sampler):
         eta = sampler.aggregate_eta()
         assert eta.shape == (4, 4, 8)
@@ -154,6 +216,23 @@ class TestSnapshots:
         sampler.state.check_consistency()
         counts = sampler.popularity.counts_matrix()
         assert counts.sum() == sampler.graph.n_documents
+
+    def test_apply_assignments_empty_batch(self, sampler):
+        before = sampler.state.doc_topic.copy()
+        sampler.apply_assignments(np.zeros(0, dtype=np.int64), np.zeros(0), np.zeros(0))
+        np.testing.assert_array_equal(sampler.state.doc_topic, before)
+
+    def test_apply_assignments_keeps_popularity_in_sync(self, sampler, twitter_tiny):
+        graph, _ = twitter_tiny
+        doc_ids = np.arange(graph.n_documents)
+        communities = (sampler.state.doc_community + 1) % 4
+        topics = (sampler.state.doc_topic + 2) % 8
+        sampler.apply_assignments(doc_ids, communities, topics)
+        sampler.state.check_consistency()
+        doc_times = np.array([d.timestamp for d in graph.documents])
+        expected = np.zeros_like(sampler.popularity.counts_matrix())
+        np.add.at(expected, (doc_times, topics), 1.0)
+        np.testing.assert_array_equal(sampler.popularity.counts_matrix(), expected)
 
 
 class TestHeterogeneityModes:

@@ -95,6 +95,114 @@ class TestSnapshots:
         with pytest.raises(ValueError):
             state.load_assignments(np.zeros(3), np.zeros(3))
 
+    def test_load_rejects_out_of_range(self, state):
+        communities = np.zeros(state.n_docs, dtype=np.int64)
+        topics = np.zeros(state.n_docs, dtype=np.int64)
+        with pytest.raises(ValueError):
+            state.load_assignments(communities - 1, topics)
+        with pytest.raises(ValueError):
+            state.load_assignments(communities, topics + state.n_topics)
+
+    def test_load_matches_sequential_assign(self, state, rng, twitter_tiny):
+        """The bincount rebuild equals a document-by-document rebuild."""
+        graph, _ = twitter_tiny
+        state.random_init(rng)
+        communities = state.doc_community.copy()
+        topics = state.doc_topic.copy()
+        state.load_assignments(communities, topics)
+
+        other = CPDState(graph, CPDConfig(n_communities=4, n_topics=8, rho=0.5, alpha=0.5))
+        for doc_id in range(graph.n_documents):
+            other.assign(doc_id, int(communities[doc_id]), int(topics[doc_id]))
+
+        np.testing.assert_array_equal(state.user_community, other.user_community)
+        np.testing.assert_array_equal(state.community_topic, other.community_topic)
+        np.testing.assert_array_equal(state.topic_word, other.topic_word)
+        np.testing.assert_array_equal(state.user_totals, other.user_totals)
+        np.testing.assert_array_equal(state.community_totals, other.community_totals)
+        np.testing.assert_array_equal(state.topic_totals, other.topic_totals)
+
+
+class TestEstimatorCaches:
+    def test_views_track_mutations(self, state, rng):
+        state.random_init(rng)
+        pi_before = state.pi_hat_view().copy()
+        theta_before = state.theta_hat_view().copy()
+        community, topic = state.unassign(0)
+        # the cached views must refresh the dirty rows on next access
+        fresh_pi = (state.user_community + state.rho) / (
+            state.user_totals[:, None] + state.n_communities * state.rho
+        )
+        fresh_theta = (state.community_topic + state.alpha) / (
+            state.community_totals[:, None] + state.n_topics * state.alpha
+        )
+        np.testing.assert_allclose(state.pi_hat_view(), fresh_pi)
+        np.testing.assert_allclose(state.theta_hat_view(), fresh_theta)
+        state.assign(0, community, topic)
+        np.testing.assert_allclose(state.pi_hat_view(), pi_before)
+        np.testing.assert_allclose(state.theta_hat_view(), theta_before)
+
+    def test_public_accessors_return_copies(self, state, rng):
+        state.random_init(rng)
+        pi = state.pi_hat()
+        pi.fill(-1.0)
+        assert np.all(state.pi_hat() >= 0.0)
+        theta = state.theta_hat()
+        theta.fill(-1.0)
+        assert np.all(state.theta_hat() >= 0.0)
+
+    def test_many_dirty_rows_refresh_vectorised(self, state, rng):
+        state.random_init(rng)
+        state.pi_hat_view()
+        state.theta_hat_view()
+        # dirty far more rows than the scalar fast path handles
+        for doc_id in range(state.n_docs):
+            community, topic = state.unassign(doc_id)
+            state.assign(doc_id, (community + 1) % state.n_communities, topic)
+        state.check_consistency()  # includes cache-vs-counts verification
+
+
+class TestReassignMany:
+    def test_matches_unassign_assign(self, rng, twitter_tiny, tiny_config):
+        graph, _ = twitter_tiny
+        bulk = CPDState(graph, tiny_config)
+        sequential = CPDState(graph, tiny_config)
+        bulk.random_init(np.random.default_rng(5))
+        sequential.load_assignments(bulk.doc_community, bulk.doc_topic)
+
+        doc_ids = np.arange(0, graph.n_documents, 2)
+        communities = (bulk.doc_community[doc_ids] + 1) % tiny_config.n_communities
+        topics = (bulk.doc_topic[doc_ids] + 3) % tiny_config.n_topics
+        old_c, old_z = bulk.reassign_many(doc_ids, communities, topics)
+
+        for doc_id, community, topic in zip(doc_ids, communities, topics):
+            sequential.unassign(int(doc_id))
+            sequential.assign(int(doc_id), int(community), int(topic))
+
+        bulk.check_consistency()
+        np.testing.assert_array_equal(bulk.topic_word, sequential.topic_word)
+        np.testing.assert_array_equal(bulk.user_community, sequential.user_community)
+        np.testing.assert_array_equal(bulk.community_topic, sequential.community_topic)
+        np.testing.assert_array_equal(bulk.topic_totals, sequential.topic_totals)
+        assert np.all(old_z >= 0) and np.all(old_c >= 0)
+
+    def test_empty_batch_is_noop(self, state, rng):
+        state.random_init(rng)
+        before = state.topic_word.copy()
+        state.reassign_many(np.zeros(0, dtype=np.int64), np.zeros(0), np.zeros(0))
+        np.testing.assert_array_equal(state.topic_word, before)
+
+    def test_rejects_duplicates(self, state, rng):
+        state.random_init(rng)
+        with pytest.raises(ValueError):
+            state.reassign_many(np.array([0, 0]), np.array([1, 2]), np.array([1, 2]))
+
+    def test_rejects_unassigned(self, state, rng):
+        state.random_init(rng)
+        state.unassign(3)
+        with pytest.raises(ValueError):
+            state.reassign_many(np.array([3]), np.array([0]), np.array([0]))
+
 
 class TestInversionProperty:
     @given(

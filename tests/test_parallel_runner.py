@@ -70,3 +70,14 @@ class TestParallelRunner:
         graph, config = runner_setup
         with pytest.raises(ValueError):
             ParallelEStepRunner(graph, config, n_workers=0)
+
+    def test_sweep_kernel_override(self, runner_setup):
+        graph, config = runner_setup
+        with ParallelEStepRunner(
+            graph, config, n_workers=1, rng=0, sweep_kernel="reference"
+        ) as runner:
+            assert runner.config.sweep_kernel == "reference"
+            result = CPDModel(runner.config, rng=0).fit(
+                graph, FitOptions(document_sweeper=runner)
+            )
+        np.testing.assert_allclose(result.pi.sum(axis=1), 1.0, rtol=1e-9)

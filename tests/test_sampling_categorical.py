@@ -7,11 +7,13 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.sampling import (
+    draw_log_categorical,
     log_normalize,
     normalize,
     sample_categorical,
     sample_log_categorical,
     sample_many_categorical,
+    sample_many_log_categorical,
 )
 
 
@@ -101,6 +103,87 @@ class TestSampleManyCategorical:
     def test_rejects_1d(self, rng):
         with pytest.raises(ValueError):
             sample_many_categorical(np.ones(3), rng)
+
+
+class TestDrawLogCategorical:
+    """The trusted fast draw matches sample_log_categorical draw-for-draw."""
+
+    @pytest.mark.parametrize("size", [2, 6, 12, 33, 100])
+    def test_matches_validating_draw_with_same_seed(self, size):
+        log_weights = np.random.default_rng(size).normal(size=size) * 3.0
+        for seed in range(40):
+            checked = sample_log_categorical(
+                log_weights.copy(), np.random.default_rng(seed)
+            )
+            fast = draw_log_categorical(log_weights.copy(), np.random.default_rng(seed))
+            assert checked == fast
+
+    def test_respects_proportions(self):
+        rng = np.random.default_rng(0)
+        log_weights = np.log(np.array([0.2, 0.8]))
+        draws = [draw_log_categorical(log_weights.copy(), rng) for _ in range(4000)]
+        assert 0.75 < np.mean(draws) < 0.85
+
+    def test_degenerate_distribution(self):
+        rng = np.random.default_rng(0)
+        log_weights = np.array([-1e9, 0.0, -1e9])
+        assert all(
+            draw_log_categorical(log_weights.copy(), rng) == 1 for _ in range(20)
+        )
+
+    def test_large_array_path_shift_invariant(self):
+        base = np.random.default_rng(1).normal(size=64)
+        a = draw_log_categorical(base.copy() + 700.0, np.random.default_rng(3))
+        b = draw_log_categorical(base.copy() - 700.0, np.random.default_rng(3))
+        assert a == b
+
+
+class TestSampleManyLogCategorical:
+    def test_shape_and_range(self, rng):
+        rows = np.log(np.ones((5, 3)))
+        out = sample_many_log_categorical(rows, rng)
+        assert out.shape == (5,)
+        assert np.all((out >= 0) & (out < 3))
+
+    def test_matches_rowwise_single_draws_in_distribution(self):
+        rows = np.log(np.array([[0.2, 0.8], [0.9, 0.1]]))
+        draws = np.stack(
+            [
+                sample_many_log_categorical(rows, np.random.default_rng(seed))
+                for seed in range(3000)
+            ]
+        )
+        assert 0.75 < draws[:, 0].mean() < 0.85
+        assert 0.05 < draws[:, 1].mean() < 0.15
+
+    def test_neg_inf_entries_never_drawn(self, rng):
+        rows = np.array([[-np.inf, 0.0], [0.0, -np.inf]])
+        for _ in range(20):
+            np.testing.assert_array_equal(
+                sample_many_log_categorical(rows, rng), [1, 0]
+            )
+
+    def test_all_neg_inf_row_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_many_log_categorical(
+                np.array([[0.0, 0.0], [-np.inf, -np.inf]]), rng
+            )
+
+    def test_nan_treated_as_zero_weight(self, rng):
+        # matches sample_log_categorical: non-finite entries get no mass
+        rows = np.array([[0.0, np.nan]])
+        for _ in range(20):
+            assert sample_many_log_categorical(rows, rng)[0] == 0
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            sample_many_log_categorical(np.zeros(3), rng)
+
+    def test_shift_invariance(self, rng):
+        rows = np.random.default_rng(2).normal(size=(4, 6))
+        a = sample_many_log_categorical(rows + 900.0, np.random.default_rng(5))
+        b = sample_many_log_categorical(rows - 900.0, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
 
 
 class TestNormalize:

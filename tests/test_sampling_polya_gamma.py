@@ -113,6 +113,39 @@ class TestSeriesSampler:
         assert np.isfinite(draw) and draw > 0
 
 
+class TestSeriesTailMean:
+    """The analytic tail correction closes the truncated series exactly."""
+
+    @pytest.mark.parametrize("n_terms", [4, 16, 64])
+    def test_partial_plus_tail_equals_pg_mean(self, n_terms):
+        from repro.sampling.polya_gamma import _series_tail_mean
+
+        z = np.array([0.0, 1e-6, 0.3, 1.0, 4.0, 12.0])
+        c = np.abs(z) / (2.0 * np.pi)
+        k = np.arange(1, n_terms + 1, dtype=np.float64)
+        partial_mean = (1.0 / ((k - 0.5) ** 2 + c[:, None] ** 2)).sum(axis=1) / (
+            2.0 * np.pi**2
+        )
+        tail = _series_tail_mean(z, n_terms)
+        expected = np.array([pg_mean(1.0, value) for value in z])
+        np.testing.assert_allclose(partial_mean + tail, expected, rtol=1e-10)
+
+    def test_tail_is_positive_and_shrinks(self):
+        from repro.sampling.polya_gamma import _series_tail_mean
+
+        z = np.array([0.5])
+        tails = [float(_series_tail_mean(z, k)[0]) for k in (4, 16, 64, 256)]
+        assert all(t > 0 for t in tails)
+        assert tails == sorted(tails, reverse=True)
+
+    def test_mean_correction_keeps_sampler_unbiased(self):
+        """sample_pg_array matches pg_mean even at aggressive truncation."""
+        rng = np.random.default_rng(7)
+        z = np.full(40000, 2.0)
+        draws = sample_pg_array(z, rng, n_terms=8)
+        assert draws.mean() == pytest.approx(pg_mean(1, 2.0), rel=0.02)
+
+
 class TestSigmoid:
     def test_midpoint(self):
         assert sigmoid(np.array(0.0)) == pytest.approx(0.5)
