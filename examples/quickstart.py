@@ -3,19 +3,32 @@
 Generates a Twitter-flavoured social graph, fits CPD, and prints the three
 things the paper's Problem 1 asks for: community memberships, content
 profiles and diffusion profiles — plus the learned diffusion-factor
-weights.
+weights. Finishes with the serving workflow: persist a self-contained
+artifact, reopen it without the graph, answer a ranking query and fold in
+an unseen document.
 
 Run:  python examples/quickstart.py
+
+Environment knobs (used by the smoke test to keep CI fast):
+    REPRO_QUICKSTART_SCALE       tiny | small | medium   (default: small)
+    REPRO_QUICKSTART_ITERATIONS  EM iterations           (default: 25)
 """
 
-from repro import fit_cpd, twitter_scenario
+import os
+import tempfile
+from pathlib import Path
+
+from repro import ProfileStore, fit_cpd, twitter_scenario
 from repro.evaluation import content_perplexity, normalized_mutual_information
+
+SCALE = os.environ.get("REPRO_QUICKSTART_SCALE", "small")
+ITERATIONS = int(os.environ.get("REPRO_QUICKSTART_ITERATIONS", "25"))
 
 
 def main() -> None:
     # 1. a social graph G = (U, D, F, E): users, documents, friendship
     #    links, diffusion links — with planted ground truth for checking
-    graph, truth = twitter_scenario("small", rng=0)
+    graph, truth = twitter_scenario(SCALE, rng=0)
     print(graph)
 
     # 2. joint profiling and detection (paper Alg. 1).
@@ -26,7 +39,7 @@ def main() -> None:
         graph,
         n_communities=6,
         n_topics=12,
-        n_iterations=25,
+        n_iterations=ITERATIONS,
         rng=0,
         alpha=0.5,
         rho=0.5,
@@ -51,6 +64,32 @@ def main() -> None:
     profile = profile_of(result, 0)
     print()
     print(profile.describe(result, graph.vocabulary))
+
+    # 6. the serving workflow: save a self-contained artifact, reopen it
+    #    WITHOUT the graph, and answer queries from the profile store
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_path = Path(tmp) / "model.cpd.npz"
+        ProfileStore.from_fit(result, graph).save(artifact_path)
+        store = ProfileStore.from_artifact(artifact_path)
+
+        queries = store.indexed_queries(max_queries=1)
+        if queries:
+            term = queries[0].term
+            ranked = ", ".join(f"c{c:02d}:{score:.4f}" for c, score in store.rank(term)[:3])
+            print()
+            print(f"served (graph-free) ranking for {term!r}: {ranked}")
+
+        # 7. fold-in: a document that arrives after the offline fit gets a
+        #    community and topic from a few frozen-model Gibbs draws
+        unseen = graph.documents[0]
+        fold = store.fold_in([unseen.words], users=[unseen.user_id], rng=0)
+        print(
+            f"fold-in of an unseen document by user {unseen.user_id}: "
+            f"community c{int(fold.communities[0]):02d}, "
+            f"topic z{int(fold.topics[0])} "
+            f"(full fit said c{int(result.doc_community[0]):02d}, "
+            f"z{int(result.doc_topic[0])})"
+        )
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from .core import (
     profile_of,
 )
 from .apps import CommunityRanker, DiffusionPredictor
+from .serving import FoldInResult, GraphSummary, ProfileStore, fold_in_documents
 from .datasets import (
     GroundTruth,
     SyntheticConfig,
@@ -54,7 +55,11 @@ __all__ = [
     "DiffusionPredictor",
     "DiffusionProfile",
     "FitOptions",
+    "FoldInResult",
+    "GraphSummary",
     "GroundTruth",
+    "ProfileStore",
+    "fold_in_documents",
     "SocialGraph",
     "SocialGraphBuilder",
     "SyntheticConfig",

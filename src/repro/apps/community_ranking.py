@@ -8,6 +8,12 @@ of generating a diffusion about q:
 This is the "which communities should a campaign target" primitive: the
 community must both be *about* the query (through ``theta``/``phi``) and
 actively *diffuse* it (through ``eta``).
+
+All scoring is delegated to the serving facade
+(:class:`repro.serving.ProfileStore`): repeated queries are answered from
+its LRU cache, and a ranker over an artifact-backed store never touches the
+graph. The legacy ``CommunityRanker(result, graph)`` construction still
+works and wraps the pair in a store internally.
 """
 
 from __future__ import annotations
@@ -16,59 +22,43 @@ import numpy as np
 
 from ..core.result import CPDResult
 from ..graph.social_graph import SocialGraph
+from ..serving import ProfileStore, ensure_store
 
 
 class CommunityRanker:
     """Ranks communities for term queries using the learned profiles."""
 
-    def __init__(self, result: CPDResult, graph: SocialGraph, top_k_membership: int = 5) -> None:
-        self.result = result
-        self.graph = graph
-        self._members = result.community_members(k=top_k_membership)
-
-    def _query_word_ids(self, query: str | list[str]) -> list[int]:
-        terms = query.split() if isinstance(query, str) else list(query)
-        word_ids = []
-        for term in terms:
-            if term in self.graph.vocabulary:
-                word_ids.append(self.graph.vocabulary.id_of(term))
-        return word_ids
+    def __init__(
+        self,
+        source: ProfileStore | CPDResult,
+        graph: SocialGraph | None = None,
+        top_k_membership: int = 5,
+    ) -> None:
+        self.store = ensure_store(source, graph)
+        self.result = self.store.result
+        self._top_k_membership = top_k_membership
 
     def query_topic_affinity(self, query: str | list[str]) -> np.ndarray:
         """``prod_{w in q} phi_zw`` per topic, computed stably in log space."""
-        word_ids = self._query_word_ids(query)
-        if not word_ids:
-            raise KeyError(f"no query term of {query!r} is in the vocabulary")
-        log_affinity = np.log(np.maximum(self.result.phi[:, word_ids], 1e-300)).sum(axis=1)
-        log_affinity -= log_affinity.max()
-        return np.exp(log_affinity)
+        return self.store.query_topic_affinity(query)
 
     def scores(self, query: str | list[str]) -> np.ndarray:
         """Eq. 19 scores for every community (unnormalised)."""
-        affinity = self.query_topic_affinity(query)  # (Z,)
-        # sum_z sum_c' eta[c, c', z] * theta[c', z] * affinity[z]
-        weighted = self.result.theta * affinity[None, :]  # (C', Z)
-        return np.einsum("cdz,dz->c", self.result.eta, weighted)
+        return self.store.scores(query)
 
     def rank(self, query: str | list[str]) -> list[tuple[int, float]]:
-        """Communities sorted by Eq. 19 score, best first."""
-        scores = self.scores(query)
-        order = np.argsort(-scores)
-        return [(int(c), float(scores[c])) for c in order]
+        """Communities sorted by Eq. 19 score, best first (cached)."""
+        return self.store.rank(query)
 
     def top_k(self, query: str | list[str], k: int = 5) -> list[int]:
         """The top-k community ids for a query."""
-        return [c for c, _ in self.rank(query)[:k]]
+        return self.store.top_k(query, k)
 
     def ranked_member_lists(self, query: str | list[str]) -> list[np.ndarray]:
         """Member user ids of each community in rank order (metric input)."""
-        return [self._members[c] for c, _ in self.rank(query)]
+        members = self.store.community_members(self._top_k_membership)
+        return [members[c] for c, _score in self.rank(query)]
 
     def query_topics(self, query: str | list[str], n: int = 3) -> list[tuple[int, float]]:
         """The query's dominant topics (the "query topics" box of Fig. 1(c))."""
-        affinity = self.query_topic_affinity(query)
-        total = affinity.sum()
-        if total > 0:
-            affinity = affinity / total
-        order = np.argsort(-affinity)[:n]
-        return [(int(z), float(affinity[z])) for z in order]
+        return self.store.query_topics(query, n)

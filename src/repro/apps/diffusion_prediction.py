@@ -9,6 +9,15 @@ user u diffuses (retweets/cites) it at time t:
 
 The topic posterior ``p(z|d_vj)`` folds the document's words against the
 learned ``phi`` with the publisher's community-weighted topic prior.
+
+The predictor reads everything through the serving facade
+(:class:`repro.serving.ProfileStore`): the popularity table, the ``f_uv``
+features and the doc->user map come from the persisted graph summary, so
+an artifact-backed predictor serves without the graph. Only the per-word
+topic posteriors need the corpus; without a graph they fall back to the
+persisted Gibbs assignment (a delta posterior), and genuinely *new*
+documents go through :meth:`predict_unseen`, the production fold-in path.
+The legacy ``DiffusionPredictor(result, graph)`` construction still works.
 """
 
 from __future__ import annotations
@@ -16,47 +25,61 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.result import CPDResult
-from ..diffusion.features import UserFeatures
-from ..diffusion.popularity import TopicPopularity
 from ..graph.social_graph import SocialGraph
 from ..sampling.polya_gamma import sigmoid
+from ..serving import ProfileStore, ensure_store
 
 
 class DiffusionPredictor:
     """Scores potential diffusion events with the five CPD outputs."""
 
-    def __init__(self, result: CPDResult, graph: SocialGraph) -> None:
-        self.result = result
-        self.graph = graph
-        self._features = UserFeatures(graph)
-        self._doc_user = graph.document_user_array()
-        doc_times = np.asarray([doc.timestamp for doc in graph.documents], dtype=np.int64)
-        n_buckets = int(doc_times.max()) + 1 if len(doc_times) else 1
-        self._popularity = TopicPopularity.from_assignments(
-            doc_times,
-            np.where(result.doc_topic >= 0, result.doc_topic, 0),
-            n_topics=result.n_topics,
-            n_time_buckets=n_buckets,
-            mode=result.config.popularity_mode,
-            weight=result.config.popularity_weight,
-        )
-        self._pop_matrix = self._popularity.score_matrix()
+    def __init__(
+        self,
+        source: ProfileStore | CPDResult,
+        graph: SocialGraph | None = None,
+    ) -> None:
+        self.store = ensure_store(source, graph)
+        self.result = self.store.result
+        self.graph = self.store.graph
+        self._features = self.store.user_features()
+        self._doc_user = self.store.doc_user()
+        self._pop_matrix = self.store.popularity_matrix()
 
     # ------------------------------------------------------------- internals
 
-    def document_topic_posterior(self, doc_id: int) -> np.ndarray:
-        """``p(z | d)`` from words and the publisher's community prior."""
-        result = self.result
-        doc = self.graph.documents[doc_id]
-        prior = self.result.pi[doc.user_id] @ result.theta  # (Z,)
-        log_posterior = np.log(np.maximum(prior, 1e-300))
-        if len(doc.words):
-            log_posterior = log_posterior + np.log(
-                np.maximum(result.phi[:, doc.words], 1e-300)
+    def _document_words(self, doc_id: int) -> np.ndarray | None:
+        """The document's word ids, or ``None`` when serving graph-free."""
+        if self.graph is None:
+            return None
+        return self.graph.documents[doc_id].words
+
+    def _words_topic_posterior(
+        self, words: np.ndarray | None, log_prior: np.ndarray
+    ) -> np.ndarray:
+        log_posterior = log_prior.copy()
+        if words is not None and len(words):
+            log_posterior += np.log(
+                np.maximum(self.result.phi[:, words], 1e-300)
             ).sum(axis=1)
         log_posterior -= log_posterior.max()
         posterior = np.exp(log_posterior)
         return posterior / posterior.sum()
+
+    def document_topic_posterior(self, doc_id: int) -> np.ndarray:
+        """``p(z | d)`` from words and the publisher's community prior.
+
+        Graph-free stores have no access to the corpus words, so the
+        posterior degenerates to a delta on the persisted topic assignment
+        — the exact topic the offline Gibbs chain left the document on.
+        """
+        result = self.result
+        words = self._document_words(doc_id)
+        if words is None:
+            posterior = np.zeros(result.n_topics)
+            posterior[int(result.doc_topic[doc_id])] = 1.0
+            return posterior
+        prior = result.pi[self._doc_user[doc_id]] @ result.theta  # (Z,)
+        return self._words_topic_posterior(words, np.log(np.maximum(prior, 1e-300)))
 
     def _logits_per_topic(
         self, source_user: int, target_user: int, timestamp: int
@@ -85,25 +108,56 @@ class DiffusionPredictor:
         posterior = self.document_topic_posterior(target_doc)
         return float((sigmoid(logits) * posterior).sum())
 
+    def predict_unseen(
+        self,
+        source_user: int,
+        publisher: int,
+        words: np.ndarray,
+        timestamp: int,
+    ) -> float:
+        """Eq. 18 for a document the offline fit never saw.
+
+        The production serving scenario: ``publisher`` just posted a new
+        document with ``words`` (fitted-vocabulary ids; encode raw tokens
+        through :meth:`ProfileStore.encode_tokens`), and we score whether
+        ``source_user`` will diffuse it. The topic posterior folds the new
+        words against the frozen ``phi`` under the publisher's prior — no
+        graph, no refit.
+        """
+        result = self.result
+        words = np.asarray(words, dtype=np.int64)
+        prior = result.pi[publisher] @ result.theta
+        posterior = self._words_topic_posterior(
+            words, np.log(np.maximum(prior, 1e-300))
+        )
+        logits = self._logits_per_topic(source_user, publisher, timestamp)
+        return float((sigmoid(logits) * posterior).sum())
+
     def pair_topic_posterior(self, source_doc: int, target_doc: int) -> np.ndarray:
         """``p(z | d_i, d_j)``: the link's shared-topic posterior.
 
         A diffusion link carries one topic (Sect. 3.2); when both endpoint
         documents are observed — as in the link-prediction protocol — both
-        word sets inform it.
+        word sets inform it. Graph-free stores fall back to the persisted
+        *source* assignment, matching the link-topic convention of
+        DESIGN.md §3.
         """
         result = self.result
-        source = self.graph.documents[source_doc]
-        target = self.graph.documents[target_doc]
-        prior = (result.pi[source.user_id] @ result.theta) * (
-            result.pi[target.user_id] @ result.theta
+        source_words = self._document_words(source_doc)
+        if source_words is None:
+            posterior = np.zeros(result.n_topics)
+            posterior[int(result.doc_topic[source_doc])] = 1.0
+            return posterior
+        target_words = self._document_words(target_doc)
+        prior = (result.pi[self._doc_user[source_doc]] @ result.theta) * (
+            result.pi[self._doc_user[target_doc]] @ result.theta
         )
         log_posterior = np.log(np.maximum(prior, 1e-300))
         log_phi = np.log(np.maximum(result.phi, 1e-300))
-        if len(source.words):
-            log_posterior = log_posterior + log_phi[:, source.words].sum(axis=1)
-        if len(target.words):
-            log_posterior = log_posterior + log_phi[:, target.words].sum(axis=1)
+        if len(source_words):
+            log_posterior = log_posterior + log_phi[:, source_words].sum(axis=1)
+        if target_words is not None and len(target_words):
+            log_posterior = log_posterior + log_phi[:, target_words].sum(axis=1)
         log_posterior -= log_posterior.max()
         posterior = np.exp(log_posterior)
         return posterior / posterior.sum()
@@ -138,7 +192,7 @@ class DiffusionPredictor:
     ) -> list[tuple[int, float]]:
         """Top-k users most likely to diffuse ``target_doc`` (campaign seeding)."""
         if candidate_users is None:
-            candidate_users = np.arange(self.graph.n_users)
+            candidate_users = np.arange(self.store.n_users)
         publisher = int(self._doc_user[target_doc])
         scored = []
         for user in np.asarray(candidate_users, dtype=np.int64):

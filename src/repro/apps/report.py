@@ -5,6 +5,10 @@ and interaction (footnote 1, Sect. 1); this headless library produces the
 equivalent static artifact: one markdown report covering every community's
 content profile, diffusion profile, openness, top diffusion partners and
 ranking hits for selected queries.
+
+The report reads everything through :class:`repro.serving.ProfileStore`,
+so it can be generated from a self-contained v2 artifact without the
+graph; the legacy ``build_report(result, graph)`` signature still works.
 """
 
 from __future__ import annotations
@@ -14,45 +18,58 @@ import numpy as np
 from ..core.result import CPDResult
 from ..evaluation.queries import Query
 from ..graph.social_graph import SocialGraph
-from .community_ranking import CommunityRanker
-from .visualization import community_labels, openness_report, topic_generality
+from ..serving import ProfileStore, ensure_store
+from .visualization import openness_report, topic_generality
 
 
-def _topic_line(result: CPDResult, graph: SocialGraph, topic: int) -> str:
-    words = ", ".join(w for w, _p in result.top_words(topic, 4, graph.vocabulary))
+def _topic_line(store: ProfileStore, topic: int) -> str:
+    result = store.result
+    words = ", ".join(w for w, _p in result.top_words(topic, 4, store.vocabulary))
     return f"T{topic} ({words})"
 
 
-def community_section(result: CPDResult, graph: SocialGraph, community: int) -> str:
+def community_section(
+    source: ProfileStore | CPDResult,
+    graph: SocialGraph | None = None,
+    community: int = 0,
+) -> str:
     """One community's markdown section."""
+    store = ensure_store(source, graph)
+    result = store.result
     lines = [f"### Community c{community:02d}", ""]
     lines.append(f"- openness: {result.openness(community):.3f}")
-    members = result.community_members(k=1)[community]
+    members = store.community_members(k=1)[community]
     lines.append(f"- members (argmax assignment): {len(members)} users")
     lines.append("- content profile:")
     for topic, weight in result.top_topics(community, 3):
-        lines.append(f"  - {_topic_line(result, graph, topic)}: {weight:.3f}")
+        lines.append(f"  - {_topic_line(store, topic)}: {weight:.3f}")
     lines.append("- diffusion profile (strongest targets, topic-aggregated):")
-    aggregated = result.eta[community].sum(axis=1)
+    aggregated = store.aggregated_diffusion()[community]
     for target in np.argsort(-aggregated)[:3]:
         top_topic, strength = result.top_diffused_topics(community, int(target), 1)[0]
         lines.append(
             f"  - -> c{int(target):02d} total {aggregated[target]:.4f}, "
-            f"mostly on {_topic_line(result, graph, top_topic)} ({strength:.4f})"
+            f"mostly on {_topic_line(store, top_topic)} ({strength:.4f})"
         )
     return "\n".join(lines)
 
 
 def build_report(
-    result: CPDResult,
-    graph: SocialGraph,
+    source: ProfileStore | CPDResult,
+    graph: SocialGraph | None = None,
     queries: list[Query] | None = None,
     title: str | None = None,
 ) -> str:
     """Full markdown report over all communities (plus optional queries)."""
-    title = title or f"Community profile report — {graph.name}"
+    store = ensure_store(source, graph)
+    result = store.result
+    stats = store.stats
+    if store.graph is not None:
+        graph_name = store.graph.name
+    else:
+        graph_name = result.graph_name or "unnamed graph"
+    title = title or f"Community profile report — {graph_name}"
     lines = [f"# {title}", ""]
-    stats = graph.stats()
     lines.append(
         f"{stats.n_users} users, {stats.n_documents} documents, "
         f"{stats.n_friendship_links} friendship links, "
@@ -69,7 +86,7 @@ def build_report(
 
     lines.append("## Openness ranking")
     lines.append("")
-    labels = community_labels(result, graph.vocabulary, n_words=3)
+    labels = store.labels(n_words=3)
     for label, openness in openness_report(result, labels):
         lines.append(f"- {label}: {openness:.3f}")
     lines.append("")
@@ -78,8 +95,8 @@ def build_report(
     lines.append("")
     generality = topic_generality(result)
     order = np.argsort(-generality)
-    most = ", ".join(_topic_line(result, graph, int(z)) for z in order[:2])
-    least = ", ".join(_topic_line(result, graph, int(z)) for z in order[-2:])
+    most = ", ".join(_topic_line(store, int(z)) for z in order[:2])
+    least = ", ".join(_topic_line(store, int(z)) for z in order[-2:])
     lines.append(f"- most general: {most}")
     lines.append(f"- most specialised: {least}")
     lines.append("")
@@ -87,16 +104,15 @@ def build_report(
     lines.append("## Communities")
     lines.append("")
     for community in range(result.n_communities):
-        lines.append(community_section(result, graph, community))
+        lines.append(community_section(store, community=community))
         lines.append("")
 
     if queries:
-        ranker = CommunityRanker(result, graph)
         lines.append("## Query rankings")
         lines.append("")
         for query in queries:
             try:
-                top = ranker.rank(query.term)[:3]
+                top = store.rank(query.term)[:3]
             except KeyError:
                 continue
             ranked = ", ".join(f"c{c:02d} ({score:.4f})" for c, score in top)

@@ -5,6 +5,11 @@ all topics aggregated — with edges below the average strength pruned
 exactly as Fig. 7 does. Since this library is headless, the render targets
 are a networkx DiGraph, Graphviz DOT, a JSON payload for the paper's
 SocialLens-style interactive frontend, and an ASCII table.
+
+``community_labels`` and ``build_diffusion_graph`` accept either a raw
+:class:`CPDResult` (the legacy path) or a
+:class:`repro.serving.ProfileStore`, in which case labels and diffusion
+tensor slices come from the store's memoised indexes.
 """
 
 from __future__ import annotations
@@ -16,24 +21,25 @@ import numpy as np
 
 from ..core.result import CPDResult
 from ..graph.vocabulary import Vocabulary
+from ..serving import ProfileStore
+from ..serving.store import compute_community_labels
 
 
 def community_labels(
-    result: CPDResult, vocabulary: Vocabulary, n_words: int = 3
+    source: ProfileStore | CPDResult,
+    vocabulary: Vocabulary | None = None,
+    n_words: int = 3,
 ) -> list[str]:
     """Label each community by the top words of its dominant topics."""
-    labels = []
-    for community in range(result.n_communities):
-        words: list[str] = []
-        for topic, _weight in result.top_topics(community, 2):
-            words.extend(w for w, _p in result.top_words(topic, n_words, vocabulary))
-        deduped = list(dict.fromkeys(words))[:n_words]
-        labels.append(" ".join(deduped))
-    return labels
+    if isinstance(source, ProfileStore):
+        return source.labels(n_words)
+    if vocabulary is None:
+        raise ValueError("community_labels needs a vocabulary with a raw CPDResult")
+    return compute_community_labels(source, vocabulary, n_words)
 
 
 def build_diffusion_graph(
-    result: CPDResult,
+    source: ProfileStore | CPDResult,
     topic: int | None = None,
     prune_below_average: bool = True,
     labels: list[str] | None = None,
@@ -44,12 +50,20 @@ def build_diffusion_graph(
     under topic aggregation; edges below the average strength are skipped
     "for simpler visualization" (Sect. 6.3.3).
     """
-    if topic is None:
-        strengths = result.aggregated_diffusion_matrix()
+    if isinstance(source, ProfileStore):
+        result = source.result
+        strengths = (
+            source.aggregated_diffusion() if topic is None
+            else source.diffusion_slice(topic)
+        )
     else:
-        if not 0 <= topic < result.n_topics:
-            raise ValueError(f"topic {topic} out of range")
-        strengths = result.eta[:, :, topic]
+        result = source
+        if topic is None:
+            strengths = result.aggregated_diffusion_matrix()
+        else:
+            if not 0 <= topic < result.n_topics:
+                raise ValueError(f"topic {topic} out of range")
+            strengths = result.eta[:, :, topic]
 
     graph = nx.DiGraph(topic=topic if topic is not None else "aggregated")
     for community in range(result.n_communities):

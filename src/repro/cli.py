@@ -1,23 +1,31 @@
-"""Command-line interface for the offline profiling workflow.
+"""Command-line interface for the offline-fit → serve workflow.
 
 The paper's workflow is "profile once offline, serve many applications"
 (Sect. 1). The CLI mirrors it:
 
-    repro generate  --scenario twitter --scale small --out graph.json.gz
-    repro fit       --graph graph.json.gz --communities 6 --topics 12 \\
-                    --out model.cpd.npz
-    repro evaluate  --graph graph.json.gz --model model.cpd.npz
-    repro rank      --graph graph.json.gz --model model.cpd.npz --query "#topic3"
-    repro report    --graph graph.json.gz --model model.cpd.npz --out report.md
-    repro visualize --graph graph.json.gz --model model.cpd.npz --format dot
+    repro generate   --scenario twitter --scale small --out graph.json.gz
+    repro fit        --graph graph.json.gz --communities 6 --topics 12 \\
+                     --out model.cpd.npz
+    repro evaluate   --graph graph.json.gz --model model.cpd.npz
+    repro rank       --model model.cpd.npz --query "#topic3"
+    repro query      --model model.cpd.npz --query "#topic3"
+    repro report     --model model.cpd.npz --out report.md
+    repro visualize  --model model.cpd.npz --format dot
+    repro serve-bench --model model.cpd.npz
 
-Every command is also importable (``run_generate`` etc.) for scripting.
+``fit`` writes *self-contained* v2 artifacts (model + vocabulary + graph
+summary), so every read command after ``evaluate`` serves from the
+artifact alone — ``--graph`` is only needed for v1 artifacts or when the
+corpus itself must be consulted. Every command is also importable
+(``run_generate`` etc.) for scripting.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -27,21 +35,20 @@ from .apps import (
     DiffusionPredictor,
     ascii_render,
     build_diffusion_graph,
-    community_labels,
     to_dot,
     to_json,
 )
 from .apps.report import build_report
-from .core import CPDConfig, CPDModel, load_result, save_result
+from .core import CPDConfig, CPDModel, load_artifact, save_result
 from .datasets import dblp_scenario, twitter_scenario
 from .evaluation import (
     average_conductance,
     content_perplexity,
     diffusion_auc_folds,
     friendship_auc_folds,
-    select_queries,
 )
 from .graph import load_graph, save_graph
+from .serving import GraphSummary, ProfileStore
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,24 +80,74 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
 
     rank = commands.add_parser("rank", help="rank communities for a query")
-    rank.add_argument("--graph", required=True)
+    rank.add_argument("--graph", default=None, help="only needed for v1 artifacts")
     rank.add_argument("--model", required=True)
     rank.add_argument("--query", required=True)
     rank.add_argument("--top", type=int, default=5)
 
+    query = commands.add_parser(
+        "query", help="serve ranking queries from a self-contained artifact"
+    )
+    query.add_argument("--model", required=True)
+    query.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        help="query term(s); repeatable. Default: all of the artifact's indexed queries",
+    )
+    query.add_argument("--top", type=int, default=5, help="communities to print per query")
+
     report = commands.add_parser("report", help="write a markdown community report")
-    report.add_argument("--graph", required=True)
+    report.add_argument("--graph", default=None, help="only needed for v1 artifacts")
     report.add_argument("--model", required=True)
     report.add_argument("--out", required=True)
     report.add_argument("--queries", type=int, default=5, help="number of auto-selected queries")
 
     visualize = commands.add_parser("visualize", help="export the diffusion graph")
-    visualize.add_argument("--graph", required=True)
+    visualize.add_argument("--graph", default=None, help="only needed for v1 artifacts")
     visualize.add_argument("--model", required=True)
     visualize.add_argument("--topic", type=int, default=None)
     visualize.add_argument("--format", choices=("ascii", "dot", "json"), default="ascii")
     visualize.add_argument("--out", default=None, help="output file (default: stdout)")
+
+    bench = commands.add_parser(
+        "serve-bench", help="measure cold vs warm query throughput of an artifact"
+    )
+    bench.add_argument("--model", required=True)
+    bench.add_argument("--repeats", type=int, default=50, help="warm passes over the workload")
+    bench.add_argument("--max-queries", type=int, default=32, help="workload size cap")
+    bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
     return parser
+
+
+def _load_store(model_path: str, graph_path: str | None, out) -> ProfileStore | None:
+    """A ProfileStore from the artifact, attaching the graph when given.
+
+    Returns ``None`` (after printing the reason) when the artifact is not
+    self-contained and no graph was passed.
+    """
+    artifact = load_artifact(model_path)
+    if graph_path is not None:
+        graph = load_graph(graph_path)
+        return ProfileStore(
+            artifact.result,
+            vocabulary=artifact.vocabulary or graph.vocabulary,
+            summary=(
+                GraphSummary.from_dict(artifact.graph_summary)
+                if artifact.graph_summary is not None
+                else None
+            ),
+            graph=graph,
+        )
+    if not artifact.self_contained:
+        print(
+            f"error: {model_path} is a v{artifact.format_version} artifact without "
+            "serving payloads; re-run `repro fit` to write a self-contained v2 "
+            "artifact, or pass --graph",
+            file=out,
+        )
+        return None
+    return ProfileStore.from_artifact_bundle(artifact)
 
 
 def run_generate(args, out=None) -> int:
@@ -113,17 +170,28 @@ def run_fit(args, out=None) -> int:
         rho=args.rho,
     )
     result = CPDModel(config, rng=args.seed).fit(graph)
-    save_result(result, args.out)
+    save_result(
+        result,
+        args.out,
+        vocabulary=graph.vocabulary,
+        graph_summary=GraphSummary.from_graph(graph),
+    )
     print(result.summary(graph.vocabulary), file=out)
-    print(f"\nwrote model to {args.out}", file=out)
+    print(f"\nwrote self-contained model artifact to {args.out}", file=out)
     return 0
 
 
 def run_evaluate(args, out=None) -> int:
     out = out or sys.stdout
     graph = load_graph(args.graph)
-    result = load_result(args.model)
-    predictor = DiffusionPredictor(result, graph)
+    artifact = load_artifact(args.model)
+    store = ProfileStore(
+        artifact.result,
+        vocabulary=artifact.vocabulary or graph.vocabulary,
+        graph=graph,
+    )
+    result = store.result
+    predictor = DiffusionPredictor(store)
     pi = result.pi
     diffusion = diffusion_auc_folds(graph, predictor.score_pairs, rng=args.seed)
     friendship = friendship_auc_folds(
@@ -140,9 +208,10 @@ def run_evaluate(args, out=None) -> int:
 
 def run_rank(args, out=None) -> int:
     out = out or sys.stdout
-    graph = load_graph(args.graph)
-    result = load_result(args.model)
-    ranker = CommunityRanker(result, graph)
+    store = _load_store(args.model, args.graph, out)
+    if store is None:
+        return 1
+    ranker = CommunityRanker(store)
     try:
         ranking = ranker.rank(args.query)
     except KeyError:
@@ -156,12 +225,44 @@ def run_rank(args, out=None) -> int:
     return 0
 
 
+def run_query(args, out=None) -> int:
+    out = out or sys.stdout
+    store = _load_store(args.model, None, out)
+    if store is None:
+        return 1
+    terms = args.query
+    if not terms:
+        terms = [query.term for query in store.indexed_queries()]
+        if not terms:
+            print("error: the artifact indexes no queries; pass --query", file=out)
+            return 1
+    status = 0
+    for term in terms:
+        try:
+            ranking = store.rank(term)[: args.top]
+        except KeyError:
+            print(f"{term!r}: not in the fitted vocabulary", file=out)
+            status = 1
+            continue
+        ranked = "  ".join(f"c{c:02d}:{score:.6f}" for c, score in ranking)
+        indexed = store.query_index().get(term)
+        suffix = (
+            f"  ({indexed.frequency} diffusing docs, "
+            f"{len(indexed.relevant_users)} relevant users)"
+            if indexed is not None
+            else ""
+        )
+        print(f"{term!r}: {ranked}{suffix}", file=out)
+    return status
+
+
 def run_report(args, out=None) -> int:
     out = out or sys.stdout
-    graph = load_graph(args.graph)
-    result = load_result(args.model)
-    queries = select_queries(graph, min_frequency=2, max_queries=args.queries)
-    text = build_report(result, graph, queries=queries)
+    store = _load_store(args.model, args.graph, out)
+    if store is None:
+        return 1
+    queries = store.indexed_queries(args.queries)
+    text = build_report(store, queries=queries)
     Path(args.out).write_text(text, encoding="utf-8")
     print(f"wrote report to {args.out}", file=out)
     return 0
@@ -169,10 +270,10 @@ def run_report(args, out=None) -> int:
 
 def run_visualize(args, out=None) -> int:
     out = out or sys.stdout
-    graph = load_graph(args.graph)
-    result = load_result(args.model)
-    labels = community_labels(result, graph.vocabulary)
-    view = build_diffusion_graph(result, topic=args.topic, labels=labels)
+    store = _load_store(args.model, args.graph, out)
+    if store is None:
+        return 1
+    view = build_diffusion_graph(store, topic=args.topic, labels=store.labels())
     if args.format == "dot":
         rendered = to_dot(view)
     elif args.format == "json":
@@ -187,13 +288,67 @@ def run_visualize(args, out=None) -> int:
     return 0
 
 
+def run_serve_bench(args, out=None) -> int:
+    out = out or sys.stdout
+    probe = _load_store(args.model, None, out)
+    if probe is None:
+        return 1
+    terms = [query.term for query in probe.indexed_queries(args.max_queries)]
+    if not terms:
+        print("error: the artifact indexes no queries to replay", file=out)
+        return 1
+
+    # cold: fresh store, first pass pays artifact load + index builds
+    started = time.perf_counter()
+    store = ProfileStore.from_artifact(args.model)
+    for term in terms:
+        store.rank(term)
+    cold_seconds = time.perf_counter() - started
+
+    # warm: repeated passes served from the LRU cache
+    started = time.perf_counter()
+    for _ in range(args.repeats):
+        for term in terms:
+            store.rank(term)
+    warm_seconds = time.perf_counter() - started
+
+    payload = {
+        "model": str(args.model),
+        "n_queries": len(terms),
+        "repeats": args.repeats,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_queries_per_second": len(terms) / cold_seconds,
+        "warm_queries_per_second": len(terms) * args.repeats / warm_seconds,
+        "cache": store.cache_info(),
+    }
+    print(
+        f"cold: {payload['cold_queries_per_second']:.0f} q/s "
+        f"({len(terms)} queries incl. artifact load)",
+        file=out,
+    )
+    print(
+        f"warm: {payload['warm_queries_per_second']:.0f} q/s "
+        f"({len(terms)}x{args.repeats} cached queries)",
+        file=out,
+    )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json_out}", file=out)
+    return 0
+
+
 _RUNNERS = {
     "generate": run_generate,
     "fit": run_fit,
     "evaluate": run_evaluate,
     "rank": run_rank,
+    "query": run_query,
     "report": run_report,
     "visualize": run_visualize,
+    "serve-bench": run_serve_bench,
 }
 
 

@@ -8,7 +8,7 @@ from .diagnostics import (
     likelihood_report,
 )
 from .gibbs import CPDSampler
-from .io import load_result, save_result
+from .io import CPDArtifact, load_artifact, load_result, save_result
 from .model import CPDModel, FitOptions, fit_cpd
 from .parameters import DiffusionParameters
 from .profiles import (
@@ -27,10 +27,12 @@ __all__ = [
     "CPDResult",
     "CPDSampler",
     "CPDState",
+    "CPDArtifact",
     "ConvergenceAssessment",
     "LikelihoodReport",
     "assess_convergence",
     "likelihood_report",
+    "load_artifact",
     "load_result",
     "save_result",
     "CommunityProfile",

@@ -5,6 +5,20 @@ applications (paper Sect. 1); persisting the five outputs — ``pi``,
 ``theta``, ``phi``, ``eta`` and the diffusion parameters — is what makes
 that workflow real. Arrays go into a compressed ``.npz``; config, trace
 and scalars ride along in a JSON sidecar entry inside the same file.
+
+Two artifact format versions exist:
+
+* **v1** — the model outputs alone. Serving a v1 artifact requires
+  reloading the original graph for the vocabulary and the per-user
+  statistics.
+* **v2** (current) — *self-contained*: the archive optionally carries the
+  :class:`~repro.graph.vocabulary.Vocabulary` and a graph summary (the
+  per-user/per-document statistics plus the query inverted index built by
+  :class:`repro.serving.GraphSummary`), so the serving layer
+  (:class:`repro.serving.ProfileStore`) never touches the graph again.
+
+The reader accepts both versions; :func:`load_artifact` exposes the extra
+v2 payloads, :func:`load_result` keeps the v1-era result-only signature.
 """
 
 from __future__ import annotations
@@ -12,24 +26,59 @@ from __future__ import annotations
 import io
 import json
 import zipfile
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
+from ..graph.vocabulary import Vocabulary
 from .config import CPDConfig
 from .parameters import DiffusionParameters
 from .result import CPDResult, IterationTrace
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _META_NAME = "cpd_meta.json"
+_VOCABULARY_NAME = "vocabulary.json"
+_SUMMARY_NAME = "graph_summary.json"
 
 
-def save_result(result: CPDResult, path: PathLike) -> None:
-    """Persist a fitted result to ``path`` (conventionally ``.cpd.npz``)."""
+@dataclass
+class CPDArtifact:
+    """Everything stored in one ``.cpd.npz`` archive.
+
+    ``vocabulary`` and ``graph_summary`` are ``None`` for v1 artifacts (and
+    for v2 artifacts saved without them); ``graph_summary`` is the raw JSON
+    mapping — :class:`repro.serving.GraphSummary` knows how to revive it.
+    """
+
+    result: CPDResult
+    vocabulary: Optional[Vocabulary] = None
+    graph_summary: Optional[dict] = None
+    format_version: int = _FORMAT_VERSION
+
+    @property
+    def self_contained(self) -> bool:
+        """True when serving needs no graph reload."""
+        return self.vocabulary is not None and self.graph_summary is not None
+
+
+def save_result(
+    result: CPDResult,
+    path: PathLike,
+    vocabulary: Vocabulary | None = None,
+    graph_summary: object | None = None,
+) -> None:
+    """Persist a fitted result to ``path`` (conventionally ``.cpd.npz``).
+
+    Always writes format v2. Pass ``vocabulary`` and ``graph_summary``
+    (a mapping, or any object with a ``to_dict()`` — e.g.
+    :class:`repro.serving.GraphSummary`) to make the artifact
+    self-contained for serving.
+    """
     path = Path(path)
     meta = {
         "format_version": _FORMAT_VERSION,
@@ -56,16 +105,29 @@ def save_result(result: CPDResult, path: PathLike) -> None:
     with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
         archive.writestr("arrays.npz", buffer.getvalue())
         archive.writestr(_META_NAME, json.dumps(meta))
+        if vocabulary is not None:
+            archive.writestr(_VOCABULARY_NAME, json.dumps(vocabulary.to_dict()))
+        if graph_summary is not None:
+            if hasattr(graph_summary, "to_dict"):
+                graph_summary = graph_summary.to_dict()
+            archive.writestr(_SUMMARY_NAME, json.dumps(graph_summary))
 
 
-def load_result(path: PathLike) -> CPDResult:
-    """Load a result written by :func:`save_result`."""
+def load_artifact(path: PathLike) -> CPDArtifact:
+    """Load a full artifact (result + optional serving payloads).
+
+    Accepts format versions 1 and 2; anything else raises ``ValueError``
+    naming the supported versions.
+    """
     path = Path(path)
     with zipfile.ZipFile(path, "r") as archive:
         meta = json.loads(archive.read(_META_NAME).decode("utf-8"))
-        if meta.get("format_version") != _FORMAT_VERSION:
+        version = meta.get("format_version")
+        if version not in _SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
             raise ValueError(
-                f"unsupported CPD result format version: {meta.get('format_version')!r}"
+                f"unsupported CPD result format version: {version!r} "
+                f"(supported versions: {supported})"
             )
         with archive.open("arrays.npz") as handle:
             arrays = np.load(io.BytesIO(handle.read()))
@@ -76,6 +138,15 @@ def load_result(path: PathLike) -> CPDResult:
             nu = arrays["nu"]
             doc_community = arrays["doc_community"]
             doc_topic = arrays["doc_topic"]
+        names = set(archive.namelist())
+        vocabulary = None
+        if _VOCABULARY_NAME in names:
+            vocabulary = Vocabulary.from_dict(
+                json.loads(archive.read(_VOCABULARY_NAME).decode("utf-8"))
+            )
+        graph_summary = None
+        if _SUMMARY_NAME in names:
+            graph_summary = json.loads(archive.read(_SUMMARY_NAME).decode("utf-8"))
 
     config = CPDConfig(**meta["config"])
     diffusion = DiffusionParameters(
@@ -86,7 +157,7 @@ def load_result(path: PathLike) -> CPDResult:
         bias=meta["diffusion"]["bias"],
     )
     trace = [IterationTrace(**entry) for entry in meta["trace"]]
-    return CPDResult(
+    result = CPDResult(
         config=config,
         pi=pi,
         theta=theta,
@@ -97,3 +168,14 @@ def load_result(path: PathLike) -> CPDResult:
         trace=trace,
         graph_name=meta.get("graph_name", ""),
     )
+    return CPDArtifact(
+        result=result,
+        vocabulary=vocabulary,
+        graph_summary=graph_summary,
+        format_version=int(version),
+    )
+
+
+def load_result(path: PathLike) -> CPDResult:
+    """Load just the :class:`CPDResult` written by :func:`save_result`."""
+    return load_artifact(path).result

@@ -36,6 +36,38 @@ class UserFeatures:
         documents = np.asarray(
             [len(graph.documents_of(u)) for u in range(n_users)], dtype=np.float64
         )
+        self._init_from_counts(followers, diffusions, documents, log_scale)
+
+    @classmethod
+    def from_counts(
+        cls,
+        followers: np.ndarray,
+        diffusions_made: np.ndarray,
+        documents: np.ndarray,
+        log_scale: bool = True,
+    ) -> "UserFeatures":
+        """Build from per-user count arrays — the graph-free serving path.
+
+        The arrays are exactly what a persisted
+        :class:`repro.serving.GraphSummary` carries, so a self-contained
+        artifact can reconstruct identical ``f_uv`` features.
+        """
+        features = cls.__new__(cls)
+        features._init_from_counts(
+            np.asarray(followers, dtype=np.float64),
+            np.asarray(diffusions_made, dtype=np.float64),
+            np.asarray(documents, dtype=np.float64),
+            log_scale,
+        )
+        return features
+
+    def _init_from_counts(
+        self,
+        followers: np.ndarray,
+        diffusions: np.ndarray,
+        documents: np.ndarray,
+        log_scale: bool,
+    ) -> None:
         popularity = followers + 1.0
         activeness = (diffusions + 1.0) / (documents + 1.0)
         if log_scale:

@@ -1,0 +1,501 @@
+"""ProfileStore: the serving facade over a fitted CPD model.
+
+The paper's workflow is "profile once offline, then serve several
+applications" (Sect. 1); community-search systems answer such queries
+interactively, so per-query recomputation over the raw graph cannot scale.
+Before this facade existed every application reloaded the graph, rebuilt
+its indexes and recomputed scores from scratch on each call.
+
+``ProfileStore`` is the one read-path object (the facade pattern of the
+service-decomposition exemplars in SNIPPETS.md): it wraps a fitted
+:class:`~repro.core.result.CPDResult` together with the serving payloads of
+a self-contained v2 artifact (:mod:`repro.core.io`) — the
+:class:`~repro.graph.vocabulary.Vocabulary` and a
+:class:`~repro.serving.summary.GraphSummary` — and memoises every derived
+index the applications consume:
+
+* user -> top-k community assignments and the member lists per community,
+* the query-term inverted index of Sect. 6.3.2,
+* ranking scores per query (Eq. 19) behind an LRU cache,
+* the topic-popularity table ``n_tz`` and the ``f_uv`` user features,
+* topic-aggregated and per-topic slices of the diffusion tensor ``eta``,
+* community labels for reports and visualizations.
+
+A store built by :meth:`from_fit` keeps a reference to the live graph (the
+offline path); one built by :meth:`from_artifact` has ``graph=None`` and
+serves everything above without any graph access. Fold-in inference
+(:mod:`repro.serving.foldin`) handles documents that arrive after the
+offline fit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..core.io import CPDArtifact, PathLike, load_artifact, save_result
+from ..core.result import CPDResult
+from ..diffusion.features import UserFeatures
+from ..diffusion.popularity import TopicPopularity
+from ..evaluation.queries import Query
+from ..graph.social_graph import GraphStats, SocialGraph
+from ..graph.vocabulary import Vocabulary
+from ..sampling.rng import RngLike
+from .foldin import FoldInResult, fold_in_documents
+from .summary import GraphSummary
+
+QueryLike = Union[str, Sequence[str]]
+
+
+def compute_community_labels(
+    result: CPDResult, vocabulary: Vocabulary, n_words: int = 3
+) -> list[str]:
+    """Label each community by the top words of its dominant topics.
+
+    The one labelling heuristic shared by the store's memoised
+    :meth:`ProfileStore.labels` and the raw-result path of
+    :func:`repro.apps.visualization.community_labels`.
+    """
+    labels = []
+    for community in range(result.n_communities):
+        words: list[str] = []
+        for topic, _weight in result.top_topics(community, 2):
+            words.extend(
+                word for word, _p in result.top_words(topic, n_words, vocabulary)
+            )
+        deduped = list(dict.fromkeys(words))[:n_words]
+        labels.append(" ".join(deduped))
+    return labels
+
+
+class ProfileStore:
+    """Read-path facade over one fitted CPD model (see module docstring).
+
+    All derived indexes are built lazily and memoised; the store is
+    intended to live for many queries (a process-wide singleton per model
+    in a serving deployment). It never mutates the wrapped result.
+    """
+
+    def __init__(
+        self,
+        result: CPDResult,
+        vocabulary: Vocabulary | None = None,
+        summary: GraphSummary | None = None,
+        graph: SocialGraph | None = None,
+        query_cache_size: int = 1024,
+    ) -> None:
+        if vocabulary is None and graph is not None:
+            vocabulary = graph.vocabulary
+        self.result = result
+        self.vocabulary = vocabulary
+        self.graph = graph
+        self._summary = summary
+        if query_cache_size < 1:
+            raise ValueError("query_cache_size must be at least 1")
+        self._query_cache_size = query_cache_size
+        self._rank_cache: OrderedDict[tuple[int, ...], list[tuple[int, float]]] = (
+            OrderedDict()
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
+        # memo slots for the non-query indexes
+        self._top_communities: dict[int, np.ndarray] = {}
+        self._members: dict[int, list[np.ndarray]] = {}
+        self._labels: dict[int, list[str]] = {}
+        self._diffusion_slices: dict[int, np.ndarray] = {}
+        self._log_phi: np.ndarray | None = None
+        self._eta_flat: np.ndarray | None = None
+        self._aggregated_eta: np.ndarray | None = None
+        self._query_index: dict[str, Query] | None = None
+        self._popularity: TopicPopularity | None = None
+        self._pop_matrix: np.ndarray | None = None
+        self._user_features: UserFeatures | None = None
+        self._doc_user_cache: np.ndarray | None = None
+        self._doc_time_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_fit(
+        cls,
+        result: CPDResult,
+        graph: SocialGraph,
+        query_cache_size: int = 1024,
+    ) -> "ProfileStore":
+        """Wrap a freshly fitted result with its live graph (offline path).
+
+        The graph summary is distilled lazily on first use, so wrapping a
+        fit for a couple of queries stays cheap.
+        """
+        return cls(result, graph=graph, query_cache_size=query_cache_size)
+
+    @classmethod
+    def from_artifact(
+        cls, path: PathLike, query_cache_size: int = 1024
+    ) -> "ProfileStore":
+        """Open a saved artifact for serving — no graph access, ever.
+
+        Requires a self-contained v2 artifact for the full API; a v1 (or
+        payload-free v2) artifact still serves the pure profile queries but
+        raises on vocabulary- or summary-dependent calls.
+        """
+        artifact = load_artifact(path)
+        return cls.from_artifact_bundle(artifact, query_cache_size=query_cache_size)
+
+    @classmethod
+    def from_artifact_bundle(
+        cls, artifact: CPDArtifact, query_cache_size: int = 1024
+    ) -> "ProfileStore":
+        """Wrap an already-loaded :class:`~repro.core.io.CPDArtifact`."""
+        summary = (
+            GraphSummary.from_dict(artifact.graph_summary)
+            if artifact.graph_summary is not None
+            else None
+        )
+        return cls(
+            artifact.result,
+            vocabulary=artifact.vocabulary,
+            summary=summary,
+            query_cache_size=query_cache_size,
+        )
+
+    def save(self, path: PathLike) -> None:
+        """Persist as a self-contained v2 artifact (vocabulary + summary)."""
+        save_result(
+            self.result, path, vocabulary=self.vocabulary, graph_summary=self.summary
+        )
+
+    # ------------------------------------------------------------- dimensions
+
+    @property
+    def n_users(self) -> int:
+        return self.result.n_users
+
+    @property
+    def n_communities(self) -> int:
+        return self.result.n_communities
+
+    @property
+    def n_topics(self) -> int:
+        return self.result.n_topics
+
+    @property
+    def n_words(self) -> int:
+        return self.result.n_words
+
+    @property
+    def summary(self) -> GraphSummary:
+        """The graph summary; distilled from the live graph on first use."""
+        if self._summary is None:
+            if self.graph is None:
+                raise RuntimeError(
+                    "this store has no graph summary — refit and save a v2 "
+                    "artifact (repro fit), or attach the graph"
+                )
+            self._summary = GraphSummary.from_graph(self.graph)
+        return self._summary
+
+    @property
+    def stats(self) -> GraphStats:
+        """Graph size statistics, served without the graph when summarised."""
+        if self._summary is not None:
+            return self._summary.stats()
+        if self.graph is not None:
+            return self.graph.stats()
+        return self.summary.stats()  # raises with the explanatory message
+
+    def _require_vocabulary(self) -> Vocabulary:
+        if self.vocabulary is None:
+            raise RuntimeError(
+                "this store has no vocabulary — refit and save a v2 artifact "
+                "(repro fit), or construct the store with the graph"
+            )
+        return self.vocabulary
+
+    # ------------------------------------------------------------ memberships
+
+    def top_communities(self, k: int = 5) -> np.ndarray:
+        """Memoised user -> top-``k`` community index, shape ``(U, k)``."""
+        k = min(k, self.n_communities)
+        if k not in self._top_communities:
+            self._top_communities[k] = self.result.top_communities_per_user(k)
+        return self._top_communities[k]
+
+    def community_members(self, k: int = 5) -> list[np.ndarray]:
+        """Memoised member user ids per community under top-``k`` assignment."""
+        k = min(k, self.n_communities)
+        if k not in self._members:
+            top = self.top_communities(k)
+            self._members[k] = [
+                np.flatnonzero((top == community).any(axis=1))
+                for community in range(self.n_communities)
+            ]
+        return self._members[k]
+
+    # ------------------------------------------------------------ query index
+
+    def query_index(self) -> dict[str, Query]:
+        """Term -> :class:`Query` inverted index (Sect. 6.3.2).
+
+        Served from the persisted summary; distilled from the live graph
+        when the store was built from a fit.
+        """
+        if self._query_index is None:
+            self._query_index = {query.term: query for query in self.summary.queries}
+        return self._query_index
+
+    def indexed_queries(self, max_queries: int | None = None) -> list[Query]:
+        """The selected queries, most frequent first."""
+        queries = self.summary.queries
+        return list(queries) if max_queries is None else list(queries[:max_queries])
+
+    def relevant_users(self, term: str) -> np.ndarray:
+        """Ground-truth relevant user set ``U*_q`` for an indexed term."""
+        query = self.query_index().get(term)
+        if query is None:
+            raise KeyError(f"term {term!r} is not in the query index")
+        return query.relevant_users
+
+    # ---------------------------------------------------------------- ranking
+
+    def _log_phi_matrix(self) -> np.ndarray:
+        if self._log_phi is None:
+            self._log_phi = np.log(np.maximum(self.result.phi, 1e-300))
+        return self._log_phi
+
+    def _eta_flat_matrix(self) -> np.ndarray:
+        """``eta`` reshaped to ``(C, C*Z)`` so Eq. 19 is one matvec."""
+        if self._eta_flat is None:
+            eta = self.result.eta
+            self._eta_flat = np.ascontiguousarray(
+                eta.reshape(self.n_communities, -1)
+            )
+        return self._eta_flat
+
+    def query_word_ids(self, query: QueryLike) -> tuple[int, ...]:
+        """In-vocabulary word ids of a query's terms (may be empty)."""
+        vocabulary = self._require_vocabulary()
+        terms = query.split() if isinstance(query, str) else list(query)
+        return tuple(
+            vocabulary.id_of(term) for term in terms if term in vocabulary
+        )
+
+    def query_topic_affinity(self, query: QueryLike) -> np.ndarray:
+        """``prod_{w in q} phi_zw`` per topic, computed stably in log space."""
+        word_ids = self.query_word_ids(query)
+        if not word_ids:
+            raise KeyError(f"no query term of {query!r} is in the vocabulary")
+        log_affinity = self._log_phi_matrix()[:, list(word_ids)].sum(axis=1)
+        log_affinity -= log_affinity.max()
+        return np.exp(log_affinity)
+
+    def scores(self, query: QueryLike) -> np.ndarray:
+        """Eq. 19 scores for every community (unnormalised)."""
+        affinity = self.query_topic_affinity(query)  # (Z,)
+        # sum_z sum_c' eta[c, c', z] * theta[c', z] * affinity[z]
+        weighted = self.result.theta * affinity[None, :]  # (C', Z)
+        return self._eta_flat_matrix() @ weighted.ravel()
+
+    def rank(self, query: QueryLike) -> list[tuple[int, float]]:
+        """Communities sorted by Eq. 19 score, best first — LRU cached.
+
+        Repeated queries are answered from the cache without recomputing
+        scores (and, for artifact-backed stores, without any graph access).
+        """
+        key = self.query_word_ids(query)
+        if not key:
+            raise KeyError(f"no query term of {query!r} is in the vocabulary")
+        cached = self._rank_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self._rank_cache.move_to_end(key)
+            return list(cached)
+        self._cache_misses += 1
+        scores = self.scores(query)
+        order = np.argsort(-scores)
+        ranking = [(int(c), float(scores[c])) for c in order]
+        self._rank_cache[key] = ranking
+        if len(self._rank_cache) > self._query_cache_size:
+            self._rank_cache.popitem(last=False)
+        return list(ranking)
+
+    def top_k(self, query: QueryLike, k: int = 5) -> list[int]:
+        """The top-``k`` community ids for a query."""
+        return [c for c, _score in self.rank(query)[:k]]
+
+    def query_topics(self, query: QueryLike, n: int = 3) -> list[tuple[int, float]]:
+        """The query's dominant topics (the "query topics" box of Fig. 1(c))."""
+        affinity = self.query_topic_affinity(query)
+        total = affinity.sum()
+        if total > 0:
+            affinity = affinity / total
+        order = np.argsort(-affinity)[:n]
+        return [(int(z), float(affinity[z])) for z in order]
+
+    def cache_info(self) -> dict[str, int]:
+        """Ranking-cache statistics (the serve-bench readout)."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._rank_cache),
+            "max_size": self._query_cache_size,
+        }
+
+    # ----------------------------------------------------- diffusion serving
+
+    def doc_user(self) -> np.ndarray:
+        """``doc_id -> user_id`` (from the summary, or the live graph).
+
+        Graph-backed stores read the graph directly so that wrapping a fit
+        for a couple of predictions does not pay for the full summary
+        distillation (which includes query selection).
+        """
+        if self._doc_user_cache is None:
+            if self._summary is not None:
+                self._doc_user_cache = self._summary.doc_user
+            elif self.graph is not None:
+                self._doc_user_cache = self.graph.document_user_array()
+            else:
+                self._doc_user_cache = self.summary.doc_user  # raises helpfully
+        return self._doc_user_cache
+
+    def doc_timestamp(self) -> np.ndarray:
+        """``doc_id -> time bucket`` (from the summary, or the live graph)."""
+        if self._doc_time_cache is None:
+            if self._summary is not None:
+                self._doc_time_cache = self._summary.doc_timestamp
+            elif self.graph is not None:
+                self._doc_time_cache = np.asarray(
+                    [doc.timestamp for doc in self.graph.documents], dtype=np.int64
+                )
+            else:
+                self._doc_time_cache = self.summary.doc_timestamp
+        return self._doc_time_cache
+
+    def popularity(self) -> TopicPopularity:
+        """The frozen topic-popularity table ``n_tz`` of the fit.
+
+        Rebuilt from the persisted per-document timestamps and topic
+        assignments — identical to the table the offline fit ended on.
+        """
+        if self._popularity is None:
+            result = self.result
+            timestamps = self.doc_timestamp()
+            n_buckets = int(timestamps.max()) + 1 if len(timestamps) else 1
+            self._popularity = TopicPopularity.from_assignments(
+                timestamps,
+                np.where(result.doc_topic >= 0, result.doc_topic, 0),
+                n_topics=result.n_topics,
+                n_time_buckets=n_buckets,
+                mode=result.config.popularity_mode,
+                weight=result.config.popularity_weight,
+            )
+        return self._popularity
+
+    def popularity_matrix(self) -> np.ndarray:
+        """Memoised ``(T, Z)`` popularity score matrix."""
+        if self._pop_matrix is None:
+            self._pop_matrix = self.popularity().score_matrix()
+        return self._pop_matrix
+
+    def user_features(self) -> UserFeatures:
+        """The ``f_uv`` feature provider, rebuilt from persisted counts."""
+        if self._user_features is None:
+            if self._summary is None and self.graph is not None:
+                self._user_features = UserFeatures(self.graph)
+            else:
+                summary = self.summary
+                self._user_features = UserFeatures.from_counts(
+                    summary.followers, summary.diffusions_made, summary.docs_per_user
+                )
+        return self._user_features
+
+    def aggregated_diffusion(self) -> np.ndarray:
+        """Memoised ``sum_z eta`` as a ``(C, C)`` matrix (Fig. 7(a))."""
+        if self._aggregated_eta is None:
+            self._aggregated_eta = self.result.aggregated_diffusion_matrix()
+        return self._aggregated_eta
+
+    def diffusion_slice(self, topic: int) -> np.ndarray:
+        """Memoised per-topic ``eta[:, :, z]`` slice (Fig. 7(b)/(c))."""
+        if not 0 <= topic < self.n_topics:
+            raise ValueError(f"topic {topic} out of range")
+        if topic not in self._diffusion_slices:
+            self._diffusion_slices[topic] = np.ascontiguousarray(
+                self.result.eta[:, :, topic]
+            )
+        return self._diffusion_slices[topic]
+
+    # ----------------------------------------------------------------- labels
+
+    def labels(self, n_words: int = 3) -> list[str]:
+        """Memoised community labels from dominant-topic top words."""
+        if n_words not in self._labels:
+            self._labels[n_words] = compute_community_labels(
+                self.result, self._require_vocabulary(), n_words
+            )
+        return self._labels[n_words]
+
+    # ---------------------------------------------------------------- fold-in
+
+    def encode_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """Map raw tokens to fitted-vocabulary ids, skipping unknown words.
+
+        Unlike :meth:`Vocabulary.encode`, this never mutates the
+        vocabulary's frequency counters — the serving path is read-only.
+        """
+        vocabulary = self._require_vocabulary()
+        return np.asarray(
+            [vocabulary.id_of(token) for token in tokens if token in vocabulary],
+            dtype=np.int64,
+        )
+
+    def fold_in(
+        self,
+        documents: Sequence[np.ndarray | Sequence[str]],
+        users: Sequence[int | None] | None = None,
+        n_sweeps: int = 25,
+        burn_in: int = 5,
+        rng: RngLike = None,
+    ) -> FoldInResult:
+        """Assign unseen documents via frozen-model Gibbs fold-in.
+
+        Each document is either an array of vocabulary ids or a sequence of
+        raw string tokens (encoded through the fitted vocabulary). See
+        :func:`repro.serving.foldin.fold_in_documents`.
+        """
+        encoded = [
+            np.asarray(doc, dtype=np.int64)
+            if isinstance(doc, np.ndarray) or not (len(doc) and isinstance(doc[0], str))
+            else self.encode_tokens(doc)
+            for doc in documents
+        ]
+        return fold_in_documents(
+            self.result,
+            encoded,
+            users=users,
+            n_sweeps=n_sweeps,
+            burn_in=burn_in,
+            rng=rng,
+        )
+
+
+def ensure_store(
+    source: "ProfileStore | CPDResult",
+    graph: SocialGraph | None = None,
+) -> ProfileStore:
+    """Coerce the applications' legacy ``(result, graph)`` pair to a store.
+
+    Passing an existing :class:`ProfileStore` returns it unchanged (the
+    caller shares its caches); a raw :class:`CPDResult` gets wrapped with
+    the provided graph.
+    """
+    if isinstance(source, ProfileStore):
+        return source
+    if not isinstance(source, CPDResult):
+        raise TypeError(
+            f"expected a ProfileStore or CPDResult, got {type(source).__name__}"
+        )
+    return ProfileStore(source, graph=graph)

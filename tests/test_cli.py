@@ -79,12 +79,95 @@ class TestRank:
         out = capsys.readouterr().out
         assert "#1" in out
 
+    def test_rank_without_graph(self, workspace, capsys):
+        """v2 artifacts are self-contained: rank needs no --graph."""
+        _root, _graph, model_path = workspace
+        from repro.core import load_artifact
+        from repro.serving import ProfileStore
+
+        store = ProfileStore.from_artifact_bundle(load_artifact(model_path))
+        term = store.indexed_queries(1)[0].term
+        assert main(["rank", "--model", str(model_path), "--query", term]) == 0
+        assert "#1" in capsys.readouterr().out
+
     def test_unknown_query_fails_cleanly(self, workspace):
         _root, graph_path, model_path = workspace
         assert main([
             "rank", "--graph", str(graph_path), "--model", str(model_path),
             "--query", "zz-not-a-term",
         ]) == 1
+
+
+class TestQuery:
+    def test_serves_indexed_queries_by_default(self, workspace, capsys):
+        _root, _graph, model_path = workspace
+        assert main(["query", "--model", str(model_path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "diffusing docs" in out
+        assert "c0" in out
+
+    def test_explicit_terms(self, workspace, capsys):
+        _root, _graph, model_path = workspace
+        from repro.core import load_artifact
+        from repro.serving import ProfileStore
+
+        store = ProfileStore.from_artifact_bundle(load_artifact(model_path))
+        term = store.indexed_queries(1)[0].term
+        assert main(["query", "--model", str(model_path), "--query", term]) == 0
+        assert term in capsys.readouterr().out
+
+    def test_unknown_term_reports_failure(self, workspace, capsys):
+        _root, _graph, model_path = workspace
+        assert main([
+            "query", "--model", str(model_path), "--query", "zz-not-a-term",
+        ]) == 1
+        assert "not in the fitted vocabulary" in capsys.readouterr().out
+
+    def test_v1_artifact_requires_graph(self, workspace, tmp_path, capsys):
+        """A v1 (not self-contained) artifact must fail with guidance."""
+        import json
+        import zipfile
+
+        _root, _graph, model_path = workspace
+        with zipfile.ZipFile(model_path) as archive:
+            meta = json.loads(archive.read("cpd_meta.json"))
+            arrays = archive.read("arrays.npz")
+        meta["format_version"] = 1
+        legacy = tmp_path / "legacy.cpd.npz"
+        with zipfile.ZipFile(legacy, "w") as archive:
+            archive.writestr("arrays.npz", arrays)
+            archive.writestr("cpd_meta.json", json.dumps(meta))
+        assert main(["query", "--model", str(legacy), "--query", "x"]) == 1
+        assert "pass --graph" in capsys.readouterr().out
+
+    def test_partial_v2_artifact_fails_cleanly(self, workspace, tmp_path, capsys):
+        """A vocabulary-only v2 artifact (no summary) gets the friendly error."""
+        from repro.core import load_artifact, save_result
+
+        _root, _graph, model_path = workspace
+        artifact = load_artifact(model_path)
+        partial = tmp_path / "partial.cpd.npz"
+        save_result(artifact.result, partial, vocabulary=artifact.vocabulary)
+        assert main(["query", "--model", str(partial)]) == 1
+        assert "pass --graph" in capsys.readouterr().out
+
+
+class TestServeBench:
+    def test_records_cold_and_warm_throughput(self, workspace, tmp_path, capsys):
+        import json
+
+        _root, _graph, model_path = workspace
+        out_path = tmp_path / "BENCH_serving_cli.json"
+        assert main([
+            "serve-bench", "--model", str(model_path),
+            "--repeats", "3", "--max-queries", "4", "--json", str(out_path),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "cold:" in text and "warm:" in text
+        payload = json.loads(out_path.read_text())
+        assert payload["cold_queries_per_second"] > 0
+        assert payload["warm_queries_per_second"] > 0
+        assert payload["cache"]["hits"] > 0
 
 
 class TestReport:
@@ -100,6 +183,16 @@ class TestReport:
         assert "## Communities" in text
         assert "openness" in text.lower()
 
+    def test_report_without_graph(self, workspace, tmp_path):
+        _root, _graph, model_path = workspace
+        report_path = tmp_path / "served_report.md"
+        assert main([
+            "report", "--model", str(model_path), "--out", str(report_path),
+        ]) == 0
+        text = report_path.read_text()
+        assert "## Communities" in text
+        assert "## Query rankings" in text
+
 
 class TestVisualize:
     def test_ascii_to_stdout(self, workspace, capsys):
@@ -107,6 +200,11 @@ class TestVisualize:
         assert main([
             "visualize", "--graph", str(graph_path), "--model", str(model_path),
         ]) == 0
+        assert "community diffusion" in capsys.readouterr().out
+
+    def test_ascii_without_graph(self, workspace, capsys):
+        _root, _graph, model_path = workspace
+        assert main(["visualize", "--model", str(model_path)]) == 0
         assert "community diffusion" in capsys.readouterr().out
 
     def test_dot_to_file(self, workspace):

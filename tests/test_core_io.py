@@ -1,9 +1,24 @@
-"""Tests for CPD result serialisation."""
+"""Tests for CPD result serialisation (formats v1 and v2)."""
+
+import json
+import zipfile
 
 import numpy as np
 import pytest
 
-from repro.core import load_result, save_result
+from repro.core import load_artifact, load_result, save_result
+
+
+def _downgrade_to_v1(src_path, dst_path):
+    """Rewrite an artifact as the exact v1 layout the old writer produced:
+    format_version 1, arrays + meta only, no serving payloads."""
+    with zipfile.ZipFile(src_path) as archive:
+        meta = json.loads(archive.read("cpd_meta.json"))
+        arrays = archive.read("arrays.npz")
+    meta["format_version"] = 1
+    with zipfile.ZipFile(dst_path, "w") as archive:
+        archive.writestr("arrays.npz", arrays)
+        archive.writestr("cpd_meta.json", json.dumps(meta))
 
 
 class TestResultRoundTrip:
@@ -56,9 +71,6 @@ class TestResultRoundTrip:
         assert 0.0 <= predictor.predict(0, 1, 2) <= 1.0
 
     def test_version_check(self, fitted_cpd, tmp_path):
-        import json
-        import zipfile
-
         path = tmp_path / "model.cpd.npz"
         save_result(fitted_cpd, path)
         # corrupt the version field
@@ -70,5 +82,55 @@ class TestResultRoundTrip:
         with zipfile.ZipFile(bad, "w") as archive:
             archive.writestr("arrays.npz", arrays)
             archive.writestr("cpd_meta.json", json.dumps(meta))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="supported versions: 1, 2"):
             load_result(bad)
+
+
+class TestFormatVersions:
+    def test_v1_artifacts_still_load(self, fitted_cpd, tmp_path):
+        """Backward compatibility: the pre-serving v1 layout must keep working."""
+        current = tmp_path / "model.cpd.npz"
+        legacy = tmp_path / "legacy.cpd.npz"
+        save_result(fitted_cpd, current)
+        _downgrade_to_v1(current, legacy)
+        clone = load_result(legacy)
+        np.testing.assert_allclose(clone.pi, fitted_cpd.pi)
+        np.testing.assert_allclose(clone.eta, fitted_cpd.eta)
+        assert clone.config == fitted_cpd.config
+
+    def test_v1_artifact_reports_missing_payloads(self, fitted_cpd, tmp_path):
+        current = tmp_path / "model.cpd.npz"
+        legacy = tmp_path / "legacy.cpd.npz"
+        save_result(fitted_cpd, current)
+        _downgrade_to_v1(current, legacy)
+        artifact = load_artifact(legacy)
+        assert artifact.format_version == 1
+        assert artifact.vocabulary is None
+        assert artifact.graph_summary is None
+        assert not artifact.self_contained
+
+    def test_v2_round_trip_with_payloads(self, fitted_cpd, twitter_tiny, tmp_path):
+        from repro.serving import GraphSummary
+
+        graph, _ = twitter_tiny
+        path = tmp_path / "model.cpd.npz"
+        summary = GraphSummary.from_graph(graph)
+        save_result(
+            fitted_cpd, path, vocabulary=graph.vocabulary, graph_summary=summary
+        )
+        artifact = load_artifact(path)
+        assert artifact.format_version == 2
+        assert artifact.self_contained
+        assert len(artifact.vocabulary) == len(graph.vocabulary)
+        assert artifact.vocabulary.word_of(0) == graph.vocabulary.word_of(0)
+        revived = GraphSummary.from_dict(artifact.graph_summary)
+        assert revived.stats() == graph.stats()
+
+    def test_v2_without_payloads_round_trips(self, fitted_cpd, tmp_path):
+        path = tmp_path / "bare.cpd.npz"
+        save_result(fitted_cpd, path)
+        artifact = load_artifact(path)
+        assert artifact.format_version == 2
+        assert artifact.vocabulary is None
+        assert artifact.graph_summary is None
+        np.testing.assert_allclose(artifact.result.theta, fitted_cpd.theta)

@@ -1,0 +1,114 @@
+"""Tests for ranking-query selection (Sect. 6.3.2 guidelines)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import queries_by_frequency_band, select_queries
+from repro.graph import SocialGraphBuilder
+
+
+def _graph(diffusion=True, hashtags=False):
+    """Tiny hand-built graph: 3 users, 6 documents, optional diffusion."""
+    builder = SocialGraphBuilder(name="query-fixture")
+    for name in ("a", "b", "c"):
+        builder.add_user(name=name)
+    common = "#shared" if hashtags else "shared"
+    rare = "#rare" if hashtags else "rare"
+    plain = "plain"
+    docs = [
+        (0, [common, plain, "alpha"]),
+        (0, [common, rare]),
+        (1, [common, plain, "beta"]),
+        (1, [common, rare]),
+        (2, [plain, "gamma"]),
+        (2, [common, plain]),
+    ]
+    for user, words in docs:
+        builder.add_document(user, words, timestamp=0)
+    builder.add_friendship(0, 1)
+    if diffusion:
+        # docs 0-3 and 5 diffuse; doc 4 (the only gamma doc) never does
+        builder.add_diffusion(0, 4, timestamp=1)
+        builder.add_diffusion(1, 4, timestamp=1)
+        builder.add_diffusion(2, 0, timestamp=2)
+        builder.add_diffusion(3, 2, timestamp=2)
+        builder.add_diffusion(5, 1, timestamp=3)
+    return builder.build()
+
+
+class TestSelectQueries:
+    def test_no_diffusion_links_yields_no_queries(self):
+        graph = _graph(diffusion=False)
+        assert select_queries(graph, min_frequency=1) == []
+
+    def test_min_frequency_threshold(self):
+        graph = _graph()
+        terms = {q.term for q in select_queries(graph, min_frequency=5)}
+        assert terms == {"shared"}  # only the common word hits 5 diffusing docs
+        terms = {q.term for q in select_queries(graph, min_frequency=2)}
+        assert {"shared", "plain", "rare"} <= terms
+        assert "gamma" not in terms  # its only document never diffuses
+
+    def test_hashtags_only(self):
+        graph = _graph(hashtags=True)
+        queries = select_queries(graph, min_frequency=1, hashtags_only=True)
+        assert queries, "hashtag queries expected"
+        assert all(q.term.startswith("#") for q in queries)
+        assert {"#shared", "#rare"} == {q.term for q in queries}
+
+    def test_remove_top_frequent(self):
+        graph = _graph()
+        with_all = {q.term for q in select_queries(graph, min_frequency=1)}
+        # the corpus-wide most frequent word is "shared"; banning the top-1
+        # must drop exactly it
+        without_top = {
+            q.term
+            for q in select_queries(graph, min_frequency=1, remove_top_frequent=1)
+        }
+        assert "shared" in with_all
+        assert "shared" not in without_top
+        assert without_top == with_all - {"shared"}
+
+    def test_max_queries_truncates_most_common_first(self):
+        graph = _graph()
+        all_queries = select_queries(graph, min_frequency=1)
+        capped = select_queries(graph, min_frequency=1, max_queries=2)
+        assert len(capped) == 2
+        assert [q.term for q in capped] == [q.term for q in all_queries[:2]]
+        # frequencies are non-increasing (most_common order)
+        frequencies = [q.frequency for q in all_queries]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_relevant_users_are_diffusing_publishers(self):
+        graph = _graph()
+        queries = {q.term: q for q in select_queries(graph, min_frequency=1)}
+        # "rare" appears in diffusing docs 1 (user 0) and 3 (user 1)
+        np.testing.assert_array_equal(queries["rare"].relevant_users, [0, 1])
+        # "gamma" only lives in doc 4, which never diffuses
+        assert "gamma" not in queries
+
+    def test_word_ids_match_vocabulary(self):
+        graph = _graph()
+        for query in select_queries(graph, min_frequency=1):
+            assert graph.vocabulary.word_of(query.word_id) == query.term
+
+
+class TestFrequencyBands:
+    def test_empty_input(self):
+        bands = queries_by_frequency_band([], n_bands=4)
+        assert len(bands) == 4
+        assert all(band == [] for band in bands)
+
+    def test_single_frequency_collapses_to_first_band(self):
+        graph = _graph()
+        queries = [q for q in select_queries(graph, min_frequency=1) if q.frequency == 2]
+        bands = queries_by_frequency_band(queries, n_bands=3)
+        assert bands[0] == queries
+        assert bands[1] == [] and bands[2] == []
+
+    def test_bands_partition_queries(self):
+        graph = _graph()
+        queries = select_queries(graph, min_frequency=1)
+        bands = queries_by_frequency_band(queries, n_bands=3)
+        flattened = [q for band in bands for q in band]
+        assert sorted(q.term for q in flattened) == sorted(q.term for q in queries)

@@ -1,0 +1,34 @@
+"""Smoke test: examples/quickstart.py must run end-to-end.
+
+Executes the example as a real subprocess (the way a user would), scaled
+down through its environment knobs so the suite stays fast. This is what
+keeps the README's first code path from rotting silently.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_quickstart_runs_end_to_end():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_QUICKSTART_SCALE"] = "tiny"
+    env["REPRO_QUICKSTART_ITERATIONS"] = "6"
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / "quickstart.py")],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    out = completed.stdout
+    assert "community recovery NMI" in out
+    assert "content perplexity" in out
+    assert "served (graph-free) ranking" in out
+    assert "fold-in of an unseen document" in out

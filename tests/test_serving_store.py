@@ -1,0 +1,245 @@
+"""Tests for the ProfileStore serving facade."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CommunityRanker
+from repro.evaluation import select_queries
+from repro.serving import GraphSummary, ProfileStore, ensure_store
+
+
+@pytest.fixture(scope="module")
+def fitted_store(fitted_cpd, twitter_tiny):
+    """Store wrapping the shared fit with its live graph."""
+    graph, _ = twitter_tiny
+    return ProfileStore.from_fit(fitted_cpd, graph)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(fitted_cpd, twitter_tiny, tmp_path_factory):
+    """A self-contained v2 artifact of the shared fit."""
+    graph, _ = twitter_tiny
+    path = tmp_path_factory.mktemp("serving") / "model.cpd.npz"
+    ProfileStore.from_fit(fitted_cpd, graph).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def served_store(artifact_path):
+    """Store opened from the artifact alone — no graph anywhere."""
+    store = ProfileStore.from_artifact(artifact_path)
+    assert store.graph is None
+    return store
+
+
+@pytest.fixture(scope="module")
+def a_term(twitter_tiny):
+    graph, _ = twitter_tiny
+    queries = select_queries(graph, min_frequency=2, max_queries=1)
+    assert queries
+    return queries[0].term
+
+
+class TestMembershipIndexes:
+    def test_top_communities_matches_result(self, fitted_store, fitted_cpd):
+        np.testing.assert_array_equal(
+            fitted_store.top_communities(2), fitted_cpd.top_communities_per_user(2)
+        )
+
+    def test_top_communities_memoised(self, fitted_store):
+        assert fitted_store.top_communities(3) is fitted_store.top_communities(3)
+
+    def test_community_members_match_result(self, fitted_store, fitted_cpd):
+        store_members = fitted_store.community_members(2)
+        result_members = fitted_cpd.community_members(2)
+        for mine, theirs in zip(store_members, result_members):
+            np.testing.assert_array_equal(mine, theirs)
+
+
+class TestRankingCache:
+    def test_repeated_query_is_a_cache_hit(self, served_store, a_term):
+        first = served_store.rank(a_term)
+        before = served_store.cache_info()
+        second = served_store.rank(a_term)
+        after = served_store.cache_info()
+        assert first == second
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_cache_hit_does_not_recompute_scores(self, served_store, a_term, monkeypatch):
+        served_store.rank(a_term)  # primed
+
+        def boom(_query):
+            raise AssertionError("cache hit must not recompute scores")
+
+        monkeypatch.setattr(served_store, "scores", boom)
+        ranking = served_store.rank(a_term)
+        assert len(ranking) == served_store.n_communities
+
+    def test_served_ranking_matches_graphful_ranking(
+        self, served_store, fitted_store, a_term
+    ):
+        assert served_store.rank(a_term) == fitted_store.rank(a_term)
+
+    def test_cached_ranking_is_a_copy(self, served_store, a_term):
+        ranking = served_store.rank(a_term)
+        ranking.append(("tampered", 0.0))
+        assert served_store.rank(a_term)[-1] != ("tampered", 0.0)
+
+    def test_lru_evicts_oldest(self, artifact_path, twitter_tiny):
+        graph, _ = twitter_tiny
+        store = ProfileStore.from_artifact(artifact_path, query_cache_size=2)
+        terms = [graph.vocabulary.word_of(i) for i in range(3)]
+        for term in terms:
+            store.rank(term)
+        assert store.cache_info()["size"] == 2
+        store.rank(terms[0])  # evicted -> miss again
+        assert store.cache_info()["misses"] == 4
+
+    def test_unknown_query_raises(self, served_store):
+        with pytest.raises(KeyError):
+            served_store.rank("zzzz-not-a-word")
+
+    def test_scores_match_eq19_einsum(self, served_store, fitted_cpd, a_term):
+        affinity = served_store.query_topic_affinity(a_term)
+        weighted = fitted_cpd.theta * affinity[None, :]
+        expected = np.einsum("cdz,dz->c", fitted_cpd.eta, weighted)
+        np.testing.assert_allclose(served_store.scores(a_term), expected)
+
+
+class TestQueryIndex:
+    def test_index_matches_select_queries(self, served_store, twitter_tiny):
+        graph, _ = twitter_tiny
+        expected = select_queries(graph, min_frequency=2)
+        index = served_store.query_index()
+        assert set(index) == {query.term for query in expected}
+        for query in expected:
+            np.testing.assert_array_equal(
+                index[query.term].relevant_users, query.relevant_users
+            )
+            assert index[query.term].frequency == query.frequency
+
+    def test_relevant_users_unknown_term(self, served_store):
+        with pytest.raises(KeyError):
+            served_store.relevant_users("zzzz-not-a-term")
+
+
+class TestServingParity:
+    """Artifact-served indexes must equal their graph-derived versions."""
+
+    def test_popularity_matrix(self, served_store, fitted_store):
+        np.testing.assert_allclose(
+            served_store.popularity_matrix(), fitted_store.popularity_matrix()
+        )
+
+    def test_user_features(self, served_store, fitted_store):
+        users = np.arange(served_store.n_users)
+        np.testing.assert_allclose(
+            served_store.user_features().pair_features_batch(users, users[::-1]),
+            fitted_store.user_features().pair_features_batch(users, users[::-1]),
+        )
+
+    def test_doc_user_and_timestamp(self, served_store, fitted_store):
+        np.testing.assert_array_equal(served_store.doc_user(), fitted_store.doc_user())
+        np.testing.assert_array_equal(
+            served_store.doc_timestamp(), fitted_store.doc_timestamp()
+        )
+
+    def test_stats(self, served_store, twitter_tiny):
+        graph, _ = twitter_tiny
+        assert served_store.stats == graph.stats()
+
+    def test_labels(self, served_store, fitted_store):
+        assert served_store.labels() == fitted_store.labels()
+
+    def test_diffusion_slices(self, served_store, fitted_cpd):
+        np.testing.assert_allclose(
+            served_store.aggregated_diffusion(), fitted_cpd.aggregated_diffusion_matrix()
+        )
+        np.testing.assert_allclose(
+            served_store.diffusion_slice(0), fitted_cpd.eta[:, :, 0]
+        )
+        with pytest.raises(ValueError):
+            served_store.diffusion_slice(99)
+
+
+class TestGraphFreeApps:
+    def test_ranker_over_served_store(self, served_store, a_term, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        served = CommunityRanker(served_store)
+        legacy = CommunityRanker(fitted_cpd, graph)
+        assert served.rank(a_term) == legacy.rank(a_term)
+        for mine, theirs in zip(
+            served.ranked_member_lists(a_term), legacy.ranked_member_lists(a_term)
+        ):
+            np.testing.assert_array_equal(mine, theirs)
+
+    def test_predictor_over_served_store(self, served_store):
+        from repro.apps import DiffusionPredictor
+
+        predictor = DiffusionPredictor(served_store)
+        assert 0.0 <= predictor.predict(0, 1, 2) <= 1.0
+
+    def test_report_over_served_store(self, served_store):
+        from repro.apps.report import build_report
+
+        report = build_report(served_store, queries=served_store.indexed_queries(2))
+        assert report.startswith("# Community profile report")
+        assert "## Communities" in report
+
+    def test_visualization_over_served_store(self, served_store):
+        from repro.apps import ascii_render, build_diffusion_graph
+
+        view = build_diffusion_graph(served_store, labels=served_store.labels())
+        assert view.number_of_nodes() == served_store.n_communities
+        assert "community diffusion" in ascii_render(view)
+
+
+class TestEncodeTokens:
+    def test_skips_unknown_preserves_known(self, served_store, twitter_tiny):
+        graph, _ = twitter_tiny
+        known = graph.vocabulary.word_of(5)
+        ids = served_store.encode_tokens([known, "zzzz-not-a-word", known])
+        np.testing.assert_array_equal(ids, [5, 5])
+
+    def test_does_not_mutate_frequencies(self, served_store, twitter_tiny):
+        graph, _ = twitter_tiny
+        word = graph.vocabulary.word_of(5)
+        before = served_store.vocabulary.frequency(word)
+        served_store.encode_tokens([word] * 10)
+        assert served_store.vocabulary.frequency(word) == before
+
+
+class TestEnsureStore:
+    def test_passthrough(self, fitted_store):
+        assert ensure_store(fitted_store) is fitted_store
+
+    def test_wraps_result(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        store = ensure_store(fitted_cpd, graph)
+        assert store.result is fitted_cpd
+        assert store.graph is graph
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_store(object())
+
+
+class TestMissingPayloads:
+    def test_graphless_store_without_summary_raises(self, fitted_cpd):
+        store = ProfileStore(fitted_cpd)
+        with pytest.raises(RuntimeError, match="v2 artifact"):
+            _ = store.summary
+        with pytest.raises(RuntimeError, match="vocabulary"):
+            store.labels()
+
+    def test_summary_survives_round_trip(self, fitted_store, twitter_tiny):
+        graph, _ = twitter_tiny
+        summary = GraphSummary.from_graph(graph)
+        clone = GraphSummary.from_dict(summary.to_dict())
+        assert clone.stats() == summary.stats()
+        np.testing.assert_array_equal(clone.doc_user, summary.doc_user)
+        np.testing.assert_array_equal(clone.followers, summary.followers)
+        assert [query.term for query in clone.queries] == [
+            query.term for query in summary.queries
+        ]
