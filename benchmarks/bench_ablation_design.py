@@ -15,6 +15,7 @@ Three implementation decisions get quantified so a reader can judge them:
 import numpy as np
 
 from bench_support import (
+    contract,
     COMMUNITY_SWEEP,
     cpd_config,
     format_table,
@@ -106,8 +107,8 @@ def test_ablation_pg_truncation(benchmark):
     # with 64 terms the corrected series mean must track the analytic mean
     for row in rows:
         if row[1] == 64:
-            assert abs(row[4] - row[2]) < 0.01
-            assert row[5] < 0.1
+            contract(abs(row[4] - row[2]) < 0.01, 'abs(row[4] - row[2]) < 0.01')
+            contract(row[5] < 0.1, 'row[5] < 0.1')
 
 
 def test_ablation_hard_negatives(benchmark):
@@ -124,8 +125,8 @@ def test_ablation_hard_negatives(benchmark):
     # they cost the structural model
     wtm_drop = rows[0][2] - rows[-1][2]
     cpd_drop = rows[0][1] - rows[-1][1]
-    assert wtm_drop > 0
-    assert wtm_drop > cpd_drop - 0.02
+    contract(wtm_drop > 0, 'wtm_drop > 0')
+    contract(wtm_drop > cpd_drop - 0.02, 'wtm_drop > cpd_drop - 0.02')
 
 
 def test_ablation_eta_smoothing(benchmark):
@@ -140,5 +141,5 @@ def test_ablation_eta_smoothing(benchmark):
     )
     # moderate smoothing should not collapse the model
     aucs = [row[1] for row in rows]
-    assert max(aucs) - min(aucs) < 0.25
-    assert all(a > 0.55 for a in aucs)
+    contract(max(aucs) - min(aucs) < 0.25, 'max(aucs) - min(aucs) < 0.25')
+    contract(all(a > 0.55 for a in aucs), 'all(a > 0.55 for a in aucs)')

@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from bench_support import cpd_config, format_table, get_scenario, report
+from bench_support import contract, cpd_config, format_table, get_scenario, report
 from repro.core import DiffusionParameters
 from repro.core.gibbs import CPDSampler
 from repro.datasets import subsample_graph
@@ -82,9 +82,12 @@ def test_fig10a_time_vs_data_size(benchmark):
     seconds = [row[3] for row in rows]
     # monotone growth and near-linear scaling: full data costs at most
     # ~1.8x what perfect linearity predicts from the quarter sample
-    assert seconds[-1] > seconds[0]
+    contract(seconds[-1] > seconds[0], 'seconds[-1] > seconds[0]')
     linear_prediction = seconds[0] * (FRACTIONS[-1] / FRACTIONS[0])
-    assert seconds[-1] < linear_prediction * 1.8
+    contract(
+        seconds[-1] < linear_prediction * 1.8,
+        'seconds[-1] < linear_prediction * 1.8',
+    )
 
 
 def test_fig10b_speedup_vs_workers(benchmark):
@@ -101,8 +104,8 @@ def test_fig10b_speedup_vs_workers(benchmark):
     speedups = [row[2] for row in rows]
     if cores >= 2:
         # with real cores the 2-worker run must beat serial
-        assert max(speedups[1:]) > 1.0
+        contract(max(speedups[1:]) > 1.0, 'max(speedups[1:]) > 1.0')
     else:
         # single-core machine: the machinery must still work and not
         # collapse (bounded overhead)
-        assert all(s > 0.2 for s in speedups)
+        contract(all(s > 0.2 for s in speedups), 'all(s > 0.2 for s in speedups)')

@@ -9,7 +9,7 @@ shares.
 
 import numpy as np
 
-from bench_support import cpd_config, format_table, get_scenario, report
+from bench_support import contract, cpd_config, format_table, get_scenario, report
 from repro.core import CPDConfig, CPDModel, FitOptions
 from repro.parallel import ParallelEStepRunner
 
@@ -42,11 +42,14 @@ def test_fig11_workload_balancing(benchmark):
         ),
     )
     busy = estimated > 0
-    assert busy.sum() >= 2, "allocation should use several workers"
+    contract(busy.sum() >= 2, "allocation should use several workers")
     # (a) the knapsack keeps estimated loads balanced
     ratio = estimated[busy].max() / estimated[busy].mean()
-    assert ratio < 2.5
+    contract(ratio < 2.5, 'ratio < 2.5')
     # (b) actual time share correlates with the estimated share
     est_share = estimated / estimated.sum()
     act_share = actual / max(actual.sum(), 1e-12)
-    assert np.abs(est_share - act_share).max() < 0.45
+    contract(
+        np.abs(est_share - act_share).max() < 0.45,
+        'np.abs(est_share - act_share).max() < 0.45',
+    )

@@ -10,6 +10,7 @@ diffusion prediction.
 import numpy as np
 
 from bench_support import (
+    contract,
     COMMUNITY_SWEEP,
     format_table,
     get_scores,
@@ -51,15 +52,33 @@ def test_fig3_twitter(benchmark):
     series = benchmark.pedantic(_series, args=("twitter",), rounds=1, iterations=1)
     _emit("twitter", series, "abc")
     # Ours beats No Joint on every sweep-averaged metric
-    assert _mean(series, "CPD", "conductance") < _mean(series, "no_joint", "conductance")
-    assert _mean(series, "CPD", "friendship_auc") > _mean(series, "no_joint", "friendship_auc")
+    contract(
+        _mean(series, "CPD", "conductance") < _mean(series, "no_joint", "conductance"),
+        '_mean(series, "CPD", "conductance") < _mean(series, "no_joint", "conductance")',
+    )
+    contract(
+        _mean(series, "CPD", "friendship_auc") > _mean(series, "no_joint", "friendship_auc"),
+        '_mean(series, "CPD", "friendship_auc") > _mean(series, "no_joint", "friendship_auc")',
+    )
     # Ours beats No Heterogeneity on diffusion prediction
-    assert _mean(series, "CPD", "diffusion_auc") > _mean(series, "no_heterogeneity", "diffusion_auc")
+    contract(
+        _mean(series, "CPD", "diffusion_auc") > _mean(series, "no_heterogeneity", "diffusion_auc"),
+        '_mean(series, "CPD", "diffusion_auc") > _mean(series, "no_heterogeneity", "diffusion_auc")',
+    )
 
 
 def test_fig3_dblp(benchmark):
     series = benchmark.pedantic(_series, args=("dblp",), rounds=1, iterations=1)
     _emit("dblp", series, "def")
-    assert _mean(series, "CPD", "conductance") < _mean(series, "no_joint", "conductance")
-    assert _mean(series, "CPD", "friendship_auc") > _mean(series, "no_joint", "friendship_auc")
-    assert _mean(series, "CPD", "diffusion_auc") > _mean(series, "no_heterogeneity", "diffusion_auc")
+    contract(
+        _mean(series, "CPD", "conductance") < _mean(series, "no_joint", "conductance"),
+        '_mean(series, "CPD", "conductance") < _mean(series, "no_joint", "conductance")',
+    )
+    contract(
+        _mean(series, "CPD", "friendship_auc") > _mean(series, "no_joint", "friendship_auc"),
+        '_mean(series, "CPD", "friendship_auc") > _mean(series, "no_joint", "friendship_auc")',
+    )
+    contract(
+        _mean(series, "CPD", "diffusion_auc") > _mean(series, "no_heterogeneity", "diffusion_auc"),
+        '_mean(series, "CPD", "diffusion_auc") > _mean(series, "no_heterogeneity", "diffusion_auc")',
+    )

@@ -9,7 +9,7 @@ reports 24-92% (Twitter) and 5-108% (DBLP) relative improvements.
 
 import numpy as np
 
-from bench_support import COMMUNITY_SWEEP, format_table, get_scores, report
+from bench_support import COMMUNITY_SWEEP, contract, format_table, get_scores, report
 from repro.evaluation import paired_one_tailed_ttest
 
 TWITTER_METHODS = ("WTM", "CRM", "COLD", "CRM+Agg", "COLD+Agg", "CPD")
@@ -65,7 +65,7 @@ def test_fig4a_twitter(benchmark):
     # Ours must beat every community-modelling baseline on average; WTM
     # (pure content/feature similarity) may stay close on synthetic data
     for method in ("CRM", "COLD", "CRM+Agg", "COLD+Agg"):
-        assert method in beaten, f"CPD should outperform {method} on Twitter"
+        contract(method in beaten, f"CPD should outperform {method} on Twitter")
 
 
 def test_fig4b_dblp(benchmark):
@@ -75,7 +75,7 @@ def test_fig4b_dblp(benchmark):
     _emit("dblp", "b", series, DBLP_METHODS)
     beaten = _check_ours_wins(series, DBLP_METHODS)
     for method in ("PMTLM", "COLD", "CRM+Agg", "COLD+Agg"):
-        assert method in beaten, f"CPD should outperform {method} on DBLP"
+        contract(method in beaten, f"CPD should outperform {method} on DBLP")
 
 
 def test_fig4_significance(benchmark):
@@ -94,4 +94,4 @@ def test_fig4_significance(benchmark):
         f"Fig. 4 significance (DBLP, |C|={COMMUNITY_SWEEP[1]}): CPD vs COLD+Agg "
         f"one-tailed p = {result.p_value:.4g}, mean AUC gain = {result.mean_difference:+.4f}",
     )
-    assert result.mean_difference > 0
+    contract(result.mean_difference > 0, 'result.mean_difference > 0')

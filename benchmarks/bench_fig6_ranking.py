@@ -9,6 +9,7 @@ above the baselines, converging earlier.
 import numpy as np
 
 from bench_support import (
+    contract,
     COMMUNITY_SWEEP,
     format_table,
     get_fitted,
@@ -79,8 +80,9 @@ def _emit(scenario: str, n_communities: int, series: dict) -> None:
 def _assert_ours_competitive(series: dict) -> None:
     ours = float(np.mean(series["CPD"]))
     for kind in ("COLD+Agg", "CRM+Agg"):
-        assert ours > float(np.mean(series[kind])) * 0.95, (
-            f"Ours should be at least competitive with {kind}"
+        contract(
+            ours > float(np.mean(series[kind])) * 0.95,
+            f"Ours should be at least competitive with {kind}",
         )
 
 

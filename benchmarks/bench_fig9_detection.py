@@ -9,7 +9,7 @@ strong.
 
 import numpy as np
 
-from bench_support import COMMUNITY_SWEEP, format_table, get_scores, report
+from bench_support import COMMUNITY_SWEEP, contract, format_table, get_scores, report
 
 METHODS = ("PMTLM", "CRM", "COLD", "CPD")
 
@@ -44,12 +44,24 @@ def test_fig9ab_twitter(benchmark):
     series = benchmark.pedantic(_series, args=("twitter",), rounds=1, iterations=1)
     _emit("twitter", "ab", series)
     # Ours beats the two methods that ignore friendship links
-    assert _mean(series, "CPD", "friendship_auc") > _mean(series, "PMTLM", "friendship_auc")
-    assert _mean(series, "CPD", "conductance") < _mean(series, "PMTLM", "conductance")
+    contract(
+        _mean(series, "CPD", "friendship_auc") > _mean(series, "PMTLM", "friendship_auc"),
+        '_mean(series, "CPD", "friendship_auc") > _mean(series, "PMTLM", "friendship_auc")',
+    )
+    contract(
+        _mean(series, "CPD", "conductance") < _mean(series, "PMTLM", "conductance"),
+        '_mean(series, "CPD", "conductance") < _mean(series, "PMTLM", "conductance")',
+    )
 
 
 def test_fig9cd_dblp(benchmark):
     series = benchmark.pedantic(_series, args=("dblp",), rounds=1, iterations=1)
     _emit("dblp", "cd", series)
-    assert _mean(series, "CPD", "friendship_auc") > _mean(series, "PMTLM", "friendship_auc")
-    assert _mean(series, "CPD", "conductance") < _mean(series, "PMTLM", "conductance")
+    contract(
+        _mean(series, "CPD", "friendship_auc") > _mean(series, "PMTLM", "friendship_auc"),
+        '_mean(series, "CPD", "friendship_auc") > _mean(series, "PMTLM", "friendship_auc")',
+    )
+    contract(
+        _mean(series, "CPD", "conductance") < _mean(series, "PMTLM", "conductance"),
+        '_mean(series, "CPD", "conductance") < _mean(series, "PMTLM", "conductance")',
+    )

@@ -19,7 +19,7 @@ import json
 import time
 from pathlib import Path
 
-from bench_support import format_table, get_fitted, get_scenario, report
+from bench_support import contract, format_table, get_fitted, get_scenario, report
 from repro.apps import CommunityRanker
 from repro.core import load_result
 from repro.graph import load_graph, save_graph
@@ -109,6 +109,15 @@ def test_serving_throughput(benchmark, tmp_path):
     )
     # the caching contract: warm serving must beat the cold first pass, and
     # both must dominate the reload-per-query legacy path by a wide margin
-    assert measured["warm_queries_per_second"] > measured["cold_queries_per_second"]
-    assert measured["cold_queries_per_second"] > 10 * measured["legacy_queries_per_second"]
-    assert measured["cache"]["hits"] >= len(terms) * WARM_REPEATS
+    contract(
+        measured["warm_queries_per_second"] > measured["cold_queries_per_second"],
+        'measured["warm_queries_per_second"] > measured["cold_queries_per_second"]',
+    )
+    contract(
+        measured["cold_queries_per_second"] > 10 * measured["legacy_queries_per_second"],
+        'measured["cold_queries_per_second"] > 10 * measured["legacy_queries_per_second"]',
+    )
+    contract(
+        measured["cache"]["hits"] >= len(terms) * WARM_REPEATS,
+        'measured["cache"]["hits"] >= len(terms) * WARM_REPEATS',
+    )

@@ -8,10 +8,21 @@ pytest session.
 
 Results are printed *and* written to ``benchmarks/results/`` so the series
 survive pytest's stdout capture.
+
+Three environment knobs support the CI smoke job (run every benchmark at
+tiny sizes to guard against bit-rot, without enforcing the paper-shaped
+relations that only hold at full scale):
+
+* ``REPRO_BENCH_SCALE`` — scenario scale passed to the generators
+  (default ``small``; the smoke job sets ``tiny``);
+* ``REPRO_BENCH_ITERATIONS`` — EM iterations per fit (default 20);
+* ``REPRO_BENCH_SMOKE=1`` — demote :func:`contract` assertions to printed
+  warnings.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -37,12 +48,17 @@ from repro.evaluation import (
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: scenario scale for every benchmark graph (see module docstring)
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+#: demote contract() assertions to warnings (CI smoke job)
+SMOKE_MODE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
 #: the scaled-down analogue of the paper's |C| in {20, 50, 100, 150}
 COMMUNITY_SWEEP = (4, 6, 8)
 #: number of topics, matched to the scenarios' planted dimension
 N_TOPICS = 12
 #: EM iterations for every fit
-N_ITERATIONS = 20
+N_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "20"))
 #: scenario seed (one graph per scenario, like the paper's fixed datasets)
 SCENARIO_SEED = 3
 #: fit/evaluation seed
@@ -57,7 +73,7 @@ def get_scenario(name: str):
     """The benchmark graph for ``name`` in {'twitter', 'dblp'} (cached)."""
     if name not in _GRAPH_CACHE:
         maker = {"twitter": twitter_scenario, "dblp": dblp_scenario}[name]
-        _GRAPH_CACHE[name] = maker("small", rng=SCENARIO_SEED)
+        _GRAPH_CACHE[name] = maker(BENCH_SCALE, rng=SCENARIO_SEED)
     return _GRAPH_CACHE[name]
 
 
@@ -159,6 +175,22 @@ def method_perplexity(scenario: str, kind: str, n_communities: int) -> float:
 
 
 # ------------------------------------------------------------------ reporting
+
+
+def contract(condition: bool, message: str = "") -> None:
+    """Assert a paper-shaped relation — demoted to a warning in smoke mode.
+
+    The benchmark contracts (CPD beats baseline X, speedup ≥ Y) only hold
+    at the calibrated full scale; the CI smoke job runs every benchmark at
+    tiny sizes purely to catch bit-rot, so there they print instead of
+    fail.
+    """
+    if condition:
+        return
+    if SMOKE_MODE:
+        print(f"[smoke] contract skipped: {message or 'condition failed'}")
+        return
+    raise AssertionError(message or "benchmark contract failed")
 
 
 def format_table(title: str, headers: list[str], rows: list[list]) -> str:

@@ -13,7 +13,7 @@ import json
 import time
 from pathlib import Path
 
-from bench_support import cpd_config, format_table, get_scenario, report
+from bench_support import contract, cpd_config, format_table, get_scenario, report
 from repro.core import DiffusionParameters
 from repro.core.gibbs import CPDSampler
 
@@ -78,4 +78,4 @@ def test_sweep_hotpath_speedup(benchmark):
     )
     # the vectorized kernel targets >= 4x on a quiet machine; assert a
     # conservative floor so CI noise cannot flake the suite
-    assert speedup >= 2.5
+    contract(speedup >= 2.5, 'speedup >= 2.5')

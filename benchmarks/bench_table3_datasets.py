@@ -7,7 +7,7 @@ friendship than diffusion links and many documents per user; DBLP has more
 diffusion (citations) than friendship (co-authorship) links.
 """
 
-from bench_support import format_table, get_scenario, report
+from bench_support import contract, format_table, get_scenario, report
 
 
 def _rows():
@@ -49,7 +49,10 @@ def test_table3_dataset_statistics(benchmark):
     )
     twitter, dblp = rows
     # the Table 3 shape: Twitter friend > diff; DBLP diff > friend
-    assert twitter[2] > twitter[3]
-    assert dblp[3] > dblp[2]
+    contract(twitter[2] > twitter[3], 'twitter[2] > twitter[3]')
+    contract(dblp[3] > dblp[2], 'dblp[3] > dblp[2]')
     # Twitter documents per user exceed DBLP's
-    assert twitter[4] / twitter[1] > dblp[4] / dblp[1]
+    contract(
+        twitter[4] / twitter[1] > dblp[4] / dblp[1],
+        'twitter[4] / twitter[1] > dblp[4] / dblp[1]',
+    )

@@ -6,6 +6,7 @@ query and prints the same columns.
 """
 
 from bench_support import (
+    contract,
     COMMUNITY_SWEEP,
     format_table,
     get_fitted,
@@ -48,5 +49,5 @@ def test_table6_query_ranking(benchmark):
     )
     # paper shape: AF@K grows with K, AP@1 is high
     afs = [row[3] for row in rows]
-    assert afs[2] >= afs[0]
-    assert rows[0][1] > 0.0
+    contract(afs[2] >= afs[0], 'afs[2] >= afs[0]')
+    contract(rows[0][1] > 0.0, 'rows[0][1] > 0.0')

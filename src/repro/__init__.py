@@ -33,6 +33,14 @@ from .core import (
 )
 from .apps import CommunityRanker, DiffusionPredictor
 from .serving import FoldInResult, GraphSummary, ProfileStore, fold_in_documents
+from .stream import (
+    DocumentArrival,
+    IncrementalRefresher,
+    LinkArrival,
+    MicroBatchIngestor,
+    Snapshotter,
+    split_for_replay,
+)
 from .datasets import (
     GroundTruth,
     SyntheticConfig,
@@ -54,11 +62,16 @@ __all__ = [
     "DiffusionParameters",
     "DiffusionPredictor",
     "DiffusionProfile",
+    "DocumentArrival",
     "FitOptions",
     "FoldInResult",
     "GraphSummary",
     "GroundTruth",
+    "IncrementalRefresher",
+    "LinkArrival",
+    "MicroBatchIngestor",
     "ProfileStore",
+    "Snapshotter",
     "fold_in_documents",
     "SocialGraph",
     "SocialGraphBuilder",
@@ -71,6 +84,7 @@ __all__ = [
     "load_graph",
     "profile_of",
     "save_graph",
+    "split_for_replay",
     "twitter_scenario",
     "__version__",
 ]

@@ -12,11 +12,18 @@ The paper's workflow is "profile once offline, serve many applications"
     repro report     --model model.cpd.npz --out report.md
     repro visualize  --model model.cpd.npz --format dot
     repro serve-bench --model model.cpd.npz
+    repro info       --model model.cpd.npz
+    repro stream-replay --graph graph.json.gz --communities 6 --topics 12 \\
+                     --out snapshot.cpd.npz
+    repro stream-bench  --graph graph.json.gz --communities 6 --topics 12
 
-``fit`` writes *self-contained* v2 artifacts (model + vocabulary + graph
+``fit`` writes *self-contained* v3 artifacts (model + vocabulary + graph
 summary), so every read command after ``evaluate`` serves from the
 artifact alone — ``--graph`` is only needed for v1 artifacts or when the
-corpus itself must be consulted. Every command is also importable
+corpus itself must be consulted. The ``stream-*`` commands exercise the
+streaming pipeline (:mod:`repro.stream`): split a graph into a warm base
+plus a timestamp-ordered event stream, fold arrivals in, refresh
+incrementally and snapshot. Every command is also importable
 (``run_generate`` etc.) for scripting.
 """
 
@@ -49,6 +56,12 @@ from .evaluation import (
 )
 from .graph import load_graph, save_graph
 from .serving import GraphSummary, ProfileStore
+from .stream import (
+    IncrementalRefresher,
+    MicroBatchIngestor,
+    Snapshotter,
+    split_for_replay,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -117,6 +130,40 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=50, help="warm passes over the workload")
     bench.add_argument("--max-queries", type=int, default=32, help="workload size cap")
     bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
+
+    info = commands.add_parser("info", help="inspect an artifact (version, dims, payloads)")
+    info.add_argument("--model", required=True)
+
+    def _add_stream_args(sub) -> None:
+        sub.add_argument("--graph", required=True, help="graph to split and replay")
+        sub.add_argument("--communities", type=int, required=True)
+        sub.add_argument("--topics", type=int, required=True)
+        sub.add_argument("--iterations", type=int, default=15, help="base-fit EM iterations")
+        sub.add_argument(
+            "--warm-fraction", type=float, default=0.5,
+            help="fraction of documents the offline base fit warms up on",
+        )
+        sub.add_argument("--batch-size", type=int, default=64, help="ingest micro-batch size")
+        sub.add_argument(
+            "--refresh-every", type=int, default=256,
+            help="events between incremental refreshes",
+        )
+        sub.add_argument("--seed", type=int, default=0)
+
+    replay = commands.add_parser(
+        "stream-replay",
+        help="replay a graph as a stream: fit base, ingest, refresh, snapshot",
+    )
+    _add_stream_args(replay)
+    replay.add_argument("--no-refresh", action="store_true", help="fold-in only, frozen model")
+    replay.add_argument("--out", default=None, help="write a v3 snapshot artifact here")
+
+    sbench = commands.add_parser(
+        "stream-bench",
+        help="measure sustained ingest events/sec: fold-in only vs fold-in + refresh",
+    )
+    _add_stream_args(sbench)
+    sbench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
     return parser
 
 
@@ -340,6 +387,166 @@ def run_serve_bench(args, out=None) -> int:
     return 0
 
 
+def run_info(args, out=None) -> int:
+    out = out or sys.stdout
+    artifact = load_artifact(args.model)
+    result = artifact.result
+    print(f"artifact        : {args.model}", file=out)
+    print(
+        f"format version  : {artifact.format_version}"
+        + (" (self-contained)" if artifact.self_contained else ""),
+        file=out,
+    )
+    print(f"graph           : {result.graph_name or 'unnamed'}", file=out)
+    print(
+        f"dims            : {result.n_users} users  {len(result.doc_community)} docs  "
+        f"{result.n_communities} communities  {result.n_topics} topics  "
+        f"{result.n_words} words",
+        file=out,
+    )
+    if artifact.vocabulary is not None:
+        print(f"vocabulary      : embedded ({len(artifact.vocabulary)} terms)", file=out)
+    else:
+        print("vocabulary      : absent (pass --graph to serving commands)", file=out)
+    if artifact.graph_summary is not None:
+        n_queries = len(artifact.graph_summary.get("queries", []))
+        print(f"graph summary   : embedded ({n_queries} queries indexed)", file=out)
+    else:
+        print("graph summary   : absent", file=out)
+    if artifact.stream_cursor is not None:
+        cursor = artifact.stream_cursor
+        print(
+            "stream cursor   : "
+            f"{cursor.get('documents_appended', 0)} docs + "
+            f"{cursor.get('links_appended', 0)} links appended, "
+            f"{cursor.get('refreshes', 0)} refreshes, "
+            f"last timestamp {cursor.get('last_timestamp', 0)}",
+            file=out,
+        )
+    else:
+        print("stream cursor   : absent (offline fit)", file=out)
+    return 0
+
+
+def _replay_setup(args):
+    """Split the graph, fit the base model, build the streaming pipeline."""
+    graph = load_graph(args.graph)
+    plan = split_for_replay(graph, warm_fraction=args.warm_fraction)
+    config = CPDConfig(
+        n_communities=args.communities,
+        n_topics=args.topics,
+        n_iterations=args.iterations,
+    )
+    base_fit = CPDModel(config, rng=args.seed).fit(plan.base_graph)
+    store = ProfileStore.from_fit(base_fit, plan.base_graph)
+    return plan, base_fit, store
+
+
+def _drive_replay(plan, base_fit, store, args, with_refresh: bool):
+    """Stream the plan's events through an ingestor; returns it with timing."""
+    refresher = (
+        IncrementalRefresher(plan.base_graph, base_fit, rng=args.seed + 1)
+        if with_refresh
+        else None
+    )
+    ingestor = MicroBatchIngestor(
+        store,
+        refresher,
+        batch_size=args.batch_size,
+        refresh_interval=None if refresher is None else args.refresh_every,
+        rng=args.seed + 2,
+    )
+    started = time.perf_counter()
+    ingestor.submit_many(plan.events)
+    ingestor.flush()
+    if refresher is not None:
+        ingestor.refresh()
+    return ingestor, refresher, time.perf_counter() - started
+
+
+def run_stream_replay(args, out=None) -> int:
+    out = out or sys.stdout
+    if args.no_refresh and args.out:
+        print(
+            "error: --out requires refresh mode (a frozen fold-in run maintains "
+            "no model state to snapshot); drop --no-refresh",
+            file=out,
+        )
+        return 1
+    plan, base_fit, store = _replay_setup(args)
+    print(
+        f"base fit: {plan.base_graph!r}\n"
+        f"replaying {len(plan.events)} events "
+        f"({plan.n_document_events} documents, {plan.n_link_events} links)",
+        file=out,
+    )
+    ingestor, refresher, seconds = _drive_replay(
+        plan, base_fit, store, args, with_refresh=not args.no_refresh
+    )
+    stats = ingestor.stats()
+    print(
+        f"ingested {stats['events']} events in {seconds:.2f}s "
+        f"({stats['events'] / seconds:.0f} events/sec, {stats['flushes']} flushes, "
+        f"{stats['refreshes']} refreshes)",
+        file=out,
+    )
+    print(
+        f"staleness since last refresh: {stats['staleness_total']} docs; "
+        f"cumulative refresh drift: {stats['drift_total']} reassignments",
+        file=out,
+    )
+    if refresher is not None and args.out:
+        snapshotter = Snapshotter(
+            refresher,
+            vocabulary=plan.base_graph.vocabulary,
+            base_summary=GraphSummary.from_graph(plan.base_graph),
+        )
+        result = snapshotter.save(args.out)
+        snapshotter.hot_swap(store)
+        print(
+            f"wrote v3 stream snapshot ({len(result.doc_community)} docs) to {args.out}",
+            file=out,
+        )
+    return 0
+
+
+def run_stream_bench(args, out=None) -> int:
+    out = out or sys.stdout
+    modes = {}
+    for mode in ("foldin", "refresh"):
+        plan, base_fit, store = _replay_setup(args)
+        ingestor, _refresher, seconds = _drive_replay(
+            plan, base_fit, store, args, with_refresh=(mode == "refresh")
+        )
+        reports = ingestor.refresh_reports
+        modes[mode] = {
+            "seconds": seconds,
+            "events_per_second": len(plan.events) / seconds,
+            "refresh_seconds_total": sum(r.seconds for r in reports),
+            "refreshes": len(reports),
+            **{f"n_{key}": value for key, value in ingestor.stats().items()},
+        }
+        print(
+            f"{mode:>7}: {modes[mode]['events_per_second']:.0f} events/sec "
+            f"({len(plan.events)} events in {seconds:.2f}s, "
+            f"{modes[mode]['refreshes']} refreshes)",
+            file=out,
+        )
+    if args.json_out:
+        payload = {
+            "graph": str(args.graph),
+            "n_events": len(plan.events),
+            "batch_size": args.batch_size,
+            "refresh_every": args.refresh_every,
+            **{f"{mode}_{k}": v for mode, record in modes.items() for k, v in record.items()},
+        }
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json_out}", file=out)
+    return 0
+
+
 _RUNNERS = {
     "generate": run_generate,
     "fit": run_fit,
@@ -349,6 +556,9 @@ _RUNNERS = {
     "report": run_report,
     "visualize": run_visualize,
     "serve-bench": run_serve_bench,
+    "info": run_info,
+    "stream-replay": run_stream_replay,
+    "stream-bench": run_stream_bench,
 }
 
 

@@ -39,6 +39,7 @@ from ..sampling.rng import RngLike, ensure_rng
 from .config import CPDConfig
 from .kernel import make_kernel
 from .parameters import DiffusionParameters
+from .result import CPDResult
 from .state import CPDState, counts_to_indptr
 
 
@@ -52,6 +53,7 @@ class CPDSampler:
         params: DiffusionParameters,
         rng: RngLike = None,
         fixed_communities: np.ndarray | None = None,
+        initialize_assignments: bool = True,
     ) -> None:
         self.graph = graph
         self.config = config
@@ -62,7 +64,8 @@ class CPDSampler:
         )
 
         self.state = CPDState(graph, config)
-        self.state.random_init(self.rng, fixed_communities=self.fixed_communities)
+        if initialize_assignments:
+            self.state.random_init(self.rng, fixed_communities=self.fixed_communities)
 
         self._doc_user = np.asarray(graph.document_user_array(), dtype=np.int64)
         self._doc_time = np.asarray([doc.timestamp for doc in graph.documents], dtype=np.int64)
@@ -110,27 +113,7 @@ class CPDSampler:
         self.e_src = np.asarray([l.source_doc for l in graph.diffusion_links], dtype=np.int64)
         self.e_tgt = np.asarray([l.target_doc for l in graph.diffusion_links], dtype=np.int64)
         self.e_time = np.asarray([l.timestamp for l in graph.diffusion_links], dtype=np.int64)
-
-        doc_ends = np.concatenate([self.e_src, self.e_tgt])
-        doc_others = np.concatenate([self.e_tgt, self.e_src])
-        d_links = np.concatenate([np.arange(self.n_diff_links, dtype=np.int64)] * 2)
-        d_is_source = np.concatenate(
-            [np.ones(self.n_diff_links, dtype=bool), np.zeros(self.n_diff_links, dtype=bool)]
-        )
-        order = np.argsort(doc_ends, kind="stable")
-        self.d_csr_indptr = counts_to_indptr(
-            np.bincount(doc_ends, minlength=graph.n_documents)
-        )
-        self.d_csr_link = d_links[order]
-        self.d_csr_other = doc_others[order]
-        self.d_csr_is_source = d_is_source[order]
-
-        out_order = np.argsort(self.e_src, kind="stable")
-        self.dout_csr_indptr = counts_to_indptr(
-            np.bincount(self.e_src, minlength=graph.n_documents)
-        )
-        self.dout_csr_link = out_order.astype(np.int64)
-        self.dout_csr_target = self.e_tgt[out_order]
+        self._rebuild_diffusion_csr()
 
         self.user_features = UserFeatures(graph)
         if self.n_diff_links:
@@ -140,15 +123,53 @@ class CPDSampler:
         else:
             self.e_features = np.zeros((0, UserFeatures.N_FEATURES))
 
+    def _rebuild_diffusion_csr(self) -> None:
+        """Re-derive the per-document diffusion CSR arrays from ``e_*``.
+
+        Shared by construction and the streaming append path; sized by the
+        state's (possibly grown) document count, not the original graph's.
+        """
+        n_docs = self.state.n_docs
+        doc_ends = np.concatenate([self.e_src, self.e_tgt])
+        doc_others = np.concatenate([self.e_tgt, self.e_src])
+        d_links = np.concatenate([np.arange(self.n_diff_links, dtype=np.int64)] * 2)
+        d_is_source = np.concatenate(
+            [np.ones(self.n_diff_links, dtype=bool), np.zeros(self.n_diff_links, dtype=bool)]
+        )
+        order = np.argsort(doc_ends, kind="stable")
+        self.d_csr_indptr = counts_to_indptr(np.bincount(doc_ends, minlength=n_docs))
+        self.d_csr_link = d_links[order]
+        self.d_csr_other = doc_others[order]
+        self.d_csr_is_source = d_is_source[order]
+
+        out_order = np.argsort(self.e_src, kind="stable")
+        self.dout_csr_indptr = counts_to_indptr(
+            np.bincount(self.e_src, minlength=n_docs)
+        )
+        self.dout_csr_link = out_order.astype(np.int64)
+        self.dout_csr_target = self.e_tgt[out_order]
+
     def _build_popularity(self) -> None:
-        n_buckets = int(self._doc_time.max()) + 1 if len(self._doc_time) else 1
-        self.popularity = TopicPopularity.from_assignments(
-            self._doc_time,
-            self.state.doc_topic,
+        """(Re)build ``n_tz`` from the currently-assigned documents.
+
+        Bucket count covers both document and link timestamps so the link
+        factors can always index their row; unassigned documents (possible
+        mid-append on the streaming path) contribute no counts.
+        """
+        n_buckets = 1
+        if len(self._doc_time):
+            n_buckets = max(n_buckets, int(self._doc_time.max()) + 1)
+        if len(self.e_time):
+            n_buckets = max(n_buckets, int(self.e_time.max()) + 1)
+        self.popularity = TopicPopularity(
             n_topics=self.config.n_topics,
             n_time_buckets=n_buckets,
             mode=self.config.popularity_mode,
             weight=self.config.popularity_weight,
+        )
+        assigned = self.state.doc_topic >= 0
+        self.popularity.increment_many(
+            self._doc_time[assigned], self.state.doc_topic[assigned]
         )
 
     # ------------------------------------------------------------- snapshots
@@ -184,6 +205,161 @@ class CPDSampler:
         )
         self.popularity.move_many(self._doc_time[doc_ids], old_topics, topics)
 
+    # ------------------------------------------------------------- streaming
+
+    @classmethod
+    def warm_start(
+        cls,
+        graph: SocialGraph,
+        result: CPDResult,
+        rng: RngLike = None,
+    ) -> "CPDSampler":
+        """A sampler resuming from a fitted result's final assignments.
+
+        The streaming refresher (:mod:`repro.stream.refresh`) starts here:
+        counts, popularity and diffusion parameters match the fit's end
+        state, so a re-sweep continues the chain instead of restarting it.
+        ``result.doc_community`` / ``doc_topic`` must cover ``graph``.
+        """
+        sampler = cls(
+            graph,
+            result.config,
+            result.diffusion.copy(),
+            rng=rng,
+            initialize_assignments=False,  # loaded from the result instead
+        )
+        sampler.state.load_assignments(result.doc_community, result.doc_topic)
+        sampler._build_popularity()
+        return sampler
+
+    def append_documents(
+        self,
+        documents: list[np.ndarray],
+        users: np.ndarray,
+        timestamps: np.ndarray,
+        communities: np.ndarray | None = None,
+        topics: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Grow the sampler with appended documents (streaming ingest).
+
+        Documents hold fitted-vocabulary word ids; pass ``communities`` /
+        ``topics`` (e.g. fold-in assignments) to register them immediately,
+        otherwise they stay unassigned until :meth:`assign_documents` (which
+        must be used instead of the raw ``CPDState.assign_many`` so the
+        popularity table stays in sync). Count matrices, CSR layouts and the
+        popularity table are extended in place — no cold rebuild. Returns
+        the new document ids.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        if timestamps.shape != users.shape:
+            raise ValueError("timestamps must align with users")
+        if len(timestamps) and timestamps.min() < 0:
+            raise ValueError("timestamps must be non-negative")
+        # validate everything BEFORE the state grows: a failed append must
+        # leave the sampler exactly as it was
+        if (communities is None) != (topics is None):
+            raise ValueError("pass communities and topics together (or neither)")
+        if communities is not None:
+            communities = np.asarray(communities, dtype=np.int64)
+            topics = np.asarray(topics, dtype=np.int64)
+            if communities.shape != users.shape or topics.shape != users.shape:
+                raise ValueError("communities and topics must align with users")
+            if len(communities) and (
+                communities.min() < 0
+                or communities.max() >= self.config.n_communities
+                or topics.min() < 0
+                or topics.max() >= self.config.n_topics
+            ):
+                raise ValueError("community or topic ids out of range")
+        new_ids = self.state.append_documents(documents, users)
+        if len(new_ids) == 0:
+            return new_ids
+        self._doc_user = np.concatenate([self._doc_user, users])
+        self._doc_time = np.concatenate([self._doc_time, timestamps])
+        self._doc_time_ints.extend(timestamps.tolist())
+        for doc_id in new_ids.tolist():
+            self._doc_unique.append(
+                (self.state._doc_unique_words[doc_id], self.state._doc_unique_counts[doc_id])
+            )
+        self._doc_lengths = self.state._doc_word_lengths
+        # the new documents touch no links yet: extend the doc-indexed CSR
+        # pointers with empty ranges
+        n_new = len(new_ids)
+        self.d_csr_indptr = np.concatenate(
+            [self.d_csr_indptr, np.full(n_new, self.d_csr_indptr[-1], dtype=np.int64)]
+        )
+        self.dout_csr_indptr = np.concatenate(
+            [self.dout_csr_indptr, np.full(n_new, self.dout_csr_indptr[-1], dtype=np.int64)]
+        )
+        if len(timestamps) and int(timestamps.max()) >= self.popularity.n_time_buckets:
+            self._build_popularity()  # new time buckets: rare full rebuild
+        if communities is not None:
+            self.assign_documents(new_ids, communities, topics)
+        self.kernel.append_documents(int(new_ids[0]))
+        return new_ids
+
+    def assign_documents(
+        self, doc_ids: np.ndarray, communities: np.ndarray, topics: np.ndarray
+    ) -> None:
+        """Assign currently-unassigned documents, popularity included.
+
+        The sampler-level companion to :meth:`CPDState.assign_many`: the
+        state method alone would leave the ``n_tz`` table stale, and the
+        next sweep would decrement counts that were never incremented.
+        """
+        doc_ids = np.asarray(doc_ids, dtype=np.int64)
+        topics = np.asarray(topics, dtype=np.int64)
+        self.state.assign_many(doc_ids, communities, topics)
+        self.popularity.increment_many(self._doc_time[doc_ids], topics)
+
+    def append_diffusion_links(
+        self,
+        source_docs: np.ndarray,
+        target_docs: np.ndarray,
+        timestamps: np.ndarray,
+    ) -> None:
+        """Grow the sampler with appended diffusion links (streaming ingest).
+
+        Endpoint documents must already exist (append them first). The
+        per-document CSR incidence arrays are re-derived from the extended
+        edge lists; augmentation variables for the new links start at the
+        PG(1, 0) mean, matching cold initialisation.
+        """
+        source_docs = np.asarray(source_docs, dtype=np.int64)
+        target_docs = np.asarray(target_docs, dtype=np.int64)
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        n_new = len(source_docs)
+        if target_docs.shape != source_docs.shape or timestamps.shape != source_docs.shape:
+            raise ValueError("source, target and timestamp arrays must align")
+        if n_new == 0:
+            return
+        n_docs = self.state.n_docs
+        if (
+            source_docs.min() < 0
+            or target_docs.min() < 0
+            or source_docs.max() >= n_docs
+            or target_docs.max() >= n_docs
+        ):
+            raise ValueError("appended links reference unknown documents")
+        if timestamps.min() < 0:
+            raise ValueError("timestamps must be non-negative")
+        self.e_src = np.concatenate([self.e_src, source_docs])
+        self.e_tgt = np.concatenate([self.e_tgt, target_docs])
+        self.e_time = np.concatenate([self.e_time, timestamps])
+        self.n_diff_links += n_new
+        new_features = self.user_features.pair_features_batch(
+            self._doc_user[source_docs], self._doc_user[target_docs]
+        )
+        self.e_features = (
+            np.vstack([self.e_features, new_features]) if len(self.e_features) else new_features
+        )
+        self.deltas = np.concatenate([self.deltas, np.full(n_new, 0.25)])
+        self._rebuild_diffusion_csr()
+        if int(timestamps.max()) >= self.popularity.n_time_buckets:
+            self._build_popularity()
+        self.kernel.rebuild_link_layout()
+
     # ------------------------------------------------------------- properties
 
     @property
@@ -201,7 +377,7 @@ class CPDSampler:
     def sweep_documents(self, doc_ids: np.ndarray | None = None) -> None:
         """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
         if doc_ids is None:
-            ids = range(self.graph.n_documents)
+            ids = range(self.state.n_docs)  # includes stream-appended documents
         elif isinstance(doc_ids, np.ndarray):
             # plain ints are cheaper in the hot loop; copy=False keeps the
             # int64 common case allocation-free

@@ -6,19 +6,23 @@ applications (paper Sect. 1); persisting the five outputs — ``pi``,
 that workflow real. Arrays go into a compressed ``.npz``; config, trace
 and scalars ride along in a JSON sidecar entry inside the same file.
 
-Two artifact format versions exist:
+Three artifact format versions exist:
 
 * **v1** — the model outputs alone. Serving a v1 artifact requires
   reloading the original graph for the vocabulary and the per-user
   statistics.
-* **v2** (current) — *self-contained*: the archive optionally carries the
+* **v2** — *self-contained*: the archive optionally carries the
   :class:`~repro.graph.vocabulary.Vocabulary` and a graph summary (the
   per-user/per-document statistics plus the query inverted index built by
   :class:`repro.serving.GraphSummary`), so the serving layer
   (:class:`repro.serving.ProfileStore`) never touches the graph again.
+* **v3** (current) — v2 plus an optional *stream cursor*: how many
+  events/documents/links the streaming pipeline (:mod:`repro.stream`) had
+  folded into the model when the snapshot was taken, so an operator can
+  tell a stream snapshot from an offline fit and resume replay after it.
 
-The reader accepts both versions; :func:`load_artifact` exposes the extra
-v2 payloads, :func:`load_result` keeps the v1-era result-only signature.
+The reader accepts all versions; :func:`load_artifact` exposes the extra
+payloads, :func:`load_result` keeps the v1-era result-only signature.
 """
 
 from __future__ import annotations
@@ -39,8 +43,8 @@ from .result import CPDResult, IterationTrace
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _META_NAME = "cpd_meta.json"
 _VOCABULARY_NAME = "vocabulary.json"
 _SUMMARY_NAME = "graph_summary.json"
@@ -51,13 +55,16 @@ class CPDArtifact:
     """Everything stored in one ``.cpd.npz`` archive.
 
     ``vocabulary`` and ``graph_summary`` are ``None`` for v1 artifacts (and
-    for v2 artifacts saved without them); ``graph_summary`` is the raw JSON
+    for v2+ artifacts saved without them); ``graph_summary`` is the raw JSON
     mapping — :class:`repro.serving.GraphSummary` knows how to revive it.
+    ``stream_cursor`` is the raw v3 cursor mapping (``None`` for offline
+    fits) — :class:`repro.stream.StreamCursor` knows how to revive it.
     """
 
     result: CPDResult
     vocabulary: Optional[Vocabulary] = None
     graph_summary: Optional[dict] = None
+    stream_cursor: Optional[dict] = None
     format_version: int = _FORMAT_VERSION
 
     @property
@@ -71,15 +78,19 @@ def save_result(
     path: PathLike,
     vocabulary: Vocabulary | None = None,
     graph_summary: object | None = None,
+    stream_cursor: object | None = None,
 ) -> None:
     """Persist a fitted result to ``path`` (conventionally ``.cpd.npz``).
 
-    Always writes format v2. Pass ``vocabulary`` and ``graph_summary``
+    Always writes format v3. Pass ``vocabulary`` and ``graph_summary``
     (a mapping, or any object with a ``to_dict()`` — e.g.
     :class:`repro.serving.GraphSummary`) to make the artifact
-    self-contained for serving.
+    self-contained for serving; ``stream_cursor`` (a mapping or an object
+    with ``to_dict()``) marks a streaming snapshot.
     """
     path = Path(path)
+    if stream_cursor is not None and hasattr(stream_cursor, "to_dict"):
+        stream_cursor = stream_cursor.to_dict()
     meta = {
         "format_version": _FORMAT_VERSION,
         "graph_name": result.graph_name,
@@ -91,6 +102,8 @@ def save_result(
         },
         "trace": [asdict(entry) for entry in result.trace],
     }
+    if stream_cursor is not None:
+        meta["stream_cursor"] = stream_cursor
     arrays = {
         "pi": result.pi,
         "theta": result.theta,
@@ -116,8 +129,8 @@ def save_result(
 def load_artifact(path: PathLike) -> CPDArtifact:
     """Load a full artifact (result + optional serving payloads).
 
-    Accepts format versions 1 and 2; anything else raises ``ValueError``
-    naming the supported versions.
+    Accepts format versions 1 through 3; anything else raises
+    ``ValueError`` naming the supported versions.
     """
     path = Path(path)
     with zipfile.ZipFile(path, "r") as archive:
@@ -172,6 +185,7 @@ def load_artifact(path: PathLike) -> CPDArtifact:
         result=result,
         vocabulary=vocabulary,
         graph_summary=graph_summary,
+        stream_cursor=meta.get("stream_cursor"),
         format_version=int(version),
     )
 

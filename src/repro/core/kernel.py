@@ -62,6 +62,12 @@ class ReferenceKernel:
     def community_log_weights(self, doc_id: int, topic: int) -> np.ndarray:
         return self.sampler.reference_community_log_weights(doc_id, topic)
 
+    def append_documents(self, first_new_doc: int) -> None:
+        """No-op: the reference loops read the sampler's arrays directly."""
+
+    def rebuild_link_layout(self) -> None:
+        """No-op: the reference loops read the sampler's arrays directly."""
+
 
 class VectorizedKernel:
     """Array-native implementation of the Eq. 13 / Eq. 14 conditionals."""
@@ -164,10 +170,59 @@ class VectorizedKernel:
 
         # which documents have a self-link (the one way the document being
         # resampled can appear as its own "other endpoint")
-        doc_self_link = np.zeros(sampler.graph.n_documents, dtype=bool)
+        doc_self_link = np.zeros(sampler.state.n_docs, dtype=bool)
         doc_self_link[sampler.e_src[sampler.e_src == sampler.e_tgt]] = True
         self._doc_self_link = doc_self_link.tolist()
 
+    # ------------------------------------------------------- streaming appends
+
+    def append_documents(self, first_new_doc: int) -> None:
+        """Extend the word layout with documents appended to the sampler.
+
+        The streaming update-in-place path: only the new documents'
+        (word, count) rows are split and appended — existing layout entries
+        are untouched — and the doc-indexed link bookkeeping is re-pointed
+        at the sampler's extended CSR arrays (the new documents have no
+        incident links yet).
+        """
+        sampler = self.sampler
+        single_rows: list[np.ndarray] = []
+        multi_rows: list[np.ndarray] = []
+        multi_count_rows: list[np.ndarray] = []
+        for words, counts in sampler._doc_unique[first_new_doc:]:
+            words = np.asarray(words, dtype=np.int64)
+            counts = np.asarray(counts, dtype=np.int64)
+            once = counts == 1
+            single_rows.append(words[once])
+            multi_rows.append(words[~once])
+            multi_count_rows.append(counts[~once])
+            self._ws_indptr.append(self._ws_indptr[-1] + int(once.sum()))
+            self._wm_indptr.append(self._wm_indptr[-1] + len(words) - int(once.sum()))
+            self._doc_self_link.append(False)
+        self.ws_words = np.concatenate([self.ws_words, *single_rows])
+        self.wm_words = np.concatenate([self.wm_words, *multi_rows])
+        self.wm_counts = np.concatenate(
+            [self.wm_counts, *(row.astype(np.float64) for row in multi_count_rows)]
+        )
+        self.ws_indptr = np.asarray(self._ws_indptr, dtype=np.int64)
+        self.wm_indptr = np.asarray(self._wm_indptr, dtype=np.int64)
+        self._doc_lengths = sampler._doc_lengths.astype(np.float64).tolist()
+        self._doc_user = sampler._doc_user.tolist()
+        self._d_indptr = sampler.d_csr_indptr.tolist()
+        self._dout_indptr = sampler.dout_csr_indptr.tolist()
+
+    def rebuild_link_layout(self) -> None:
+        """Re-derive the link layout after the sampler appended links.
+
+        The CSR order changes wholesale, so the static per-link arrays are
+        rebuilt and every CSR-ordered per-iteration cache is invalidated
+        (their identity keys would otherwise miss the reorder).
+        """
+        self._build_link_layout(self.sampler)
+        self._eta_source = None
+        self._nu_source = None
+        self._lambdas_source = None
+        self._deltas_source = None
 
     def _refresh_caches(self) -> None:
         """Re-derive per-iteration link arrays when their source changes.

@@ -187,6 +187,100 @@ class CPDState:
             self._theta_dirty.update(communities.tolist())
         return old_communities, old_topics
 
+    def append_documents(
+        self, doc_words: list[np.ndarray], doc_users: np.ndarray
+    ) -> np.ndarray:
+        """Grow the state with appended (initially unassigned) documents.
+
+        The streaming update-in-place path (DESIGN.md §6): count matrices
+        keep their shapes — only the per-document arrays grow — so a
+        warm-started sampler keeps every existing assignment and cache.
+        Word ids must already be encoded against the fitted vocabulary and
+        users must be known to the state. Returns the new document ids.
+        """
+        arrays = [np.asarray(words, dtype=np.int64) for words in doc_words]
+        doc_users = np.asarray(doc_users, dtype=np.int64)
+        n_new = len(arrays)
+        if doc_users.shape != (n_new,):
+            raise ValueError("doc_users must align with doc_words")
+        if n_new == 0:
+            return np.zeros(0, dtype=np.int64)
+        if np.any(doc_users < 0) or np.any(doc_users >= self.n_users):
+            raise ValueError("appended documents reference unknown users")
+        for words in arrays:
+            if len(words) and (words.min() < 0 or words.max() >= self.n_words):
+                raise ValueError("appended documents contain out-of-vocabulary word ids")
+
+        first = self.n_docs
+        new_ids = np.arange(first, first + n_new, dtype=np.int64)
+        self.n_docs += n_new
+        self.doc_topic = np.concatenate(
+            [self.doc_topic, np.full(n_new, -1, dtype=np.int64)]
+        )
+        self.doc_community = np.concatenate(
+            [self.doc_community, np.full(n_new, -1, dtype=np.int64)]
+        )
+        self._doc_user = np.concatenate([self._doc_user, doc_users])
+        new_lengths = np.asarray([len(words) for words in arrays], dtype=np.int64)
+        self._doc_word_lengths = np.concatenate([self._doc_word_lengths, new_lengths])
+        self._word_indptr = counts_to_indptr(self._doc_word_lengths)
+        self._all_words = np.concatenate([self._all_words, *arrays])
+        # re-point every per-doc view at the new buffer — views into the
+        # pre-append generation would pin it alive, growing retained memory
+        # quadratically over a long stream of appends
+        self._doc_words = [
+            self._all_words[self._word_indptr[doc_id] : self._word_indptr[doc_id + 1]]
+            for doc_id in range(self.n_docs)
+        ]
+        for words in arrays:
+            unique, counts = np.unique(words, return_counts=True)
+            self._doc_unique_words.append(unique)
+            self._doc_unique_counts.append(counts.astype(np.float64))
+        self.n_unassigned += n_new
+        return new_ids
+
+    def assign_many(
+        self, doc_ids: np.ndarray, communities: np.ndarray, topics: np.ndarray
+    ) -> None:
+        """Assign many currently-unassigned documents with batched scatters.
+
+        Counts only — sampler callers must go through
+        :meth:`CPDSampler.assign_documents`, which also keeps the
+        popularity table ``n_tz`` in sync.
+        """
+        doc_ids = np.asarray(doc_ids, dtype=np.int64)
+        communities = np.asarray(communities, dtype=np.int64)
+        topics = np.asarray(topics, dtype=np.int64)
+        if len(doc_ids) == 0:
+            return
+        if len(np.unique(doc_ids)) != len(doc_ids):
+            raise ValueError("assign_many requires unique document ids")
+        if np.any(self.doc_topic[doc_ids] != -1):
+            raise ValueError("assign_many requires currently-unassigned documents")
+        if np.any(communities < 0) or np.any(communities >= self.n_communities):
+            raise ValueError("community ids out of range")
+        if np.any(topics < 0) or np.any(topics >= self.n_topics):
+            raise ValueError("topic ids out of range")
+
+        users = self._doc_user[doc_ids]
+        np.add.at(self.user_community, (users, communities), 1.0)
+        np.add.at(self.user_totals, users, 1.0)
+        np.add.at(self.community_topic, (communities, topics), 1.0)
+        np.add.at(self.community_totals, communities, 1.0)
+        lengths = self._doc_word_lengths[doc_ids]
+        occurrences = self._occurrence_indices(doc_ids)
+        if len(occurrences):
+            words = self._all_words[occurrences]
+            np.add.at(self.topic_word, (np.repeat(topics, lengths), words), 1.0)
+        np.add.at(self.topic_totals, topics, lengths.astype(np.float64))
+        self.doc_community[doc_ids] = communities
+        self.doc_topic[doc_ids] = topics
+        self.n_unassigned -= len(doc_ids)
+        if self._pi_cache is not None:
+            self._pi_dirty.update(users.tolist())
+        if self._theta_cache is not None:
+            self._theta_dirty.update(communities.tolist())
+
     def _occurrence_indices(self, doc_ids: np.ndarray) -> np.ndarray:
         """Flat indices into ``_all_words`` for the given documents' words."""
         starts = self._word_indptr[doc_ids]

@@ -9,7 +9,7 @@ its indexes and recomputed scores from scratch on each call.
 ``ProfileStore`` is the one read-path object (the facade pattern of the
 service-decomposition exemplars in SNIPPETS.md): it wraps a fitted
 :class:`~repro.core.result.CPDResult` together with the serving payloads of
-a self-contained v2 artifact (:mod:`repro.core.io`) — the
+a self-contained artifact (v2+, :mod:`repro.core.io`) — the
 :class:`~repro.graph.vocabulary.Vocabulary` and a
 :class:`~repro.serving.summary.GraphSummary` — and memoises every derived
 index the applications consume:
@@ -137,9 +137,9 @@ class ProfileStore:
     ) -> "ProfileStore":
         """Open a saved artifact for serving — no graph access, ever.
 
-        Requires a self-contained v2 artifact for the full API; a v1 (or
-        payload-free v2) artifact still serves the pure profile queries but
-        raises on vocabulary- or summary-dependent calls.
+        Requires a self-contained artifact (v2+) for the full API; a v1
+        (or payload-free) artifact still serves the pure profile queries
+        but raises on vocabulary- or summary-dependent calls.
         """
         artifact = load_artifact(path)
         return cls.from_artifact_bundle(artifact, query_cache_size=query_cache_size)
@@ -162,10 +162,82 @@ class ProfileStore:
         )
 
     def save(self, path: PathLike) -> None:
-        """Persist as a self-contained v2 artifact (vocabulary + summary)."""
+        """Persist as a self-contained artifact (vocabulary + summary)."""
         save_result(
             self.result, path, vocabulary=self.vocabulary, graph_summary=self.summary
         )
+
+    # --------------------------------------------------------------- hot swap
+
+    def invalidate(self) -> None:
+        """Reset the Eq. 19 LRU cache and every memoised index in place.
+
+        The hot-swap primitive: after the wrapped result (or summary)
+        changes, all derived indexes — top-k/membership, labels, log-phi,
+        flattened eta, popularity, query index, feature provider — must be
+        rebuilt lazily from the new data. The store object itself survives,
+        so long-lived references keep serving; the cumulative hit/miss
+        counters are preserved for monitoring continuity.
+        """
+        self._rank_cache.clear()
+        self._top_communities.clear()
+        self._members.clear()
+        self._labels.clear()
+        self._diffusion_slices.clear()
+        self._log_phi = None
+        self._eta_flat = None
+        self._aggregated_eta = None
+        self._query_index = None
+        self._popularity = None
+        self._pop_matrix = None
+        self._user_features = None
+        self._doc_user_cache = None
+        self._doc_time_cache = None
+
+    def hot_swap(
+        self,
+        result: CPDResult,
+        summary: GraphSummary | None = None,
+        vocabulary: Vocabulary | None = None,
+    ) -> None:
+        """Swap in a newer fitted result without rebuilding the store.
+
+        The streaming pipeline (:mod:`repro.stream`) snapshots an
+        incrementally-maintained model and calls this on the live store:
+        the wrapped result (and optionally the summary/vocabulary) is
+        replaced and every memoised index invalidated, so subsequent
+        queries serve the new profiles. Dimensions are validated against
+        whatever payloads the store keeps. Like the rest of the store
+        (including its LRU cache), this assumes one thread: a concurrent
+        reader could observe the new result with not-yet-invalidated
+        indexes — serialise swaps against queries externally.
+        """
+        vocabulary = vocabulary if vocabulary is not None else self.vocabulary
+        if vocabulary is not None and result.n_words != len(vocabulary):
+            raise ValueError(
+                f"result has {result.n_words} words but the vocabulary has "
+                f"{len(vocabulary)} — refusing to hot-swap a mismatched model"
+            )
+        summary = summary if summary is not None else self._summary
+        if summary is not None and summary.n_documents != len(result.doc_topic):
+            raise ValueError(
+                f"summary covers {summary.n_documents} documents but the result "
+                f"assigns {len(result.doc_topic)} — pass the matching summary"
+            )
+        if (
+            summary is None
+            and self.graph is not None
+            and self.graph.n_documents != len(result.doc_topic)
+        ):
+            raise ValueError(
+                f"the store's live graph covers {self.graph.n_documents} documents "
+                f"but the result assigns {len(result.doc_topic)} — pass the "
+                "extended summary (it replaces the stale graph's document maps)"
+            )
+        self.result = result
+        self.vocabulary = vocabulary
+        self._summary = summary
+        self.invalidate()
 
     # ------------------------------------------------------------- dimensions
 
@@ -191,8 +263,8 @@ class ProfileStore:
         if self._summary is None:
             if self.graph is None:
                 raise RuntimeError(
-                    "this store has no graph summary — refit and save a v2 "
-                    "artifact (repro fit), or attach the graph"
+                    "this store has no graph summary — refit and save a "
+                    "self-contained artifact (repro fit), or attach the graph"
                 )
             self._summary = GraphSummary.from_graph(self.graph)
         return self._summary
@@ -209,8 +281,8 @@ class ProfileStore:
     def _require_vocabulary(self) -> Vocabulary:
         if self.vocabulary is None:
             raise RuntimeError(
-                "this store has no vocabulary — refit and save a v2 artifact "
-                "(repro fit), or construct the store with the graph"
+                "this store has no vocabulary — refit and save a self-contained "
+                "artifact (repro fit), or construct the store with the graph"
             )
         return self.vocabulary
 

@@ -1,0 +1,143 @@
+"""Snapshotter: compact warm stream state into artifacts and hot-swap stores.
+
+Closes the streaming loop: the refresher's warm count state is compacted
+into an immutable :class:`~repro.core.result.CPDResult`, paired with a
+graph summary *extended over the streamed documents and links* (the base
+summary's per-user counts and doc→user/time maps are brought up to date;
+the query inverted index is carried over as indexed at fit time), stamped
+with a :class:`StreamCursor`, and either written as a self-contained v3
+artifact (:mod:`repro.core.io`) or swapped into a live
+:class:`~repro.serving.ProfileStore` via
+:meth:`~repro.serving.ProfileStore.hot_swap` — the store object survives
+the swap and the next queries serve the refreshed profiles (swaps and
+queries share the store's single-thread assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..core.io import PathLike, save_result
+from ..core.result import CPDResult
+from ..graph.vocabulary import Vocabulary
+from ..serving.store import ProfileStore
+from ..serving.summary import GraphSummary
+from .refresh import IncrementalRefresher
+
+
+@dataclass(frozen=True)
+class StreamCursor:
+    """How far into the stream a snapshot was taken (v3 artifact metadata)."""
+
+    documents_appended: int
+    links_appended: int
+    refreshes: int
+    last_timestamp: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamCursor":
+        return cls(
+            documents_appended=int(payload["documents_appended"]),
+            links_appended=int(payload["links_appended"]),
+            refreshes=int(payload["refreshes"]),
+            last_timestamp=int(payload["last_timestamp"]),
+        )
+
+    @classmethod
+    def from_refresher(cls, refresher: IncrementalRefresher) -> "StreamCursor":
+        return cls(
+            documents_appended=refresher.n_appended_documents,
+            links_appended=refresher.n_appended_links,
+            refreshes=refresher.n_refreshes,
+            last_timestamp=refresher.last_timestamp,
+        )
+
+
+def extend_summary(base: GraphSummary, refresher: IncrementalRefresher) -> GraphSummary:
+    """The base graph summary brought up to date with the streamed arrivals.
+
+    Sizes, doc→user/time maps and the per-user document/diffusion counts
+    are recomputed from the warm sampler's extended arrays; follower/
+    followee counts and the query inverted index carry over unchanged
+    (friendships do not stream, and query terms index the fitted
+    vocabulary, which is immutable — frequencies go stale-but-served until
+    the next offline fit).
+    """
+    sampler = refresher.sampler
+    n_users = base.n_users
+    doc_user = sampler._doc_user.copy()
+    return GraphSummary(
+        name=base.name,
+        n_users=n_users,
+        n_documents=sampler.state.n_docs,
+        n_words=base.n_words,
+        n_friendship_links=base.n_friendship_links,
+        n_diffusion_links=sampler.n_diff_links,
+        doc_user=doc_user,
+        doc_timestamp=sampler._doc_time.copy(),
+        followers=base.followers,
+        followees=base.followees,
+        diffusions_made=np.bincount(doc_user[sampler.e_src], minlength=n_users).astype(
+            np.int64
+        ),
+        diffusions_received=np.bincount(
+            doc_user[sampler.e_tgt], minlength=n_users
+        ).astype(np.int64),
+        docs_per_user=np.bincount(doc_user, minlength=n_users).astype(np.int64),
+        queries=list(base.queries),
+    )
+
+
+class Snapshotter:
+    """Compacts a refresher's warm state into servable snapshots."""
+
+    def __init__(
+        self,
+        refresher: IncrementalRefresher,
+        vocabulary: Vocabulary | None = None,
+        base_summary: GraphSummary | None = None,
+    ) -> None:
+        self.refresher = refresher
+        self.vocabulary = vocabulary
+        self.base_summary = base_summary
+        self.n_snapshots = 0
+
+    def snapshot(self) -> tuple[CPDResult, GraphSummary | None, StreamCursor]:
+        """Compact the current warm state (no IO)."""
+        result = self.refresher.snapshot_result()
+        summary = (
+            extend_summary(self.base_summary, self.refresher)
+            if self.base_summary is not None
+            else None
+        )
+        cursor = StreamCursor.from_refresher(self.refresher)
+        self.n_snapshots += 1
+        return result, summary, cursor
+
+    def save(self, path: PathLike) -> CPDResult:
+        """Write the current state as a self-contained v3 artifact."""
+        result, summary, cursor = self.snapshot()
+        save_result(
+            result,
+            path,
+            vocabulary=self.vocabulary,
+            graph_summary=summary,
+            stream_cursor=cursor,
+        )
+        return result
+
+    def hot_swap(self, store: ProfileStore) -> CPDResult:
+        """Swap the current state into a live store without rebuilding it.
+
+        The store object, its query-term index and its cache counters
+        survive; every result-derived index is invalidated and lazily
+        rebuilt from the snapshot on the next query.
+        """
+        result, summary, _cursor = self.snapshot()
+        store.hot_swap(result, summary=summary, vocabulary=self.vocabulary)
+        return result

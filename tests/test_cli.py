@@ -227,3 +227,87 @@ class TestVisualize:
 
         payload = json.loads(out.read_text())
         assert payload["topic"] == 0
+
+
+class TestInfo:
+    def test_prints_dims_and_payloads(self, workspace, capsys):
+        _root, _graph, model_path = workspace
+        assert main(["info", "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format version  : 3 (self-contained)" in out
+        assert "4 communities" in out and "8 topics" in out
+        assert "vocabulary      : embedded" in out
+        assert "graph summary   : embedded" in out
+        assert "stream cursor   : absent (offline fit)" in out
+
+    def test_reports_stream_cursor(self, workspace, capsys):
+        root, graph_path, _model = workspace
+        snapshot = root / "stream_snapshot.cpd.npz"
+        assert main([
+            "stream-replay", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "4", "--batch-size", "32",
+            "--refresh-every", "64", "--seed", "0", "--out", str(snapshot),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["info", "--model", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "stream cursor   :" in out
+        assert "refreshes" in out
+
+
+class TestStreamReplay:
+    def test_replay_writes_a_servable_snapshot(self, workspace, capsys):
+        root, graph_path, _model = workspace
+        snapshot = root / "replay_snapshot.cpd.npz"
+        assert main([
+            "stream-replay", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "4", "--batch-size", "32",
+            "--refresh-every", "64", "--seed", "1", "--out", str(snapshot),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "wrote v3 stream snapshot" in out
+        from repro.graph import load_graph
+        from repro.serving import ProfileStore
+
+        graph = load_graph(graph_path)
+        store = ProfileStore.from_artifact(snapshot)
+        assert len(store.doc_user()) == graph.n_documents
+
+    def test_foldin_only_mode_runs_frozen(self, workspace, capsys):
+        _root, graph_path, _model = workspace
+        assert main([
+            "stream-replay", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "4", "--no-refresh",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 refreshes" in out
+
+    def test_no_refresh_with_out_is_rejected(self, workspace, capsys):
+        root, graph_path, _model = workspace
+        snapshot = root / "never_written.cpd.npz"
+        assert main([
+            "stream-replay", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "4", "--no-refresh",
+            "--out", str(snapshot),
+        ]) == 1
+        assert "requires refresh mode" in capsys.readouterr().out
+        assert not snapshot.exists()
+
+
+class TestStreamBench:
+    def test_records_both_modes(self, workspace, capsys, tmp_path):
+        _root, graph_path, _model = workspace
+        payload_path = tmp_path / "stream_bench.json"
+        assert main([
+            "stream-bench", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "3", "--batch-size", "32",
+            "--refresh-every", "64", "--json", str(payload_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "foldin:" in out and "refresh:" in out
+        import json
+
+        payload = json.loads(payload_path.read_text())
+        assert payload["foldin_events_per_second"] > 0
+        assert payload["refresh_events_per_second"] > 0

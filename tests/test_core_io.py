@@ -109,7 +109,7 @@ class TestFormatVersions:
         assert artifact.graph_summary is None
         assert not artifact.self_contained
 
-    def test_v2_round_trip_with_payloads(self, fitted_cpd, twitter_tiny, tmp_path):
+    def test_round_trip_with_payloads(self, fitted_cpd, twitter_tiny, tmp_path):
         from repro.serving import GraphSummary
 
         graph, _ = twitter_tiny
@@ -119,18 +119,64 @@ class TestFormatVersions:
             fitted_cpd, path, vocabulary=graph.vocabulary, graph_summary=summary
         )
         artifact = load_artifact(path)
-        assert artifact.format_version == 2
+        assert artifact.format_version == 3
         assert artifact.self_contained
         assert len(artifact.vocabulary) == len(graph.vocabulary)
         assert artifact.vocabulary.word_of(0) == graph.vocabulary.word_of(0)
         revived = GraphSummary.from_dict(artifact.graph_summary)
         assert revived.stats() == graph.stats()
 
-    def test_v2_without_payloads_round_trips(self, fitted_cpd, tmp_path):
+    def test_without_payloads_round_trips(self, fitted_cpd, tmp_path):
         path = tmp_path / "bare.cpd.npz"
         save_result(fitted_cpd, path)
         artifact = load_artifact(path)
-        assert artifact.format_version == 2
+        assert artifact.format_version == 3
         assert artifact.vocabulary is None
         assert artifact.graph_summary is None
         np.testing.assert_allclose(artifact.result.theta, fitted_cpd.theta)
+
+    def test_v2_artifact_still_loads(self, fitted_cpd, tmp_path):
+        """The exact v2 layout (no stream cursor key) stays readable."""
+        current = tmp_path / "model.cpd.npz"
+        legacy = tmp_path / "v2.cpd.npz"
+        save_result(fitted_cpd, current)
+        with zipfile.ZipFile(current) as archive:
+            meta = json.loads(archive.read("cpd_meta.json"))
+            arrays = archive.read("arrays.npz")
+        meta["format_version"] = 2
+        meta.pop("stream_cursor", None)
+        with zipfile.ZipFile(legacy, "w") as archive:
+            archive.writestr("arrays.npz", arrays)
+            archive.writestr("cpd_meta.json", json.dumps(meta))
+        artifact = load_artifact(legacy)
+        assert artifact.format_version == 2
+        assert artifact.stream_cursor is None
+        np.testing.assert_allclose(artifact.result.pi, fitted_cpd.pi)
+
+    def test_stream_cursor_round_trips(self, fitted_cpd, tmp_path):
+        path = tmp_path / "stream.cpd.npz"
+        cursor = {
+            "documents_appended": 120,
+            "links_appended": 40,
+            "refreshes": 3,
+            "last_timestamp": 17,
+        }
+        save_result(fitted_cpd, path, stream_cursor=cursor)
+        artifact = load_artifact(path)
+        assert artifact.stream_cursor == cursor
+
+    def test_stream_cursor_accepts_to_dict_objects(self, fitted_cpd, tmp_path):
+        from repro.stream import StreamCursor
+
+        path = tmp_path / "stream.cpd.npz"
+        cursor = StreamCursor(
+            documents_appended=5, links_appended=2, refreshes=1, last_timestamp=9
+        )
+        save_result(fitted_cpd, path, stream_cursor=cursor)
+        revived = StreamCursor.from_dict(load_artifact(path).stream_cursor)
+        assert revived == cursor
+
+    def test_offline_fit_has_no_cursor(self, fitted_cpd, tmp_path):
+        path = tmp_path / "offline.cpd.npz"
+        save_result(fitted_cpd, path)
+        assert load_artifact(path).stream_cursor is None

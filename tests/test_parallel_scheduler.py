@@ -1,0 +1,166 @@
+"""Tests for workload estimation and segment scheduling (Sect. 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig
+from repro.core.gibbs import CPDSampler
+from repro.core.parameters import DiffusionParameters
+from repro.parallel.scheduler import (
+    WorkloadModel,
+    build_schedule,
+    measure_workload_model,
+)
+from repro.parallel.segmentation import DataSegment, segment_users_by_topic
+
+
+def _segment(segment_id, n_docs, n_friend, n_diff):
+    return DataSegment(
+        segment_id=segment_id,
+        users=np.arange(max(n_docs, 1)),
+        doc_ids=np.arange(n_docs),
+        n_friendship_links=n_friend,
+        n_diffusion_links=n_diff,
+    )
+
+
+class TestWorkloadModel:
+    def test_estimate_is_the_weighted_item_sum(self):
+        model = WorkloadModel(
+            seconds_per_document=2.0,
+            seconds_per_friendship_link=0.5,
+            seconds_per_diffusion_link=0.25,
+        )
+        segment = _segment(0, n_docs=10, n_friend=4, n_diff=8)
+        assert model.estimate_segment(segment) == pytest.approx(
+            10 * 2.0 + 4 * 0.5 + 8 * 0.25
+        )
+
+    def test_empty_segment_costs_nothing(self):
+        model = WorkloadModel(1.0, 1.0, 1.0)
+        assert model.estimate_segment(_segment(0, 0, 0, 0)) == 0.0
+
+    def test_estimate_is_additive_over_segments(self):
+        model = WorkloadModel(1.5, 0.2, 0.3)
+        a = _segment(0, 5, 2, 1)
+        b = _segment(1, 7, 0, 3)
+        combined = _segment(2, 12, 2, 4)
+        assert model.estimate_segment(a) + model.estimate_segment(b) == pytest.approx(
+            model.estimate_segment(combined)
+        )
+
+
+class TestMeasureWorkloadModel:
+    @pytest.fixture(scope="class")
+    def sampler(self, twitter_tiny, tiny_config):
+        graph, _ = twitter_tiny
+        params = DiffusionParameters.initial(
+            tiny_config.n_communities, tiny_config.n_topics
+        )
+        return CPDSampler(graph, tiny_config, params, rng=0)
+
+    def test_probe_yields_positive_costs(self, sampler):
+        model = measure_workload_model(sampler, probe_documents=20)
+        assert model.seconds_per_document > 0
+        assert model.seconds_per_friendship_link > 0  # tiny graph has F links
+        assert model.seconds_per_diffusion_link > 0  # ... and E links
+
+    def test_probe_larger_than_corpus_is_clamped(self, sampler):
+        model = measure_workload_model(sampler, probe_documents=10**6)
+        assert model.seconds_per_document > 0
+
+    def test_linkless_graph_reports_zero_link_costs(self, tiny_config):
+        from repro.graph.builder import SocialGraphBuilder
+
+        builder = SocialGraphBuilder()
+        user_ids = [builder.add_user(name=f"u{user}") for user in range(3)]
+        for user_id in user_ids:
+            builder.add_document(user_id, ["alpha", "beta", "gamma"], timestamp=0)
+        graph = builder.build()
+        params = DiffusionParameters.initial(
+            tiny_config.n_communities, tiny_config.n_topics
+        )
+        sampler = CPDSampler(graph, tiny_config, params, rng=0)
+        model = measure_workload_model(sampler, probe_documents=3)
+        assert model.seconds_per_friendship_link == 0.0
+        assert model.seconds_per_diffusion_link == 0.0
+
+
+class TestBuildSchedule:
+    def _model(self):
+        return WorkloadModel(
+            seconds_per_document=1.0,
+            seconds_per_friendship_link=0.1,
+            seconds_per_diffusion_link=0.1,
+        )
+
+    def _segments(self, sizes):
+        return [
+            _segment(index, n_docs, n_friend=0, n_diff=0)
+            for index, n_docs in enumerate(sizes)
+        ]
+
+    def test_every_segment_assigned_exactly_once(self):
+        segments = self._segments([5, 9, 2, 7, 4, 1])
+        schedule = build_schedule(segments, self._model(), n_workers=3)
+        assigned = sorted(
+            segment_id
+            for worker in schedule.allocation.assignments
+            for segment_id in worker
+        )
+        assert assigned == list(range(len(segments)))
+
+    def test_worker_loads_sum_to_total(self):
+        segments = self._segments([5, 9, 2, 7, 4, 1])
+        schedule = build_schedule(segments, self._model(), n_workers=3)
+        assert schedule.estimated_worker_seconds().sum() == pytest.approx(
+            schedule.segment_workloads.sum()
+        )
+
+    def test_balance_within_largest_segment(self):
+        """Max worker load can exceed the O/M share by at most one segment."""
+        sizes = [5, 9, 2, 7, 4, 1, 3, 8]
+        segments = self._segments(sizes)
+        schedule = build_schedule(segments, self._model(), n_workers=3)
+        loads = schedule.estimated_worker_seconds()
+        share = schedule.segment_workloads.sum() / 3
+        assert loads.max() <= share + max(sizes)
+
+    def test_equal_segments_balance_perfectly(self):
+        segments = self._segments([4] * 8)
+        schedule = build_schedule(segments, self._model(), n_workers=4)
+        loads = schedule.estimated_worker_seconds()
+        np.testing.assert_allclose(loads, np.full(4, 8.0))
+        assert schedule.allocation.imbalance() == pytest.approx(1.0)
+
+    def test_worker_doc_ids_concatenate_their_segments(self):
+        segments = self._segments([3, 2, 4])
+        schedule = build_schedule(segments, self._model(), n_workers=2)
+        for worker in range(schedule.n_workers):
+            expected = sum(
+                segments[s].n_documents
+                for s in schedule.allocation.assignments[worker]
+            )
+            assert len(schedule.worker_doc_ids(worker)) == expected
+
+    def test_more_workers_than_segments_leaves_idle_workers(self):
+        segments = self._segments([6, 6])
+        schedule = build_schedule(segments, self._model(), n_workers=5)
+        loads = schedule.estimated_worker_seconds()
+        assert (loads > 0).sum() == 2
+        assert loads.sum() == pytest.approx(12.0)
+
+    def test_empty_segment_list_raises(self):
+        with pytest.raises(ValueError):
+            build_schedule([], self._model(), n_workers=2)
+
+    def test_schedule_from_real_segmentation(self, twitter_tiny):
+        """The full Sect. 4.3 pipeline: LDA segmentation → schedule."""
+        graph, _ = twitter_tiny
+        segments = segment_users_by_topic(graph, n_segments=4, rng=0)
+        model = WorkloadModel(1e-4, 1e-6, 1e-6)
+        schedule = build_schedule(segments, model, n_workers=2)
+        covered = np.concatenate(
+            [schedule.worker_doc_ids(w) for w in range(schedule.n_workers)]
+        )
+        assert sorted(covered.tolist()) == list(range(graph.n_documents))

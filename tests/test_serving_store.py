@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import CommunityRanker
+from repro.core import CPDResult
 from repro.evaluation import select_queries
 from repro.serving import GraphSummary, ProfileStore, ensure_store
 
@@ -228,7 +229,7 @@ class TestEnsureStore:
 class TestMissingPayloads:
     def test_graphless_store_without_summary_raises(self, fitted_cpd):
         store = ProfileStore(fitted_cpd)
-        with pytest.raises(RuntimeError, match="v2 artifact"):
+        with pytest.raises(RuntimeError, match="self-contained artifact"):
             _ = store.summary
         with pytest.raises(RuntimeError, match="vocabulary"):
             store.labels()
@@ -243,3 +244,105 @@ class TestMissingPayloads:
         assert [query.term for query in clone.queries] == [
             query.term for query in summary.queries
         ]
+
+
+class TestInvalidateAndHotSwap:
+    @pytest.fixture()
+    def swap_store(self, fitted_cpd, twitter_tiny):
+        """A fresh store per test — these tests mutate it."""
+        graph, _ = twitter_tiny
+        return ProfileStore(
+            fitted_cpd,
+            vocabulary=graph.vocabulary,
+            summary=GraphSummary.from_graph(graph),
+        )
+
+    def test_invalidate_drops_memoised_indexes(self, swap_store):
+        top_before = swap_store.top_communities(2)
+        labels_before = swap_store.labels()
+        swap_store.invalidate()
+        assert swap_store.top_communities(2) is not top_before
+        assert swap_store.labels() is not labels_before
+        np.testing.assert_array_equal(swap_store.top_communities(2), top_before)
+
+    def test_invalidate_clears_the_rank_cache_but_keeps_counters(
+        self, swap_store, a_term
+    ):
+        swap_store.rank(a_term)
+        swap_store.rank(a_term)
+        before = swap_store.cache_info()
+        assert before["hits"] == 1 and before["size"] == 1
+        swap_store.invalidate()
+        after = swap_store.cache_info()
+        assert after["size"] == 0
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+        swap_store.rank(a_term)
+        assert swap_store.cache_info()["misses"] == before["misses"] + 1
+
+    def test_hot_swap_serves_the_new_result(self, swap_store, fitted_cpd, a_term):
+        old_ranking = swap_store.rank(a_term)
+        permuted = fitted_cpd.diffusion.copy()
+        permuted.eta = fitted_cpd.diffusion.eta[::-1, ::-1, :].copy()
+        swapped = CPDResult(
+            config=fitted_cpd.config,
+            pi=fitted_cpd.pi[:, ::-1].copy(),  # relabel communities end-to-end
+            theta=fitted_cpd.theta[::-1].copy(),
+            phi=fitted_cpd.phi,
+            diffusion=permuted,
+            doc_community=fitted_cpd.doc_community,
+            doc_topic=fitted_cpd.doc_topic,
+        )
+        swap_store.hot_swap(swapped)
+        assert swap_store.result is swapped
+        new_ranking = swap_store.rank(a_term)
+        # the permutation relabels communities; scores survive as a set
+        np.testing.assert_allclose(
+            sorted(score for _c, score in new_ranking),
+            sorted(score for _c, score in old_ranking),
+        )
+
+    def test_hot_swap_rejects_mismatched_vocabulary(self, swap_store, fitted_cpd):
+        shrunk = CPDResult(
+            config=fitted_cpd.config,
+            pi=fitted_cpd.pi,
+            theta=fitted_cpd.theta,
+            phi=fitted_cpd.phi[:, :-1].copy(),
+            diffusion=fitted_cpd.diffusion,
+            doc_community=fitted_cpd.doc_community,
+            doc_topic=fitted_cpd.doc_topic,
+        )
+        with pytest.raises(ValueError, match="vocabulary"):
+            swap_store.hot_swap(shrunk)
+
+    def test_hot_swap_rejects_mismatched_summary(self, swap_store, fitted_cpd):
+        grown = CPDResult(
+            config=fitted_cpd.config,
+            pi=fitted_cpd.pi,
+            theta=fitted_cpd.theta,
+            phi=fitted_cpd.phi,
+            diffusion=fitted_cpd.diffusion,
+            doc_community=np.concatenate([fitted_cpd.doc_community, [0]]),
+            doc_topic=np.concatenate([fitted_cpd.doc_topic, [0]]),
+        )
+        with pytest.raises(ValueError, match="summary"):
+            swap_store.hot_swap(grown)
+
+    def test_hot_swap_rejects_grown_result_on_summaryless_graph_store(
+        self, fitted_cpd, twitter_tiny
+    ):
+        """A from_fit store without a distilled summary must not accept a
+        result covering more documents than its live graph."""
+        graph, _ = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        grown = CPDResult(
+            config=fitted_cpd.config,
+            pi=fitted_cpd.pi,
+            theta=fitted_cpd.theta,
+            phi=fitted_cpd.phi,
+            diffusion=fitted_cpd.diffusion,
+            doc_community=np.concatenate([fitted_cpd.doc_community, [0]]),
+            doc_topic=np.concatenate([fitted_cpd.doc_topic, [0]]),
+        )
+        with pytest.raises(ValueError, match="extended summary"):
+            store.hot_swap(grown)
