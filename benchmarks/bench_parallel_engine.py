@@ -1,0 +1,189 @@
+"""Zero-copy parallel engine: bytes shipped per sweep and worker scaling.
+
+Two series on the Fig. 10(b) twitter scenario:
+
+1. **Per-sweep coordinator→worker payload.** The PR-3 runner re-pickled the
+   full sampler snapshot (assignments + augmentation variables) plus the
+   diffusion parameters once per worker on every sweep; the shared-memory
+   engine ships only a tiny pickled delta header per worker (state version,
+   RNG seed, optional dirty-doc subset). The legacy volume is reconstructed
+   exactly (pickling the same snapshot payloads the old runner built) and
+   compared against the live runner's measured header bytes. Contract:
+   >10x reduction.
+
+2. **E-step wall clock vs workers** — the Fig. 10(b) harness: one full
+   E-step (document sweep + augmentation draws, which the engine fuses
+   into the workers) serially and at 1/2/4 workers. Speedup contracts are
+   gated on the machine's core count; a single-core container reports
+   honest numbers (the paper's 4.5-5.7x needs 8 real cores).
+
+Results go to ``benchmarks/results/`` and — as the cross-PR perf
+trajectory record — to ``BENCH_parallel.json`` at the repository root.
+"""
+
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+
+from bench_support import contract, cpd_config, format_table, get_scenario, report
+from repro.core import DiffusionParameters
+from repro.core.gibbs import CPDSampler
+from repro.parallel import ParallelEStepRunner
+
+N_COMMUNITIES = 6
+WORKER_COUNTS = (1, 2, 4)
+MEASURE_SWEEPS = 2
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _fresh_sampler(graph, config) -> CPDSampler:
+    params = DiffusionParameters.initial(config.n_communities, config.n_topics)
+    return CPDSampler(graph, config, params, rng=0)
+
+
+def _legacy_payload_bytes(sampler: CPDSampler, runner: ParallelEStepRunner) -> int:
+    """Per-sweep bytes the PR-3 snapshot-pickle runner would ship.
+
+    Reconstructs the exact payload dicts the old ``pool.map`` path built:
+    one full snapshot + parameter set per worker, plus that worker's doc
+    ids and seed.
+    """
+    snapshot = sampler.export_snapshot()
+    params = sampler.params
+    total = 0
+    for worker in range(runner.n_workers):
+        payload = {
+            "snapshot": snapshot,
+            "params": {
+                "eta": params.eta,
+                "comm_weight": params.comm_weight,
+                "pop_weight": params.pop_weight,
+                "nu": params.nu,
+                "bias": params.bias,
+            },
+            "doc_ids": runner.schedule.worker_doc_ids(worker),
+            "seed": 1,
+            "worker": worker,
+        }
+        total += len(pickle.dumps(payload))
+    return total
+
+
+def _serial_estep_seconds(graph, config) -> float:
+    """One full E-step (sweep + PG draws), best of MEASURE_SWEEPS rounds."""
+    sampler = _fresh_sampler(graph, config)
+    sampler.sweep_documents()  # warm-up: caches, CSR layouts, allocator
+    best = float("inf")
+    for _ in range(MEASURE_SWEEPS):
+        started = time.perf_counter()
+        sampler.sweep_documents()
+        sampler.sample_lambdas()
+        sampler.sample_deltas()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _parallel_estep_seconds(graph, config, n_workers) -> tuple[float, float]:
+    """Best E-step seconds at ``n_workers`` plus mean header bytes/sweep.
+
+    The fused runner's ``__call__`` *is* the full E-step: workers draw the
+    augmentation variables and partial eta counts inside the sweep.
+    """
+    with ParallelEStepRunner(graph, config, n_workers=n_workers, rng=0) as runner:
+        sampler = _fresh_sampler(graph, config)
+        runner(sampler)  # warm-up (adopts state, primes workers)
+        best = float("inf")
+        for _ in range(MEASURE_SWEEPS):
+            started = time.perf_counter()
+            runner(sampler)
+            best = min(best, time.perf_counter() - started)
+        return best, runner.stats.payload_bytes_per_sweep()
+
+
+def _measure(graph, config) -> dict:
+    serial_seconds = _serial_estep_seconds(graph, config)
+    scaling = []
+    header_bytes = {}
+    for n_workers in WORKER_COUNTS:
+        seconds, bytes_per_sweep = _parallel_estep_seconds(graph, config, n_workers)
+        header_bytes[n_workers] = bytes_per_sweep
+        scaling.append([n_workers, seconds, serial_seconds / seconds])
+
+    # payload comparison at the widest measured worker count
+    reference_workers = WORKER_COUNTS[-1]
+    with ParallelEStepRunner(
+        graph, config, n_workers=reference_workers, rng=0
+    ) as runner:
+        sampler = _fresh_sampler(graph, config)
+        legacy = _legacy_payload_bytes(sampler, runner)
+    return {
+        "serial_seconds": serial_seconds,
+        "scaling": scaling,
+        "legacy_bytes": legacy,
+        "plane_bytes": header_bytes[reference_workers],
+        "reference_workers": reference_workers,
+    }
+
+
+def test_parallel_engine(benchmark):
+    graph, _ = get_scenario("twitter")
+    config = cpd_config(N_COMMUNITIES)
+    measured = benchmark.pedantic(_measure, args=(graph, config), rounds=1, iterations=1)
+    cores = os.cpu_count() or 1
+
+    reduction = measured["legacy_bytes"] / max(measured["plane_bytes"], 1.0)
+    payload_rows = [
+        ["snapshot-pickle (PR-3)", measured["legacy_bytes"]],
+        ["shared-memory delta headers", measured["plane_bytes"]],
+        ["reduction factor", reduction],
+    ]
+    report(
+        "parallel_payload",
+        format_table(
+            f"Coordinator->worker bytes per sweep "
+            f"({measured['reference_workers']} workers, twitter)",
+            ["path", "bytes/sweep"],
+            payload_rows,
+        ),
+    )
+    report(
+        "parallel_scaling",
+        format_table(
+            f"Fig. 10(b) E-step wall clock (twitter, machine has {cores} cores)",
+            ["workers", "seconds/E-step", "speedup vs serial"],
+            [["serial", measured["serial_seconds"], 1.0]] + measured["scaling"],
+        ),
+    )
+
+    speedups = {row[0]: row[2] for row in measured["scaling"]}
+    payload = {
+        "scenario": "twitter_fig10b",
+        "cores": cores,
+        "n_documents": graph.n_documents,
+        "n_friendship_links": graph.n_friendship_links,
+        "n_diffusion_links": graph.n_diffusion_links,
+        "legacy_payload_bytes_per_sweep": measured["legacy_bytes"],
+        "plane_payload_bytes_per_sweep": measured["plane_bytes"],
+        "payload_reduction_factor": reduction,
+        "serial_estep_seconds": measured["serial_seconds"],
+        "parallel_estep_seconds": {
+            str(row[0]): row[1] for row in measured["scaling"]
+        },
+        "speedup_vs_serial": {str(w): s for w, s in speedups.items()},
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    contract(reduction > 10.0, f"payload reduction {reduction:.0f}x must exceed 10x")
+    if cores >= 2:
+        contract(
+            max(speedups.values()) > 1.0,
+            "with real cores some worker count must beat serial",
+        )
+    if cores >= 4:
+        contract(
+            speedups.get(4, 0.0) >= 1.5,
+            "ISSUE 4 acceptance: >=1.5x E-step speedup at 4 workers",
+        )

@@ -46,7 +46,7 @@ from .apps import (
     to_json,
 )
 from .apps.report import build_report
-from .core import CPDConfig, CPDModel, load_artifact, save_result
+from .core import CPDConfig, CPDModel, FitOptions, load_artifact, save_result
 from .datasets import dblp_scenario, twitter_scenario
 from .evaluation import (
     average_conductance,
@@ -55,6 +55,7 @@ from .evaluation import (
     friendship_auc_folds,
 )
 from .graph import load_graph, save_graph
+from .parallel import ParallelEStepRunner
 from .serving import GraphSummary, ProfileStore
 from .stream import (
     IncrementalRefresher,
@@ -85,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--alpha", type=float, default=0.5)
     fit.add_argument("--rho", type=float, default=0.5)
     fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel E-step worker processes over a shared-memory state "
+        "plane (0 = serial sweep)",
+    )
     fit.add_argument("--out", required=True, help="output path (.cpd.npz)")
 
     evaluate = commands.add_parser("evaluate", help="score a fitted model")
@@ -149,6 +155,11 @@ def _build_parser() -> argparse.ArgumentParser:
             help="events between incremental refreshes",
         )
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--workers", type=int, default=0,
+            help="parallel E-step workers for the base fit and the "
+            "incremental refreshes (0 = serial)",
+        )
 
     replay = commands.add_parser(
         "stream-replay",
@@ -165,6 +176,20 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_stream_args(sbench)
     sbench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
     return parser
+
+
+def _parallel_options(graph, config, workers: int, seed: int):
+    """``(runner, FitOptions)`` for one fit; runner is ``None`` when serial.
+
+    The single place the CLI builds the shared-memory runner, so every
+    command shares one lifecycle convention: callers must ``close()`` the
+    returned runner (it stays open across the fit because the streaming
+    commands reuse its warm workers for incremental refreshes).
+    """
+    if not workers:
+        return None, FitOptions()
+    runner = ParallelEStepRunner(graph, config, n_workers=workers, rng=seed)
+    return runner, FitOptions(document_sweeper=runner)
 
 
 def _load_store(model_path: str, graph_path: str | None, out) -> ProfileStore | None:
@@ -216,7 +241,21 @@ def run_fit(args, out=None) -> int:
         alpha=args.alpha,
         rho=args.rho,
     )
-    result = CPDModel(config, rng=args.seed).fit(graph)
+    runner, options = _parallel_options(
+        graph, config, getattr(args, "workers", 0), args.seed
+    )
+    try:
+        if runner is not None:
+            print(
+                f"parallel E-step: {runner.n_workers} workers, "
+                f"{len(runner.segments)} segments, "
+                f"imbalance {runner.schedule.allocation.imbalance():.2f}",
+                file=out,
+            )
+        result = CPDModel(config, rng=args.seed).fit(graph, options)
+    finally:
+        if runner is not None:
+            runner.close()
     save_result(
         result,
         args.out,
@@ -429,7 +468,12 @@ def run_info(args, out=None) -> int:
 
 
 def _replay_setup(args):
-    """Split the graph, fit the base model, build the streaming pipeline."""
+    """Split the graph, fit the base model, build the streaming pipeline.
+
+    With ``--workers`` the base fit runs over a shared-memory parallel
+    runner, which is returned (still open) so the incremental refreshes can
+    reuse its warm workers; callers must ``close()`` it.
+    """
     graph = load_graph(args.graph)
     plan = split_for_replay(graph, warm_fraction=args.warm_fraction)
     config = CPDConfig(
@@ -437,15 +481,25 @@ def _replay_setup(args):
         n_topics=args.topics,
         n_iterations=args.iterations,
     )
-    base_fit = CPDModel(config, rng=args.seed).fit(plan.base_graph)
-    store = ProfileStore.from_fit(base_fit, plan.base_graph)
-    return plan, base_fit, store
+    runner, options = _parallel_options(
+        plan.base_graph, config, getattr(args, "workers", 0), args.seed
+    )
+    try:
+        base_fit = CPDModel(config, rng=args.seed).fit(plan.base_graph, options)
+        store = ProfileStore.from_fit(base_fit, plan.base_graph)
+    except Exception:
+        if runner is not None:
+            runner.close()
+        raise
+    return plan, base_fit, store, runner
 
 
-def _drive_replay(plan, base_fit, store, args, with_refresh: bool):
+def _drive_replay(plan, base_fit, store, args, with_refresh: bool, runner=None):
     """Stream the plan's events through an ingestor; returns it with timing."""
     refresher = (
-        IncrementalRefresher(plan.base_graph, base_fit, rng=args.seed + 1)
+        IncrementalRefresher(
+            plan.base_graph, base_fit, rng=args.seed + 1, document_sweeper=runner
+        )
         if with_refresh
         else None
     )
@@ -473,16 +527,20 @@ def run_stream_replay(args, out=None) -> int:
             file=out,
         )
         return 1
-    plan, base_fit, store = _replay_setup(args)
+    plan, base_fit, store, runner = _replay_setup(args)
     print(
         f"base fit: {plan.base_graph!r}\n"
         f"replaying {len(plan.events)} events "
         f"({plan.n_document_events} documents, {plan.n_link_events} links)",
         file=out,
     )
-    ingestor, refresher, seconds = _drive_replay(
-        plan, base_fit, store, args, with_refresh=not args.no_refresh
-    )
+    try:
+        ingestor, refresher, seconds = _drive_replay(
+            plan, base_fit, store, args, with_refresh=not args.no_refresh, runner=runner
+        )
+    finally:
+        if runner is not None:
+            runner.close()
     stats = ingestor.stats()
     print(
         f"ingested {stats['events']} events in {seconds:.2f}s "
@@ -514,10 +572,14 @@ def run_stream_bench(args, out=None) -> int:
     out = out or sys.stdout
     modes = {}
     for mode in ("foldin", "refresh"):
-        plan, base_fit, store = _replay_setup(args)
-        ingestor, _refresher, seconds = _drive_replay(
-            plan, base_fit, store, args, with_refresh=(mode == "refresh")
-        )
+        plan, base_fit, store, runner = _replay_setup(args)
+        try:
+            ingestor, _refresher, seconds = _drive_replay(
+                plan, base_fit, store, args, with_refresh=(mode == "refresh"), runner=runner
+            )
+        finally:
+            if runner is not None:
+                runner.close()
         reports = ingestor.refresh_reports
         modes[mode] = {
             "seconds": seconds,

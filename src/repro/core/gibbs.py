@@ -38,6 +38,7 @@ from ..sampling.polya_gamma import log_psi, sample_pg_array
 from ..sampling.rng import RngLike, ensure_rng
 from .config import CPDConfig
 from .kernel import make_kernel
+from .layout import CorpusLayout
 from .parameters import DiffusionParameters
 from .result import CPDResult
 from .state import CPDState, counts_to_indptr
@@ -48,27 +49,39 @@ class CPDSampler:
 
     def __init__(
         self,
-        graph: SocialGraph,
+        graph: SocialGraph | None,
         config: CPDConfig,
         params: DiffusionParameters,
         rng: RngLike = None,
         fixed_communities: np.ndarray | None = None,
         initialize_assignments: bool = True,
+        layout: CorpusLayout | None = None,
     ) -> None:
+        if graph is None and layout is None:
+            raise ValueError("need a graph or a corpus layout")
         self.graph = graph
         self.config = config
         self.params = params
         self.rng = ensure_rng(rng)
+        self.corpus_layout = layout
         self.fixed_communities = (
             None if fixed_communities is None else np.asarray(fixed_communities, dtype=np.int64)
         )
 
-        self.state = CPDState(graph, config)
+        if layout is not None:
+            # zero-copy path: every immutable array is a view over the
+            # (possibly shared-memory) layout — no graph traversal at all
+            self.state = CPDState.from_layout(layout, config)
+            self._doc_user = layout.doc_user
+            self._doc_time = layout.doc_time
+        else:
+            self.state = CPDState(graph, config)
+            self._doc_user = np.asarray(graph.document_user_array(), dtype=np.int64)
+            self._doc_time = np.asarray(
+                [doc.timestamp for doc in graph.documents], dtype=np.int64
+            )
         if initialize_assignments:
             self.state.random_init(self.rng, fixed_communities=self.fixed_communities)
-
-        self._doc_user = np.asarray(graph.document_user_array(), dtype=np.int64)
-        self._doc_time = np.asarray([doc.timestamp for doc in graph.documents], dtype=np.int64)
         self._doc_time_ints = self._doc_time.tolist()
         # per-doc (unique words, multiplicities) and lengths — computed once
         # by CPDState
@@ -94,8 +107,34 @@ class CPDSampler:
         ``f_csr_*``: for each user, the friendship links they touch (both
         endpoints). ``d_csr_*``: for each document, the diffusion links it
         touches (both endpoints, with the direction flag). ``dout_csr_*``:
-        outgoing diffusion links only, for the topic conditional.
+        outgoing diffusion links only, for the topic conditional. When a
+        :class:`CorpusLayout` was supplied all of these attach as views.
         """
+        layout = self.corpus_layout
+        if layout is not None:
+            self.n_friend_links = layout.n_friend_links
+            self.f_src = layout.f_src
+            self.f_tgt = layout.f_tgt
+            self.f_csr_indptr = layout.f_csr_indptr
+            self.f_csr_neighbor = layout.f_csr_neighbor
+            self.f_csr_link = layout.f_csr_link
+            self.n_diff_links = layout.n_diff_links
+            self.e_src = layout.e_src
+            self.e_tgt = layout.e_tgt
+            self.e_time = layout.e_time
+            self.d_csr_indptr = layout.d_csr_indptr
+            self.d_csr_link = layout.d_csr_link
+            self.d_csr_other = layout.d_csr_other
+            self.d_csr_is_source = layout.d_csr_is_source
+            self.dout_csr_indptr = layout.dout_csr_indptr
+            self.dout_csr_link = layout.dout_csr_link
+            self.dout_csr_target = layout.dout_csr_target
+            self.user_features = (
+                UserFeatures(self.graph) if self.graph is not None else None
+            )
+            self.e_features = layout.e_features
+            return
+
         graph = self.graph
         self.n_friend_links = graph.n_friendship_links
         self.f_src = np.asarray([l.source for l in graph.friendship_links], dtype=np.int64)
@@ -250,6 +289,8 @@ class CPDSampler:
         popularity table are extended in place — no cold rebuild. Returns
         the new document ids.
         """
+        if self.corpus_layout is not None:
+            raise RuntimeError("cannot append to a sampler attached to a shared corpus layout")
         users = np.asarray(users, dtype=np.int64)
         timestamps = np.asarray(timestamps, dtype=np.int64)
         if timestamps.shape != users.shape:
@@ -326,6 +367,8 @@ class CPDSampler:
         edge lists; augmentation variables for the new links start at the
         PG(1, 0) mean, matching cold initialisation.
         """
+        if self.corpus_layout is not None:
+            raise RuntimeError("cannot append to a sampler attached to a shared corpus layout")
         source_docs = np.asarray(source_docs, dtype=np.int64)
         target_docs = np.asarray(target_docs, dtype=np.int64)
         timestamps = np.asarray(timestamps, dtype=np.int64)
@@ -378,12 +421,10 @@ class CPDSampler:
         """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
         if doc_ids is None:
             ids = range(self.state.n_docs)  # includes stream-appended documents
-        elif isinstance(doc_ids, np.ndarray):
-            # plain ints are cheaper in the hot loop; copy=False keeps the
-            # int64 common case allocation-free
-            ids = doc_ids.astype(np.int64, copy=False).tolist()
         else:
-            ids = [int(doc_id) for doc_id in doc_ids]
+            # iterate the int64 array directly — no per-sweep list
+            # materialization; copy=False keeps the common case allocation-free
+            ids = np.asarray(doc_ids, dtype=np.int64)
         for doc_id in ids:
             self._resample_document(doc_id)
 
@@ -613,6 +654,10 @@ class CPDSampler:
             popularity_score = np.zeros(n)
 
         if features is None:
+            if self.user_features is None:
+                raise RuntimeError(
+                    "graph-free sampler cannot derive pair features; pass them explicitly"
+                )
             features = self.user_features.pair_features_batch(
                 self._doc_user[source_docs], self._doc_user[target_docs]
             )
@@ -628,22 +673,44 @@ class CPDSampler:
         """Eq. 15: ``lambda_uv ~ PG(1, pi_hat_u . pi_hat_v)`` for every F link."""
         if self.n_friend_links == 0 or not self.config.model_friendship:
             return
-        self.lambdas = sample_pg_array(
-            self.friendship_dots(), self.rng, n_terms=self.config.pg_terms
-        )
+        self.lambdas = self.draw_lambda_range(0, self.n_friend_links)
 
     def sample_deltas(self) -> None:
         """Eq. 16: ``delta_ij ~ PG(1, logit_ij)`` for every E link."""
         if self.n_diff_links == 0 or not self.config.model_diffusion:
             return
+        self.deltas = self.draw_delta_range(0, self.n_diff_links)
+
+    def draw_lambda_range(self, start: int, stop: int) -> np.ndarray:
+        """Fresh Eq. 15 draws for friendship links ``[start, stop)``.
+
+        The parallel runner fuses the per-link draws into the workers by
+        handing each a contiguous link range; the serial path is the full
+        range. Always one batched :func:`sample_pg_array` call.
+        """
+        pi = self.state.pi_hat_view()
+        dots = np.einsum(
+            "ij,ij->i", pi[self.f_src[start:stop]], pi[self.f_tgt[start:stop]]
+        )
+        return sample_pg_array(dots, self.rng, n_terms=self.config.pg_terms)
+
+    def draw_delta_range(self, start: int, stop: int) -> np.ndarray:
+        """Fresh Eq. 16 draws for diffusion links ``[start, stop)``."""
         if self.uses_similarity_diffusion:
             pi = self.state.pi_hat_view()
             logits = np.einsum(
-                "ij,ij->i", pi[self._doc_user[self.e_src]], pi[self._doc_user[self.e_tgt]]
+                "ij,ij->i",
+                pi[self._doc_user[self.e_src[start:stop]]],
+                pi[self._doc_user[self.e_tgt[start:stop]]],
             )
         else:
-            logits = self.diffusion_logits()
-        self.deltas = sample_pg_array(logits, self.rng, n_terms=self.config.pg_terms)
+            logits = self.diffusion_logits(
+                self.e_src[start:stop],
+                self.e_tgt[start:stop],
+                self.e_time[start:stop],
+                self.e_features[start:stop],
+            )
+        return sample_pg_array(logits, self.rng, n_terms=self.config.pg_terms)
 
     # ---------------------------------------------------------------- M-step
 
@@ -660,14 +727,32 @@ class CPDSampler:
             (cfg.n_communities, cfg.n_communities, cfg.n_topics), cfg.eta_smoothing
         )
         if self.n_diff_links:
+            self.eta_counts_range(0, self.n_diff_links, out=counts)
+        return counts / counts.sum()
+
+    def eta_counts_range(
+        self, start: int, stop: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Raw eta counts over diffusion links ``[start, stop)`` (no smoothing).
+
+        The scatter-add half of :meth:`aggregate_eta`, exposed per range so
+        parallel workers can each count their own link partition; the
+        coordinator sums the partial tables, smooths, and normalises.
+        """
+        cfg = self.config
+        if out is None:
+            out = np.zeros((cfg.n_communities, cfg.n_communities, cfg.n_topics))
+        if stop > start:
             state = self.state
+            src = self.e_src[start:stop]
+            tgt = self.e_tgt[start:stop]
             np.add.at(
-                counts,
+                out,
                 (
-                    state.doc_community[self.e_src],
-                    state.doc_community[self.e_tgt],
-                    state.doc_topic[self.e_src],
+                    state.doc_community[src],
+                    state.doc_community[tgt],
+                    state.doc_topic[src],
                 ),
                 1.0,
             )
-        return counts / counts.sum()
+        return out

@@ -32,7 +32,7 @@ import numpy as np
 from scipy.special import gammaln
 
 from ..sampling.categorical import draw_log_categorical, sample_log_categorical
-from .state import counts_to_indptr
+from .layout import split_word_multiplicity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .gibbs import CPDSampler
@@ -113,37 +113,31 @@ class VectorizedKernel:
 
         Words occurring once in a document (the dominant case in short
         social-media posts) go through a plain log-gather; repeated words
-        go through the two-``gammaln`` ascending-factorial form.
+        go through the two-``gammaln`` ascending-factorial form. When the
+        sampler was constructed from a shared :class:`~repro.core.layout.
+        CorpusLayout` the pre-split arrays are attached as views instead of
+        being recomputed (the zero-copy worker path).
         """
-        single_rows: list[np.ndarray] = []
-        multi_rows: list[np.ndarray] = []
-        multi_count_rows: list[np.ndarray] = []
-        single_lengths = np.zeros(len(sampler._doc_unique), dtype=np.int64)
-        multi_lengths = np.zeros(len(sampler._doc_unique), dtype=np.int64)
-        for doc_id, (words, counts) in enumerate(sampler._doc_unique):
-            words = np.asarray(words, dtype=np.int64)
-            counts = np.asarray(counts, dtype=np.int64)
-            once = counts == 1
-            single_rows.append(words[once])
-            multi_rows.append(words[~once])
-            multi_count_rows.append(counts[~once])
-            single_lengths[doc_id] = int(once.sum())
-            multi_lengths[doc_id] = len(words) - int(once.sum())
-
-        def concat(rows: list[np.ndarray]) -> np.ndarray:
-            return np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
-
-        self.ws_words = concat(single_rows)
-        self.wm_words = concat(multi_rows)
-        self.wm_counts = concat(multi_count_rows).astype(np.float64)
-        ws_indptr = counts_to_indptr(single_lengths)
-        wm_indptr = counts_to_indptr(multi_lengths)
-        self.ws_indptr = ws_indptr
-        self.wm_indptr = wm_indptr
+        layout = sampler.corpus_layout
+        if layout is not None:
+            split = {
+                "ws_words": layout.ws_words,
+                "ws_indptr": layout.ws_indptr,
+                "wm_words": layout.wm_words,
+                "wm_indptr": layout.wm_indptr,
+                "wm_counts": layout.wm_counts,
+            }
+        else:
+            split = split_word_multiplicity(sampler._doc_unique)
+        self.ws_words = split["ws_words"]
+        self.wm_words = split["wm_words"]
+        self.wm_counts = split["wm_counts"]
+        self.ws_indptr = split["ws_indptr"]
+        self.wm_indptr = split["wm_indptr"]
         # plain-int copies: python-int indexing is markedly cheaper on the
         # hot path than numpy scalar extraction
-        self._ws_indptr = ws_indptr.tolist()
-        self._wm_indptr = wm_indptr.tolist()
+        self._ws_indptr = self.ws_indptr.tolist()
+        self._wm_indptr = self.wm_indptr.tolist()
         self._doc_lengths = sampler._doc_lengths.astype(np.float64).tolist()
 
     def _build_link_layout(self, sampler: "CPDSampler") -> None:

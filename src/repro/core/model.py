@@ -59,29 +59,40 @@ class CPDModel:
             fixed_communities=options.fixed_communities,
         )
         trace: list[IterationTrace] = []
+        sweeper = options.document_sweeper
         for iteration in range(config.n_iterations):
             started = time.perf_counter()
             # E-step (Alg. 1 steps 3-10)
-            if options.document_sweeper is not None:
-                options.document_sweeper(sampler)
+            if sweeper is not None:
+                sweeper(sampler)
             else:
                 sampler.sweep_documents()
-            sampler.sample_lambdas()
-            sampler.sample_deltas()
+            if not getattr(sweeper, "fused_augmentation", False):
+                # a fused sweeper (the shared-memory parallel runner) already
+                # drew the per-link augmentation variables inside its workers
+                sampler.sample_lambdas()
+                sampler.sample_deltas()
             # M-step (Alg. 1 steps 11-14)
-            self._m_step(graph, sampler)
+            self._m_step(graph, sampler, sweeper)
             if options.record_trace:
                 trace.append(self._trace_entry(iteration, started, sampler))
         return self._build_result(graph, sampler, trace)
 
     # ----------------------------------------------------------------- M-step
 
-    def _m_step(self, graph: SocialGraph, sampler: CPDSampler) -> None:
+    def _m_step(
+        self, graph: SocialGraph, sampler: CPDSampler, sweeper: object | None = None
+    ) -> None:
         config = self.config
         if not (config.model_diffusion and graph.n_diffusion_links):
             return
         if sampler.uses_profile_diffusion:
-            sampler.params.eta = sampler.aggregate_eta()
+            eta = None
+            if getattr(sweeper, "fused_augmentation", False):
+                # workers counted their link partitions during the sweep; the
+                # coordinator only summed the partial tables
+                eta = sweeper.aggregated_eta()
+            sampler.params.eta = eta if eta is not None else sampler.aggregate_eta()
             self._fit_factor_weights(graph, sampler)
 
     def _fit_factor_weights(self, graph: SocialGraph, sampler: CPDSampler) -> None:

@@ -110,6 +110,38 @@ class TopicPopularity:
         self.decrement_many(timestamps, old_topics)
         self.increment_many(timestamps, new_topics)
 
+    def adopt_buffer(self, buffer: np.ndarray) -> None:
+        """Re-point the count table at a caller-provided (shared) buffer.
+
+        Current counts are copied in first, so adoption is invisible to
+        readers; incremental maintenance then mutates the buffer directly
+        (the shared-memory publish step of the parallel runner).
+        """
+        if buffer.shape != self._counts.shape or buffer.dtype != self._counts.dtype:
+            raise ValueError(
+                f"buffer has shape {buffer.shape}/{buffer.dtype}, "
+                f"table has {self._counts.shape}/{self._counts.dtype}"
+            )
+        np.copyto(buffer, self._counts)
+        self._counts = buffer
+        self._score_cache = None
+        self._dirty_rows.clear()
+
+    def load_counts(self, counts: np.ndarray) -> None:
+        """Overwrite the full count table in place (parallel-worker refresh).
+
+        One memcpy instead of replaying increments; the transformed-score
+        cache is dropped wholesale because every row may have changed.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.shape != self._counts.shape:
+            raise ValueError(
+                f"count table has shape {self._counts.shape}, got {counts.shape}"
+            )
+        np.copyto(self._counts, counts)
+        self._score_cache = None
+        self._dirty_rows.clear()
+
     # ---------------------------------------------------------------- lookups
 
     def count(self, timestamp: int, topic: int) -> float:

@@ -1,13 +1,16 @@
 """Parallel inference runtime (paper Sect. 4.3): segmentation, knapsack
-workload balancing, and the process-parallel E-step."""
+workload balancing, and the zero-copy process-parallel E-step over a
+shared-memory state plane."""
 
 from .knapsack import Allocation, allocate_segments, solve_knapsack
+from .plane import PlaneSpec, SharedStatePlane
 from .runner import ParallelEStepRunner, ParallelStats, SerialSweeper
 from .scheduler import (
     Schedule,
     WorkloadModel,
     build_schedule,
     measure_workload_model,
+    partition_ranges,
 )
 from .segmentation import DataSegment, build_segments, segment_users_by_topic
 
@@ -16,13 +19,16 @@ __all__ = [
     "DataSegment",
     "ParallelEStepRunner",
     "ParallelStats",
+    "PlaneSpec",
     "Schedule",
     "SerialSweeper",
+    "SharedStatePlane",
     "WorkloadModel",
     "allocate_segments",
     "build_schedule",
     "build_segments",
     "measure_workload_model",
+    "partition_ranges",
     "segment_users_by_topic",
     "solve_knapsack",
 ]

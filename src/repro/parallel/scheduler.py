@@ -68,6 +68,22 @@ def measure_workload_model(
     )
 
 
+def partition_ranges(n_items: int, n_workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges splitting ``n_items`` near-evenly.
+
+    Used for the fused per-link augmentation draws and partial eta counts:
+    each worker owns one contiguous slice of the link arrays, so its draws
+    land in a private region of the shared buffers. Sizes differ by at
+    most one and every item is covered exactly once.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    bounds = [(worker * n_items) // n_workers for worker in range(n_workers + 1)]
+    return [(bounds[w], bounds[w + 1]) for w in range(n_workers)]
+
+
 @dataclass
 class Schedule:
     """Segments bound to workers, with the loads used to balance them."""

@@ -137,11 +137,22 @@ def sample_pg1(z: float, rng: RngLike = None) -> float:
 
 
 def sample_pg(b: int, z: float, rng: RngLike = None) -> float:
-    """Exact draw from PG(b, z) for integer ``b`` as a sum of PG(1, z) draws."""
+    """Draw from PG(b, z) for integer ``b`` via one batched series draw.
+
+    A sum of ``b`` independent PG(1, z) variables is PG(b, z), and summing
+    the definitional series over the ``b`` draws turns its ``Gamma(1, 1)``
+    innovations into ``Gamma(b, 1)`` — so one vectorised
+    :func:`sample_pg_array` call with shape ``b`` replaces the former
+    Python-level ``sum(sample_pg1(...) for _ in range(b))`` generator.
+
+    Like every series draw this truncates the tail (mean-corrected, <0.2%
+    of the variance at the default 64 terms); callers needing exact draws
+    should sum :func:`sample_pg1` (Devroye) themselves.
+    """
     if b < 1 or int(b) != b:
         raise ValueError("b must be a positive integer")
     generator = ensure_rng(rng)
-    return float(sum(sample_pg1(z, generator) for _ in range(int(b))))
+    return float(sample_pg_array(np.array([z]), generator, b=int(b))[0])
 
 
 def _series_tail_mean(z: np.ndarray, n_terms: int) -> np.ndarray:
@@ -166,24 +177,28 @@ def sample_pg_array(
     z: np.ndarray,
     rng: RngLike = None,
     n_terms: int = 64,
+    b: int = 1,
 ) -> np.ndarray:
-    """Vectorised PG(1, z_i) draws via the truncated definitional series.
+    """Vectorised PG(b, z_i) draws via the truncated definitional series.
 
     Each draw is ``(1/(2 pi^2)) * sum_{k<=K} g_k / ((k-1/2)^2 + z^2/(4 pi^2))``
-    with ``g_k ~ Gamma(1, 1)``, plus the analytic expectation of the dropped
-    tail so the sampler stays unbiased in the mean. With ``K = 64`` the
-    tail holds under 0.2% of the variance, which is negligible against the
-    Monte-Carlo noise of a Gibbs sweep.
+    with ``g_k ~ Gamma(b, 1)`` (``b = 1`` — the augmentation-variable case —
+    by default), plus the analytic expectation of the dropped tail so the
+    sampler stays unbiased in the mean. With ``K = 64`` the tail holds under
+    0.2% of the variance, which is negligible against the Monte-Carlo noise
+    of a Gibbs sweep.
     """
     generator = ensure_rng(rng)
     z = np.atleast_1d(np.asarray(z, dtype=np.float64))
     if n_terms < 1:
         raise ValueError("n_terms must be at least 1")
+    if b < 1 or int(b) != b:
+        raise ValueError("b must be a positive integer")
     k = np.arange(1, n_terms + 1, dtype=np.float64)
     denom = (k - 0.5) ** 2 + (z[..., None] / (2.0 * math.pi)) ** 2
-    gammas = generator.standard_gamma(1.0, size=denom.shape)
+    gammas = generator.standard_gamma(float(b), size=denom.shape)
     draws = (gammas / denom).sum(axis=-1) / (2.0 * math.pi**2)
-    return draws + _series_tail_mean(z, n_terms)
+    return draws + b * _series_tail_mean(z, n_terms)
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:

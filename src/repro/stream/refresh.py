@@ -58,6 +58,7 @@ class IncrementalRefresher:
         rng: RngLike = None,
         n_sweeps: int = 2,
         update_eta: bool = True,
+        document_sweeper: object | None = None,
     ) -> None:
         if n_sweeps < 1:
             raise ValueError("n_sweeps must be at least 1")
@@ -65,6 +66,12 @@ class IncrementalRefresher:
         self.config = result.config
         self.n_sweeps = n_sweeps
         self.update_eta = update_eta
+        #: optional replacement for the dirty-set sweep — a callable taking
+        #: ``(sampler, doc_ids)``; the shared-memory parallel runner
+        #: (:class:`repro.parallel.ParallelEStepRunner`) plugs in here. A
+        #: sweeper with ``fused_augmentation`` also owns the per-link PG
+        #: draws and the eta aggregation.
+        self.document_sweeper = document_sweeper
         self.graph_name = graph.name
         self.n_base_documents = graph.n_documents
         self._dirty: set[int] = set()
@@ -151,12 +158,23 @@ class IncrementalRefresher:
         if np.any(sampler.state.doc_topic[doc_ids] < 0):
             raise RuntimeError("refresh requires every dirty document to be assigned")
         before = sampler.state.doc_community[doc_ids].copy()
-        for _ in range(self.n_sweeps):
-            sampler.sweep_documents(doc_ids)
-        sampler.sample_lambdas()
-        sampler.sample_deltas()
+        sweeper = self.document_sweeper
+        fused = getattr(sweeper, "fused_augmentation", False)
+        for index in range(self.n_sweeps):
+            if sweeper is None:
+                sampler.sweep_documents(doc_ids)
+            elif fused:
+                # fuse the O(F + E) link draws into the final sweep only —
+                # the serial path below also draws them once per refresh
+                sweeper(sampler, doc_ids, fuse=index == self.n_sweeps - 1)
+            else:
+                sweeper(sampler, doc_ids)
+        if not fused:
+            sampler.sample_lambdas()
+            sampler.sample_deltas()
         if self.update_eta and sampler.uses_profile_diffusion and sampler.n_diff_links:
-            sampler.params.eta = sampler.aggregate_eta()
+            eta = sweeper.aggregated_eta() if fused else None
+            sampler.params.eta = eta if eta is not None else sampler.aggregate_eta()
         after = sampler.state.doc_community[doc_ids]
         changed = after != before
         moved_into = np.bincount(

@@ -52,6 +52,18 @@ class TestFit:
         result = load_result(model_path)
         assert result.n_communities == 4
 
+    def test_parallel_workers(self, workspace, tmp_path, capsys):
+        """--workers drives the fit through the shared-memory runner."""
+        _root, graph_path, _model = workspace
+        out = tmp_path / "parallel.cpd.npz"
+        assert main([
+            "fit", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "2", "--seed", "0",
+            "--workers", "2", "--out", str(out),
+        ]) == 0
+        assert "parallel E-step: 2 workers" in capsys.readouterr().out
+        assert out.exists()
+
 
 class TestEvaluate:
     def test_prints_metrics(self, workspace, capsys):
@@ -273,6 +285,16 @@ class TestStreamReplay:
         graph = load_graph(graph_path)
         store = ProfileStore.from_artifact(snapshot)
         assert len(store.doc_user()) == graph.n_documents
+
+    def test_parallel_workers_replay(self, workspace, capsys):
+        """--workers runs the base fit and refreshes through the runner."""
+        _root, graph_path, _model = workspace
+        assert main([
+            "stream-replay", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "2", "--batch-size", "32",
+            "--refresh-every", "64", "--seed", "1", "--workers", "2",
+        ]) == 0
+        assert "events/sec" in capsys.readouterr().out
 
     def test_foldin_only_mode_runs_frozen(self, workspace, capsys):
         _root, graph_path, _model = workspace

@@ -44,6 +44,26 @@ class TestSolveKnapsack:
         assert sum(workloads[i] for i in chosen) <= capacity * 1.01 + 0.01
 
 
+class TestSolveKnapsackResolution:
+    def test_coarse_resolution_still_feasible(self):
+        workloads = np.array([0.3, 0.31, 0.29, 0.4])
+        chosen = solve_knapsack(workloads, capacity=0.6, resolution=10)
+        total = workloads[chosen].sum()
+        # coarse buckets may overshoot by at most one bucket (capacity/res)
+        assert total <= 0.6 * 1.1 + 1e-9
+
+    def test_fine_resolution_finds_exact_subset(self):
+        workloads = np.array([2.0, 3.0, 7.0])
+        chosen = solve_knapsack(workloads, capacity=5.0, resolution=10_000)
+        assert sorted(chosen) == [0, 1]
+
+    def test_tiny_workloads_each_occupy_a_slot(self):
+        # zero-ish items must not all be crammed into one worker's knapsack
+        workloads = np.full(2000, 1e-12)
+        chosen = solve_knapsack(workloads, capacity=1.0, resolution=1000)
+        assert 0 < len(chosen) <= 1001
+
+
 class TestAllocateSegments:
     def test_every_segment_assigned_once(self):
         workloads = np.array([5.0, 1.0, 3.0, 2.0, 4.0])

@@ -1,0 +1,170 @@
+"""Tests for the shared-memory state plane: attach semantics and hygiene.
+
+The hygiene contract (ISSUE 4): runner ``close()`` / ``__exit__`` —
+including under a raised exception — unlinks every shared-memory segment:
+no leaked ``/dev/shm`` blocks and no ``resource_tracker`` warnings.
+"""
+
+import gc
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig, DiffusionParameters
+from repro.core.gibbs import CPDSampler
+from repro.core.layout import CorpusLayout
+from repro.parallel import ParallelEStepRunner, SharedStatePlane
+
+SHM_DIR = "/dev/shm"
+
+
+def _plane_segments() -> set:
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux fallback
+        return set()
+    return {name for name in os.listdir(SHM_DIR) if "repro-plane" in name}
+
+
+@pytest.fixture(scope="module")
+def plane_setup(twitter_tiny):
+    graph, _ = twitter_tiny
+    config = CPDConfig(n_communities=4, n_topics=8, n_iterations=3, rho=0.5, alpha=0.5)
+    sampler = CPDSampler(graph, config, DiffusionParameters.initial(4, 8), rng=0)
+    return graph, config, sampler, CorpusLayout.from_sampler(sampler)
+
+
+def _make_plane(config, sampler, layout, n_workers=2):
+    return SharedStatePlane(
+        layout,
+        config,
+        n_workers=n_workers,
+        n_time_buckets=sampler.popularity.n_time_buckets,
+        n_features=len(sampler.params.nu),
+    )
+
+
+class TestSharedStatePlane:
+    def test_layout_round_trip(self, plane_setup):
+        _, config, sampler, layout = plane_setup
+        plane = _make_plane(config, sampler, layout)
+        try:
+            shared = plane.corpus_layout()
+            for name, source in layout.arrays().items():
+                np.testing.assert_array_equal(getattr(shared, name), source)
+            assert shared.n_docs == layout.n_docs
+        finally:
+            plane.close()
+
+    def test_attach_sees_mutations(self, plane_setup):
+        _, config, sampler, layout = plane_setup
+        plane = _make_plane(config, sampler, layout)
+        attached = None
+        try:
+            attached = SharedStatePlane.attach(plane.spec)
+            plane.state["doc_community"][:5] = np.arange(5)
+            np.testing.assert_array_equal(
+                attached.state["doc_community"][:5], np.arange(5)
+            )
+            attached.state["lambdas"][:] = 0.5
+            assert plane.state["lambdas"][0] == 0.5
+        finally:
+            if attached is not None:
+                attached.close()
+            plane.close()
+
+    def test_close_unlinks_and_is_idempotent(self, plane_setup):
+        _, config, sampler, layout = plane_setup
+        before = _plane_segments()
+        plane = _make_plane(config, sampler, layout)
+        assert _plane_segments() - before == set(plane.block_names)
+        plane.close()
+        plane.close()
+        assert plane.closed
+        assert _plane_segments() == before
+
+    def test_context_manager_unlinks_on_exception(self, plane_setup):
+        _, config, sampler, layout = plane_setup
+        before = _plane_segments()
+        with pytest.raises(RuntimeError):
+            with _make_plane(config, sampler, layout):
+                raise RuntimeError("boom")
+        assert _plane_segments() == before
+
+    def test_garbage_collection_unlinks(self, plane_setup):
+        """The finalizer safety net unlinks even without an explicit close."""
+        _, config, sampler, layout = plane_setup
+        before = _plane_segments()
+        plane = _make_plane(config, sampler, layout)
+        names = set(plane.block_names)
+        assert _plane_segments() - before == names
+        del plane
+        gc.collect()
+        assert _plane_segments() == before
+
+
+class TestRunnerHygiene:
+    def test_close_unlinks_segments_and_stops_workers(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=2, rho=0.5, alpha=0.5)
+        before = _plane_segments()
+        runner = ParallelEStepRunner(graph, config, n_workers=2, rng=0)
+        processes = list(runner._processes)
+        assert _plane_segments() != before
+        runner.close()
+        runner.close()  # idempotent
+        assert _plane_segments() == before
+        assert all(not process.is_alive() for process in processes)
+
+    def test_exit_under_exception_unlinks(self, twitter_tiny):
+        graph, _ = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=2, rho=0.5, alpha=0.5)
+        before = _plane_segments()
+        with pytest.raises(RuntimeError):
+            with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:
+                sampler = CPDSampler(
+                    graph, config, DiffusionParameters.initial(4, 8), rng=1
+                )
+                runner(sampler)
+                raise RuntimeError("mid-fit failure")
+        assert _plane_segments() == before
+
+    def test_sampler_survives_runner_close(self, twitter_tiny):
+        """Un-adoption: the fitted sampler stays usable after the plane dies."""
+        graph, _ = twitter_tiny
+        config = CPDConfig(n_communities=4, n_topics=8, n_iterations=2, rho=0.5, alpha=0.5)
+        sampler = CPDSampler(graph, config, DiffusionParameters.initial(4, 8), rng=1)
+        with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:
+            runner(sampler)
+        sampler.state.check_consistency()  # reads every adopted array
+        sampler.sweep_documents(np.arange(10))  # mutations still work
+        sampler.state.check_consistency()
+
+    def test_no_resource_tracker_warnings(self, tmp_path):
+        """A full parallel fit in a fresh interpreter leaves stderr clean."""
+        script = (
+            "from repro.core import CPDConfig, CPDModel, FitOptions\n"
+            "from repro.datasets import twitter_scenario\n"
+            "from repro.parallel import ParallelEStepRunner\n"
+            "graph, _ = twitter_scenario('tiny', rng=0)\n"
+            "config = CPDConfig(n_communities=3, n_topics=4, n_iterations=2,\n"
+            "                   rho=0.5, alpha=0.5)\n"
+            "with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:\n"
+            "    CPDModel(config, rng=0).fit(graph, FitOptions(document_sweeper=runner))\n"
+            "print('done')\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "done" in result.stdout
+        assert "resource_tracker" not in result.stderr
+        assert "leaked" not in result.stderr

@@ -10,8 +10,37 @@ from repro.parallel.scheduler import (
     WorkloadModel,
     build_schedule,
     measure_workload_model,
+    partition_ranges,
 )
 from repro.parallel.segmentation import DataSegment, segment_users_by_topic
+
+
+class TestPartitionRanges:
+    def test_covers_everything_once(self):
+        ranges = partition_ranges(10, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start  # contiguous, disjoint
+
+    def test_near_even_sizes(self):
+        sizes = [stop - start for start, stop in partition_ranges(11, 4)]
+        assert sum(sizes) == 11
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_items(self):
+        ranges = partition_ranges(2, 5)
+        sizes = [stop - start for start, stop in ranges]
+        assert sum(sizes) == 2
+        assert all(size in (0, 1) for size in sizes)
+
+    def test_zero_items(self):
+        assert partition_ranges(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_ranges(5, 0)
+        with pytest.raises(ValueError):
+            partition_ranges(-1, 2)
 
 
 def _segment(segment_id, n_docs, n_friend, n_diff):

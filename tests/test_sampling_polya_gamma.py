@@ -74,6 +74,13 @@ class TestSamplePgB:
         draws = np.array([sample_pg(3, 1.0, rng) for _ in range(2000)])
         assert draws.mean() == pytest.approx(pg_mean(3, 1.0), rel=0.1)
 
+    def test_batched_moments(self, rng):
+        """The batched series draw matches PG(b, z) mean and variance."""
+        b, z = 5, 2.0
+        draws = np.array([sample_pg(b, z, rng) for _ in range(4000)])
+        assert draws.mean() == pytest.approx(pg_mean(b, z), rel=0.05)
+        assert draws.var() == pytest.approx(pg_variance(b, z), rel=0.2)
+
     def test_invalid_b(self, rng):
         with pytest.raises(ValueError):
             sample_pg(0, 1.0, rng)
@@ -101,6 +108,17 @@ class TestSeriesSampler:
 
     def test_positive_draws(self, rng):
         assert np.all(sample_pg_array(np.linspace(0, 10, 100), rng) > 0)
+
+    @pytest.mark.parametrize("b", [2, 4])
+    def test_shape_b_mean(self, b, rng):
+        draws = sample_pg_array(np.full(6000, 1.5), rng, b=b)
+        expected = pg_mean(b, 1.5)
+        tolerance = 4 * np.sqrt(pg_variance(b, 1.5) / len(draws)) + 1e-3
+        assert abs(draws.mean() - expected) < tolerance
+
+    def test_invalid_shape_b(self, rng):
+        with pytest.raises(ValueError):
+            sample_pg_array(np.zeros(3), rng, b=0)
 
     def test_invalid_terms(self, rng):
         with pytest.raises(ValueError):

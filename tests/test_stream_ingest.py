@@ -249,6 +249,35 @@ class TestRefresher:
         assert report.n_documents == 0
         assert report.n_reassigned == 0
 
+    def test_parallel_sweeper_refresh(self, twitter_tiny, fitted_cpd, rng):
+        """Dirty-set refresh through the shared-memory runner.
+
+        Appended documents overflow the fixed-size plane and must be swept
+        serially by the coordinator; base documents go through the workers.
+        """
+        from repro.parallel import ParallelEStepRunner
+
+        graph, _ = twitter_tiny
+        with ParallelEStepRunner(
+            graph, fitted_cpd.config, n_workers=2, rng=6
+        ) as runner:
+            refresher = IncrementalRefresher(
+                graph, fitted_cpd, rng=5, document_sweeper=runner
+            )
+            documents, users, timestamps = _arrivals(graph, rng)
+            communities = rng.integers(0, fitted_cpd.n_communities, size=len(documents))
+            topics = rng.integers(0, fitted_cpd.config.n_topics, size=len(documents))
+            new_ids = refresher.append_documents(
+                documents, users, timestamps, communities, topics
+            )
+            refresher.append_links([int(new_ids[0])], [0], [1])
+            report = refresher.refresh()
+            assert report.n_documents == len(new_ids) + 1
+            refresher.sampler.state.check_consistency()
+            # fused augmentation covers appended links too
+            assert len(refresher.sampler.deltas) == refresher.sampler.n_diff_links
+        refresher.sampler.state.check_consistency()  # survives runner close
+
     def test_snapshot_result_reflects_the_grown_corpus(
         self, twitter_tiny, fitted_cpd, rng
     ):
