@@ -5,9 +5,9 @@ Cai, Zheng, Zhu, Chang, Huang. PVLDB 10(6), VLDB 2017 (arXiv:1701.04528).
 The package implements the CPD model — joint Community Profiling and
 Detection over a social graph ``G = (U, D, F, E)`` — together with every
 substrate it needs (Pólya-Gamma augmented Gibbs sampling, LDA, diffusion
-factor features, a parallel E-step runtime), the paper's baselines and
-ablations, the three community-level applications, and the full evaluation
-harness.
+factor features, a parallel E-step runtime, a sharded fit/serve layer),
+the paper's baselines and ablations, the three community-level
+applications, and the full evaluation harness.
 
 Quickstart::
 
@@ -46,9 +46,17 @@ from .datasets import (
     SyntheticConfig,
     dblp_scenario,
     generate_synthetic,
+    separated_scenario,
     twitter_scenario,
 )
 from .graph import SocialGraph, SocialGraphBuilder, Vocabulary, load_graph, save_graph
+from .shard import (
+    CommunityAligner,
+    GraphPartitioner,
+    ShardRouter,
+    ShardedIngestor,
+    fit_shards,
+)
 
 __version__ = "1.0.0"
 
@@ -56,6 +64,7 @@ __all__ = [
     "CPDConfig",
     "CPDModel",
     "CPDResult",
+    "CommunityAligner",
     "CommunityProfile",
     "CommunityRanker",
     "ContentProfile",
@@ -65,12 +74,15 @@ __all__ = [
     "DocumentArrival",
     "FitOptions",
     "FoldInResult",
+    "GraphPartitioner",
     "GraphSummary",
     "GroundTruth",
     "IncrementalRefresher",
     "LinkArrival",
     "MicroBatchIngestor",
     "ProfileStore",
+    "ShardRouter",
+    "ShardedIngestor",
     "Snapshotter",
     "fold_in_documents",
     "SocialGraph",
@@ -80,10 +92,12 @@ __all__ = [
     "all_profiles",
     "dblp_scenario",
     "fit_cpd",
+    "fit_shards",
     "generate_synthetic",
     "load_graph",
     "profile_of",
     "save_graph",
+    "separated_scenario",
     "split_for_replay",
     "twitter_scenario",
     "__version__",

@@ -16,6 +16,10 @@ The paper's workflow is "profile once offline, serve many applications"
     repro stream-replay --graph graph.json.gz --communities 6 --topics 12 \\
                      --out snapshot.cpd.npz
     repro stream-bench  --graph graph.json.gz --communities 6 --topics 12
+    repro shard-fit  --graph graph.json.gz --shards 2 --communities 6 \\
+                     --topics 12 --out-dir shards/
+    repro shard-query --manifest shards/manifest.shards.json --query "#topic3"
+    repro shard-bench --graph graph.json.gz --communities 6 --topics 12
 
 ``fit`` writes *self-contained* v3 artifacts (model + vocabulary + graph
 summary), so every read command after ``evaluate`` serves from the
@@ -23,8 +27,11 @@ artifact alone — ``--graph`` is only needed for v1 artifacts or when the
 corpus itself must be consulted. The ``stream-*`` commands exercise the
 streaming pipeline (:mod:`repro.stream`): split a graph into a warm base
 plus a timestamp-ordered event stream, fold arrivals in, refresh
-incrementally and snapshot. Every command is also importable
-(``run_generate`` etc.) for scripting.
+incrementally and snapshot. The ``shard-*`` commands exercise the
+federated pipeline (:mod:`repro.shard`): partition, fit every shard
+independently, align community ids into a global label space, and serve
+scatter-gather through a :class:`~repro.shard.ShardRouter`. Every command
+is also importable (``run_generate`` etc.) for scripting.
 """
 
 from __future__ import annotations
@@ -46,8 +53,16 @@ from .apps import (
     to_json,
 )
 from .apps.report import build_report
-from .core import CPDConfig, CPDModel, FitOptions, load_artifact, save_result
-from .datasets import dblp_scenario, twitter_scenario
+from .core import (
+    CPDConfig,
+    CPDModel,
+    FitOptions,
+    is_shard_manifest,
+    load_artifact,
+    load_shard_manifest,
+    save_result,
+)
+from .datasets import dblp_scenario, separated_scenario, twitter_scenario
 from .evaluation import (
     average_conductance,
     content_perplexity,
@@ -57,6 +72,7 @@ from .evaluation import (
 from .graph import load_graph, save_graph
 from .parallel import ParallelEStepRunner
 from .serving import GraphSummary, ProfileStore
+from .shard import CommunityAligner, ShardRouter, fit_shards
 from .stream import (
     IncrementalRefresher,
     MicroBatchIngestor,
@@ -73,7 +89,9 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser("generate", help="generate a synthetic scenario graph")
-    generate.add_argument("--scenario", choices=("twitter", "dblp"), default="twitter")
+    generate.add_argument(
+        "--scenario", choices=("twitter", "dblp", "separated"), default="twitter"
+    )
     generate.add_argument("--scale", choices=("tiny", "small", "medium"), default="small")
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", required=True, help="output path (.json or .json.gz)")
@@ -175,6 +193,75 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_stream_args(sbench)
     sbench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
+
+    shard_fit = commands.add_parser(
+        "shard-fit",
+        help="partition a graph, fit every shard, align, write a shard manifest",
+    )
+    shard_fit.add_argument("--graph", required=True)
+    shard_fit.add_argument("--shards", type=int, required=True, help="number of shards")
+    shard_fit.add_argument(
+        "--strategy", choices=("community", "hash"), default="community",
+        help="user partitioning strategy (community keeps spill links low)",
+    )
+    shard_fit.add_argument("--communities", type=int, required=True)
+    shard_fit.add_argument("--topics", type=int, required=True)
+    shard_fit.add_argument("--iterations", type=int, default=25)
+    shard_fit.add_argument("--alpha", type=float, default=0.5)
+    shard_fit.add_argument("--rho", type=float, default=0.5)
+    shard_fit.add_argument("--seed", type=int, default=0)
+    shard_fit.add_argument(
+        "--align-method", choices=("hungarian", "greedy"), default="hungarian",
+        help="cross-shard community matching method",
+    )
+    shard_fit.add_argument(
+        "--out-dir", required=True,
+        help="directory for shard-<i>.cpd.npz artifacts + manifest.shards.json",
+    )
+
+    shard_query = commands.add_parser(
+        "shard-query", help="serve ranking queries scatter-gather from a shard manifest"
+    )
+    shard_query.add_argument("--manifest", required=True)
+    shard_query.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        help="query term(s); repeatable. Default: the union of the shards' indexed queries",
+    )
+    shard_query.add_argument("--top", type=int, default=5, help="communities to print per query")
+    shard_query.add_argument(
+        "--against", default=None,
+        help="monolithic artifact to measure top-k agreement against",
+    )
+    shard_query.add_argument(
+        "--agree-top", type=int, default=2,
+        help="agreement = the monolithic best community (mapped into the "
+        "global label space) appears in the router's top-K",
+    )
+    shard_query.add_argument(
+        "--min-agreement", type=float, default=None,
+        help="exit non-zero when --against agreement falls below this fraction",
+    )
+
+    shard_bench = commands.add_parser(
+        "shard-bench",
+        help="compare monolithic vs sharded fit wall-clock and query throughput",
+    )
+    shard_bench.add_argument("--graph", required=True)
+    shard_bench.add_argument("--communities", type=int, required=True)
+    shard_bench.add_argument("--topics", type=int, required=True)
+    shard_bench.add_argument("--iterations", type=int, default=15)
+    shard_bench.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4],
+        help="shard counts to benchmark (1 = monolithic baseline)",
+    )
+    shard_bench.add_argument(
+        "--strategy", choices=("community", "hash"), default="community"
+    )
+    shard_bench.add_argument("--repeats", type=int, default=20, help="warm query passes")
+    shard_bench.add_argument("--seed", type=int, default=0)
+    shard_bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
     return parser
 
 
@@ -224,7 +311,11 @@ def _load_store(model_path: str, graph_path: str | None, out) -> ProfileStore | 
 
 def run_generate(args, out=None) -> int:
     out = out or sys.stdout
-    maker = {"twitter": twitter_scenario, "dblp": dblp_scenario}[args.scenario]
+    maker = {
+        "twitter": twitter_scenario,
+        "dblp": dblp_scenario,
+        "separated": separated_scenario,
+    }[args.scenario]
     graph, _truth = maker(args.scale, rng=args.seed)
     save_graph(graph, args.out)
     print(f"wrote {graph!r} to {args.out}", file=out)
@@ -426,11 +517,10 @@ def run_serve_bench(args, out=None) -> int:
     return 0
 
 
-def run_info(args, out=None) -> int:
-    out = out or sys.stdout
-    artifact = load_artifact(args.model)
+def _print_artifact_info(path, out) -> None:
+    artifact = load_artifact(path)
     result = artifact.result
-    print(f"artifact        : {args.model}", file=out)
+    print(f"artifact        : {path}", file=out)
     print(
         f"format version  : {artifact.format_version}"
         + (" (self-contained)" if artifact.self_contained else ""),
@@ -443,6 +533,15 @@ def run_info(args, out=None) -> int:
         f"{result.n_words} words",
         file=out,
     )
+    if result.trace:
+        seconds = sum(entry.seconds for entry in result.trace)
+        print(
+            f"fit trace       : {len(result.trace)} EM iterations in {seconds:.2f}s "
+            f"(last diffusion prob {result.trace[-1].mean_diffusion_probability:.3f})",
+            file=out,
+        )
+    else:
+        print("fit trace       : absent", file=out)
     if artifact.vocabulary is not None:
         print(f"vocabulary      : embedded ({len(artifact.vocabulary)} terms)", file=out)
     else:
@@ -462,8 +561,60 @@ def run_info(args, out=None) -> int:
             f"last timestamp {cursor.get('last_timestamp', 0)}",
             file=out,
         )
+        base_docs = len(result.doc_community) - cursor.get("documents_appended", 0)
+        print(
+            f"snapshot        : stream snapshot over a {base_docs}-doc offline base "
+            f"(snapshot covers {len(result.doc_community)} docs total)",
+            file=out,
+        )
     else:
         print("stream cursor   : absent (offline fit)", file=out)
+
+
+def _print_manifest_info(path, out) -> None:
+    manifest = load_shard_manifest(path)
+    print(f"shard manifest  : {path} (v{manifest.manifest_version})", file=out)
+    print(f"graph           : {manifest.graph_name or 'unnamed'}", file=out)
+    print(
+        f"partition       : {manifest.n_shards} shards, strategy "
+        f"{manifest.strategy!r}, {manifest.n_users} users, "
+        f"{manifest.n_documents} documents",
+        file=out,
+    )
+    for entry in manifest.shards:
+        print(
+            f"  shard {entry.shard_id}       : {entry.path}  "
+            f"({entry.n_users} users, {entry.n_documents} docs)",
+            file=out,
+        )
+    if manifest.spill is not None:
+        n_friend = len(manifest.spill.get("friendship", []))
+        n_diff = len(manifest.spill.get("diffusion", []))
+        print(
+            f"spill set       : {n_friend} friendship + {n_diff} diffusion "
+            "cross-shard links",
+            file=out,
+        )
+    else:
+        print("spill set       : absent", file=out)
+    if manifest.alignment is not None:
+        alignment = manifest.alignment
+        print(
+            f"alignment       : {alignment.get('n_global')} global communities "
+            f"({alignment.get('method')} on {alignment.get('feature')} profiles, "
+            f"min similarity {alignment.get('min_similarity')})",
+            file=out,
+        )
+    else:
+        print("alignment       : absent (router cannot open this manifest)", file=out)
+
+
+def run_info(args, out=None) -> int:
+    out = out or sys.stdout
+    if is_shard_manifest(args.model):
+        _print_manifest_info(args.model, out)
+    else:
+        _print_artifact_info(args.model, out)
     return 0
 
 
@@ -609,6 +760,190 @@ def run_stream_bench(args, out=None) -> int:
     return 0
 
 
+def run_shard_fit(args, out=None) -> int:
+    out = out or sys.stdout
+    graph = load_graph(args.graph)
+    config = CPDConfig(
+        n_communities=args.communities,
+        n_topics=args.topics,
+        n_iterations=args.iterations,
+        alpha=args.alpha,
+        rho=args.rho,
+    )
+    started = time.perf_counter()
+    fit = fit_shards(
+        graph,
+        config,
+        args.shards,
+        strategy=args.strategy,
+        out_dir=args.out_dir,
+        aligner=CommunityAligner(method=args.align_method),
+        rng=args.seed,
+    )
+    seconds = time.perf_counter() - started
+    plan = fit.plan
+    print(
+        f"partitioned {graph.n_users} users into {plan.n_shards} shards "
+        f"({plan.strategy}): "
+        + "  ".join(
+            f"shard{part.shard_id}={part.n_users}u/{part.n_documents}d"
+            for part in plan.shards
+        ),
+        file=out,
+    )
+    print(
+        f"spill set: {plan.spill.n_friendship} friendship + "
+        f"{plan.spill.n_diffusion} diffusion cross-shard links "
+        f"({plan.spill_fraction():.1%} of all links)",
+        file=out,
+    )
+    print(
+        f"fitted {plan.n_shards} shards in {seconds:.2f}s "
+        f"(per shard: {'  '.join(f'{s:.2f}s' for s in fit.fit_seconds)})",
+        file=out,
+    )
+    print(
+        f"alignment: {fit.alignment.n_global} global communities "
+        f"({args.align_method} on {fit.alignment.feature} profiles)",
+        file=out,
+    )
+    print(f"wrote shard artifacts + manifest to {fit.manifest_path}", file=out)
+    return 0
+
+
+def run_shard_query(args, out=None) -> int:
+    out = out or sys.stdout
+    router = ShardRouter.from_manifest(args.manifest)
+    terms = args.query
+    if not terms:
+        terms = router.indexed_terms()
+        if not terms:
+            print("error: the shards index no queries; pass --query", file=out)
+            return 1
+    status = 0
+    for term in terms:
+        try:
+            ranking = router.rank(term)[: args.top]
+        except KeyError:
+            print(f"{term!r}: not in the fitted vocabulary", file=out)
+            status = 1
+            continue
+        ranked = "  ".join(f"g{c:02d}:{score:.6f}" for c, score in ranking)
+        print(f"{term!r}: {ranked}", file=out)
+    info = router.cache_info()
+    print(
+        f"served {len(terms)} queries across {router.n_shards} shards "
+        f"({info['hits']} cache hits, {info['misses']} misses)",
+        file=out,
+    )
+    if args.against is not None:
+        store = _load_store(args.against, None, out)
+        if store is None:
+            return 1
+        # the monolithic signatures must live in the same feature space the
+        # manifest's alignment was built (and rebuilt) in
+        aligner = CommunityAligner(
+            method=router.alignment.method, feature=router.alignment.feature
+        )
+        mono_map = aligner.map_result(router.alignment, store.result)
+        agreements = 0
+        scored = 0
+        for term in terms:
+            try:
+                mono_top = int(mono_map[store.top_k(term, 1)[0]])
+                router_top = router.top_k(term, args.agree_top)
+            except KeyError:
+                continue
+            scored += 1
+            agreements += int(mono_top in router_top)
+        if not scored:
+            print("error: no query scorable against the monolithic model", file=out)
+            return 1
+        agreement = agreements / scored
+        print(
+            f"agreement vs {args.against}: {agreements}/{scored} = {agreement:.1%} "
+            f"(monolithic best community in router top-{args.agree_top})",
+            file=out,
+        )
+        if args.min_agreement is not None and agreement < args.min_agreement:
+            print(
+                f"error: agreement {agreement:.1%} below required "
+                f"{args.min_agreement:.1%}",
+                file=out,
+            )
+            return 1
+    return status
+
+
+def run_shard_bench(args, out=None) -> int:
+    out = out or sys.stdout
+    graph = load_graph(args.graph)
+    config = CPDConfig(
+        n_communities=args.communities,
+        n_topics=args.topics,
+        n_iterations=args.iterations,
+    )
+    # one workload for every shard count, so the q/s columns compare like
+    # with like (the graph's own query index, most frequent first)
+    summary = GraphSummary.from_graph(graph)
+    terms = [query.term for query in summary.queries[:32]]
+    if not terms:
+        print("error: the graph indexes no queries to replay", file=out)
+        return 1
+    records = []
+    for n_shards in args.shards:
+        started = time.perf_counter()
+        if n_shards == 1:
+            result = CPDModel(config, rng=args.seed).fit(graph)
+            fit_seconds = time.perf_counter() - started
+            server = ProfileStore(
+                result, vocabulary=graph.vocabulary, summary=summary
+            )
+            spill_fraction = 0.0
+        else:
+            fit = fit_shards(
+                graph, config, n_shards, strategy=args.strategy, rng=args.seed
+            )
+            fit_seconds = time.perf_counter() - started
+            server = fit.router()
+            spill_fraction = fit.plan.spill_fraction()
+        started = time.perf_counter()
+        for _ in range(args.repeats):
+            for term in terms:
+                server.rank(term)
+        query_seconds = time.perf_counter() - started
+        throughput = len(terms) * args.repeats / query_seconds if query_seconds else 0.0
+        records.append(
+            {
+                "n_shards": n_shards,
+                "fit_seconds": fit_seconds,
+                "spill_fraction": spill_fraction,
+                "n_queries": len(terms),
+                "repeats": args.repeats,
+                "query_seconds": query_seconds,
+                "queries_per_second": throughput,
+            }
+        )
+        print(
+            f"{n_shards} shard(s): fit {fit_seconds:.2f}s  "
+            f"spill {spill_fraction:.1%}  "
+            f"queries {throughput:.0f} q/s ({len(terms)}x{args.repeats})",
+            file=out,
+        )
+    if args.json_out:
+        payload = {
+            "graph": str(args.graph),
+            "strategy": args.strategy,
+            "iterations": args.iterations,
+            "runs": records,
+        }
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json_out}", file=out)
+    return 0
+
+
 _RUNNERS = {
     "generate": run_generate,
     "fit": run_fit,
@@ -621,6 +956,9 @@ _RUNNERS = {
     "info": run_info,
     "stream-replay": run_stream_replay,
     "stream-bench": run_stream_bench,
+    "shard-fit": run_shard_fit,
+    "shard-query": run_shard_query,
+    "shard-bench": run_shard_bench,
 }
 
 

@@ -8,7 +8,17 @@ from .diagnostics import (
     likelihood_report,
 )
 from .gibbs import CPDSampler
-from .io import CPDArtifact, load_artifact, load_result, save_result
+from .io import (
+    CPDArtifact,
+    ShardEntry,
+    ShardManifest,
+    is_shard_manifest,
+    load_artifact,
+    load_result,
+    load_shard_manifest,
+    save_result,
+    save_shard_manifest,
+)
 from .model import CPDModel, FitOptions, fit_cpd
 from .parameters import DiffusionParameters
 from .profiles import (
@@ -32,9 +42,14 @@ __all__ = [
     "LikelihoodReport",
     "assess_convergence",
     "likelihood_report",
+    "ShardEntry",
+    "ShardManifest",
+    "is_shard_manifest",
     "load_artifact",
     "load_result",
+    "load_shard_manifest",
     "save_result",
+    "save_shard_manifest",
     "CommunityProfile",
     "ContentProfile",
     "DiffusionParameters",

@@ -23,6 +23,14 @@ Three artifact format versions exist:
 
 The reader accepts all versions; :func:`load_artifact` exposes the extra
 payloads, :func:`load_result` keeps the v1-era result-only signature.
+
+Beside the per-model archives lives the **shard manifest** (JSON,
+conventionally ``*.shards.json``): the index of one federated fit produced
+by :mod:`repro.shard`. It records the shard count, the partition strategy,
+the per-shard artifact paths (relative to the manifest, so the directory
+moves as a unit), the global/local user- and document-id maps, the
+cross-shard spill links, and — once the aligner has run — the mapping of
+every shard-local community id into the global label space.
 """
 
 from __future__ import annotations
@@ -193,3 +201,134 @@ def load_artifact(path: PathLike) -> CPDArtifact:
 def load_result(path: PathLike) -> CPDResult:
     """Load just the :class:`CPDResult` written by :func:`save_result`."""
     return load_artifact(path).result
+
+
+# --------------------------------------------------------------- shard manifest
+
+_MANIFEST_VERSION = 1
+_SUPPORTED_MANIFEST_VERSIONS = (1,)
+
+
+@dataclass
+class ShardEntry:
+    """One shard's row in the manifest."""
+
+    shard_id: int
+    #: artifact path relative to the manifest file
+    path: str
+    #: global user ids, sorted; position = local user id
+    users: np.ndarray
+    #: global document ids, sorted; position = local doc id
+    doc_ids: np.ndarray
+
+    @property
+    def n_users(self) -> int:
+        return int(self.users.shape[0])
+
+    @property
+    def n_documents(self) -> int:
+        return int(self.doc_ids.shape[0])
+
+
+@dataclass
+class ShardManifest:
+    """Index of one federated fit: shard artifacts plus the global id maps."""
+
+    strategy: str
+    graph_name: str
+    shards: list[ShardEntry]
+    #: cross-shard links the partitioner spilled, as raw JSON mappings
+    #: (:class:`repro.shard.SpillSet` knows how to revive them)
+    spill: Optional[dict] = None
+    #: cross-shard community alignment, raw JSON mapping (``None`` until the
+    #: aligner has run; :class:`repro.shard.ShardAlignment` revives it)
+    alignment: Optional[dict] = None
+    manifest_version: int = _MANIFEST_VERSION
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_users(self) -> int:
+        return sum(entry.n_users for entry in self.shards)
+
+    @property
+    def n_documents(self) -> int:
+        return sum(entry.n_documents for entry in self.shards)
+
+    def artifact_paths(self, manifest_path: PathLike) -> list[Path]:
+        """Per-shard artifact paths resolved against the manifest location."""
+        base = Path(manifest_path).parent
+        return [base / entry.path for entry in self.shards]
+
+
+def save_shard_manifest(manifest: ShardManifest, path: PathLike) -> None:
+    """Write a :class:`ShardManifest` as JSON next to its shard artifacts."""
+    payload = {
+        "manifest_version": _MANIFEST_VERSION,
+        "strategy": manifest.strategy,
+        "graph_name": manifest.graph_name,
+        "shards": [
+            {
+                "shard_id": entry.shard_id,
+                "path": entry.path,
+                "users": entry.users.tolist(),
+                "doc_ids": entry.doc_ids.tolist(),
+            }
+            for entry in manifest.shards
+        ],
+        "spill": manifest.spill,
+        "alignment": manifest.alignment,
+    }
+    Path(path).write_text(json.dumps(payload) + "\n", encoding="utf-8")
+
+
+def load_shard_manifest(path: PathLike) -> ShardManifest:
+    """Load a manifest written by :func:`save_shard_manifest`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("manifest_version")
+    if version not in _SUPPORTED_MANIFEST_VERSIONS:
+        supported = ", ".join(str(v) for v in _SUPPORTED_MANIFEST_VERSIONS)
+        raise ValueError(
+            f"unsupported shard manifest version: {version!r} "
+            f"(supported versions: {supported})"
+        )
+    shards = [
+        ShardEntry(
+            shard_id=int(record["shard_id"]),
+            path=record["path"],
+            users=np.asarray(record["users"], dtype=np.int64),
+            doc_ids=np.asarray(record["doc_ids"], dtype=np.int64),
+        )
+        for record in payload["shards"]
+    ]
+    return ShardManifest(
+        strategy=payload["strategy"],
+        graph_name=payload.get("graph_name", ""),
+        shards=shards,
+        spill=payload.get("spill"),
+        alignment=payload.get("alignment"),
+        manifest_version=int(version),
+    )
+
+
+def is_shard_manifest(path: PathLike) -> bool:
+    """Cheap sniff: does ``path`` hold a shard manifest (vs a model archive)?
+
+    Model archives are zip files; manifests are JSON documents written by
+    :func:`save_shard_manifest` with ``manifest_version`` as their first
+    key, so checking the leading bytes suffices — the (potentially large)
+    id maps are never parsed here. Never raises: unreadable, missing or
+    foreign files simply answer ``False``. Lets ``repro info`` accept
+    either format.
+    """
+    path = Path(path)
+    try:
+        if zipfile.is_zipfile(path):
+            return False
+        with path.open("rb") as handle:
+            head = handle.read(4096)
+    except OSError:
+        return False
+    return b'"manifest_version"' in head

@@ -1,6 +1,7 @@
 """Dataset substrate: planted-profile synthetic graphs and scenario flavours."""
 
 from .dblp import DBLP_SCALES, dblp_config, dblp_scenario
+from .separated import SEPARATED_SCALES, separated_config, separated_scenario
 from .subsample import subsample_graph
 from .synthetic import (
     GroundTruth,
@@ -18,7 +19,10 @@ __all__ = [
     "TWITTER_SCALES",
     "dblp_config",
     "dblp_scenario",
+    "SEPARATED_SCALES",
     "generate_synthetic",
+    "separated_config",
+    "separated_scenario",
     "subsample_graph",
     "twitter_config",
     "twitter_scenario",

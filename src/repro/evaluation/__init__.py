@@ -17,7 +17,7 @@ from .crossval import (
     repeated_metric,
 )
 from .model_selection import SweepOutcome, SweepPoint, select_n_communities
-from .nmi import normalized_mutual_information
+from .nmi import nmi_matrix, normalized_mutual_information
 from .perplexity import content_perplexity
 from .splits import (
     DiffusionSplit,
@@ -61,6 +61,7 @@ __all__ = [
     "diffusion_auc_folds",
     "friendship_auc_folds",
     "independent_one_tailed_ttest",
+    "nmi_matrix",
     "normalized_mutual_information",
     "paired_one_tailed_ttest",
     "precision_recall_at_k",

@@ -1,0 +1,64 @@
+"""A tiny LRU cache shared by the serving read paths.
+
+One implementation for the three query-keyed memo tables — the store's
+Eq. 19 rank cache and log-shift cache, and the shard router's merged-rank
+cache — so eviction, recency-touch and hit/miss accounting cannot drift
+between copies. Single-threaded, like everything else on the read path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+V = TypeVar("V")
+
+
+class LRUCache(Generic[V]):
+    """Ordered-dict LRU with cumulative hit/miss counters.
+
+    :meth:`clear` empties the entries but keeps the counters — the
+    hot-swap invalidation contract (monitoring continuity across swaps).
+    """
+
+    def __init__(self, max_size: int) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self.max_size = max_size
+        self._data: OrderedDict[Hashable, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Optional[V]:
+        """The cached value (counted as a hit and touched), else ``None``
+        (counted as a miss)."""
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert ``key``, evicting the least-recently-used entry at capacity."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.max_size:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry; cumulative counters survive."""
+        self._data.clear()
+
+    def info(self) -> dict[str, int]:
+        """The counters dict every ``cache_info()`` readout serves."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "max_size": self.max_size,
+        }

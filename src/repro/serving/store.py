@@ -30,7 +30,6 @@ offline fit.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Sequence, Union
 
 import numpy as np
@@ -43,6 +42,7 @@ from ..evaluation.queries import Query
 from ..graph.social_graph import GraphStats, SocialGraph
 from ..graph.vocabulary import Vocabulary
 from ..sampling.rng import RngLike
+from .cache import LRUCache
 from .foldin import FoldInResult, fold_in_documents
 from .summary import GraphSummary
 
@@ -94,12 +94,8 @@ class ProfileStore:
         self._summary = summary
         if query_cache_size < 1:
             raise ValueError("query_cache_size must be at least 1")
-        self._query_cache_size = query_cache_size
-        self._rank_cache: OrderedDict[tuple[int, ...], list[tuple[int, float]]] = (
-            OrderedDict()
-        )
-        self._cache_hits = 0
-        self._cache_misses = 0
+        self._rank_cache: LRUCache[list[tuple[int, float]]] = LRUCache(query_cache_size)
+        self._shift_cache: LRUCache[float] = LRUCache(query_cache_size)
         # memo slots for the non-query indexes
         self._top_communities: dict[int, np.ndarray] = {}
         self._members: dict[int, list[np.ndarray]] = {}
@@ -179,7 +175,8 @@ class ProfileStore:
         so long-lived references keep serving; the cumulative hit/miss
         counters are preserved for monitoring continuity.
         """
-        self._rank_cache.clear()
+        self._rank_cache.clear()  # entries only; hit/miss counters survive
+        self._shift_cache.clear()
         self._top_communities.clear()
         self._members.clear()
         self._labels.clear()
@@ -355,13 +352,41 @@ class ProfileStore:
         )
 
     def query_topic_affinity(self, query: QueryLike) -> np.ndarray:
-        """``prod_{w in q} phi_zw`` per topic, computed stably in log space."""
-        word_ids = self.query_word_ids(query)
-        if not word_ids:
+        """``prod_{w in q} phi_zw`` per topic, computed stably in log space.
+
+        The returned affinities are rescaled by ``exp(-query_log_shift(q))``
+        — a per-store, per-query constant that keeps the products from
+        underflowing. Within one store the rescaling is monotone and
+        harmless; consumers comparing scores *across* stores (the shard
+        router) must undo it via :meth:`query_log_shift`. The shift is
+        recorded into the shift cache as a side effect, so the router's
+        rank-then-shift call pair computes the log affinities once.
+        """
+        key = self.query_word_ids(query)
+        if not key:
             raise KeyError(f"no query term of {query!r} is in the vocabulary")
-        log_affinity = self._log_phi_matrix()[:, list(word_ids)].sum(axis=1)
-        log_affinity -= log_affinity.max()
-        return np.exp(log_affinity)
+        log_affinity = self._log_phi_matrix()[:, list(key)].sum(axis=1)
+        shift = float(log_affinity.max())
+        self._shift_cache.put(key, shift)
+        return np.exp(log_affinity - shift)
+
+    def query_log_shift(self, query: QueryLike) -> float:
+        """The log of the constant divided out of :meth:`query_topic_affinity`.
+
+        ``scores(q) * exp(query_log_shift(q))`` is on the absolute Eq. 19
+        scale, comparable across stores fitted on different corpora.
+        Memoised alongside the rank cache (the shard router asks for the
+        shift on every scatter-gather query, including cache hits).
+        """
+        key = self.query_word_ids(query)
+        if not key:
+            raise KeyError(f"no query term of {query!r} is in the vocabulary")
+        cached = self._shift_cache.get(key)
+        if cached is not None:
+            return cached
+        shift = float(self._log_phi_matrix()[:, list(key)].sum(axis=1).max())
+        self._shift_cache.put(key, shift)
+        return shift
 
     def scores(self, query: QueryLike) -> np.ndarray:
         """Eq. 19 scores for every community (unnormalised)."""
@@ -381,16 +406,11 @@ class ProfileStore:
             raise KeyError(f"no query term of {query!r} is in the vocabulary")
         cached = self._rank_cache.get(key)
         if cached is not None:
-            self._cache_hits += 1
-            self._rank_cache.move_to_end(key)
             return list(cached)
-        self._cache_misses += 1
         scores = self.scores(query)
         order = np.argsort(-scores)
         ranking = [(int(c), float(scores[c])) for c in order]
-        self._rank_cache[key] = ranking
-        if len(self._rank_cache) > self._query_cache_size:
-            self._rank_cache.popitem(last=False)
+        self._rank_cache.put(key, ranking)
         return list(ranking)
 
     def top_k(self, query: QueryLike, k: int = 5) -> list[int]:
@@ -408,12 +428,7 @@ class ProfileStore:
 
     def cache_info(self) -> dict[str, int]:
         """Ranking-cache statistics (the serve-bench readout)."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._rank_cache),
-            "max_size": self._query_cache_size,
-        }
+        return self._rank_cache.info()
 
     # ----------------------------------------------------- diffusion serving
 

@@ -1,0 +1,122 @@
+"""Partitioned fitting: independent per-shard CPD fits plus the manifest.
+
+The write path of the federated pipeline: partition the graph
+(:mod:`repro.shard.partition`), fit one CPD model per shard — each fit is
+completely independent, so shards parallelise trivially across processes
+or machines — save each shard as a self-contained artifact
+(:mod:`repro.core.io` v2/v3, exactly the format the monolithic pipeline
+writes, so every existing serving tool opens a shard artifact unchanged),
+align the per-shard community ids into one global label space
+(:mod:`repro.shard.align`), and index everything in a shard manifest that
+:class:`repro.shard.ShardRouter` can open.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.config import CPDConfig
+from ..core.io import PathLike, ShardManifest, save_result, save_shard_manifest
+from ..core.model import CPDModel
+from ..core.result import CPDResult
+from ..graph.social_graph import SocialGraph
+from ..sampling.rng import RngLike, ensure_rng
+from ..serving.summary import GraphSummary
+from .align import CommunityAligner, ShardAlignment
+from .partition import GraphPartitioner, ShardPlan
+from .router import ShardRouter, build_manifest
+
+
+@dataclass
+class ShardedFit:
+    """Everything one partitioned fit produced."""
+
+    plan: ShardPlan
+    results: list[CPDResult]
+    alignment: ShardAlignment
+    manifest: ShardManifest
+    #: manifest path when the fit was persisted, else ``None``
+    manifest_path: Path | None = None
+    #: per-shard fit wall-clock seconds
+    fit_seconds: list[float] = field(default_factory=list)
+
+    def router(self, query_cache_size: int = 1024) -> ShardRouter:
+        """A :class:`ShardRouter` over this fit (from disk when persisted)."""
+        if self.manifest_path is not None:
+            return ShardRouter.from_manifest(
+                self.manifest_path, query_cache_size=query_cache_size
+            )
+        from ..serving.store import ProfileStore
+
+        stores = [
+            ProfileStore.from_fit(
+                result, part.graph, query_cache_size=query_cache_size
+            )
+            for result, part in zip(self.results, self.plan.shards)
+        ]
+        return ShardRouter(
+            stores,
+            [part.users for part in self.plan.shards],
+            self.alignment,
+            query_cache_size=query_cache_size,
+        )
+
+
+def fit_shards(
+    graph: SocialGraph,
+    config: CPDConfig,
+    n_shards: int,
+    strategy: str = "community",
+    out_dir: PathLike | None = None,
+    aligner: CommunityAligner | None = None,
+    rng: RngLike = None,
+) -> ShardedFit:
+    """Partition ``graph``, fit every shard, align, and (optionally) persist.
+
+    With ``out_dir`` the per-shard artifacts are written as
+    ``shard-<i>.cpd.npz`` plus a ``manifest.shards.json`` indexing them;
+    without it the fit stays in memory (the in-process path the benchmarks
+    and tests use). Each shard's sampler gets an independent seed derived
+    from ``rng`` so shard fits are reproducible regardless of shard count.
+    """
+    generator = ensure_rng(rng)
+    partitioner = GraphPartitioner(strategy=strategy, rng=generator)
+    plan = partitioner.partition(graph, n_shards)
+
+    results: list[CPDResult] = []
+    fit_seconds: list[float] = []
+    for part in plan.shards:
+        seed = int(generator.integers(0, 2**31 - 1))
+        started = time.perf_counter()
+        results.append(CPDModel(config, rng=seed).fit(part.graph))
+        fit_seconds.append(time.perf_counter() - started)
+
+    aligner = aligner or CommunityAligner()
+    alignment = aligner.align(results)
+
+    artifact_names = [f"shard-{part.shard_id}.cpd.npz" for part in plan.shards]
+    manifest = build_manifest(plan, artifact_names, alignment)
+    manifest_path: Path | None = None
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for part, result, name in zip(plan.shards, results, artifact_names):
+            save_result(
+                result,
+                out_dir / name,
+                vocabulary=part.graph.vocabulary,
+                graph_summary=GraphSummary.from_graph(part.graph),
+            )
+        manifest_path = out_dir / "manifest.shards.json"
+        save_shard_manifest(manifest, manifest_path)
+
+    return ShardedFit(
+        plan=plan,
+        results=results,
+        alignment=alignment,
+        manifest=manifest,
+        manifest_path=manifest_path,
+        fit_seconds=fit_seconds,
+    )

@@ -1,0 +1,412 @@
+"""ShardRouter: scatter-gather serving over per-shard ProfileStores.
+
+The federated counterpart of :class:`repro.serving.ProfileStore` — same
+query API (``rank`` / ``top_k`` / ``community_members`` / ``labels`` /
+``cache_info``), but every call fans out to the per-shard stores and the
+answers are gathered into the aligner's global label space
+(:mod:`repro.shard.align`). Chen et al.'s community search over profiled
+graphs motivates exactly this shape: partitioned indexes answering
+interactive queries, not one monolithic store.
+
+Ranking is an **exact heap k-way merge**. Each shard's ``rank`` returns
+its communities sorted by Eq. 19 score (served from that shard's own LRU
+cache); the router merges the per-shard streams with a max-heap keyed on
+score. A global label backed by several shard-local communities takes the
+score of its *strongest* backing (max-combining): because the merged
+stream is non-increasing, the first time a label surfaces its score is
+final — lazy consumption that stops after ``k`` distinct labels is
+provably identical to materialising everything (DESIGN.md §8 gives the
+argument). Per-shard scores are first
+rescaled onto one common per-query scale (each store divides out its own
+stability constant — see :meth:`ProfileStore.query_log_shift`). Per-shard
+caches are preserved, and a router-level LRU memoises the merged
+rankings on top; :meth:`cache_info` aggregates the shard counters and
+reports the router's own.
+
+Shard stores stay individually hot-swappable: the streaming pipeline runs
+one ingestor/snapshotter per shard and calls :meth:`hot_swap_shard`, which
+delegates to that store and drops only the router-level gathered memos.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..core.io import (
+    PathLike,
+    ShardManifest,
+    load_artifact,
+    load_shard_manifest,
+)
+from ..core.result import CPDResult
+from ..graph.vocabulary import Vocabulary
+from ..serving.cache import LRUCache
+from ..serving.store import ProfileStore
+from ..serving.summary import GraphSummary
+from .align import ShardAlignment
+
+QueryLike = Union[str, Sequence[str]]
+
+
+class ShardRouter:
+    """Scatter-gather facade over one federated (sharded) fit."""
+
+    def __init__(
+        self,
+        stores: list[ProfileStore],
+        user_maps: list[np.ndarray],
+        alignment: ShardAlignment,
+        query_cache_size: int = 1024,
+    ) -> None:
+        if not stores:
+            raise ValueError("need at least one shard store")
+        if len(stores) != len(user_maps):
+            raise ValueError("one user map per shard store required")
+        if alignment.n_shards != len(stores):
+            raise ValueError(
+                f"alignment covers {alignment.n_shards} shards but "
+                f"{len(stores)} stores were given"
+            )
+        for shard_id, (store, mapping) in enumerate(
+            zip(stores, alignment.local_to_global)
+        ):
+            if store.n_communities != mapping.shape[0]:
+                raise ValueError(
+                    f"shard {shard_id} has {store.n_communities} communities "
+                    f"but the alignment maps {mapping.shape[0]}"
+                )
+        self.stores = stores
+        self.user_maps = [np.asarray(m, dtype=np.int64) for m in user_maps]
+        self.alignment = alignment
+        # router-level gathered memos (invalidated on shard hot-swaps)
+        self._rank_cache: LRUCache[list[tuple[int, float]]] = LRUCache(query_cache_size)
+        self._members: dict[int, list[np.ndarray]] = {}
+        self._labels: dict[int, list[str]] = {}
+        self._representative: np.ndarray | None = None
+        self._query_terms: list[str] | None = None
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_manifest(
+        cls, path: PathLike, query_cache_size: int = 1024
+    ) -> "ShardRouter":
+        """Open a federated fit from its shard manifest.
+
+        Loads every per-shard artifact (self-contained v2+), revives the
+        persisted alignment, and wires the global/local user maps.
+        """
+        manifest = load_shard_manifest(path)
+        if manifest.alignment is None:
+            raise ValueError(
+                "the manifest carries no community alignment — run the "
+                "aligner (repro shard-fit does this automatically)"
+            )
+        stores = [
+            ProfileStore.from_artifact_bundle(
+                load_artifact(artifact_path), query_cache_size=query_cache_size
+            )
+            for artifact_path in manifest.artifact_paths(path)
+        ]
+        alignment = ShardAlignment.from_dict(manifest.alignment)
+        # signatures are derived data the manifest leaves out; replaying the
+        # mass-weighted merge restores them (needed by map_result / parity)
+        alignment.rebuild_signatures([store.result for store in stores])
+        user_maps = [entry.users for entry in manifest.shards]
+        return cls(
+            stores, user_maps, alignment, query_cache_size=query_cache_size
+        )
+
+    # ------------------------------------------------------------- dimensions
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.stores)
+
+    @property
+    def n_users(self) -> int:
+        return sum(m.shape[0] for m in self.user_maps)
+
+    @property
+    def n_communities(self) -> int:
+        """Size of the *global* community label space."""
+        return self.alignment.n_global
+
+    @property
+    def n_topics(self) -> int:
+        return self.stores[0].n_topics
+
+    @property
+    def n_words(self) -> int:
+        return self.stores[0].n_words
+
+    def shard_of_user(self, global_user: int) -> tuple[int, int]:
+        """``(shard_id, local_user_id)`` for a global user id."""
+        for shard_id, user_map in enumerate(self.user_maps):
+            index = int(np.searchsorted(user_map, global_user))
+            if index < user_map.shape[0] and user_map[index] == global_user:
+                return shard_id, index
+        raise KeyError(f"user {global_user} is on no shard")
+
+    # ---------------------------------------------------------------- ranking
+
+    def _merged_rank(self, query: QueryLike):
+        """Lazily yield ``(global_community, score)`` in non-increasing score
+        order, deduplicated first-wins (= max-combining; see module doc).
+
+        Each store's cached ranking carries a per-store, per-query
+        rescaling (``ProfileStore.query_log_shift``: the log-affinity max
+        divided out for numerical stability). The shards' constants differ
+        — every shard fits its own ``phi`` — so before merging, each
+        shard's scores are put back on one common scale by
+        ``exp(shift_s - max_shift)``. The correction is monotone per
+        shard, so the cached per-shard rankings stay valid; only the
+        cross-shard comparison needed it.
+        """
+        rankings = [store.rank(query) for store in self.stores]
+        shifts = [store.query_log_shift(query) for store in self.stores]
+        reference = max(shifts)
+        scales = [float(np.exp(shift - reference)) for shift in shifts]
+        heap: list[tuple[float, int, int]] = []
+        for shard_id, ranking in enumerate(rankings):
+            if ranking:
+                score = ranking[0][1] * scales[shard_id]
+                heap.append((-score, shard_id, 0))
+        heapq.heapify(heap)
+        seen: set[int] = set()
+        mapping = self.alignment.local_to_global
+        while heap:
+            negative_score, shard_id, index = heapq.heappop(heap)
+            local_community, _raw = rankings[shard_id][index]
+            if index + 1 < len(rankings[shard_id]):
+                heapq.heappush(
+                    heap,
+                    (
+                        -rankings[shard_id][index + 1][1] * scales[shard_id],
+                        shard_id,
+                        index + 1,
+                    ),
+                )
+            global_community = int(mapping[shard_id][local_community])
+            if global_community in seen:
+                continue
+            seen.add(global_community)
+            yield global_community, -negative_score
+
+    def _query_key(self, query: QueryLike) -> tuple[int, ...]:
+        # shard subgraphs share the global vocabulary, so shard 0's word
+        # ids key the merged ranking for every shard
+        key = self.stores[0].query_word_ids(query)
+        if not key:
+            raise KeyError(f"no query term of {query!r} is in the vocabulary")
+        return key
+
+    def rank(self, query: QueryLike) -> list[tuple[int, float]]:
+        """Global communities by best-backing Eq. 19 score, best first.
+
+        Merged rankings sit behind a router-level LRU (on top of the
+        per-shard rank caches), so a repeated query pays neither the
+        scatter nor the heap merge.
+        """
+        key = self._query_key(query)
+        cached = self._rank_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        ranking = list(self._merged_rank(query))
+        self._rank_cache.put(key, ranking)
+        return list(ranking)
+
+    def top_k(self, query: QueryLike, k: int = 5) -> list[int]:
+        """Top-``k`` global community ids, as a prefix of :meth:`rank`.
+
+        Delegates so repeated ``top_k``-only workloads fill and hit the
+        router LRU like ``rank`` does. (:meth:`_merged_rank` still yields
+        lazily — a huge-``C`` deployment could consume it directly to stop
+        after ``k`` labels, which the first-wins/max-combining argument
+        makes exact — but at community-sized ``n_global`` the cached full
+        merge wins.)
+        """
+        return [c for c, _score in self.rank(query)[:k]]
+
+    def scores(self, query: QueryLike) -> np.ndarray:
+        """Best-backing score per global community, shape ``(n_global,)``.
+
+        Reads through the router LRU like :meth:`rank`/:meth:`top_k`.
+        """
+        scores = np.zeros(self.alignment.n_global, dtype=np.float64)
+        for global_community, score in self.rank(query):
+            scores[global_community] = score
+        return scores
+
+    def cache_info(self) -> dict:
+        """Aggregated per-shard LRU counters, the per-shard breakdown, and
+        the router-level merged-ranking cache."""
+        per_shard = [store.cache_info() for store in self.stores]
+        return {
+            "hits": sum(info["hits"] for info in per_shard),
+            "misses": sum(info["misses"] for info in per_shard),
+            "size": sum(info["size"] for info in per_shard),
+            "max_size": sum(info["max_size"] for info in per_shard),
+            "shards": per_shard,
+            "router": self._rank_cache.info(),
+        }
+
+    # ------------------------------------------------------------ query index
+
+    def indexed_terms(self) -> list[str]:
+        """Union of the shards' indexed query terms, by merged frequency."""
+        if self._query_terms is None:
+            frequency: dict[str, int] = {}
+            for store in self.stores:
+                for query in store.indexed_queries():
+                    frequency[query.term] = frequency.get(query.term, 0) + query.frequency
+            self._query_terms = [
+                term
+                for term, _count in sorted(
+                    frequency.items(), key=lambda item: (-item[1], item[0])
+                )
+            ]
+        return list(self._query_terms)
+
+    def relevant_users(self, term: str) -> np.ndarray:
+        """Global ground-truth user set ``U*_q``: union over the shards."""
+        gathered: list[np.ndarray] = []
+        for store, user_map in zip(self.stores, self.user_maps):
+            query = store.query_index().get(term)
+            if query is not None:
+                gathered.append(user_map[query.relevant_users])
+        if not gathered:
+            raise KeyError(f"term {term!r} is indexed on no shard")
+        return np.unique(np.concatenate(gathered))
+
+    # ------------------------------------------------------------ memberships
+
+    def community_members(self, k: int = 5) -> list[np.ndarray]:
+        """Global member user ids per *global* community (top-``k`` rule)."""
+        if k not in self._members:
+            gathered: list[list[np.ndarray]] = [
+                [] for _ in range(self.alignment.n_global)
+            ]
+            for shard_id, (store, user_map) in enumerate(
+                zip(self.stores, self.user_maps)
+            ):
+                mapping = self.alignment.local_to_global[shard_id]
+                for local_community, members in enumerate(store.community_members(k)):
+                    gathered[int(mapping[local_community])].append(user_map[members])
+            self._members[k] = [
+                np.unique(np.concatenate(parts)) if parts else np.zeros(0, dtype=np.int64)
+                for parts in gathered
+            ]
+        return self._members[k]
+
+    def _representative_shard(self) -> np.ndarray:
+        """Per global community: the shard-local backing with the most user
+        mass, as ``(shard_id, local_community)`` rows, shape (n_global, 2).
+
+        Global labels backed by several shards take their display label
+        from the heaviest backing.
+        """
+        if self._representative is None:
+            n_global = self.alignment.n_global
+            best_mass = np.full(n_global, -1.0)
+            representative = np.zeros((n_global, 2), dtype=np.int64)
+            for shard_id, store in enumerate(self.stores):
+                mapping = self.alignment.local_to_global[shard_id]
+                mass = store.result.pi.sum(axis=0)
+                for local_community in range(store.n_communities):
+                    g = int(mapping[local_community])
+                    if mass[local_community] > best_mass[g]:
+                        best_mass[g] = mass[local_community]
+                        representative[g] = (shard_id, local_community)
+            self._representative = representative
+        return self._representative
+
+    # ----------------------------------------------------------------- labels
+
+    def labels(self, n_words: int = 3) -> list[str]:
+        """Per-global-community labels, from the heaviest backing shard."""
+        if n_words not in self._labels:
+            representative = self._representative_shard()
+            shard_labels = [store.labels(n_words) for store in self.stores]
+            self._labels[n_words] = [
+                shard_labels[int(shard_id)][int(local_community)]
+                for shard_id, local_community in representative
+            ]
+        return self._labels[n_words]
+
+    # --------------------------------------------------------------- hot swap
+
+    def invalidate(self) -> None:
+        """Drop every router-level gathered memo (shard caches untouched).
+
+        The merged-rank LRU empties too — a swapped shard changes merged
+        answers — but its cumulative hit/miss counters survive for
+        monitoring continuity, mirroring :meth:`ProfileStore.invalidate`.
+        """
+        self._rank_cache.clear()
+        self._members.clear()
+        self._labels.clear()
+        self._representative = None
+        self._query_terms = None
+
+    def hot_swap_shard(
+        self,
+        shard_id: int,
+        result: CPDResult,
+        summary: GraphSummary | None = None,
+        vocabulary: Vocabulary | None = None,
+    ) -> None:
+        """Swap a newer result into one shard's store; the router survives.
+
+        The shard's own :meth:`ProfileStore.hot_swap` validation applies;
+        the community count must stay aligned with the stored mapping
+        (streaming refreshes keep ``C`` fixed, so this holds by
+        construction). Router-level gathered memos are invalidated; the
+        other shards' stores and caches are untouched.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"shard {shard_id} out of range")
+        expected = self.alignment.local_to_global[shard_id].shape[0]
+        if result.n_communities != expected:
+            raise ValueError(
+                f"shard {shard_id} is aligned over {expected} communities but "
+                f"the new result has {result.n_communities} — refit the "
+                "alignment instead of hot-swapping"
+            )
+        self.stores[shard_id].hot_swap(result, summary=summary, vocabulary=vocabulary)
+        self.invalidate()
+
+
+def build_manifest(
+    plan,
+    artifact_names: list[str],
+    alignment: ShardAlignment | None = None,
+) -> ShardManifest:
+    """Assemble a :class:`~repro.core.io.ShardManifest` from a shard plan.
+
+    ``artifact_names`` are the per-shard artifact filenames *relative to the
+    manifest's directory*.
+    """
+    from ..core.io import ShardEntry  # local import keeps io.py shard-agnostic
+
+    if len(artifact_names) != plan.n_shards:
+        raise ValueError("one artifact name per shard required")
+    entries = [
+        ShardEntry(
+            shard_id=part.shard_id,
+            path=artifact_names[part.shard_id],
+            users=part.users,
+            doc_ids=part.doc_ids,
+        )
+        for part in plan.shards
+    ]
+    return ShardManifest(
+        strategy=plan.strategy,
+        graph_name=plan.graph_name,
+        shards=entries,
+        spill=plan.spill.to_dict(),
+        alignment=alignment.to_dict() if alignment is not None else None,
+    )

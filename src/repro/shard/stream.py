@@ -1,0 +1,291 @@
+"""Shard-local streaming: route global events to per-shard ingestors.
+
+Each shard runs its *own* streaming pipeline — a
+:class:`~repro.stream.ingest.MicroBatchIngestor` over the shard's store,
+optionally backed by an :class:`~repro.stream.refresh.IncrementalRefresher`
+warm-started from the shard's fit, and a
+:class:`~repro.stream.snapshot.Snapshotter` for shard-local artifacts.
+Nothing in :mod:`repro.stream` had to change: a shard is just a smaller
+corpus with its own store.
+
+The one genuinely federated concern is **routing**. Stream events arrive
+in the global id space (the publisher's global user id, link endpoints as
+global document ids); the :class:`ShardedIngestor` translates them:
+
+* a :class:`~repro.stream.events.DocumentArrival` goes to the publisher's
+  shard (``user_shard``), gets the next global doc id (mirroring the
+  replay-order contract of :func:`repro.stream.events.split_for_replay`)
+  and a shard-local user id;
+* a :class:`~repro.stream.events.LinkArrival` whose endpoints live on the
+  same shard is remapped to local doc ids and submitted there; endpoints
+  on *different* shards make it a **spill link** — recorded (global ids)
+  but applied to no shard, the exact streaming analogue of the
+  partitioner's spill set.
+
+Hot swap stays shard-local: :meth:`ShardedIngestor.hot_swap` snapshots
+each refreshed shard and swaps it into the router via
+:meth:`~repro.shard.router.ShardRouter.hot_swap_shard`; untouched shards
+keep their stores and caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sampling.rng import RngLike, ensure_rng
+from ..serving.summary import GraphSummary
+from ..stream.events import DocumentArrival, LinkArrival, StreamEvent
+from ..stream.ingest import FlushReport, MicroBatchIngestor
+from ..stream.refresh import IncrementalRefresher
+from ..stream.snapshot import Snapshotter
+from .fit import ShardedFit
+from .router import ShardRouter
+
+
+class ShardedIngestor:
+    """Routes a global event stream onto per-shard streaming pipelines."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        user_shard: np.ndarray,
+        doc_location: dict[int, tuple[int, int]],
+        refreshers: list[IncrementalRefresher | None],
+        vocabularies: list | None = None,
+        base_summaries: list[GraphSummary | None] | None = None,
+        batch_size: int = 64,
+        refresh_interval: int | None = None,
+        rng: RngLike = None,
+    ) -> None:
+        if len(refreshers) != router.n_shards:
+            raise ValueError("one refresher slot per shard required")
+        self.router = router
+        self.user_shard = np.asarray(user_shard, dtype=np.int64)
+        #: global doc id -> (shard_id, local_doc_id)
+        self.doc_location = dict(doc_location)
+        self.refreshers = refreshers
+        self._vocabularies = vocabularies or [None] * router.n_shards
+        self._base_summaries = base_summaries or [None] * router.n_shards
+        generator = ensure_rng(rng)
+        self.ingestors = [
+            MicroBatchIngestor(
+                store,
+                refreshers[shard_id],
+                batch_size=batch_size,
+                refresh_interval=(
+                    refresh_interval if refreshers[shard_id] is not None else None
+                ),
+                rng=generator,
+            )
+            for shard_id, store in enumerate(router.stores)
+        ]
+        #: next local doc id per shard (documents append in submission order)
+        self._next_local_doc = [
+            len(store.doc_user()) for store in router.stores
+        ]
+        self._next_global_doc = len(self.doc_location)
+        #: cross-shard link arrivals, rows (source_doc, target_doc, timestamp)
+        self.spilled_links: list[tuple[int, int, int]] = []
+        #: shards whose id bookkeeping may be ahead of what the shard
+        #: actually applied (a flush raised mid-batch, dropping buffered
+        #: documents whose slots were already committed) — routing to them
+        #: would silently corrupt link remapping, so it fails loudly instead
+        self._poisoned: set[int] = set()
+
+    # -------------------------------------------------------------- factories
+
+    @classmethod
+    def from_sharded_fit(
+        cls,
+        fit: ShardedFit,
+        router: ShardRouter | None = None,
+        with_refresh: bool = True,
+        batch_size: int = 64,
+        refresh_interval: int | None = None,
+        rng: RngLike = None,
+    ) -> "ShardedIngestor":
+        """Wire per-shard pipelines over an in-memory :class:`ShardedFit`."""
+        router = router or fit.router()
+        generator = ensure_rng(rng)
+        refreshers: list[IncrementalRefresher | None] = []
+        for part, result in zip(fit.plan.shards, fit.results):
+            refreshers.append(
+                IncrementalRefresher(
+                    part.graph,
+                    result,
+                    rng=int(generator.integers(0, 2**31 - 1)),
+                )
+                if with_refresh
+                else None
+            )
+        doc_location = {
+            int(global_doc): (part.shard_id, local)
+            for part in fit.plan.shards
+            for local, global_doc in enumerate(part.doc_ids)
+        }
+        return cls(
+            router,
+            fit.plan.user_shard,
+            doc_location,
+            refreshers,
+            vocabularies=[part.graph.vocabulary for part in fit.plan.shards],
+            base_summaries=[
+                GraphSummary.from_graph(part.graph) for part in fit.plan.shards
+            ],
+            batch_size=batch_size,
+            refresh_interval=refresh_interval,
+            rng=generator,
+        )
+
+    # ----------------------------------------------------------------- intake
+
+    def submit(self, event: StreamEvent) -> FlushReport | None:
+        """Route one global event; returns a flush report when one fired."""
+        if isinstance(event, DocumentArrival):
+            if not 0 <= event.user_id < self.user_shard.shape[0]:
+                raise KeyError(f"document published by unknown user {event.user_id}")
+            shard_id = int(self.user_shard[event.user_id])
+            self._check_routable(shard_id)
+            part_users = self.router.user_maps[shard_id]
+            local_user = int(np.searchsorted(part_users, event.user_id))
+            if (
+                local_user >= part_users.shape[0]
+                or part_users[local_user] != event.user_id
+            ):
+                raise KeyError(
+                    f"user {event.user_id} is routed to shard {shard_id} but "
+                    "missing from its user map — user_shard and the router's "
+                    "maps disagree"
+                )
+            report = self._shard_submit(
+                shard_id,
+                DocumentArrival(
+                    user_id=local_user, words=event.words, timestamp=event.timestamp
+                ),
+            )
+            # the shard accepted (buffered or flushed) the event, so its
+            # local slot is determined by submission order; commit the maps
+            global_doc = self._next_global_doc
+            self._next_global_doc += 1
+            self.doc_location[global_doc] = (shard_id, self._next_local_doc[shard_id])
+            self._next_local_doc[shard_id] += 1
+            return report
+        if isinstance(event, LinkArrival):
+            source = self.doc_location.get(event.source_doc)
+            target = self.doc_location.get(event.target_doc)
+            if source is None or target is None:
+                raise KeyError(
+                    f"link references unknown documents "
+                    f"({event.source_doc}, {event.target_doc})"
+                )
+            if source[0] != target[0]:
+                self.spilled_links.append(
+                    (event.source_doc, event.target_doc, event.timestamp)
+                )
+                return None
+            shard_id = source[0]
+            self._check_routable(shard_id)
+            return self._shard_submit(
+                shard_id,
+                LinkArrival(
+                    source_doc=source[1],
+                    target_doc=target[1],
+                    timestamp=event.timestamp,
+                ),
+            )
+        raise TypeError(f"unknown stream event type {type(event).__name__}")
+
+    def _check_routable(self, shard_id: int) -> None:
+        if shard_id in self._poisoned:
+            raise RuntimeError(
+                f"shard {shard_id}'s ingest pipeline previously failed mid-batch; "
+                "its routing maps no longer match the documents the shard "
+                "applied — rebuild the sharded ingestor (fresh fit/router) "
+                "instead of streaming into it"
+            )
+
+    def _shard_submit(self, shard_id: int, event: StreamEvent) -> FlushReport | None:
+        """Submit to one shard's ingestor, poisoning the shard on failure.
+
+        A raising submit usually means a flush died mid-batch: the batch's
+        documents were popped from the buffer but never applied, while
+        earlier submissions already committed their id slots. Rather than
+        let later links remap against a desynchronised store, the shard is
+        marked unroutable and every later event to it fails loudly.
+        """
+        try:
+            return self.ingestors[shard_id].submit(event)
+        except Exception:
+            self._poisoned.add(shard_id)
+            raise
+
+    def submit_many(self, events) -> list[FlushReport]:
+        """Submit a sequence of global events; returns the flush reports."""
+        reports = []
+        for event in events:
+            report = self.submit(event)
+            if report is not None:
+                reports.append(report)
+        return reports
+
+    def flush(self) -> None:
+        """Flush every shard's buffered micro-batch."""
+        for ingestor in self.ingestors:
+            ingestor.flush()
+
+    def refresh(self) -> None:
+        """Trigger an incremental refresh on every refreshed shard."""
+        for ingestor in self.ingestors:
+            ingestor.refresh()
+
+    # --------------------------------------------------------------- hot swap
+
+    def snapshotter(self, shard_id: int) -> Snapshotter:
+        """A shard-local snapshotter (artifact save / hot swap source)."""
+        refresher = self.refreshers[shard_id]
+        if refresher is None:
+            raise ValueError(
+                f"shard {shard_id} streams without a refresher — nothing to snapshot"
+            )
+        return Snapshotter(
+            refresher,
+            vocabulary=self._vocabularies[shard_id],
+            base_summary=self._base_summaries[shard_id],
+        )
+
+    def hot_swap(self, shard_ids=None) -> list[int]:
+        """Snapshot refreshed shards and swap them into the router in place.
+
+        Returns the shard ids actually swapped. Shards without a refresher
+        are skipped — their stores (and caches) are untouched, which is the
+        point of shard-local hot swap.
+        """
+        if shard_ids is None:
+            shard_ids = range(self.router.n_shards)
+        swapped = []
+        for shard_id in shard_ids:
+            if self.refreshers[shard_id] is None:
+                continue
+            snapshotter = self.snapshotter(shard_id)
+            result, summary, _cursor = snapshotter.snapshot()
+            self.router.hot_swap_shard(
+                shard_id,
+                result,
+                summary=summary,
+                vocabulary=self._vocabularies[shard_id],
+            )
+            swapped.append(shard_id)
+        return swapped
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict:
+        """Aggregated per-shard counters plus the routing-level spill count."""
+        per_shard = [ingestor.stats() for ingestor in self.ingestors]
+        totals = {
+            key: sum(stats[key] for stats in per_shard)
+            for key in per_shard[0]
+        }
+        totals["spilled_links"] = len(self.spilled_links)
+        totals["shards"] = per_shard
+        return totals

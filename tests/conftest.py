@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core import CPDConfig, CPDModel
-from repro.datasets import dblp_scenario, twitter_scenario
+from repro.datasets import dblp_scenario, separated_scenario, twitter_scenario
 
 
 @pytest.fixture(scope="session")
@@ -45,6 +45,34 @@ def fitted_cpd_dblp(dblp_tiny, tiny_config):
     """One CPD fit on the tiny DBLP graph, shared by read-only tests."""
     graph, _truth = dblp_tiny
     return CPDModel(tiny_config, rng=2).fit(graph)
+
+
+@pytest.fixture(scope="session")
+def separated_tiny():
+    """Sharply separated planted graph — the sharding parity substrate."""
+    return separated_scenario("tiny", rng=5)
+
+
+@pytest.fixture(scope="session")
+def parity_config():
+    """CPD config matched to the separated-tiny planted dimensions."""
+    return CPDConfig(n_communities=4, n_topics=8, n_iterations=12, rho=0.5, alpha=0.5)
+
+
+@pytest.fixture(scope="session")
+def mono_parity(separated_tiny, parity_config):
+    """Monolithic fit on the separated scenario (the sharding comparator)."""
+    graph, _truth = separated_tiny
+    return CPDModel(parity_config, rng=1).fit(graph)
+
+
+@pytest.fixture(scope="session")
+def sharded_parity(separated_tiny, parity_config):
+    """One 2-shard community-strategy fit shared by the shard test modules."""
+    from repro.shard import fit_shards
+
+    graph, _truth = separated_tiny
+    return fit_shards(graph, parity_config, 2, strategy="community", rng=9)
 
 
 @pytest.fixture()

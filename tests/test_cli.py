@@ -333,3 +333,116 @@ class TestStreamBench:
         payload = json.loads(payload_path.read_text())
         assert payload["foldin_events_per_second"] > 0
         assert payload["refresh_events_per_second"] > 0
+
+
+@pytest.fixture(scope="module")
+def shard_workspace(tmp_path_factory):
+    """A separated-scenario graph, monolithic fit, and 2-shard fit."""
+    root = tmp_path_factory.mktemp("shard-cli")
+    graph_path = root / "parity.json.gz"
+    mono_path = root / "mono.cpd.npz"
+    shard_dir = root / "shards"
+    assert main([
+        "generate", "--scenario", "separated", "--scale", "tiny",
+        "--seed", "5", "--out", str(graph_path),
+    ]) == 0
+    assert main([
+        "fit", "--graph", str(graph_path), "--communities", "4",
+        "--topics", "8", "--iterations", "12", "--seed", "1",
+        "--out", str(mono_path),
+    ]) == 0
+    assert main([
+        "shard-fit", "--graph", str(graph_path), "--shards", "2",
+        "--communities", "4", "--topics", "8", "--iterations", "12",
+        "--seed", "9", "--out-dir", str(shard_dir),
+    ]) == 0
+    return root, graph_path, mono_path, shard_dir / "manifest.shards.json"
+
+
+class TestShardFit:
+    def test_writes_artifacts_and_manifest(self, shard_workspace):
+        _root, _graph, _mono, manifest_path = shard_workspace
+        assert manifest_path.exists()
+        assert (manifest_path.parent / "shard-0.cpd.npz").exists()
+        assert (manifest_path.parent / "shard-1.cpd.npz").exists()
+        from repro.core import load_shard_manifest
+
+        manifest = load_shard_manifest(manifest_path)
+        assert manifest.n_shards == 2
+        assert manifest.alignment is not None
+
+    def test_shard_artifacts_open_as_plain_stores(self, shard_workspace):
+        """A shard artifact is a standard self-contained artifact."""
+        _root, _graph, _mono, manifest_path = shard_workspace
+        from repro.serving import ProfileStore
+
+        store = ProfileStore.from_artifact(manifest_path.parent / "shard-0.cpd.npz")
+        assert store.n_communities == 4
+
+
+class TestShardQuery:
+    def test_serves_union_of_indexed_queries(self, shard_workspace, capsys):
+        _root, _graph, _mono, manifest_path = shard_workspace
+        assert main(["shard-query", "--manifest", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "queries across 2 shards" in out
+
+    def test_parity_against_monolithic_store(self, shard_workspace, capsys):
+        """The CI bar: >=80% top-k agreement with the monolithic fit."""
+        _root, _graph, mono_path, manifest_path = shard_workspace
+        assert main([
+            "shard-query", "--manifest", str(manifest_path),
+            "--against", str(mono_path), "--min-agreement", "0.8",
+        ]) == 0
+        assert "agreement vs" in capsys.readouterr().out
+
+    def test_unreachable_agreement_fails(self, shard_workspace, capsys):
+        _root, _graph, mono_path, manifest_path = shard_workspace
+        assert main([
+            "shard-query", "--manifest", str(manifest_path),
+            "--against", str(mono_path), "--min-agreement", "1.01",
+        ]) == 1
+        assert "below required" in capsys.readouterr().out
+
+    def test_unknown_term_reports_failure(self, shard_workspace, capsys):
+        _root, _graph, _mono, manifest_path = shard_workspace
+        assert main([
+            "shard-query", "--manifest", str(manifest_path),
+            "--query", "zzzz-not-a-word",
+        ]) == 1
+        assert "not in the fitted vocabulary" in capsys.readouterr().out
+
+
+class TestShardBench:
+    def test_compares_monolithic_and_sharded(self, shard_workspace, capsys, tmp_path):
+        _root, graph_path, _mono, _manifest = shard_workspace
+        payload_path = tmp_path / "shard_bench.json"
+        assert main([
+            "shard-bench", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "3", "--shards", "1", "2",
+            "--repeats", "2", "--json", str(payload_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 shard(s):" in out and "2 shard(s):" in out
+        import json
+
+        payload = json.loads(payload_path.read_text())
+        assert [run["n_shards"] for run in payload["runs"]] == [1, 2]
+        assert all(run["queries_per_second"] > 0 for run in payload["runs"])
+
+
+class TestShardInfo:
+    def test_info_on_manifest(self, shard_workspace, capsys):
+        _root, _graph, _mono, manifest_path = shard_workspace
+        assert main(["info", "--model", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shard manifest" in out
+        assert "2 shards" in out
+        assert "spill set" in out
+        assert "alignment" in out
+
+    def test_info_reports_fit_trace_and_snapshot(self, workspace, capsys):
+        _root, _graph, model_path = workspace
+        assert main(["info", "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fit trace       : 6 EM iterations" in out

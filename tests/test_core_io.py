@@ -1,4 +1,4 @@
-"""Tests for CPD result serialisation (formats v1 and v2)."""
+"""Tests for CPD result serialisation (formats v1-v3) and shard manifests."""
 
 import json
 import zipfile
@@ -6,7 +6,16 @@ import zipfile
 import numpy as np
 import pytest
 
-from repro.core import load_artifact, load_result, save_result
+from repro.core import (
+    ShardEntry,
+    ShardManifest,
+    is_shard_manifest,
+    load_artifact,
+    load_result,
+    load_shard_manifest,
+    save_result,
+    save_shard_manifest,
+)
 
 
 def _downgrade_to_v1(src_path, dst_path):
@@ -180,3 +189,78 @@ class TestFormatVersions:
         path = tmp_path / "offline.cpd.npz"
         save_result(fitted_cpd, path)
         assert load_artifact(path).stream_cursor is None
+
+
+def _sample_manifest() -> ShardManifest:
+    return ShardManifest(
+        strategy="community",
+        graph_name="twitter-tiny",
+        shards=[
+            ShardEntry(
+                shard_id=0,
+                path="shard-0.cpd.npz",
+                users=np.array([0, 2, 5]),
+                doc_ids=np.array([0, 1, 4]),
+            ),
+            ShardEntry(
+                shard_id=1,
+                path="shard-1.cpd.npz",
+                users=np.array([1, 3, 4]),
+                doc_ids=np.array([2, 3]),
+            ),
+        ],
+        spill={"friendship": [[0, 1]], "diffusion": [[0, 2, 7]]},
+        alignment={"n_global": 4, "local_to_global": [[0, 1], [1, 0]]},
+    )
+
+
+class TestShardManifest:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "manifest.shards.json"
+        manifest = _sample_manifest()
+        save_shard_manifest(manifest, path)
+        revived = load_shard_manifest(path)
+        assert revived.strategy == "community"
+        assert revived.graph_name == "twitter-tiny"
+        assert revived.n_shards == 2
+        assert revived.n_users == 6
+        assert revived.n_documents == 5
+        for mine, theirs in zip(revived.shards, manifest.shards):
+            assert mine.shard_id == theirs.shard_id
+            assert mine.path == theirs.path
+            np.testing.assert_array_equal(mine.users, theirs.users)
+            np.testing.assert_array_equal(mine.doc_ids, theirs.doc_ids)
+        assert revived.spill == manifest.spill
+        assert revived.alignment == manifest.alignment
+
+    def test_artifact_paths_resolve_against_manifest_dir(self, tmp_path):
+        path = tmp_path / "nested" / "manifest.shards.json"
+        path.parent.mkdir()
+        save_shard_manifest(_sample_manifest(), path)
+        revived = load_shard_manifest(path)
+        paths = revived.artifact_paths(path)
+        assert paths[0] == tmp_path / "nested" / "shard-0.cpd.npz"
+        assert paths[1] == tmp_path / "nested" / "shard-1.cpd.npz"
+
+    def test_unsupported_version_names_supported_ones(self, tmp_path):
+        path = tmp_path / "manifest.shards.json"
+        save_shard_manifest(_sample_manifest(), path)
+        payload = json.loads(path.read_text())
+        payload["manifest_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="supported versions: 1"):
+            load_shard_manifest(path)
+
+    def test_is_shard_manifest_sniffs_correctly(self, fitted_cpd, tmp_path):
+        manifest_path = tmp_path / "manifest.shards.json"
+        save_shard_manifest(_sample_manifest(), manifest_path)
+        artifact_path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, artifact_path)
+        other_json = tmp_path / "other.json"
+        other_json.write_text('{"hello": 1}')
+        garbage = tmp_path / "garbage.bin"
+        garbage.write_bytes(b"\x00\x01\x02")
+        assert is_shard_manifest(manifest_path)
+        assert not is_shard_manifest(artifact_path)
+        assert not is_shard_manifest(other_json)
+        assert not is_shard_manifest(garbage)

@@ -8,6 +8,7 @@ from repro.evaluation import (
     diffusion_auc_folds,
     friendship_auc_folds,
     independent_one_tailed_ttest,
+    nmi_matrix,
     normalized_mutual_information,
     paired_one_tailed_ttest,
     queries_by_frequency_band,
@@ -179,3 +180,45 @@ class TestNMI:
             normalized_mutual_information(np.ones(3), np.ones(2))
         with pytest.raises(ValueError):
             normalized_mutual_information(np.array([]), np.array([]))
+
+
+class TestNMIMatrix:
+    def test_matches_looped_scalar_nmi(self, rng):
+        reference = rng.integers(0, 5, size=300)
+        candidates = [rng.integers(0, k, size=300) for k in (2, 3, 5, 8)]
+        candidates.append(reference.copy())
+        batched = nmi_matrix(reference, candidates)
+        looped = [
+            normalized_mutual_information(reference, candidate)
+            for candidate in candidates
+        ]
+        np.testing.assert_allclose(batched, looped, rtol=1e-12)
+
+    def test_accepts_2d_array_and_single_vector(self, rng):
+        reference = rng.integers(0, 3, size=50)
+        stacked = np.stack([reference, (reference + 1) % 3])
+        scores = nmi_matrix(reference, stacked)
+        assert scores.shape == (2,)
+        assert scores == pytest.approx([1.0, 1.0])  # relabelling is NMI-invariant
+        single = nmi_matrix(reference, reference)
+        assert single.shape == (1,)
+        assert single[0] == pytest.approx(1.0)
+
+    def test_noncontiguous_label_values(self):
+        reference = np.array([7, 7, -2, -2, 100, 100])
+        candidate = np.array([1, 1, 4, 4, 9, 9])
+        assert nmi_matrix(reference, [candidate])[0] == pytest.approx(1.0)
+
+    def test_degenerate_single_cluster(self):
+        reference = np.zeros(10, dtype=np.int64)
+        scores = nmi_matrix(reference, [np.zeros(10), np.arange(10)])
+        assert scores[0] == pytest.approx(1.0)  # both degenerate
+        assert scores[1] == pytest.approx(0.0)  # one-sided degenerate
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            nmi_matrix(np.array([]), [np.array([])])
+        with pytest.raises(ValueError):
+            nmi_matrix(np.ones(3, dtype=np.int64), [np.ones(2, dtype=np.int64)])
+        with pytest.raises(ValueError):
+            nmi_matrix(np.ones((2, 2), dtype=np.int64), [np.ones(4, dtype=np.int64)])

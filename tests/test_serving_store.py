@@ -107,6 +107,15 @@ class TestRankingCache:
         expected = np.einsum("cdz,dz->c", fitted_cpd.eta, weighted)
         np.testing.assert_allclose(served_store.scores(a_term), expected)
 
+    def test_query_log_shift_restores_absolute_affinity(self, served_store, a_term):
+        """Undoing the stability rescale recovers prod_w phi_zw exactly —
+        the contract the cross-shard router merge relies on."""
+        affinity = served_store.query_topic_affinity(a_term)
+        shift = served_store.query_log_shift(a_term)
+        word_ids = list(served_store.query_word_ids(a_term))
+        raw = np.prod(served_store.result.phi[:, word_ids], axis=1)
+        np.testing.assert_allclose(affinity * np.exp(shift), raw, rtol=1e-9)
+
 
 class TestQueryIndex:
     def test_index_matches_select_queries(self, served_store, twitter_tiny):

@@ -1,0 +1,127 @@
+"""Direct tests for GraphSummary's query inverted index edge cases.
+
+Previously only exercised indirectly through test_serving_store; the
+sharded serving path leans harder on the index (per-shard summaries,
+router-side term unions), so the corners get pinned here: graphs whose
+diffused content yields no queries, terms absent from every shard,
+duplicate terms inside one query, and the serialisation round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.documents import DiffusionLink, Document, User
+from repro.graph.social_graph import SocialGraph
+from repro.graph.vocabulary import Vocabulary
+from repro.serving import GraphSummary, ProfileStore
+
+
+def _tiny_graph(with_diffusion: bool) -> SocialGraph:
+    vocabulary = Vocabulary()
+    for word in ("alpha", "beta", "gamma"):
+        vocabulary.add(word)
+    users = [User(user_id=0, doc_ids=[0]), User(user_id=1, doc_ids=[1])]
+    documents = [
+        Document(doc_id=0, user_id=0, words=np.array([0, 1, 0]), timestamp=0),
+        Document(doc_id=1, user_id=1, words=np.array([1, 2]), timestamp=1),
+    ]
+    links = [DiffusionLink(0, 1, 1)] if with_diffusion else []
+    return SocialGraph(
+        users=users,
+        documents=documents,
+        friendship_links=[],
+        diffusion_links=links,
+        vocabulary=vocabulary,
+        name="summary-edge",
+    )
+
+
+class TestEmptyQueryIndex:
+    def test_no_diffusing_documents_means_no_queries(self):
+        summary = GraphSummary.from_graph(_tiny_graph(with_diffusion=False))
+        assert summary.queries == []
+
+    def test_store_serves_empty_index_without_error(self, fitted_cpd):
+        summary = GraphSummary.from_graph(_tiny_graph(with_diffusion=False))
+        # dimensions disagree with fitted_cpd, but the query index is
+        # independent of the model — the index must simply be empty
+        assert summary.to_dict()["queries"] == []
+        revived = GraphSummary.from_dict(summary.to_dict())
+        assert revived.queries == []
+
+    def test_from_dict_tolerates_missing_queries_key(self):
+        payload = GraphSummary.from_graph(_tiny_graph(with_diffusion=True)).to_dict()
+        payload.pop("queries")
+        assert GraphSummary.from_dict(payload).queries == []
+
+    def test_min_frequency_above_corpus_empties_the_index(self):
+        summary = GraphSummary.from_graph(
+            _tiny_graph(with_diffusion=True), query_min_frequency=99
+        )
+        assert summary.queries == []
+
+
+class TestAbsentAndDuplicateTerms:
+    def test_term_absent_from_the_index_raises(self, fitted_cpd, twitter_tiny):
+        graph, _ = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        with pytest.raises(KeyError):
+            store.relevant_users("zzzz-not-a-term")
+
+    def test_term_absent_from_every_shard_raises(self, sharded_parity):
+        router = sharded_parity.router()
+        with pytest.raises(KeyError):
+            router.relevant_users("zzzz-not-a-term")
+
+    def test_vocabulary_word_never_diffused_is_not_indexed(self):
+        graph = _tiny_graph(with_diffusion=True)
+        summary = GraphSummary.from_graph(graph, query_min_frequency=1)
+        indexed = {query.term for query in summary.queries}
+        # only the source document (doc 0) diffuses; "gamma" lives in doc 1
+        assert "gamma" not in indexed
+        assert indexed == {"alpha", "beta"}
+
+    def test_duplicate_query_terms_resolve_to_duplicate_word_ids(
+        self, fitted_cpd, twitter_tiny
+    ):
+        graph, _ = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        term = graph.vocabulary.word_of(0)
+        once = store.query_word_ids(term)
+        twice = store.query_word_ids(f"{term} {term}")
+        assert twice == once * 2
+        # duplicated terms square the per-topic affinity factor, which must
+        # not change the *argmax* topic but may change lower ranks
+        single_best = store.query_topics(term, 1)[0][0]
+        double_best = store.query_topics([term, term], 1)[0][0]
+        assert single_best == double_best
+
+    def test_duplicate_terms_in_relevant_users_query_are_idempotent(
+        self, fitted_cpd, twitter_tiny
+    ):
+        graph, _ = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        queries = store.indexed_queries(1)
+        if not queries:
+            pytest.skip("scenario indexed no queries")
+        term = queries[0].term
+        np.testing.assert_array_equal(
+            store.relevant_users(term), store.relevant_users(term)
+        )
+
+
+class TestSummaryRoundtrip:
+    def test_queries_survive_to_dict_from_dict(self):
+        graph = _tiny_graph(with_diffusion=True)
+        summary = GraphSummary.from_graph(graph, query_min_frequency=1)
+        revived = GraphSummary.from_dict(summary.to_dict())
+        assert [q.term for q in revived.queries] == [q.term for q in summary.queries]
+        for mine, theirs in zip(revived.queries, summary.queries):
+            assert mine.word_id == theirs.word_id
+            assert mine.frequency == theirs.frequency
+            np.testing.assert_array_equal(mine.relevant_users, theirs.relevant_users)
+
+    def test_stats_match_graph(self):
+        graph = _tiny_graph(with_diffusion=True)
+        summary = GraphSummary.from_graph(graph)
+        assert summary.stats() == graph.stats()

@@ -1,0 +1,133 @@
+"""Tests for the cross-shard community aligner."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPDResult
+from repro.shard import (
+    CommunityAligner,
+    aligned_user_labels,
+    community_signatures,
+    hellinger_affinity,
+)
+
+
+def permuted_result(result: CPDResult, permutation: np.ndarray) -> CPDResult:
+    """The same fit with community ids relabelled by ``permutation``."""
+    inverse = np.argsort(permutation)
+    return CPDResult(
+        config=result.config,
+        pi=result.pi[:, permutation],
+        theta=result.theta[permutation],
+        phi=result.phi,
+        diffusion=result.diffusion.copy(),
+        doc_community=inverse[result.doc_community],
+        doc_topic=result.doc_topic,
+        graph_name=result.graph_name,
+    )
+
+
+class TestSignatures:
+    def test_rows_are_distributions(self, fitted_cpd):
+        for feature in ("content", "diffusion"):
+            signatures = community_signatures(fitted_cpd, feature)
+            assert signatures.shape == (fitted_cpd.n_communities, fitted_cpd.n_words)
+            np.testing.assert_allclose(signatures.sum(axis=1), 1.0, rtol=1e-9)
+            assert (signatures >= 0).all()
+
+    def test_unknown_feature_rejected(self, fitted_cpd):
+        with pytest.raises(ValueError):
+            community_signatures(fitted_cpd, "nope")
+
+    def test_hellinger_bounds(self, fitted_cpd):
+        signatures = community_signatures(fitted_cpd)
+        affinity = hellinger_affinity(signatures, signatures)
+        assert affinity.shape == (fitted_cpd.n_communities,) * 2
+        assert (affinity <= 1.0 + 1e-9).all() and (affinity >= 0.0).all()
+        np.testing.assert_allclose(np.diag(affinity), 1.0, rtol=1e-9)
+
+
+class TestAlignment:
+    def test_self_alignment_is_identity(self, fitted_cpd):
+        alignment = CommunityAligner().align([fitted_cpd, fitted_cpd])
+        assert alignment.n_global == fitted_cpd.n_communities
+        np.testing.assert_array_equal(
+            alignment.local_to_global[0], alignment.local_to_global[1]
+        )
+
+    @pytest.mark.parametrize("method", ["hungarian", "greedy"])
+    def test_recovers_a_planted_permutation(self, fitted_cpd, method):
+        permutation = np.array([2, 0, 3, 1])
+        shuffled = permuted_result(fitted_cpd, permutation)
+        alignment = CommunityAligner(method=method).align([fitted_cpd, shuffled])
+        assert alignment.n_global == fitted_cpd.n_communities
+        # shuffled community c is original community permutation[c]
+        np.testing.assert_array_equal(alignment.local_to_global[1], permutation)
+
+    def test_dissimilar_communities_open_new_labels(self, fitted_cpd):
+        # a synthetic "shard" whose communities concentrate on disjoint words
+        n_c, n_z, n_w = (
+            fitted_cpd.n_communities,
+            fitted_cpd.n_topics,
+            fitted_cpd.n_words,
+        )
+        phi = np.full((n_z, n_w), 1e-12)
+        for topic in range(n_z):
+            start = (topic * n_w) // n_z
+            stop = ((topic + 1) * n_w) // n_z
+            phi[topic, start:stop] = 1.0
+        phi /= phi.sum(axis=1, keepdims=True)
+        theta = np.eye(n_c, n_z)
+        foreign = CPDResult(
+            config=fitted_cpd.config,
+            pi=np.full_like(fitted_cpd.pi, 1.0 / n_c),
+            theta=theta,
+            phi=phi,
+            diffusion=fitted_cpd.diffusion.copy(),
+            doc_community=fitted_cpd.doc_community,
+            doc_topic=fitted_cpd.doc_topic,
+        )
+        alignment = CommunityAligner(min_similarity=0.9).align([fitted_cpd, foreign])
+        assert alignment.n_global > fitted_cpd.n_communities
+
+    def test_mismatched_vocabulary_rejected(self, fitted_cpd, fitted_cpd_dblp):
+        with pytest.raises(ValueError):
+            CommunityAligner().align([fitted_cpd, fitted_cpd_dblp])
+
+    def test_roundtrip_through_dict_preserves_mapping(self, sharded_parity):
+        alignment = sharded_parity.alignment
+        from repro.shard import ShardAlignment
+
+        revived = ShardAlignment.from_dict(alignment.to_dict())
+        assert revived.n_global == alignment.n_global
+        for mine, theirs in zip(revived.local_to_global, alignment.local_to_global):
+            np.testing.assert_array_equal(mine, theirs)
+        # signatures are derived data: absent after revival, rebuildable
+        assert revived.signatures.size == 0
+        revived.rebuild_signatures(sharded_parity.results)
+        np.testing.assert_allclose(
+            revived.signatures, alignment.signatures, atol=1e-9
+        )
+
+    def test_map_result_identity_on_reference_shard(self, sharded_parity):
+        aligner = CommunityAligner()
+        mapping = aligner.map_result(
+            sharded_parity.alignment, sharded_parity.results[0]
+        )
+        np.testing.assert_array_equal(
+            mapping, sharded_parity.alignment.local_to_global[0]
+        )
+
+
+class TestAlignedLabels:
+    def test_labels_cover_every_user(self, sharded_parity, separated_tiny):
+        graph, _ = separated_tiny
+        labels = aligned_user_labels(
+            sharded_parity.alignment,
+            sharded_parity.results,
+            [part.users for part in sharded_parity.plan.shards],
+            graph.n_users,
+        )
+        assert labels.shape == (graph.n_users,)
+        assert (labels >= 0).all()
+        assert (labels < sharded_parity.alignment.n_global).all()

@@ -1,0 +1,258 @@
+"""Tests for the scatter-gather ShardRouter, including the parity pins.
+
+The end-to-end acceptance bars (ISSUE 5) live here: on the separated
+synthetic scenario a 2-shard router must agree with a monolithic
+``ProfileStore`` on >=80% of indexed queries (the monolithic best
+community, mapped through the alignment, appears in the router's top-2),
+and the aligned global user labels must reach NMI >= 0.7 against the
+monolithic fit's hard labels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import nmi_matrix
+from repro.serving import ProfileStore
+from repro.shard import (
+    CommunityAligner,
+    ShardRouter,
+    aligned_user_labels,
+    fit_shards,
+)
+
+
+@pytest.fixture(scope="module")
+def router(sharded_parity):
+    return sharded_parity.router()
+
+
+@pytest.fixture(scope="module")
+def mono_store(mono_parity, separated_tiny):
+    graph, _ = separated_tiny
+    return ProfileStore.from_fit(mono_parity, graph)
+
+
+@pytest.fixture(scope="module")
+def mono_to_global(sharded_parity, mono_parity):
+    return CommunityAligner().map_result(sharded_parity.alignment, mono_parity)
+
+
+class TestEndToEndParity:
+    def test_top_k_agreement_at_least_80_percent(
+        self, router, mono_store, mono_to_global
+    ):
+        terms = [query.term for query in mono_store.indexed_queries()]
+        assert len(terms) >= 50  # the scenario must index a real workload
+        agreements = 0
+        for term in terms:
+            mono_best = int(mono_to_global[mono_store.top_k(term, 1)[0]])
+            agreements += int(mono_best in router.top_k(term, 2))
+        assert agreements / len(terms) >= 0.8
+
+    def test_aligned_labels_nmi_at_least_0_7(
+        self, sharded_parity, mono_parity, separated_tiny
+    ):
+        graph, _ = separated_tiny
+        labels = aligned_user_labels(
+            sharded_parity.alignment,
+            sharded_parity.results,
+            [part.users for part in sharded_parity.plan.shards],
+            graph.n_users,
+        )
+        score = nmi_matrix(mono_parity.hard_community_per_user(), [labels])[0]
+        assert score >= 0.7
+
+    def test_hash_strategy_also_clears_the_bars(
+        self, separated_tiny, parity_config, mono_parity
+    ):
+        graph, _ = separated_tiny
+        fit = fit_shards(graph, parity_config, 2, strategy="hash", rng=9)
+        labels = aligned_user_labels(
+            fit.alignment,
+            fit.results,
+            [part.users for part in fit.plan.shards],
+            graph.n_users,
+        )
+        score = nmi_matrix(mono_parity.hard_community_per_user(), [labels])[0]
+        assert score >= 0.7
+
+
+class TestMergeExactness:
+    def test_rank_is_sorted_and_deduplicated(self, router):
+        term = router.indexed_terms()[0]
+        ranking = router.rank(term)
+        scores = [score for _c, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+        labels = [c for c, _s in ranking]
+        assert len(labels) == len(set(labels))
+        assert set(labels) <= set(range(router.n_communities))
+
+    def test_heap_merge_matches_brute_force_max(self, router, sharded_parity):
+        """First-wins on the merged descending stream == max over backings."""
+        term = router.indexed_terms()[0]
+        shifts = [store.query_log_shift(term) for store in router.stores]
+        reference = max(shifts)
+        expected: dict[int, float] = {}
+        for shard_id, store in enumerate(router.stores):
+            mapping = sharded_parity.alignment.local_to_global[shard_id]
+            scale = np.exp(shifts[shard_id] - reference)
+            for local, score in store.rank(term):
+                g = int(mapping[local])
+                expected[g] = max(expected.get(g, -np.inf), score * scale)
+        brute = sorted(expected.items(), key=lambda item: -item[1])
+        merged = router.rank(term)
+        assert [c for c, _s in merged] == [c for c, _s in brute]
+        np.testing.assert_allclose(
+            [s for _c, s in merged], [s for _c, s in brute]
+        )
+
+    def test_top_k_is_a_prefix_of_rank(self, router):
+        term = router.indexed_terms()[1]
+        full = [c for c, _s in router.rank(term)]
+        for k in (1, 2, len(full)):
+            assert router.top_k(term, k) == full[:k]
+
+    def test_scores_vector_matches_rank(self, router):
+        term = router.indexed_terms()[0]
+        scores = router.scores(term)
+        for community, score in router.rank(term):
+            assert scores[community] == pytest.approx(score)
+
+    def test_unknown_query_raises(self, router):
+        with pytest.raises(KeyError):
+            router.rank("zzzz-not-a-word")
+
+
+class TestServingFacade:
+    def test_cache_info_aggregates_shards(self, sharded_parity):
+        fresh = sharded_parity.router()
+        term = fresh.indexed_terms()[0]
+        fresh.rank(term)
+        fresh.rank(term)
+        info = fresh.cache_info()
+        assert info["misses"] == fresh.n_shards  # one miss per shard store
+        assert len(info["shards"]) == fresh.n_shards
+        assert info["misses"] == sum(shard["misses"] for shard in info["shards"])
+        # the repeat never reached the shards: the router LRU absorbed it
+        assert info["router"] == {"hits": 1, "misses": 1, "size": 1, "max_size": 1024}
+
+    def test_router_cache_hit_skips_scatter_and_merge(self, sharded_parity, monkeypatch):
+        fresh = sharded_parity.router()
+        term = fresh.indexed_terms()[0]
+        primed = fresh.rank(term)
+        for store in fresh.stores:
+            monkeypatch.setattr(
+                store, "rank", lambda _q: (_ for _ in ()).throw(AssertionError)
+            )
+        assert fresh.rank(term) == primed
+        assert fresh.top_k(term, 2) == [c for c, _s in primed[:2]]
+
+    def test_cached_merged_ranking_is_a_copy(self, sharded_parity):
+        fresh = sharded_parity.router()
+        term = fresh.indexed_terms()[0]
+        ranking = fresh.rank(term)
+        ranking.append(("tampered", 0.0))
+        assert fresh.rank(term)[-1] != ("tampered", 0.0)
+
+    def test_community_members_are_global_and_disjointly_unioned(
+        self, router, separated_tiny
+    ):
+        graph, _ = separated_tiny
+        members = router.community_members(1)
+        assert len(members) == router.n_communities
+        stacked = np.concatenate(members)
+        assert stacked.size == graph.n_users  # top-1: every user exactly once
+        assert len(np.unique(stacked)) == graph.n_users
+
+    def test_labels_come_from_heaviest_backing(self, router):
+        labels = router.labels()
+        assert len(labels) == router.n_communities
+        assert all(isinstance(label, str) and label for label in labels)
+
+    def test_relevant_users_union_global_ids(self, router, separated_tiny):
+        graph, _ = separated_tiny
+        term = router.indexed_terms()[0]
+        users = router.relevant_users(term)
+        assert (users >= 0).all() and (users < graph.n_users).all()
+        assert len(np.unique(users)) == len(users)
+        with pytest.raises(KeyError):
+            router.relevant_users("zzzz-not-a-term")
+
+    def test_shard_of_user_roundtrip(self, router, sharded_parity):
+        for part in sharded_parity.plan.shards:
+            global_user = int(part.users[0])
+            shard_id, local = router.shard_of_user(global_user)
+            assert shard_id == part.shard_id
+            assert int(part.users[local]) == global_user
+
+
+class TestManifestRoundtrip:
+    def test_router_from_manifest_matches_in_memory(
+        self, separated_tiny, parity_config, tmp_path_factory
+    ):
+        graph, _ = separated_tiny
+        out_dir = tmp_path_factory.mktemp("shards")
+        fit = fit_shards(
+            graph, parity_config, 2, strategy="hash", out_dir=out_dir, rng=9
+        )
+        memory_router = ShardRouter(
+            [
+                ProfileStore.from_fit(result, part.graph)
+                for result, part in zip(fit.results, fit.plan.shards)
+            ],
+            [part.users for part in fit.plan.shards],
+            fit.alignment,
+        )
+        disk_router = ShardRouter.from_manifest(fit.manifest_path)
+        assert disk_router.n_shards == memory_router.n_shards
+        assert disk_router.n_communities == memory_router.n_communities
+        for term in disk_router.indexed_terms()[:10]:
+            assert disk_router.rank(term) == memory_router.rank(term)
+        # revived alignment rebuilt its signatures for map_result
+        assert disk_router.alignment.signatures.size > 0
+
+    def test_manifest_without_alignment_is_rejected(
+        self, separated_tiny, parity_config, tmp_path_factory
+    ):
+        from repro.core import load_shard_manifest, save_shard_manifest
+
+        graph, _ = separated_tiny
+        out_dir = tmp_path_factory.mktemp("noalign")
+        fit = fit_shards(
+            graph, parity_config, 2, strategy="hash", out_dir=out_dir, rng=9
+        )
+        manifest = load_shard_manifest(fit.manifest_path)
+        manifest.alignment = None
+        save_shard_manifest(manifest, fit.manifest_path)
+        with pytest.raises(ValueError, match="alignment"):
+            ShardRouter.from_manifest(fit.manifest_path)
+
+
+class TestHotSwap:
+    def test_hot_swap_shard_refreshes_served_answers(self, sharded_parity):
+        router = sharded_parity.router()
+        term = router.indexed_terms()[0]
+        before = router.rank(term)
+        members_before = router.community_members(1)
+        swapped = sharded_parity.results[1]
+        # a visibly different result: permute the communities of shard 1
+        permutation = np.roll(np.arange(swapped.n_communities), 1)
+        from test_shard_align import permuted_result
+
+        router.hot_swap_shard(1, permuted_result(swapped, permutation))
+        after = router.rank(term)
+        assert before != after or members_before != router.community_members(1)
+
+    def test_hot_swap_validates_community_count(self, sharded_parity, mono_parity):
+        router = sharded_parity.router()
+        import dataclasses
+
+        shrunk = dataclasses.replace(
+            mono_parity,
+            theta=mono_parity.theta[:2],
+            pi=mono_parity.pi[:, :2],
+        )
+        with pytest.raises(ValueError, match="aligned over"):
+            router.hot_swap_shard(0, shrunk)
+        with pytest.raises(ValueError, match="out of range"):
+            router.hot_swap_shard(9, mono_parity)

@@ -1,0 +1,150 @@
+"""Tests for shard-local streaming: routing, spill, per-shard hot swap."""
+
+import numpy as np
+import pytest
+
+from repro.shard import ShardedIngestor
+from repro.stream import DocumentArrival, LinkArrival
+
+
+@pytest.fixture()
+def streaming(sharded_parity):
+    """A fresh router + sharded ingestor with per-shard refreshers."""
+    router = sharded_parity.router()
+    ingestor = ShardedIngestor.from_sharded_fit(
+        sharded_parity, router=router, with_refresh=True, batch_size=8, rng=11
+    )
+    return router, ingestor
+
+
+def _doc_event(sharded_parity, shard_id, rng, timestamp=3):
+    part = sharded_parity.plan.shards[shard_id]
+    global_user = int(part.users[0])
+    words = rng.integers(0, part.graph.n_words, size=6)
+    return DocumentArrival(user_id=global_user, words=words, timestamp=timestamp)
+
+
+class TestRouting:
+    def test_documents_route_to_the_publishers_shard(self, streaming, sharded_parity, rng):
+        router, ingestor = streaming
+        before = [ing.n_documents for ing in ingestor.ingestors]
+        ingestor.submit(_doc_event(sharded_parity, 0, rng))
+        ingestor.submit(_doc_event(sharded_parity, 1, rng))
+        ingestor.submit(_doc_event(sharded_parity, 1, rng))
+        ingestor.flush()
+        after = [ing.n_documents for ing in ingestor.ingestors]
+        assert after[0] - before[0] == 1
+        assert after[1] - before[1] == 2
+
+    def test_new_documents_get_sequential_global_ids(self, streaming, sharded_parity, rng):
+        _router, ingestor = streaming
+        next_global = ingestor._next_global_doc
+        ingestor.submit(_doc_event(sharded_parity, 0, rng))
+        ingestor.submit(_doc_event(sharded_parity, 1, rng))
+        assert ingestor.doc_location[next_global][0] == 0
+        assert ingestor.doc_location[next_global + 1][0] == 1
+
+    def test_same_shard_link_is_applied(self, streaming, sharded_parity, rng):
+        _router, ingestor = streaming
+        part = sharded_parity.plan.shards[0]
+        source, target = int(part.doc_ids[0]), int(part.doc_ids[1])
+        ingestor.submit(LinkArrival(source_doc=source, target_doc=target, timestamp=3))
+        ingestor.flush()
+        assert ingestor.ingestors[0].n_links == 1
+        assert not ingestor.spilled_links
+
+    def test_cross_shard_link_spills(self, streaming, sharded_parity, rng):
+        _router, ingestor = streaming
+        source = int(sharded_parity.plan.shards[0].doc_ids[0])
+        target = int(sharded_parity.plan.shards[1].doc_ids[0])
+        report = ingestor.submit(
+            LinkArrival(source_doc=source, target_doc=target, timestamp=3)
+        )
+        assert report is None
+        assert ingestor.spilled_links == [(source, target, 3)]
+        assert ingestor.stats()["spilled_links"] == 1
+        assert all(ing.n_links == 0 for ing in ingestor.ingestors)
+
+    def test_unknown_link_endpoint_raises(self, streaming):
+        _router, ingestor = streaming
+        with pytest.raises(KeyError):
+            ingestor.submit(LinkArrival(source_doc=10**6, target_doc=0, timestamp=1))
+
+    def test_unknown_document_publisher_raises(self, streaming, rng):
+        _router, ingestor = streaming
+        words = rng.integers(0, 5, size=4)
+        with pytest.raises(KeyError, match="unknown user"):
+            ingestor.submit(DocumentArrival(user_id=-1, words=words, timestamp=1))
+        with pytest.raises(KeyError, match="unknown user"):
+            ingestor.submit(DocumentArrival(user_id=10**6, words=words, timestamp=1))
+
+    def test_unknown_event_type_raises(self, streaming):
+        _router, ingestor = streaming
+        with pytest.raises(TypeError):
+            ingestor.submit(object())
+
+    def test_failed_shard_submit_poisons_the_shard(
+        self, streaming, sharded_parity, rng, monkeypatch
+    ):
+        """A submit that raises mid-batch must not silently desynchronise
+        the id maps — the shard becomes unroutable instead."""
+        _router, ingestor = streaming
+
+        def boom(_event):
+            raise RuntimeError("flush died mid-batch")
+
+        monkeypatch.setattr(ingestor.ingestors[0], "submit", boom)
+        with pytest.raises(RuntimeError, match="mid-batch"):
+            ingestor.submit(_doc_event(sharded_parity, 0, rng))
+        monkeypatch.undo()
+        with pytest.raises(RuntimeError, match="unroutable|previously failed"):
+            ingestor.submit(_doc_event(sharded_parity, 0, rng))
+        # the other shard keeps streaming
+        report = ingestor.submit(_doc_event(sharded_parity, 1, rng))
+        assert report is None or report.n_documents >= 0
+
+
+class TestShardLocalHotSwap:
+    def test_hot_swap_serves_streamed_documents_shard_locally(
+        self, streaming, sharded_parity, rng
+    ):
+        router, ingestor = streaming
+        baseline_docs = [len(store.doc_user()) for store in router.stores]
+        for _ in range(12):
+            ingestor.submit(_doc_event(sharded_parity, 1, rng))
+        ingestor.flush()
+        ingestor.refresh()
+        swapped = ingestor.hot_swap(shard_ids=[1])
+        assert swapped == [1]
+        # shard 1's store now covers the streamed documents...
+        assert len(router.stores[1].doc_user()) == baseline_docs[1] + 12
+        # ...while shard 0's store is untouched
+        assert len(router.stores[0].doc_user()) == baseline_docs[0]
+        # and the router still serves a full ranking over global labels
+        ranking = router.rank(router.indexed_terms()[0])
+        assert len(ranking) == router.n_communities
+
+    def test_snapshotter_writes_shard_local_v3_artifact(
+        self, streaming, sharded_parity, rng, tmp_path
+    ):
+        from repro.core import load_artifact
+
+        _router, ingestor = streaming
+        for _ in range(4):
+            ingestor.submit(_doc_event(sharded_parity, 0, rng))
+        ingestor.flush()
+        ingestor.refresh()
+        path = tmp_path / "shard0-snapshot.cpd.npz"
+        ingestor.snapshotter(0).save(path)
+        artifact = load_artifact(path)
+        assert artifact.stream_cursor is not None
+        assert artifact.stream_cursor["documents_appended"] == 4
+
+    def test_refresherless_shard_cannot_snapshot(self, sharded_parity):
+        router = sharded_parity.router()
+        ingestor = ShardedIngestor.from_sharded_fit(
+            sharded_parity, router=router, with_refresh=False, rng=11
+        )
+        with pytest.raises(ValueError, match="refresher"):
+            ingestor.snapshotter(0)
+        assert ingestor.hot_swap() == []
