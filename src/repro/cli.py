@@ -20,6 +20,7 @@ The paper's workflow is "profile once offline, serve many applications"
                      --topics 12 --out-dir shards/
     repro shard-query --manifest shards/manifest.shards.json --query "#topic3"
     repro shard-bench --graph graph.json.gz --communities 6 --topics 12
+    repro doctor     --model model.cpd.npz --snapshot-dir snaps/ --wal events.wal
 
 ``fit`` writes *self-contained* v3 artifacts (model + vocabulary + graph
 summary), so every read command after ``evaluate`` serves from the
@@ -32,6 +33,13 @@ federated pipeline (:mod:`repro.shard`): partition, fit every shard
 independently, align community ids into a global label space, and serve
 scatter-gather through a :class:`~repro.shard.ShardRouter`. Every command
 is also importable (``run_generate`` etc.) for scripting.
+
+``doctor`` is the resilience inspector (:mod:`repro.resilience`): it
+verifies artifact/manifest checksums and versions, walks a directory of
+snapshot generations, reports the write-ahead log's tail status, and
+prints the cursor a :func:`repro.resilience.recover` call would resume
+replay from. It exits non-zero when integrity is broken *and* no valid
+recovery path remains.
 """
 
 from __future__ import annotations
@@ -71,12 +79,15 @@ from .evaluation import (
 )
 from .graph import load_graph, save_graph
 from .parallel import ParallelEStepRunner
+from .core.io import verify_artifact, verify_shard_manifest
+from .resilience import SnapshotCatalog, WriteAheadLog, scan_wal
 from .serving import GraphSummary, ProfileStore
 from .shard import CommunityAligner, ShardRouter, fit_shards
 from .stream import (
     IncrementalRefresher,
     MicroBatchIngestor,
     Snapshotter,
+    StreamCursor,
     split_for_replay,
 )
 
@@ -186,6 +197,20 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_stream_args(replay)
     replay.add_argument("--no-refresh", action="store_true", help="fold-in only, frozen model")
     replay.add_argument("--out", default=None, help="write a v3 snapshot artifact here")
+    replay.add_argument(
+        "--wal", default=None,
+        help="append every micro-batch to this write-ahead log before applying "
+        "it (repro.resilience durability)",
+    )
+    replay.add_argument(
+        "--snapshot-dir", default=None,
+        help="write a numbered snapshot generation here after every refresh "
+        "(requires refresh mode)",
+    )
+    replay.add_argument(
+        "--snapshot-retain", type=int, default=3,
+        help="snapshot generations to keep in --snapshot-dir",
+    )
 
     sbench = commands.add_parser(
         "stream-bench",
@@ -243,6 +268,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--min-agreement", type=float, default=None,
         help="exit non-zero when --against agreement falls below this fraction",
     )
+    shard_query.add_argument(
+        "--best-effort", action="store_true",
+        help="serve partial merges with coverage reporting instead of failing "
+        "when shards cannot answer",
+    )
 
     shard_bench = commands.add_parser(
         "shard-bench",
@@ -262,6 +292,23 @@ def _build_parser() -> argparse.ArgumentParser:
     shard_bench.add_argument("--repeats", type=int, default=20, help="warm query passes")
     shard_bench.add_argument("--seed", type=int, default=0)
     shard_bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
+
+    doctor = commands.add_parser(
+        "doctor",
+        help="verify artifact/manifest integrity, snapshot generations and "
+        "the WAL; print the recovery cursor",
+    )
+    doctor.add_argument(
+        "--model", default=None,
+        help="artifact (.cpd.npz) or shard manifest (.shards.json) to verify",
+    )
+    doctor.add_argument(
+        "--snapshot-dir", default=None, help="snapshot-generation directory to walk"
+    )
+    doctor.add_argument(
+        "--prefix", default="snapshot", help="snapshot filename prefix in --snapshot-dir"
+    )
+    doctor.add_argument("--wal", default=None, help="write-ahead log to scan")
     return parser
 
 
@@ -645,13 +692,27 @@ def _replay_setup(args):
     return plan, base_fit, store, runner
 
 
-def _drive_replay(plan, base_fit, store, args, with_refresh: bool, runner=None):
-    """Stream the plan's events through an ingestor; returns it with timing."""
+def _drive_replay(
+    plan, base_fit, store, args, with_refresh: bool, runner=None,
+    wal=None, on_refresh_factory=None,
+):
+    """Stream the plan's events through an ingestor; returns it with timing.
+
+    ``on_refresh_factory`` (if given) is called with the freshly built
+    refresher and must return the ``on_refresh`` callback — the factory
+    indirection exists because callers (snapshot-generation wiring) need a
+    handle on the refresher this function creates.
+    """
     refresher = (
         IncrementalRefresher(
             plan.base_graph, base_fit, rng=args.seed + 1, document_sweeper=runner
         )
         if with_refresh
+        else None
+    )
+    on_refresh = (
+        on_refresh_factory(refresher)
+        if on_refresh_factory is not None and refresher is not None
         else None
     )
     ingestor = MicroBatchIngestor(
@@ -660,6 +721,8 @@ def _drive_replay(plan, base_fit, store, args, with_refresh: bool, runner=None):
         batch_size=args.batch_size,
         refresh_interval=None if refresher is None else args.refresh_every,
         rng=args.seed + 2,
+        wal=wal,
+        on_refresh=on_refresh,
     )
     started = time.perf_counter()
     ingestor.submit_many(plan.events)
@@ -678,6 +741,13 @@ def run_stream_replay(args, out=None) -> int:
             file=out,
         )
         return 1
+    if args.no_refresh and args.snapshot_dir:
+        print(
+            "error: --snapshot-dir requires refresh mode (generations are "
+            "written at refresh time); drop --no-refresh",
+            file=out,
+        )
+        return 1
     plan, base_fit, store, runner = _replay_setup(args)
     print(
         f"base fit: {plan.base_graph!r}\n"
@@ -685,13 +755,35 @@ def run_stream_replay(args, out=None) -> int:
         f"({plan.n_document_events} documents, {plan.n_link_events} links)",
         file=out,
     )
+    wal = WriteAheadLog(args.wal) if args.wal else None
+    catalog = (
+        SnapshotCatalog(args.snapshot_dir, retain=args.snapshot_retain)
+        if args.snapshot_dir
+        else None
+    )
+
+    def snapshot_factory(refresher):
+        # durable mode: each refresh also writes a snapshot generation, so
+        # the WAL tail a crash would need to replay stays one interval long
+        snapshotter = Snapshotter(
+            refresher,
+            vocabulary=plan.base_graph.vocabulary,
+            base_summary=GraphSummary.from_graph(plan.base_graph),
+        )
+        return lambda report: catalog.save(snapshotter)
+
     try:
         ingestor, refresher, seconds = _drive_replay(
-            plan, base_fit, store, args, with_refresh=not args.no_refresh, runner=runner
+            plan, base_fit, store, args,
+            with_refresh=not args.no_refresh, runner=runner,
+            wal=wal,
+            on_refresh_factory=snapshot_factory if catalog is not None else None,
         )
     finally:
         if runner is not None:
             runner.close()
+        if wal is not None:
+            wal.close()
     stats = ingestor.stats()
     print(
         f"ingested {stats['events']} events in {seconds:.2f}s "
@@ -704,6 +796,20 @@ def run_stream_replay(args, out=None) -> int:
         f"cumulative refresh drift: {stats['drift_total']} reassignments",
         file=out,
     )
+    if wal is not None:
+        print(
+            f"write-ahead log: {stats['wal_events']} events durably logged "
+            f"to {args.wal}",
+            file=out,
+        )
+    if catalog is not None:
+        generations = catalog.generations()
+        newest = generations[-1][1].name if generations else "none"
+        print(
+            f"snapshot generations: {len(generations)} retained in "
+            f"{args.snapshot_dir} (newest {newest}, retain {args.snapshot_retain})",
+            file=out,
+        )
     if refresher is not None and args.out:
         snapshotter = Snapshotter(
             refresher,
@@ -713,7 +819,8 @@ def run_stream_replay(args, out=None) -> int:
         result = snapshotter.save(args.out)
         snapshotter.hot_swap(store)
         print(
-            f"wrote v3 stream snapshot ({len(result.doc_community)} docs) to {args.out}",
+            f"wrote v3 stream snapshot ({len(result.doc_community)} docs) "
+            f"to {args.out}",
             file=out,
         )
     return 0
@@ -813,7 +920,7 @@ def run_shard_fit(args, out=None) -> int:
 
 def run_shard_query(args, out=None) -> int:
     out = out or sys.stdout
-    router = ShardRouter.from_manifest(args.manifest)
+    router = ShardRouter.from_manifest(args.manifest, best_effort=args.best_effort)
     terms = args.query
     if not terms:
         terms = router.indexed_terms()
@@ -823,13 +930,25 @@ def run_shard_query(args, out=None) -> int:
     status = 0
     for term in terms:
         try:
-            ranking = router.rank(term)[: args.top]
+            if args.best_effort:
+                envelope = router.gather(term)
+                ranking = envelope.ranking[: args.top]
+            else:
+                envelope = None
+                ranking = router.rank(term)[: args.top]
         except KeyError:
             print(f"{term!r}: not in the fitted vocabulary", file=out)
             status = 1
             continue
         ranked = "  ".join(f"g{c:02d}:{score:.6f}" for c, score in ranking)
-        print(f"{term!r}: {ranked}", file=out)
+        coverage = ""
+        if envelope is not None and not envelope.exact:
+            coverage = (
+                f"  [degraded: {len(envelope.answered)}/{envelope.n_shards} "
+                f"shards live, {len(envelope.stale)} stale, "
+                f"coverage {envelope.coverage:.0%}]"
+            )
+        print(f"{term!r}: {ranked}{coverage}", file=out)
     info = router.cache_info()
     print(
         f"served {len(terms)} queries across {router.n_shards} shards "
@@ -944,6 +1063,109 @@ def run_shard_bench(args, out=None) -> int:
     return 0
 
 
+def run_doctor(args, out=None) -> int:
+    """Integrity + recoverability report; exit 0 iff everything checked is healthy."""
+    out = out or sys.stdout
+    if not (args.model or args.snapshot_dir or args.wal):
+        print(
+            "error: nothing to examine; pass --model, --snapshot-dir and/or --wal",
+            file=out,
+        )
+        return 1
+    status = 0
+    cursor = None
+
+    if args.model:
+        if is_shard_manifest(args.model):
+            check = verify_shard_manifest(args.model)
+            verdict = "ok" if check.ok else f"DAMAGED ({check.error})"
+            print(f"manifest  {args.model}: {verdict}", file=out)
+            for artifact_check in check.artifact_checks:
+                sub = "ok" if artifact_check.ok else f"DAMAGED ({artifact_check.error})"
+                print(f"  shard artifact {Path(artifact_check.path).name}: {sub}", file=out)
+            if not check.ok:
+                status = 1
+        else:
+            check = verify_artifact(args.model)
+            if check.ok:
+                print(
+                    f"artifact  {args.model}: ok "
+                    f"(v{check.format_version}, {len(check.entries)} entries verified)",
+                    file=out,
+                )
+            else:
+                print(f"artifact  {args.model}: DAMAGED ({check.error})", file=out)
+                status = 1
+
+    if args.snapshot_dir:
+        catalog = SnapshotCatalog(args.snapshot_dir, prefix=args.prefix)
+        newest, skipped = catalog.newest_valid()
+        damaged = {generation: error for generation, _path, error in skipped}
+        for generation, path in catalog.generations():
+            if generation in damaged:
+                print(
+                    f"generation {path.name}: DAMAGED ({damaged[generation]})",
+                    file=out,
+                )
+            elif newest is not None and generation > newest[0]:
+                # newer than the chosen one yet not in the skip list cannot
+                # happen (the walk is newest-first); guard anyway
+                print(f"generation {path.name}: unexamined", file=out)
+            elif newest is not None and generation < newest[0]:
+                print(f"generation {path.name}: superseded", file=out)
+            else:
+                print(f"generation {path.name}: ok (recovery candidate)", file=out)
+        if newest is None:
+            print(
+                f"snapshots {args.snapshot_dir}: NO VALID GENERATION "
+                "— recovery from this directory is impossible",
+                file=out,
+            )
+            status = 1
+        else:
+            check = verify_artifact(newest[1])
+            if check.stream_cursor is not None:
+                cursor = StreamCursor.from_dict(check.stream_cursor)
+                print(
+                    f"recovery cursor: {cursor.events_ingested} events ingested "
+                    f"({cursor.documents_appended} docs + {cursor.links_appended} "
+                    f"links, {cursor.refreshes} refreshes)",
+                    file=out,
+                )
+            else:
+                cursor = StreamCursor(0, 0, 0, -1)
+                print(
+                    "recovery cursor: offline artifact (no stream cursor; "
+                    "a recovery would replay the whole WAL)",
+                    file=out,
+                )
+
+    if args.wal:
+        wal_status = scan_wal(args.wal)
+        if wal_status.missing:
+            print(f"wal       {args.wal}: missing", file=out)
+            status = 1
+        else:
+            tail = ""
+            if wal_status.torn:
+                tail = f"; torn tail ({wal_status.torn_reason}) — truncated on next open"
+            print(
+                f"wal       {args.wal}: {wal_status.n_records} records, "
+                f"{wal_status.n_events} events, {wal_status.valid_bytes}/"
+                f"{wal_status.file_bytes} bytes valid{tail}",
+                file=out,
+            )
+            if cursor is not None:
+                replay_tail = max(0, wal_status.n_events - cursor.events_ingested)
+                print(
+                    f"replay tail: {replay_tail} events past the snapshot cursor",
+                    file=out,
+                )
+
+    print("doctor: " + ("all checks passed" if status == 0 else "PROBLEMS FOUND"), file=out)
+    return status
+
+
 _RUNNERS = {
     "generate": run_generate,
     "fit": run_fit,
@@ -959,6 +1181,7 @@ _RUNNERS = {
     "shard-fit": run_shard_fit,
     "shard-query": run_shard_query,
     "shard-bench": run_shard_bench,
+    "doctor": run_doctor,
 }
 
 

@@ -9,15 +9,22 @@ from .diagnostics import (
 )
 from .gibbs import CPDSampler
 from .io import (
+    ArtifactCheck,
+    ArtifactCorruptError,
+    ArtifactError,
     CPDArtifact,
+    ManifestCheck,
     ShardEntry,
     ShardManifest,
+    atomic_write_bytes,
     is_shard_manifest,
     load_artifact,
     load_result,
     load_shard_manifest,
     save_result,
     save_shard_manifest,
+    verify_artifact,
+    verify_shard_manifest,
 )
 from .model import CPDModel, FitOptions, fit_cpd
 from .parameters import DiffusionParameters
@@ -38,10 +45,17 @@ __all__ = [
     "CPDSampler",
     "CPDState",
     "CPDArtifact",
+    "ArtifactCheck",
+    "ArtifactCorruptError",
+    "ArtifactError",
     "ConvergenceAssessment",
     "LikelihoodReport",
+    "ManifestCheck",
     "assess_convergence",
+    "atomic_write_bytes",
     "likelihood_report",
+    "verify_artifact",
+    "verify_shard_manifest",
     "ShardEntry",
     "ShardManifest",
     "is_shard_manifest",

@@ -24,6 +24,20 @@ Three artifact format versions exist:
 The reader accepts all versions; :func:`load_artifact` exposes the extra
 payloads, :func:`load_result` keeps the v1-era result-only signature.
 
+**Durability.** Every save path here is crash-safe: archives and manifests
+are materialised in memory, written to a same-directory temp file, fsynced
+and atomically renamed over the destination (:func:`atomic_write_bytes`) —
+a crash leaves either the old file or the new one, never a torn hybrid.
+Each archive additionally records a CRC32 per entry in its metadata
+(beyond the zip container's own per-member CRC), and manifests carry a
+whole-payload CRC32, so :func:`verify_artifact` /
+:func:`verify_shard_manifest` can prove integrity without fully reviving
+anything — the ``repro doctor`` command and the recovery path
+(:mod:`repro.resilience`) are built on them. Corruption is reported as
+:class:`ArtifactCorruptError` and version mismatches as
+:class:`ArtifactError`; both subclass ``ValueError``, preserving the
+pre-hardening error contract.
+
 Beside the per-model archives lives the **shard manifest** (JSON,
 conventionally ``*.shards.json``): the index of one federated fit produced
 by :mod:`repro.shard`. It records the shard count, the partition strategy,
@@ -37,8 +51,10 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import zipfile
-from dataclasses import asdict, dataclass
+import zlib
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
@@ -56,6 +72,60 @@ _SUPPORTED_VERSIONS = (1, 2, 3)
 _META_NAME = "cpd_meta.json"
 _VOCABULARY_NAME = "vocabulary.json"
 _SUMMARY_NAME = "graph_summary.json"
+
+
+class ArtifactError(ValueError):
+    """A persisted artifact/manifest cannot be used (version, structure)."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """A persisted artifact/manifest failed an integrity check.
+
+    Distinct from :class:`ArtifactError` so recovery code can treat "this
+    generation is damaged, skip it" differently from "this format is from
+    the future, stop".
+    """
+
+
+def _fault_firing(point: str, **context):
+    """Consult the active fault plan, if any (lazy import: no cycle)."""
+    from ..resilience import faults
+
+    return faults.firing(point, **context)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` crash-safely: temp file, fsync, rename.
+
+    The temp file lives in the destination directory (``os.replace`` must
+    not cross filesystems), so a crash at any point leaves either the old
+    content or the new — never a prefix. The directory entry is fsynced
+    too (best effort; not every platform allows opening directories).
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
 
 @dataclass
@@ -95,6 +165,9 @@ def save_result(
     :class:`repro.serving.GraphSummary`) to make the artifact
     self-contained for serving; ``stream_cursor`` (a mapping or an object
     with ``to_dict()``) marks a streaming snapshot.
+
+    The write is atomic (see module docstring) and every entry's CRC32 is
+    recorded in the archive metadata for :func:`verify_artifact`.
     """
     path = Path(path)
     if stream_cursor is not None and hasattr(stream_cursor, "to_dict"):
@@ -123,51 +196,144 @@ def save_result(
     }
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **arrays)
-    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
-        archive.writestr("arrays.npz", buffer.getvalue())
+
+    # payload entries first, so their CRC32s can ride inside the meta entry
+    entries: list[tuple[str, bytes]] = [("arrays.npz", buffer.getvalue())]
+    if vocabulary is not None:
+        entries.append(
+            (_VOCABULARY_NAME, json.dumps(vocabulary.to_dict()).encode("utf-8"))
+        )
+    if graph_summary is not None:
+        if hasattr(graph_summary, "to_dict"):
+            graph_summary = graph_summary.to_dict()
+        entries.append((_SUMMARY_NAME, json.dumps(graph_summary).encode("utf-8")))
+    meta["checksums"] = {
+        name: zlib.crc32(payload) & 0xFFFFFFFF for name, payload in entries
+    }
+
+    archive_buffer = io.BytesIO()
+    with zipfile.ZipFile(
+        archive_buffer, "w", compression=zipfile.ZIP_DEFLATED
+    ) as archive:
         archive.writestr(_META_NAME, json.dumps(meta))
-        if vocabulary is not None:
-            archive.writestr(_VOCABULARY_NAME, json.dumps(vocabulary.to_dict()))
-        if graph_summary is not None:
-            if hasattr(graph_summary, "to_dict"):
-                graph_summary = graph_summary.to_dict()
-            archive.writestr(_SUMMARY_NAME, json.dumps(graph_summary))
+        for name, payload in entries:
+            archive.writestr(name, payload)
+    data = archive_buffer.getvalue()
+
+    spec = _fault_firing("artifact.torn_write", path=str(path))
+    if spec is not None:
+        # simulate the pre-hardening failure mode: the process dies mid-way
+        # through a non-atomic write, leaving a torn file at the final path
+        from ..resilience.faults import InjectedFault
+
+        path.write_bytes(data[: max(1, len(data) // 3)])
+        raise InjectedFault("artifact.torn_write", {"path": str(path)})
+    atomic_write_bytes(path, data)
 
 
-def load_artifact(path: PathLike) -> CPDArtifact:
+def _read_entry(archive: zipfile.ZipFile, name: str, path: Path) -> bytes:
+    """One archive member's bytes; container CRC failures become ours."""
+    try:
+        return archive.read(name)
+    except zipfile.BadZipFile as error:
+        raise ArtifactCorruptError(
+            f"corrupt CPD artifact {path}: entry {name!r} failed the zip "
+            f"integrity check ({error})"
+        ) from error
+
+
+def _verify_entries(
+    archive: zipfile.ZipFile, meta: dict, path: Path
+) -> list[tuple[str, int, int, bool]]:
+    """Recorded-vs-actual CRC32 per payload entry, ``(name, want, got, ok)``.
+
+    Artifacts saved before checksums existed record none; they verify
+    vacuously (the zip container's own member CRCs still apply on read).
+    """
+    recorded = meta.get("checksums", {})
+    checks = []
+    names = set(archive.namelist())
+    for name, want in recorded.items():
+        if name not in names:
+            checks.append((name, int(want), -1, False))
+            continue
+        got = zlib.crc32(_read_entry(archive, name, path)) & 0xFFFFFFFF
+        checks.append((name, int(want), got, got == int(want)))
+    return checks
+
+
+def load_artifact(path: PathLike, verify: bool = False) -> CPDArtifact:
     """Load a full artifact (result + optional serving payloads).
 
     Accepts format versions 1 through 3; anything else raises
-    ``ValueError`` naming the supported versions.
+    :class:`ArtifactError` naming the supported versions. Damaged archives
+    (unreadable zip, torn entries, recorded-checksum mismatches when
+    ``verify=True``) raise :class:`ArtifactCorruptError` instead of
+    propagating parser internals.
     """
     path = Path(path)
-    with zipfile.ZipFile(path, "r") as archive:
-        meta = json.loads(archive.read(_META_NAME).decode("utf-8"))
+    spec = _fault_firing("artifact.read", path=str(path))
+    if spec is not None:
+        raise ArtifactCorruptError(
+            f"corrupt CPD artifact {path}: injected fault at artifact.read"
+        )
+    try:
+        archive_cm = zipfile.ZipFile(path, "r")
+    except (zipfile.BadZipFile, OSError) as error:
+        if isinstance(error, FileNotFoundError):
+            raise
+        raise ArtifactCorruptError(
+            f"corrupt CPD artifact {path}: not a readable archive ({error})"
+        ) from error
+    with archive_cm as archive:
+        try:
+            meta = json.loads(_read_entry(archive, _META_NAME, path).decode("utf-8"))
+        except (KeyError, json.JSONDecodeError) as error:
+            raise ArtifactCorruptError(
+                f"corrupt CPD artifact {path}: metadata entry unreadable ({error})"
+            ) from error
         version = meta.get("format_version")
         if version not in _SUPPORTED_VERSIONS:
             supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
-            raise ValueError(
+            raise ArtifactError(
                 f"unsupported CPD result format version: {version!r} "
                 f"(supported versions: {supported})"
             )
-        with archive.open("arrays.npz") as handle:
-            arrays = np.load(io.BytesIO(handle.read()))
-            pi = arrays["pi"]
-            theta = arrays["theta"]
-            phi = arrays["phi"]
-            eta = arrays["eta"]
-            nu = arrays["nu"]
-            doc_community = arrays["doc_community"]
-            doc_topic = arrays["doc_topic"]
+        if verify:
+            failed = [
+                name for name, _want, _got, ok in _verify_entries(archive, meta, path)
+                if not ok
+            ]
+            if failed:
+                raise ArtifactCorruptError(
+                    f"corrupt CPD artifact {path}: checksum mismatch in "
+                    f"entries: {', '.join(sorted(failed))}"
+                )
+        try:
+            with archive.open("arrays.npz") as handle:
+                arrays = np.load(io.BytesIO(handle.read()))
+                pi = arrays["pi"]
+                theta = arrays["theta"]
+                phi = arrays["phi"]
+                eta = arrays["eta"]
+                nu = arrays["nu"]
+                doc_community = arrays["doc_community"]
+                doc_topic = arrays["doc_topic"]
+        except (KeyError, ValueError, zipfile.BadZipFile, OSError) as error:
+            raise ArtifactCorruptError(
+                f"corrupt CPD artifact {path}: array payload unreadable ({error})"
+            ) from error
         names = set(archive.namelist())
         vocabulary = None
         if _VOCABULARY_NAME in names:
             vocabulary = Vocabulary.from_dict(
-                json.loads(archive.read(_VOCABULARY_NAME).decode("utf-8"))
+                json.loads(_read_entry(archive, _VOCABULARY_NAME, path).decode("utf-8"))
             )
         graph_summary = None
         if _SUMMARY_NAME in names:
-            graph_summary = json.loads(archive.read(_SUMMARY_NAME).decode("utf-8"))
+            graph_summary = json.loads(
+                _read_entry(archive, _SUMMARY_NAME, path).decode("utf-8")
+            )
 
     config = CPDConfig(**meta["config"])
     diffusion = DiffusionParameters(
@@ -201,6 +367,86 @@ def load_artifact(path: PathLike) -> CPDArtifact:
 def load_result(path: PathLike) -> CPDResult:
     """Load just the :class:`CPDResult` written by :func:`save_result`."""
     return load_artifact(path).result
+
+
+# ----------------------------------------------------------- integrity checks
+
+
+@dataclass
+class EntryCheck:
+    """One archive entry's recorded-vs-recomputed CRC32."""
+
+    name: str
+    recorded: int
+    actual: int
+
+    @property
+    def ok(self) -> bool:
+        return self.recorded == self.actual
+
+
+@dataclass
+class ArtifactCheck:
+    """:func:`verify_artifact`'s report — never raises, always explains."""
+
+    path: str
+    ok: bool
+    format_version: Optional[int] = None
+    entries: list[EntryCheck] = field(default_factory=list)
+    stream_cursor: Optional[dict] = None
+    error: Optional[str] = None
+
+
+def verify_artifact(path: PathLike) -> ArtifactCheck:
+    """Integrity-check one artifact without reviving its payloads.
+
+    Reads every entry once, comparing the container CRCs and the recorded
+    per-entry checksums; reports (rather than raises) version and
+    corruption problems so a doctor pass over a directory of generations
+    can keep walking.
+    """
+    path = Path(path)
+    try:
+        with zipfile.ZipFile(path, "r") as archive:
+            meta = json.loads(_read_entry(archive, _META_NAME, path).decode("utf-8"))
+            version = meta.get("format_version")
+            if version not in _SUPPORTED_VERSIONS:
+                supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
+                return ArtifactCheck(
+                    path=str(path),
+                    ok=False,
+                    format_version=version if isinstance(version, int) else None,
+                    error=(
+                        f"unsupported format version {version!r} "
+                        f"(supported versions: {supported})"
+                    ),
+                )
+            entries = [
+                EntryCheck(name, want, got)
+                for name, want, got, _ok in _verify_entries(archive, meta, path)
+            ]
+            # entries the container holds but the meta does not cover still
+            # get their zip CRC exercised by the read above
+            for name in archive.namelist():
+                if name != _META_NAME and name not in {e.name for e in entries}:
+                    _read_entry(archive, name, path)
+            bad = [entry.name for entry in entries if not entry.ok]
+            return ArtifactCheck(
+                path=str(path),
+                ok=not bad,
+                format_version=int(version),
+                entries=entries,
+                stream_cursor=meta.get("stream_cursor"),
+                error=(
+                    f"checksum mismatch in entries: {', '.join(sorted(bad))}"
+                    if bad
+                    else None
+                ),
+            )
+    except FileNotFoundError:
+        return ArtifactCheck(path=str(path), ok=False, error="file not found")
+    except (ArtifactCorruptError, zipfile.BadZipFile, json.JSONDecodeError, OSError) as error:
+        return ArtifactCheck(path=str(path), ok=False, error=str(error))
 
 
 # --------------------------------------------------------------- shard manifest
@@ -263,8 +509,20 @@ class ShardManifest:
         return [base / entry.path for entry in self.shards]
 
 
+def _manifest_checksum(payload: dict) -> int:
+    """CRC32 over the manifest's canonical JSON, checksum field excluded."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
 def save_shard_manifest(manifest: ShardManifest, path: PathLike) -> None:
-    """Write a :class:`ShardManifest` as JSON next to its shard artifacts."""
+    """Write a :class:`ShardManifest` as JSON next to its shard artifacts.
+
+    Atomic like :func:`save_result`, with a whole-payload CRC32 so
+    :func:`verify_shard_manifest` can prove the index itself intact before
+    touching any shard artifact.
+    """
     payload = {
         "manifest_version": _MANIFEST_VERSION,
         "strategy": manifest.strategy,
@@ -281,28 +539,54 @@ def save_shard_manifest(manifest: ShardManifest, path: PathLike) -> None:
         "spill": manifest.spill,
         "alignment": manifest.alignment,
     }
-    Path(path).write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    payload["checksum"] = _manifest_checksum(payload)
+    atomic_write_bytes(
+        path, (json.dumps(payload) + "\n").encode("utf-8")
+    )
 
 
 def load_shard_manifest(path: PathLike) -> ShardManifest:
-    """Load a manifest written by :func:`save_shard_manifest`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Load a manifest written by :func:`save_shard_manifest`.
+
+    Verifies the recorded payload checksum when present (manifests written
+    before hardening carry none and load as before); raises
+    :class:`ArtifactCorruptError` on damage, :class:`ArtifactError` on an
+    unsupported version.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ArtifactCorruptError(
+            f"corrupt shard manifest {path}: not parseable JSON ({error})"
+        ) from error
     version = payload.get("manifest_version")
     if version not in _SUPPORTED_MANIFEST_VERSIONS:
         supported = ", ".join(str(v) for v in _SUPPORTED_MANIFEST_VERSIONS)
-        raise ValueError(
+        raise ArtifactError(
             f"unsupported shard manifest version: {version!r} "
             f"(supported versions: {supported})"
         )
-    shards = [
-        ShardEntry(
-            shard_id=int(record["shard_id"]),
-            path=record["path"],
-            users=np.asarray(record["users"], dtype=np.int64),
-            doc_ids=np.asarray(record["doc_ids"], dtype=np.int64),
+    recorded = payload.get("checksum")
+    if recorded is not None and int(recorded) != _manifest_checksum(payload):
+        raise ArtifactCorruptError(
+            f"corrupt shard manifest {path}: payload checksum mismatch "
+            f"(recorded {int(recorded)}, recomputed {_manifest_checksum(payload)})"
         )
-        for record in payload["shards"]
-    ]
+    try:
+        shards = [
+            ShardEntry(
+                shard_id=int(record["shard_id"]),
+                path=record["path"],
+                users=np.asarray(record["users"], dtype=np.int64),
+                doc_ids=np.asarray(record["doc_ids"], dtype=np.int64),
+            )
+            for record in payload["shards"]
+        ]
+    except (KeyError, TypeError) as error:
+        raise ArtifactCorruptError(
+            f"corrupt shard manifest {path}: shard records unreadable ({error})"
+        ) from error
     return ShardManifest(
         strategy=payload["strategy"],
         graph_name=payload.get("graph_name", ""),
@@ -310,6 +594,43 @@ def load_shard_manifest(path: PathLike) -> ShardManifest:
         spill=payload.get("spill"),
         alignment=payload.get("alignment"),
         manifest_version=int(version),
+    )
+
+
+@dataclass
+class ManifestCheck:
+    """:func:`verify_shard_manifest`'s report over the index + its shards."""
+
+    path: str
+    ok: bool
+    n_shards: int = 0
+    artifact_checks: list[ArtifactCheck] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+def verify_shard_manifest(
+    path: PathLike, check_artifacts: bool = True
+) -> ManifestCheck:
+    """Integrity-check a manifest and (optionally) every shard artifact."""
+    path = Path(path)
+    try:
+        manifest = load_shard_manifest(path)
+    except (ArtifactError, FileNotFoundError, OSError) as error:
+        return ManifestCheck(path=str(path), ok=False, error=str(error))
+    artifact_checks: list[ArtifactCheck] = []
+    if check_artifacts:
+        artifact_checks = [
+            verify_artifact(artifact_path)
+            for artifact_path in manifest.artifact_paths(path)
+        ]
+    ok = all(check.ok for check in artifact_checks)
+    bad = [Path(check.path).name for check in artifact_checks if not check.ok]
+    return ManifestCheck(
+        path=str(path),
+        ok=ok,
+        n_shards=manifest.n_shards,
+        artifact_checks=artifact_checks,
+        error=f"damaged shard artifacts: {', '.join(bad)}" if bad else None,
     )
 
 

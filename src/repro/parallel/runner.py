@@ -63,6 +63,13 @@ from .segmentation import segment_users_by_topic
 _READY_TIMEOUT = 120.0
 
 
+def _fault_firing(point: str, **context):
+    """Consult the active fault plan, if any (lazy import: no cycle)."""
+    from ..resilience import faults
+
+    return faults.firing(point, **context)
+
+
 @dataclass
 class ParallelStats:
     """Observed per-worker E-step seconds and IPC volume across iterations."""
@@ -73,6 +80,10 @@ class ParallelStats:
     header_bytes: int = 0
     #: pickled worker->coordinator ack bytes, cumulative
     ack_bytes: int = 0
+    #: dead workers respawned by the self-healing path
+    worker_restarts: int = 0
+    #: sweeps where at least one partition fell back to the serial path
+    degraded_sweeps: int = 0
 
     def mean_worker_seconds(self) -> np.ndarray:
         if self.iterations == 0:
@@ -211,9 +222,13 @@ class ParallelEStepRunner:
         segmentation_lda_iterations: int = 15,
         sweep_kernel: str | None = None,
         fuse_augmentation: bool = True,
+        self_heal: bool = True,
+        worker_timeout: float | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
         if sweep_kernel is not None:
             config = config.with_overrides(sweep_kernel=sweep_kernel)
         self.graph = graph
@@ -221,6 +236,11 @@ class ParallelEStepRunner:
         self.n_workers = n_workers
         self.rng = ensure_rng(rng)
         self.fuse_augmentation = fuse_augmentation
+        #: heal dead workers (serial fallback + respawn) instead of raising
+        self.self_heal = self_heal
+        #: seconds to wait for a sweep ack before declaring the worker hung
+        #: (``None`` waits forever; healthy compute may legitimately be slow)
+        self.worker_timeout = worker_timeout
         self.stats = ParallelStats(worker_seconds=np.zeros(n_workers))
         self._closed = False
         self._version = 0
@@ -265,42 +285,72 @@ class ParallelEStepRunner:
             self.close()
             raise
 
-    def _spawn_workers(self) -> None:
-        """Start the persistent worker processes and await their handshakes."""
+    def _start_worker(self, worker: int):
+        """Launch one worker process; returns ``(process, parent_conn)``."""
         methods = mp.get_all_start_methods()
         context = mp.get_context("fork" if "fork" in methods else None)
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self.plane.spec,
+                self.config,
+                worker,
+                self._worker_docs[worker],
+                self._f_ranges[worker],
+                self._e_ranges[worker],
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    def _await_ready(self, worker: int, conn) -> None:
+        """Block until one worker's attach-handshake arrives."""
+        deadline = time.monotonic() + _READY_TIMEOUT
+        while not conn.poll(0.5):
+            if not self._processes[worker].is_alive():
+                raise RuntimeError(
+                    f"worker {worker} died during start-up (exit code "
+                    f"{self._processes[worker].exitcode}); see its stderr"
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"worker {worker} did not come up")
+        ready = self._recv(worker, conn, "start-up")
+        if not (isinstance(ready, dict) and ready.get("status") == "ready"):
+            raise RuntimeError(f"worker {worker} failed to initialise: {ready!r}")
+
+    def _spawn_workers(self) -> None:
+        """Start the persistent worker processes and await their handshakes."""
         for worker in range(self.n_workers):
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    child_conn,
-                    self.plane.spec,
-                    self.config,
-                    worker,
-                    self._worker_docs[worker],
-                    self._f_ranges[worker],
-                    self._e_ranges[worker],
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
+            process, conn = self._start_worker(worker)
             self._processes.append(process)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
         for worker, conn in enumerate(self._conns):
-            deadline = time.monotonic() + _READY_TIMEOUT
-            while not conn.poll(0.5):
-                if not self._processes[worker].is_alive():
-                    raise RuntimeError(
-                        f"worker {worker} died during start-up (exit code "
-                        f"{self._processes[worker].exitcode}); see its stderr"
-                    )
-                if time.monotonic() > deadline:
-                    raise RuntimeError(f"worker {worker} did not come up")
-            ready = self._recv(worker, conn, "start-up")
-            if not (isinstance(ready, dict) and ready.get("status") == "ready"):
-                raise RuntimeError(f"worker {worker} failed to initialise: {ready!r}")
+            self._await_ready(worker, conn)
+
+    def _respawn_worker(self, worker: int) -> None:
+        """Replace a dead worker: fresh process, re-attached to the plane.
+
+        The plane's immutable layout block is still mapped, so the
+        replacement attaches exactly like the original did at construction
+        and is sweep-ready once its handshake lands.
+        """
+        old = self._processes[worker]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=10)
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        process, conn = self._start_worker(worker)
+        self._processes[worker] = process
+        self._conns[worker] = conn
+        self._await_ready(worker, conn)
+        self.stats.worker_restarts += 1
 
     def _recv(self, worker: int, conn, stage: str):
         """``conn.recv()`` with a diagnosable error when the worker died."""
@@ -497,7 +547,14 @@ class ParallelEStepRunner:
             merge_ids = subsets
 
         fused = self.fuse_augmentation if fuse is None else (fuse and self.fuse_augmentation)
+        lost: list[int] = []
         for worker, conn in enumerate(self._conns):
+            spec = _fault_firing("worker.kill", worker=worker)
+            if spec is not None:
+                # chaos: the worker process dies before (or while) serving
+                # this sweep — detected below like any real crash
+                self._processes[worker].terminate()
+                self._processes[worker].join(timeout=10)
             header = pickle.dumps(
                 {
                     "version": self._version,
@@ -507,22 +564,23 @@ class ParallelEStepRunner:
                 }
             )
             self.stats.header_bytes += len(header)
-            conn.send_bytes(header)
+            try:
+                conn.send_bytes(header)
+            except (BrokenPipeError, OSError):
+                self._mark_lost(worker, lost, "dispatch")
         for worker, conn in enumerate(self._conns):
-            # no deadline on healthy compute: a sweep may legitimately take
-            # minutes at scale — only a dead worker aborts the fit
-            while not conn.poll(1.0):
-                if not self._processes[worker].is_alive():
-                    raise RuntimeError(
-                        f"worker {worker} died mid-sweep (exit code "
-                        f"{self._processes[worker].exitcode}); see its stderr"
-                    )
-            ack = self._recv(worker, conn, "the sweep")
+            if worker in lost:
+                continue
+            ack = self._collect_ack(worker, conn, lost)
+            if ack is None:
+                continue
             self.stats.ack_bytes += len(pickle.dumps(ack))
             self.stats.worker_seconds[ack["worker"]] += ack["seconds"]
 
         state_arrays = plane.state
         for worker in range(self.n_workers):
+            if worker in lost:
+                continue
             ids = merge_ids[worker]
             if ids is None or len(ids) == 0:
                 continue
@@ -531,12 +589,94 @@ class ParallelEStepRunner:
                 state_arrays["result_community"][ids].copy(),
                 state_arrays["result_topic"][ids].copy(),
             )
-        if len(overflow):
-            sampler.sweep_documents(overflow)
+        # serial fallback: the coordinator sweeps what the lost workers
+        # owned (one degraded sweep), alongside the streaming overflow
+        fallback = [
+            merge_ids[worker] if merge_ids[worker] is not None
+            else self._worker_docs[worker]
+            for worker in lost
+        ]
+        serial_ids = [ids for ids in ([overflow] + fallback) if len(ids)]
+        if serial_ids:
+            sampler.sweep_documents(np.unique(np.concatenate(serial_ids)))
 
         if fused:
+            for worker in lost:
+                self._redraw_lost_ranges(sampler, worker)
             self._merge_fused(sampler)
+        if lost:
+            self.stats.degraded_sweeps += 1
+            for worker in lost:
+                self._respawn_worker(worker)
         self.stats.iterations += 1
+
+    def _mark_lost(self, worker: int, lost: list[int], stage: str) -> None:
+        """Record a dead worker, or raise when self-healing is off."""
+        if not self.self_heal:
+            raise RuntimeError(
+                f"worker {worker} died during {stage} (exit code "
+                f"{self._processes[worker].exitcode}); see its stderr"
+            )
+        if worker not in lost:
+            lost.append(worker)
+
+    def _collect_ack(self, worker: int, conn, lost: list[int]):
+        """One worker's sweep ack, or ``None`` after marking it lost.
+
+        A worker is lost when its process died (pipe EOF / liveness check)
+        or, with ``worker_timeout`` set, when its ack does not arrive in
+        time — a hung worker is terminated before being declared lost, so
+        it cannot scribble into the result slots the coordinator is about
+        to re-sweep serially.
+        """
+        deadline = (
+            time.monotonic() + self.worker_timeout
+            if self.worker_timeout is not None
+            else None
+        )
+        while not conn.poll(1.0):
+            if not self._processes[worker].is_alive():
+                self._mark_lost(worker, lost, "the sweep")
+                return None
+            if deadline is not None and time.monotonic() > deadline:
+                self._processes[worker].terminate()
+                self._processes[worker].join(timeout=10)
+                self._mark_lost(worker, lost, "the sweep (timed out)")
+                return None
+        try:
+            return self._recv(worker, conn, "the sweep")
+        except RuntimeError:
+            if not self.self_heal:
+                raise
+            self._mark_lost(worker, lost, "the sweep")
+            return None
+
+    def _redraw_lost_ranges(self, sampler: CPDSampler, worker: int) -> None:
+        """Recompute a lost worker's fused plane slots on the coordinator.
+
+        The dead worker never wrote this sweep's PG draws or partial eta
+        counts — its ``lambdas``/``deltas`` ranges and ``eta_partial``
+        slab hold last sweep's values — so before :meth:`_merge_fused`
+        sums them, the coordinator redraws the ranges serially from its
+        (already healed) sampler state.
+        """
+        state_arrays = self.plane.state
+        config = self.config
+        f_start, f_stop = self._f_ranges[worker]
+        e_start, e_stop = self._e_ranges[worker]
+        if f_stop > f_start and config.model_friendship:
+            state_arrays["lambdas"][f_start:f_stop] = sampler.draw_lambda_range(
+                f_start, f_stop
+            )
+        if e_stop > e_start and config.model_diffusion:
+            state_arrays["deltas"][e_start:e_stop] = sampler.draw_delta_range(
+                e_start, e_stop
+            )
+        if sampler.uses_profile_diffusion:
+            slab = state_arrays["eta_partial"][worker]
+            slab.fill(0.0)
+            if e_stop > e_start:
+                sampler.eta_counts_range(e_start, e_stop, out=slab)
 
     def _merge_fused(self, sampler: CPDSampler) -> None:
         """Collect the workers' PG draws and partial eta counts."""

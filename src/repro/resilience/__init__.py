@@ -1,0 +1,50 @@
+"""Fault tolerance for the profiling system: durability, degradation, chaos.
+
+Three concerns live here, consumed across every other layer:
+
+* :mod:`~repro.resilience.wal` — the checksummed write-ahead event log the
+  streaming ingestor writes before applying micro-batches;
+* :mod:`~repro.resilience.recovery` — snapshot generations with retention
+  (:class:`SnapshotCatalog`) and :func:`recover`, which opens the newest
+  valid generation and replays the WAL tail from its stream cursor;
+* :mod:`~repro.resilience.faults` — the seeded, deterministic
+  fault-injection plan the WAL, the shard router and the parallel runner
+  consult at named points, so chaos tests replay exactly.
+"""
+
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    inject,
+)
+from .recovery import RecoveryError, RecoveryReport, SnapshotCatalog, recover
+from .wal import (
+    WalCorruptError,
+    WalStatus,
+    WriteAheadLog,
+    decode_event,
+    encode_event,
+    replay_wal,
+    scan_wal,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RecoveryError",
+    "RecoveryReport",
+    "SnapshotCatalog",
+    "WalCorruptError",
+    "WalStatus",
+    "WriteAheadLog",
+    "active_plan",
+    "decode_event",
+    "encode_event",
+    "inject",
+    "recover",
+    "replay_wal",
+    "scan_wal",
+]

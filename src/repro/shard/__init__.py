@@ -35,11 +35,15 @@ from .partition import (
     SpillSet,
     build_plan,
 )
-from .router import ShardRouter, build_manifest
+from .health import CircuitBreaker
+from .router import DegradedError, GatherResult, ShardRouter, build_manifest
 from .stream import ShardedIngestor
 
 __all__ = [
+    "CircuitBreaker",
     "CommunityAligner",
+    "DegradedError",
+    "GatherResult",
     "GraphPartitioner",
     "ShardAlignment",
     "ShardPart",

@@ -1,0 +1,95 @@
+"""Per-shard health tracking: the circuit breaker behind degraded serving.
+
+A failing shard must not be hammered on every query — each attempt costs
+the retry budget and its deadline, so a dead shard would tax every request
+until someone fixes it. The classic answer is the circuit breaker: count
+consecutive failures, and past a threshold stop calling the shard (*open*)
+for a cooldown; after the cooldown let exactly one probe through
+(*half-open*) — success re-closes the breaker, failure re-opens it for
+another cooldown.
+
+The clock is injectable so tests (and the deterministic fault plans of
+:mod:`repro.resilience.faults`) can step time explicitly instead of
+sleeping through cooldowns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown-gated probe state."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown < 0:
+            raise ValueError("cooldown cannot be negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self.consecutive_failures = 0
+        self.n_failures = 0
+        self.n_successes = 0
+        self.n_trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting *open* to *half-open* after cooldown."""
+        if self._state == OPEN and self.clock() - self._opened_at >= self.cooldown:
+            self._state = HALF_OPEN
+        return self._state
+
+    def allows(self) -> bool:
+        """May the next call go through? (Half-open allows the one probe.)"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self.n_successes += 1
+        self.consecutive_failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self.n_failures += 1
+        self.consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            # the probe failed: straight back to open, fresh cooldown
+            self._trip()
+        elif (
+            self._state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self.n_trips += 1
+
+    def reset(self) -> None:
+        """Force-close (e.g. after a hot swap replaced the backing store)."""
+        self._state = CLOSED
+        self.consecutive_failures = 0
+
+    def info(self) -> dict:
+        """Counters for monitoring (rides in ``ShardRouter.cache_info``)."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": self.n_failures,
+            "successes": self.n_successes,
+            "trips": self.n_trips,
+        }

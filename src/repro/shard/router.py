@@ -26,12 +26,27 @@ reports the router's own.
 Shard stores stay individually hot-swappable: the streaming pipeline runs
 one ingestor/snapshotter per shard and calls :meth:`hot_swap_shard`, which
 delegates to that store and drops only the router-level gathered memos.
+
+**Degraded serving.** Scatter calls are guarded: each shard gets a
+deadline (checked post-hoc — in-process calls cannot be preempted), a
+retry budget with exponential backoff, and a
+:class:`~repro.shard.health.CircuitBreaker` so a persistently failing
+shard stops being called for a cooldown. :meth:`gather` is the best-effort
+entry point: it merges whatever shards answered — live, or from the
+per-shard *stale cache* of last-known rankings for tripped shards — and
+reports coverage in a :class:`GatherResult` envelope instead of raising.
+:meth:`rank` keeps its exact contract (raising :class:`DegradedError`
+when any shard is unreachable) unless the router was built with
+``best_effort=True``; only exact merges enter the router LRU, so a
+degraded answer never outlives the failure that caused it.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Sequence, Union
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,12 +58,59 @@ from ..core.io import (
 )
 from ..core.result import CPDResult
 from ..graph.vocabulary import Vocabulary
+from ..resilience.faults import InjectedFault, firing as _fault_firing
 from ..serving.cache import LRUCache
 from ..serving.store import ProfileStore
 from ..serving.summary import GraphSummary
 from .align import ShardAlignment
+from .health import CircuitBreaker
 
 QueryLike = Union[str, Sequence[str]]
+
+
+class DegradedError(RuntimeError):
+    """An exact merge was requested but some shards could not answer."""
+
+    def __init__(self, failed: dict[int, str]) -> None:
+        self.failed = dict(failed)
+        detail = "; ".join(
+            f"shard {shard}: {reason}" for shard, reason in sorted(failed.items())
+        )
+        super().__init__(
+            f"{len(failed)} shard(s) failed to answer ({detail}) — query with "
+            "gather()/best_effort for a partial merge"
+        )
+
+
+@dataclass
+class GatherResult:
+    """One best-effort scatter-gather answer with its coverage accounting.
+
+    ``ranking`` merges the shards in ``answered`` (live) and ``stale``
+    (last-known rankings served for tripped/failing shards); ``failed``
+    shards contributed nothing. ``exact`` is True only when every shard
+    answered live — the only case whose ranking equals :meth:`ShardRouter.rank`.
+    """
+
+    ranking: list[tuple[int, float]]
+    n_shards: int
+    answered: list[int] = field(default_factory=list)
+    stale: list[int] = field(default_factory=list)
+    failed: list[int] = field(default_factory=list)
+    #: per-failed-shard reason strings, for logs and the doctor
+    errors: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def exact(self) -> bool:
+        return len(self.answered) == self.n_shards
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of shards that contributed (live or stale)."""
+        return (len(self.answered) + len(self.stale)) / self.n_shards
+
+    def top_k(self, k: int = 5) -> list[int]:
+        return [c for c, _score in self.ranking[:k]]
 
 
 class ShardRouter:
@@ -60,6 +122,13 @@ class ShardRouter:
         user_maps: list[np.ndarray],
         alignment: ShardAlignment,
         query_cache_size: int = 1024,
+        deadline: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        best_effort: bool = False,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        clock: Callable[[], float] = _time.monotonic,
     ) -> None:
         if not stores:
             raise ValueError("need at least one shard store")
@@ -78,9 +147,29 @@ class ShardRouter:
                     f"shard {shard_id} has {store.n_communities} communities "
                     f"but the alignment maps {mapping.shape[0]}"
                 )
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
         self.stores = stores
         self.user_maps = [np.asarray(m, dtype=np.int64) for m in user_maps]
         self.alignment = alignment
+        # degraded-serving policy (see module docstring)
+        self.deadline = deadline
+        self.retries = retries
+        self.backoff = backoff
+        self.best_effort = best_effort
+        self.clock = clock
+        self.breakers = [
+            CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+                clock=clock,
+            )
+            for _ in stores
+        ]
+        #: last-known live ``(ranking, shift)`` per ``(shard, query key)`` —
+        #: what a tripped shard serves until it is healed or hot-swapped
+        self._stale: dict[tuple[int, tuple[int, ...]], tuple[list, float]] = {}
+        self.stale_served = [0 for _ in stores]
         # router-level gathered memos (invalidated on shard hot-swaps)
         self._rank_cache: LRUCache[list[tuple[int, float]]] = LRUCache(query_cache_size)
         self._members: dict[int, list[np.ndarray]] = {}
@@ -92,12 +181,14 @@ class ShardRouter:
 
     @classmethod
     def from_manifest(
-        cls, path: PathLike, query_cache_size: int = 1024
+        cls, path: PathLike, query_cache_size: int = 1024, **router_options
     ) -> "ShardRouter":
         """Open a federated fit from its shard manifest.
 
         Loads every per-shard artifact (self-contained v2+), revives the
-        persisted alignment, and wires the global/local user maps.
+        persisted alignment, and wires the global/local user maps. Extra
+        keyword arguments (``best_effort``, ``deadline``, ``retries``,
+        breaker tuning, ...) pass through to the constructor.
         """
         manifest = load_shard_manifest(path)
         if manifest.alignment is None:
@@ -117,7 +208,8 @@ class ShardRouter:
         alignment.rebuild_signatures([store.result for store in stores])
         user_maps = [entry.users for entry in manifest.shards]
         return cls(
-            stores, user_maps, alignment, query_cache_size=query_cache_size
+            stores, user_maps, alignment, query_cache_size=query_cache_size,
+            **router_options,
         )
 
     # ------------------------------------------------------------- dimensions
@@ -153,7 +245,82 @@ class ShardRouter:
 
     # ---------------------------------------------------------------- ranking
 
-    def _merged_rank(self, query: QueryLike):
+    def _call_shard(
+        self, shard_id: int, query: QueryLike
+    ) -> tuple[list[tuple[int, float]], float]:
+        """One guarded shard call: fault consult, deadline, the real work.
+
+        Returns the shard's ``(ranking, shift)``. An injected
+        ``shard.query`` fault with ``action="raise"`` fails the call;
+        ``action="timeout"`` stalls it past its deadline instead (the
+        deadline is checked post-hoc — an in-process call cannot be
+        preempted, so a slow shard is detected after the fact and its
+        answer discarded to keep the failure semantics uniform).
+        """
+        started = self.clock()
+        spec = _fault_firing("shard.query", shard=shard_id)
+        if spec is not None:
+            if spec.action == "timeout":
+                _time.sleep(spec.delay)
+            else:
+                raise InjectedFault("shard.query", {"shard": shard_id})
+        ranking = self.stores[shard_id].rank(query)
+        shift = self.stores[shard_id].query_log_shift(query)
+        elapsed = self.clock() - started
+        if self.deadline is not None and elapsed > self.deadline:
+            raise TimeoutError(
+                f"shard {shard_id} answered in {elapsed:.3f}s, over its "
+                f"{self.deadline:.3f}s deadline"
+            )
+        return ranking, shift
+
+    def _scatter(
+        self, query: QueryLike, key: tuple[int, ...]
+    ) -> tuple[list[tuple[int, list, float]], GatherResult]:
+        """Fan the query out under the degraded-serving policy.
+
+        Returns the mergeable entries ``(shard_id, ranking, shift)`` plus
+        a coverage envelope (its ``ranking`` still empty — the caller
+        merges). A ``KeyError`` (query term outside the shared vocabulary)
+        propagates: that is a caller error, not a shard failure.
+        """
+        envelope = GatherResult(ranking=[], n_shards=self.n_shards)
+        entries: list[tuple[int, list, float]] = []
+        for shard_id, breaker in enumerate(self.breakers):
+            error: Optional[str] = None
+            if breaker.allows():
+                for attempt in range(self.retries + 1):
+                    try:
+                        ranking, shift = self._call_shard(shard_id, query)
+                        breaker.record_success()
+                        self._stale[(shard_id, key)] = (ranking, shift)
+                        entries.append((shard_id, ranking, shift))
+                        envelope.answered.append(shard_id)
+                        error = None
+                        break
+                    except KeyError:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 — shard fault
+                        error = f"{type(exc).__name__}: {exc}"
+                        if attempt < self.retries:
+                            _time.sleep(self.backoff * (2**attempt))
+                else:
+                    breaker.record_failure()
+            else:
+                error = f"circuit breaker {breaker.state}"
+            if error is not None:
+                stale = self._stale.get((shard_id, key))
+                if stale is not None:
+                    ranking, shift = stale
+                    entries.append((shard_id, ranking, shift))
+                    envelope.stale.append(shard_id)
+                    self.stale_served[shard_id] += 1
+                else:
+                    envelope.failed.append(shard_id)
+                envelope.errors[shard_id] = error
+        return entries, envelope
+
+    def _merged_rank(self, entries: list[tuple[int, list, float]]):
         """Lazily yield ``(global_community, score)`` in non-increasing score
         order, deduplicated first-wins (= max-combining; see module doc).
 
@@ -164,17 +331,21 @@ class ShardRouter:
         shard's scores are put back on one common scale by
         ``exp(shift_s - max_shift)``. The correction is monotone per
         shard, so the cached per-shard rankings stay valid; only the
-        cross-shard comparison needed it.
+        cross-shard comparison needed it. ``entries`` holds the shards
+        that answered — all of them on the exact path, a healthy subset
+        on the degraded one.
         """
-        rankings = [store.rank(query) for store in self.stores]
-        shifts = [store.query_log_shift(query) for store in self.stores]
-        reference = max(shifts)
-        scales = [float(np.exp(shift - reference)) for shift in shifts]
+        if not entries:
+            return
+        reference = max(shift for _sid, _ranking, shift in entries)
         heap: list[tuple[float, int, int]] = []
-        for shard_id, ranking in enumerate(rankings):
+        rankings: dict[int, list] = {}
+        scales: dict[int, float] = {}
+        for shard_id, ranking, shift in entries:
+            rankings[shard_id] = ranking
+            scales[shard_id] = float(np.exp(shift - reference))
             if ranking:
-                score = ranking[0][1] * scales[shard_id]
-                heap.append((-score, shard_id, 0))
+                heap.append((-ranking[0][1] * scales[shard_id], shard_id, 0))
         heapq.heapify(heap)
         seen: set[int] = set()
         mapping = self.alignment.local_to_global
@@ -204,20 +375,49 @@ class ShardRouter:
             raise KeyError(f"no query term of {query!r} is in the vocabulary")
         return key
 
+    def gather(self, query: QueryLike) -> GatherResult:
+        """Best-effort scatter-gather: merge what answered, report coverage.
+
+        Never raises on shard failure (unknown query terms still raise
+        ``KeyError``): tripped or failing shards fall back to their stale
+        cached ranking when one exists and are otherwise simply absent
+        from the merge, with the envelope accounting for both. Exact
+        answers (every shard live) read through and populate the router
+        LRU exactly like :meth:`rank`; degraded answers are never cached,
+        so they disappear as soon as the shard heals.
+        """
+        key = self._query_key(query)
+        cached = self._rank_cache.get(key)
+        if cached is not None:
+            return GatherResult(
+                ranking=list(cached),
+                n_shards=self.n_shards,
+                answered=list(range(self.n_shards)),
+            )
+        entries, envelope = self._scatter(query, key)
+        envelope.ranking = list(self._merged_rank(entries))
+        if envelope.exact:
+            self._rank_cache.put(key, list(envelope.ranking))
+        return envelope
+
     def rank(self, query: QueryLike) -> list[tuple[int, float]]:
         """Global communities by best-backing Eq. 19 score, best first.
 
         Merged rankings sit behind a router-level LRU (on top of the
         per-shard rank caches), so a repeated query pays neither the
-        scatter nor the heap merge.
+        scatter nor the heap merge. When shards cannot answer, a router
+        built with ``best_effort=True`` returns the partial merge (use
+        :meth:`gather` to see the coverage envelope); the strict default
+        raises :class:`DegradedError` instead, since a partial merge is
+        not the exact answer this method promises.
         """
-        key = self._query_key(query)
-        cached = self._rank_cache.get(key)
-        if cached is not None:
-            return list(cached)
-        ranking = list(self._merged_rank(query))
-        self._rank_cache.put(key, ranking)
-        return list(ranking)
+        envelope = self.gather(query)
+        if not envelope.exact and not self.best_effort:
+            raise DegradedError(
+                envelope.errors
+                or {shard: "no answer" for shard in envelope.failed}
+            )
+        return list(envelope.ranking)
 
     def top_k(self, query: QueryLike, k: int = 5) -> list[int]:
         """Top-``k`` global community ids, as a prefix of :meth:`rank`.
@@ -242,8 +442,12 @@ class ShardRouter:
         return scores
 
     def cache_info(self) -> dict:
-        """Aggregated per-shard LRU counters, the per-shard breakdown, and
-        the router-level merged-ranking cache."""
+        """Aggregated per-shard LRU counters, the per-shard breakdown, the
+        router-level merged-ranking cache, and per-shard health.
+
+        Works while shards are tripped or unreachable: the store-side LRU
+        counters are local reads, no scatter happens here.
+        """
         per_shard = [store.cache_info() for store in self.stores]
         return {
             "hits": sum(info["hits"] for info in per_shard),
@@ -252,6 +456,10 @@ class ShardRouter:
             "max_size": sum(info["max_size"] for info in per_shard),
             "shards": per_shard,
             "router": self._rank_cache.info(),
+            "health": [
+                {**breaker.info(), "stale_served": served}
+                for breaker, served in zip(self.breakers, self.stale_served)
+            ],
         }
 
     # ------------------------------------------------------------ query index
@@ -365,7 +573,10 @@ class ShardRouter:
         the community count must stay aligned with the stored mapping
         (streaming refreshes keep ``C`` fixed, so this holds by
         construction). Router-level gathered memos are invalidated; the
-        other shards' stores and caches are untouched.
+        other shards' stores and caches are untouched. Swapping also
+        *revives* the shard: its circuit breaker force-closes and its
+        stale cached rankings are dropped (they describe the replaced
+        model), so the next query goes back to exact merges.
         """
         if not 0 <= shard_id < self.n_shards:
             raise ValueError(f"shard {shard_id} out of range")
@@ -377,6 +588,9 @@ class ShardRouter:
                 "alignment instead of hot-swapping"
             )
         self.stores[shard_id].hot_swap(result, summary=summary, vocabulary=vocabulary)
+        self.breakers[shard_id].reset()
+        for stale_key in [k for k in self._stale if k[0] == shard_id]:
+            del self._stale[stale_key]
         self.invalidate()
 
 

@@ -19,6 +19,14 @@ counters:
 
 ``refresh_interval`` turns the pipeline into a self-driving loop: after
 that many ingested events the ingestor triggers a refresh on its own.
+
+**Durability.** Pass a :class:`repro.resilience.WriteAheadLog` as ``wal``
+and every micro-batch is appended to the log *before* it is applied —
+write-ahead order, so a crash anywhere in the apply path loses nothing
+acknowledged: :func:`repro.resilience.recover` replays the tail past the
+last snapshot's cursor. The ``on_refresh`` hook fires after each refresh
+(the natural snapshot cadence); wiring it to
+:meth:`repro.resilience.SnapshotCatalog.save` keeps the replay tail short.
 """
 
 from __future__ import annotations
@@ -32,6 +40,13 @@ from ..sampling.rng import RngLike, ensure_rng
 from ..serving.store import ProfileStore
 from .events import DocumentArrival, LinkArrival, StreamEvent
 from .refresh import IncrementalRefresher, RefreshReport
+
+
+def _fault_firing(point: str, **context):
+    """Consult the active fault plan, if any (lazy import: no cycle)."""
+    from ..resilience import faults
+
+    return faults.firing(point, **context)
 
 
 @dataclass(frozen=True)
@@ -60,6 +75,8 @@ class MicroBatchIngestor:
         foldin_sweeps: int = 15,
         foldin_burn_in: int = 5,
         rng: RngLike = None,
+        wal=None,
+        on_refresh=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -74,6 +91,11 @@ class MicroBatchIngestor:
         self.foldin_sweeps = foldin_sweeps
         self.foldin_burn_in = foldin_burn_in
         self.rng = ensure_rng(rng)
+        #: duck-typed write-ahead log (``append(events)``/``n_events``);
+        #: ``None`` keeps the pre-hardening in-memory-only behaviour
+        self.wal = wal
+        #: called with each RefreshReport — the snapshot-cadence hook
+        self.on_refresh = on_refresh
 
         self._buffer: list[StreamEvent] = []
         self.n_events = 0
@@ -129,6 +151,15 @@ class MicroBatchIngestor:
             return None
         batch = self._buffer
         self._buffer = []
+        # write-ahead: the batch must be durable before any of it is applied,
+        # so a crash below loses nothing acknowledged (recover() replays it)
+        if self.wal is not None:
+            self.wal.append(batch)
+        spec = _fault_firing("ingest.apply", flush=self.n_flushes + 1)
+        if spec is not None:
+            from ..resilience.faults import InjectedFault
+
+            raise InjectedFault("ingest.apply", {"flush": self.n_flushes + 1})
         documents = [e for e in batch if isinstance(e, DocumentArrival)]
         links = [e for e in batch if isinstance(e, LinkArrival)]
 
@@ -194,6 +225,8 @@ class MicroBatchIngestor:
         self.drift += report.moved_into
         self.staleness[:] = 0
         self._events_since_refresh = 0
+        if self.on_refresh is not None:
+            self.on_refresh(report)
         return report
 
     # ------------------------------------------------------------------ stats
@@ -209,4 +242,5 @@ class MicroBatchIngestor:
             "refreshes": len(self.refresh_reports),
             "staleness_total": int(self.staleness.sum()),
             "drift_total": int(self.drift.sum()),
+            "wal_events": int(self.wal.n_events) if self.wal is not None else 0,
         }

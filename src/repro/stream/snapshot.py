@@ -36,6 +36,16 @@ class StreamCursor:
     refreshes: int
     last_timestamp: int
 
+    @property
+    def events_ingested(self) -> int:
+        """Total stream events folded in — the WAL replay cursor.
+
+        Every flushed event is either a document or a link append, and the
+        write-ahead log records them in the same flush batches, so this
+        count is exactly the log position recovery resumes replay from.
+        """
+        return self.documents_appended + self.links_appended
+
     def to_dict(self) -> dict:
         return asdict(self)
 

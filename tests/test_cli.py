@@ -446,3 +446,154 @@ class TestShardInfo:
         assert main(["info", "--model", str(model_path)]) == 0
         out = capsys.readouterr().out
         assert "fit trace       : 6 EM iterations" in out
+
+
+@pytest.fixture(scope="module")
+def durable_workspace(workspace, tmp_path_factory):
+    """One durable stream-replay: WAL plus snapshot generations on disk."""
+    _root, graph_path, _model = workspace
+    root = tmp_path_factory.mktemp("durable-cli")
+    wal_path = root / "events.wal"
+    snap_dir = root / "snaps"
+    assert main([
+        "stream-replay", "--graph", str(graph_path), "--communities", "4",
+        "--topics", "8", "--iterations", "4", "--batch-size", "32",
+        "--refresh-every", "64", "--seed", "3",
+        "--wal", str(wal_path), "--snapshot-dir", str(snap_dir),
+    ]) == 0
+    return graph_path, wal_path, snap_dir
+
+
+class TestDurableStreamReplay:
+    def test_wal_and_generations_written(self, durable_workspace, capsys):
+        _graph, wal_path, snap_dir = durable_workspace
+        capsys.readouterr()
+        assert wal_path.exists()
+        from repro.resilience import SnapshotCatalog, scan_wal
+
+        status = scan_wal(wal_path)
+        assert not status.torn and status.n_events > 0
+        generations = SnapshotCatalog(snap_dir).generations()
+        assert len(generations) >= 1
+
+    def test_recover_serves_from_the_cli_artifacts(self, durable_workspace):
+        """What the CLI wrote is exactly what recover() needs."""
+        from repro.resilience import recover
+
+        _graph, wal_path, snap_dir = durable_workspace
+        report = recover(snap_dir, wal_path=wal_path)
+        assert report.generation >= 1
+        assert report.store.rank(report.store.indexed_queries(1)[0].term)
+
+    def test_no_refresh_with_snapshot_dir_is_rejected(self, workspace, capsys, tmp_path):
+        _root, graph_path, _model = workspace
+        assert main([
+            "stream-replay", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "4", "--no-refresh",
+            "--snapshot-dir", str(tmp_path / "never"),
+        ]) == 1
+        assert "requires refresh mode" in capsys.readouterr().out
+        assert not (tmp_path / "never").exists()
+
+
+class TestDoctor:
+    def test_healthy_artifact_passes(self, workspace, capsys):
+        _root, _graph, model_path = workspace
+        assert main(["doctor", "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries verified" in out
+        assert "doctor: all checks passed" in out
+
+    def test_damaged_artifact_fails(self, workspace, capsys, tmp_path):
+        _root, _graph, model_path = workspace
+        bad = tmp_path / "bad.cpd.npz"
+        bad.write_bytes(model_path.read_bytes()[:120])
+        assert main(["doctor", "--model", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out
+        assert "doctor: PROBLEMS FOUND" in out
+
+    def test_shard_manifest_reports_per_shard(self, shard_workspace, capsys):
+        _root, _graph, _mono, manifest_path = shard_workspace
+        assert main(["doctor", "--model", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest" in out
+        assert "shard artifact shard-0.cpd.npz: ok" in out
+        assert "shard artifact shard-1.cpd.npz: ok" in out
+
+    def test_durable_stream_state_checks_out(self, durable_workspace, capsys):
+        _graph, wal_path, snap_dir = durable_workspace
+        assert main([
+            "doctor", "--snapshot-dir", str(snap_dir), "--wal", str(wal_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ok (recovery candidate)" in out
+        assert "recovery cursor:" in out
+        assert "replay tail:" in out
+        assert "doctor: all checks passed" in out
+
+    def test_unrecoverable_snapshot_dir_fails(self, capsys, tmp_path):
+        (tmp_path / "snapshot-000001.cpd.npz").write_bytes(b"garbage")
+        assert main(["doctor", "--snapshot-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "NO VALID GENERATION" in out
+        assert "doctor: PROBLEMS FOUND" in out
+
+    def test_missing_wal_fails(self, capsys, tmp_path):
+        assert main(["doctor", "--wal", str(tmp_path / "none.wal")]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_torn_wal_is_described_not_fatal(self, durable_workspace, capsys, tmp_path):
+        _graph, wal_path, _snaps = durable_workspace
+        torn = tmp_path / "torn.wal"
+        torn.write_bytes(wal_path.read_bytes()[:-5])
+        assert main(["doctor", "--wal", str(torn)]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail" in out
+        assert "truncated on next open" in out
+
+    def test_nothing_to_examine_is_an_error(self, capsys):
+        assert main(["doctor"]) == 1
+        assert "nothing to examine" in capsys.readouterr().out
+
+
+class TestShardQueryBestEffort:
+    def test_healthy_shards_serve_exact(self, shard_workspace, capsys):
+        _root, _graph, _mono, manifest_path = shard_workspace
+        assert main([
+            "shard-query", "--manifest", str(manifest_path), "--best-effort",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "queries across 2 shards" in out
+        assert "[degraded:" not in out  # nothing failed: no coverage caveat
+
+    def test_failing_shard_reports_coverage(self, shard_workspace, capsys):
+        from repro.resilience import FaultPlan, inject
+        from repro.resilience.faults import FaultSpec
+        from repro.shard import ShardRouter
+
+        _root, _graph, _mono, manifest_path = shard_workspace
+        term = ShardRouter.from_manifest(manifest_path).indexed_terms()[0]
+        plan = FaultPlan(seed=0)
+        plan.arm(FaultSpec(point="shard.query", at=1, times=10_000, match={"shard": 1}))
+        with inject(plan):
+            assert main([
+                "shard-query", "--manifest", str(manifest_path),
+                "--best-effort", "--query", term,
+            ]) == 0
+        out = capsys.readouterr().out
+        assert "[degraded: 1/2 shards live, 0 stale, coverage 50%]" in out
+
+    def test_strict_mode_still_fails_loudly(self, shard_workspace, capsys):
+        from repro.resilience import FaultPlan, inject
+        from repro.resilience.faults import FaultSpec
+        from repro.shard import ShardRouter
+
+        _root, _graph, _mono, manifest_path = shard_workspace
+        term = ShardRouter.from_manifest(manifest_path).indexed_terms()[0]
+        plan = FaultPlan(seed=0)
+        plan.arm(FaultSpec(point="shard.query", at=1, times=10_000, match={"shard": 0}))
+        with inject(plan), pytest.raises(Exception, match="best_effort"):
+            main([
+                "shard-query", "--manifest", str(manifest_path), "--query", term,
+            ])

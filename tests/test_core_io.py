@@ -7,15 +7,20 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    ArtifactCorruptError,
     ShardEntry,
     ShardManifest,
+    atomic_write_bytes,
     is_shard_manifest,
     load_artifact,
     load_result,
     load_shard_manifest,
     save_result,
     save_shard_manifest,
+    verify_artifact,
+    verify_shard_manifest,
 )
+from repro.resilience import FaultPlan, InjectedFault, inject
 
 
 def _downgrade_to_v1(src_path, dst_path):
@@ -191,6 +196,142 @@ class TestFormatVersions:
         assert load_artifact(path).stream_cursor is None
 
 
+def _tamper_entry(src_path, dst_path, name, payload):
+    """Rebuild an artifact with one entry's bytes replaced but the original
+    meta (and its recorded checksums) kept — container CRCs stay valid, so
+    only the recorded-checksum layer can catch the swap."""
+    with zipfile.ZipFile(src_path) as archive:
+        members = {n: archive.read(n) for n in archive.namelist()}
+    members[name] = payload
+    with zipfile.ZipFile(dst_path, "w") as archive:
+        for member_name, data in members.items():
+            archive.writestr(member_name, data)
+
+
+class TestArtifactIntegrity:
+    def test_fresh_save_verifies_clean(self, fitted_cpd, twitter_tiny, tmp_path):
+        from repro.serving import GraphSummary
+
+        graph, _ = twitter_tiny
+        path = tmp_path / "model.cpd.npz"
+        save_result(
+            fitted_cpd,
+            path,
+            vocabulary=graph.vocabulary,
+            graph_summary=GraphSummary.from_graph(graph),
+        )
+        check = verify_artifact(path)
+        assert check.ok and check.error is None
+        assert check.format_version == 3
+        assert {entry.name for entry in check.entries} == {
+            "arrays.npz",
+            "vocabulary.json",
+            "graph_summary.json",
+        }
+        assert all(entry.ok for entry in check.entries)
+
+    def test_recorded_checksum_mismatch_is_reported(self, fitted_cpd, twitter_tiny, tmp_path):
+        graph, _ = twitter_tiny
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path, vocabulary=graph.vocabulary)
+        bad = tmp_path / "tampered.cpd.npz"
+        _tamper_entry(path, bad, "vocabulary.json", b'{"words": [], "frequencies": []}')
+        check = verify_artifact(bad)
+        assert not check.ok
+        assert "checksum mismatch" in check.error
+        (failed,) = [entry for entry in check.entries if not entry.ok]
+        assert failed.name == "vocabulary.json"
+        assert failed.recorded != failed.actual
+
+    def test_load_with_verify_raises_on_mismatch(self, fitted_cpd, twitter_tiny, tmp_path):
+        graph, _ = twitter_tiny
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path, vocabulary=graph.vocabulary)
+        bad = tmp_path / "tampered.cpd.npz"
+        _tamper_entry(path, bad, "vocabulary.json", b'{"words": [], "frequencies": []}')
+        with pytest.raises(ArtifactCorruptError, match="checksum mismatch"):
+            load_artifact(bad, verify=True)
+        # without verify the swap goes unnoticed if the payload still parses
+        # (the default trusts the container CRCs) — that is the documented
+        # trade-off verify=True exists to close
+        assert load_artifact(bad).format_version == 3
+
+    def test_flipped_byte_is_reported_not_raised(self, fitted_cpd, tmp_path):
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        check = verify_artifact(path)
+        assert not check.ok and check.error
+
+    def test_truncated_artifact_is_reported(self, fitted_cpd, tmp_path):
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        path.write_bytes(path.read_bytes()[:100])
+        check = verify_artifact(path)
+        assert not check.ok and check.error
+
+    def test_missing_file_is_reported(self, tmp_path):
+        check = verify_artifact(tmp_path / "never-saved.cpd.npz")
+        assert not check.ok
+        assert check.error == "file not found"
+
+    def test_stream_cursor_surfaces_without_reviving_payloads(
+        self, fitted_cpd, tmp_path
+    ):
+        path = tmp_path / "stream.cpd.npz"
+        cursor = {
+            "documents_appended": 9,
+            "links_appended": 4,
+            "refreshes": 1,
+            "last_timestamp": 3,
+        }
+        save_result(fitted_cpd, path, stream_cursor=cursor)
+        assert verify_artifact(path).stream_cursor == cursor
+
+
+class TestCrashSafety:
+    def test_atomic_write_replaces_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "state.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new content")
+        assert path.read_bytes() == b"new content"
+        assert [p.name for p in tmp_path.iterdir()] == ["state.bin"]
+
+    def test_atomic_write_failure_leaves_nothing_behind(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            atomic_write_bytes(tmp_path / "missing-dir" / "state.bin", b"x")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_torn_write_fault_leaves_detectable_damage(self, fitted_cpd, tmp_path):
+        """The pre-hardening failure mode, on demand: a save that dies
+        mid-write leaves a torn file verify_artifact flags (rather than a
+        silently-short artifact a later load trips over)."""
+        path = tmp_path / "model.cpd.npz"
+        plan = FaultPlan(seed=0)
+        plan.fail_at("artifact.torn_write", at=1)
+        with inject(plan):
+            with pytest.raises(InjectedFault):
+                save_result(fitted_cpd, path)
+        assert path.exists()
+        check = verify_artifact(path)
+        assert not check.ok and check.error
+        # a clean re-save over the torn file repairs it atomically
+        save_result(fitted_cpd, path)
+        assert verify_artifact(path).ok
+
+    def test_artifact_read_fault_raises_corrupt_error(self, fitted_cpd, tmp_path):
+        path = tmp_path / "model.cpd.npz"
+        save_result(fitted_cpd, path)
+        plan = FaultPlan(seed=0)
+        plan.fail_at("artifact.read", at=1)
+        with inject(plan):
+            with pytest.raises(ArtifactCorruptError, match="injected fault"):
+                load_artifact(path)
+        assert load_artifact(path).result is not None  # plan gone: reads fine
+
+
 def _sample_manifest() -> ShardManifest:
     return ShardManifest(
         strategy="community",
@@ -264,3 +405,60 @@ class TestShardManifest:
         assert not is_shard_manifest(artifact_path)
         assert not is_shard_manifest(other_json)
         assert not is_shard_manifest(garbage)
+
+
+class TestManifestIntegrity:
+    def _saved_federation(self, fitted_cpd, tmp_path):
+        """A manifest plus two real shard artifacts next to it."""
+        manifest_path = tmp_path / "manifest.shards.json"
+        manifest = _sample_manifest()
+        save_shard_manifest(manifest, manifest_path)
+        for entry in manifest.shards:
+            save_result(fitted_cpd, tmp_path / entry.path)
+        return manifest_path
+
+    def test_healthy_federation_verifies_clean(self, fitted_cpd, tmp_path):
+        manifest_path = self._saved_federation(fitted_cpd, tmp_path)
+        check = verify_shard_manifest(manifest_path)
+        assert check.ok and check.error is None
+        assert check.n_shards == 2
+        assert len(check.artifact_checks) == 2
+        assert all(shard.ok for shard in check.artifact_checks)
+
+    def test_damaged_shard_artifact_is_named(self, fitted_cpd, tmp_path):
+        manifest_path = self._saved_federation(fitted_cpd, tmp_path)
+        shard_path = tmp_path / "shard-1.cpd.npz"
+        shard_path.write_bytes(shard_path.read_bytes()[:80])
+        check = verify_shard_manifest(manifest_path)
+        assert not check.ok
+        assert "shard-1.cpd.npz" in check.error
+        damaged = [s for s in check.artifact_checks if not s.ok]
+        assert len(damaged) == 1
+        assert damaged[0].path.endswith("shard-1.cpd.npz")
+
+    def test_manifest_tamper_is_caught_by_its_checksum(self, fitted_cpd, tmp_path):
+        manifest_path = self._saved_federation(fitted_cpd, tmp_path)
+        payload = json.loads(manifest_path.read_text())
+        payload["strategy"] = "forged"  # edit without refreshing the checksum
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactCorruptError, match="checksum mismatch"):
+            load_shard_manifest(manifest_path)
+        check = verify_shard_manifest(manifest_path)
+        assert not check.ok and "checksum mismatch" in check.error
+
+    def test_pre_hardening_manifest_without_checksum_loads(
+        self, fitted_cpd, tmp_path
+    ):
+        manifest_path = self._saved_federation(fitted_cpd, tmp_path)
+        payload = json.loads(manifest_path.read_text())
+        del payload["checksum"]
+        manifest_path.write_text(json.dumps(payload))
+        assert load_shard_manifest(manifest_path).n_shards == 2
+        assert verify_shard_manifest(manifest_path).ok
+
+    def test_index_only_check_skips_the_artifacts(self, fitted_cpd, tmp_path):
+        manifest_path = self._saved_federation(fitted_cpd, tmp_path)
+        (tmp_path / "shard-0.cpd.npz").write_bytes(b"ruined")
+        check = verify_shard_manifest(manifest_path, check_artifacts=False)
+        assert check.ok  # the index itself is intact; shards were not read
+        assert check.artifact_checks == []

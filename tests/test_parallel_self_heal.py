@@ -1,0 +1,172 @@
+"""Worker self-healing: dead workers cost one degraded sweep, never the fit.
+
+The ISSUE 6 acceptance bar lives here: a worker killed mid-sweep is
+detected, its partition is swept by the serial fallback within that same
+sweep, a replacement worker is respawned — and the document assignments
+stay in parity with an identically-seeded unharmed run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CPDConfig, DiffusionParameters
+from repro.core.gibbs import CPDSampler
+from repro.evaluation import normalized_mutual_information
+from repro.parallel import ParallelEStepRunner
+from repro.resilience import FaultPlan, inject
+
+
+@pytest.fixture(scope="module")
+def heal_setup(twitter_tiny):
+    graph, _ = twitter_tiny
+    config = CPDConfig(n_communities=4, n_topics=8, n_iterations=4, rho=0.5, alpha=0.5)
+    return graph, config
+
+
+def _kill_worker(worker, at=1, times=1):
+    plan = FaultPlan(seed=0)
+    plan.fail_at("worker.kill", at=at, times=times, worker=worker)
+    return plan
+
+
+def _fresh_sampler(graph, config, rng=1):
+    return CPDSampler(graph, config, DiffusionParameters.initial(4, 8), rng=rng)
+
+
+class TestSelfHealing:
+    def test_killed_worker_costs_one_degraded_sweep(self, heal_setup):
+        graph, config = heal_setup
+        sampler = _fresh_sampler(graph, config)
+        with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:
+            with inject(_kill_worker(1)):
+                runner(sampler)  # worker 1 dies mid-dispatch
+            assert runner.stats.worker_restarts == 1
+            assert runner.stats.degraded_sweeps == 1
+            sampler.state.check_consistency()
+            # the replacement worker serves the very next sweep cleanly
+            runner(sampler)
+            assert runner.stats.degraded_sweeps == 1
+            assert all(process.is_alive() for process in runner._processes)
+        sampler.state.check_consistency()
+
+    def test_lost_partition_is_still_swept(self, heal_setup):
+        """The dead worker's documents are re-sampled by the serial
+        fallback in the same call — no document skips the sweep."""
+        graph, config = heal_setup
+        sampler = _fresh_sampler(graph, config)
+        with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:
+            lost_docs = runner.schedule.worker_doc_ids(1)
+            assert lost_docs.size > 0
+            moved = False
+            with inject(_kill_worker(1, times=5)):
+                for _ in range(5):
+                    runner(sampler)
+                    state = sampler.state
+                    moved = moved or bool(
+                        np.any(state.doc_community[lost_docs] != 0)
+                        or np.any(state.doc_topic[lost_docs] != 0)
+                    )
+            assert moved
+            sampler.state.check_consistency()
+
+    def test_fused_augmentation_survives_a_kill(self, heal_setup):
+        """The dead worker's lambda/delta ranges and eta slab are redrawn
+        serially, so the merged augmentation stays complete."""
+        graph, config = heal_setup
+        sampler = _fresh_sampler(graph, config)
+        with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:
+            lambdas_before = sampler.lambdas.copy()
+            with inject(_kill_worker(0)):
+                runner(sampler)
+            eta = runner.aggregated_eta()
+        assert not np.array_equal(sampler.lambdas, lambdas_before)
+        assert eta is not None
+        assert eta.sum() == pytest.approx(1.0)
+        assert np.all(eta > 0)
+        # the healed partial counts still cover every link exactly once
+        raw = eta * (graph.n_diffusion_links + eta.size * config.eta_smoothing)
+        assert raw.sum() == pytest.approx(
+            graph.n_diffusion_links + eta.size * config.eta_smoothing
+        )
+
+    def test_self_heal_disabled_raises(self, heal_setup):
+        graph, config = heal_setup
+        sampler = _fresh_sampler(graph, config)
+        with ParallelEStepRunner(
+            graph, config, n_workers=2, rng=0, self_heal=False
+        ) as runner:
+            with inject(_kill_worker(1)):
+                with pytest.raises(RuntimeError, match="worker 1"):
+                    runner(sampler)
+
+    def test_worker_timeout_validated(self, heal_setup):
+        graph, config = heal_setup
+        with pytest.raises(ValueError, match="worker_timeout"):
+            ParallelEStepRunner(
+                graph, config, n_workers=1, rng=0, worker_timeout=0.0
+            )
+
+    def test_multiple_kills_across_sweeps(self, heal_setup):
+        """Each kill costs its own degraded sweep and respawn; the runner
+        never wedges."""
+        graph, config = heal_setup
+        sampler = _fresh_sampler(graph, config)
+        plan = FaultPlan(seed=0)
+        plan.fail_at("worker.kill", at=1, worker=0)
+        plan.fail_at("worker.kill", at=3, worker=1)
+        with ParallelEStepRunner(graph, config, n_workers=2, rng=0) as runner:
+            with inject(plan):
+                for _ in range(3):
+                    runner(sampler)
+            assert runner.stats.worker_restarts == 2
+            assert runner.stats.degraded_sweeps == 2
+            sampler.state.check_consistency()
+
+
+class TestKilledParity:
+    @pytest.fixture(scope="class")
+    def converged_base(self):
+        """A converged fit on a crisply-planted scenario (the same parity
+        substrate as test_parallel_runner.TestSerialParallelParity)."""
+        from repro.core import CPDModel
+        from repro.datasets import twitter_scenario
+
+        graph, _ = twitter_scenario(
+            "tiny",
+            rng=42,
+            pi_concentration=0.02,
+            pi_primary_boost=12.0,
+            community_topic_boost=20.0,
+            conforming_fraction=0.95,
+            docs_per_user_mean=6.0,
+        )
+        config = CPDConfig(
+            n_communities=4, n_topics=8, n_iterations=25, rho=0.5, alpha=0.5
+        )
+        return graph, config, CPDModel(config, rng=0).fit(graph)
+
+    def test_doc_assignments_match_an_unharmed_run(self, converged_base):
+        """The acceptance pin: a kill costs at most one serial-fallback
+        sweep, with document assignments in parity (NMI >= 0.8) with an
+        identically-seeded run that never lost a worker."""
+        graph, config, base = converged_base
+
+        def run(kill: bool) -> np.ndarray:
+            sampler = CPDSampler.warm_start(graph, base, rng=303)
+            with ParallelEStepRunner(
+                graph, config, n_workers=2, rng=202
+            ) as runner:
+                if kill:
+                    with inject(_kill_worker(1)):
+                        runner(sampler)
+                else:
+                    runner(sampler)
+                runner(sampler)
+                assert runner.stats.degraded_sweeps == (1 if kill else 0)
+            sampler.state.check_consistency()
+            return sampler.state.doc_community.copy()
+
+        harmed = run(kill=True)
+        unharmed = run(kill=False)
+        nmi = normalized_mutual_information(harmed, unharmed)
+        assert nmi >= 0.8, f"killed vs unharmed doc NMI {nmi:.3f} < 0.8"

@@ -1,0 +1,127 @@
+"""Tests for the deterministic fault-injection plan and its consult clock."""
+
+import pytest
+
+from repro.resilience import FaultPlan, InjectedFault
+from repro.resilience.faults import (
+    FaultSpec,
+    active_plan,
+    firing,
+    inject,
+    should_fire,
+)
+
+
+class TestSpecValidation:
+    def test_at_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(point="x", at=0)
+
+    def test_times_at_least_one(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(point="x", times=0)
+
+    def test_probabilistic_spec_needs_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(point="x", at=None, probability=0.0)
+
+    def test_match_restricts_by_context(self):
+        spec = FaultSpec(point="shard.query", match={"shard": 2})
+        assert spec.matches("shard.query", {"shard": 2, "attempt": 1})
+        assert not spec.matches("shard.query", {"shard": 1})
+        assert not spec.matches("other.point", {"shard": 2})
+
+
+class TestConsultClock:
+    def test_fires_on_the_nth_matching_consult_only(self):
+        plan = FaultPlan(seed=0)
+        plan.fail_at("p", at=3)
+        fired = [plan.should_fire("p") for _ in range(5)]
+        assert fired == [False, False, True, False, False]
+
+    def test_times_widens_the_firing_window(self):
+        plan = FaultPlan(seed=0)
+        plan.fail_at("p", at=2, times=2)
+        fired = [plan.should_fire("p") for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_match_keeps_separate_contexts_unharmed(self):
+        plan = FaultPlan(seed=0)
+        plan.fail_at("shard.query", at=1, shard=2)
+        assert not plan.should_fire("shard.query", shard=0)
+        assert not plan.should_fire("shard.query", shard=1)
+        assert plan.should_fire("shard.query", shard=2)
+
+    def test_non_matching_consults_do_not_advance_the_clock(self):
+        plan = FaultPlan(seed=0)
+        plan.fail_at("shard.query", at=2, shard=1)
+        plan.should_fire("shard.query", shard=0)  # different shard: no tick
+        assert not plan.should_fire("shard.query", shard=1)  # tick 1
+        assert plan.should_fire("shard.query", shard=1)  # tick 2: fires
+
+    def test_fired_log_records_point_and_context(self):
+        plan = FaultPlan(seed=0)
+        plan.fail_at("p", at=1)
+        plan.should_fire("p", detail=7)
+        assert plan.fired == [("p", {"detail": 7})]
+
+    def test_consultations_counts_the_point_clock(self):
+        plan = FaultPlan(seed=0)
+        plan.fail_at("p", at=99)
+        for _ in range(4):
+            plan.should_fire("p")
+        assert plan.consultations("p") == 4
+        assert plan.consultations("unarmed") == 0
+
+    def test_probabilistic_spec_is_reproducible_across_plans(self):
+        def outcomes(seed):
+            plan = FaultPlan(seed=seed)
+            plan.arm(FaultSpec(point="p", at=None, probability=0.5))
+            return [plan.should_fire("p") for _ in range(32)]
+
+        assert outcomes(7) == outcomes(7)
+        assert outcomes(7) != outcomes(8)  # and the seed matters
+        assert any(outcomes(7)) and not all(outcomes(7))
+
+    def test_timeout_shorthand_sets_action_and_delay(self):
+        plan = FaultPlan(seed=0)
+        spec = plan.timeout_at("shard.query", delay=0.5, shard=1)
+        assert spec.action == "timeout" and spec.delay == 0.5
+        hit = plan.firing("shard.query", shard=1)
+        assert hit is spec
+
+
+class TestActivation:
+    def test_quiescent_consults_are_noops(self):
+        assert active_plan() is None
+        assert firing("anything") is None
+        assert not should_fire("anything")
+
+    def test_inject_scopes_the_plan(self):
+        plan = FaultPlan(seed=0)
+        plan.fail_at("p", at=1)
+        with inject(plan) as active:
+            assert active is plan and active_plan() is plan
+            assert should_fire("p")
+        assert active_plan() is None
+        assert not should_fire("p")
+
+    def test_plans_do_not_nest(self):
+        with inject(FaultPlan()):
+            with pytest.raises(RuntimeError, match="do not nest"):
+                with inject(FaultPlan()):
+                    pass
+
+    def test_plan_deactivated_even_after_an_escape(self):
+        with pytest.raises(KeyError):
+            with inject(FaultPlan()):
+                raise KeyError("escaping")
+        assert active_plan() is None
+
+
+class TestInjectedFault:
+    def test_message_carries_point_and_context(self):
+        error = InjectedFault("wal.append", {"seq": 3, "path": "x.wal"})
+        assert error.point == "wal.append"
+        assert error.context == {"seq": 3, "path": "x.wal"}
+        assert "wal.append" in str(error) and "seq=3" in str(error)
