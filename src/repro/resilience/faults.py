@@ -31,7 +31,8 @@ Injection points consulted across the codebase:
                           is applied (the recovery-critical window)
 ``shard.query``           :class:`repro.shard.ShardRouter` scatter calls —
                           ``action="raise"`` fails the shard,
-                          ``action="timeout"`` sleeps past its deadline
+                          ``action="timeout"`` charges a simulated stall
+                          against its deadline
 ``worker.kill``           :class:`repro.parallel.ParallelEStepRunner` — the
                           worker process is terminated before its sweep ack
 ========================  ====================================================

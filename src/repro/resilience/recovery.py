@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.io import ArtifactCheck, load_artifact, verify_artifact
 from ..sampling.rng import RngLike
@@ -39,7 +39,7 @@ from ..stream.events import DocumentArrival, LinkArrival, StreamEvent
 from ..stream.snapshot import StreamCursor
 from .wal import WalStatus, replay_wal, scan_wal
 
-PathLike = "str | Path"
+PathLike = Union[str, Path]
 
 
 class RecoveryError(RuntimeError):

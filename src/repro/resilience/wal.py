@@ -199,6 +199,15 @@ class WriteAheadLog:
             self._handle = open(self.path, "r+b")
             self._handle.truncate(self.opened_status.valid_bytes)
             self._handle.seek(self.opened_status.valid_bytes)
+            if self.opened_status.valid_bytes < len(_MAGIC):
+                # the file never got its magic header (crash between open
+                # and the header write) — heal it now, or every record
+                # appended below would be invisible to scan/replay and
+                # truncated away by the next reopen
+                self._handle.truncate(0)
+                self._handle.seek(0)
+                self._handle.write(_MAGIC)
+                self._flush()
 
     # ------------------------------------------------------------------ write
 
@@ -260,7 +269,8 @@ class WriteAheadLog:
 
     def status(self) -> WalStatus:
         """A fresh scan of the file as it stands on disk."""
-        self._handle.flush()
+        if self._handle is not None:
+            self._handle.flush()
         return scan_wal(self.path)
 
 

@@ -252,21 +252,25 @@ class ShardRouter:
 
         Returns the shard's ``(ranking, shift)``. An injected
         ``shard.query`` fault with ``action="raise"`` fails the call;
-        ``action="timeout"`` stalls it past its deadline instead (the
-        deadline is checked post-hoc — an in-process call cannot be
-        preempted, so a slow shard is detected after the fact and its
-        answer discarded to keep the failure semantics uniform).
+        ``action="timeout"`` charges ``spec.delay`` seconds of simulated
+        stall against the deadline instead (the deadline is checked
+        post-hoc — an in-process call cannot be preempted, so a slow
+        shard is detected after the fact and its answer discarded to
+        keep the failure semantics uniform; the stall is accounted, not
+        slept, so it works under injected fake clocks without burning
+        wall-clock time).
         """
         started = self.clock()
+        injected_delay = 0.0
         spec = _fault_firing("shard.query", shard=shard_id)
         if spec is not None:
             if spec.action == "timeout":
-                _time.sleep(spec.delay)
+                injected_delay = spec.delay
             else:
                 raise InjectedFault("shard.query", {"shard": shard_id})
         ranking = self.stores[shard_id].rank(query)
         shift = self.stores[shard_id].query_log_shift(query)
-        elapsed = self.clock() - started
+        elapsed = self.clock() - started + injected_delay
         if self.deadline is not None and elapsed > self.deadline:
             raise TimeoutError(
                 f"shard {shard_id} answered in {elapsed:.3f}s, over its "

@@ -99,6 +99,14 @@ class TestAppendReplay:
             assert wal.n_events == 3
         assert len(list(replay_wal(path))) == 3
 
+    def test_closed_log_status_still_scans(self, tmp_path):
+        path = tmp_path / "events.wal"
+        wal = WriteAheadLog(path)
+        wal.append(_events(n_docs=2, n_links=0))
+        wal.close()
+        status = wal.status()
+        assert status.n_events == 2 and not status.torn
+
     def test_closed_log_rejects_append(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "events.wal")
         wal.close()
@@ -175,6 +183,31 @@ class TestTornTails:
         status = scan_wal(path)
         assert status.torn and status.torn_reason == "bad magic header"
         assert status.valid_bytes == 0
+
+    def test_reopen_heals_a_header_less_file(self, tmp_path):
+        """A crash between open() and the magic write leaves a zero-byte
+        file; reopening must restore the header so appends stay readable."""
+        path = tmp_path / "events.wal"
+        path.write_bytes(b"")
+        with WriteAheadLog(path) as wal:
+            assert wal.opened_status.torn
+            cursor = wal.append(_events(n_docs=2, n_links=0))
+        assert cursor == 2
+        status = scan_wal(path)
+        assert not status.torn
+        assert status.n_events == 2
+        assert len(list(replay_wal(path))) == 2
+
+    def test_reopen_heals_a_garbage_header(self, tmp_path):
+        path = tmp_path / "events.wal"
+        path.write_bytes(b"not a wal at all")
+        with WriteAheadLog(path) as wal:
+            assert wal.n_events == 0
+            wal.append(_events(n_docs=1, n_links=1))
+        # a second reopen must still see the acknowledged events
+        with WriteAheadLog(path) as wal:
+            assert wal.n_events == 2
+            assert not wal.status().torn
 
     def test_interior_damage_raises_on_replay(self, tmp_path):
         """A valid-looking record with the wrong seq cannot be skipped."""

@@ -161,6 +161,24 @@ class TestRetriesAndDeadline:
         assert envelope.failed == [1]
         assert "TimeoutError" in envelope.errors[1]
 
+    def test_timeout_fault_trips_the_deadline_under_a_fake_clock(
+        self, four_shard
+    ):
+        """The injected stall is charged via the router's own clock, so a
+        frozen fake clock still sees the deadline overrun (and the test
+        does not burn real wall-clock time)."""
+        plan = FaultPlan(seed=0)
+        plan.timeout_at("shard.query", delay=5.0, shard=1)
+        router = _router(
+            four_shard, best_effort=True, retries=0, deadline=1.0,
+            breaker_threshold=1, clock=lambda: 0.0,
+        )
+        term = router.indexed_terms()[0]
+        with inject(plan):
+            envelope = router.gather(term)
+        assert envelope.failed == [1]
+        assert "TimeoutError" in envelope.errors[1]
+
     def test_retries_validated(self, four_shard):
         with pytest.raises(ValueError, match="retries"):
             _router(four_shard, retries=-1)
