@@ -13,9 +13,13 @@ Two series on the Fig. 10(b) twitter scenario:
 
 2. **E-step wall clock vs workers** — the Fig. 10(b) harness: one full
    E-step (document sweep + augmentation draws, which the engine fuses
-   into the workers) serially and at 1/2/4 workers. Speedup contracts are
-   gated on the machine's core count; a single-core container reports
-   honest numbers (the paper's 4.5-5.7x needs 8 real cores).
+   into the workers) serially and at 1/2/4 workers. Both serial and
+   workers run the fastest available sweep kernel (``compiled`` when a C
+   toolchain exists, else ``vectorized``) so the speedup_vs_serial ratio
+   compares like against like; the vectorized serial time is recorded
+   alongside for cross-kernel context. Speedup contracts are gated on the
+   machine's core count; a single-core container reports honest numbers
+   (the paper's 4.5-5.7x needs 8 real cores).
 
 Results go to ``benchmarks/results/`` and — as the cross-PR perf
 trajectory record — to ``BENCH_parallel.json`` at the repository root.
@@ -29,6 +33,7 @@ from pathlib import Path
 
 from bench_support import contract, cpd_config, format_table, get_scenario, report
 from repro.core import DiffusionParameters
+from repro.core import _compiled
 from repro.core.gibbs import CPDSampler
 from repro.parallel import ParallelEStepRunner
 
@@ -72,10 +77,10 @@ def _legacy_payload_bytes(sampler: CPDSampler, runner: ParallelEStepRunner) -> i
     return total
 
 
-def _serial_estep_seconds(graph, config) -> float:
+def _serial_estep_seconds(graph, config, sweep_kernel) -> float:
     """One full E-step (sweep + PG draws), best of MEASURE_SWEEPS rounds."""
-    sampler = _fresh_sampler(graph, config)
-    sampler.sweep_documents()  # warm-up: caches, CSR layouts, allocator
+    sampler = _fresh_sampler(graph, config.with_overrides(sweep_kernel=sweep_kernel))
+    sampler.sweep_documents()  # warm-up: caches, CSR layouts, allocator, .so
     best = float("inf")
     for _ in range(MEASURE_SWEEPS):
         started = time.perf_counter()
@@ -86,13 +91,17 @@ def _serial_estep_seconds(graph, config) -> float:
     return best
 
 
-def _parallel_estep_seconds(graph, config, n_workers) -> tuple[float, float]:
-    """Best E-step seconds at ``n_workers`` plus mean header bytes/sweep.
+def _parallel_estep_seconds(
+    graph, config, n_workers, sweep_kernel
+) -> tuple[float, float, str]:
+    """Best E-step seconds at ``n_workers``, header bytes/sweep, worker kernel.
 
     The fused runner's ``__call__`` *is* the full E-step: workers draw the
     augmentation variables and partial eta counts inside the sweep.
     """
-    with ParallelEStepRunner(graph, config, n_workers=n_workers, rng=0) as runner:
+    with ParallelEStepRunner(
+        graph, config, n_workers=n_workers, rng=0, sweep_kernel=sweep_kernel
+    ) as runner:
         sampler = _fresh_sampler(graph, config)
         runner(sampler)  # warm-up (adopts state, primes workers)
         best = float("inf")
@@ -100,15 +109,29 @@ def _parallel_estep_seconds(graph, config, n_workers) -> tuple[float, float]:
             started = time.perf_counter()
             runner(sampler)
             best = min(best, time.perf_counter() - started)
-        return best, runner.stats.payload_bytes_per_sweep()
+        return (
+            best,
+            runner.stats.payload_bytes_per_sweep(),
+            runner.worker_sweep_kernel,
+        )
 
 
 def _measure(graph, config) -> dict:
-    serial_seconds = _serial_estep_seconds(graph, config)
+    compiled_available, _reason = _compiled.backend_status()
+    sweep_kernel = "compiled" if compiled_available else "vectorized"
+    serial_vectorized = _serial_estep_seconds(graph, config, "vectorized")
+    serial_seconds = (
+        _serial_estep_seconds(graph, config, "compiled")
+        if compiled_available
+        else serial_vectorized
+    )
     scaling = []
     header_bytes = {}
+    worker_kernel = sweep_kernel
     for n_workers in WORKER_COUNTS:
-        seconds, bytes_per_sweep = _parallel_estep_seconds(graph, config, n_workers)
+        seconds, bytes_per_sweep, worker_kernel = _parallel_estep_seconds(
+            graph, config, n_workers, sweep_kernel
+        )
         header_bytes[n_workers] = bytes_per_sweep
         scaling.append([n_workers, seconds, serial_seconds / seconds])
 
@@ -121,6 +144,9 @@ def _measure(graph, config) -> dict:
         legacy = _legacy_payload_bytes(sampler, runner)
     return {
         "serial_seconds": serial_seconds,
+        "serial_vectorized_seconds": serial_vectorized,
+        "sweep_kernel": sweep_kernel,
+        "worker_sweep_kernel": worker_kernel,
         "scaling": scaling,
         "legacy_bytes": legacy,
         "plane_bytes": header_bytes[reference_workers],
@@ -152,7 +178,8 @@ def test_parallel_engine(benchmark):
     report(
         "parallel_scaling",
         format_table(
-            f"Fig. 10(b) E-step wall clock (twitter, machine has {cores} cores)",
+            f"Fig. 10(b) E-step wall clock (twitter, machine has {cores} cores, "
+            f"{measured['worker_sweep_kernel']} kernel)",
             ["workers", "seconds/E-step", "speedup vs serial"],
             [["serial", measured["serial_seconds"], 1.0]] + measured["scaling"],
         ),
@@ -168,7 +195,10 @@ def test_parallel_engine(benchmark):
         "legacy_payload_bytes_per_sweep": measured["legacy_bytes"],
         "plane_payload_bytes_per_sweep": measured["plane_bytes"],
         "payload_reduction_factor": reduction,
+        "sweep_kernel": measured["sweep_kernel"],
+        "worker_sweep_kernel": measured["worker_sweep_kernel"],
         "serial_estep_seconds": measured["serial_seconds"],
+        "serial_vectorized_estep_seconds": measured["serial_vectorized_seconds"],
         "parallel_estep_seconds": {
             str(row[0]): row[1] for row in measured["scaling"]
         },

@@ -70,6 +70,8 @@ from .core import (
     load_shard_manifest,
     save_result,
 )
+from .core import _compiled
+from .core.config import SWEEP_KERNELS
 from .datasets import dblp_scenario, separated_scenario, twitter_scenario
 from .evaluation import (
     average_conductance,
@@ -119,6 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="parallel E-step worker processes over a shared-memory state "
         "plane (0 = serial sweep)",
+    )
+    fit.add_argument(
+        "--sweep-kernel", choices=SWEEP_KERNELS, default=None,
+        help="E-step sweep implementation; 'compiled' builds the C kernel at "
+        "first use and falls back to 'vectorized' when no toolchain is "
+        "available (default: the REPRO_SWEEP_KERNEL environment variable, "
+        "else 'vectorized')",
     )
     fit.add_argument("--out", required=True, help="output path (.cpd.npz)")
 
@@ -326,6 +335,21 @@ def _parallel_options(graph, config, workers: int, seed: int):
     return runner, FitOptions(document_sweeper=runner)
 
 
+def _describe_sweep_kernel(requested: str) -> str:
+    """One status line naming the E-step kernel a fit will actually run.
+
+    For ``compiled`` the backend is probed up front (building the shared
+    object if needed) so the line can report the fallback — and its reason —
+    before the fit starts, instead of burying a RuntimeWarning mid-run.
+    """
+    if requested != "compiled":
+        return f"sweep kernel: {requested}"
+    available, reason = _compiled.backend_status()
+    if available:
+        return "sweep kernel: compiled"
+    return f"sweep kernel: compiled -> vectorized ({reason})"
+
+
 def _load_store(model_path: str, graph_path: str | None, out) -> ProfileStore | None:
     """A ProfileStore from the artifact, attaching the graph when given.
 
@@ -372,13 +396,18 @@ def run_generate(args, out=None) -> int:
 def run_fit(args, out=None) -> int:
     out = out or sys.stdout
     graph = load_graph(args.graph)
+    overrides = {}
+    if getattr(args, "sweep_kernel", None) is not None:
+        overrides["sweep_kernel"] = args.sweep_kernel
     config = CPDConfig(
         n_communities=args.communities,
         n_topics=args.topics,
         n_iterations=args.iterations,
         alpha=args.alpha,
         rho=args.rho,
+        **overrides,
     )
+    print(_describe_sweep_kernel(config.sweep_kernel), file=out)
     runner, options = _parallel_options(
         graph, config, getattr(args, "workers", 0), args.seed
     )
@@ -580,6 +609,7 @@ def _print_artifact_info(path, out) -> None:
         f"{result.n_words} words",
         file=out,
     )
+    print(f"sweep kernel    : {result.config.sweep_kernel}", file=out)
     if result.trace:
         seconds = sum(entry.seconds for entry in result.trace)
         print(

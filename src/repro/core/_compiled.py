@@ -1,0 +1,679 @@
+"""Runtime-compiled C backend for the fused sweep kernel.
+
+``CPDConfig.sweep_kernel = "compiled"`` selects a sweep implementation
+(:class:`repro.core.kernel.CompiledKernel`) whose per-document loop — the
+Eq. 13 / Eq. 14 conditional builds, the log-categorical draws, and the
+counting-state updates between them — runs as a single C function with no
+Python dispatch. The prescribed numba ``njit`` backend is not available in
+every deployment (and adds a hard JIT dependency); instead this module
+carries one small C translation unit, compiles it **at first use** with the
+system C toolchain (``$CC``, ``cc`` or ``gcc``), caches the shared object
+under a content-hash name, and binds it through :mod:`ctypes`. The net
+contract is the same as the numba plan in ISSUE 7: zero new package
+dependencies, graceful fallback to the vectorized kernel when no toolchain
+exists, and a one-time warning on fallback (DESIGN.md §10).
+
+The C code reads and mutates the *same* buffers ``CPDState`` owns — count
+matrices, assignment vectors, the ``pi_hat`` / ``theta_hat`` caches and the
+popularity table — through a pointer struct (:data:`_CTX_FIELDS`) built
+fresh per call, so shared-memory buffer adoption (``adopt_buffers``) and
+the parallel plane keep working unchanged. The struct layout is generated
+from one field spec for both the C source and the ctypes mirror, so the
+two can never drift.
+
+Set ``REPRO_COMPILED_DISABLE=1`` to force the fallback path (used by CI to
+assert the no-toolchain story); ``REPRO_CC_CACHE_DIR`` overrides the
+shared-object cache directory.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+#: kill switch simulating an environment without a usable toolchain
+DISABLE_ENV = "REPRO_COMPILED_DISABLE"
+#: override for the compiled shared-object cache directory
+CACHE_ENV = "REPRO_CC_CACHE_DIR"
+
+
+class CompiledBackendUnavailable(RuntimeError):
+    """The compiled sweep backend cannot be built or loaded here."""
+
+
+# --------------------------------------------------------------------- ctx
+# One spec drives both the C struct and the ctypes mirror. Order matters
+# (it is the struct layout); every member is 8 bytes on LP64, so the two
+# sides agree without padding games.
+
+_CTX_FIELDS: tuple[tuple[str, str], ...] = (
+    # dimensions
+    ("n_docs", "i64"),
+    ("n_users", "i64"),
+    ("n_words", "i64"),
+    ("n_communities", "i64"),
+    ("n_topics", "i64"),
+    # model-design flags
+    ("profile_mode", "i64"),
+    ("similarity_mode", "i64"),
+    ("model_friendship", "i64"),
+    ("use_topic_factor", "i64"),
+    ("use_individual_factor", "i64"),
+    ("community_uses_content", "i64"),
+    ("has_fixed", "i64"),
+    ("pop_mode", "i64"),  # 0 raw, 1 proportion, 2 log
+    # priors and derived constants
+    ("alpha", "f64"),
+    ("rho", "f64"),
+    ("beta", "f64"),
+    ("words_beta", "f64"),
+    ("topics_alpha", "f64"),
+    ("comm_denom_offset", "f64"),
+    ("pi_denom_offset", "f64"),
+    ("theta_denom_offset", "f64"),
+    # diffusion parameters
+    ("comm_weight", "f64"),
+    ("pop_weight", "f64"),
+    ("bias", "f64"),
+    ("pop_table_weight", "f64"),
+    # per-document scalars and assignments
+    ("doc_user", "p_i64"),
+    ("doc_time", "p_i64"),
+    ("doc_community", "p_i64"),
+    ("doc_topic", "p_i64"),
+    ("fixed_communities", "p_i64"),
+    # mutable count state (the arrays CPDState owns, possibly shared)
+    ("user_community", "p_f64"),
+    ("user_totals", "p_f64"),
+    ("community_topic", "p_f64"),
+    ("community_totals", "p_f64"),
+    ("topic_word", "p_f64"),
+    ("topic_totals", "p_f64"),
+    ("pi_cache", "p_f64"),
+    ("theta_cache", "p_f64"),
+    ("pop_counts", "p_f64"),
+    # multiplicity-split word layout
+    ("ws_words", "p_i64"),
+    ("ws_indptr", "p_i64"),
+    ("wm_words", "p_i64"),
+    ("wm_indptr", "p_i64"),
+    ("wm_counts", "p_f64"),
+    ("doc_lengths", "p_f64"),
+    # friendship incidence
+    ("f_indptr", "p_i64"),
+    ("f_neighbor", "p_i64"),
+    ("f_lambdas", "p_f64"),
+    # diffusion incidence (both endpoints)
+    ("d_indptr", "p_i64"),
+    ("d_other", "p_i64"),
+    ("d_other_user", "p_i64"),
+    ("d_time", "p_i64"),
+    ("d_is_source", "p_i8"),
+    ("d_deltas", "p_f64"),
+    ("d_feature", "p_f64"),
+    # outgoing diffusion links
+    ("dout_indptr", "p_i64"),
+    ("dout_target_user", "p_i64"),
+    ("dout_time", "p_i64"),
+    ("dout_deltas", "p_f64"),
+    ("dout_feature", "p_f64"),
+    # flat [orientation * Z + z, c, d] eta table
+    ("eta_oriented", "p_f64"),
+    # caller-allocated scratch
+    ("scratch_z", "p_f64"),
+    ("scratch_c", "p_f64"),
+    ("scratch_wu", "p_f64"),
+    ("scratch_folded", "p_f64"),
+    ("scratch_q", "p_f64"),
+    ("scratch_base", "p_f64"),
+    ("scratch_cum", "p_f64"),
+)
+
+_C_TYPES = {
+    "i64": "int64_t",
+    "f64": "double",
+    "p_f64": "double *",
+    "p_i64": "int64_t *",
+    "p_i8": "int8_t *",
+}
+_CTYPES_TYPES = {
+    "i64": ctypes.c_int64,
+    "f64": ctypes.c_double,
+    "p_f64": ctypes.POINTER(ctypes.c_double),
+    "p_i64": ctypes.POINTER(ctypes.c_int64),
+    "p_i8": ctypes.POINTER(ctypes.c_int8),
+}
+_POINTER_DTYPES = {
+    "p_f64": np.dtype(np.float64),
+    "p_i64": np.dtype(np.int64),
+    "p_i8": np.dtype(np.int8),
+}
+
+
+class CpdCtx(ctypes.Structure):
+    _fields_ = [(name, _CTYPES_TYPES[kind]) for name, kind in _CTX_FIELDS]
+
+
+def build_ctx(values: dict) -> tuple[CpdCtx, list]:
+    """A :class:`CpdCtx` from a name -> value mapping, plus keep-alive refs.
+
+    Mutable state arrays are passed by pointer, so they must be C-contiguous
+    with the exact dtype of the spec — a silent copy here would divert the
+    kernel's mutations into a throwaway buffer.
+    """
+    ctx = CpdCtx()
+    keepalive: list[np.ndarray] = []
+    for name, kind in _CTX_FIELDS:
+        value = values[name]
+        if kind == "i64":
+            setattr(ctx, name, int(value))
+        elif kind == "f64":
+            setattr(ctx, name, float(value))
+        elif value is None:
+            setattr(ctx, name, None)
+        else:
+            expected = _POINTER_DTYPES[kind]
+            if value.dtype != expected or not value.flags.c_contiguous:
+                raise ValueError(
+                    f"ctx field {name} must be a C-contiguous {expected} array, "
+                    f"got {value.dtype} (contiguous={value.flags.c_contiguous})"
+                )
+            keepalive.append(value)
+            setattr(ctx, name, value.ctypes.data_as(_CTYPES_TYPES[kind]))
+    return ctx, keepalive
+
+
+# ---------------------------------------------------------------- C source
+
+_STRUCT_BODY = "\n".join(
+    f"    {_C_TYPES[kind]}{'' if _C_TYPES[kind].endswith('*') else ' '}{name};"
+    for name, kind in _CTX_FIELDS
+)
+
+# The arithmetic deliberately mirrors the vectorized kernel expression by
+# expression (same operand association wherever the numpy code fixes one),
+# so the compiled conditionals agree to the reference within the same
+# floating-point-noise tolerances the vectorized kernel is held to, and a
+# matched-seed sweep consumes one uniform per draw in the same order.
+# Compiled without -ffast-math: IEEE semantics are part of the parity
+# contract.
+_C_SOURCE = """
+#include <stdint.h>
+#include <math.h>
+
+#define CPD_PI 3.14159265358979323846
+
+typedef struct {
+__STRUCT_BODY__
+} CpdCtx;
+
+static void refresh_pi_row(CpdCtx *c, int64_t user) {
+    const int64_t C = c->n_communities;
+    const double denom = c->user_totals[user] + c->pi_denom_offset;
+    const double *counts = c->user_community + user * C;
+    double *row = c->pi_cache + user * C;
+    for (int64_t k = 0; k < C; ++k) row[k] = (counts[k] + c->rho) / denom;
+}
+
+static void refresh_theta_row(CpdCtx *c, int64_t community) {
+    const int64_t Z = c->n_topics;
+    const double denom = c->community_totals[community] + c->theta_denom_offset;
+    const double *counts = c->community_topic + community * Z;
+    double *row = c->theta_cache + community * Z;
+    for (int64_t z = 0; z < Z; ++z) row[z] = (counts[z] + c->alpha) / denom;
+}
+
+/* popularity transform (diffusion/popularity.py _transform_row):
+   raw -> w * n, proportion -> w * n / max(row sum, 1), log -> w * log1p(n) */
+static double pop_row_denom(const CpdCtx *c, int64_t t) {
+    const int64_t Z = c->n_topics;
+    const double *row = c->pop_counts + t * Z;
+    double total = 0.0;
+    for (int64_t z = 0; z < Z; ++z) total += row[z];
+    return total > 1.0 ? total : 1.0;
+}
+
+static double pop_cell(const CpdCtx *c, int64_t t, int64_t z, double denom) {
+    const double count = c->pop_counts[t * c->n_topics + z];
+    if (c->pop_mode == 0) return c->pop_table_weight * count;
+    if (c->pop_mode == 1) return c->pop_table_weight * (count / denom);
+    return c->pop_table_weight * log1p(count);
+}
+
+/* Eq. 13 log-weights over all Z topics (kernel.py topic_log_weights). */
+void cpd_topic_log_weights(CpdCtx *c, int64_t doc, int64_t community, double *out) {
+    const int64_t Z = c->n_topics, C = c->n_communities, W = c->n_words;
+    const double beta = c->beta;
+
+    const double *ct = c->community_topic + community * Z;
+    for (int64_t z = 0; z < Z; ++z) out[z] = log(ct[z] + c->alpha);
+
+    for (int64_t p = c->ws_indptr[doc]; p < c->ws_indptr[doc + 1]; ++p) {
+        const double *col = c->topic_word + c->ws_words[p];
+        for (int64_t z = 0; z < Z; ++z) out[z] += log(col[z * W] + beta);
+    }
+    for (int64_t p = c->wm_indptr[doc]; p < c->wm_indptr[doc + 1]; ++p) {
+        const double *col = c->topic_word + c->wm_words[p];
+        const double count = c->wm_counts[p];
+        for (int64_t z = 0; z < Z; ++z) {
+            const double gathered = col[z * W] + beta;
+            out[z] += lgamma(gathered + count) - lgamma(gathered);
+        }
+    }
+    const double length = c->doc_lengths[doc];
+    if (length > 0.0) {
+        for (int64_t z = 0; z < Z; ++z) {
+            const double total = c->topic_totals[z] + c->words_beta;
+            out[z] -= lgamma(total + length) - lgamma(total);
+        }
+    }
+
+    if (!c->profile_mode) return;
+    const int64_t start = c->dout_indptr[doc], end = c->dout_indptr[doc + 1];
+    if (end <= start) return;
+
+    /* outgoing-link factors: fold the source endpoint once per document,
+       then score each link with an O(C) inner product per topic */
+    const double *pi_u = c->pi_cache + c->doc_user[doc] * C;
+    const double *theta = c->theta_cache;
+    double *wu = c->scratch_wu;          /* weighted_u[k, z] */
+    double *folded = c->scratch_folded;  /* folded[d, z] = sum_k wu[k,z] eta[k,d,z] */
+    for (int64_t k = 0; k < C; ++k)
+        for (int64_t z = 0; z < Z; ++z) wu[k * Z + z] = pi_u[k] * theta[k * Z + z];
+    for (int64_t i = 0; i < C * Z; ++i) folded[i] = 0.0;
+    for (int64_t z = 0; z < Z; ++z) {
+        const double *eta_z = c->eta_oriented + (Z + z) * C * C; /* [z][c][d] */
+        for (int64_t k = 0; k < C; ++k) {
+            const double w = wu[k * Z + z];
+            const double *eta_row = eta_z + k * C;
+            for (int64_t d = 0; d < C; ++d) folded[d * Z + z] += w * eta_row[d];
+        }
+    }
+    for (int64_t p = start; p < end; ++p) {
+        const double *pi_v = c->pi_cache + c->dout_target_user[p] * C;
+        const double delta = c->dout_deltas[p];
+        const int64_t t = c->dout_time[p];
+        double denom = 1.0;
+        if (c->use_topic_factor && c->pop_mode == 1) denom = pop_row_denom(c, t);
+        for (int64_t z = 0; z < Z; ++z) {
+            double bilinear = 0.0;
+            for (int64_t d = 0; d < C; ++d)
+                bilinear += pi_v[d] * (theta[d * Z + z] * folded[d * Z + z]);
+            double score = c->comm_weight * bilinear + c->bias;
+            if (c->use_topic_factor) score += c->pop_weight * pop_cell(c, t, z, denom);
+            if (c->use_individual_factor) score += c->dout_feature[p];
+            out[z] += 0.5 * (score - delta * (score * score));
+        }
+    }
+}
+
+/* Eq. 14 log-weights over all C communities (kernel.py community_log_weights). */
+void cpd_community_log_weights(CpdCtx *c, int64_t doc, int64_t topic, double *out) {
+    const int64_t C = c->n_communities, Z = c->n_topics;
+    const int64_t user = c->doc_user[doc];
+    double *base = c->scratch_base;
+    const double *uc = c->user_community + user * C;
+    for (int64_t k = 0; k < C; ++k) base[k] = uc[k] + c->rho;
+    const double denom = c->user_totals[user] + c->comm_denom_offset;
+
+    if (c->community_uses_content) {
+        for (int64_t k = 0; k < C; ++k)
+            out[k] = log(base[k] * (c->community_topic[k * Z + topic] + c->alpha)
+                         / (c->community_totals[k] + c->topics_alpha));
+    } else {
+        for (int64_t k = 0; k < C; ++k) out[k] = log(base[k]);
+    }
+
+    if (c->model_friendship) {
+        for (int64_t p = c->f_indptr[user]; p < c->f_indptr[user + 1]; ++p) {
+            const double *pi_v = c->pi_cache + c->f_neighbor[p] * C;
+            const double lambda = c->f_lambdas[p];
+            double dot = 0.0;
+            for (int64_t k = 0; k < C; ++k) dot += pi_v[k] * base[k];
+            for (int64_t k = 0; k < C; ++k) {
+                const double w = (dot + pi_v[k]) / denom;
+                out[k] += 0.5 * (w - lambda * (w * w));
+            }
+        }
+    }
+
+    const int64_t start = c->d_indptr[doc], end = c->d_indptr[doc + 1];
+    if (end <= start) return;
+    if (c->profile_mode) {
+        const double *theta = c->theta_cache;
+        double *q = c->scratch_q;
+        for (int64_t p = start; p < end; ++p) {
+            const int64_t orientation = (int64_t)c->d_is_source[p];
+            const int64_t lz = orientation ? topic : c->doc_topic[c->d_other[p]];
+            if (lz < 0) continue; /* other endpoint is mid-resample */
+            const double *pi_o = c->pi_cache + c->d_other_user[p] * C;
+            const double *eta_m = c->eta_oriented + (orientation * Z + lz) * C * C;
+            for (int64_t i = 0; i < C; ++i) {
+                const double *eta_row = eta_m + i * C;
+                double acc = 0.0;
+                for (int64_t j = 0; j < C; ++j)
+                    acc += eta_row[j] * (pi_o[j] * theta[j * Z + lz]);
+                q[i] = theta[i * Z + lz] * acc;
+            }
+            double dotq = 0.0;
+            for (int64_t i = 0; i < C; ++i) dotq += q[i] * base[i];
+            double constant = c->bias;
+            if (c->use_topic_factor) {
+                const int64_t t = c->d_time[p];
+                const double pden = (c->pop_mode == 1) ? pop_row_denom(c, t) : 1.0;
+                constant += c->pop_weight * pop_cell(c, t, lz, pden);
+            }
+            if (c->use_individual_factor) constant += c->d_feature[p];
+            const double delta = c->d_deltas[p];
+            for (int64_t i = 0; i < C; ++i) {
+                const double w = c->comm_weight * ((dotq + q[i]) / denom) + constant;
+                out[i] += 0.5 * (w - delta * (w * w));
+            }
+        }
+    } else if (c->similarity_mode) {
+        for (int64_t p = start; p < end; ++p) {
+            const double *pi_o = c->pi_cache + c->d_other_user[p] * C;
+            const double delta = c->d_deltas[p];
+            double dot = 0.0;
+            for (int64_t k = 0; k < C; ++k) dot += pi_o[k] * base[k];
+            for (int64_t k = 0; k < C; ++k) {
+                const double w = (dot + pi_o[k]) / denom;
+                out[k] += 0.5 * (w - delta * (w * w));
+            }
+        }
+    }
+}
+
+/* The trusted log-categorical draw: scalar translation of
+   sampling/categorical.py draw_log_categorical. One uniform per draw;
+   shift by the max, sequential exp accumulation, first cumulative bound
+   strictly above the scaled uniform, tie walk-back at the end. */
+static int64_t draw_cat(const double *log_weights, int64_t n, double uniform,
+                        double *cumulative) {
+    double shift = log_weights[0];
+    for (int64_t i = 1; i < n; ++i)
+        if (log_weights[i] > shift) shift = log_weights[i];
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        total += exp(log_weights[i] - shift);
+        cumulative[i] = total;
+    }
+    const double draw = uniform * total;
+    for (int64_t i = 0; i < n; ++i)
+        if (cumulative[i] > draw) return i;
+    int64_t index = n - 1;
+    while (index > 0 && cumulative[index] == cumulative[index - 1]) --index;
+    return index;
+}
+
+int64_t cpd_draw_log_categorical(const double *log_weights, int64_t n,
+                                 double uniform, double *cum_scratch) {
+    return draw_cat(log_weights, n, uniform, cum_scratch);
+}
+
+static void unassign_doc(CpdCtx *c, int64_t doc, int64_t *out_community,
+                         int64_t *out_topic) {
+    const int64_t C = c->n_communities, Z = c->n_topics, W = c->n_words;
+    const int64_t user = c->doc_user[doc];
+    const int64_t community = c->doc_community[doc];
+    const int64_t topic = c->doc_topic[doc];
+    c->user_community[user * C + community] -= 1.0;
+    c->user_totals[user] -= 1.0;
+    c->community_topic[community * Z + topic] -= 1.0;
+    c->community_totals[community] -= 1.0;
+    double *tw = c->topic_word + topic * W;
+    for (int64_t p = c->ws_indptr[doc]; p < c->ws_indptr[doc + 1]; ++p)
+        tw[c->ws_words[p]] -= 1.0;
+    for (int64_t p = c->wm_indptr[doc]; p < c->wm_indptr[doc + 1]; ++p)
+        tw[c->wm_words[p]] -= c->wm_counts[p];
+    c->topic_totals[topic] -= c->doc_lengths[doc];
+    c->doc_community[doc] = -1;
+    c->doc_topic[doc] = -1;
+    c->pop_counts[c->doc_time[doc] * Z + topic] -= 1.0;
+    refresh_pi_row(c, user);
+    refresh_theta_row(c, community);
+    *out_community = community;
+    *out_topic = topic;
+}
+
+static void assign_doc(CpdCtx *c, int64_t doc, int64_t community, int64_t topic) {
+    const int64_t C = c->n_communities, Z = c->n_topics, W = c->n_words;
+    const int64_t user = c->doc_user[doc];
+    c->doc_community[doc] = community;
+    c->doc_topic[doc] = topic;
+    c->user_community[user * C + community] += 1.0;
+    c->user_totals[user] += 1.0;
+    c->community_topic[community * Z + topic] += 1.0;
+    c->community_totals[community] += 1.0;
+    double *tw = c->topic_word + topic * W;
+    for (int64_t p = c->ws_indptr[doc]; p < c->ws_indptr[doc + 1]; ++p)
+        tw[c->ws_words[p]] += 1.0;
+    for (int64_t p = c->wm_indptr[doc]; p < c->wm_indptr[doc + 1]; ++p)
+        tw[c->wm_words[p]] += c->wm_counts[p];
+    c->topic_totals[topic] += c->doc_lengths[doc];
+    c->pop_counts[c->doc_time[doc] * Z + topic] += 1.0;
+    refresh_pi_row(c, user);
+    refresh_theta_row(c, community);
+}
+
+/* The fused sweep: Alg. 1 steps 3-6 for a whole partition of documents in
+   one call. Uniforms are pre-drawn by the caller from the sampler's
+   Generator (topic draw first, then — unless communities are fixed — the
+   community draw, per document), so the bit-stream consumption matches the
+   per-document Python path draw for draw. Returns the number of uniforms
+   consumed. */
+int64_t cpd_sweep_docs(CpdCtx *c, const int64_t *doc_ids, int64_t n,
+                       const double *uniforms) {
+    int64_t consumed = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const int64_t doc = doc_ids[i];
+        int64_t old_community, old_topic;
+        unassign_doc(c, doc, &old_community, &old_topic);
+        cpd_topic_log_weights(c, doc, old_community, c->scratch_z);
+        const int64_t topic = draw_cat(c->scratch_z, c->n_topics,
+                                       uniforms[consumed++], c->scratch_cum);
+        int64_t community;
+        if (c->has_fixed) {
+            community = c->fixed_communities[doc];
+        } else {
+            cpd_community_log_weights(c, doc, topic, c->scratch_c);
+            community = draw_cat(c->scratch_c, c->n_communities,
+                                 uniforms[consumed++], c->scratch_cum);
+        }
+        assign_doc(c, doc, community, topic);
+    }
+    return consumed;
+}
+
+/* Truncated-series PG sum (sampling/polya_gamma.py sample_pg_array) over
+   pre-drawn Gamma(b, 1) innovations: the caller draws `gammas` from the
+   same Generator call the numpy path uses, so the bit stream is identical;
+   only the summation association differs (ulp-level). */
+void cpd_pg_series(const double *z, const double *gammas, int64_t n,
+                   int64_t k_terms, double b, double *out) {
+    const double two_pi = 2.0 * CPD_PI;
+    const double two_pi_sq = 2.0 * CPD_PI * CPD_PI;
+    for (int64_t i = 0; i < n; ++i) {
+        const double c_i = fabs(z[i]) / two_pi;
+        const double c_sq = c_i * c_i;
+        const double *g = gammas + i * k_terms;
+        double series = 0.0, partial = 0.0;
+        for (int64_t k = 0; k < k_terms; ++k) {
+            const double denom = (k + 0.5) * (k + 0.5) + c_sq;
+            series += g[k] / denom;
+            partial += 1.0 / denom;
+        }
+        double full;
+        if (c_i < 1e-8) full = CPD_PI * CPD_PI / 2.0;
+        else full = (CPD_PI / (2.0 * c_i)) * tanh(CPD_PI * c_i);
+        out[i] = series / two_pi_sq + b * ((full - partial) / two_pi_sq);
+    }
+}
+""".replace("__STRUCT_BODY__", _STRUCT_BODY)
+
+
+# ---------------------------------------------------------------- building
+
+_LOCK = threading.Lock()
+_LIB: ctypes.CDLL | None = None
+_LIB_ERROR: str | None = None
+
+
+def _find_compiler() -> str:
+    compiler = os.environ.get("CC")
+    if compiler:
+        found = shutil.which(compiler)
+        if found is None:
+            raise CompiledBackendUnavailable(f"$CC={compiler!r} is not executable")
+        return found
+    for candidate in ("cc", "gcc", "clang"):
+        found = shutil.which(candidate)
+        if found is not None:
+            return found
+    raise CompiledBackendUnavailable("no C compiler found (tried $CC, cc, gcc, clang)")
+
+
+def _cache_dir() -> str:
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return override
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-cc-{uid}")
+
+
+def _build_library_path() -> str:
+    """Compile (or reuse) the shared object; returns its path."""
+    compiler = _find_compiler()
+    digest = hashlib.sha256(
+        (_C_SOURCE + "\x00" + compiler).encode("utf-8")
+    ).hexdigest()[:16]
+    cache_dir = _cache_dir()
+    library = os.path.join(cache_dir, f"cpd_sweep_{digest}.so")
+    if os.path.exists(library):
+        return library
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+    except OSError as error:
+        raise CompiledBackendUnavailable(f"cannot create cache dir: {error}") from error
+    source = os.path.join(cache_dir, f"cpd_sweep_{digest}.c")
+    scratch = f"{library}.{os.getpid()}.tmp"
+    try:
+        with open(source, "w", encoding="utf-8") as handle:
+            handle.write(_C_SOURCE)
+        # no -ffast-math: IEEE arithmetic is part of the parity contract
+        command = [
+            compiler, "-O3", "-fPIC", "-shared", "-std=c99",
+            source, "-o", scratch, "-lm",
+        ]
+        completed = subprocess.run(
+            command, capture_output=True, text=True, timeout=120
+        )
+        if completed.returncode != 0:
+            detail = (completed.stderr or completed.stdout or "").strip()
+            raise CompiledBackendUnavailable(
+                f"C compilation failed ({' '.join(command[:2])}): {detail[:400]}"
+            )
+        os.replace(scratch, library)  # atomic: concurrent builders race safely
+    except (OSError, subprocess.SubprocessError) as error:
+        raise CompiledBackendUnavailable(f"C compilation failed: {error}") from error
+    finally:
+        if os.path.exists(scratch):
+            try:
+                os.unlink(scratch)
+            except OSError:
+                pass
+    return library
+
+
+def _bind(library: ctypes.CDLL) -> ctypes.CDLL:
+    ctx_p = ctypes.POINTER(CpdCtx)
+    f64_p = ctypes.POINTER(ctypes.c_double)
+    i64_p = ctypes.POINTER(ctypes.c_int64)
+    library.cpd_topic_log_weights.argtypes = [ctx_p, ctypes.c_int64, ctypes.c_int64, f64_p]
+    library.cpd_topic_log_weights.restype = None
+    library.cpd_community_log_weights.argtypes = [ctx_p, ctypes.c_int64, ctypes.c_int64, f64_p]
+    library.cpd_community_log_weights.restype = None
+    library.cpd_sweep_docs.argtypes = [ctx_p, i64_p, ctypes.c_int64, f64_p]
+    library.cpd_sweep_docs.restype = ctypes.c_int64
+    library.cpd_draw_log_categorical.argtypes = [f64_p, ctypes.c_int64, ctypes.c_double, f64_p]
+    library.cpd_draw_log_categorical.restype = ctypes.c_int64
+    library.cpd_pg_series.argtypes = [
+        f64_p, f64_p, ctypes.c_int64, ctypes.c_int64, ctypes.c_double, f64_p
+    ]
+    library.cpd_pg_series.restype = None
+    return library
+
+
+def load_library() -> ctypes.CDLL:
+    """The compiled sweep library, built on first use and memoized.
+
+    Raises :class:`CompiledBackendUnavailable` — once established, the
+    failure is memoized too, so every subsequent kernel construction falls
+    back instantly instead of re-running the toolchain probe.
+    """
+    global _LIB, _LIB_ERROR
+    if os.environ.get(DISABLE_ENV, "").strip() not in ("", "0"):
+        raise CompiledBackendUnavailable(f"disabled by {DISABLE_ENV}")
+    with _LOCK:
+        if _LIB is not None:
+            return _LIB
+        if _LIB_ERROR is not None:
+            raise CompiledBackendUnavailable(_LIB_ERROR)
+        try:
+            _LIB = _bind(ctypes.CDLL(_build_library_path()))
+        except CompiledBackendUnavailable as error:
+            _LIB_ERROR = str(error)
+            raise
+        except OSError as error:
+            _LIB_ERROR = f"cannot load compiled library: {error}"
+            raise CompiledBackendUnavailable(_LIB_ERROR) from error
+        return _LIB
+
+
+def backend_status() -> tuple[bool, str | None]:
+    """``(available, reason)`` — reason is ``None`` when the backend loads."""
+    try:
+        load_library()
+    except CompiledBackendUnavailable as error:
+        return False, str(error)
+    return True, None
+
+
+def reset_for_tests() -> None:
+    """Drop the memoized library/error so tests can re-probe the backend."""
+    global _LIB, _LIB_ERROR
+    with _LOCK:
+        _LIB = None
+        _LIB_ERROR = None
+
+
+def pg_series(z: np.ndarray, gammas: np.ndarray, b: float) -> np.ndarray | None:
+    """Compiled truncated-series PG sum; ``None`` when the backend is absent.
+
+    ``gammas`` must be the ``(n, k_terms)`` Gamma(b, 1) innovations drawn by
+    the caller (from the same Generator call as the numpy path, preserving
+    the bit stream).
+    """
+    try:
+        library = load_library()
+    except CompiledBackendUnavailable:
+        return None
+    z = np.ascontiguousarray(z, dtype=np.float64)
+    gammas = np.ascontiguousarray(gammas, dtype=np.float64)
+    out = np.empty(z.shape[0], dtype=np.float64)
+    library.cpd_pg_series(
+        z.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        gammas.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        ctypes.c_int64(z.shape[0]),
+        ctypes.c_int64(gammas.shape[1]),
+        ctypes.c_double(float(b)),
+        out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+    )
+    return out

@@ -418,15 +418,13 @@ class CPDSampler:
     # -------------------------------------------------------------- doc sweep
 
     def sweep_documents(self, doc_ids: np.ndarray | None = None) -> None:
-        """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
-        if doc_ids is None:
-            ids = range(self.state.n_docs)  # includes stream-appended documents
-        else:
-            # iterate the int64 array directly — no per-sweep list
-            # materialization; copy=False keeps the common case allocation-free
-            ids = np.asarray(doc_ids, dtype=np.int64)
-        for doc_id in ids:
-            self._resample_document(doc_id)
+        """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all).
+
+        The kernel owns the whole partition: the Python kernels loop
+        :meth:`_resample_document`, the compiled kernel resamples the range
+        in one fused C call.
+        """
+        self.kernel.sweep(doc_ids)
 
     def _resample_document(self, doc_id: int) -> None:
         state = self.state
@@ -692,7 +690,12 @@ class CPDSampler:
         dots = np.einsum(
             "ij,ij->i", pi[self.f_src[start:stop]], pi[self.f_tgt[start:stop]]
         )
-        return sample_pg_array(dots, self.rng, n_terms=self.config.pg_terms)
+        return sample_pg_array(
+            dots,
+            self.rng,
+            n_terms=self.config.pg_terms,
+            compiled=getattr(self.kernel, "uses_compiled_pg", False),
+        )
 
     def draw_delta_range(self, start: int, stop: int) -> np.ndarray:
         """Fresh Eq. 16 draws for diffusion links ``[start, stop)``."""
@@ -710,7 +713,12 @@ class CPDSampler:
                 self.e_time[start:stop],
                 self.e_features[start:stop],
             )
-        return sample_pg_array(logits, self.rng, n_terms=self.config.pg_terms)
+        return sample_pg_array(
+            logits,
+            self.rng,
+            n_terms=self.config.pg_terms,
+            compiled=getattr(self.kernel, "uses_compiled_pg", False),
+        )
 
     # ---------------------------------------------------------------- M-step
 

@@ -19,30 +19,86 @@ two ``eta`` orientations — so the hot path reads contiguous slices instead
 of doing fancy gathers, and by folding the per-link ``log_psi`` sum into
 ``0.5 * (sum_l w_l - x . w^2)`` (one matvec per factor group).
 
-Both kernels read the same mutable state, so they are interchangeable
-mid-fit; the equivalence argument and parity tests live in DESIGN.md §4 and
-``tests/test_core_kernel.py``.
+* :class:`CompiledKernel` runs the whole sweep — conditional builds,
+  categorical draws, and counting-state updates — inside one C function
+  compiled at first use (:mod:`repro.core._compiled`); when no C toolchain
+  is available construction falls back to the vectorized kernel with a
+  one-time warning (DESIGN.md §10).
+
+All kernels read the same mutable state, so they are interchangeable
+mid-fit; the equivalence argument and parity tests live in DESIGN.md §4,
+§10 and ``tests/test_core_kernel.py``.
 """
 
 from __future__ import annotations
 
+import ctypes
+import warnings
 from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.special import gammaln
 
 from ..sampling.categorical import draw_log_categorical, sample_log_categorical
+from . import _compiled
 from .layout import split_word_multiplicity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .gibbs import CPDSampler
+
+#: last compiled-backend fallback, for CLI/diagnostics: the reason string,
+#: and whether the one-per-process warning has fired already
+_FALLBACK_STATE: dict = {"reason": None, "warned": False}
+
+
+def compiled_fallback_reason() -> str | None:
+    """Why the last ``sweep_kernel="compiled"`` request fell back, if it did."""
+    return _FALLBACK_STATE["reason"]
+
+
+def reset_fallback_state() -> None:
+    """Forget past fallbacks so the next one warns again (test hook)."""
+    _FALLBACK_STATE["reason"] = None
+    _FALLBACK_STATE["warned"] = False
+
+
+def _note_fallback(reason: str) -> None:
+    _FALLBACK_STATE["reason"] = reason
+    if not _FALLBACK_STATE["warned"]:
+        _FALLBACK_STATE["warned"] = True
+        warnings.warn(
+            f"compiled sweep kernel unavailable ({reason}); "
+            "falling back to the vectorized kernel",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
 
 def make_kernel(sampler: "CPDSampler"):
     """Build the sweep kernel selected by ``sampler.config.sweep_kernel``."""
     if sampler.config.sweep_kernel == "reference":
         return ReferenceKernel(sampler)
+    if sampler.config.sweep_kernel == "compiled":
+        try:
+            return CompiledKernel(sampler)
+        except _compiled.CompiledBackendUnavailable as error:
+            _note_fallback(str(error))
+            kernel = VectorizedKernel(sampler)
+            kernel.fallback_reason = str(error)
+            return kernel
     return VectorizedKernel(sampler)
+
+
+def _python_sweep(sampler: "CPDSampler", doc_ids: np.ndarray | None) -> None:
+    """Per-document resample loop shared by the Python-driven kernels."""
+    if doc_ids is None:
+        ids = range(sampler.state.n_docs)  # includes stream-appended documents
+    else:
+        # iterate the int64 array directly — no per-sweep list
+        # materialization; copy=False keeps the common case allocation-free
+        ids = np.asarray(doc_ids, dtype=np.int64)
+    for doc_id in ids:
+        sampler._resample_document(doc_id)
 
 
 class ReferenceKernel:
@@ -67,6 +123,10 @@ class ReferenceKernel:
 
     def rebuild_link_layout(self) -> None:
         """No-op: the reference loops read the sampler's arrays directly."""
+
+    def sweep(self, doc_ids: np.ndarray | None = None) -> None:
+        """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
+        _python_sweep(self.sampler, doc_ids)
 
 
 class VectorizedKernel:
@@ -217,6 +277,12 @@ class VectorizedKernel:
         self._nu_source = None
         self._lambdas_source = None
         self._deltas_source = None
+
+    # ------------------------------------------------------------------ sweep
+
+    def sweep(self, doc_ids: np.ndarray | None = None) -> None:
+        """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
+        _python_sweep(self.sampler, doc_ids)
 
     def _refresh_caches(self) -> None:
         """Re-derive per-iteration link arrays when their source changes.
@@ -432,3 +498,212 @@ class VectorizedKernel:
         else:
             scores += constant
         return 0.5 * (scores.sum(axis=0) - deltas @ (scores * scores))
+
+
+class CompiledKernel(VectorizedKernel):
+    """C implementation of the fused sweep (DESIGN.md §10).
+
+    Inherits the vectorized kernel's word/link layout and per-iteration
+    cache management, but computes the Eq. 13 / Eq. 14 conditionals — and,
+    through :meth:`sweep`, the entire per-document resample loop including
+    count updates and categorical draws — in the runtime-compiled C library.
+    The C code mutates the *same* arrays ``CPDState`` owns through a pointer
+    struct rebuilt on every entry, so buffer adoption, M-step array swaps,
+    and streaming appends all keep working unchanged.
+
+    RNG contract: the sweep pre-draws one uniform per categorical draw from
+    the sampler's ``Generator`` (``rng.random(k)`` consumes the same bit
+    stream as ``k`` scalar draws), so matched seeds stay aligned with the
+    Python kernels draw for draw.
+    """
+
+    name = "compiled"
+    #: gibbs hands the augmentation draws to the compiled PG series
+    uses_compiled_pg = True
+
+    _POP_MODES = {"raw": 0, "proportion": 1, "log": 2}
+
+    def __init__(self, sampler: "CPDSampler") -> None:
+        # raises CompiledBackendUnavailable before any layout work when the
+        # backend cannot load; make_kernel turns that into the fallback
+        self._lib = _compiled.load_library()
+        super().__init__(sampler)
+        n_topics = sampler.config.n_topics
+        n_communities = sampler.config.n_communities
+        self._scratch = {
+            "scratch_z": np.empty(n_topics),
+            "scratch_c": np.empty(n_communities),
+            "scratch_wu": np.empty(n_communities * n_topics),
+            "scratch_folded": np.empty(n_communities * n_topics),
+            "scratch_q": np.empty(n_communities),
+            "scratch_base": np.empty(n_communities),
+            "scratch_cum": np.empty(max(n_topics, n_communities)),
+        }
+
+    # ---------------------------------------------------------------- layout
+
+    def _build_word_layout(self, sampler: "CPDSampler") -> None:
+        super()._build_word_layout(sampler)
+        layout = sampler.corpus_layout
+        if layout is not None and getattr(layout, "doc_lengths", None) is not None:
+            self._doc_lengths_f64 = layout.doc_lengths
+        else:
+            self._doc_lengths_f64 = np.ascontiguousarray(
+                sampler._doc_lengths, dtype=np.float64
+            )
+
+    def append_documents(self, first_new_doc: int) -> None:
+        super().append_documents(first_new_doc)
+        self._doc_lengths_f64 = np.ascontiguousarray(
+            self.sampler._doc_lengths, dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------- ctx
+
+    def _ctx_values(self) -> dict:
+        """Current pointer-struct contents; rebuilt per entry into C.
+
+        ``pi_hat_view`` / ``theta_hat_view`` flush their dirty rows here, so
+        the C code always starts from fresh caches and keeps the rows it
+        touches fresh itself (same ``(count + prior) / (total + offset)``
+        arithmetic, validated by ``check_consistency`` at 1e-12).
+        """
+        sampler = self.sampler
+        state = self.state
+        params = sampler.params
+        popularity = sampler.popularity
+        fixed = sampler.fixed_communities
+        values = {
+            "n_docs": state.n_docs,
+            "n_users": state.n_users,
+            "n_words": state.n_words,
+            "n_communities": state.n_communities,
+            "n_topics": state.n_topics,
+            "profile_mode": int(self._profile_mode),
+            "similarity_mode": int(self._similarity_mode),
+            "model_friendship": int(self._model_friendship),
+            "use_topic_factor": int(self._use_topic_factor),
+            "use_individual_factor": int(self._use_individual_factor),
+            "community_uses_content": int(self._community_uses_content),
+            "has_fixed": int(fixed is not None),
+            "pop_mode": self._POP_MODES[popularity.mode],
+            "alpha": self._alpha,
+            "rho": self._rho,
+            "beta": self._beta,
+            "words_beta": self._words_beta,
+            "topics_alpha": self._topics_alpha,
+            "comm_denom_offset": self._denominator_offset,
+            "pi_denom_offset": state.n_communities * state.rho,
+            "theta_denom_offset": state.n_topics * state.alpha,
+            "comm_weight": params.comm_weight,
+            "pop_weight": params.pop_weight,
+            "bias": params.bias,
+            "pop_table_weight": popularity.weight,
+            "doc_user": sampler._doc_user,
+            "doc_time": sampler._doc_time,
+            "doc_community": state.doc_community,
+            "doc_topic": state.doc_topic,
+            "fixed_communities": fixed,
+            "user_community": state.user_community,
+            "user_totals": state.user_totals,
+            "community_topic": state.community_topic,
+            "community_totals": state.community_totals,
+            "topic_word": state.topic_word,
+            "topic_totals": state.topic_totals,
+            "pi_cache": state.pi_hat_view(),
+            "theta_cache": state.theta_hat_view(),
+            "pop_counts": popularity._counts,
+            "ws_words": self.ws_words,
+            "ws_indptr": self.ws_indptr,
+            "wm_words": self.wm_words,
+            "wm_indptr": self.wm_indptr,
+            "wm_counts": self.wm_counts,
+            "doc_lengths": self._doc_lengths_f64,
+            "f_indptr": sampler.f_csr_indptr,
+            "f_neighbor": sampler.f_csr_neighbor,
+            "f_lambdas": self._f_lambdas,
+            "d_indptr": sampler.d_csr_indptr,
+            "d_other": self._d_other,
+            "d_other_user": self._d_other_user,
+            "d_time": self._d_time,
+            "d_is_source": self._d_orientation,
+            "d_deltas": self._d_deltas,
+            "d_feature": self._d_feature,
+            "dout_indptr": sampler.dout_csr_indptr,
+            "dout_target_user": self._dout_target_user,
+            "dout_time": self._dout_time,
+            "dout_deltas": self._dout_deltas,
+            "dout_feature": self._dout_feature,
+            "eta_oriented": self._eta_oriented_flat,
+        }
+        values.update(self._scratch)
+        return values
+
+    # ----------------------------------------------------------- conditionals
+
+    def topic_log_weights(self, doc_id: int, community: int) -> np.ndarray:
+        """Eq. 13 log-weights computed by the C conditional builder."""
+        self._refresh_caches()
+        ctx, keepalive = _compiled.build_ctx(self._ctx_values())
+        out = np.empty(self.state.n_topics)
+        self._lib.cpd_topic_log_weights(
+            ctypes.byref(ctx),
+            ctypes.c_int64(int(doc_id)),
+            ctypes.c_int64(int(community)),
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        )
+        del keepalive
+        return out
+
+    def community_log_weights(self, doc_id: int, topic: int) -> np.ndarray:
+        """Eq. 14 log-weights computed by the C conditional builder."""
+        self._refresh_caches()
+        ctx, keepalive = _compiled.build_ctx(self._ctx_values())
+        out = np.empty(self.state.n_communities)
+        self._lib.cpd_community_log_weights(
+            ctypes.byref(ctx),
+            ctypes.c_int64(int(doc_id)),
+            ctypes.c_int64(int(topic)),
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        )
+        del keepalive
+        return out
+
+    # ------------------------------------------------------------------ sweep
+
+    def sweep(self, doc_ids: np.ndarray | None = None) -> None:
+        """Fused sweep: the whole partition resampled in one C call."""
+        sampler = self.sampler
+        state = self.state
+        if doc_ids is None:
+            ids = np.arange(state.n_docs, dtype=np.int64)
+        else:
+            ids = np.ascontiguousarray(np.asarray(doc_ids, dtype=np.int64))
+        n = len(ids)
+        if n == 0:
+            return
+        if ids.min() < 0 or ids.max() >= state.n_docs:
+            raise ValueError("sweep document ids out of range")
+        if np.any(state.doc_topic[ids] < 0):
+            raise ValueError("compiled sweep requires currently-assigned documents")
+        self._refresh_caches()
+        draws_per_doc = 1 if sampler.fixed_communities is not None else 2
+        uniforms = sampler.rng.random(draws_per_doc * n)
+        ctx, keepalive = _compiled.build_ctx(self._ctx_values())
+        consumed = self._lib.cpd_sweep_docs(
+            ctypes.byref(ctx),
+            ids.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+            ctypes.c_int64(n),
+            uniforms.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        )
+        del keepalive
+        # C moved counts under the popularity score cache without marking
+        # rows dirty; drop it wholesale so the next lookup recomputes
+        popularity = sampler.popularity
+        popularity._score_cache = None
+        popularity._dirty_rows.clear()
+        if consumed != draws_per_doc * n:
+            raise RuntimeError(
+                f"compiled sweep consumed {consumed} uniforms, "
+                f"expected {draws_per_doc * n}"
+            )

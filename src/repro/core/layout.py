@@ -115,6 +115,10 @@ class CorpusLayout:
     wm_indptr: np.ndarray  # (D+1,) int64
     wm_counts: np.ndarray  # float64
 
+    # per-document word counts as float64 — the compiled kernel consumes
+    # them directly for the Eq. 13 denominator and the count updates
+    doc_lengths: np.ndarray  # (D,) float64
+
     @property
     def n_friend_links(self) -> int:
         return int(len(self.f_src))
@@ -193,5 +197,6 @@ class CorpusLayout:
             dout_csr_indptr=sampler.dout_csr_indptr,
             dout_csr_link=sampler.dout_csr_link,
             dout_csr_target=sampler.dout_csr_target,
+            doc_lengths=np.ascontiguousarray(sampler._doc_lengths, dtype=np.float64),
             **word_layout,
         )

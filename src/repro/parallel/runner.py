@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core import _compiled
 from ..core.config import CPDConfig
 from ..core.gibbs import CPDSampler
 from ..core.layout import CorpusLayout
@@ -231,6 +232,14 @@ class ParallelEStepRunner:
             raise ValueError("worker_timeout must be positive")
         if sweep_kernel is not None:
             config = config.with_overrides(sweep_kernel=sweep_kernel)
+        #: the kernel workers actually run (compiled may fall back)
+        self.worker_sweep_kernel = config.sweep_kernel
+        if config.sweep_kernel == "compiled":
+            # warm the shared-object cache once in the coordinator so forked
+            # workers map the cached library instead of racing the compiler
+            available, _reason = _compiled.backend_status()
+            if not available:
+                self.worker_sweep_kernel = "vectorized"
         self.graph = graph
         self.config = config
         self.n_workers = n_workers

@@ -118,6 +118,35 @@ def draw_log_categorical(log_weights: np.ndarray, generator: np.random.Generator
     return index
 
 
+def draw_log_categorical_from_uniform(log_weights: np.ndarray, uniform: float) -> int:
+    """:func:`draw_log_categorical` as a pure function of one uniform draw.
+
+    This is the draw contract the compiled sweep kernel implements in C
+    (``cpd_draw_log_categorical``): shift by the maximum, accumulate
+    ``exp`` terms sequentially, return the first index whose cumulative
+    bound strictly exceeds ``uniform * total``, walking back over trailing
+    zero-weight outcomes if the scaled uniform rounds up to the total.
+    Given the same ``log_weights`` and ``uniform`` it returns the same
+    index as :func:`draw_log_categorical` fed a Generator about to emit
+    ``uniform`` — the property the cross-language parity tests pin.
+    """
+    values = [float(value) for value in log_weights]
+    shift = max(values)
+    total = 0.0
+    cumulative = []
+    for value in values:
+        total += math.exp(value - shift)
+        cumulative.append(total)
+    draw = uniform * total
+    for index, bound in enumerate(cumulative):
+        if bound > draw:
+            return index
+    index = len(values) - 1
+    while index > 0 and cumulative[index] == cumulative[index - 1]:
+        index -= 1
+    return index
+
+
 def sample_many_log_categorical(
     log_weight_rows: np.ndarray, rng: RngLike = None
 ) -> np.ndarray:

@@ -178,6 +178,7 @@ def sample_pg_array(
     rng: RngLike = None,
     n_terms: int = 64,
     b: int = 1,
+    compiled: bool = False,
 ) -> np.ndarray:
     """Vectorised PG(b, z_i) draws via the truncated definitional series.
 
@@ -187,6 +188,14 @@ def sample_pg_array(
     sampler stays unbiased in the mean. With ``K = 64`` the tail holds under
     0.2% of the variance, which is negligible against the Monte-Carlo noise
     of a Gibbs sweep.
+
+    With ``compiled=True`` the series + tail arithmetic runs in the
+    runtime-compiled C backend (DESIGN.md §10) over the *same* batch of
+    Gamma innovations — the gammas are always drawn by the one
+    ``standard_gamma`` call above, so the Generator's bit-stream consumption
+    is identical either way and matched seeds stay matched. Only the
+    summation association differs (ulp-level). When the backend is
+    unavailable the numpy arithmetic silently finishes the draw.
     """
     generator = ensure_rng(rng)
     z = np.atleast_1d(np.asarray(z, dtype=np.float64))
@@ -197,6 +206,13 @@ def sample_pg_array(
     k = np.arange(1, n_terms + 1, dtype=np.float64)
     denom = (k - 0.5) ** 2 + (z[..., None] / (2.0 * math.pi)) ** 2
     gammas = generator.standard_gamma(float(b), size=denom.shape)
+    if compiled and z.ndim == 1 and len(z):
+        # deferred import: repro.core pulls this module in at package import
+        from ..core import _compiled
+
+        draws = _compiled.pg_series(z, gammas, float(b))
+        if draws is not None:
+            return draws
     draws = (gammas / denom).sum(axis=-1) / (2.0 * math.pi**2)
     return draws + b * _series_tail_mean(z, n_terms)
 

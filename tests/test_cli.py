@@ -64,6 +64,55 @@ class TestFit:
         assert "parallel E-step: 2 workers" in capsys.readouterr().out
         assert out.exists()
 
+    @pytest.mark.filterwarnings("ignore:compiled sweep kernel unavailable")
+    def test_sweep_kernel_flag(self, workspace, tmp_path, capsys):
+        """--sweep-kernel selects the backend and the banner names it —
+        including the fallback arrow when no C toolchain exists."""
+        _root, graph_path, _model = workspace
+        out = tmp_path / "compiled.cpd.npz"
+        assert main([
+            "fit", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "2", "--seed", "0",
+            "--sweep-kernel", "compiled", "--out", str(out),
+        ]) == 0
+        banner = capsys.readouterr().out
+        assert (
+            "sweep kernel: compiled\n" in banner
+            or "sweep kernel: compiled -> vectorized (" in banner
+        )
+        assert out.exists()
+        # the choice round-trips through the artifact into `repro info`
+        assert main(["info", "--model", str(out)]) == 0
+        assert "sweep kernel    : compiled" in capsys.readouterr().out
+
+    def test_sweep_kernel_matches_default_results(self, workspace, tmp_path, capsys):
+        """An explicit --sweep-kernel vectorized equals the default fit."""
+        _root, graph_path, _model = workspace
+        explicit = tmp_path / "explicit.cpd.npz"
+        assert main([
+            "fit", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "6", "--seed", "0",
+            "--sweep-kernel", "vectorized", "--out", str(explicit),
+        ]) == 0
+        assert "sweep kernel: vectorized" in capsys.readouterr().out
+        from repro.core import load_result
+        import numpy as np
+
+        baseline = load_result(workspace[2])
+        result = load_result(explicit)
+        np.testing.assert_array_equal(
+            baseline.doc_community, result.doc_community
+        )
+
+    def test_invalid_sweep_kernel_rejected(self, workspace, capsys):
+        _root, graph_path, _model = workspace
+        with pytest.raises(SystemExit):
+            main([
+                "fit", "--graph", str(graph_path), "--communities", "4",
+                "--topics", "8", "--sweep-kernel", "turbo", "--out", "/tmp/x.npz",
+            ])
+        assert "invalid choice" in capsys.readouterr().err
+
 
 class TestEvaluate:
     def test_prints_metrics(self, workspace, capsys):
