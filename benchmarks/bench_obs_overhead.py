@@ -1,0 +1,131 @@
+"""Telemetry overhead pin — the Fig. 10 sweep scenario with obs off and on.
+
+The telemetry layer (repro.obs) promises that instrumentation is free when
+disabled and cheap when enabled. This benchmark holds it to that on the
+same workload Fig. 10(a) times — a full serial E-step iteration (document
+sweep + both Pólya-Gamma augmentation draws) on the twitter scenario:
+
+* **raw**      — the kernel invoked directly, bypassing the instrumented
+  ``sweep_documents`` wrapper: what the sweep cost before ISSUE 8;
+* **disabled** — the instrumented wrapper with telemetry off (the default
+  state): raw plus one registry read and one ``enabled`` check per sweep;
+* **enabled**  — telemetry on: the wrapper records per-sweep histograms
+  and counters into the live registry.
+
+Contracts (demoted to warnings by ``REPRO_BENCH_SMOKE=1``): the disabled
+guard costs at most 1% over raw, the enabled path at most 5%. Results are
+printed, persisted under ``benchmarks/results/`` and — as the cross-PR
+observability trajectory record — written to ``BENCH_obs.json`` at the
+repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from bench_support import contract, cpd_config, format_table, get_scenario, report
+from repro import obs
+from repro.core import DiffusionParameters
+from repro.core.gibbs import CPDSampler
+
+N_COMMUNITIES = 6
+#: timed iterations per round; best-of-rounds tames scheduler jitter
+SWEEPS_PER_ROUND = 2
+ROUNDS = 5
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _make_sampler():
+    graph, _ = get_scenario("twitter")
+    config = cpd_config(N_COMMUNITIES)
+    params = DiffusionParameters.initial(config.n_communities, config.n_topics)
+    return CPDSampler(graph, config, params, rng=0)
+
+
+def _best_iteration_seconds(sampler, sweep) -> float:
+    """Best-of-rounds mean seconds for one full E-step iteration."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        for _ in range(SWEEPS_PER_ROUND):
+            sweep()
+            sampler.sample_lambdas()
+            sampler.sample_deltas()
+        best = min(best, (time.perf_counter() - started) / SWEEPS_PER_ROUND)
+    return best
+
+
+def _measure() -> dict:
+    sampler = _make_sampler()
+    # warm-up: prime caches and any lazily built kernel structures
+    sampler.sweep_documents()
+    sampler.sample_lambdas()
+    sampler.sample_deltas()
+
+    obs.disable_telemetry()
+    raw = _best_iteration_seconds(sampler, lambda: sampler.kernel.sweep(None))
+    disabled = _best_iteration_seconds(sampler, lambda: sampler.sweep_documents())
+    obs.enable_telemetry()
+    try:
+        enabled = _best_iteration_seconds(sampler, lambda: sampler.sweep_documents())
+        snapshot = obs.get_registry().snapshot()
+    finally:
+        obs.disable_telemetry()
+
+    sweep_histograms = [
+        entry for entry in snapshot["histograms"]
+        if entry["name"] == "repro_sweep_seconds"
+    ]
+    return {
+        "raw_seconds": raw,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_overhead": disabled / raw - 1.0,
+        "enabled_overhead": enabled / raw - 1.0,
+        "kernel": sampler.kernel.name,
+        "sweeps_recorded": sum(entry["count"] for entry in sweep_histograms),
+        "enabled_sweep_latency": (
+            obs.histogram_summary(sweep_histograms[0]) if sweep_histograms else None
+        ),
+    }
+
+
+def test_obs_overhead(benchmark):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    payload = {
+        "scenario": "twitter",
+        "n_communities": N_COMMUNITIES,
+        "rounds": ROUNDS,
+        "sweeps_per_round": SWEEPS_PER_ROUND,
+        **measured,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        ["raw (kernel direct)", measured["raw_seconds"], 0.0],
+        ["telemetry disabled", measured["disabled_seconds"], measured["disabled_overhead"]],
+        ["telemetry enabled", measured["enabled_seconds"], measured["enabled_overhead"]],
+    ]
+    report(
+        "obs_overhead",
+        format_table(
+            "Telemetry overhead on the Fig. 10 E-step iteration (twitter)",
+            ["path", "seconds/iteration", "overhead"],
+            rows,
+        ),
+    )
+    # every enabled-path sweep must have landed in the registry
+    contract(
+        measured["sweeps_recorded"] >= ROUNDS * SWEEPS_PER_ROUND,
+        'measured["sweeps_recorded"] >= ROUNDS * SWEEPS_PER_ROUND',
+    )
+    # the headline promises: disabled is free (≤1%), enabled is cheap (≤5%)
+    contract(
+        measured["disabled_overhead"] <= 0.01,
+        f'disabled overhead {measured["disabled_overhead"]:.2%} <= 1%',
+    )
+    contract(
+        measured["enabled_overhead"] <= 0.05,
+        f'enabled overhead {measured["enabled_overhead"]:.2%} <= 5%',
+    )

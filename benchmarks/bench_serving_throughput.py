@@ -19,7 +19,14 @@ import json
 import time
 from pathlib import Path
 
-from bench_support import contract, format_table, get_fitted, get_scenario, report
+from bench_support import (
+    LatencyTimer,
+    contract,
+    format_table,
+    get_fitted,
+    get_scenario,
+    report,
+)
 from repro.apps import CommunityRanker
 from repro.core import load_result
 from repro.graph import load_graph, save_graph
@@ -55,18 +62,23 @@ def _measure(graph_path: Path, artifact_path: Path, terms: list[str]) -> dict:
         CommunityRanker(result, graph).rank(term)
     legacy_seconds = time.perf_counter() - started
 
-    # cold: one artifact open + first pass over the workload
+    # cold: one artifact open + first pass over the workload; per-query laps
+    # feed the histogram timer so the record carries tail latencies too
+    cold_timer = LatencyTimer("cold_rank_seconds")
     started = time.perf_counter()
     store = ProfileStore.from_artifact(artifact_path)
     for term in terms:
-        store.rank(term)
+        with cold_timer.lap():
+            store.rank(term)
     cold_seconds = time.perf_counter() - started
 
     # warm: the same workload served from the LRU cache
+    warm_timer = LatencyTimer("warm_rank_seconds")
     started = time.perf_counter()
     for _ in range(WARM_REPEATS):
         for term in terms:
-            store.rank(term)
+            with warm_timer.lap():
+                store.rank(term)
     warm_seconds = time.perf_counter() - started
 
     return {
@@ -76,6 +88,8 @@ def _measure(graph_path: Path, artifact_path: Path, terms: list[str]) -> dict:
         "legacy_queries_per_second": LEGACY_QUERIES / legacy_seconds,
         "cold_queries_per_second": len(terms) / cold_seconds,
         "warm_queries_per_second": len(terms) * WARM_REPEATS / warm_seconds,
+        "cold_latency": cold_timer.summary(),
+        "warm_latency": warm_timer.summary(),
         "cache": store.cache_info(),
     }
 
@@ -105,6 +119,21 @@ def test_serving_throughput(benchmark, tmp_path):
             "Serving read path (twitter small): ranking queries per second",
             ["path", "queries/sec"],
             rows,
+        ),
+    )
+    latency_rows = [
+        [path, stats["p50"], stats["p95"], stats["p99"], stats["max"]]
+        for path, stats in (
+            ("cold", measured["cold_latency"]),
+            ("warm", measured["warm_latency"]),
+        )
+    ]
+    report(
+        "serving_latency",
+        format_table(
+            "Serving rank latency percentiles (seconds/query)",
+            ["path", "p50", "p95", "p99", "max"],
+            latency_rows,
         ),
     )
     # the caching contract: warm serving must beat the cold first pass, and

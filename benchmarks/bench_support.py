@@ -23,6 +23,8 @@ relations that only hold at full scale):
 from __future__ import annotations
 
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -45,6 +47,7 @@ from repro.evaluation import (
     diffusion_auc_folds,
     friendship_auc_folds,
 )
+from repro.obs import Histogram
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -172,6 +175,50 @@ def method_perplexity(scenario: str, kind: str, n_communities: int) -> float:
     if profiles is None or memberships is None:
         return float("nan")
     return content_perplexity(graph, memberships, profiles.theta, profiles.phi)
+
+
+# -------------------------------------------------------------------- timing
+
+
+class LatencyTimer:
+    """A per-lap stopwatch backed by the telemetry histogram type.
+
+    Benchmarks used to report only aggregate wall seconds; laps recorded
+    through :meth:`lap` land in a :class:`repro.obs.Histogram`, so the same
+    fixed-bucket estimator that powers ``repro top`` gives the benches
+    p50/p95/p99 latency columns for free (and the summary dict drops
+    straight into the ``BENCH_*.json`` records).
+    """
+
+    def __init__(self, name: str, bounds=None):
+        self.histogram = Histogram(name, bounds=bounds)
+
+    @contextmanager
+    def lap(self):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram.observe(time.perf_counter() - started)
+
+    def observe(self, seconds: float) -> None:
+        self.histogram.observe(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.histogram.sum
+
+    def summary(self) -> dict:
+        hist = self.histogram
+        return {
+            "count": hist.count,
+            "total_seconds": hist.sum,
+            "mean": hist.mean,
+            "p50": hist.percentile(0.50),
+            "p95": hist.percentile(0.95),
+            "p99": hist.percentile(0.99),
+            "max": hist.max if hist.count else 0.0,
+        }
 
 
 # ------------------------------------------------------------------ reporting

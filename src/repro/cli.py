@@ -21,6 +21,8 @@ The paper's workflow is "profile once offline, serve many applications"
     repro shard-query --manifest shards/manifest.shards.json --query "#topic3"
     repro shard-bench --graph graph.json.gz --communities 6 --topics 12
     repro doctor     --model model.cpd.npz --snapshot-dir snaps/ --wal events.wal
+    repro top        --telemetry run.telemetry.json [--watch]
+    repro trace      --telemetry run.telemetry.json [--name shard.call]
 
 ``fit`` writes *self-contained* v3 artifacts (model + vocabulary + graph
 summary), so every read command after ``evaluate`` serves from the
@@ -40,6 +42,15 @@ snapshot generations, reports the write-ahead log's tail status, and
 prints the cursor a :func:`repro.resilience.recover` call would resume
 replay from. It exits non-zero when integrity is broken *and* no valid
 recovery path remains.
+
+Passing ``--telemetry PATH`` to ``fit``, ``serve-bench``, the ``stream-*``
+commands, ``shard-query`` or ``shard-bench`` switches on the
+:mod:`repro.obs` registry + tracer for that run and writes one JSON
+snapshot (metrics + span ring buffer) on exit. ``repro top`` renders the
+snapshot (table, raw JSON or Prometheus text exposition, with ``--watch``
+for live redraws) and ``repro trace`` reassembles and prints its span
+trees. ``repro doctor --telemetry`` folds the same snapshot into the
+health report, and ``info``/``doctor`` grow ``--json`` for scripting.
 """
 
 from __future__ import annotations
@@ -52,6 +63,7 @@ from pathlib import Path
 
 import numpy as np
 
+from . import obs
 from .apps import (
     CommunityRanker,
     DiffusionPredictor,
@@ -101,6 +113,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def _add_telemetry_arg(sub) -> None:
+        sub.add_argument(
+            "--telemetry", default=None, metavar="PATH",
+            help="enable the telemetry registry + tracer for this run and "
+            "write the combined snapshot (metrics + spans) to this JSON "
+            "file on exit; inspect it with `repro top` / `repro trace`",
+        )
+
     generate = commands.add_parser("generate", help="generate a synthetic scenario graph")
     generate.add_argument(
         "--scenario", choices=("twitter", "dblp", "separated"), default="twitter"
@@ -130,6 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "else 'vectorized')",
     )
     fit.add_argument("--out", required=True, help="output path (.cpd.npz)")
+    _add_telemetry_arg(fit)
 
     evaluate = commands.add_parser("evaluate", help="score a fitted model")
     evaluate.add_argument("--graph", required=True)
@@ -174,9 +195,14 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=50, help="warm passes over the workload")
     bench.add_argument("--max-queries", type=int, default=32, help="workload size cap")
     bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
+    _add_telemetry_arg(bench)
 
     info = commands.add_parser("info", help="inspect an artifact (version, dims, payloads)")
     info.add_argument("--model", required=True)
+    info.add_argument(
+        "--json", action="store_true",
+        help="emit the report as a JSON object instead of text",
+    )
 
     def _add_stream_args(sub) -> None:
         sub.add_argument("--graph", required=True, help="graph to split and replay")
@@ -220,6 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--snapshot-retain", type=int, default=3,
         help="snapshot generations to keep in --snapshot-dir",
     )
+    _add_telemetry_arg(replay)
 
     sbench = commands.add_parser(
         "stream-bench",
@@ -227,6 +254,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_stream_args(sbench)
     sbench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
+    _add_telemetry_arg(sbench)
 
     shard_fit = commands.add_parser(
         "shard-fit",
@@ -282,6 +310,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve partial merges with coverage reporting instead of failing "
         "when shards cannot answer",
     )
+    _add_telemetry_arg(shard_query)
 
     shard_bench = commands.add_parser(
         "shard-bench",
@@ -301,6 +330,7 @@ def _build_parser() -> argparse.ArgumentParser:
     shard_bench.add_argument("--repeats", type=int, default=20, help="warm query passes")
     shard_bench.add_argument("--seed", type=int, default=0)
     shard_bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
+    _add_telemetry_arg(shard_bench)
 
     doctor = commands.add_parser(
         "doctor",
@@ -318,6 +348,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prefix", default="snapshot", help="snapshot filename prefix in --snapshot-dir"
     )
     doctor.add_argument("--wal", default=None, help="write-ahead log to scan")
+    doctor.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="telemetry snapshot file (from a --telemetry run) to summarise "
+        "alongside the integrity checks",
+    )
+    doctor.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as a JSON object instead of text",
+    )
+
+    top = commands.add_parser(
+        "top", help="render a telemetry snapshot: counters, gauges, latency percentiles"
+    )
+    top.add_argument(
+        "--telemetry", required=True, metavar="PATH",
+        help="telemetry JSON file written by a --telemetry run",
+    )
+    top.add_argument(
+        "--format", choices=("table", "json", "prometheus"), default="table",
+        help="table (human), json (raw payload) or prometheus (text exposition)",
+    )
+    top.add_argument(
+        "--watch", action="store_true",
+        help="re-read and re-render the file until interrupted",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between --watch redraws"
+    )
+
+    trace = commands.add_parser(
+        "trace", help="dump reconstructed span trees from a telemetry snapshot"
+    )
+    trace.add_argument(
+        "--telemetry", required=True, metavar="PATH",
+        help="telemetry JSON file written by a --telemetry run",
+    )
+    trace.add_argument(
+        "--trace-id", default=None, help="only render the tree(s) of this trace id"
+    )
+    trace.add_argument(
+        "--name", default=None,
+        help="only render trees containing a span whose name has this substring",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None, help="render at most this many trees (newest last)"
+    )
     return parser
 
 
@@ -348,6 +424,75 @@ def _describe_sweep_kernel(requested: str) -> str:
     if available:
         return "sweep kernel: compiled"
     return f"sweep kernel: compiled -> vectorized ({reason})"
+
+
+def _telemetry_begin(args) -> str | None:
+    """Enable telemetry when the command carries ``--telemetry PATH``.
+
+    Returns the output path (or ``None``), for :func:`_telemetry_end`.
+    """
+    path = getattr(args, "telemetry", None)
+    if path:
+        obs.enable_telemetry()
+    return path
+
+
+def _telemetry_end(path: str | None, out) -> None:
+    """Write the collected snapshot + spans and restore the no-op state.
+
+    Runs in a ``finally`` so a crashed command still leaves its telemetry
+    on disk — often exactly the run one wants to inspect.
+    """
+    if not path:
+        return
+    obs.write_telemetry(path, obs.get_registry().snapshot(), obs.get_sink().export())
+    obs.disable_telemetry()
+    print(f"wrote telemetry to {path}", file=out)
+
+
+def _metric_key(entry: dict) -> str:
+    """``name{k="v",...}`` display key for one snapshot metric entry."""
+    labels = entry.get("labels") or {}
+    if not labels:
+        return entry["name"]
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{entry['name']}{{{body}}}"
+
+
+def _render_top(payload: dict, source: str) -> str:
+    """The ``repro top`` table for one telemetry payload."""
+    metrics = payload.get("metrics", {})
+    spans = payload.get("spans", [])
+    age = max(0.0, time.time() - payload.get("written_at", time.time()))
+    lines = [f"telemetry {source}  (written {age:.0f}s ago)"]
+    counters = sorted(metrics.get("counters", []), key=_metric_key)
+    gauges = sorted(metrics.get("gauges", []), key=_metric_key)
+    histograms = sorted(metrics.get("histograms", []), key=_metric_key)
+    if counters:
+        lines.append("\ncounters:")
+        for entry in counters:
+            lines.append(f"  {_metric_key(entry):<56} {entry['value']:>14g}")
+    if gauges:
+        lines.append("\ngauges:")
+        for entry in gauges:
+            lines.append(f"  {_metric_key(entry):<56} {entry['value']:>14.6g}")
+    if histograms:
+        lines.append(
+            f"\n{'histograms:':<44} {'count':>7} {'mean':>9} {'p50':>9} "
+            f"{'p95':>9} {'p99':>9} {'max':>9}"
+        )
+        for entry in histograms:
+            stats = obs.histogram_summary(entry)
+            lines.append(
+                f"  {_metric_key(entry):<42} {stats['count']:>7d} "
+                f"{stats['mean']:>9.4g} {stats['p50']:>9.4g} "
+                f"{stats['p95']:>9.4g} {stats['p99']:>9.4g} {stats['max']:>9.4g}"
+            )
+    if not (counters or gauges or histograms):
+        lines.append("\n(no metrics recorded)")
+    trace_ids = {record.get("trace_id") for record in spans}
+    lines.append(f"\nspans: {len(spans)} recorded across {len(trace_ids)} trace(s)")
+    return "\n".join(lines)
 
 
 def _load_store(model_path: str, graph_path: str | None, out) -> ProfileStore | None:
@@ -395,6 +540,14 @@ def run_generate(args, out=None) -> int:
 
 def run_fit(args, out=None) -> int:
     out = out or sys.stdout
+    telemetry = _telemetry_begin(args)
+    try:
+        return _run_fit(args, out)
+    finally:
+        _telemetry_end(telemetry, out)
+
+
+def _run_fit(args, out) -> int:
     graph = load_graph(args.graph)
     overrides = {}
     if getattr(args, "sweep_kernel", None) is not None:
@@ -543,6 +696,14 @@ def run_visualize(args, out=None) -> int:
 
 def run_serve_bench(args, out=None) -> int:
     out = out or sys.stdout
+    telemetry = _telemetry_begin(args)
+    try:
+        return _run_serve_bench(args, out)
+    finally:
+        _telemetry_end(telemetry, out)
+
+
+def _run_serve_bench(args, out) -> int:
     probe = _load_store(args.model, None, out)
     if probe is None:
         return 1
@@ -575,6 +736,8 @@ def run_serve_bench(args, out=None) -> int:
         "warm_queries_per_second": len(terms) * args.repeats / warm_seconds,
         "cache": store.cache_info(),
     }
+    if obs.get_registry().enabled:
+        payload["telemetry"] = obs.get_registry().snapshot()
     print(
         f"cold: {payload['cold_queries_per_second']:.0f} q/s "
         f"({len(terms)} queries incl. artifact load)",
@@ -686,8 +849,88 @@ def _print_manifest_info(path, out) -> None:
         print("alignment       : absent (router cannot open this manifest)", file=out)
 
 
+def _artifact_info_payload(path) -> dict:
+    """The machine-readable twin of :func:`_print_artifact_info`."""
+    artifact = load_artifact(path)
+    result = artifact.result
+    payload = {
+        "kind": "artifact",
+        "path": str(path),
+        "format_version": artifact.format_version,
+        "self_contained": artifact.self_contained,
+        "graph": result.graph_name or None,
+        "dims": {
+            "users": result.n_users,
+            "documents": len(result.doc_community),
+            "communities": result.n_communities,
+            "topics": result.n_topics,
+            "words": result.n_words,
+        },
+        "sweep_kernel": result.config.sweep_kernel,
+        "vocabulary_terms": (
+            len(artifact.vocabulary) if artifact.vocabulary is not None else None
+        ),
+        "indexed_queries": (
+            len(artifact.graph_summary.get("queries", []))
+            if artifact.graph_summary is not None
+            else None
+        ),
+        "stream_cursor": artifact.stream_cursor,
+    }
+    if result.trace:
+        payload["fit_trace"] = {
+            "iterations": len(result.trace),
+            "seconds": sum(entry.seconds for entry in result.trace),
+            "last_diffusion_probability": result.trace[-1].mean_diffusion_probability,
+        }
+    else:
+        payload["fit_trace"] = None
+    return payload
+
+
+def _manifest_info_payload(path) -> dict:
+    """The machine-readable twin of :func:`_print_manifest_info`."""
+    manifest = load_shard_manifest(path)
+    return {
+        "kind": "shard_manifest",
+        "path": str(path),
+        "manifest_version": manifest.manifest_version,
+        "graph": manifest.graph_name or None,
+        "n_shards": manifest.n_shards,
+        "strategy": manifest.strategy,
+        "n_users": manifest.n_users,
+        "n_documents": manifest.n_documents,
+        "shards": [
+            {
+                "shard_id": entry.shard_id,
+                "path": entry.path,
+                "n_users": entry.n_users,
+                "n_documents": entry.n_documents,
+            }
+            for entry in manifest.shards
+        ],
+        "spill": (
+            {
+                "friendship": len(manifest.spill.get("friendship", [])),
+                "diffusion": len(manifest.spill.get("diffusion", [])),
+            }
+            if manifest.spill is not None
+            else None
+        ),
+        "alignment": manifest.alignment,
+    }
+
+
 def run_info(args, out=None) -> int:
     out = out or sys.stdout
+    if getattr(args, "json", False):
+        payload = (
+            _manifest_info_payload(args.model)
+            if is_shard_manifest(args.model)
+            else _artifact_info_payload(args.model)
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
     if is_shard_manifest(args.model):
         _print_manifest_info(args.model, out)
     else:
@@ -764,6 +1007,14 @@ def _drive_replay(
 
 def run_stream_replay(args, out=None) -> int:
     out = out or sys.stdout
+    telemetry = _telemetry_begin(args)
+    try:
+        return _run_stream_replay(args, out)
+    finally:
+        _telemetry_end(telemetry, out)
+
+
+def _run_stream_replay(args, out) -> int:
     if args.no_refresh and args.out:
         print(
             "error: --out requires refresh mode (a frozen fold-in run maintains "
@@ -858,6 +1109,14 @@ def run_stream_replay(args, out=None) -> int:
 
 def run_stream_bench(args, out=None) -> int:
     out = out or sys.stdout
+    telemetry = _telemetry_begin(args)
+    try:
+        return _run_stream_bench(args, out)
+    finally:
+        _telemetry_end(telemetry, out)
+
+
+def _run_stream_bench(args, out) -> int:
     modes = {}
     for mode in ("foldin", "refresh"):
         plan, base_fit, store, runner = _replay_setup(args)
@@ -890,6 +1149,8 @@ def run_stream_bench(args, out=None) -> int:
             "refresh_every": args.refresh_every,
             **{f"{mode}_{k}": v for mode, record in modes.items() for k, v in record.items()},
         }
+        if obs.get_registry().enabled:
+            payload["telemetry"] = obs.get_registry().snapshot()
         Path(args.json_out).write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
@@ -950,6 +1211,14 @@ def run_shard_fit(args, out=None) -> int:
 
 def run_shard_query(args, out=None) -> int:
     out = out or sys.stdout
+    telemetry = _telemetry_begin(args)
+    try:
+        return _run_shard_query(args, out)
+    finally:
+        _telemetry_end(telemetry, out)
+
+
+def _run_shard_query(args, out) -> int:
     router = ShardRouter.from_manifest(args.manifest, best_effort=args.best_effort)
     terms = args.query
     if not terms:
@@ -1026,6 +1295,14 @@ def run_shard_query(args, out=None) -> int:
 
 def run_shard_bench(args, out=None) -> int:
     out = out or sys.stdout
+    telemetry = _telemetry_begin(args)
+    try:
+        return _run_shard_bench(args, out)
+    finally:
+        _telemetry_end(telemetry, out)
+
+
+def _run_shard_bench(args, out) -> int:
     graph = load_graph(args.graph)
     config = CPDConfig(
         n_communities=args.communities,
@@ -1086,6 +1363,8 @@ def run_shard_bench(args, out=None) -> int:
             "iterations": args.iterations,
             "runs": records,
         }
+        if obs.get_registry().enabled:
+            payload["telemetry"] = obs.get_registry().snapshot()
         Path(args.json_out).write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
@@ -1096,104 +1375,254 @@ def run_shard_bench(args, out=None) -> int:
 def run_doctor(args, out=None) -> int:
     """Integrity + recoverability report; exit 0 iff everything checked is healthy."""
     out = out or sys.stdout
-    if not (args.model or args.snapshot_dir or args.wal):
+    json_mode = getattr(args, "json", False)
+    telemetry_path = getattr(args, "telemetry", None)
+
+    def say(message: str) -> None:
+        if not json_mode:
+            print(message, file=out)
+
+    if not (args.model or args.snapshot_dir or args.wal or telemetry_path):
         print(
-            "error: nothing to examine; pass --model, --snapshot-dir and/or --wal",
+            "error: nothing to examine; pass --model, --snapshot-dir, --wal "
+            "and/or --telemetry",
             file=out,
         )
         return 1
     status = 0
     cursor = None
+    report: dict = {"checks": {}}
 
     if args.model:
         if is_shard_manifest(args.model):
             check = verify_shard_manifest(args.model)
             verdict = "ok" if check.ok else f"DAMAGED ({check.error})"
-            print(f"manifest  {args.model}: {verdict}", file=out)
+            say(f"manifest  {args.model}: {verdict}")
             for artifact_check in check.artifact_checks:
                 sub = "ok" if artifact_check.ok else f"DAMAGED ({artifact_check.error})"
-                print(f"  shard artifact {Path(artifact_check.path).name}: {sub}", file=out)
+                say(f"  shard artifact {Path(artifact_check.path).name}: {sub}")
+            report["checks"]["model"] = {
+                "kind": "shard_manifest",
+                "path": str(args.model),
+                "ok": check.ok,
+                "error": check.error,
+                "artifacts": [
+                    {"path": c.path, "ok": c.ok, "error": c.error}
+                    for c in check.artifact_checks
+                ],
+            }
             if not check.ok:
                 status = 1
         else:
             check = verify_artifact(args.model)
             if check.ok:
-                print(
+                say(
                     f"artifact  {args.model}: ok "
-                    f"(v{check.format_version}, {len(check.entries)} entries verified)",
-                    file=out,
+                    f"(v{check.format_version}, {len(check.entries)} entries verified)"
                 )
             else:
-                print(f"artifact  {args.model}: DAMAGED ({check.error})", file=out)
+                say(f"artifact  {args.model}: DAMAGED ({check.error})")
                 status = 1
+            report["checks"]["model"] = {
+                "kind": "artifact",
+                "path": str(args.model),
+                "ok": check.ok,
+                "error": check.error,
+                "format_version": check.format_version,
+                "entries_verified": len(check.entries),
+            }
 
     if args.snapshot_dir:
         catalog = SnapshotCatalog(args.snapshot_dir, prefix=args.prefix)
         newest, skipped = catalog.newest_valid()
         damaged = {generation: error for generation, _path, error in skipped}
+        generations = []
         for generation, path in catalog.generations():
             if generation in damaged:
-                print(
-                    f"generation {path.name}: DAMAGED ({damaged[generation]})",
-                    file=out,
-                )
+                state = f"DAMAGED ({damaged[generation]})"
+                say(f"generation {path.name}: {state}")
             elif newest is not None and generation > newest[0]:
                 # newer than the chosen one yet not in the skip list cannot
                 # happen (the walk is newest-first); guard anyway
-                print(f"generation {path.name}: unexamined", file=out)
+                state = "unexamined"
+                say(f"generation {path.name}: unexamined")
             elif newest is not None and generation < newest[0]:
-                print(f"generation {path.name}: superseded", file=out)
+                state = "superseded"
+                say(f"generation {path.name}: superseded")
             else:
-                print(f"generation {path.name}: ok (recovery candidate)", file=out)
+                state = "ok (recovery candidate)"
+                say(f"generation {path.name}: ok (recovery candidate)")
+            generations.append({"name": path.name, "state": state})
+        snapshot_report = {
+            "directory": str(args.snapshot_dir),
+            "generations": generations,
+            "ok": newest is not None,
+            "recovery_cursor": None,
+        }
         if newest is None:
-            print(
+            say(
                 f"snapshots {args.snapshot_dir}: NO VALID GENERATION "
-                "— recovery from this directory is impossible",
-                file=out,
+                "— recovery from this directory is impossible"
             )
             status = 1
         else:
             check = verify_artifact(newest[1])
             if check.stream_cursor is not None:
                 cursor = StreamCursor.from_dict(check.stream_cursor)
-                print(
+                say(
                     f"recovery cursor: {cursor.events_ingested} events ingested "
                     f"({cursor.documents_appended} docs + {cursor.links_appended} "
-                    f"links, {cursor.refreshes} refreshes)",
-                    file=out,
+                    f"links, {cursor.refreshes} refreshes)"
                 )
             else:
                 cursor = StreamCursor(0, 0, 0, -1)
-                print(
+                say(
                     "recovery cursor: offline artifact (no stream cursor; "
-                    "a recovery would replay the whole WAL)",
-                    file=out,
+                    "a recovery would replay the whole WAL)"
                 )
+            snapshot_report["recovery_cursor"] = {
+                "events_ingested": cursor.events_ingested,
+                "documents_appended": cursor.documents_appended,
+                "links_appended": cursor.links_appended,
+                "refreshes": cursor.refreshes,
+            }
+        report["checks"]["snapshots"] = snapshot_report
 
     if args.wal:
         wal_status = scan_wal(args.wal)
+        wal_report = {
+            "path": str(args.wal),
+            "missing": wal_status.missing,
+            "n_records": wal_status.n_records,
+            "n_events": wal_status.n_events,
+            "valid_bytes": wal_status.valid_bytes,
+            "file_bytes": wal_status.file_bytes,
+            "torn": wal_status.torn,
+            "torn_reason": wal_status.torn_reason,
+        }
         if wal_status.missing:
-            print(f"wal       {args.wal}: missing", file=out)
+            say(f"wal       {args.wal}: missing")
             status = 1
         else:
             tail = ""
             if wal_status.torn:
                 tail = f"; torn tail ({wal_status.torn_reason}) — truncated on next open"
-            print(
+            say(
                 f"wal       {args.wal}: {wal_status.n_records} records, "
                 f"{wal_status.n_events} events, {wal_status.valid_bytes}/"
-                f"{wal_status.file_bytes} bytes valid{tail}",
-                file=out,
+                f"{wal_status.file_bytes} bytes valid{tail}"
             )
             if cursor is not None:
                 replay_tail = max(0, wal_status.n_events - cursor.events_ingested)
-                print(
-                    f"replay tail: {replay_tail} events past the snapshot cursor",
-                    file=out,
-                )
+                wal_report["replay_tail"] = replay_tail
+                say(f"replay tail: {replay_tail} events past the snapshot cursor")
+        report["checks"]["wal"] = wal_report
 
-    print("doctor: " + ("all checks passed" if status == 0 else "PROBLEMS FOUND"), file=out)
+    if telemetry_path:
+        try:
+            payload = obs.load_telemetry(telemetry_path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            say(f"telemetry {telemetry_path}: UNREADABLE ({error})")
+            report["checks"]["telemetry"] = {
+                "path": str(telemetry_path), "ok": False, "error": str(error),
+            }
+            status = 1
+        else:
+            metrics = payload.get("metrics", {})
+            spans = payload.get("spans", [])
+            age = max(0.0, time.time() - payload.get("written_at", time.time()))
+            say(
+                f"telemetry {telemetry_path}: {len(metrics.get('counters', []))} "
+                f"counters, {len(metrics.get('gauges', []))} gauges, "
+                f"{len(metrics.get('histograms', []))} histograms, "
+                f"{len(spans)} spans (written {age:.0f}s ago)"
+            )
+            report["checks"]["telemetry"] = {
+                "path": str(telemetry_path),
+                "ok": True,
+                "written_at": payload.get("written_at"),
+                "n_spans": len(spans),
+                "metrics": metrics,
+            }
+
+    report["status"] = "ok" if status == 0 else "problems"
+    if json_mode:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print(
+            "doctor: " + ("all checks passed" if status == 0 else "PROBLEMS FOUND"),
+            file=out,
+        )
     return status
+
+
+def run_top(args, out=None) -> int:
+    """Render a telemetry snapshot file; ``--watch`` re-reads until ^C."""
+    out = out or sys.stdout
+
+    def render_once() -> int:
+        try:
+            payload = obs.load_telemetry(args.telemetry)
+        except FileNotFoundError:
+            print(f"error: no telemetry file at {args.telemetry}", file=out)
+            return 1
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {args.telemetry}: {error}", file=out)
+            return 1
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        elif args.format == "prometheus":
+            print(obs.render_prometheus(payload.get("metrics", {})), end="", file=out)
+        else:
+            print(_render_top(payload, str(args.telemetry)), file=out)
+        return 0
+
+    if not args.watch:
+        return render_once()
+    try:
+        while True:
+            # ANSI clear-screen + home, so the redraw reads like top(1)
+            print("\x1b[2J\x1b[H", end="", file=out)
+            status = render_once()
+            if status != 0:
+                return status
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def run_trace(args, out=None) -> int:
+    """Dump reconstructed span trees from a telemetry snapshot file."""
+    out = out or sys.stdout
+    try:
+        payload = obs.load_telemetry(args.telemetry)
+    except FileNotFoundError:
+        print(f"error: no telemetry file at {args.telemetry}", file=out)
+        return 1
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {args.telemetry}: {error}", file=out)
+        return 1
+    spans = payload.get("spans", [])
+    trees = obs.span_trees(spans, trace_id=args.trace_id)
+    if args.name:
+
+        def mentions(tree) -> bool:
+            return args.name in tree["span"]["name"] or any(
+                mentions(child) for child in tree["children"]
+            )
+
+        trees = [tree for tree in trees if mentions(tree)]
+    if args.limit is not None:
+        trees = trees[-args.limit:]
+    if not trees:
+        print("no matching spans recorded", file=out)
+        return 0
+    for tree in trees:
+        print(f"trace {tree['span']['trace_id']}:", file=out)
+        for line in obs.render_tree(tree, indent=1):
+            print(line, file=out)
+    print(f"{len(trees)} trace tree(s), {len(spans)} span(s) in file", file=out)
+    return 0
 
 
 _RUNNERS = {
@@ -1212,6 +1641,8 @@ _RUNNERS = {
     "shard-query": run_shard_query,
     "shard-bench": run_shard_bench,
     "doctor": run_doctor,
+    "top": run_top,
+    "trace": run_trace,
 }
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..diffusion.features import UserFeatures
 from ..diffusion.popularity import TopicPopularity
 from ..graph.social_graph import SocialGraph
@@ -417,14 +418,24 @@ class CPDSampler:
 
     # -------------------------------------------------------------- doc sweep
 
-    def sweep_documents(self, doc_ids: np.ndarray | None = None) -> None:
+    def sweep_documents(self, doc_ids: np.ndarray | None = None):
         """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all).
 
         The kernel owns the whole partition: the Python kernels loop
         :meth:`_resample_document`, the compiled kernel resamples the range
-        in one fused C call.
+        in one fused C call. Every kernel reports what it did via a
+        :class:`~repro.core.kernel.SweepStats`, returned here and — when
+        telemetry is on — folded into the process registry.
         """
-        self.kernel.sweep(doc_ids)
+        stats = self.kernel.sweep(doc_ids)
+        registry = obs.get_registry()
+        if registry.enabled and stats is not None:
+            labels = {"kernel": stats.kernel}
+            registry.histogram("repro_sweep_seconds", labels).observe(stats.seconds)
+            registry.counter("repro_sweep_docs_total", labels).inc(stats.n_docs)
+            registry.counter("repro_sweep_draws_total", labels).inc(stats.draws)
+            registry.counter("repro_sweeps_total", labels).inc()
+        return stats
 
     def _resample_document(self, doc_id: int) -> None:
         state = self.state

@@ -33,7 +33,9 @@ mid-fit; the equivalence argument and parity tests live in DESIGN.md §4,
 from __future__ import annotations
 
 import ctypes
+import time
 import warnings
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -89,8 +91,27 @@ def make_kernel(sampler: "CPDSampler"):
     return VectorizedKernel(sampler)
 
 
-def _python_sweep(sampler: "CPDSampler", doc_ids: np.ndarray | None) -> None:
-    """Per-document resample loop shared by the Python-driven kernels."""
+@dataclass(frozen=True)
+class SweepStats:
+    """What one kernel sweep did — every backend returns one.
+
+    For the compiled backend this is the Python face of the C call's
+    outputs (documents processed, uniforms consumed); the Python kernels
+    fill the same fields so telemetry reads one shape regardless of which
+    backend ran.
+    """
+
+    kernel: str
+    n_docs: int
+    draws: int
+    seconds: float
+
+
+def _python_sweep(sampler: "CPDSampler", doc_ids: np.ndarray | None) -> int:
+    """Per-document resample loop shared by the Python-driven kernels.
+
+    Returns the number of documents resampled.
+    """
     if doc_ids is None:
         ids = range(sampler.state.n_docs)  # includes stream-appended documents
     else:
@@ -99,6 +120,21 @@ def _python_sweep(sampler: "CPDSampler", doc_ids: np.ndarray | None) -> None:
         ids = np.asarray(doc_ids, dtype=np.int64)
     for doc_id in ids:
         sampler._resample_document(doc_id)
+    return len(ids)
+
+
+def _timed_python_sweep(kernel, doc_ids: np.ndarray | None) -> SweepStats:
+    sampler = kernel.sampler
+    started = time.perf_counter()
+    n_docs = _python_sweep(sampler, doc_ids)
+    seconds = time.perf_counter() - started
+    draws_per_doc = 1 if sampler.fixed_communities is not None else 2
+    return SweepStats(
+        kernel=kernel.name,
+        n_docs=n_docs,
+        draws=draws_per_doc * n_docs,
+        seconds=seconds,
+    )
 
 
 class ReferenceKernel:
@@ -124,9 +160,9 @@ class ReferenceKernel:
     def rebuild_link_layout(self) -> None:
         """No-op: the reference loops read the sampler's arrays directly."""
 
-    def sweep(self, doc_ids: np.ndarray | None = None) -> None:
+    def sweep(self, doc_ids: np.ndarray | None = None) -> SweepStats:
         """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
-        _python_sweep(self.sampler, doc_ids)
+        return _timed_python_sweep(self, doc_ids)
 
 
 class VectorizedKernel:
@@ -280,9 +316,9 @@ class VectorizedKernel:
 
     # ------------------------------------------------------------------ sweep
 
-    def sweep(self, doc_ids: np.ndarray | None = None) -> None:
+    def sweep(self, doc_ids: np.ndarray | None = None) -> SweepStats:
         """One Gibbs sweep (Alg. 1 steps 3-6) over ``doc_ids`` (default: all)."""
-        _python_sweep(self.sampler, doc_ids)
+        return _timed_python_sweep(self, doc_ids)
 
     def _refresh_caches(self) -> None:
         """Re-derive per-iteration link arrays when their source changes.
@@ -671,8 +707,9 @@ class CompiledKernel(VectorizedKernel):
 
     # ------------------------------------------------------------------ sweep
 
-    def sweep(self, doc_ids: np.ndarray | None = None) -> None:
+    def sweep(self, doc_ids: np.ndarray | None = None) -> SweepStats:
         """Fused sweep: the whole partition resampled in one C call."""
+        started = time.perf_counter()
         sampler = self.sampler
         state = self.state
         if doc_ids is None:
@@ -681,7 +718,7 @@ class CompiledKernel(VectorizedKernel):
             ids = np.ascontiguousarray(np.asarray(doc_ids, dtype=np.int64))
         n = len(ids)
         if n == 0:
-            return
+            return SweepStats(kernel=self.name, n_docs=0, draws=0, seconds=0.0)
         if ids.min() < 0 or ids.max() >= state.n_docs:
             raise ValueError("sweep document ids out of range")
         if np.any(state.doc_topic[ids] < 0):
@@ -707,3 +744,9 @@ class CompiledKernel(VectorizedKernel):
                 f"compiled sweep consumed {consumed} uniforms, "
                 f"expected {draws_per_doc * n}"
             )
+        return SweepStats(
+            kernel=self.name,
+            n_docs=n,
+            draws=int(consumed),
+            seconds=time.perf_counter() - started,
+        )

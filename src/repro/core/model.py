@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..diffusion.logistic import LogisticTrainer, LogisticTrainerConfig
 from ..diffusion.negative_sampling import sample_negative_diffusion_pairs
 from ..graph.social_graph import SocialGraph
@@ -60,22 +61,40 @@ class CPDModel:
         )
         trace: list[IterationTrace] = []
         sweeper = options.document_sweeper
-        for iteration in range(config.n_iterations):
-            started = time.perf_counter()
-            # E-step (Alg. 1 steps 3-10)
-            if sweeper is not None:
-                sweeper(sampler)
-            else:
-                sampler.sweep_documents()
-            if not getattr(sweeper, "fused_augmentation", False):
-                # a fused sweeper (the shared-memory parallel runner) already
-                # drew the per-link augmentation variables inside its workers
-                sampler.sample_lambdas()
-                sampler.sample_deltas()
-            # M-step (Alg. 1 steps 11-14)
-            self._m_step(graph, sampler, sweeper)
-            if options.record_trace:
-                trace.append(self._trace_entry(iteration, started, sampler))
+        with obs.span("fit", tags={"graph": graph.name}):
+            for iteration in range(config.n_iterations):
+                started = time.perf_counter()
+                with obs.span("fit.iteration", tags={"iteration": iteration}):
+                    # E-step (Alg. 1 steps 3-10)
+                    if sweeper is not None:
+                        sweeper(sampler)
+                    else:
+                        sampler.sweep_documents()
+                    e_step_done = time.perf_counter()
+                    if not getattr(sweeper, "fused_augmentation", False):
+                        # a fused sweeper (the shared-memory parallel runner)
+                        # already drew the per-link augmentation variables
+                        # inside its workers
+                        sampler.sample_lambdas()
+                        sampler.sample_deltas()
+                    augmentation_done = time.perf_counter()
+                    # M-step (Alg. 1 steps 11-14)
+                    self._m_step(graph, sampler, sweeper)
+                    m_step_done = time.perf_counter()
+                entry = None
+                if options.record_trace or obs.get_registry().enabled:
+                    entry = self._trace_entry(
+                        iteration,
+                        started,
+                        sampler,
+                        e_step_seconds=e_step_done - started,
+                        augmentation_seconds=augmentation_done - e_step_done,
+                        m_step_seconds=m_step_done - augmentation_done,
+                    )
+                if options.record_trace:
+                    trace.append(entry)
+                if entry is not None:
+                    self._record_telemetry(entry, trace)
         return self._build_result(graph, sampler, trace)
 
     # ----------------------------------------------------------------- M-step
@@ -148,7 +167,13 @@ class CPDModel:
     # ------------------------------------------------------------ diagnostics
 
     def _trace_entry(
-        self, iteration: int, started: float, sampler: CPDSampler
+        self,
+        iteration: int,
+        started: float,
+        sampler: CPDSampler,
+        e_step_seconds: float = 0.0,
+        augmentation_seconds: float = 0.0,
+        m_step_seconds: float = 0.0,
     ) -> IterationTrace:
         friendship_prob = float("nan")
         diffusion_prob = float("nan")
@@ -170,7 +195,58 @@ class CPDModel:
             seconds=time.perf_counter() - started,
             mean_friendship_probability=friendship_prob,
             mean_diffusion_probability=diffusion_prob,
+            e_step_seconds=e_step_seconds,
+            augmentation_seconds=augmentation_seconds,
+            m_step_seconds=m_step_seconds,
         )
+
+    def _record_telemetry(
+        self, entry: IterationTrace, trace: list[IterationTrace]
+    ) -> None:
+        """Phase histograms + convergence gauges for one EM iteration."""
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        for phase, seconds in (
+            ("e_step", entry.e_step_seconds),
+            ("augmentation", entry.augmentation_seconds),
+            ("m_step", entry.m_step_seconds),
+        ):
+            registry.histogram(
+                "repro_fit_phase_seconds", {"phase": phase}
+            ).observe(seconds)
+        registry.histogram("repro_fit_iteration_seconds").observe(entry.seconds)
+        registry.gauge("repro_fit_iteration").set(entry.iteration)
+        if entry.mean_friendship_probability == entry.mean_friendship_probability:
+            registry.gauge("repro_fit_friendship_probability").set(
+                entry.mean_friendship_probability
+            )
+        if entry.mean_diffusion_probability == entry.mean_diffusion_probability:
+            registry.gauge("repro_fit_diffusion_probability").set(
+                entry.mean_diffusion_probability
+            )
+        # Convergence proxies from the recorded trace: the slope of the mean
+        # link-probability series (a log-likelihood stand-in — when it flattens
+        # the window test in core/diagnostics.py starts passing) and the drift
+        # of the latest step relative to the previous level ("acceptance
+        # drift": how far the sampler still moves the chain per iteration).
+        previous = trace[-1] if trace and trace[-1] is not entry else (
+            trace[-2] if len(trace) >= 2 else None
+        )
+        if previous is not None:
+            for attribute, name in (
+                ("mean_diffusion_probability", "repro_fit_diffusion_slope"),
+                ("mean_friendship_probability", "repro_fit_friendship_slope"),
+            ):
+                now = getattr(entry, attribute)
+                before = getattr(previous, attribute)
+                if now == now and before == before:
+                    registry.gauge(name).set(now - before)
+                    level = abs(before)
+                    if level > 0:
+                        registry.gauge(
+                            name.replace("_slope", "_drift")
+                        ).set(abs(now - before) / level)
 
     # ----------------------------------------------------------------- result
 

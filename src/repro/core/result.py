@@ -20,12 +20,23 @@ from .parameters import DiffusionParameters
 
 @dataclass(frozen=True)
 class IterationTrace:
-    """Per-EM-iteration diagnostics."""
+    """Per-EM-iteration diagnostics.
+
+    The phase timings split ``seconds`` into the three Alg. 1 stages; they
+    default to 0.0 so artifacts saved before they existed still load
+    (``core/io.py`` round-trips entries as plain dicts).
+    """
 
     iteration: int
     seconds: float
     mean_friendship_probability: float
     mean_diffusion_probability: float
+    #: Gibbs sweep over all documents (Alg. 1 steps 3-10)
+    e_step_seconds: float = 0.0
+    #: Pólya-Gamma draws for every link (0.0 when the sweeper fused them)
+    augmentation_seconds: float = 0.0
+    #: eta re-aggregation + nu logistic fit (Alg. 1 steps 11-14)
+    m_step_seconds: float = 0.0
 
 
 @dataclass

@@ -1,0 +1,115 @@
+"""Unified telemetry: metrics registry, trace spans, exporters.
+
+One switch governs both halves — :func:`enable_telemetry` installs a live
+:class:`~repro.obs.metrics.MetricsRegistry` and a live ring-buffer
+:class:`~repro.obs.trace.SpanSink`; :func:`disable_telemetry` restores the
+shared no-op implementations (the default state, with zero hot-path cost).
+
+Instrumented call sites follow one idiom::
+
+    from repro import obs
+
+    registry = obs.get_registry()
+    if registry.enabled:              # no-op path: one attribute check
+        registry.histogram("repro_rank_seconds").observe(elapsed)
+
+and spans nest lexically, propagating across processes via tiny headers::
+
+    with obs.span("router.gather", tags={"query": term}):
+        header = obs.current_header()   # -> rides a pickled delta header
+        ...
+    # far side:
+    with obs.remote_span("parallel.worker_sweep", header):
+        ...
+
+Forked workers call :func:`worker_reset` once at startup so counts inherited
+from the coordinator's pre-fork registry are not double-reported; they ship
+``get_registry().drain()`` + ``get_sink().drain()`` back in their acks and
+the coordinator folds both in with ``merge``/``ingest``.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    histogram_summary,
+    load_telemetry,
+    parse_prometheus,
+    render_prometheus,
+    telemetry_payload,
+    write_telemetry,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    set_registry,
+)
+from .trace import (
+    NullSpanSink,
+    Span,
+    SpanSink,
+    current_header,
+    disable_tracing,
+    enable_tracing,
+    get_sink,
+    remote_span,
+    render_tree,
+    set_sink,
+    span,
+    span_trees,
+    tracing_enabled,
+)
+
+__all__ = [
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "DEFAULT_BUCKETS", "get_registry", "set_registry",
+    "enable", "disable", "enabled",
+    # tracing
+    "Span", "SpanSink", "NullSpanSink", "span", "remote_span",
+    "current_header", "get_sink", "set_sink",
+    "enable_tracing", "disable_tracing", "tracing_enabled",
+    "span_trees", "render_tree",
+    # export
+    "render_prometheus", "parse_prometheus", "histogram_summary",
+    "telemetry_payload", "write_telemetry", "load_telemetry",
+    # combined switch
+    "enable_telemetry", "disable_telemetry", "telemetry_enabled",
+    "worker_reset",
+]
+
+
+def enable_telemetry(span_capacity: int = SpanSink.DEFAULT_CAPACITY):
+    """Turn on metrics *and* tracing; returns ``(registry, sink)``."""
+    return enable(), enable_tracing(span_capacity)
+
+
+def disable_telemetry() -> None:
+    """Restore the no-op registry and sink (drops collected telemetry)."""
+    disable()
+    disable_tracing()
+
+
+def telemetry_enabled() -> bool:
+    return enabled() or tracing_enabled()
+
+
+def worker_reset() -> None:
+    """Start a forked worker's telemetry from zero.
+
+    A fork inherits the coordinator's live registry and sink *with their
+    accumulated contents*; draining those back in an ack would double-count
+    everything recorded before the fork. If telemetry is enabled, replace
+    both with fresh instances; if disabled, stay disabled.
+    """
+    if enabled():
+        set_registry(MetricsRegistry())
+    if tracing_enabled():
+        set_sink(SpanSink())

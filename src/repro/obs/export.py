@@ -1,0 +1,241 @@
+"""Registry snapshots out: Prometheus text exposition, JSON files, parsing.
+
+Two consumers drive the format choices. Ops tooling (and the roadmap's
+future ``/metrics`` route) wants the Prometheus text exposition —
+``render_prometheus`` emits it from a registry snapshot, with histogram
+buckets cumulated and ``+Inf``/``_sum``/``_count`` series the way scrapers
+expect. CI and the ``repro top``/``repro trace`` commands want a single
+JSON artifact per run — ``write_telemetry``/``load_telemetry`` bundle the
+metrics snapshot and the span ring buffer into one file.
+
+``parse_prometheus`` is deliberately small: enough to round-trip what
+``render_prometheus`` writes (and what real exporters emit for these metric
+kinds), so the CI smoke job can validate the exposition without adding a
+client-library dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Mapping
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "telemetry_payload",
+    "write_telemetry",
+    "load_telemetry",
+    "histogram_summary",
+]
+
+TELEMETRY_VERSION = 1
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str], extra: tuple = ()) -> str:
+    items = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    formatted = repr(float(value))
+    return formatted[:-2] if formatted.endswith(".0") else formatted
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` as Prometheus exposition text."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        declare(entry["name"], "counter")
+        lines.append(
+            f"{entry['name']}{_format_labels(entry['labels'])} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", ()):
+        declare(entry["name"], "gauge")
+        lines.append(
+            f"{entry['name']}{_format_labels(entry['labels'])} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", ()):
+        name = entry["name"]
+        declare(name, "histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            le = _format_labels(labels, (("le", _format_value(bound)),))
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        cumulative += entry["counts"][len(entry["bounds"])]
+        le = _format_labels(labels, (("le", "+Inf"),))
+        lines.append(f"{name}_bucket{le} {cumulative}")
+        lines.append(
+            f"{name}_sum{_format_labels(labels)} {_format_value(entry['sum'])}"
+        )
+        lines.append(f"{name}_count{_format_labels(labels)} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{"types": {...}, "samples": [...]}``.
+
+    Each sample is ``{"name", "labels", "value"}``. Covers the subset
+    :func:`render_prometheus` emits — names, escaped label values, and the
+    ``+Inf``/``NaN`` literals — which is what the CI smoke job validates.
+    """
+    types: dict[str, str] = {}
+    samples: list[dict] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_text, value_text = rest.rsplit("}", 1)
+            labels = _parse_labels(label_text)
+        else:
+            pieces = line.rsplit(None, 1)
+            if len(pieces) != 2:
+                raise ValueError(f"malformed sample line: {raw!r}")
+            name, value_text = pieces
+            labels = {}
+        value_text = value_text.strip()
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            value = float(value_text)
+        samples.append({"name": name.strip(), "labels": labels, "value": value})
+    return {"types": types, "samples": samples}
+
+
+def _parse_labels(text: str) -> dict:
+    labels: dict[str, str] = {}
+    i, n = 0, len(text)
+    while i < n:
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {text!r}")
+        j = eq + 2
+        out = []
+        while j < n:
+            ch = text[j]
+            if ch == "\\":
+                nxt = text[j + 1]
+                out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            out.append(ch)
+            j += 1
+        labels[key] = "".join(out)
+        i = j + 1
+    return labels
+
+
+# -------------------------------------------------------- JSON telemetry
+
+
+def telemetry_payload(snapshot: Mapping, spans) -> dict:
+    """The one-file bundle ``repro top`` / ``repro trace`` consume."""
+    return {
+        "version": TELEMETRY_VERSION,
+        "written_at": time.time(),
+        "metrics": dict(snapshot),
+        "spans": list(spans),
+    }
+
+
+def write_telemetry(path, snapshot: Mapping, spans) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = telemetry_payload(snapshot, spans)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_telemetry(path) -> dict:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("version") != TELEMETRY_VERSION:
+        raise ValueError(
+            f"unsupported telemetry file version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    return payload
+
+
+def histogram_summary(entry: Mapping) -> dict:
+    """p50/p95/p99 + mean for one snapshot histogram entry (no live object).
+
+    Re-runs the same bucket-interpolation estimate ``Histogram.percentile``
+    uses, but over serialized snapshots — what ``repro top`` renders from a
+    telemetry file.
+    """
+    count = entry["count"]
+    if not count:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                "max": 0.0}
+    bounds = list(entry["bounds"])
+    counts = list(entry["counts"])
+    lo_floor = entry.get("min", 0.0)
+    hi_ceil = entry.get("max", bounds[-1])
+
+    def percentile(q: float) -> float:
+        target = q * count
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lo = bounds[i - 1] if i > 0 else min(lo_floor, bounds[0])
+                hi = bounds[i] if i < len(bounds) else hi_ceil
+                lo = max(lo, lo_floor)
+                hi = min(hi, hi_ceil) if hi >= lo else lo
+                if hi <= lo:
+                    return hi
+                fraction = (target - previous) / bucket_count
+                return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+        return hi_ceil
+
+    return {
+        "count": count,
+        "mean": entry["sum"] / count,
+        "p50": percentile(0.50),
+        "p95": percentile(0.95),
+        "p99": percentile(0.99),
+        "max": hi_ceil,
+    }

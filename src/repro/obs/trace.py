@@ -1,0 +1,344 @@
+"""Trace spans with cross-process context propagation.
+
+A *span* is one timed operation (a sweep, a shard call, a WAL append burst);
+a *trace* is the tree of spans that served one logical request. The context
+(trace id + current span id) lives on a thread-local stack, so nested
+``with span(...)`` blocks parent automatically — and the same context can be
+serialized into a tiny header dict, shipped across a process boundary (the
+``ParallelEStepRunner`` delta header), and re-activated on the far side with
+:func:`remote_span`, so worker spans chain into the coordinator's tree.
+
+Finished spans land in a ring-buffer :class:`SpanSink` (bounded, newest
+wins); workers drain their sink into the sweep ack and the coordinator
+ingests those records, so one parallel sweep yields a single reconstructable
+tree (:meth:`SpanSink.trees`) even though the work spanned processes.
+
+Like metrics, tracing is off by default: the module-level sink starts as a
+:class:`NullSpanSink` and ``span()`` returns a shared no-op context manager,
+so disabled call sites cost one global read and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Span",
+    "SpanSink",
+    "NullSpanSink",
+    "span",
+    "remote_span",
+    "current_header",
+    "get_sink",
+    "set_sink",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "span_trees",
+    "render_tree",
+]
+
+
+def _new_id() -> str:
+    # os.urandom is fork-safe: forked workers draw distinct ids without any
+    # reseeding ceremony, unlike the random module's shared Mersenne state.
+    return os.urandom(8).hex()
+
+
+_STACK = threading.local()
+
+
+def _stack() -> list:
+    spans = getattr(_STACK, "spans", None)
+    if spans is None:
+        spans = []
+        _STACK.spans = spans
+    return spans
+
+
+class Span:
+    """One timed operation. Use via ``with span("name") as sp:``."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "start_wall", "_start_perf", "duration", "tags", "status", "pid",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        tags: Mapping[str, object] | None = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        self.duration = 0.0
+        self.tags = dict(tags or {})
+        self.status = "ok"
+        self.pid = os.getpid()
+
+    def set_tag(self, key: str, value) -> None:
+        self.tags[key] = value
+
+    def set_error(self, message: str) -> None:
+        self.status = "error"
+        self.tags["error"] = message
+
+    def finish(self) -> None:
+        self.duration = time.perf_counter() - self._start_perf
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start_wall,
+            "duration": self.duration,
+            "status": self.status,
+            "pid": self.pid,
+            "tags": self.tags,
+        }
+
+
+class _ActiveSpan:
+    """Context manager that pushes/pops the thread-local stack and records."""
+
+    __slots__ = ("span", "_sink")
+
+    def __init__(self, sp: Span, sink: "SpanSink"):
+        self.span = sp
+        self._sink = sink
+
+    def __enter__(self) -> Span:
+        _stack().append(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = _stack()
+        if stack and stack[-1] is self.span:
+            stack.pop()
+        self.span.finish()
+        if exc is not None:
+            self.span.set_error(f"{exc_type.__name__}: {exc}")
+        self._sink.record(self.span.to_dict())
+        return None
+
+
+class _NullSpan:
+    """Shared no-op stand-in for both the span and its context manager."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    duration = 0.0
+    status = "ok"
+    tags: dict = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+    def set_tag(self, key, value) -> None:
+        pass
+
+    def set_error(self, message) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanSink:
+    """Bounded ring buffer of finished spans (newest kept, oldest dropped)."""
+
+    enabled = True
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("span sink capacity must be positive")
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=capacity)
+
+    def record(self, record: dict) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def ingest(self, records) -> None:
+        """Fold spans shipped from another process (worker acks) in."""
+        with self._lock:
+            self._spans.extend(records)
+
+    def export(self) -> list[dict]:
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> list[dict]:
+        with self._lock:
+            out = list(self._spans)
+            self._spans.clear()
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def trees(self, trace_id: str | None = None) -> list[dict]:
+        return span_trees(self.export(), trace_id=trace_id)
+
+
+class NullSpanSink:
+    """Tracing-off sink: drops everything, reports empty."""
+
+    enabled = False
+
+    def record(self, record) -> None:
+        pass
+
+    def ingest(self, records) -> None:
+        pass
+
+    def export(self) -> list[dict]:
+        return []
+
+    def drain(self) -> list[dict]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def trees(self, trace_id=None) -> list[dict]:
+        return []
+
+
+_NULL_SINK = NullSpanSink()
+_SINK: SpanSink | NullSpanSink = _NULL_SINK
+
+
+def get_sink() -> SpanSink | NullSpanSink:
+    return _SINK
+
+
+def set_sink(sink: SpanSink | NullSpanSink) -> None:
+    global _SINK
+    _SINK = sink
+
+
+def enable_tracing(capacity: int = SpanSink.DEFAULT_CAPACITY) -> SpanSink:
+    """Install a live ring-buffer sink (idempotent) and return it."""
+    global _SINK
+    if not isinstance(_SINK, SpanSink):
+        _SINK = SpanSink(capacity)
+    return _SINK
+
+
+def disable_tracing() -> None:
+    global _SINK
+    _SINK = _NULL_SINK
+
+
+def tracing_enabled() -> bool:
+    return _SINK.enabled
+
+
+def span(name: str, tags: Mapping[str, object] | None = None):
+    """Open a span under the current thread's context (no-op when disabled)."""
+    sink = _SINK
+    if not sink.enabled:
+        return _NULL_SPAN
+    stack = _stack()
+    if stack:
+        parent = stack[-1]
+        sp = Span(name, parent.trace_id, parent.span_id, tags)
+    else:
+        sp = Span(name, _new_id(), None, tags)
+    return _ActiveSpan(sp, sink)
+
+
+def remote_span(name: str, header: Mapping | None, tags=None):
+    """Open a span parented to a context shipped from another process.
+
+    ``header`` is the dict :func:`current_header` produced on the far side;
+    ``None`` (or tracing disabled locally) degrades to a no-op.
+    """
+    sink = _SINK
+    if not sink.enabled or not header:
+        return _NULL_SPAN
+    sp = Span(name, header["trace_id"], header["span_id"], tags)
+    return _ActiveSpan(sp, sink)
+
+
+def current_header() -> dict | None:
+    """The propagatable context of the innermost open span, or ``None``.
+
+    This is what rides the ``ParallelEStepRunner`` delta header: two short
+    hex strings, so the disabled / no-open-span case adds nothing.
+    """
+    stack = getattr(_STACK, "spans", None)
+    if not stack:
+        return None
+    top = stack[-1]
+    return {"trace_id": top.trace_id, "span_id": top.span_id}
+
+
+# ------------------------------------------------------------- tree views
+
+
+def span_trees(records, trace_id: str | None = None) -> list[dict]:
+    """Reassemble span records into trees: ``{"span", "children"}`` nodes.
+
+    Spans whose parent is missing from the record set (e.g. the parent fell
+    off the ring buffer) surface as roots, so partial traces still render.
+    """
+    if trace_id is not None:
+        records = [r for r in records if r["trace_id"] == trace_id]
+    nodes = {r["span_id"]: {"span": r, "children": []} for r in records}
+    roots = []
+    for record in records:
+        node = nodes[record["span_id"]]
+        parent = record.get("parent_id")
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["span"]["start"])
+    roots.sort(key=lambda node: node["span"]["start"])
+    return roots
+
+
+def render_tree(tree: dict, indent: int = 0) -> Iterator[str]:
+    """Yield printable lines for one span tree (the ``repro trace`` view)."""
+    record = tree["span"]
+    marker = "!" if record["status"] == "error" else " "
+    tags = record.get("tags") or {}
+    tag_text = (
+        " [" + ", ".join(f"{k}={v}" for k, v in sorted(tags.items())) + "]"
+        if tags else ""
+    )
+    yield (
+        f"{'  ' * indent}{marker}{record['name']}  "
+        f"{record['duration'] * 1e3:.3f}ms  pid={record['pid']}{tag_text}"
+    )
+    for child in tree["children"]:
+        yield from render_tree(child, indent + 1)

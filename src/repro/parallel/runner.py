@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..core import _compiled
 from ..core.config import CPDConfig
 from ..core.gibbs import CPDSampler
@@ -140,6 +141,9 @@ def _worker_main(
 ) -> None:
     """Persistent worker loop: attach once, then serve delta headers."""
     plane = None
+    # a fork inherits the coordinator's live registry/sink contents; start
+    # from zero so the per-sweep telemetry shipped back is a true delta
+    obs.worker_reset()
     try:
         plane = SharedStatePlane.attach(spec)
         state_arrays = plane.state
@@ -165,30 +169,48 @@ def _worker_main(
             ids = header["doc_ids"]
             ids = doc_ids if ids is None else np.asarray(ids, dtype=np.int64)
             started = time.perf_counter()
-            sampler.sweep_documents(ids)
-            doc_state = sampler.state
-            state_arrays["result_community"][ids] = doc_state.doc_community[ids]
-            state_arrays["result_topic"][ids] = doc_state.doc_topic[ids]
-            if header["fused"]:
-                if f_stop > f_start and config.model_friendship:
-                    state_arrays["lambdas"][f_start:f_stop] = sampler.draw_lambda_range(
-                        f_start, f_stop
-                    )
-                if e_stop > e_start and config.model_diffusion:
-                    state_arrays["deltas"][e_start:e_stop] = sampler.draw_delta_range(
-                        e_start, e_stop
-                    )
-                if sampler.uses_profile_diffusion:
-                    slab = state_arrays["eta_partial"][worker]
-                    slab.fill(0.0)
-                    sampler.eta_counts_range(e_start, e_stop, out=slab)
-            conn.send(
-                {
-                    "worker": worker,
-                    "seconds": time.perf_counter() - started,
-                    "n_docs": int(len(ids)),
+            with obs.remote_span(
+                "parallel.worker_sweep",
+                header.get("trace"),
+                tags={"worker": worker},
+            ):
+                sampler.sweep_documents(ids)
+                doc_state = sampler.state
+                state_arrays["result_community"][ids] = doc_state.doc_community[ids]
+                state_arrays["result_topic"][ids] = doc_state.doc_topic[ids]
+                if header["fused"]:
+                    pg_started = time.perf_counter()
+                    if f_stop > f_start and config.model_friendship:
+                        state_arrays["lambdas"][f_start:f_stop] = sampler.draw_lambda_range(
+                            f_start, f_stop
+                        )
+                    if e_stop > e_start and config.model_diffusion:
+                        state_arrays["deltas"][e_start:e_stop] = sampler.draw_delta_range(
+                            e_start, e_stop
+                        )
+                    if sampler.uses_profile_diffusion:
+                        slab = state_arrays["eta_partial"][worker]
+                        slab.fill(0.0)
+                        sampler.eta_counts_range(e_start, e_stop, out=slab)
+                    registry = obs.get_registry()
+                    if registry.enabled:
+                        registry.histogram(
+                            "repro_pg_augmentation_seconds",
+                            {"worker": str(worker)},
+                        ).observe(time.perf_counter() - pg_started)
+            ack = {
+                "worker": worker,
+                "seconds": time.perf_counter() - started,
+                "n_docs": int(len(ids)),
+            }
+            if obs.telemetry_enabled():
+                # drained deltas: the coordinator merges/ingests them, so
+                # worker-side sweep metrics and spans land in one registry
+                ack["telemetry"] = {
+                    "metrics": obs.get_registry().drain(),
+                    "spans": obs.get_sink().drain(),
                 }
-            )
+            conn.send(ack)
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
         pass
     finally:
@@ -531,9 +553,26 @@ class ParallelEStepRunner:
         only — the streaming refresher passes ``False`` for all but its
         final sweep so the O(F + E) link draws run once per refresh, not
         once per sweep.
+
+        With telemetry enabled the sweep opens a ``parallel.sweep`` span
+        whose context rides each delta header; workers answer with their
+        own span/metric deltas in the ack, so the coordinator's sink holds
+        one connected tree per sweep spanning every process.
         """
         if self._closed:
             raise RuntimeError("runner is closed")
+        with obs.span(
+            "parallel.sweep", tags={"workers": self.n_workers}
+        ) as sweep_span:
+            self._sweep(sampler, doc_ids, fuse, sweep_span)
+
+    def _sweep(
+        self,
+        sampler: CPDSampler,
+        doc_ids: np.ndarray | None,
+        fuse: bool | None,
+        sweep_span,
+    ) -> None:
         plane = self.plane
         self._ensure_adopted(sampler)
         self._publish(sampler)
@@ -556,6 +595,8 @@ class ParallelEStepRunner:
             merge_ids = subsets
 
         fused = self.fuse_augmentation if fuse is None else (fuse and self.fuse_augmentation)
+        registry = obs.get_registry()
+        trace_context = obs.current_header()
         lost: list[int] = []
         for worker, conn in enumerate(self._conns):
             spec = _fault_firing("worker.kill", worker=worker)
@@ -570,9 +611,14 @@ class ParallelEStepRunner:
                     "seed": int(self.rng.integers(0, 2**63 - 1)),
                     "doc_ids": subsets[worker],
                     "fused": fused,
+                    "trace": trace_context,
                 }
             )
             self.stats.header_bytes += len(header)
+            if registry.enabled:
+                registry.counter("repro_parallel_header_bytes_total").inc(
+                    len(header)
+                )
             try:
                 conn.send_bytes(header)
             except (BrokenPipeError, OSError):
@@ -583,8 +629,19 @@ class ParallelEStepRunner:
             ack = self._collect_ack(worker, conn, lost)
             if ack is None:
                 continue
-            self.stats.ack_bytes += len(pickle.dumps(ack))
+            telemetry = ack.pop("telemetry", None)
+            if telemetry is not None and obs.telemetry_enabled():
+                obs.get_registry().merge(telemetry["metrics"])
+                obs.get_sink().ingest(telemetry["spans"])
+            ack_bytes = len(pickle.dumps(ack))
+            self.stats.ack_bytes += ack_bytes
             self.stats.worker_seconds[ack["worker"]] += ack["seconds"]
+            if registry.enabled:
+                registry.counter("repro_parallel_ack_bytes_total").inc(ack_bytes)
+                registry.histogram(
+                    "repro_parallel_worker_seconds",
+                    {"worker": str(ack["worker"])},
+                ).observe(ack["seconds"])
 
         state_arrays = plane.state
         for worker in range(self.n_workers):
@@ -615,9 +672,18 @@ class ParallelEStepRunner:
             self._merge_fused(sampler)
         if lost:
             self.stats.degraded_sweeps += 1
+            sweep_span.set_tag("degraded", True)
+            sweep_span.set_tag("lost_workers", list(lost))
+            if registry.enabled:
+                registry.counter("repro_parallel_degraded_sweeps_total").inc()
+                registry.counter("repro_parallel_worker_restarts_total").inc(
+                    len(lost)
+                )
             for worker in lost:
                 self._respawn_worker(worker)
         self.stats.iterations += 1
+        if registry.enabled:
+            registry.counter("repro_parallel_sweeps_total").inc()
 
     def _mark_lost(self, worker: int, lost: list[int], stage: str) -> None:
         """Record a dead worker, or raise when self-healing is off."""

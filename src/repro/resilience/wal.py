@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,6 +45,7 @@ from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..stream.events import DocumentArrival, LinkArrival, StreamEvent
 from .faults import InjectedFault, firing
 
@@ -239,8 +241,25 @@ class WriteAheadLog:
             raise InjectedFault(
                 "wal.append", {"path": str(self.path), "seq": self._n_events}
             )
-        self._handle.write(record)
-        self._flush()
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = time.perf_counter()
+            self._handle.write(record)
+            write_done = time.perf_counter()
+            self._flush()
+            flush_done = time.perf_counter()
+            registry.histogram("repro_wal_append_seconds").observe(
+                flush_done - started
+            )
+            registry.histogram("repro_wal_fsync_seconds").observe(
+                flush_done - write_done
+            )
+            registry.counter("repro_wal_bytes_total").inc(len(record))
+            registry.counter("repro_wal_records_total").inc()
+            registry.counter("repro_wal_events_total").inc(len(events))
+        else:
+            self._handle.write(record)
+            self._flush()
         self._n_events += len(events)
         self.n_records += 1
         return self._n_events

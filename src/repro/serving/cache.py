@@ -4,14 +4,56 @@ One implementation for the three query-keyed memo tables — the store's
 Eq. 19 rank cache and log-shift cache, and the shard router's merged-rank
 cache — so eviction, recency-touch and hit/miss accounting cannot drift
 between copies. Single-threaded, like everything else on the read path.
+
+**The ``cache_info()`` schema.** Every cache readout in the system —
+``ProfileStore.cache_info``, ``ShardRouter.cache_info`` (top level and its
+``"router"`` entry), and the per-shard breakdowns — serves the same core
+keys:
+
+``hits`` / ``misses``
+    cumulative counters (they survive :meth:`LRUCache.clear`, the hot-swap
+    invalidation contract);
+``size`` / ``max_size``
+    current and maximum entry counts;
+``cache_id``
+    an opaque process-local identity token for the underlying cache object.
+
+Aggregators must go through :func:`merge_cache_infos`, which sums the
+counter keys but **deduplicates by** ``cache_id`` — so if the same
+underlying cache surfaces twice in one aggregation (a shard store re-wrapped
+or re-listed after ``hot_swap_shard``, a store shared between two routing
+tables), its traffic is counted once instead of inflating the totals.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Hashable, Optional, TypeVar
+from typing import Generic, Hashable, Iterable, Mapping, Optional, TypeVar
 
 V = TypeVar("V")
+
+#: the counter keys every ``cache_info()`` readout carries (and aggregations sum)
+CACHE_INFO_KEYS = ("hits", "misses", "size", "max_size")
+
+
+def merge_cache_infos(infos: Iterable[Mapping]) -> dict[str, int]:
+    """Sum :data:`CACHE_INFO_KEYS` across readouts, once per distinct cache.
+
+    Readouts carrying the same ``cache_id`` describe the same underlying
+    cache object; only the first is counted. Readouts without a
+    ``cache_id`` (foreign dicts) are always counted.
+    """
+    seen: set = set()
+    totals = dict.fromkeys(CACHE_INFO_KEYS, 0)
+    for info in infos:
+        cache_id = info.get("cache_id")
+        if cache_id is not None:
+            if cache_id in seen:
+                continue
+            seen.add(cache_id)
+        for key in CACHE_INFO_KEYS:
+            totals[key] += int(info.get(key, 0))
+    return totals
 
 
 class LRUCache(Generic[V]):
@@ -55,10 +97,16 @@ class LRUCache(Generic[V]):
         self._data.clear()
 
     def info(self) -> dict[str, int]:
-        """The counters dict every ``cache_info()`` readout serves."""
+        """The counters dict every ``cache_info()`` readout serves.
+
+        ``cache_id`` identifies this cache object within the process so
+        aggregations (:func:`merge_cache_infos`) can deduplicate repeated
+        readouts of the same cache.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "size": len(self._data),
             "max_size": self.max_size,
+            "cache_id": id(self),
         }

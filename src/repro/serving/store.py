@@ -30,10 +30,12 @@ offline fit.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..core.io import CPDArtifact, PathLike, load_artifact, save_result
 from ..core.result import CPDResult
 from ..diffusion.features import UserFeatures
@@ -401,6 +403,20 @@ class ProfileStore:
         Repeated queries are answered from the cache without recomputing
         scores (and, for artifact-backed stores, without any graph access).
         """
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._rank(query)
+        started = time.perf_counter()
+        before = self._rank_cache.hits
+        ranking = self._rank(query)
+        outcome = "hit" if self._rank_cache.hits > before else "miss"
+        registry.histogram(
+            "repro_rank_seconds", {"outcome": outcome}
+        ).observe(time.perf_counter() - started)
+        registry.counter("repro_rank_cache_total", {"outcome": outcome}).inc()
+        return ranking
+
+    def _rank(self, query: QueryLike) -> list[tuple[int, float]]:
         key = self.query_word_ids(query)
         if not key:
             raise KeyError(f"no query term of {query!r} is in the vocabulary")
@@ -427,7 +443,8 @@ class ProfileStore:
         return [(int(z), float(affinity[z])) for z in order]
 
     def cache_info(self) -> dict[str, int]:
-        """Ranking-cache statistics (the serve-bench readout)."""
+        """Ranking-cache statistics (the canonical schema — see
+        :mod:`repro.serving.cache`)."""
         return self._rank_cache.info()
 
     # ----------------------------------------------------- diffusion serving

@@ -16,7 +16,9 @@ sleeping through cooldowns.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Mapping
+
+from .. import obs
 
 CLOSED = "closed"
 OPEN = "open"
@@ -24,13 +26,18 @@ HALF_OPEN = "half-open"
 
 
 class CircuitBreaker:
-    """Consecutive-failure breaker with a cooldown-gated probe state."""
+    """Consecutive-failure breaker with a cooldown-gated probe state.
+
+    ``labels`` (e.g. ``{"shard": "1"}``) tag the breaker's telemetry so
+    per-shard transition counters stay distinguishable in one registry.
+    """
 
     def __init__(
         self,
         failure_threshold: int = 3,
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        labels: Mapping[str, str] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
@@ -39,6 +46,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.clock = clock
+        self.labels = dict(labels or {})
         self._state = CLOSED
         self._opened_at = 0.0
         self.consecutive_failures = 0
@@ -46,11 +54,24 @@ class CircuitBreaker:
         self.n_successes = 0
         self.n_trips = 0
 
+    def _record_transition(self, to_state: str) -> None:
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_breaker_transitions_total",
+                {**self.labels, "to": to_state},
+            ).inc()
+
+    def _set_state(self, new_state: str) -> None:
+        if new_state != self._state:
+            self._state = new_state
+            self._record_transition(new_state)
+
     @property
     def state(self) -> str:
         """Current state, promoting *open* to *half-open* after cooldown."""
         if self._state == OPEN and self.clock() - self._opened_at >= self.cooldown:
-            self._state = HALF_OPEN
+            self._set_state(HALF_OPEN)
         return self._state
 
     def allows(self) -> bool:
@@ -60,7 +81,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.n_successes += 1
         self.consecutive_failures = 0
-        self._state = CLOSED
+        self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         self.n_failures += 1
@@ -75,13 +96,16 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
+        # _trip can re-arm an already-open breaker (half-open probe failed
+        # between cooldowns); count every trip, not just state changes
         self._state = OPEN
+        self._record_transition(OPEN)
         self._opened_at = self.clock()
         self.n_trips += 1
 
     def reset(self) -> None:
         """Force-close (e.g. after a hot swap replaced the backing store)."""
-        self._state = CLOSED
+        self._set_state(CLOSED)
         self.consecutive_failures = 0
 
     def info(self) -> dict:

@@ -57,9 +57,10 @@ from ..core.io import (
     load_shard_manifest,
 )
 from ..core.result import CPDResult
+from .. import obs
 from ..graph.vocabulary import Vocabulary
 from ..resilience.faults import InjectedFault, firing as _fault_firing
-from ..serving.cache import LRUCache
+from ..serving.cache import LRUCache, merge_cache_infos
 from ..serving.store import ProfileStore
 from ..serving.summary import GraphSummary
 from .align import ShardAlignment
@@ -163,8 +164,9 @@ class ShardRouter:
                 failure_threshold=breaker_threshold,
                 cooldown=breaker_cooldown,
                 clock=clock,
+                labels={"shard": str(shard_id)},
             )
-            for _ in stores
+            for shard_id in range(len(stores))
         ]
         #: last-known live ``(ranking, shift)`` per ``(shard, query key)`` —
         #: what a tripped shard serves until it is healed or hot-swapped
@@ -271,7 +273,16 @@ class ShardRouter:
         ranking = self.stores[shard_id].rank(query)
         shift = self.stores[shard_id].query_log_shift(query)
         elapsed = self.clock() - started + injected_delay
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "repro_shard_call_seconds", {"shard": str(shard_id)}
+            ).observe(elapsed)
         if self.deadline is not None and elapsed > self.deadline:
+            if registry.enabled:
+                registry.counter(
+                    "repro_shard_deadline_misses_total", {"shard": str(shard_id)}
+                ).inc()
             raise TimeoutError(
                 f"shard {shard_id} answered in {elapsed:.3f}s, over its "
                 f"{self.deadline:.3f}s deadline"
@@ -290,38 +301,56 @@ class ShardRouter:
         """
         envelope = GatherResult(ranking=[], n_shards=self.n_shards)
         entries: list[tuple[int, list, float]] = []
+        registry = obs.get_registry()
         for shard_id, breaker in enumerate(self.breakers):
             error: Optional[str] = None
-            if breaker.allows():
-                for attempt in range(self.retries + 1):
-                    try:
-                        ranking, shift = self._call_shard(shard_id, query)
-                        breaker.record_success()
-                        self._stale[(shard_id, key)] = (ranking, shift)
+            with obs.span("shard.call", tags={"shard": shard_id}) as shard_span:
+                if breaker.allows():
+                    for attempt in range(self.retries + 1):
+                        try:
+                            ranking, shift = self._call_shard(shard_id, query)
+                            breaker.record_success()
+                            self._stale[(shard_id, key)] = (ranking, shift)
+                            entries.append((shard_id, ranking, shift))
+                            envelope.answered.append(shard_id)
+                            error = None
+                            break
+                        except KeyError:
+                            raise
+                        except Exception as exc:  # noqa: BLE001 — shard fault
+                            error = f"{type(exc).__name__}: {exc}"
+                            if attempt < self.retries:
+                                if registry.enabled:
+                                    registry.counter(
+                                        "repro_shard_retries_total",
+                                        {"shard": str(shard_id)},
+                                    ).inc()
+                                _time.sleep(self.backoff * (2**attempt))
+                    else:
+                        breaker.record_failure()
+                else:
+                    error = f"circuit breaker {breaker.state}"
+                if error is None:
+                    outcome = "live"
+                else:
+                    stale = self._stale.get((shard_id, key))
+                    if stale is not None:
+                        ranking, shift = stale
                         entries.append((shard_id, ranking, shift))
-                        envelope.answered.append(shard_id)
-                        error = None
-                        break
-                    except KeyError:
-                        raise
-                    except Exception as exc:  # noqa: BLE001 — shard fault
-                        error = f"{type(exc).__name__}: {exc}"
-                        if attempt < self.retries:
-                            _time.sleep(self.backoff * (2**attempt))
-                else:
-                    breaker.record_failure()
-            else:
-                error = f"circuit breaker {breaker.state}"
-            if error is not None:
-                stale = self._stale.get((shard_id, key))
-                if stale is not None:
-                    ranking, shift = stale
-                    entries.append((shard_id, ranking, shift))
-                    envelope.stale.append(shard_id)
-                    self.stale_served[shard_id] += 1
-                else:
-                    envelope.failed.append(shard_id)
-                envelope.errors[shard_id] = error
+                        envelope.stale.append(shard_id)
+                        self.stale_served[shard_id] += 1
+                        outcome = "stale"
+                    else:
+                        envelope.failed.append(shard_id)
+                        outcome = "failed"
+                    envelope.errors[shard_id] = error
+                    shard_span.set_error(error)
+                shard_span.set_tag("outcome", outcome)
+                if registry.enabled:
+                    registry.counter(
+                        "repro_shard_gather_total",
+                        {"shard": str(shard_id), "outcome": outcome},
+                    ).inc()
         return entries, envelope
 
     def _merged_rank(self, entries: list[tuple[int, list, float]]):
@@ -391,17 +420,23 @@ class ShardRouter:
         so they disappear as soon as the shard heals.
         """
         key = self._query_key(query)
-        cached = self._rank_cache.get(key)
-        if cached is not None:
-            return GatherResult(
-                ranking=list(cached),
-                n_shards=self.n_shards,
-                answered=list(range(self.n_shards)),
+        with obs.span("router.gather") as gather_span:
+            cached = self._rank_cache.get(key)
+            if cached is not None:
+                gather_span.set_tag("outcome", "cached")
+                return GatherResult(
+                    ranking=list(cached),
+                    n_shards=self.n_shards,
+                    answered=list(range(self.n_shards)),
+                )
+            entries, envelope = self._scatter(query, key)
+            envelope.ranking = list(self._merged_rank(entries))
+            if envelope.exact:
+                self._rank_cache.put(key, list(envelope.ranking))
+            gather_span.set_tag(
+                "outcome", "exact" if envelope.exact else "degraded"
             )
-        entries, envelope = self._scatter(query, key)
-        envelope.ranking = list(self._merged_rank(entries))
-        if envelope.exact:
-            self._rank_cache.put(key, list(envelope.ranking))
+            gather_span.set_tag("coverage", round(envelope.coverage, 4))
         return envelope
 
     def rank(self, query: QueryLike) -> list[tuple[int, float]]:
@@ -449,15 +484,21 @@ class ShardRouter:
         """Aggregated per-shard LRU counters, the per-shard breakdown, the
         router-level merged-ranking cache, and per-shard health.
 
+        The top-level keys follow the canonical ``cache_info()`` schema
+        (:mod:`repro.serving.cache`), aggregated with
+        :func:`~repro.serving.cache.merge_cache_infos` — so a store that
+        appears more than once behind the router (re-wrapped or re-listed
+        after :meth:`hot_swap_shard`) is counted once, not twice. The
+        router's own merged-rank LRU stays under ``"router"``: it sees the
+        same logical queries as the shard caches, so folding it into the
+        top-level sums would double-count every routed query.
+
         Works while shards are tripped or unreachable: the store-side LRU
         counters are local reads, no scatter happens here.
         """
         per_shard = [store.cache_info() for store in self.stores]
         return {
-            "hits": sum(info["hits"] for info in per_shard),
-            "misses": sum(info["misses"] for info in per_shard),
-            "size": sum(info["size"] for info in per_shard),
-            "max_size": sum(info["max_size"] for info in per_shard),
+            **merge_cache_infos(per_shard),
             "shards": per_shard,
             "router": self._rank_cache.info(),
             "health": [

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..sampling.rng import RngLike, ensure_rng
 from ..serving.store import ProfileStore
 from .events import DocumentArrival, LinkArrival, StreamEvent
@@ -98,6 +99,9 @@ class MicroBatchIngestor:
         self.on_refresh = on_refresh
 
         self._buffer: list[StreamEvent] = []
+        #: wall-clock moment the oldest buffered event arrived (micro-batch
+        #: lag = flush time minus this; None while the buffer is empty)
+        self._buffer_opened: float | None = None
         self.n_events = 0
         self.n_documents = 0
         self.n_links = 0
@@ -125,6 +129,8 @@ class MicroBatchIngestor:
         """
         if not isinstance(event, (DocumentArrival, LinkArrival)):
             raise TypeError(f"unknown stream event type {type(event).__name__}")
+        if not self._buffer:
+            self._buffer_opened = time.perf_counter()
         self._buffer.append(event)
         report = None
         if len(self._buffer) >= self.batch_size:
@@ -151,6 +157,13 @@ class MicroBatchIngestor:
             return None
         batch = self._buffer
         self._buffer = []
+        registry = obs.get_registry()
+        if registry.enabled and self._buffer_opened is not None:
+            # micro-batch lag: how long the oldest event waited in the buffer
+            registry.histogram("repro_ingest_batch_lag_seconds").observe(
+                time.perf_counter() - self._buffer_opened
+            )
+        self._buffer_opened = None
         # write-ahead: the batch must be durable before any of it is applied,
         # so a crash below loses nothing acknowledged (recover() replays it)
         if self.wal is not None:
@@ -205,6 +218,24 @@ class MicroBatchIngestor:
         self.n_links += len(links)
         self.n_flushes += 1
         self._events_since_refresh += len(batch)
+        if registry.enabled:
+            registry.histogram(
+                "repro_ingest_batch_size",
+                bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096),
+            ).observe(len(batch))
+            registry.histogram("repro_ingest_foldin_seconds").observe(
+                foldin_seconds
+            )
+            registry.histogram("repro_ingest_append_seconds").observe(
+                append_seconds
+            )
+            registry.counter("repro_ingest_flushes_total").inc()
+            registry.counter(
+                "repro_ingest_events_total", {"type": "doc"}
+            ).inc(len(documents))
+            registry.counter(
+                "repro_ingest_events_total", {"type": "link"}
+            ).inc(len(links))
         return FlushReport(
             n_documents=len(documents),
             n_links=len(links),

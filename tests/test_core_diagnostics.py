@@ -1,14 +1,19 @@
 """Tests for likelihood reporting and convergence assessment."""
 
+import math
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core import (
     CPDConfig,
     CPDModel,
+    FitOptions,
     assess_convergence,
     likelihood_report,
 )
+from repro.core.io import load_result, save_result
 from repro.core.result import CPDResult, IterationTrace
 
 
@@ -96,3 +101,91 @@ class TestConvergenceAssessment:
         assessment = assess_convergence(result, window=3, tolerance=0.2)
         assert assessment.iterations_run == 12
         assert 0.0 <= assessment.final_diffusion_probability <= 1.0
+
+
+class TestEmptyAndDisabledTraces:
+    """Edge cases: no trace recorded, or none requested."""
+
+    def test_empty_trace_assessment(self, fitted_cpd):
+        result = _result_with_trace(fitted_cpd, [])
+        assessment = assess_convergence(result)
+        assert not assessment.converged
+        assert assessment.iterations_run == 0
+        assert assessment.stable_from is None
+        assert math.isnan(assessment.final_diffusion_probability)
+        assert math.isnan(assessment.final_friendship_probability)
+
+    def test_record_trace_false_leaves_trace_empty(self, twitter_tiny, tiny_config):
+        graph, _ = twitter_tiny
+        result = CPDModel(tiny_config, rng=0).fit(
+            graph, FitOptions(record_trace=False)
+        )
+        assert result.trace == []
+        assert not assess_convergence(result).converged
+
+    def test_record_trace_false_still_feeds_telemetry(
+        self, twitter_tiny, tiny_config
+    ):
+        """Gauges come from the same probe; disabling the trace must not
+        disable them (and vice versa: telemetry must not resurrect the
+        trace)."""
+        graph, _ = twitter_tiny
+        registry, _sink = obs.enable_telemetry()
+        try:
+            result = CPDModel(tiny_config, rng=0).fit(
+                graph, FitOptions(record_trace=False)
+            )
+            gauges = {g["name"]: g["value"] for g in registry.snapshot()["gauges"]}
+        finally:
+            obs.disable_telemetry()
+        assert result.trace == []
+        assert 0.0 <= gauges["repro_fit_diffusion_probability"] <= 1.0
+        assert gauges["repro_fit_iteration"] == tiny_config.n_iterations - 1
+
+
+class TestTraceSerialization:
+    def test_round_trip_preserves_phase_timings(self, fitted_cpd, tmp_path):
+        trace = [
+            IterationTrace(
+                iteration=i,
+                seconds=0.5,
+                mean_friendship_probability=0.6,
+                mean_diffusion_probability=0.7,
+                e_step_seconds=0.3,
+                augmentation_seconds=0.15,
+                m_step_seconds=0.05,
+            )
+            for i in range(3)
+        ]
+        result = CPDResult(
+            config=fitted_cpd.config,
+            pi=fitted_cpd.pi,
+            theta=fitted_cpd.theta,
+            phi=fitted_cpd.phi,
+            diffusion=fitted_cpd.diffusion,
+            doc_community=fitted_cpd.doc_community,
+            doc_topic=fitted_cpd.doc_topic,
+            trace=trace,
+        )
+        path = tmp_path / "traced.cpd.npz"
+        save_result(result, path)
+        clone = load_result(path)
+        assert clone.trace == trace
+
+    def test_empty_trace_round_trips(self, fitted_cpd, tmp_path):
+        result = _result_with_trace(fitted_cpd, [])
+        path = tmp_path / "untraced.cpd.npz"
+        save_result(result, path)
+        assert load_result(path).trace == []
+
+    def test_legacy_entries_without_phase_fields_load(self):
+        entry = {
+            "iteration": 0,
+            "seconds": 0.2,
+            "mean_friendship_probability": 0.5,
+            "mean_diffusion_probability": 0.5,
+        }
+        loaded = IterationTrace(**entry)
+        assert loaded.e_step_seconds == 0.0
+        assert loaded.augmentation_seconds == 0.0
+        assert loaded.m_step_seconds == 0.0

@@ -1,0 +1,130 @@
+"""Tests for the exporters: Prometheus text, JSON telemetry files, summaries."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.export import TELEMETRY_VERSION
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    obs.disable_telemetry()
+    yield
+    obs.disable_telemetry()
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_sweeps_total", {"kernel": "vectorized"}).inc(9)
+    registry.gauge("repro_fit_iteration").set(24)
+    hist = registry.histogram("repro_rank_seconds", {"outcome": "hit"})
+    for value in (0.001, 0.002, 0.004, 2.0):
+        hist.observe(value)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_type_lines_and_samples(self):
+        text = obs.render_prometheus(_populated_registry().snapshot())
+        assert "# TYPE repro_sweeps_total counter" in text
+        assert 'repro_sweeps_total{kernel="vectorized"} 9' in text
+        assert "# TYPE repro_fit_iteration gauge" in text
+        assert "# TYPE repro_rank_seconds histogram" in text
+        # the +Inf bucket carries the grand total and _count matches
+        assert 'le="+Inf"' in text
+        assert 'repro_rank_seconds_count{outcome="hit"} 4' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=(0.001, 1.0))
+        for value in (0.0005, 0.5, 100.0):
+            hist.observe(value)
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry.snapshot()))
+        buckets = {
+            s["labels"]["le"]: s["value"]
+            for s in parsed["samples"]
+            if s["name"] == "h_bucket"
+        }
+        assert buckets == {"0.001": 1, "1": 2, "+Inf": 3}
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        nasty = 'a"b\\c\nd'
+        registry.counter("c", {"q": nasty}).inc()
+        parsed = obs.parse_prometheus(obs.render_prometheus(registry.snapshot()))
+        (sample,) = parsed["samples"]
+        assert sample["labels"]["q"] == nasty
+
+    def test_full_round_trip_preserves_every_sample(self):
+        snapshot = _populated_registry().snapshot()
+        parsed = obs.parse_prometheus(obs.render_prometheus(snapshot))
+        assert parsed["types"] == {
+            "repro_sweeps_total": "counter",
+            "repro_fit_iteration": "gauge",
+            "repro_rank_seconds": "histogram",
+        }
+        names = {s["name"] for s in parsed["samples"]}
+        assert "repro_rank_seconds_sum" in names
+        assert "repro_fit_iteration" in names
+
+    def test_special_values(self):
+        assert obs.parse_prometheus("g +Inf\n")["samples"][0]["value"] == math.inf
+        assert math.isnan(obs.parse_prometheus("g NaN\n")["samples"][0]["value"])
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            obs.parse_prometheus("just_a_name_no_value\n")
+
+
+class TestTelemetryFile:
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "run.telemetry.json"
+        snapshot = _populated_registry().snapshot()
+        spans = [{"span_id": "a", "trace_id": "t", "parent_id": None,
+                  "start": 0.0, "name": "s", "duration": 0.1,
+                  "status": "ok", "pid": 1, "tags": {}}]
+        obs.write_telemetry(path, snapshot, spans)
+        payload = obs.load_telemetry(path)
+        assert payload["version"] == TELEMETRY_VERSION
+        assert payload["metrics"]["counters"][0]["value"] == 9
+        assert payload["spans"] == spans
+        assert payload["written_at"] > 0
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "metrics": {}, "spans": []}')
+        with pytest.raises(ValueError, match="version"):
+            obs.load_telemetry(path)
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "t.json"
+        obs.write_telemetry(path, {"counters": []}, [])
+        assert path.exists()
+
+
+class TestHistogramSummary:
+    def test_matches_live_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for i in range(1, 101):
+            hist.observe(i / 100)
+        (entry,) = registry.snapshot()["histograms"]
+        summary = obs.histogram_summary(entry)
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(hist.mean)
+        assert summary["p50"] == pytest.approx(hist.percentile(0.5))
+        assert summary["p95"] == pytest.approx(hist.percentile(0.95))
+        assert summary["p99"] == pytest.approx(hist.percentile(0.99))
+        assert summary["max"] == pytest.approx(1.0)
+
+    def test_empty_histogram_summary(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        (entry,) = registry.snapshot()["histograms"]
+        assert obs.histogram_summary(entry) == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "max": 0.0,
+        }
