@@ -20,7 +20,9 @@ The paper's workflow is "profile once offline, serve many applications"
                      --topics 12 --out-dir shards/
     repro shard-query --manifest shards/manifest.shards.json --query "#topic3"
     repro shard-bench --graph graph.json.gz --communities 6 --topics 12
+    repro serve      --model model.cpd.npz --port 8323
     repro doctor     --model model.cpd.npz --snapshot-dir snaps/ --wal events.wal
+    repro doctor     --url http://127.0.0.1:8323
     repro top        --telemetry run.telemetry.json [--watch]
     repro trace      --telemetry run.telemetry.json [--name shard.call]
 
@@ -91,6 +93,7 @@ from .evaluation import (
     diffusion_auc_folds,
     friendship_auc_folds,
 )
+from .gateway import GatewayServer
 from .graph import load_graph, save_graph
 from .parallel import ParallelEStepRunner
 from .core.io import verify_artifact, verify_shard_manifest
@@ -332,6 +335,86 @@ def _build_parser() -> argparse.ArgumentParser:
     shard_bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
     _add_telemetry_arg(shard_bench)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the overload-hardened HTTP gateway over an artifact or "
+        "shard manifest (rank / top-k / members / labels / health / metrics)",
+    )
+    serve.add_argument(
+        "--model", required=True,
+        help="self-contained artifact (.cpd.npz) or shard manifest "
+        "(.shards.json) to serve",
+    )
+    serve.add_argument(
+        "--graph", default=None,
+        help="graph file for artifacts without serving payloads",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8323)
+    serve.add_argument(
+        "--max-in-flight", type=int, default=8,
+        help="admission limit: requests executing concurrently",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="admission queue depth; arrivals beyond it are shed with 429",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After seconds advertised on shed (429) responses",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batching window for concurrent deadline-less /rank calls",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="unique queries per micro-batch before an immediate flush",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None,
+        help="budget applied to requests without an X-Deadline-Ms header",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=5.0,
+        help="seconds a connection may stall before its read answers 408",
+    )
+    serve.add_argument(
+        "--query-cache-size", type=int, default=1024,
+        help="per-store LRU size for ranking results",
+    )
+    router_policy = serve.add_argument_group(
+        "router policy (shard manifests only)"
+    )
+    router_policy.add_argument(
+        "--best-effort", action="store_true",
+        help="serve partial merges with coverage headers instead of 503 "
+        "when shards cannot answer",
+    )
+    router_policy.add_argument(
+        "--shard-deadline", type=float, default=None,
+        help="per-shard-call deadline in seconds",
+    )
+    router_policy.add_argument(
+        "--retries", type=int, default=1, help="per-shard retry attempts"
+    )
+    router_policy.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive failures before a shard's circuit breaker trips",
+    )
+    router_policy.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds a tripped breaker stays open before probing",
+    )
+    router_policy.add_argument(
+        "--breaker-half-open-probes", type=int, default=1,
+        help="consecutive probe successes required to re-close a breaker",
+    )
+    router_policy.add_argument(
+        "--stale-max-age", type=float, default=300.0,
+        help="seconds a last-known ranking may be served for a failed shard",
+    )
+
     doctor = commands.add_parser(
         "doctor",
         help="verify artifact/manifest integrity, snapshot generations and "
@@ -348,6 +431,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prefix", default="snapshot", help="snapshot filename prefix in --snapshot-dir"
     )
     doctor.add_argument("--wal", default=None, help="write-ahead log to scan")
+    doctor.add_argument(
+        "--url", default=None, metavar="URL",
+        help="probe a live gateway (from `repro serve`): /health, /ready and "
+        "/metrics; exit non-zero when unreachable, unhealthy or not ready",
+    )
     doctor.add_argument(
         "--telemetry", default=None, metavar="PATH",
         help="telemetry snapshot file (from a --telemetry run) to summarise "
@@ -495,7 +583,12 @@ def _render_top(payload: dict, source: str) -> str:
     return "\n".join(lines)
 
 
-def _load_store(model_path: str, graph_path: str | None, out) -> ProfileStore | None:
+def _load_store(
+    model_path: str,
+    graph_path: str | None,
+    out,
+    query_cache_size: int = 1024,
+) -> ProfileStore | None:
     """A ProfileStore from the artifact, attaching the graph when given.
 
     Returns ``None`` (after printing the reason) when the artifact is not
@@ -513,6 +606,7 @@ def _load_store(model_path: str, graph_path: str | None, out) -> ProfileStore | 
                 else None
             ),
             graph=graph,
+            query_cache_size=query_cache_size,
         )
     if not artifact.self_contained:
         print(
@@ -522,7 +616,9 @@ def _load_store(model_path: str, graph_path: str | None, out) -> ProfileStore | 
             file=out,
         )
         return None
-    return ProfileStore.from_artifact_bundle(artifact)
+    return ProfileStore.from_artifact_bundle(
+        artifact, query_cache_size=query_cache_size
+    )
 
 
 def run_generate(args, out=None) -> int:
@@ -1372,6 +1468,167 @@ def _run_shard_bench(args, out) -> int:
     return 0
 
 
+def run_serve(args, out=None) -> int:
+    """Run the overload-hardened gateway until SIGTERM/SIGINT drains it."""
+    out = out or sys.stdout
+
+    def say(message: str) -> None:
+        print(message, file=out, flush=True)
+
+    if is_shard_manifest(args.model):
+        backend = ShardRouter.from_manifest(
+            args.model,
+            query_cache_size=args.query_cache_size,
+            best_effort=args.best_effort,
+            deadline=args.shard_deadline,
+            retries=args.retries,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            breaker_half_open_probes=args.breaker_half_open_probes,
+            stale_max_age=args.stale_max_age,
+        )
+        say(
+            f"opened shard manifest {args.model}: "
+            f"{len(backend.stores)} shard(s), "
+            f"best_effort={'on' if args.best_effort else 'off'}"
+        )
+    else:
+        backend = _load_store(
+            args.model, args.graph, out, query_cache_size=args.query_cache_size
+        )
+        if backend is None:
+            return 1
+        say(f"opened artifact {args.model}: {backend.n_communities} communities")
+
+    # live /metrics needs the real registry, not the null one
+    obs.enable_telemetry()
+    gateway = GatewayServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        retry_after=args.retry_after,
+        batch_window=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        default_deadline=(
+            args.default_deadline_ms / 1000.0
+            if args.default_deadline_ms is not None
+            else None
+        ),
+        read_timeout=args.read_timeout,
+    )
+    gateway.run(out=say)
+    return 0
+
+
+def _probe_gateway(url: str, say) -> tuple[dict, int]:
+    """Probe a live gateway's /health, /ready and /metrics endpoints.
+
+    Returns ``(report, status)`` — status 1 when the gateway is
+    unreachable, reports itself unhealthy, is not ready (draining), or
+    serves an unparseable metrics exposition. A degraded-but-serving
+    gateway (tripped shard breakers) is reported but still exits 0: the
+    whole point of best-effort serving is that degraded is operational.
+    """
+    import urllib.error
+    import urllib.request
+
+    base = url.rstrip("/")
+    gateway_report: dict = {"url": base}
+    status = 0
+
+    def fetch(path: str) -> tuple[int | None, str, str | None]:
+        """``(http_status, body_text, error)`` for one GET."""
+        try:
+            with urllib.request.urlopen(base + path, timeout=10) as response:
+                return response.status, response.read().decode("utf-8"), None
+        except urllib.error.HTTPError as error:
+            return error.code, error.read().decode("utf-8"), None
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            return None, "", str(error)
+
+    code, body, error = fetch("/health")
+    if code is None:
+        say(f"gateway   {base}: UNREACHABLE ({error})")
+        gateway_report["reachable"] = False
+        gateway_report["error"] = error
+        return gateway_report, 1
+    gateway_report["reachable"] = True
+    try:
+        health = json.loads(body)
+    except json.JSONDecodeError:
+        health = {}
+    health_status = health.get("status", "unknown")
+    gateway_report["health"] = {"http_status": code, "status": health_status}
+    degraded_shards = [
+        (shard_id, entry)
+        for shard_id, entry in enumerate(health.get("shards", []))
+        if entry.get("state") != "closed"
+    ]
+    if code != 200 or health_status not in ("ok", "degraded"):
+        say(f"gateway   {base}/health: HTTP {code}, status {health_status!r}")
+        status = 1
+    else:
+        backend = health.get("backend", "?")
+        say(f"gateway   {base}/health: {health_status} ({backend} backend)")
+    for shard_id, entry in degraded_shards:
+        say(
+            f"  shard {shard_id}: breaker {entry.get('state', '?')} "
+            f"({entry.get('consecutive_failures', '?')} consecutive failures, "
+            f"{entry.get('stale_served', 0)} stale answers served)"
+        )
+    gateway_report["degraded_shards"] = [
+        shard_id for shard_id, _entry in degraded_shards
+    ]
+
+    code, body, error = fetch("/ready")
+    ready = code == 200
+    gateway_report["ready"] = ready
+    if ready:
+        say(f"gateway   {base}/ready: ready")
+    else:
+        detail = f"HTTP {code}" if code is not None else error
+        say(f"gateway   {base}/ready: NOT READY ({detail})")
+        status = 1
+
+    code, body, error = fetch("/metrics")
+    if code == 200:
+        try:
+            parsed = obs.parse_prometheus(body)
+        except ValueError as parse_error:
+            say(f"gateway   {base}/metrics: UNPARSEABLE ({parse_error})")
+            gateway_report["metrics"] = {"ok": False, "error": str(parse_error)}
+            status = 1
+        else:
+            totals: dict[str, float] = {}
+            for sample in parsed["samples"]:
+                totals[sample["name"]] = (
+                    totals.get(sample["name"], 0.0) + sample["value"]
+                )
+            requests = totals.get("repro_gateway_requests_total", 0.0)
+            shed = totals.get("repro_gateway_shed_total", 0.0)
+            say(
+                f"gateway   {base}/metrics: {len(parsed['types'])} families, "
+                f"{len(parsed['samples'])} samples "
+                f"({requests:.0f} requests, {shed:.0f} shed)"
+            )
+            gateway_report["metrics"] = {
+                "ok": True,
+                "families": len(parsed["types"]),
+                "samples": len(parsed["samples"]),
+                "requests_total": requests,
+                "shed_total": shed,
+            }
+    else:
+        detail = f"HTTP {code}" if code is not None else error
+        say(f"gateway   {base}/metrics: UNAVAILABLE ({detail})")
+        gateway_report["metrics"] = {"ok": False, "error": detail}
+        status = 1
+
+    return gateway_report, status
+
+
 def run_doctor(args, out=None) -> int:
     """Integrity + recoverability report; exit 0 iff everything checked is healthy."""
     out = out or sys.stdout
@@ -1382,10 +1639,11 @@ def run_doctor(args, out=None) -> int:
         if not json_mode:
             print(message, file=out)
 
-    if not (args.model or args.snapshot_dir or args.wal or telemetry_path):
+    url = getattr(args, "url", None)
+    if not (args.model or args.snapshot_dir or args.wal or telemetry_path or url):
         print(
-            "error: nothing to examine; pass --model, --snapshot-dir, --wal "
-            "and/or --telemetry",
+            "error: nothing to examine; pass --model, --snapshot-dir, --wal, "
+            "--telemetry and/or --url",
             file=out,
         )
         return 1
@@ -1545,6 +1803,11 @@ def run_doctor(args, out=None) -> int:
                 "metrics": metrics,
             }
 
+    if url:
+        gateway_report, gateway_status = _probe_gateway(url, say)
+        report["checks"]["gateway"] = gateway_report
+        status = max(status, gateway_status)
+
     report["status"] = "ok" if status == 0 else "problems"
     if json_mode:
         print(json.dumps(report, indent=2, sort_keys=True), file=out)
@@ -1640,6 +1903,7 @@ _RUNNERS = {
     "shard-fit": run_shard_fit,
     "shard-query": run_shard_query,
     "shard-bench": run_shard_bench,
+    "serve": run_serve,
     "doctor": run_doctor,
     "top": run_top,
     "trace": run_trace,

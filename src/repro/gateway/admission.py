@@ -1,0 +1,199 @@
+"""Admission control and request deadlines for the serving gateway.
+
+Overload policy in one sentence: a bounded number of requests runs, a
+bounded number waits, and everything beyond that is *shed immediately*
+with ``429 Retry-After`` — a saturated service that answers a few clients
+fast beats one that answers every client too late (the paper's profiling
+queries serve interactive exploration; a 30-second answer is a wrong
+answer).
+
+:class:`AdmissionController` lives entirely on the event-loop thread —
+counters and the waiter queue are only touched from coroutines, so it
+needs no lock. The executor threads that run the actual store/router
+calls never see it.
+
+:class:`Deadline` is the request-budget half: parsed from the
+``X-Deadline-Ms`` header, checked at admission (cheapest possible
+rejection) and converted to a remaining-seconds budget for
+:meth:`repro.shard.ShardRouter.gather`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Optional
+
+#: the request header carrying the client's remaining budget, in milliseconds
+DEADLINE_HEADER = "x-deadline-ms"
+
+
+class ShedError(Exception):
+    """The gateway refused a request: both the in-flight limit and the
+    wait queue are full. Carries the ``Retry-After`` hint (seconds)."""
+
+    def __init__(self, retry_after: float) -> None:
+        self.retry_after = retry_after
+        super().__init__(
+            f"gateway saturated — retry after {retry_after:.0f}s"
+        )
+
+
+class Deadline:
+    """A per-request time budget with an absolute cutoff.
+
+    ``remaining()`` is what propagates into the router: seconds left, or
+    ``None`` for "no deadline". The clock is injectable so tests pin
+    expiry without sleeping.
+    """
+
+    __slots__ = ("clock", "cutoff")
+
+    def __init__(
+        self,
+        budget_seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.clock = clock
+        self.cutoff = None if budget_seconds is None else clock() + budget_seconds
+
+    @classmethod
+    def from_header(
+        cls,
+        value: Optional[str],
+        default_budget: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """Parse an ``X-Deadline-Ms`` header value (milliseconds).
+
+        A missing header falls back to ``default_budget`` (seconds, may be
+        ``None`` = unbounded); a malformed one raises ``ValueError`` so the
+        caller can answer 400 instead of silently serving unbounded.
+        """
+        if value is None:
+            return cls(default_budget, clock=clock)
+        budget_ms = float(value)  # ValueError propagates
+        return cls(budget_ms / 1000.0, clock=clock)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (possibly negative), or ``None`` when unbounded."""
+        if self.cutoff is None:
+            return None
+        return self.cutoff - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+
+class AdmissionController:
+    """Bounded in-flight slots plus a bounded FIFO wait queue.
+
+    ``max_in_flight`` requests hold a slot at once; up to ``max_queue``
+    more wait for a slot in arrival order; anything beyond sheds with
+    :class:`ShedError`. Slots hand off directly — a release wakes the
+    oldest waiter without the in-flight count ever dipping, so the
+    observed peak is an exact admission invariant, not a sampling
+    artifact (the overload test pins ``peak_in_flight <= max_in_flight``).
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int = 8,
+        max_queue: int = 16,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue cannot be negative")
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.peak_queue = 0
+        self.admitted = 0
+        self.shed = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        self._idle_event: Optional[asyncio.Event] = None
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    async def acquire(self) -> None:
+        """Take an in-flight slot, waiting in the bounded queue if needed.
+
+        Raises :class:`ShedError` when both are full. Cancellation while
+        queued gives the slot back cleanly.
+        """
+        if self.in_flight < self.max_in_flight and not self._waiters:
+            self._grant()
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.shed += 1
+            raise ShedError(self.retry_after)
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self.peak_queue = max(self.peak_queue, len(self._waiters))
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if not waiter.cancelled() and waiter.done():
+                # the slot was granted between the cancel and this except:
+                # pass it on instead of leaking it
+                self.release()
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            raise
+        # the releasing request granted the slot before resolving the future
+
+    def release(self) -> None:
+        """Give the slot back — or hand it straight to the oldest waiter."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                # direct handoff: in_flight stays constant, the waiter is
+                # admitted the moment this request finishes
+                self.admitted += 1
+                waiter.set_result(None)
+                return
+        self._release_slot()
+
+    def _grant(self) -> None:
+        self.in_flight += 1
+        self.admitted += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+
+    def _release_slot(self) -> None:
+        self.in_flight -= 1
+        if self.in_flight == 0 and self._idle_event is not None:
+            self._idle_event.set()
+
+    async def wait_idle(self) -> None:
+        """Block until no request holds a slot (the drain barrier)."""
+        if self.in_flight == 0:
+            return
+        if self._idle_event is None:
+            self._idle_event = asyncio.Event()
+        self._idle_event.clear()
+        await self._idle_event.wait()
+
+    def stats(self) -> dict:
+        """Plain counters for ``/health`` and the gateway's ``stats()``."""
+        return {
+            "in_flight": self.in_flight,
+            "queued": self.queued,
+            "max_in_flight": self.max_in_flight,
+            "max_queue": self.max_queue,
+            "peak_in_flight": self.peak_in_flight,
+            "peak_queue": self.peak_queue,
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }

@@ -1,0 +1,115 @@
+"""Micro-batching of concurrent rank calls into one vectorized pass.
+
+Under concurrency the gateway sees many independent ``/rank`` requests in
+the same few milliseconds. Answering them one by one costs one Eq. 19
+matvec each; :class:`RankBatcher` holds the first request for a bounded
+window (default 2 ms), collects whatever else arrives, deduplicates
+identical queries, and runs the whole batch through one fused
+:meth:`repro.serving.ProfileStore.rank_many` matmul on the executor. The
+window bounds the latency a lone request can lose to batching; a full
+batch (``max_batch``) flushes immediately.
+
+The batcher is deadline-neutral by design: requests carrying an explicit
+deadline bypass it in the server (their budget must reach the backend
+per-request), so only deadline-less traffic coalesces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Sequence
+
+#: a batch runner maps queries -> one result or exception per query
+BatchRunner = Callable[[Sequence[str]], Awaitable[list]]
+
+
+class RankBatcher:
+    """Coalesce concurrent rank calls within a bounded window.
+
+    ``runner`` receives the deduplicated batch and must return one entry
+    per query — a result, or an ``Exception`` instance for per-query
+    failures (an unknown term must fail its own request, not the whole
+    batch). Lives on the event-loop thread; ``rank`` is the only API.
+    """
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        window: float = 0.002,
+        max_batch: int = 32,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if window < 0:
+            raise ValueError("window cannot be negative")
+        self.runner = runner
+        self.window = window
+        self.max_batch = max_batch
+        self._pending: dict[str, list[asyncio.Future]] = {}
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self.batches = 0
+        self.batched_queries = 0
+        self.largest_batch = 0
+
+    async def rank(self, query: str):
+        """The ranking for ``query``, served from the next batch flush."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        waiters = self._pending.setdefault(query, [])
+        waiters.append(future)
+        if len(self._pending) >= self.max_batch:
+            self._cancel_timer()
+            self._start_flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.window, self._start_flush)
+        return await future
+
+    def _cancel_timer(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    def _start_flush(self) -> None:
+        self._flush_handle = None
+        if not self._pending:
+            return
+        batch = self._pending
+        self._pending = {}
+        self.batches += 1
+        self.batched_queries += sum(len(w) for w in batch.values())
+        self.largest_batch = max(self.largest_batch, len(batch))
+        asyncio.get_running_loop().create_task(self._run(batch))
+
+    async def _run(self, batch: dict[str, list[asyncio.Future]]) -> None:
+        queries = list(batch.keys())
+        try:
+            results = await self.runner(queries)
+        except Exception as exc:  # noqa: BLE001 — runner died: fail the batch
+            results = [exc] * len(queries)
+        if len(results) != len(queries):
+            mismatch = RuntimeError(
+                f"batch runner returned {len(results)} results for "
+                f"{len(queries)} queries"
+            )
+            results = [mismatch] * len(queries)
+        for query, result in zip(queries, results):
+            for future in batch[query]:
+                if future.done():
+                    continue  # the request was cancelled while batched
+                if isinstance(result, Exception):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)
+
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "largest_batch": self.largest_batch,
+        }
+
+    async def drain(self) -> None:
+        """Flush anything still waiting (used on shutdown)."""
+        self._cancel_timer()
+        self._start_flush()
+        await asyncio.sleep(0)

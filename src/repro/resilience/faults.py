@@ -35,6 +35,21 @@ Injection points consulted across the codebase:
                           against its deadline
 ``worker.kill``           :class:`repro.parallel.ParallelEStepRunner` — the
                           worker process is terminated before its sweep ack
+``gateway.accept``        :class:`repro.gateway.GatewayServer` — the
+                          connection is dropped at accept, before a byte is
+                          read (clients see a reset)
+``gateway.read``          :class:`repro.gateway.GatewayServer` — with
+                          ``action="timeout"``, simulates a slow client /
+                          stalled read (the request head never arrives;
+                          the gateway's read deadline answers 408);
+                          ``action="raise"`` aborts the read as a bad
+                          request
+``gateway.handler``       :class:`repro.gateway.GatewayServer` request
+                          dispatch — ``action="raise"`` fails the request
+                          with a 500; ``action="timeout"`` holds the
+                          handler for ``delay`` seconds (a slow request
+                          that stays legitimately in flight — drain and
+                          latency tests)
 ========================  ====================================================
 
 The registry of points is open: a spec may name any string, and a consult

@@ -3,7 +3,9 @@
 One implementation for the three query-keyed memo tables — the store's
 Eq. 19 rank cache and log-shift cache, and the shard router's merged-rank
 cache — so eviction, recency-touch and hit/miss accounting cannot drift
-between copies. Single-threaded, like everything else on the read path.
+between copies. The cache is internally locked: the serving gateway runs
+backend calls on a thread pool, so concurrent ``get``/``put`` against one
+cache is the normal case, not the exception.
 
 **The ``cache_info()`` schema.** Every cache readout in the system —
 ``ProfileStore.cache_info``, ``ShardRouter.cache_info`` (top level and its
@@ -27,6 +29,7 @@ tables), its traffic is counted once instead of inflating the totals.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, Iterable, Mapping, Optional, TypeVar
 
@@ -68,33 +71,48 @@ class LRUCache(Generic[V]):
             raise ValueError("max_size must be at least 1")
         self.max_size = max_size
         self._data: OrderedDict[Hashable, V] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: Hashable) -> Optional[V]:
         """The cached value (counted as a hit and touched), else ``None``
         (counted as a miss)."""
-        value = self._data.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
+
+    def peek(self, key: Hashable) -> Optional[V]:
+        """The cached value without touching recency or the counters.
+
+        For double-checked fill paths: the first :meth:`get` already
+        counted the logical miss, so the re-check under the build lock
+        must not count a second one.
+        """
+        with self._lock:
+            return self._data.get(key)
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert ``key``, evicting the least-recently-used entry at capacity."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if len(self._data) > self.max_size:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if len(self._data) > self.max_size:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry; cumulative counters survive."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def info(self) -> dict[str, int]:
         """The counters dict every ``cache_info()`` readout serves.
@@ -103,10 +121,11 @@ class LRUCache(Generic[V]):
         aggregations (:func:`merge_cache_infos`) can deduplicate repeated
         readouts of the same cache.
         """
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._data),
-            "max_size": self.max_size,
-            "cache_id": id(self),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._data),
+                "max_size": self.max_size,
+                "cache_id": id(self),
+            }

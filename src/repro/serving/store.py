@@ -30,6 +30,7 @@ offline fit.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Sequence, Union
 
@@ -98,6 +99,10 @@ class ProfileStore:
             raise ValueError("query_cache_size must be at least 1")
         self._rank_cache: LRUCache[list[tuple[int, float]]] = LRUCache(query_cache_size)
         self._shift_cache: LRUCache[float] = LRUCache(query_cache_size)
+        # one reentrant lock guards every memo build and the hot-swap path;
+        # cache hits stay lock-free apart from the LRU's own internal lock,
+        # so the gateway's executor threads contend only on misses
+        self._lock = threading.RLock()
         # memo slots for the non-query indexes
         self._top_communities: dict[int, np.ndarray] = {}
         self._members: dict[int, list[np.ndarray]] = {}
@@ -177,21 +182,22 @@ class ProfileStore:
         so long-lived references keep serving; the cumulative hit/miss
         counters are preserved for monitoring continuity.
         """
-        self._rank_cache.clear()  # entries only; hit/miss counters survive
-        self._shift_cache.clear()
-        self._top_communities.clear()
-        self._members.clear()
-        self._labels.clear()
-        self._diffusion_slices.clear()
-        self._log_phi = None
-        self._eta_flat = None
-        self._aggregated_eta = None
-        self._query_index = None
-        self._popularity = None
-        self._pop_matrix = None
-        self._user_features = None
-        self._doc_user_cache = None
-        self._doc_time_cache = None
+        with self._lock:
+            self._rank_cache.clear()  # entries only; hit/miss counters survive
+            self._shift_cache.clear()
+            self._top_communities.clear()
+            self._members.clear()
+            self._labels.clear()
+            self._diffusion_slices.clear()
+            self._log_phi = None
+            self._eta_flat = None
+            self._aggregated_eta = None
+            self._query_index = None
+            self._popularity = None
+            self._pop_matrix = None
+            self._user_features = None
+            self._doc_user_cache = None
+            self._doc_time_cache = None
 
     def hot_swap(
         self,
@@ -206,10 +212,11 @@ class ProfileStore:
         the wrapped result (and optionally the summary/vocabulary) is
         replaced and every memoised index invalidated, so subsequent
         queries serve the new profiles. Dimensions are validated against
-        whatever payloads the store keeps. Like the rest of the store
-        (including its LRU cache), this assumes one thread: a concurrent
-        reader could observe the new result with not-yet-invalidated
-        indexes — serialise swaps against queries externally.
+        whatever payloads the store keeps. The swap happens under the
+        store's lock, so readers on other threads observe either the old
+        model with its old indexes or the new model with freshly-built
+        ones — never a mix (the serving gateway hot-swaps under live
+        traffic).
         """
         vocabulary = vocabulary if vocabulary is not None else self.vocabulary
         if vocabulary is not None and result.n_words != len(vocabulary):
@@ -233,10 +240,11 @@ class ProfileStore:
                 f"but the result assigns {len(result.doc_topic)} — pass the "
                 "extended summary (it replaces the stale graph's document maps)"
             )
-        self.result = result
-        self.vocabulary = vocabulary
-        self._summary = summary
-        self.invalidate()
+        with self._lock:
+            self.result = result
+            self.vocabulary = vocabulary
+            self._summary = summary
+            self.invalidate()
 
     # ------------------------------------------------------------- dimensions
 
@@ -259,14 +267,15 @@ class ProfileStore:
     @property
     def summary(self) -> GraphSummary:
         """The graph summary; distilled from the live graph on first use."""
-        if self._summary is None:
-            if self.graph is None:
-                raise RuntimeError(
-                    "this store has no graph summary — refit and save a "
-                    "self-contained artifact (repro fit), or attach the graph"
-                )
-            self._summary = GraphSummary.from_graph(self.graph)
-        return self._summary
+        with self._lock:
+            if self._summary is None:
+                if self.graph is None:
+                    raise RuntimeError(
+                        "this store has no graph summary — refit and save a "
+                        "self-contained artifact (repro fit), or attach the graph"
+                    )
+                self._summary = GraphSummary.from_graph(self.graph)
+            return self._summary
 
     @property
     def stats(self) -> GraphStats:
@@ -290,20 +299,22 @@ class ProfileStore:
     def top_communities(self, k: int = 5) -> np.ndarray:
         """Memoised user -> top-``k`` community index, shape ``(U, k)``."""
         k = min(k, self.n_communities)
-        if k not in self._top_communities:
-            self._top_communities[k] = self.result.top_communities_per_user(k)
-        return self._top_communities[k]
+        with self._lock:
+            if k not in self._top_communities:
+                self._top_communities[k] = self.result.top_communities_per_user(k)
+            return self._top_communities[k]
 
     def community_members(self, k: int = 5) -> list[np.ndarray]:
         """Memoised member user ids per community under top-``k`` assignment."""
         k = min(k, self.n_communities)
-        if k not in self._members:
-            top = self.top_communities(k)
-            self._members[k] = [
-                np.flatnonzero((top == community).any(axis=1))
-                for community in range(self.n_communities)
-            ]
-        return self._members[k]
+        with self._lock:
+            if k not in self._members:
+                top = self.top_communities(k)
+                self._members[k] = [
+                    np.flatnonzero((top == community).any(axis=1))
+                    for community in range(self.n_communities)
+                ]
+            return self._members[k]
 
     # ------------------------------------------------------------ query index
 
@@ -313,9 +324,12 @@ class ProfileStore:
         Served from the persisted summary; distilled from the live graph
         when the store was built from a fit.
         """
-        if self._query_index is None:
-            self._query_index = {query.term: query for query in self.summary.queries}
-        return self._query_index
+        with self._lock:
+            if self._query_index is None:
+                self._query_index = {
+                    query.term: query for query in self.summary.queries
+                }
+            return self._query_index
 
     def indexed_queries(self, max_queries: int | None = None) -> list[Query]:
         """The selected queries, most frequent first."""
@@ -332,18 +346,20 @@ class ProfileStore:
     # ---------------------------------------------------------------- ranking
 
     def _log_phi_matrix(self) -> np.ndarray:
-        if self._log_phi is None:
-            self._log_phi = np.log(np.maximum(self.result.phi, 1e-300))
-        return self._log_phi
+        with self._lock:
+            if self._log_phi is None:
+                self._log_phi = np.log(np.maximum(self.result.phi, 1e-300))
+            return self._log_phi
 
     def _eta_flat_matrix(self) -> np.ndarray:
         """``eta`` reshaped to ``(C, C*Z)`` so Eq. 19 is one matvec."""
-        if self._eta_flat is None:
-            eta = self.result.eta
-            self._eta_flat = np.ascontiguousarray(
-                eta.reshape(self.n_communities, -1)
-            )
-        return self._eta_flat
+        with self._lock:
+            if self._eta_flat is None:
+                eta = self.result.eta
+                self._eta_flat = np.ascontiguousarray(
+                    eta.reshape(self.n_communities, -1)
+                )
+            return self._eta_flat
 
     def query_word_ids(self, query: QueryLike) -> tuple[int, ...]:
         """In-vocabulary word ids of a query's terms (may be empty)."""
@@ -367,9 +383,10 @@ class ProfileStore:
         key = self.query_word_ids(query)
         if not key:
             raise KeyError(f"no query term of {query!r} is in the vocabulary")
-        log_affinity = self._log_phi_matrix()[:, list(key)].sum(axis=1)
-        shift = float(log_affinity.max())
-        self._shift_cache.put(key, shift)
+        with self._lock:
+            log_affinity = self._log_phi_matrix()[:, list(key)].sum(axis=1)
+            shift = float(log_affinity.max())
+            self._shift_cache.put(key, shift)
         return np.exp(log_affinity - shift)
 
     def query_log_shift(self, query: QueryLike) -> float:
@@ -386,16 +403,18 @@ class ProfileStore:
         cached = self._shift_cache.get(key)
         if cached is not None:
             return cached
-        shift = float(self._log_phi_matrix()[:, list(key)].sum(axis=1).max())
-        self._shift_cache.put(key, shift)
+        with self._lock:
+            shift = float(self._log_phi_matrix()[:, list(key)].sum(axis=1).max())
+            self._shift_cache.put(key, shift)
         return shift
 
     def scores(self, query: QueryLike) -> np.ndarray:
         """Eq. 19 scores for every community (unnormalised)."""
-        affinity = self.query_topic_affinity(query)  # (Z,)
-        # sum_z sum_c' eta[c, c', z] * theta[c', z] * affinity[z]
-        weighted = self.result.theta * affinity[None, :]  # (C', Z)
-        return self._eta_flat_matrix() @ weighted.ravel()
+        with self._lock:
+            affinity = self.query_topic_affinity(query)  # (Z,)
+            # sum_z sum_c' eta[c, c', z] * theta[c', z] * affinity[z]
+            weighted = self.result.theta * affinity[None, :]  # (C', Z)
+            return self._eta_flat_matrix() @ weighted.ravel()
 
     def rank(self, query: QueryLike) -> list[tuple[int, float]]:
         """Communities sorted by Eq. 19 score, best first — LRU cached.
@@ -423,11 +442,80 @@ class ProfileStore:
         cached = self._rank_cache.get(key)
         if cached is not None:
             return list(cached)
-        scores = self.scores(query)
-        order = np.argsort(-scores)
-        ranking = [(int(c), float(scores[c])) for c in order]
-        self._rank_cache.put(key, ranking)
+        with self._lock:
+            # double-checked: another thread may have filled the entry
+            # while this one waited for the lock (peek keeps the hit/miss
+            # accounting at one miss per logical call)
+            cached = self._rank_cache.peek(key)
+            if cached is not None:
+                return list(cached)
+            scores = self.scores(query)
+            order = np.argsort(-scores)
+            ranking = [(int(c), float(scores[c])) for c in order]
+            self._rank_cache.put(key, ranking)
         return list(ranking)
+
+    def rank_many(
+        self, queries: Sequence[QueryLike]
+    ) -> list[list[tuple[int, float]]]:
+        """Eq. 19 rankings for a batch of queries in one fused pass.
+
+        The gateway's micro-batcher funnels concurrent rank calls here:
+        instead of ``B`` separate matvecs, the uncached queries' topic
+        affinities are stacked into one ``(B, C'*Z)`` weight matrix and hit
+        ``eta_flat`` in a single matmul. Cache hits are answered without
+        recomputation; every miss lands in the LRU (and shift cache), so a
+        batched query is indistinguishable from a sequential one afterwards.
+        Raises :class:`KeyError` if *any* query has no in-vocabulary term —
+        callers that need per-query error isolation should pre-validate
+        with :meth:`query_word_ids`.
+        """
+        keys = [self.query_word_ids(query) for query in queries]
+        for query, key in zip(queries, keys):
+            if not key:
+                raise KeyError(f"no query term of {query!r} is in the vocabulary")
+        rankings: list = [None] * len(queries)
+        misses: dict[tuple[int, ...], list[int]] = {}
+        for i, key in enumerate(keys):
+            cached = self._rank_cache.get(key)
+            if cached is not None:
+                rankings[i] = list(cached)
+            else:
+                misses.setdefault(key, []).append(i)
+        if not misses:
+            return rankings
+        with self._lock:
+            # double-check under the lock, then batch whatever remains
+            pending = []
+            for key, positions in misses.items():
+                cached = self._rank_cache.peek(key)
+                if cached is not None:
+                    for i in positions:
+                        rankings[i] = list(cached)
+                else:
+                    pending.append((key, positions))
+            if pending:
+                log_phi = self._log_phi_matrix()
+                theta = self.result.theta  # (C', Z)
+                eta_flat = self._eta_flat_matrix()  # (C, C'*Z)
+                affinities = np.empty((len(pending), theta.shape[1]))
+                for row, (key, _positions) in enumerate(pending):
+                    log_affinity = log_phi[:, list(key)].sum(axis=1)
+                    shift = float(log_affinity.max())
+                    self._shift_cache.put(key, shift)
+                    affinities[row] = np.exp(log_affinity - shift)
+                # (B, C', Z) -> (B, C'*Z): one matmul for the whole batch
+                weighted = theta[None, :, :] * affinities[:, None, :]
+                scores = weighted.reshape(len(pending), -1) @ eta_flat.T
+                orders = np.argsort(-scores, axis=1)
+                for row, (key, positions) in enumerate(pending):
+                    ranking = [
+                        (int(c), float(scores[row, c])) for c in orders[row]
+                    ]
+                    self._rank_cache.put(key, ranking)
+                    for i in positions:
+                        rankings[i] = list(ranking)
+        return rankings
 
     def top_k(self, query: QueryLike, k: int = 5) -> list[int]:
         """The top-``k`` community ids for a query."""
@@ -456,27 +544,30 @@ class ProfileStore:
         for a couple of predictions does not pay for the full summary
         distillation (which includes query selection).
         """
-        if self._doc_user_cache is None:
-            if self._summary is not None:
-                self._doc_user_cache = self._summary.doc_user
-            elif self.graph is not None:
-                self._doc_user_cache = self.graph.document_user_array()
-            else:
-                self._doc_user_cache = self.summary.doc_user  # raises helpfully
-        return self._doc_user_cache
+        with self._lock:
+            if self._doc_user_cache is None:
+                if self._summary is not None:
+                    self._doc_user_cache = self._summary.doc_user
+                elif self.graph is not None:
+                    self._doc_user_cache = self.graph.document_user_array()
+                else:
+                    self._doc_user_cache = self.summary.doc_user  # raises helpfully
+            return self._doc_user_cache
 
     def doc_timestamp(self) -> np.ndarray:
         """``doc_id -> time bucket`` (from the summary, or the live graph)."""
-        if self._doc_time_cache is None:
-            if self._summary is not None:
-                self._doc_time_cache = self._summary.doc_timestamp
-            elif self.graph is not None:
-                self._doc_time_cache = np.asarray(
-                    [doc.timestamp for doc in self.graph.documents], dtype=np.int64
-                )
-            else:
-                self._doc_time_cache = self.summary.doc_timestamp
-        return self._doc_time_cache
+        with self._lock:
+            if self._doc_time_cache is None:
+                if self._summary is not None:
+                    self._doc_time_cache = self._summary.doc_timestamp
+                elif self.graph is not None:
+                    self._doc_time_cache = np.asarray(
+                        [doc.timestamp for doc in self.graph.documents],
+                        dtype=np.int64,
+                    )
+                else:
+                    self._doc_time_cache = self.summary.doc_timestamp
+            return self._doc_time_cache
 
     def popularity(self) -> TopicPopularity:
         """The frozen topic-popularity table ``n_tz`` of the fit.
@@ -484,63 +575,71 @@ class ProfileStore:
         Rebuilt from the persisted per-document timestamps and topic
         assignments — identical to the table the offline fit ended on.
         """
-        if self._popularity is None:
-            result = self.result
-            timestamps = self.doc_timestamp()
-            n_buckets = int(timestamps.max()) + 1 if len(timestamps) else 1
-            self._popularity = TopicPopularity.from_assignments(
-                timestamps,
-                np.where(result.doc_topic >= 0, result.doc_topic, 0),
-                n_topics=result.n_topics,
-                n_time_buckets=n_buckets,
-                mode=result.config.popularity_mode,
-                weight=result.config.popularity_weight,
-            )
-        return self._popularity
+        with self._lock:
+            if self._popularity is None:
+                result = self.result
+                timestamps = self.doc_timestamp()
+                n_buckets = int(timestamps.max()) + 1 if len(timestamps) else 1
+                self._popularity = TopicPopularity.from_assignments(
+                    timestamps,
+                    np.where(result.doc_topic >= 0, result.doc_topic, 0),
+                    n_topics=result.n_topics,
+                    n_time_buckets=n_buckets,
+                    mode=result.config.popularity_mode,
+                    weight=result.config.popularity_weight,
+                )
+            return self._popularity
 
     def popularity_matrix(self) -> np.ndarray:
         """Memoised ``(T, Z)`` popularity score matrix."""
-        if self._pop_matrix is None:
-            self._pop_matrix = self.popularity().score_matrix()
-        return self._pop_matrix
+        with self._lock:
+            if self._pop_matrix is None:
+                self._pop_matrix = self.popularity().score_matrix()
+            return self._pop_matrix
 
     def user_features(self) -> UserFeatures:
         """The ``f_uv`` feature provider, rebuilt from persisted counts."""
-        if self._user_features is None:
-            if self._summary is None and self.graph is not None:
-                self._user_features = UserFeatures(self.graph)
-            else:
-                summary = self.summary
-                self._user_features = UserFeatures.from_counts(
-                    summary.followers, summary.diffusions_made, summary.docs_per_user
-                )
-        return self._user_features
+        with self._lock:
+            if self._user_features is None:
+                if self._summary is None and self.graph is not None:
+                    self._user_features = UserFeatures(self.graph)
+                else:
+                    summary = self.summary
+                    self._user_features = UserFeatures.from_counts(
+                        summary.followers,
+                        summary.diffusions_made,
+                        summary.docs_per_user,
+                    )
+            return self._user_features
 
     def aggregated_diffusion(self) -> np.ndarray:
         """Memoised ``sum_z eta`` as a ``(C, C)`` matrix (Fig. 7(a))."""
-        if self._aggregated_eta is None:
-            self._aggregated_eta = self.result.aggregated_diffusion_matrix()
-        return self._aggregated_eta
+        with self._lock:
+            if self._aggregated_eta is None:
+                self._aggregated_eta = self.result.aggregated_diffusion_matrix()
+            return self._aggregated_eta
 
     def diffusion_slice(self, topic: int) -> np.ndarray:
         """Memoised per-topic ``eta[:, :, z]`` slice (Fig. 7(b)/(c))."""
         if not 0 <= topic < self.n_topics:
             raise ValueError(f"topic {topic} out of range")
-        if topic not in self._diffusion_slices:
-            self._diffusion_slices[topic] = np.ascontiguousarray(
-                self.result.eta[:, :, topic]
-            )
-        return self._diffusion_slices[topic]
+        with self._lock:
+            if topic not in self._diffusion_slices:
+                self._diffusion_slices[topic] = np.ascontiguousarray(
+                    self.result.eta[:, :, topic]
+                )
+            return self._diffusion_slices[topic]
 
     # ----------------------------------------------------------------- labels
 
     def labels(self, n_words: int = 3) -> list[str]:
         """Memoised community labels from dominant-topic top words."""
-        if n_words not in self._labels:
-            self._labels[n_words] = compute_community_labels(
-                self.result, self._require_vocabulary(), n_words
-            )
-        return self._labels[n_words]
+        with self._lock:
+            if n_words not in self._labels:
+                self._labels[n_words] = compute_community_labels(
+                    self.result, self._require_vocabulary(), n_words
+                )
+            return self._labels[n_words]
 
     # ---------------------------------------------------------------- fold-in
 

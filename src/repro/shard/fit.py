@@ -42,11 +42,21 @@ class ShardedFit:
     #: per-shard fit wall-clock seconds
     fit_seconds: list[float] = field(default_factory=list)
 
-    def router(self, query_cache_size: int = 1024) -> ShardRouter:
-        """A :class:`ShardRouter` over this fit (from disk when persisted)."""
+    def router(
+        self, query_cache_size: int = 1024, **router_options
+    ) -> ShardRouter:
+        """A :class:`ShardRouter` over this fit (from disk when persisted).
+
+        Extra keyword arguments (``best_effort``, ``deadline``,
+        ``retries``, breaker tuning, ...) pass through to the
+        :class:`ShardRouter` constructor — the serving gateway tunes its
+        degraded-serving policy per deployment this way.
+        """
         if self.manifest_path is not None:
             return ShardRouter.from_manifest(
-                self.manifest_path, query_cache_size=query_cache_size
+                self.manifest_path,
+                query_cache_size=query_cache_size,
+                **router_options,
             )
         from ..serving.store import ProfileStore
 
@@ -61,6 +71,7 @@ class ShardedFit:
             [part.users for part in self.plan.shards],
             self.alignment,
             query_cache_size=query_cache_size,
+            **router_options,
         )
 
 

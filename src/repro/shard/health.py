@@ -15,6 +15,7 @@ sleeping through cooldowns.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Mapping
 
@@ -24,12 +25,26 @@ CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
 
+#: consecutive half-open probe successes required before the breaker
+#: re-closes; 1 keeps the classic "one good probe heals" behaviour
+DEFAULT_HALF_OPEN_PROBES = 1
+
+#: maximum age (seconds) of a stale ranking the router may serve in place
+#: of a failed shard before it is considered too old and dropped
+DEFAULT_STALE_MAX_AGE = 300.0
+
 
 class CircuitBreaker:
     """Consecutive-failure breaker with a cooldown-gated probe state.
 
     ``labels`` (e.g. ``{"shard": "1"}``) tag the breaker's telemetry so
     per-shard transition counters stay distinguishable in one registry.
+
+    ``half_open_probes`` is the number of *consecutive* successful probes
+    a half-open breaker must see before re-closing; a flaky shard that
+    alternates success/failure stays open instead of flapping. All state
+    transitions happen under an internal lock — the serving gateway calls
+    breakers from a thread pool.
     """
 
     def __init__(
@@ -38,17 +53,23 @@ class CircuitBreaker:
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
         labels: Mapping[str, str] | None = None,
+        half_open_probes: int = DEFAULT_HALF_OPEN_PROBES,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
         if cooldown < 0:
             raise ValueError("cooldown cannot be negative")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.clock = clock
         self.labels = dict(labels or {})
+        self.half_open_probes = half_open_probes
+        self._lock = threading.RLock()
         self._state = CLOSED
         self._opened_at = 0.0
+        self._probe_successes = 0
         self.consecutive_failures = 0
         self.n_failures = 0
         self.n_successes = 0
@@ -70,30 +91,39 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state, promoting *open* to *half-open* after cooldown."""
-        if self._state == OPEN and self.clock() - self._opened_at >= self.cooldown:
-            self._set_state(HALF_OPEN)
-        return self._state
+        with self._lock:
+            if self._state == OPEN and self.clock() - self._opened_at >= self.cooldown:
+                self._set_state(HALF_OPEN)
+                self._probe_successes = 0
+            return self._state
 
     def allows(self) -> bool:
         """May the next call go through? (Half-open allows the one probe.)"""
         return self.state != OPEN
 
     def record_success(self) -> None:
-        self.n_successes += 1
-        self.consecutive_failures = 0
-        self._set_state(CLOSED)
+        with self._lock:
+            self.n_successes += 1
+            self.consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._set_state(CLOSED)
+            else:
+                self._set_state(CLOSED)
 
     def record_failure(self) -> None:
-        self.n_failures += 1
-        self.consecutive_failures += 1
-        if self._state == HALF_OPEN:
-            # the probe failed: straight back to open, fresh cooldown
-            self._trip()
-        elif (
-            self._state == CLOSED
-            and self.consecutive_failures >= self.failure_threshold
-        ):
-            self._trip()
+        with self._lock:
+            self.n_failures += 1
+            self.consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # the probe failed: straight back to open, fresh cooldown
+                self._trip()
+            elif (
+                self._state == CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
 
     def _trip(self) -> None:
         # _trip can re-arm an already-open breaker (half-open probe failed
@@ -101,19 +131,24 @@ class CircuitBreaker:
         self._state = OPEN
         self._record_transition(OPEN)
         self._opened_at = self.clock()
+        self._probe_successes = 0
         self.n_trips += 1
 
     def reset(self) -> None:
         """Force-close (e.g. after a hot swap replaced the backing store)."""
-        self._set_state(CLOSED)
-        self.consecutive_failures = 0
+        with self._lock:
+            self._set_state(CLOSED)
+            self.consecutive_failures = 0
+            self._probe_successes = 0
 
     def info(self) -> dict:
         """Counters for monitoring (rides in ``ShardRouter.cache_info``)."""
-        return {
-            "state": self.state,
-            "consecutive_failures": self.consecutive_failures,
-            "failures": self.n_failures,
-            "successes": self.n_successes,
-            "trips": self.n_trips,
-        }
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "failures": self.n_failures,
+                "successes": self.n_successes,
+                "trips": self.n_trips,
+                "probe_successes": self._probe_successes,
+            }

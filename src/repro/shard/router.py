@@ -44,6 +44,7 @@ degraded answer never outlives the failure that caused it.
 from __future__ import annotations
 
 import heapq
+import threading
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
@@ -64,7 +65,11 @@ from ..serving.cache import LRUCache, merge_cache_infos
 from ..serving.store import ProfileStore
 from ..serving.summary import GraphSummary
 from .align import ShardAlignment
-from .health import CircuitBreaker
+from .health import (
+    DEFAULT_HALF_OPEN_PROBES,
+    DEFAULT_STALE_MAX_AGE,
+    CircuitBreaker,
+)
 
 QueryLike = Union[str, Sequence[str]]
 
@@ -129,6 +134,8 @@ class ShardRouter:
         best_effort: bool = False,
         breaker_threshold: int = 3,
         breaker_cooldown: float = 30.0,
+        breaker_half_open_probes: int = DEFAULT_HALF_OPEN_PROBES,
+        stale_max_age: float = DEFAULT_STALE_MAX_AGE,
         clock: Callable[[], float] = _time.monotonic,
     ) -> None:
         if not stores:
@@ -150,6 +157,8 @@ class ShardRouter:
                 )
         if retries < 0:
             raise ValueError("retries cannot be negative")
+        if stale_max_age < 0:
+            raise ValueError("stale_max_age cannot be negative")
         self.stores = stores
         self.user_maps = [np.asarray(m, dtype=np.int64) for m in user_maps]
         self.alignment = alignment
@@ -158,6 +167,7 @@ class ShardRouter:
         self.retries = retries
         self.backoff = backoff
         self.best_effort = best_effort
+        self.stale_max_age = stale_max_age
         self.clock = clock
         self.breakers = [
             CircuitBreaker(
@@ -165,13 +175,24 @@ class ShardRouter:
                 cooldown=breaker_cooldown,
                 clock=clock,
                 labels={"shard": str(shard_id)},
+                half_open_probes=breaker_half_open_probes,
             )
             for shard_id in range(len(stores))
         ]
-        #: last-known live ``(ranking, shift)`` per ``(shard, query key)`` —
-        #: what a tripped shard serves until it is healed or hot-swapped
-        self._stale: dict[tuple[int, tuple[int, ...]], tuple[list, float]] = {}
+        #: last-known live ``(ranking, shift, stored_at)`` per
+        #: ``(shard, query key)`` — what a tripped shard serves until it is
+        #: healed, hot-swapped, or the entry outlives ``stale_max_age``
+        self._stale: dict[
+            tuple[int, tuple[int, ...]], tuple[list, float, float]
+        ] = {}
         self.stale_served = [0 for _ in stores]
+        # guards the stale table, the gathered memos and the hot-swap path
+        # against the gateway's executor threads; the generation counter
+        # lets gather() cache a merge without holding the lock across the
+        # scatter — a swap racing the scatter bumps the generation and the
+        # outdated merge is simply not cached
+        self._lock = threading.RLock()
+        self._generation = 0
         # router-level gathered memos (invalidated on shard hot-swaps)
         self._rank_cache: LRUCache[list[tuple[int, float]]] = LRUCache(query_cache_size)
         self._members: dict[int, list[np.ndarray]] = {}
@@ -248,19 +269,21 @@ class ShardRouter:
     # ---------------------------------------------------------------- ranking
 
     def _call_shard(
-        self, shard_id: int, query: QueryLike
+        self, shard_id: int, query: QueryLike, deadline: Optional[float] = None
     ) -> tuple[list[tuple[int, float]], float]:
         """One guarded shard call: fault consult, deadline, the real work.
 
-        Returns the shard's ``(ranking, shift)``. An injected
-        ``shard.query`` fault with ``action="raise"`` fails the call;
-        ``action="timeout"`` charges ``spec.delay`` seconds of simulated
-        stall against the deadline instead (the deadline is checked
-        post-hoc — an in-process call cannot be preempted, so a slow
-        shard is detected after the fact and its answer discarded to
-        keep the failure semantics uniform; the stall is accounted, not
-        slept, so it works under injected fake clocks without burning
-        wall-clock time).
+        Returns the shard's ``(ranking, shift)``. ``deadline`` is the
+        effective per-call allowance — the router's static per-shard
+        deadline, possibly tightened by the remaining per-request budget
+        (:meth:`gather`'s ``budget``). An injected ``shard.query`` fault
+        with ``action="raise"`` fails the call; ``action="timeout"``
+        charges ``spec.delay`` seconds of simulated stall against the
+        deadline instead (the deadline is checked post-hoc — an
+        in-process call cannot be preempted, so a slow shard is detected
+        after the fact and its answer discarded to keep the failure
+        semantics uniform; the stall is accounted, not slept, so it works
+        under injected fake clocks without burning wall-clock time).
         """
         started = self.clock()
         injected_delay = 0.0
@@ -278,39 +301,79 @@ class ShardRouter:
             registry.histogram(
                 "repro_shard_call_seconds", {"shard": str(shard_id)}
             ).observe(elapsed)
-        if self.deadline is not None and elapsed > self.deadline:
+        if deadline is not None and elapsed > deadline:
             if registry.enabled:
                 registry.counter(
                     "repro_shard_deadline_misses_total", {"shard": str(shard_id)}
                 ).inc()
             raise TimeoutError(
                 f"shard {shard_id} answered in {elapsed:.3f}s, over its "
-                f"{self.deadline:.3f}s deadline"
+                f"{deadline:.3f}s deadline"
             )
         return ranking, shift
 
+    def _effective_deadline(
+        self, cutoff: Optional[float]
+    ) -> tuple[Optional[float], float]:
+        """``(per-call deadline, remaining budget)`` given an absolute cutoff.
+
+        With no request budget the static per-shard deadline applies and
+        the remaining budget is unbounded; otherwise the tighter of the
+        two governs the call.
+        """
+        if cutoff is None:
+            return self.deadline, float("inf")
+        remaining = cutoff - self.clock()
+        if self.deadline is None:
+            return remaining, remaining
+        return min(self.deadline, remaining), remaining
+
     def _scatter(
-        self, query: QueryLike, key: tuple[int, ...]
+        self, query: QueryLike, key: tuple[int, ...], cutoff: Optional[float] = None
     ) -> tuple[list[tuple[int, list, float]], GatherResult]:
         """Fan the query out under the degraded-serving policy.
 
         Returns the mergeable entries ``(shard_id, ranking, shift)`` plus
         a coverage envelope (its ``ranking`` still empty — the caller
-        merges). A ``KeyError`` (query term outside the shared vocabulary)
-        propagates: that is a caller error, not a shard failure.
+        merges). ``cutoff`` is an absolute per-request deadline on the
+        router's clock: once passed, remaining shards are skipped without
+        a call (and without penalising their breakers — the shard never
+        got a chance), and a retry backoff that would overshoot it is
+        abandoned. A ``KeyError`` (query term outside the shared
+        vocabulary) propagates: that is a caller error, not a shard
+        failure.
         """
         envelope = GatherResult(ranking=[], n_shards=self.n_shards)
         entries: list[tuple[int, list, float]] = []
         registry = obs.get_registry()
         for shard_id, breaker in enumerate(self.breakers):
             error: Optional[str] = None
+            shard_failed = False
             with obs.span("shard.call", tags={"shard": shard_id}) as shard_span:
-                if breaker.allows():
+                if cutoff is not None and self.clock() >= cutoff:
+                    error = "deadline expired before the shard call"
+                    if registry.enabled:
+                        registry.counter(
+                            "repro_shard_deadline_skips_total",
+                            {"shard": str(shard_id)},
+                        ).inc()
+                elif breaker.allows():
                     for attempt in range(self.retries + 1):
+                        call_deadline, remaining = self._effective_deadline(cutoff)
+                        if remaining <= 0:
+                            error = "deadline expired before the shard call"
+                            break
                         try:
-                            ranking, shift = self._call_shard(shard_id, query)
+                            ranking, shift = self._call_shard(
+                                shard_id, query, deadline=call_deadline
+                            )
                             breaker.record_success()
-                            self._stale[(shard_id, key)] = (ranking, shift)
+                            with self._lock:
+                                self._stale[(shard_id, key)] = (
+                                    ranking,
+                                    shift,
+                                    self.clock(),
+                                )
                             entries.append((shard_id, ranking, shift))
                             envelope.answered.append(shard_id)
                             error = None
@@ -318,22 +381,32 @@ class ShardRouter:
                         except KeyError:
                             raise
                         except Exception as exc:  # noqa: BLE001 — shard fault
+                            shard_failed = True
                             error = f"{type(exc).__name__}: {exc}"
                             if attempt < self.retries:
+                                sleep_for = self.backoff * (2**attempt)
+                                if (
+                                    cutoff is not None
+                                    and self.clock() + sleep_for >= cutoff
+                                ):
+                                    # an 80ms budget must not buy a 500ms
+                                    # backoff: abandon the retries instead
+                                    error += " (no budget left to retry)"
+                                    break
                                 if registry.enabled:
                                     registry.counter(
                                         "repro_shard_retries_total",
                                         {"shard": str(shard_id)},
                                     ).inc()
-                                _time.sleep(self.backoff * (2**attempt))
-                    else:
+                                _time.sleep(sleep_for)
+                    if error is not None and shard_failed:
                         breaker.record_failure()
                 else:
                     error = f"circuit breaker {breaker.state}"
                 if error is None:
                     outcome = "live"
                 else:
-                    stale = self._stale.get((shard_id, key))
+                    stale = self._fresh_stale(shard_id, key)
                     if stale is not None:
                         ranking, shift = stale
                         entries.append((shard_id, ranking, shift))
@@ -352,6 +425,25 @@ class ShardRouter:
                         {"shard": str(shard_id), "outcome": outcome},
                     ).inc()
         return entries, envelope
+
+    def _fresh_stale(
+        self, shard_id: int, key: tuple[int, ...]
+    ) -> Optional[tuple[list, float]]:
+        """The shard's stale ``(ranking, shift)`` if young enough, else None.
+
+        Entries older than ``stale_max_age`` are dropped on sight — a
+        ranking from a model that failed half an hour ago misleads more
+        than an honest gap in coverage.
+        """
+        with self._lock:
+            stale = self._stale.get((shard_id, key))
+            if stale is None:
+                return None
+            ranking, shift, stored_at = stale
+            if self.clock() - stored_at > self.stale_max_age:
+                del self._stale[(shard_id, key)]
+                return None
+            return ranking, shift
 
     def _merged_rank(self, entries: list[tuple[int, list, float]]):
         """Lazily yield ``(global_community, score)`` in non-increasing score
@@ -408,7 +500,9 @@ class ShardRouter:
             raise KeyError(f"no query term of {query!r} is in the vocabulary")
         return key
 
-    def gather(self, query: QueryLike) -> GatherResult:
+    def gather(
+        self, query: QueryLike, *, budget: Optional[float] = None
+    ) -> GatherResult:
         """Best-effort scatter-gather: merge what answered, report coverage.
 
         Never raises on shard failure (unknown query terms still raise
@@ -418,8 +512,16 @@ class ShardRouter:
         answers (every shard live) read through and populate the router
         LRU exactly like :meth:`rank`; degraded answers are never cached,
         so they disappear as soon as the shard heals.
+
+        ``budget`` is the seconds left of the *request's* deadline (the
+        gateway propagates it from the client's deadline header): shards
+        that would start after the budget is spent are skipped, retry
+        backoffs that would overshoot it are abandoned, and each shard
+        call's own deadline is tightened to the remaining budget. A
+        budget-truncated answer is degraded, so it is never cached.
         """
         key = self._query_key(query)
+        cutoff = None if budget is None else self.clock() + max(budget, 0.0)
         with obs.span("router.gather") as gather_span:
             cached = self._rank_cache.get(key)
             if cached is not None:
@@ -429,17 +531,24 @@ class ShardRouter:
                     n_shards=self.n_shards,
                     answered=list(range(self.n_shards)),
                 )
-            entries, envelope = self._scatter(query, key)
+            generation = self._generation
+            entries, envelope = self._scatter(query, key, cutoff)
             envelope.ranking = list(self._merged_rank(entries))
             if envelope.exact:
-                self._rank_cache.put(key, list(envelope.ranking))
+                with self._lock:
+                    # a hot swap racing this scatter bumped the generation;
+                    # its merge describes the replaced model — drop it
+                    if generation == self._generation:
+                        self._rank_cache.put(key, list(envelope.ranking))
             gather_span.set_tag(
                 "outcome", "exact" if envelope.exact else "degraded"
             )
             gather_span.set_tag("coverage", round(envelope.coverage, 4))
         return envelope
 
-    def rank(self, query: QueryLike) -> list[tuple[int, float]]:
+    def rank(
+        self, query: QueryLike, *, budget: Optional[float] = None
+    ) -> list[tuple[int, float]]:
         """Global communities by best-backing Eq. 19 score, best first.
 
         Merged rankings sit behind a router-level LRU (on top of the
@@ -448,9 +557,10 @@ class ShardRouter:
         built with ``best_effort=True`` returns the partial merge (use
         :meth:`gather` to see the coverage envelope); the strict default
         raises :class:`DegradedError` instead, since a partial merge is
-        not the exact answer this method promises.
+        not the exact answer this method promises. ``budget`` propagates
+        a per-request deadline exactly as in :meth:`gather`.
         """
-        envelope = self.gather(query)
+        envelope = self.gather(query, budget=budget)
         if not envelope.exact and not self.best_effort:
             raise DegradedError(
                 envelope.errors
@@ -511,18 +621,21 @@ class ShardRouter:
 
     def indexed_terms(self) -> list[str]:
         """Union of the shards' indexed query terms, by merged frequency."""
-        if self._query_terms is None:
-            frequency: dict[str, int] = {}
-            for store in self.stores:
-                for query in store.indexed_queries():
-                    frequency[query.term] = frequency.get(query.term, 0) + query.frequency
-            self._query_terms = [
-                term
-                for term, _count in sorted(
-                    frequency.items(), key=lambda item: (-item[1], item[0])
-                )
-            ]
-        return list(self._query_terms)
+        with self._lock:
+            if self._query_terms is None:
+                frequency: dict[str, int] = {}
+                for store in self.stores:
+                    for query in store.indexed_queries():
+                        frequency[query.term] = (
+                            frequency.get(query.term, 0) + query.frequency
+                        )
+                self._query_terms = [
+                    term
+                    for term, _count in sorted(
+                        frequency.items(), key=lambda item: (-item[1], item[0])
+                    )
+                ]
+            return list(self._query_terms)
 
     def relevant_users(self, term: str) -> np.ndarray:
         """Global ground-truth user set ``U*_q``: union over the shards."""
@@ -539,21 +652,28 @@ class ShardRouter:
 
     def community_members(self, k: int = 5) -> list[np.ndarray]:
         """Global member user ids per *global* community (top-``k`` rule)."""
-        if k not in self._members:
-            gathered: list[list[np.ndarray]] = [
-                [] for _ in range(self.alignment.n_global)
-            ]
-            for shard_id, (store, user_map) in enumerate(
-                zip(self.stores, self.user_maps)
-            ):
-                mapping = self.alignment.local_to_global[shard_id]
-                for local_community, members in enumerate(store.community_members(k)):
-                    gathered[int(mapping[local_community])].append(user_map[members])
-            self._members[k] = [
-                np.unique(np.concatenate(parts)) if parts else np.zeros(0, dtype=np.int64)
-                for parts in gathered
-            ]
-        return self._members[k]
+        with self._lock:
+            if k not in self._members:
+                gathered: list[list[np.ndarray]] = [
+                    [] for _ in range(self.alignment.n_global)
+                ]
+                for shard_id, (store, user_map) in enumerate(
+                    zip(self.stores, self.user_maps)
+                ):
+                    mapping = self.alignment.local_to_global[shard_id]
+                    for local_community, members in enumerate(
+                        store.community_members(k)
+                    ):
+                        gathered[int(mapping[local_community])].append(
+                            user_map[members]
+                        )
+                self._members[k] = [
+                    np.unique(np.concatenate(parts))
+                    if parts
+                    else np.zeros(0, dtype=np.int64)
+                    for parts in gathered
+                ]
+            return self._members[k]
 
     def _representative_shard(self) -> np.ndarray:
         """Per global community: the shard-local backing with the most user
@@ -562,33 +682,35 @@ class ShardRouter:
         Global labels backed by several shards take their display label
         from the heaviest backing.
         """
-        if self._representative is None:
-            n_global = self.alignment.n_global
-            best_mass = np.full(n_global, -1.0)
-            representative = np.zeros((n_global, 2), dtype=np.int64)
-            for shard_id, store in enumerate(self.stores):
-                mapping = self.alignment.local_to_global[shard_id]
-                mass = store.result.pi.sum(axis=0)
-                for local_community in range(store.n_communities):
-                    g = int(mapping[local_community])
-                    if mass[local_community] > best_mass[g]:
-                        best_mass[g] = mass[local_community]
-                        representative[g] = (shard_id, local_community)
-            self._representative = representative
-        return self._representative
+        with self._lock:
+            if self._representative is None:
+                n_global = self.alignment.n_global
+                best_mass = np.full(n_global, -1.0)
+                representative = np.zeros((n_global, 2), dtype=np.int64)
+                for shard_id, store in enumerate(self.stores):
+                    mapping = self.alignment.local_to_global[shard_id]
+                    mass = store.result.pi.sum(axis=0)
+                    for local_community in range(store.n_communities):
+                        g = int(mapping[local_community])
+                        if mass[local_community] > best_mass[g]:
+                            best_mass[g] = mass[local_community]
+                            representative[g] = (shard_id, local_community)
+                self._representative = representative
+            return self._representative
 
     # ----------------------------------------------------------------- labels
 
     def labels(self, n_words: int = 3) -> list[str]:
         """Per-global-community labels, from the heaviest backing shard."""
-        if n_words not in self._labels:
-            representative = self._representative_shard()
-            shard_labels = [store.labels(n_words) for store in self.stores]
-            self._labels[n_words] = [
-                shard_labels[int(shard_id)][int(local_community)]
-                for shard_id, local_community in representative
-            ]
-        return self._labels[n_words]
+        with self._lock:
+            if n_words not in self._labels:
+                representative = self._representative_shard()
+                shard_labels = [store.labels(n_words) for store in self.stores]
+                self._labels[n_words] = [
+                    shard_labels[int(shard_id)][int(local_community)]
+                    for shard_id, local_community in representative
+                ]
+            return self._labels[n_words]
 
     # --------------------------------------------------------------- hot swap
 
@@ -599,11 +721,13 @@ class ShardRouter:
         answers — but its cumulative hit/miss counters survive for
         monitoring continuity, mirroring :meth:`ProfileStore.invalidate`.
         """
-        self._rank_cache.clear()
-        self._members.clear()
-        self._labels.clear()
-        self._representative = None
-        self._query_terms = None
+        with self._lock:
+            self._generation += 1
+            self._rank_cache.clear()
+            self._members.clear()
+            self._labels.clear()
+            self._representative = None
+            self._query_terms = None
 
     def hot_swap_shard(
         self,
@@ -632,11 +756,14 @@ class ShardRouter:
                 f"the new result has {result.n_communities} — refit the "
                 "alignment instead of hot-swapping"
             )
-        self.stores[shard_id].hot_swap(result, summary=summary, vocabulary=vocabulary)
-        self.breakers[shard_id].reset()
-        for stale_key in [k for k in self._stale if k[0] == shard_id]:
-            del self._stale[stale_key]
-        self.invalidate()
+        with self._lock:
+            self.stores[shard_id].hot_swap(
+                result, summary=summary, vocabulary=vocabulary
+            )
+            self.breakers[shard_id].reset()
+            for stale_key in [k for k in self._stale if k[0] == shard_id]:
+                del self._stale[stale_key]
+            self.invalidate()
 
 
 def build_manifest(

@@ -646,3 +646,72 @@ class TestShardQueryBestEffort:
             main([
                 "shard-query", "--manifest", str(manifest_path), "--query", term,
             ])
+
+
+class TestServeAndDoctorUrl:
+    """`repro serve` wiring and the doctor's live-gateway probe mode."""
+
+    @pytest.fixture()
+    def live_gateway(self, fitted_cpd, twitter_tiny):
+        from repro.gateway import GatewayServer, GatewayThread
+        from repro.serving import ProfileStore
+
+        graph, _truth = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            yield gateway, handle
+
+    def test_serve_parser_accepts_the_full_flag_set(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args([
+            "serve", "--model", "m.cpd.npz", "--port", "9000",
+            "--max-in-flight", "4", "--max-queue", "0",
+            "--default-deadline-ms", "250", "--best-effort",
+            "--breaker-half-open-probes", "2", "--stale-max-age", "60",
+        ])
+        assert args.command == "serve"
+        assert args.max_in_flight == 4 and args.max_queue == 0
+        assert args.default_deadline_ms == 250
+        assert args.best_effort is True
+
+    def test_doctor_probes_a_live_gateway(self, live_gateway, capsys):
+        _gateway, handle = live_gateway
+        assert main(["doctor", "--url", handle.base_url]) == 0
+        out = capsys.readouterr().out
+        assert "/health: ok (store backend)" in out
+        assert "/ready: ready" in out
+        assert "/metrics:" in out
+        assert "doctor: all checks passed" in out
+
+    def test_doctor_url_json_report(self, live_gateway, capsys):
+        import json as _json
+
+        _gateway, handle = live_gateway
+        assert main(["doctor", "--url", handle.base_url, "--json"]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        gateway_check = report["checks"]["gateway"]
+        assert gateway_check["reachable"] is True
+        assert gateway_check["ready"] is True
+        assert gateway_check["metrics"]["ok"] is True
+        assert gateway_check["degraded_shards"] == []
+
+    def test_doctor_fails_when_the_gateway_is_draining(
+        self, live_gateway, capsys
+    ):
+        gateway, handle = live_gateway
+        handle.submit(gateway.drain()).result(timeout=10)
+        # the listener is closed after drain: the probe sees UNREACHABLE
+        assert main(["doctor", "--url", handle.base_url]) == 1
+        assert "doctor: PROBLEMS FOUND" in capsys.readouterr().out
+
+    def test_doctor_unreachable_url_fails(self, capsys):
+        assert main(["doctor", "--url", "http://127.0.0.1:9"]) == 1
+        out = capsys.readouterr().out
+        assert "UNREACHABLE" in out
+        assert "doctor: PROBLEMS FOUND" in out
+
+    def test_doctor_still_demands_something_to_examine(self, capsys):
+        assert main(["doctor"]) == 1
+        assert "--url" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Admission control and request deadlines: the gateway's overload core.
+
+The admission controller's contract is exact, not statistical: at most
+``max_in_flight`` requests hold a slot at any instant, at most
+``max_queue`` wait, and everything else sheds immediately. These tests
+pin the invariant with direct coroutine choreography (no sockets).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gateway import AdmissionController, Deadline, ShedError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAcquireRelease:
+    def test_grants_immediately_under_the_limit(self):
+        async def body():
+            admission = AdmissionController(max_in_flight=2, max_queue=0)
+            await admission.acquire()
+            await admission.acquire()
+            assert admission.in_flight == 2
+            admission.release()
+            admission.release()
+            assert admission.in_flight == 0
+
+        run(body())
+
+    def test_sheds_when_slots_and_queue_are_full(self):
+        async def body():
+            admission = AdmissionController(max_in_flight=1, max_queue=0)
+            await admission.acquire()
+            with pytest.raises(ShedError) as excinfo:
+                await admission.acquire()
+            assert admission.shed == 1
+            assert excinfo.value.retry_after == 1.0
+
+        run(body())
+
+    def test_queued_request_admits_on_release_fifo(self):
+        async def body():
+            admission = AdmissionController(max_in_flight=1, max_queue=2)
+            await admission.acquire()
+            order: list[int] = []
+
+            async def waiter(tag: int) -> None:
+                await admission.acquire()
+                order.append(tag)
+                admission.release()
+
+            first = asyncio.create_task(waiter(1))
+            await asyncio.sleep(0)
+            second = asyncio.create_task(waiter(2))
+            await asyncio.sleep(0)
+            assert admission.queued == 2
+            admission.release()
+            await asyncio.gather(first, second)
+            assert order == [1, 2]
+
+        run(body())
+
+    def test_direct_handoff_never_dips_in_flight(self):
+        """A release with waiters hands the slot over atomically — the
+        in-flight count must not drop to 0 between requests (that gap is
+        exactly what would let a flood overshoot the limit)."""
+
+        async def body():
+            admission = AdmissionController(max_in_flight=1, max_queue=4)
+            await admission.acquire()
+
+            async def held() -> None:
+                await admission.acquire()
+                assert admission.in_flight == 1
+                admission.release()
+
+            task = asyncio.create_task(held())
+            await asyncio.sleep(0)
+            admission.release()
+            assert admission.in_flight == 1  # handed off, not released
+            await task
+            assert admission.in_flight == 0
+            assert admission.peak_in_flight == 1
+
+        run(body())
+
+    def test_peak_in_flight_is_an_exact_bound_under_churn(self):
+        async def body():
+            admission = AdmissionController(max_in_flight=3, max_queue=50)
+
+            async def request() -> None:
+                await admission.acquire()
+                assert admission.in_flight <= 3
+                await asyncio.sleep(0)
+                admission.release()
+
+            await asyncio.gather(*(request() for _ in range(40)))
+            assert admission.peak_in_flight <= 3
+            assert admission.admitted == 40
+            assert admission.shed == 0
+            assert admission.in_flight == 0
+
+        run(body())
+
+    def test_cancelled_waiter_leaves_the_queue(self):
+        async def body():
+            admission = AdmissionController(max_in_flight=1, max_queue=1)
+            await admission.acquire()
+            task = asyncio.create_task(admission.acquire())
+            await asyncio.sleep(0)
+            assert admission.queued == 1
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert admission.queued == 0
+            # the held slot is still intact and releasable
+            admission.release()
+            assert admission.in_flight == 0
+
+        run(body())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_in_flight"):
+            AdmissionController(max_in_flight=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            AdmissionController(max_queue=-1)
+
+
+class TestWaitIdle:
+    def test_returns_immediately_when_idle(self):
+        async def body():
+            admission = AdmissionController()
+            await asyncio.wait_for(admission.wait_idle(), timeout=1)
+
+        run(body())
+
+    def test_blocks_until_the_last_slot_releases(self):
+        async def body():
+            admission = AdmissionController(max_in_flight=2)
+            await admission.acquire()
+            await admission.acquire()
+            done = asyncio.Event()
+
+            async def drain() -> None:
+                await admission.wait_idle()
+                done.set()
+
+            task = asyncio.create_task(drain())
+            await asyncio.sleep(0)
+            admission.release()
+            await asyncio.sleep(0)
+            assert not done.is_set()  # one request still holds a slot
+            admission.release()
+            await asyncio.wait_for(task, timeout=1)
+            assert done.is_set()
+
+        run(body())
+
+
+class TestDeadline:
+    def test_no_header_no_default_is_unbounded(self):
+        deadline = Deadline.from_header(None)
+        assert deadline.cutoff is None
+        assert deadline.remaining() is None
+        assert not deadline.expired
+
+    def test_no_header_falls_back_to_the_default_budget(self):
+        ticks = [0.0]
+        deadline = Deadline.from_header(None, 0.25, clock=lambda: ticks[0])
+        assert deadline.remaining() == pytest.approx(0.25)
+        ticks[0] = 0.3
+        assert deadline.expired
+
+    def test_header_is_milliseconds(self):
+        ticks = [0.0]
+        deadline = Deadline.from_header("80", clock=lambda: ticks[0])
+        assert deadline.remaining() == pytest.approx(0.080)
+        ticks[0] = 0.081
+        assert deadline.expired
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(ValueError):
+            Deadline.from_header("soon")
+
+    def test_zero_budget_is_expired_at_birth(self):
+        assert Deadline.from_header("0").expired

@@ -1,0 +1,148 @@
+"""Micro-batching: concurrent rank calls coalesce into one fused pass."""
+
+import asyncio
+
+import pytest
+
+from repro.gateway import RankBatcher
+
+
+class RecordingRunner:
+    """A batch runner that records every batch it receives."""
+
+    def __init__(self, results=None, error=None):
+        self.calls: list[list[str]] = []
+        self.results = results or {}
+        self.error = error
+
+    async def __call__(self, queries):
+        self.calls.append(list(queries))
+        if self.error is not None:
+            raise self.error
+        return [self.results.get(q, f"rank:{q}") for q in queries]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_calls_share_one_runner_invocation(self):
+        async def body():
+            runner = RecordingRunner()
+            batcher = RankBatcher(runner, window=0.005)
+            results = await asyncio.gather(
+                batcher.rank("a"), batcher.rank("b"), batcher.rank("c")
+            )
+            assert results == ["rank:a", "rank:b", "rank:c"]
+            assert len(runner.calls) == 1
+            assert sorted(runner.calls[0]) == ["a", "b", "c"]
+            assert batcher.stats()["batches"] == 1
+            assert batcher.stats()["largest_batch"] == 3
+
+        run(body())
+
+    def test_identical_queries_deduplicate(self):
+        async def body():
+            runner = RecordingRunner()
+            batcher = RankBatcher(runner, window=0.005)
+            results = await asyncio.gather(
+                batcher.rank("a"), batcher.rank("a"), batcher.rank("a")
+            )
+            assert results == ["rank:a"] * 3
+            assert runner.calls == [["a"]]  # one backend pass for three callers
+            assert batcher.stats()["batched_queries"] == 3
+
+        run(body())
+
+    def test_full_batch_flushes_without_waiting_for_the_window(self):
+        async def body():
+            runner = RecordingRunner()
+            # a window long enough that only the max_batch flush explains
+            # the batch completing quickly
+            batcher = RankBatcher(runner, window=30.0, max_batch=2)
+            results = await asyncio.wait_for(
+                asyncio.gather(batcher.rank("a"), batcher.rank("b")),
+                timeout=5,
+            )
+            assert results == ["rank:a", "rank:b"]
+            assert len(runner.calls) == 1
+
+        run(body())
+
+    def test_sequential_calls_each_get_their_own_batch(self):
+        async def body():
+            runner = RecordingRunner()
+            batcher = RankBatcher(runner, window=0.0)
+            assert await batcher.rank("a") == "rank:a"
+            assert await batcher.rank("b") == "rank:b"
+            assert runner.calls == [["a"], ["b"]]
+
+        run(body())
+
+
+class TestFailureIsolation:
+    def test_per_query_exception_fails_only_its_own_callers(self):
+        async def body():
+            runner = RecordingRunner(
+                results={"bad": KeyError("bad is not a word")}
+            )
+            batcher = RankBatcher(runner, window=0.005)
+            good, bad = await asyncio.gather(
+                batcher.rank("good"),
+                batcher.rank("bad"),
+                return_exceptions=True,
+            )
+            assert good == "rank:good"
+            assert isinstance(bad, KeyError)
+
+        run(body())
+
+    def test_runner_crash_fails_the_whole_batch(self):
+        async def body():
+            runner = RecordingRunner(error=RuntimeError("backend died"))
+            batcher = RankBatcher(runner, window=0.005)
+            results = await asyncio.gather(
+                batcher.rank("a"), batcher.rank("b"), return_exceptions=True
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+
+        run(body())
+
+    def test_length_mismatch_is_a_loud_error(self):
+        async def body():
+            async def short_runner(queries):
+                return ["only-one"]
+
+            batcher = RankBatcher(short_runner, window=0.005)
+            results = await asyncio.gather(
+                batcher.rank("a"), batcher.rank("b"), return_exceptions=True
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert "2 queries" in str(results[0])
+
+        run(body())
+
+
+class TestDrain:
+    def test_drain_flushes_pending_queries(self):
+        async def body():
+            runner = RecordingRunner()
+            batcher = RankBatcher(runner, window=60.0)
+            task = asyncio.create_task(batcher.rank("a"))
+            await asyncio.sleep(0)
+            await batcher.drain()
+            assert await asyncio.wait_for(task, timeout=5) == "rank:a"
+
+        run(body())
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        async def noop(queries):
+            return list(queries)
+
+        with pytest.raises(ValueError, match="max_batch"):
+            RankBatcher(noop, max_batch=0)
+        with pytest.raises(ValueError, match="window"):
+            RankBatcher(noop, window=-0.1)

@@ -1,0 +1,212 @@
+"""Deadline propagation: the request budget reaches every shard decision.
+
+The tentpole guarantee: a request with 80ms left must never trigger a
+500ms shard retry. The budget flows header -> Deadline -> gather(budget)
+-> per-shard cutoff, and expiry at any stage degrades (or rejects)
+instead of burning time the client has already written off.
+"""
+
+import time
+
+import pytest
+
+from repro.gateway import Deadline, GatewayServer, GatewayThread
+from repro.resilience import FaultPlan, inject
+from repro.serving import ProfileStore
+from repro.shard import ShardRouter
+
+
+def _router(fit, clock=None, **options):
+    if clock is not None:
+        options["clock"] = clock
+    return ShardRouter(
+        [
+            ProfileStore.from_fit(result, part.graph)
+            for result, part in zip(fit.results, fit.plan.shards)
+        ],
+        [part.users for part in fit.plan.shards],
+        fit.alignment,
+        **options,
+    )
+
+
+class TestRouterBudget:
+    def test_pre_expired_budget_reaches_no_shard(self, sharded_parity):
+        """budget=0: every shard is skipped before its call — the stores
+        are never consulted at all (the spy would have recorded it)."""
+        router = _router(sharded_parity, best_effort=True)
+        calls: list[int] = []
+        for shard_id, store in enumerate(router.stores):
+            original = store.rank
+
+            def spying(query, _original=original, _sid=shard_id):
+                calls.append(_sid)
+                return _original(query)
+
+            store.rank = spying
+        term = router.indexed_terms()[0]
+        envelope = router.gather(term, budget=0.0)
+        assert calls == []
+        assert envelope.ranking == []
+        assert envelope.coverage == 0.0
+        assert set(envelope.failed) == {0, 1}
+        assert all(
+            "deadline expired before the shard call" in reason
+            for reason in envelope.errors.values()
+        )
+
+    def test_mid_gather_expiry_degrades_and_caches_nothing(
+        self, sharded_parity
+    ):
+        """The budget runs out between shard 0 and shard 1 (the fake
+        clock charges 1s per shard call): the answer is a partial merge
+        and the merged-rank cache stays empty — a deadline-truncated
+        ranking must never be served as exact later."""
+        ticks = [0.0]
+        router = _router(
+            sharded_parity, best_effort=True, clock=lambda: ticks[0]
+        )
+        for store in router.stores:
+            original = store.rank
+
+            def slow(query, _original=original):
+                ticks[0] += 1.0
+                return _original(query)
+
+            store.rank = slow
+        term = router.indexed_terms()[0]
+        envelope = router.gather(term, budget=1.5)
+        assert envelope.answered == [0]
+        assert envelope.failed == [1]
+        assert not envelope.exact
+        assert envelope.ranking  # shard 0's contribution still serves
+        # shard 1 was either skipped outright or attempted under the
+        # truncated per-call deadline and charged post-hoc — both are
+        # deadline failures, never a silent full-length call
+        assert "deadline" in envelope.errors[1]
+        assert router.cache_info()["router"]["size"] == 0
+
+    def test_tight_budget_abandons_the_retry_backoff(self, sharded_parity):
+        """retries=1 with backoff=0.5 would normally sleep 500ms before
+        the second attempt; an 80ms budget must skip that sleep (wall
+        time bounds it) and report the retry as unaffordable."""
+        plan = FaultPlan(seed=0)
+        plan.fail_at("shard.query", at=1, times=1, shard=0)
+        router = _router(
+            sharded_parity, best_effort=True, retries=1, backoff=0.5
+        )
+        term = router.indexed_terms()[0]
+        started = time.perf_counter()
+        with inject(plan):
+            envelope = router.gather(term, budget=0.080)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 0.4  # no 500ms backoff happened
+        assert envelope.failed == [0]
+        assert "no budget left to retry" in envelope.errors[0]
+        # the breaker records the genuine failure, not the budget decision
+        assert router.breakers[0].consecutive_failures == 1
+
+    def test_deadline_skip_does_not_penalise_the_breaker(self, sharded_parity):
+        """A shard skipped for lack of budget never got a chance to fail:
+        its breaker must stay closed with zero recorded failures."""
+        router = _router(
+            sharded_parity, best_effort=True, breaker_threshold=1
+        )
+        term = router.indexed_terms()[0]
+        router.gather(term, budget=0.0)
+        assert all(b.state == "closed" for b in router.breakers)
+        assert all(b.consecutive_failures == 0 for b in router.breakers)
+
+    def test_generous_budget_stays_exact(self, sharded_parity):
+        router = _router(sharded_parity, best_effort=True)
+        term = router.indexed_terms()[0]
+        envelope = router.gather(term, budget=30.0)
+        assert envelope.exact
+        assert envelope.ranking == router.rank(term)
+
+
+class TestGatewayDeadlineHTTP:
+    """The header-to-budget path through a live gateway socket."""
+
+    @pytest.fixture()
+    def spy_store(self, fitted_cpd, twitter_tiny):
+        graph, _truth = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        calls: list[str] = []
+        original = store.rank
+
+        def spying(query):
+            calls.append(query)
+            return original(query)
+
+        store.rank = spying
+        return store, calls, graph.vocabulary.word_of(0)
+
+    def test_pre_expired_deadline_rejects_before_any_backend_call(
+        self, spy_store
+    ):
+        store, calls, term = spy_store
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            status, _headers, body = handle.get(
+                f"/rank?q={term}", headers={"X-Deadline-Ms": "0"}
+            )
+        assert status == 504
+        assert "at admission" in body["error"]
+        assert calls == []
+        assert gateway.stats()["deadline_rejects"] == 1
+
+    def test_roomy_deadline_serves_normally(self, spy_store):
+        store, calls, term = spy_store
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            status, headers, body = handle.get(
+                f"/rank?q={term}", headers={"X-Deadline-Ms": "30000"}
+            )
+        assert status == 200
+        assert headers["X-Repro-Exact"] == "1"
+        assert body["ranking"]
+        assert calls == [term]  # deadline requests bypass the batcher
+
+    def test_malformed_deadline_header_is_a_client_error(self, spy_store):
+        store, calls, term = spy_store
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            status, _headers, body = handle.get(
+                f"/rank?q={term}", headers={"X-Deadline-Ms": "soon"}
+            )
+        assert status == 400
+        assert "x-deadline-ms" in body["error"]
+        assert calls == []
+
+    def test_strict_router_degradation_is_a_structured_503(
+        self, sharded_parity
+    ):
+        """best_effort=False: a failing shard surfaces as a 503 whose body
+        names the shards and reasons — not a bare 500."""
+        router = _router(
+            sharded_parity, retries=0, breaker_threshold=1
+        )
+        plan = FaultPlan(seed=0)
+        plan.fail_at("shard.query", at=1, times=10_000, shard=0)
+        term = router.indexed_terms()[0]
+        gateway = GatewayServer(router, port=0)
+        with GatewayThread(gateway) as handle:
+            with inject(plan):
+                status, _headers, body = handle.get(f"/rank?q={term}")
+        assert status == 503
+        assert body["error"] == "degraded"
+        assert "0" in body["failed"]
+        assert "InjectedFault" in body["failed"]["0"]
+
+
+class TestDeadlineUnit:
+    def test_remaining_decreases_with_the_clock(self):
+        ticks = [10.0]
+        deadline = Deadline(0.5, clock=lambda: ticks[0])
+        assert deadline.remaining() == pytest.approx(0.5)
+        ticks[0] = 10.4
+        assert deadline.remaining() == pytest.approx(0.1)
+        assert not deadline.expired
+        ticks[0] = 10.5
+        assert deadline.expired

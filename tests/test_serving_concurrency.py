@@ -1,0 +1,142 @@
+"""Thread-safety of the serving layer under the gateway's executor.
+
+The gateway runs store/router calls on a thread pool, so concurrent rank
+calls, memo builds and hot swaps must be safe. These tests hammer the
+structures from many threads and pin that the answers match single-thread
+service exactly — a lock bug here shows up as a torn memo or a wrong
+ranking, not (only) as a crash.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serving import ProfileStore
+from repro.shard import ShardRouter
+
+
+@pytest.fixture()
+def store(fitted_cpd, twitter_tiny):
+    """A fresh (cold-cache) store per test: builds race only on first use."""
+    graph, _truth = twitter_tiny
+    return ProfileStore.from_fit(fitted_cpd, graph)
+
+
+@pytest.fixture()
+def terms(store):
+    return list(store.query_index())[:8]
+
+
+class TestConcurrentRank:
+    def test_eight_thread_hammer_matches_serial_answers(self, store, terms):
+        """The satellite regression test: 8 threads x 50 ranks on a cold
+        store — every answer must equal the serial one."""
+        serial = {term: store.rank(term) for term in terms}
+        cold = ProfileStore.from_fit(store.result, store.graph)
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(50):
+                    term = terms[(seed + i) % len(terms)]
+                    assert cold.rank(term) == serial[term]
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+
+    def test_concurrent_memo_builds_are_consistent(self, store):
+        """First-touch memo builds (labels, members, popularity) raced
+        from many threads must all see one coherent value."""
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            labels = list(pool.map(lambda _: store.labels(3), range(16)))
+            members = list(
+                pool.map(lambda _: store.community_members(3), range(16))
+            )
+        assert all(l == labels[0] for l in labels)
+        first = members[0]
+        for other in members:
+            assert all(
+                (a == b).all() for a, b in zip(first, other)
+            )
+
+    def test_rank_many_matches_rank(self, store, terms):
+        batch = store.rank_many(terms + terms[:3])  # duplicates batch fine
+        for term, ranking in zip(terms + terms[:3], batch):
+            assert ranking == store.rank(term)
+
+    def test_rank_many_rejects_unknown_terms_wholesale(self, store, terms):
+        with pytest.raises(KeyError):
+            store.rank_many([terms[0], "zzz-not-a-word"])
+
+
+class TestConcurrentHotSwap:
+    def test_rank_during_hot_swap_never_tears(self, store, terms, fitted_cpd):
+        """Readers racing a hot swap observe old-or-new answers, never an
+        exception or a mixture (same result swapped in: answers must stay
+        byte-identical throughout)."""
+        serial = {term: store.rank(term) for term in terms}
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    for term in terms:
+                        assert store.rank(term) == serial[term]
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(10):
+                store.hot_swap(fitted_cpd)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert errors == []
+
+
+class TestConcurrentRouter:
+    def test_eight_thread_router_hammer(self, sharded_parity):
+        router = ShardRouter(
+            [
+                ProfileStore.from_fit(result, part.graph)
+                for result, part in zip(
+                    sharded_parity.results, sharded_parity.plan.shards
+                )
+            ],
+            [part.users for part in sharded_parity.plan.shards],
+            sharded_parity.alignment,
+        )
+        terms = router.indexed_terms()[:4]
+        serial = {term: router.rank(term) for term in terms}
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(25):
+                    term = terms[(seed + i) % len(terms)]
+                    assert router.rank(term) == serial[term]
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []

@@ -355,3 +355,38 @@ class TestInvalidateAndHotSwap:
         )
         with pytest.raises(ValueError, match="extended summary"):
             store.hot_swap(grown)
+
+
+class TestRankMany:
+    """The gateway's fused batch path: one matmul for many queries."""
+
+    def test_batch_matches_individual_ranks(self, fitted_store):
+        terms = list(fitted_store.query_index())[:6]
+        batch = fitted_store.rank_many(terms)
+        for term, ranking in zip(terms, batch):
+            assert ranking == fitted_store.rank(term)
+
+    def test_duplicates_and_cache_hits_are_positioned_correctly(
+        self, fitted_store, a_term
+    ):
+        fitted_store.rank(a_term)  # warm the LRU for one of the three
+        other = next(
+            t for t in fitted_store.query_index() if t != a_term
+        )
+        batch = fitted_store.rank_many([a_term, other, a_term])
+        assert batch[0] == batch[2] == fitted_store.rank(a_term)
+        assert batch[1] == fitted_store.rank(other)
+
+    def test_unknown_term_raises_before_any_compute(self, fitted_store):
+        with pytest.raises(KeyError, match="vocabulary"):
+            fitted_store.rank_many(["zzz-never-a-word"])
+
+    def test_batch_populates_the_rank_cache(self, fitted_cpd, twitter_tiny):
+        graph, _truth = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        terms = list(store.query_index())[:4]
+        store.rank_many(terms)
+        assert store.cache_info()["size"] >= len(terms)
+        before = store.cache_info()["misses"]
+        store.rank(terms[0])  # a hit, not a recompute
+        assert store.cache_info()["misses"] == before

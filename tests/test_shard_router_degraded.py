@@ -278,3 +278,121 @@ class TestObservabilityWhileTripped:
         envelope = router.gather(term)
         assert envelope.exact
         assert router.breakers[3].state == CLOSED
+
+
+class TestBreakerTuning:
+    """ISSUE 9 satellites: half-open probe count and stale max-age are
+    configurable per deployment, threaded through the router kwargs."""
+
+    def test_two_probes_required_before_reclosing(self, four_shard):
+        ticks = [0.0]
+        router = _router(
+            four_shard,
+            best_effort=True,
+            retries=0,
+            breaker_threshold=1,
+            breaker_cooldown=10.0,
+            breaker_half_open_probes=2,
+            clock=lambda: ticks[0],
+        )
+        # distinct terms per probe: a repeat would hit the merged-rank
+        # cache and never scatter, so the breaker would see no probe
+        term_a, term_b = router.indexed_terms()[:2]
+        with inject(_always_fail(3)):
+            router.gather(term_a)
+        assert router.breakers[3].state == OPEN
+        ticks[0] = 11.0  # past the cooldown: probes go through
+        assert router.gather(term_b).exact
+        # one good probe is not enough at half_open_probes=2
+        assert router.breakers[3].state == "half-open"
+        assert router.breakers[3].info()["probe_successes"] == 1
+        router.invalidate()
+        assert router.gather(term_a).exact
+        assert router.breakers[3].state == CLOSED
+
+    def test_failed_probe_resets_the_success_streak(self, four_shard):
+        ticks = [0.0]
+        router = _router(
+            four_shard,
+            best_effort=True,
+            retries=0,
+            breaker_threshold=1,
+            breaker_cooldown=10.0,
+            breaker_half_open_probes=2,
+            clock=lambda: ticks[0],
+        )
+        term_a, term_b = router.indexed_terms()[:2]
+        with inject(_always_fail(3)):
+            router.gather(term_a)
+        ticks[0] = 11.0
+        router.gather(term_b)  # probe 1 succeeds
+        assert router.breakers[3].info()["probe_successes"] == 1
+        ticks[0] = 12.0
+        router.invalidate()
+        with inject(_always_fail(3)):
+            router.gather(term_a)  # probe 2 fails: back to open, streak reset
+        assert router.breakers[3].state == OPEN
+        ticks[0] = 23.0
+        router.invalidate()
+        router.gather(term_b)
+        assert router.breakers[3].info()["probe_successes"] == 1  # restarted
+
+    def test_probe_count_validated(self, four_shard):
+        with pytest.raises(ValueError, match="half_open_probes"):
+            _router(four_shard, breaker_half_open_probes=0)
+
+    def test_kwargs_pass_through_sharded_fit_router(self, four_shard):
+        router = four_shard.router(
+            best_effort=True,
+            breaker_half_open_probes=3,
+            stale_max_age=42.0,
+        )
+        assert router.best_effort is True
+        assert router.stale_max_age == 42.0
+        assert all(b.half_open_probes == 3 for b in router.breakers)
+
+
+class TestStaleMaxAge:
+    def test_expired_stale_entries_are_dropped_not_served(self, four_shard):
+        """A last-known ranking older than stale_max_age is too stale to
+        serve: the shard reports as failed, not stale."""
+        ticks = [0.0]
+        router = _router(
+            four_shard,
+            best_effort=True,
+            retries=0,
+            breaker_threshold=1,
+            stale_max_age=60.0,
+            clock=lambda: ticks[0],
+        )
+        term = router.indexed_terms()[0]
+        assert router.gather(term).exact  # primes the stale cache at t=0
+        router.invalidate()  # drop the exact merge, keep the stale entries
+        ticks[0] = 61.0  # past the max age
+        with inject(_always_fail(1)):
+            envelope = router.gather(term)
+        assert envelope.stale == []
+        assert envelope.failed == [1]
+
+    def test_fresh_stale_entries_still_serve(self, four_shard):
+        ticks = [0.0]
+        router = _router(
+            four_shard,
+            best_effort=True,
+            retries=0,
+            breaker_threshold=1,
+            stale_max_age=60.0,
+            clock=lambda: ticks[0],
+        )
+        term = router.indexed_terms()[0]
+        assert router.gather(term).exact
+        router.invalidate()
+        ticks[0] = 59.0  # inside the window
+        with inject(_always_fail(1)):
+            envelope = router.gather(term)
+        assert envelope.stale == [1]
+        assert envelope.coverage == 1.0
+
+    def test_stale_max_age_validated(self, four_shard):
+        with pytest.raises(ValueError, match="stale_max_age"):
+            _router(four_shard, stale_max_age=-1.0)
