@@ -12,8 +12,14 @@ sweep + both Pólya-Gamma augmentation draws) on the twitter scenario:
 * **enabled**  — telemetry on: the wrapper records per-sweep histograms
   and counters into the live registry.
 
+A second leg prices the request-scoped layer (ISSUE 10): the same
+closed-loop gateway workload with everything off versus access logging,
+tail-sampled tracing and the stdlib :class:`~repro.obs.SamplingProfiler`
+all on at once.
+
 Contracts (demoted to warnings by ``REPRO_BENCH_SMOKE=1``): the disabled
-guard costs at most 1% over raw, the enabled path at most 5%. Results are
+guard costs at most 1% over raw, the enabled path at most 5%, and the
+fully loaded gateway path at most 5% over its baseline. Results are
 printed, persisted under ``benchmarks/results/`` and — as the cross-PR
 observability trajectory record — written to ``BENCH_obs.json`` at the
 repository root.
@@ -21,17 +27,33 @@ repository root.
 
 import json
 import time
+from http.client import HTTPConnection
 from pathlib import Path
 
-from bench_support import contract, cpd_config, format_table, get_scenario, report
+from bench_support import (
+    SMOKE_MODE,
+    contract,
+    cpd_config,
+    format_table,
+    get_fitted,
+    get_scenario,
+    report,
+)
 from repro import obs
 from repro.core import DiffusionParameters
 from repro.core.gibbs import CPDSampler
+from repro.gateway import GatewayServer, GatewayThread
+from repro.serving import ProfileStore
 
 N_COMMUNITIES = 6
 #: timed iterations per round; best-of-rounds tames scheduler jitter
 SWEEPS_PER_ROUND = 2
 ROUNDS = 5
+
+#: gateway leg shape — one keep-alive closed loop, best-of-rounds rps
+GATEWAY_DURATION = 0.5 if SMOKE_MODE else 2.0
+GATEWAY_ROUNDS = 3
+GATEWAY_QUERIES = 8
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
@@ -91,8 +113,76 @@ def _measure() -> dict:
     }
 
 
+def _closed_loop_rps(gateway, terms) -> float:
+    """Best-of-rounds requests/second through one keep-alive client."""
+    best = 0.0
+    with GatewayThread(gateway):
+        connection = HTTPConnection(gateway.host, gateway.port, timeout=30)
+        try:
+            for term in terms:  # warm-up: prime caches and the batcher
+                connection.request("GET", f"/rank?q={term}")
+                connection.getresponse().read()
+            for _ in range(GATEWAY_ROUNDS):
+                count = 0
+                started = time.perf_counter()
+                cutoff = started + GATEWAY_DURATION
+                while time.perf_counter() < cutoff:
+                    term = terms[count % len(terms)]
+                    connection.request("GET", f"/rank?q={term}")
+                    response = connection.getresponse()
+                    response.read()
+                    assert response.status == 200, response.status
+                    count += 1
+                best = max(best, count / (time.perf_counter() - started))
+        finally:
+            connection.close()
+    return best
+
+
+def _measure_gateway() -> dict:
+    """Closed-loop gateway rps: bare versus the full request-scoped stack.
+
+    The loaded run turns on everything ISSUE 10 added at once — telemetry
+    with tracing, the structured access log, tail sampling and a live
+    5 ms sampling profiler — so the contract prices the worst case a
+    production deployment would actually run.
+    """
+    graph, _ = get_scenario("twitter")
+    result = get_fitted("twitter", "CPD", N_COMMUNITIES).result
+    store = ProfileStore.from_fit(result, graph)
+    terms = [q.term for q in store.indexed_queries(GATEWAY_QUERIES)]
+    assert terms, "benchmark scenario must index queries"
+
+    obs.disable_telemetry()
+    baseline = _closed_loop_rps(
+        GatewayServer(store, port=0, access_log_capacity=0), terms
+    )
+
+    obs.enable_telemetry()
+    profiler = obs.SamplingProfiler(interval=0.005)
+    profiler.start()
+    try:
+        loaded = _closed_loop_rps(GatewayServer(store, port=0), terms)
+    finally:
+        profiler.stop()
+        obs.get_sink().clear()
+        obs.disable_telemetry()
+
+    return {
+        "baseline_rps": baseline,
+        "loaded_rps": loaded,
+        "loaded_overhead": baseline / loaded - 1.0 if loaded else float("inf"),
+        "duration_seconds": GATEWAY_DURATION,
+        "bench_rounds": GATEWAY_ROUNDS,
+        "profiler": profiler.stats(),
+    }
+
+
 def test_obs_overhead(benchmark):
-    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    def _both():
+        return {**_measure(), "gateway": _measure_gateway()}
+
+    measured = benchmark.pedantic(_both, rounds=1, iterations=1)
     payload = {
         "scenario": "twitter",
         "n_communities": N_COMMUNITIES,
@@ -107,12 +197,23 @@ def test_obs_overhead(benchmark):
         ["telemetry disabled", measured["disabled_seconds"], measured["disabled_overhead"]],
         ["telemetry enabled", measured["enabled_seconds"], measured["enabled_overhead"]],
     ]
+    gateway = measured["gateway"]
+    gateway_rows = [
+        ["gateway bare", gateway["baseline_rps"], 0.0],
+        ["gateway fully loaded", gateway["loaded_rps"], gateway["loaded_overhead"]],
+    ]
     report(
         "obs_overhead",
         format_table(
             "Telemetry overhead on the Fig. 10 E-step iteration (twitter)",
             ["path", "seconds/iteration", "overhead"],
             rows,
+        )
+        + "\n"
+        + format_table(
+            "Request-scoped stack on the closed-loop gateway (rank route)",
+            ["path", "requests/second", "overhead"],
+            gateway_rows,
         ),
     )
     # every enabled-path sweep must have landed in the registry
@@ -128,4 +229,14 @@ def test_obs_overhead(benchmark):
     contract(
         measured["enabled_overhead"] <= 0.05,
         f'enabled overhead {measured["enabled_overhead"]:.2%} <= 5%',
+    )
+    # the profiler must actually have sampled while the loaded leg ran
+    contract(
+        gateway["profiler"]["samples"] > 0,
+        "sampling profiler captured stacks during the loaded gateway leg",
+    )
+    # access log + tracing + profiler together stay within the 5% budget
+    contract(
+        gateway["loaded_overhead"] <= 0.05,
+        f'gateway loaded overhead {gateway["loaded_overhead"]:.2%} <= 5%',
     )

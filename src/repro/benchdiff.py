@@ -1,0 +1,168 @@
+"""Compare two benchmark result files (``BENCH_*.json``) metric by metric.
+
+The benchmarks write nested JSON payloads whose numeric leaves are the
+metrics (``results.enabled_overhead``, ``legs.store.p99`` …). This module
+flattens both files to dotted paths, pairs them up, and classifies each
+delta — so ``repro bench-diff old.json new.json`` can answer the only
+question a perf PR actually has: *did anything get meaningfully worse?*
+
+Direction is inferred from the metric name (``*_per_second`` up is good,
+``*_seconds`` down is good); metrics whose direction is not recognisably
+either are reported as informational and never fail the diff. The
+``threshold`` is a relative fraction: a recognised metric that moves
+against its direction by more than the threshold is a **regression**, and
+the CLI exits non-zero so a CI step can gate (or merely warn) on it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["flatten_metrics", "metric_direction", "diff_benchmarks",
+           "render_diff"]
+
+#: substrings marking a metric where *larger* is better — checked first,
+#: so ``rank_per_second`` wins over the ``seconds`` rule below
+_HIGHER_BETTER = (
+    "per_second", "per_sec", "throughput", "qps", "speedup",
+    "agreement", "nmi", "hits", "coverage", "kept", "exact", "healed",
+)
+
+#: substrings marking a metric where *smaller* is better
+_LOWER_BETTER = (
+    "seconds", "latency", "p50", "p90", "p95", "p99", "overhead",
+    "bytes", "rss", "wait", "dropped", "failures", "shed", "errors",
+)
+
+
+def flatten_metrics(payload, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested payload as ``{"a.b.c": value}``.
+
+    Booleans are not metrics (``exact: true`` is a flag, not a scale) and
+    lists are positional — both are skipped.
+    """
+    flat: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_metrics(value, path))
+    elif isinstance(payload, bool):
+        pass
+    elif isinstance(payload, (int, float)):
+        flat[prefix] = float(payload)
+    return flat
+
+
+def metric_direction(path: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` = which way is better; ``None`` = unknown."""
+    lowered = path.lower()
+    for marker in _HIGHER_BETTER:
+        if marker in lowered:
+            return "higher"
+    for marker in _LOWER_BETTER:
+        if marker in lowered:
+            return "lower"
+    return None
+
+
+def diff_benchmarks(old: dict, new: dict, threshold: float = 0.05) -> dict:
+    """The full comparison report for two benchmark payloads.
+
+    Each shared metric yields one entry with the old/new values, the
+    relative change and a verdict: ``regression`` / ``improvement`` (a
+    recognised-direction move beyond ``threshold``), ``unchanged`` (within
+    it), or ``info`` (direction unknown — never gates).
+    """
+    if threshold < 0:
+        raise ValueError("threshold cannot be negative")
+    old_flat = flatten_metrics(old)
+    new_flat = flatten_metrics(new)
+    entries = []
+    for path in sorted(old_flat.keys() & new_flat.keys()):
+        old_value = old_flat[path]
+        new_value = new_flat[path]
+        delta = new_value - old_value
+        if old_value != 0:
+            relative = delta / abs(old_value)
+        else:
+            relative = 0.0 if delta == 0 else float("inf")
+        direction = metric_direction(path)
+        if direction is None:
+            verdict = "info"
+        elif abs(relative) <= threshold:
+            verdict = "unchanged"
+        elif (relative > 0) == (direction == "higher"):
+            verdict = "improvement"
+        else:
+            verdict = "regression"
+        entries.append({
+            "metric": path,
+            "old": old_value,
+            "new": new_value,
+            "delta": delta,
+            "relative": relative,
+            "direction": direction,
+            "verdict": verdict,
+        })
+    counts = {"regression": 0, "improvement": 0, "unchanged": 0, "info": 0}
+    for entry in entries:
+        counts[entry["verdict"]] += 1
+    return {
+        "threshold": threshold,
+        "compared": len(entries),
+        "only_old": sorted(old_flat.keys() - new_flat.keys()),
+        "only_new": sorted(new_flat.keys() - old_flat.keys()),
+        "counts": counts,
+        "entries": entries,
+        "regressions": [
+            e["metric"] for e in entries if e["verdict"] == "regression"
+        ],
+    }
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_diff(report: dict, *, verbose: bool = False) -> list[str]:
+    """Printable lines for one report (regressions always, rest opt-in)."""
+    lines = [
+        f"{report['compared']} shared metric(s), threshold "
+        f"{report['threshold']:.1%}: "
+        f"{report['counts']['regression']} regression(s), "
+        f"{report['counts']['improvement']} improvement(s), "
+        f"{report['counts']['unchanged']} unchanged, "
+        f"{report['counts']['info']} informational"
+    ]
+    for entry in report["entries"]:
+        if not verbose and entry["verdict"] not in (
+            "regression", "improvement"
+        ):
+            continue
+        arrow = {"regression": "worse", "improvement": "better"}.get(
+            entry["verdict"], entry["direction"] or "n/a"
+        )
+        relative = entry["relative"]
+        relative_text = (
+            "inf" if relative in (float("inf"), float("-inf"))
+            else f"{relative:+.1%}"
+        )
+        lines.append(
+            f"  {entry['verdict']:<11} {entry['metric']}: "
+            f"{_format_value(entry['old'])} -> "
+            f"{_format_value(entry['new'])} ({relative_text}, {arrow})"
+        )
+    for path in report["only_old"]:
+        lines.append(f"  removed     {path}")
+    for path in report["only_new"]:
+        lines.append(f"  added       {path}")
+    return lines
+
+
+def load_bench(path) -> dict:
+    """One benchmark payload off disk (the CLI entry point's loader)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -124,6 +124,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "file on exit; inspect it with `repro top` / `repro trace`",
         )
 
+    def _add_profile_arg(sub) -> None:
+        sub.add_argument(
+            "--profile", default=None, metavar="PATH",
+            help="run the stdlib sampling profiler for this command and "
+            "write flamegraph-compatible folded stacks to this file on "
+            "exit (feed it to flamegraph.pl / speedscope)",
+        )
+
     generate = commands.add_parser("generate", help="generate a synthetic scenario graph")
     generate.add_argument(
         "--scenario", choices=("twitter", "dblp", "separated"), default="twitter"
@@ -154,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fit.add_argument("--out", required=True, help="output path (.cpd.npz)")
     _add_telemetry_arg(fit)
+    _add_profile_arg(fit)
 
     evaluate = commands.add_parser("evaluate", help="score a fitted model")
     evaluate.add_argument("--graph", required=True)
@@ -199,6 +208,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-queries", type=int, default=32, help="workload size cap")
     bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
     _add_telemetry_arg(bench)
+    _add_profile_arg(bench)
 
     info = commands.add_parser("info", help="inspect an artifact (version, dims, payloads)")
     info.add_argument("--model", required=True)
@@ -258,6 +268,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_stream_args(sbench)
     sbench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
     _add_telemetry_arg(sbench)
+    _add_profile_arg(sbench)
 
     shard_fit = commands.add_parser(
         "shard-fit",
@@ -334,6 +345,7 @@ def _build_parser() -> argparse.ArgumentParser:
     shard_bench.add_argument("--seed", type=int, default=0)
     shard_bench.add_argument("--json", dest="json_out", default=None, help="also write a JSON record")
     _add_telemetry_arg(shard_bench)
+    _add_profile_arg(shard_bench)
 
     serve = commands.add_parser(
         "serve",
@@ -383,6 +395,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--query-cache-size", type=int, default=1024,
         help="per-store LRU size for ranking results",
     )
+    observability = serve.add_argument_group("request-scoped observability")
+    observability.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="also append each access record as one JSON line to this file "
+        "(the in-memory ring is always on)",
+    )
+    observability.add_argument(
+        "--access-log-capacity", type=int, default=2048,
+        help="in-memory access record ring size (0 disables access logging)",
+    )
+    observability.add_argument(
+        "--tail-quantile", type=float, default=0.9,
+        help="tail-sampling latency quantile: span trees of requests slower "
+        "than this trailing percentile are kept (errors and followed "
+        "trace ids are always kept)",
+    )
+    observability.add_argument(
+        "--slo-availability-target", type=float, default=0.999,
+        help="availability objective (fraction of requests not failing 5xx)",
+    )
+    observability.add_argument(
+        "--slo-latency-target", type=float, default=0.99,
+        help="latency objective (fraction of successes within the threshold)",
+    )
+    observability.add_argument(
+        "--slo-latency-ms", type=float, default=250.0,
+        help="latency threshold for the latency objective, milliseconds",
+    )
+    _add_profile_arg(serve)
     router_policy = serve.add_argument_group(
         "router policy (shard manifests only)"
     )
@@ -466,11 +507,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     trace = commands.add_parser(
-        "trace", help="dump reconstructed span trees from a telemetry snapshot"
+        "trace",
+        help="dump reconstructed span trees from a telemetry snapshot or a "
+        "live gateway",
     )
     trace.add_argument(
-        "--telemetry", required=True, metavar="PATH",
+        "--telemetry", default=None, metavar="PATH",
         help="telemetry JSON file written by a --telemetry run",
+    )
+    trace.add_argument(
+        "--url", default=None, metavar="URL",
+        help="read spans from a live gateway's /trace endpoint instead "
+        "(pair with --trace-id to follow one request by its "
+        "X-Repro-Trace response header)",
     )
     trace.add_argument(
         "--trace-id", default=None, help="only render the tree(s) of this trace id"
@@ -481,6 +530,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--limit", type=int, default=None, help="render at most this many trees (newest last)"
+    )
+
+    slo = commands.add_parser(
+        "slo",
+        help="summarise a live gateway's SLO burn rates (per route, per "
+        "objective, per window)",
+    )
+    slo.add_argument(
+        "--url", required=True, metavar="URL",
+        help="base URL of a running `repro serve` gateway",
+    )
+    slo.add_argument(
+        "--json", action="store_true",
+        help="emit the raw /slo payload instead of the summary table",
+    )
+
+    bench_diff = commands.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json files; exit non-zero when a "
+        "recognised metric regressed past the threshold",
+    )
+    bench_diff.add_argument("old", help="baseline benchmark JSON file")
+    bench_diff.add_argument("new", help="candidate benchmark JSON file")
+    bench_diff.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative change beyond which a directional metric counts as "
+        "a regression/improvement (default 5%%)",
+    )
+    bench_diff.add_argument(
+        "--verbose", action="store_true",
+        help="also list unchanged and informational metrics",
+    )
+    bench_diff.add_argument(
+        "--json", action="store_true",
+        help="emit the full comparison report as JSON",
     )
     return parser
 
@@ -536,6 +620,32 @@ def _telemetry_end(path: str | None, out) -> None:
     obs.write_telemetry(path, obs.get_registry().snapshot(), obs.get_sink().export())
     obs.disable_telemetry()
     print(f"wrote telemetry to {path}", file=out)
+
+
+def _profile_begin(args):
+    """Start the sampling profiler when the command carries ``--profile``.
+
+    Returns the running profiler (or ``None``), for :func:`_profile_end`.
+    """
+    path = getattr(args, "profile", None)
+    if not path:
+        return None
+    return obs.SamplingProfiler().start()
+
+
+def _profile_end(profiler, args, out) -> None:
+    """Stop the profiler and write the folded stacks (``finally`` path)."""
+    if profiler is None:
+        return
+    profiler.stop()
+    stats = profiler.stats()
+    lines = profiler.write(args.profile)
+    print(
+        f"wrote {lines} folded stack(s) to {args.profile} "
+        f"({stats['samples']} samples over "
+        f"{stats['duration_seconds']:.1f}s)",
+        file=out,
+    )
 
 
 def _metric_key(entry: dict) -> str:
@@ -637,9 +747,11 @@ def run_generate(args, out=None) -> int:
 def run_fit(args, out=None) -> int:
     out = out or sys.stdout
     telemetry = _telemetry_begin(args)
+    profiler = _profile_begin(args)
     try:
         return _run_fit(args, out)
     finally:
+        _profile_end(profiler, args, out)
         _telemetry_end(telemetry, out)
 
 
@@ -793,9 +905,11 @@ def run_visualize(args, out=None) -> int:
 def run_serve_bench(args, out=None) -> int:
     out = out or sys.stdout
     telemetry = _telemetry_begin(args)
+    profiler = _profile_begin(args)
     try:
         return _run_serve_bench(args, out)
     finally:
+        _profile_end(profiler, args, out)
         _telemetry_end(telemetry, out)
 
 
@@ -1206,9 +1320,11 @@ def _run_stream_replay(args, out) -> int:
 def run_stream_bench(args, out=None) -> int:
     out = out or sys.stdout
     telemetry = _telemetry_begin(args)
+    profiler = _profile_begin(args)
     try:
         return _run_stream_bench(args, out)
     finally:
+        _profile_end(profiler, args, out)
         _telemetry_end(telemetry, out)
 
 
@@ -1392,9 +1508,11 @@ def _run_shard_query(args, out) -> int:
 def run_shard_bench(args, out=None) -> int:
     out = out or sys.stdout
     telemetry = _telemetry_begin(args)
+    profiler = _profile_begin(args)
     try:
         return _run_shard_bench(args, out)
     finally:
+        _profile_end(profiler, args, out)
         _telemetry_end(telemetry, out)
 
 
@@ -1500,7 +1618,8 @@ def run_serve(args, out=None) -> int:
             return 1
         say(f"opened artifact {args.model}: {backend.n_communities} communities")
 
-    # live /metrics needs the real registry, not the null one
+    # live /metrics needs the real registry, not the null one — and /trace
+    # needs the live sink for tail-sampled request trees
     obs.enable_telemetry()
     gateway = GatewayServer(
         backend,
@@ -1517,8 +1636,18 @@ def run_serve(args, out=None) -> int:
             else None
         ),
         read_timeout=args.read_timeout,
+        slo_availability_target=args.slo_availability_target,
+        slo_latency_target=args.slo_latency_target,
+        slo_latency_threshold=args.slo_latency_ms / 1000.0,
+        access_log_capacity=args.access_log_capacity,
+        access_log_path=args.access_log,
+        tail_quantile=args.tail_quantile,
     )
-    gateway.run(out=say)
+    profiler = _profile_begin(args)
+    try:
+        gateway.run(out=say)
+    finally:
+        _profile_end(profiler, args, out)
     return 0
 
 
@@ -1624,6 +1753,39 @@ def _probe_gateway(url: str, say) -> tuple[dict, int]:
         detail = f"HTTP {code}" if code is not None else error
         say(f"gateway   {base}/metrics: UNAVAILABLE ({detail})")
         gateway_report["metrics"] = {"ok": False, "error": detail}
+        status = 1
+
+    code, body, error = fetch("/slo")
+    if code == 200:
+        try:
+            slo_payload = json.loads(body)
+        except json.JSONDecodeError:
+            slo_payload = {}
+        worst = slo_payload.get("worst_burn") or {}
+        if worst.get("route"):
+            say(
+                f"gateway   {base}/slo: worst burn "
+                f"{worst.get('burn_rate', 0.0):.2f}x budget "
+                f"({worst.get('route')} {worst.get('objective')}, "
+                f"{worst.get('window')}s window)"
+            )
+        elif slo_payload.get("routes"):
+            # traffic exists but no objective is burning budget
+            say(
+                f"gateway   {base}/slo: "
+                f"{len(slo_payload['routes'])} route(s), zero burn"
+            )
+        else:
+            say(f"gateway   {base}/slo: no traffic recorded yet")
+        gateway_report["slo"] = {"ok": True, "worst_burn": worst}
+    elif code == 404:
+        # an older gateway without the SLO endpoint — absent, not broken
+        say(f"gateway   {base}/slo: not served by this gateway")
+        gateway_report["slo"] = {"ok": True, "available": False}
+    else:
+        detail = f"HTTP {code}" if code is not None else error
+        say(f"gateway   {base}/slo: UNAVAILABLE ({detail})")
+        gateway_report["slo"] = {"ok": False, "error": detail}
         status = 1
 
     return gateway_report, status
@@ -1854,18 +2016,49 @@ def run_top(args, out=None) -> int:
         return 0
 
 
-def run_trace(args, out=None) -> int:
-    """Dump reconstructed span trees from a telemetry snapshot file."""
-    out = out or sys.stdout
+def _fetch_json(url: str) -> tuple[dict | None, str | None]:
+    """``(parsed JSON body, error)`` for one GET against a live gateway."""
+    import urllib.error
+    import urllib.request
+
     try:
-        payload = obs.load_telemetry(args.telemetry)
-    except FileNotFoundError:
-        print(f"error: no telemetry file at {args.telemetry}", file=out)
+        with urllib.request.urlopen(url, timeout=10) as response:
+            body = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, TimeoutError, ValueError) as error:
+        return None, str(error)
+    try:
+        return json.loads(body), None
+    except json.JSONDecodeError as error:
+        return None, f"unparseable JSON: {error}"
+
+
+def run_trace(args, out=None) -> int:
+    """Dump reconstructed span trees: from a telemetry snapshot file, or
+    from a live gateway's ``/trace`` endpoint (``--url``)."""
+    out = out or sys.stdout
+    if bool(args.telemetry) == bool(args.url):
+        print("error: pass exactly one of --telemetry or --url", file=out)
         return 1
-    except (ValueError, json.JSONDecodeError) as error:
-        print(f"error: cannot read {args.telemetry}: {error}", file=out)
-        return 1
-    spans = payload.get("spans", [])
+    if args.url:
+        base = args.url.rstrip("/")
+        source = f"{base}/trace"
+        suffix = f"?trace_id={args.trace_id}" if args.trace_id else ""
+        payload, error = _fetch_json(source + suffix)
+        if error is not None:
+            print(f"error: cannot read {source}: {error}", file=out)
+            return 1
+        spans = payload.get("spans", [])
+    else:
+        source = str(args.telemetry)
+        try:
+            payload = obs.load_telemetry(args.telemetry)
+        except FileNotFoundError:
+            print(f"error: no telemetry file at {args.telemetry}", file=out)
+            return 1
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {args.telemetry}: {error}", file=out)
+            return 1
+        spans = payload.get("spans", [])
     trees = obs.span_trees(spans, trace_id=args.trace_id)
     if args.name:
 
@@ -1884,8 +2077,80 @@ def run_trace(args, out=None) -> int:
         print(f"trace {tree['span']['trace_id']}:", file=out)
         for line in obs.render_tree(tree, indent=1):
             print(line, file=out)
-    print(f"{len(trees)} trace tree(s), {len(spans)} span(s) in file", file=out)
+    print(
+        f"{len(trees)} trace tree(s), {len(spans)} span(s) in {source}",
+        file=out,
+    )
     return 0
+
+
+def run_slo(args, out=None) -> int:
+    """Summarise a live gateway's SLO burn rates (``/slo`` endpoint)."""
+    out = out or sys.stdout
+    base = args.url.rstrip("/")
+    payload, error = _fetch_json(base + "/slo")
+    if error is not None:
+        print(f"error: cannot read {base}/slo: {error}", file=out)
+        return 1
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    objectives = payload.get("objectives", {})
+    windows = payload.get("windows_seconds", [])
+    print(
+        f"objectives: availability {objectives.get('availability_target')}, "
+        f"latency {objectives.get('latency_target')} within "
+        f"{objectives.get('latency_threshold_seconds')}s",
+        file=out,
+    )
+    routes = payload.get("routes", {})
+    if not routes:
+        print("no traffic recorded yet", file=out)
+        return 0
+    window_keys = [f"{float(w):g}" for w in windows]
+    header = "route                objective     " + "".join(
+        f"{'burn@' + key + 's':>14}" for key in window_keys
+    )
+    print(header, file=out)
+    for route, route_objectives in sorted(routes.items()):
+        for objective in ("availability", "latency"):
+            entries = route_objectives.get(objective, {})
+            cells = ""
+            for key in window_keys:
+                entry = entries.get(key, {})
+                burn = entry.get("burn_rate", 0.0)
+                total = entry.get("total", 0)
+                cells += f"{burn:>12.2f}x " if total else f"{'—':>13} "
+            print(f"{route:<20} {objective:<13} {cells}", file=out)
+    worst = payload.get("worst_burn") or {}
+    if worst.get("route"):
+        print(
+            f"worst: {worst['burn_rate']:.2f}x budget on {worst['route']} "
+            f"({worst['objective']}, {worst['window']}s window)",
+            file=out,
+        )
+    return 0
+
+
+def run_bench_diff(args, out=None) -> int:
+    """Compare two benchmark JSON files; non-zero exit on regression."""
+    out = out or sys.stdout
+    from . import benchdiff
+
+    try:
+        old = benchdiff.load_bench(args.old)
+        new = benchdiff.load_bench(args.new)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read benchmark file: {error}", file=out)
+        return 2
+    report = benchdiff.diff_benchmarks(old, new, threshold=args.threshold)
+    if getattr(args, "json", False):
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print(f"bench-diff {args.old} -> {args.new}", file=out)
+        for line in benchdiff.render_diff(report, verbose=args.verbose):
+            print(line, file=out)
+    return 1 if report["regressions"] else 0
 
 
 _RUNNERS = {
@@ -1907,6 +2172,8 @@ _RUNNERS = {
     "doctor": run_doctor,
     "top": run_top,
     "trace": run_trace,
+    "slo": run_slo,
+    "bench-diff": run_bench_diff,
 }
 
 

@@ -23,16 +23,24 @@ failure as the default case — see DESIGN.md §12:
   ``coverage`` body block) instead of failing closed;
 * **graceful drain** — SIGTERM stops accepting, finishes in-flight
   requests and flips ``/ready`` to 503 so a load balancer rotates the
-  instance out before it disappears.
+  instance out before it disappears;
+* **request-scoped observability** — DESIGN.md §13: trace context rides
+  the ``X-Repro-Trace`` header (:class:`~repro.gateway.tracing.
+  RequestContext`), every request lands one structured access record with
+  its latency breakdown, span trees survive tail sampling (errors, the
+  slow percentile, followed requests), and ``/slo`` serves per-route
+  multi-window burn rates.
 
 ``repro serve`` runs it from the CLI; ``repro doctor --url`` audits a
-running instance.
+running instance; ``repro trace --url`` and ``repro slo --url`` read one
+request's story and the error-budget burn.
 """
 
 from .admission import AdmissionController, Deadline, ShedError
 from .batcher import RankBatcher
 from .http import Request, Response
 from .server import GatewayServer, GatewayThread
+from .tracing import TRACE_HEADER, RequestContext
 
 __all__ = [
     "AdmissionController",
@@ -43,4 +51,6 @@ __all__ = [
     "Response",
     "GatewayServer",
     "GatewayThread",
+    "TRACE_HEADER",
+    "RequestContext",
 ]

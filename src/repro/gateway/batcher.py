@@ -5,22 +5,54 @@ the same few milliseconds. Answering them one by one costs one Eq. 19
 matvec each; :class:`RankBatcher` holds the first request for a bounded
 window (default 2 ms), collects whatever else arrives, deduplicates
 identical queries, and runs the whole batch through one fused
-:meth:`repro.serving.ProfileStore.rank_many` matmul on the executor. The
-window bounds the latency a lone request can lose to batching; a full
-batch (``max_batch``) flushes immediately.
+:meth:`repro.serving.ProfileStore.rank_many` matmul on the executor (or,
+router-backed, one flush of per-query gathers). The window bounds the
+latency a lone request can lose to batching; a full batch (``max_batch``)
+flushes immediately.
 
 The batcher is deadline-neutral by design: requests carrying an explicit
 deadline bypass it in the server (their budget must reach the backend
 per-request), so only deadline-less traffic coalesces.
+
+Tracing rides along without changing the runner contract: ``rank`` takes
+an optional per-request context (:class:`~repro.gateway.tracing.
+RequestContext`), and the batcher — which is the only place that knows
+when a request was enqueued and when its batch actually ran — emits each
+waiter's ``gateway.batch_wait`` and ``gateway.backend`` phases itself. A
+runner that declares a second positional parameter additionally receives
+one context per deduplicated query (the first waiter's), so it can parent
+backend spans correctly; single-parameter runners keep working untouched.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
+import time
 from typing import Awaitable, Callable, Sequence
 
-#: a batch runner maps queries -> one result or exception per query
+#: a batch runner maps queries -> one result or exception per query;
+#: it may declare a second positional parameter to receive per-query
+#: request contexts (None for untraced requests)
 BatchRunner = Callable[[Sequence[str]], Awaitable[list]]
+
+
+def _accepts_contexts(runner) -> bool:
+    """Does the runner take a second positional (per-query contexts) arg?"""
+    try:
+        signature = inspect.signature(runner)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind == parameter.VAR_POSITIONAL:
+            return True
+        if parameter.kind in (
+            parameter.POSITIONAL_ONLY,
+            parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return positional >= 2
 
 
 class RankBatcher:
@@ -45,18 +77,20 @@ class RankBatcher:
         self.runner = runner
         self.window = window
         self.max_batch = max_batch
-        self._pending: dict[str, list[asyncio.Future]] = {}
+        self._wants_contexts = _accepts_contexts(runner)
+        # query -> [(future, trace_ctx, enqueued_perf, enqueued_wall), ...]
+        self._pending: dict[str, list[tuple]] = {}
         self._flush_handle: asyncio.TimerHandle | None = None
         self.batches = 0
         self.batched_queries = 0
         self.largest_batch = 0
 
-    async def rank(self, query: str):
+    async def rank(self, query: str, trace=None):
         """The ranking for ``query``, served from the next batch flush."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         waiters = self._pending.setdefault(query, [])
-        waiters.append(future)
+        waiters.append((future, trace, time.perf_counter(), time.time()))
         if len(self._pending) >= self.max_batch:
             self._cancel_timer()
             self._start_flush()
@@ -80,12 +114,30 @@ class RankBatcher:
         self.largest_batch = max(self.largest_batch, len(batch))
         asyncio.get_running_loop().create_task(self._run(batch))
 
-    async def _run(self, batch: dict[str, list[asyncio.Future]]) -> None:
+    async def _run(self, batch: dict[str, list[tuple]]) -> None:
         queries = list(batch.keys())
+        run_wall = time.time()
+        run_perf = time.perf_counter()
+        contexts: list = []
+        for query in queries:
+            first = None
+            for _future, trace, enqueued_perf, enqueued_wall in batch[query]:
+                if trace is None:
+                    continue
+                trace.observe_batch_wait(
+                    max(run_perf - enqueued_perf, 0.0), enqueued_wall
+                )
+                if first is None:
+                    first = trace
+            contexts.append(first)
         try:
-            results = await self.runner(queries)
+            if self._wants_contexts:
+                results = await self.runner(queries, contexts)
+            else:
+                results = await self.runner(queries)
         except Exception as exc:  # noqa: BLE001 — runner died: fail the batch
             results = [exc] * len(queries)
+        duration = time.perf_counter() - run_perf
         if len(results) != len(queries):
             mismatch = RuntimeError(
                 f"batch runner returned {len(results)} results for "
@@ -93,10 +145,21 @@ class RankBatcher:
             )
             results = [mismatch] * len(queries)
         for query, result in zip(queries, results):
-            for future in batch[query]:
+            failed = isinstance(result, Exception)
+            for future, trace, _enqueued_perf, _enqueued_wall in batch[query]:
+                if trace is not None:
+                    # the batch runs once for every waiter: each request's
+                    # backend phase is the shared flush, tagged with the
+                    # dedup'd batch size so the sharing is visible
+                    trace.observe_backend(
+                        duration,
+                        run_wall,
+                        status="error" if failed else "ok",
+                        tags={"batched": len(queries)},
+                    )
                 if future.done():
                     continue  # the request was cancelled while batched
-                if isinstance(result, Exception):
+                if failed:
                     future.set_exception(result)
                 else:
                     future.set_result(result)

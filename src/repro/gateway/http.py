@@ -43,6 +43,9 @@ class Request:
     path: str
     params: dict[str, str]
     headers: dict[str, str]
+    #: per-request gateway context, attached by the server after parsing
+    #: (not part of the wire format)
+    trace: object | None = None
 
     def header(self, name: str, default: str | None = None) -> str | None:
         return self.headers.get(name.lower(), default)

@@ -1,20 +1,30 @@
 """GatewayServer: the asyncio HTTP service over a store or shard router.
 
-Request lifecycle (DESIGN.md §12)::
+Request lifecycle (DESIGN.md §12–13)::
 
     accept -> read (bounded) -> parse -> [fault: gateway.handler]
+      -> trace context (X-Repro-Trace accepted or minted, echoed back)
       -> deadline parse (400 on garbage; 504 if already expired)
       -> admission (429 + Retry-After when saturated)
-      -> batcher (store-backed, deadline-less rank) | executor call
+      -> batcher (deadline-less rank/gather) | executor call
       -> response (+ coverage envelope headers on router answers)
+      -> access log + SLO record + tail-sampled span tree
 
 Backend calls run on a thread pool sized to the in-flight limit — the
 store and router are thread-safe as of this layer (locked memo builds,
 internally-locked LRUs), and the event loop never blocks on a matmul.
 
-``/health``, ``/ready`` and ``/metrics`` bypass admission: they must keep
-answering precisely when the service is saturated or draining, because
-that is when anyone looks at them.
+Each request times its own phases (parse, admission wait, batch wait,
+backend) and emits them as one connected span tree under a per-request
+:class:`~repro.gateway.tracing.RequestContext` — the thread-local span
+stack cannot be trusted on a shared event loop. Whether the tree reaches
+the global sink is decided *after* the response (tail sampling): errors,
+the slow percentile and client-followed trace ids survive; the rest is
+counted and dropped.
+
+``/health``, ``/ready``, ``/metrics``, ``/slo`` and ``/trace`` bypass
+admission: they must keep answering precisely when the service is
+saturated or draining, because that is when anyone looks at them.
 """
 
 from __future__ import annotations
@@ -28,7 +38,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional
 
 from .. import obs
+from ..obs.accesslog import AccessLog, NullAccessLog, TailSampler
 from ..obs.export import render_prometheus
+from ..obs.slo import SloTracker
 from ..resilience.faults import firing as _fault_firing
 from ..shard.router import DegradedError, GatherResult
 from .admission import DEADLINE_HEADER, AdmissionController, Deadline, ShedError
@@ -41,10 +53,19 @@ from .http import (
     read_request_head,
     render_response,
 )
+from .tracing import TRACE_HEADER, RequestContext
 
 #: response headers carrying the coverage envelope on every query answer
 EXACT_HEADER = "X-Repro-Exact"
 COVERAGE_HEADER = "X-Repro-Coverage"
+
+#: operational endpoints: no admission, no access log, no trace context —
+#: they must stay answerable (and cheap) precisely when the service is not
+_OPS_ROUTES = frozenset({"/health", "/ready", "/metrics", "/slo", "/trace"})
+
+#: query routes with SLO objectives (a 404-probe path must not mint a
+#: per-route gauge series — label cardinality is a budget too)
+_SLO_ROUTES = frozenset({"/rank", "/top-k", "/community-members", "/labels"})
 
 
 def _coverage_payload(envelope: GatherResult) -> dict:
@@ -100,6 +121,13 @@ class GatewayServer:
         default_deadline: Optional[float] = None,
         read_timeout: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
+        slo: Optional[SloTracker] = None,
+        slo_availability_target: float = 0.999,
+        slo_latency_target: float = 0.99,
+        slo_latency_threshold: float = 0.25,
+        access_log_capacity: int = 2048,
+        access_log_path: Optional[str] = None,
+        tail_quantile: float = 0.9,
     ) -> None:
         self.backend = backend
         self.host = host
@@ -113,10 +141,27 @@ class GatewayServer:
             max_queue=max_queue,
             retry_after=retry_after,
         )
-        self._can_batch = not self.is_router and hasattr(backend, "rank_many")
+        # routers batch too: deadline-less gathers coalesce so one flush
+        # serves the dedup'd queries (and the span tree shows the batcher)
+        self._can_batch = self.is_router or hasattr(backend, "rank_many")
         self.batcher = RankBatcher(
             self._run_batch, window=batch_window, max_batch=max_batch
         )
+        self.slo = slo if slo is not None else SloTracker(
+            availability_target=slo_availability_target,
+            latency_target=slo_latency_target,
+            latency_threshold=slo_latency_threshold,
+            clock=clock,
+        )
+        self.access_log = (
+            AccessLog(access_log_capacity, path=access_log_path)
+            if access_log_capacity > 0
+            else NullAccessLog()
+        )
+        self.tail = TailSampler(quantile=tail_quantile)
+        self._accesslog_dropped_reported = 0
+        self._traces_kept = 0
+        self._traces_dropped = 0
         self._executor = ThreadPoolExecutor(
             max_workers=max_in_flight, thread_name_prefix="gateway"
         )
@@ -174,6 +219,7 @@ class GatewayServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._executor.shutdown(wait=False)
+        self.access_log.close()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -285,6 +331,12 @@ class GatewayServer:
     async def _dispatch(self, request: Request) -> Response:
         started = self.clock()
         route = request.path
+        ctx: Optional[RequestContext] = None
+        if route not in _OPS_ROUTES:
+            ctx = RequestContext(
+                request.header(TRACE_HEADER), tracing=obs.tracing_enabled()
+            )
+            request.trace = ctx
         spec = _fault_firing("gateway.handler", route=route)
         if spec is not None:
             if spec.action == "timeout":
@@ -297,6 +349,8 @@ class GatewayServer:
                     route,
                     started,
                     Response(500, {"error": "injected handler fault"}),
+                    request=request,
+                    ctx=ctx,
                 )
         try:
             response = await self._route(request)
@@ -327,9 +381,17 @@ class GatewayServer:
             response = Response(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
-        return self._finish(route, started, response)
+        return self._finish(route, started, response, request=request, ctx=ctx)
 
-    def _finish(self, route: str, started: float, response: Response) -> Response:
+    def _finish(
+        self,
+        route: str,
+        started: float,
+        response: Response,
+        request: Optional[Request] = None,
+        ctx: Optional[RequestContext] = None,
+    ) -> Response:
+        total = self.clock() - started
         self._counters["requests"] += 1
         status = str(response.status)
         self._status_counts[status] = self._status_counts.get(status, 0) + 1
@@ -341,13 +403,58 @@ class GatewayServer:
             ).inc()
             registry.histogram(
                 "repro_gateway_request_seconds", {"route": route}
-            ).observe(self.clock() - started)
+            ).observe(total)
             registry.gauge("repro_gateway_in_flight").set(
                 self.admission.in_flight
             )
             registry.gauge("repro_gateway_queue_depth").set(
                 self.admission.queued
             )
+        if ctx is None:
+            return response
+        if ctx.trace_id:
+            response.headers.setdefault(TRACE_HEADER, ctx.trace_id)
+        code = response.status
+        if route in _SLO_ROUTES:
+            self.slo.record(route, code, total)
+        kept = False
+        if ctx.buffer is not None:
+            ctx.finish_root(
+                route=route,
+                method=request.method if request is not None else "GET",
+                status=code,
+                query=request.params.get("q") if request is not None else None,
+            )
+            kept = self.tail.keep(total, error=code >= 500, forced=ctx.forced)
+            if kept:
+                obs.get_sink().ingest(ctx.buffer.records)
+                self._traces_kept += 1
+            else:
+                self._traces_dropped += 1
+                if registry.enabled:
+                    registry.counter(
+                        "repro_gateway_traces_dropped_total"
+                    ).inc()
+        exact = response.headers.get(EXACT_HEADER)
+        coverage = response.headers.get(COVERAGE_HEADER)
+        self.access_log.log({
+            "ts": time.time(),
+            "method": request.method if request is not None else "GET",
+            "route": route,
+            "query": request.params.get("q") if request is not None else None,
+            "status": code,
+            "trace_id": ctx.trace_id,
+            "queue_wait": round(ctx.queue_wait, 6),
+            "batch_wait": round(ctx.batch_wait, 6),
+            "backend": round(ctx.backend_seconds, 6),
+            "total": round(total, 6),
+            "deadline_budget": ctx.deadline_budget,
+            "deadline_remaining": ctx.deadline_remaining,
+            "shed": code == 429,
+            "degraded": exact == "0" or code == 503,
+            "coverage": float(coverage) if coverage is not None else None,
+            "trace_kept": kept,
+        })
         return response
 
     async def _route(self, request: Request) -> Response:
@@ -361,9 +468,47 @@ class GatewayServer:
                 return Response(503, {"ready": False, "draining": True})
             return Response(200, {"ready": True})
         if path == "/metrics":
-            text = render_prometheus(obs.get_registry().snapshot())
+            registry = obs.get_registry()
+            if registry.enabled:
+                if self._started_at is not None:
+                    registry.gauge("repro_gateway_uptime_seconds").set(
+                        self.clock() - self._started_at
+                    )
+                # scrape-time counter: how many access records the ring (or
+                # a failing file sink) has lost since the last report
+                counter = registry.counter(
+                    "repro_gateway_accesslog_dropped_total"
+                )
+                dropped = self.access_log.dropped
+                delta = dropped - self._accesslog_dropped_reported
+                if delta > 0:
+                    counter.inc(delta)
+                    self._accesslog_dropped_reported = dropped
+                self.slo.export_gauges(registry)
+            text = render_prometheus(registry.snapshot())
             return Response(
                 200, text, content_type="text/plain; version=0.0.4"
+            )
+        if path == "/slo":
+            snapshot = self.slo.snapshot()
+            snapshot["worst_burn"] = self.slo.worst_burn(snapshot)
+            registry = obs.get_registry()
+            if registry.enabled:
+                self.slo.export_gauges(registry)
+            return Response(200, snapshot)
+        if path == "/trace":
+            trace_id = request.params.get("trace_id")
+            spans = obs.get_sink().export()
+            if trace_id:
+                spans = [s for s in spans if s.get("trace_id") == trace_id]
+            return Response(
+                200,
+                {
+                    "trace_id": trace_id,
+                    "tracing": obs.tracing_enabled(),
+                    "n_spans": len(spans),
+                    "spans": spans,
+                },
             )
         if path == "/rank":
             return await self._admitted(request, self._rank_route)
@@ -382,6 +527,9 @@ class GatewayServer:
         request must cost nothing — it never reaches a backend call) and
         after leaving the wait queue (queueing spends the budget too).
         """
+        ctx = request.trace
+        parse_wall = time.time()
+        parse_perf = time.perf_counter()
         try:
             deadline = Deadline.from_header(
                 request.header(DEADLINE_HEADER),
@@ -393,13 +541,29 @@ class GatewayServer:
                 400,
                 {"error": f"malformed {DEADLINE_HEADER} header (want ms)"},
             )
+        if ctx is not None:
+            ctx.observe_parse(time.perf_counter() - parse_perf, parse_wall)
+            remaining = deadline.remaining()
+            if remaining is not None:
+                ctx.deadline_budget = round(remaining, 6)
         if deadline.expired:
             return self._deadline_reject("at admission")
+        queue_wall = time.time()
+        queue_perf = time.perf_counter()
         await self.admission.acquire()  # ShedError -> 429 in _dispatch
+        if ctx is not None:
+            ctx.observe_queue_wait(
+                time.perf_counter() - queue_perf, queue_wall
+            )
         try:
             if deadline.expired:
                 return self._deadline_reject("while queued")
-            return await worker(request, deadline)
+            response = await worker(request, deadline)
+            if ctx is not None and deadline.cutoff is not None:
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    ctx.deadline_remaining = round(remaining, 6)
+            return response
         finally:
             self.admission.release()
 
@@ -417,33 +581,85 @@ class GatewayServer:
             self._executor, fn, *args
         )
 
+    async def _backend_call(self, ctx, call, *, tags=None):
+        """One backend call on the executor, timed as ``gateway.backend``.
+
+        ``call`` receives the trace header the backend should parent to
+        (``None`` when this request records no spans); spans the call opens
+        on the executor thread (``router.gather`` → ``shard.call``) are
+        captured into the request's buffer, so the whole tree survives —
+        or is dropped by — tail sampling together.
+        """
+        header = ctx.backend_header() if ctx is not None else None
+        if ctx is not None and ctx.buffer is not None:
+            buffer = ctx.buffer
+
+            def body():
+                with obs.capture_spans(buffer):
+                    return call(header)
+        else:
+            def body():
+                return call(header)
+
+        wall = time.time()
+        started = time.perf_counter()
+        status = "ok"
+        try:
+            return await self._in_executor(body)
+        except Exception:
+            status = "error"
+            raise
+        finally:
+            if ctx is not None:
+                ctx.observe_backend(
+                    time.perf_counter() - started, wall,
+                    status=status, tags=tags,
+                )
+
+    def _check_exact(self, envelope: GatherResult) -> None:
+        """Strict routers refuse to serve a partial merge."""
+        if not envelope.exact and not getattr(
+            self.backend, "best_effort", False
+        ):
+            raise DegradedError(
+                envelope.errors
+                or {shard: "no answer" for shard in envelope.failed}
+            )
+
     async def _ranked(
-        self, query: str, deadline: Deadline
+        self, query: str, deadline: Deadline, ctx: Optional[RequestContext] = None
     ) -> tuple[list, dict]:
         """``(ranking, coverage)`` for one query under the deadline.
 
-        Router-backed: ``gather`` with the remaining budget; a non-exact
-        answer raises :class:`DegradedError` unless the router is
-        best-effort (the envelope then rides the response instead).
-        Store-backed: the batcher (deadline-less) or a direct call.
+        Deadline-less requests coalesce in the batcher (store: one fused
+        ``rank_many``; router: one flush of per-query gathers). A request
+        carrying a deadline bypasses it — its budget must reach the
+        backend per-request. Router answers that are not exact raise
+        :class:`DegradedError` unless the router is best-effort (the
+        envelope then rides the response instead).
         """
+        if self._can_batch and deadline.cutoff is None:
+            result = await self.batcher.rank(query, trace=ctx)
+            if self.is_router:
+                self._check_exact(result)
+                return list(result.ranking), _coverage_payload(result)
+            return list(result), _exact_coverage()
         if self.is_router:
             budget = deadline.remaining()
-            envelope = await self._in_executor(
-                lambda: self.backend.gather(query, budget=budget)
+            envelope = await self._backend_call(
+                ctx,
+                lambda header: self.backend.gather(
+                    query, budget=budget, trace=header
+                ),
+                tags={"path": "gather"},
             )
-            if not envelope.exact and not getattr(
-                self.backend, "best_effort", False
-            ):
-                raise DegradedError(
-                    envelope.errors
-                    or {shard: "no answer" for shard in envelope.failed}
-                )
+            self._check_exact(envelope)
             return list(envelope.ranking), _coverage_payload(envelope)
-        if self._can_batch and deadline.cutoff is None:
-            ranking = await self.batcher.rank(query)
-        else:
-            ranking = await self._in_executor(self.backend.rank, query)
+        ranking = await self._backend_call(
+            ctx,
+            lambda _header: self.backend.rank(query),
+            tags={"path": "rank"},
+        )
         return list(ranking), _exact_coverage()
 
     @staticmethod
@@ -458,7 +674,7 @@ class GatewayServer:
             query = self._require_query(request)
         except BadRequest as exc:
             return Response(400, {"error": str(exc)})
-        ranking, coverage = await self._ranked(query, deadline)
+        ranking, coverage = await self._ranked(query, deadline, request.trace)
         k = request.params.get("k")
         if k is not None:
             ranking = ranking[: max(int(k), 0)]
@@ -478,7 +694,7 @@ class GatewayServer:
         except BadRequest as exc:
             return Response(400, {"error": str(exc)})
         k = int(request.params.get("k", "5"))
-        ranking, coverage = await self._ranked(query, deadline)
+        ranking, coverage = await self._ranked(query, deadline, request.trace)
         return Response(
             200,
             {
@@ -493,7 +709,11 @@ class GatewayServer:
     async def _members_route(self, request: Request, _deadline: Deadline) -> Response:
         k = int(request.params.get("k", "5"))
         with_members = request.params.get("members", "0") == "1"
-        members = await self._in_executor(self.backend.community_members, k)
+        members = await self._backend_call(
+            request.trace,
+            lambda _header: self.backend.community_members(k),
+            tags={"path": "community_members"},
+        )
         communities = []
         for community, ids in enumerate(members):
             entry: dict = {"community": community, "size": int(len(ids))}
@@ -504,7 +724,11 @@ class GatewayServer:
 
     async def _labels_route(self, request: Request, _deadline: Deadline) -> Response:
         n_words = int(request.params.get("n", "3"))
-        labels = await self._in_executor(self.backend.labels, n_words)
+        labels = await self._backend_call(
+            request.trace,
+            lambda _header: self.backend.labels(n_words),
+            tags={"path": "labels"},
+        )
         return Response(200, {"n_words": n_words, "labels": list(labels)})
 
     # ------------------------------------------------------------------ health
@@ -524,6 +748,13 @@ class GatewayServer:
             "batcher": self.batcher.stats(),
             "counters": dict(self._counters),
             "statuses": dict(self._status_counts),
+            "access_log": self.access_log.stats(),
+            "tail_sampling": self.tail.stats(),
+            "traces": {
+                "kept": self._traces_kept,
+                "dropped": self._traces_dropped,
+            },
+            "slo_worst_burn": self.slo.worst_burn(),
         }
         if self.is_router and hasattr(self.backend, "cache_info"):
             health = self.backend.cache_info().get("health", [])
@@ -541,16 +772,21 @@ class GatewayServer:
             **self._counters,
             "statuses": dict(self._status_counts),
             "draining": self._draining,
+            "traces_kept": self._traces_kept,
+            "traces_dropped": self._traces_dropped,
+            "access_log": self.access_log.stats(),
         }
 
     # ------------------------------------------------------------ micro-batch
 
-    def _rank_batch_sync(self, queries: list[str]) -> list:
+    def _rank_batch_sync(self, queries: list[str], _contexts: list) -> list:
         """Executor-side batch body: per-query validation, one fused pass.
 
         Returns one entry per query — a ranking, or the exception that
         query alone should raise (isolation: one bad term cannot fail its
-        batchmates).
+        batchmates). The fused matmul serves the whole batch at once, so
+        per-request span capture does not apply here (the batcher still
+        emits each request's ``batch_wait``/``backend`` phases).
         """
         backend = self.backend
         results: list = [None] * len(queries)
@@ -576,13 +812,39 @@ class GatewayServer:
                     results[i] = ranking
         return results
 
-    async def _run_batch(self, queries) -> list:
+    def _gather_batch_sync(self, queries: list[str], contexts: list) -> list:
+        """Executor-side router batch: one deadline-less gather per query.
+
+        Per-query isolation as in the store path — a failed gather is an
+        entry, not a batch failure. Each gather's spans are captured into
+        its request's buffer, parented to the ``gateway.backend`` span the
+        batcher records afterwards.
+        """
+        results: list = []
+        for query, ctx in zip(queries, contexts):
+            header = ctx.backend_header() if ctx is not None else None
+            try:
+                if ctx is not None and ctx.buffer is not None:
+                    with obs.capture_spans(ctx.buffer):
+                        envelope = self.backend.gather(query, trace=header)
+                else:
+                    envelope = self.backend.gather(query, trace=header)
+            except Exception as exc:  # noqa: BLE001 — per-query isolation
+                results.append(exc)
+            else:
+                results.append(envelope)
+        return results
+
+    async def _run_batch(self, queries, contexts) -> list:
         registry = obs.get_registry()
         if registry.enabled:
             registry.histogram("repro_gateway_batch_size").observe(
                 len(queries)
             )
-        return await self._in_executor(self._rank_batch_sync, list(queries))
+        body = (
+            self._gather_batch_sync if self.is_router else self._rank_batch_sync
+        )
+        return await self._in_executor(body, list(queries), list(contexts))
 
 
 class GatewayThread:

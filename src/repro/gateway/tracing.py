@@ -1,0 +1,193 @@
+"""Per-request trace context for the gateway.
+
+The ``with obs.span(...)`` API parents spans off a thread-local stack —
+correct for the fit pipeline's nested calls, wrong on the gateway's event
+loop, where dozens of requests interleave on one thread and the "current"
+span would belong to whichever coroutine ran last. :class:`RequestContext`
+is the event-loop-safe alternative: each request carries its own ids and
+its own :class:`~repro.obs.trace.SpanBuffer`, phases are timed explicitly
+and emitted as finished records (:func:`~repro.obs.trace.record_span`),
+and executor-side work is captured into the buffer with
+:func:`~repro.obs.trace.capture_spans`, where the thread-local stack *is*
+trustworthy again.
+
+Context rides the ``X-Repro-Trace`` header: ``<trace-id>`` or
+``<trace-id>-<span-id>`` (lowercase hex). A client-supplied id is echoed
+back and marks the trace as *followed* — tail sampling always keeps it.
+A malformed header is ignored (fresh ids), never an error: tracing must
+not be able to fail a request.
+
+The context doubles as the access-log carrier even when tracing is off —
+phase timings land in plain attributes (``queue_wait``, ``batch_wait``,
+``backend_seconds``) either way, so the latency breakdown in the access
+log does not require tracing to be enabled.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Optional
+
+from .. import obs
+
+__all__ = ["TRACE_HEADER", "RequestContext", "parse_trace_header"]
+
+#: request/response header carrying the trace context
+TRACE_HEADER = "X-Repro-Trace"
+
+_ID_RE = re.compile(r"^[0-9a-f]{1,32}$")
+
+#: sentinel: "default to the request root" (None is a real value — no parent)
+_PARENT_UNSET = object()
+
+
+def parse_trace_header(value: Optional[str]) -> tuple[Optional[str], Optional[str]]:
+    """``(trace_id, parent_span_id)`` from a header value, or ``(None, None)``.
+
+    Accepts ``<trace-id>`` and ``<trace-id>-<span-id>``; anything else —
+    including a valid trace id with a garbage span part — degrades rather
+    than erroring (the span part alone is dropped when malformed).
+    """
+    if not value:
+        return None, None
+    text = value.strip().lower()
+    trace_part, _, span_part = text.partition("-")
+    if not _ID_RE.match(trace_part):
+        return None, None
+    if span_part and not _ID_RE.match(span_part):
+        span_part = ""
+    return trace_part, span_part or None
+
+
+class RequestContext:
+    """One request's trace ids, span buffer and phase timings."""
+
+    __slots__ = (
+        "trace_id", "client_span_id", "forced", "root_id", "buffer",
+        "started_wall", "_started_perf", "queue_wait", "batch_wait",
+        "backend_seconds", "deadline_budget", "deadline_remaining",
+        "_backend_id",
+    )
+
+    def __init__(self, header_value: Optional[str] = None, tracing: bool = False):
+        trace_id, client_span_id = parse_trace_header(header_value)
+        self.forced = trace_id is not None
+        self.client_span_id = client_span_id
+        if tracing:
+            self.trace_id = trace_id or obs.new_trace_id()
+            self.root_id = obs.new_span_id()
+            self.buffer: Optional[obs.SpanBuffer] = obs.SpanBuffer()
+        else:
+            # no tracing: still echo a client-supplied id, record nothing
+            self.trace_id = trace_id or ""
+            self.root_id = ""
+            self.buffer = None
+        self.started_wall = time.time()
+        self._started_perf = time.perf_counter()
+        self.queue_wait = 0.0
+        self.batch_wait = 0.0
+        self.backend_seconds = 0.0
+        self.deadline_budget: Optional[float] = None
+        self.deadline_remaining: Optional[float] = None
+        self._backend_id: Optional[str] = None
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started_perf
+
+    # ------------------------------------------------------------ span phases
+
+    def _record(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: float,
+        status: str = "ok",
+        tags=None,
+        span_id: Optional[str] = None,
+        parent_id=_PARENT_UNSET,
+    ) -> None:
+        if self.buffer is None:
+            return
+        obs.record_span(
+            name,
+            trace_id=self.trace_id,
+            span_id=span_id,
+            parent_id=self.root_id if parent_id is _PARENT_UNSET else parent_id,
+            start=start,
+            duration=duration,
+            status=status,
+            tags=tags,
+            sink=self.buffer,
+        )
+
+    def observe_parse(self, seconds: float, start_wall: float) -> None:
+        self._record("gateway.parse", start=start_wall, duration=seconds)
+
+    def observe_queue_wait(self, seconds: float, start_wall: float) -> None:
+        self.queue_wait = seconds
+        self._record(
+            "gateway.admission_wait", start=start_wall, duration=seconds
+        )
+
+    def observe_batch_wait(self, seconds: float, start_wall: float) -> None:
+        self.batch_wait = seconds
+        self._record("gateway.batch_wait", start=start_wall, duration=seconds)
+
+    def backend_header(self) -> Optional[dict]:
+        """The context the backend call should parent to.
+
+        Pre-allocates the ``gateway.backend`` span id, so spans the call
+        opens (``router.gather`` → ``shard.call``) can reference a parent
+        that is only recorded after the call returns
+        (:meth:`observe_backend` picks the same id up).
+        """
+        if self.buffer is None:
+            return None
+        if self._backend_id is None:
+            self._backend_id = obs.new_span_id()
+        return {"trace_id": self.trace_id, "span_id": self._backend_id}
+
+    def observe_backend(
+        self,
+        seconds: float,
+        start_wall: float,
+        *,
+        status: str = "ok",
+        tags=None,
+    ) -> None:
+        self.backend_seconds = seconds
+        span_id, self._backend_id = self._backend_id, None
+        self._record(
+            "gateway.backend",
+            start=start_wall,
+            duration=seconds,
+            status=status,
+            tags=tags,
+            span_id=span_id,
+        )
+
+    def finish_root(
+        self,
+        *,
+        route: str,
+        method: str,
+        status: int,
+        query: Optional[str] = None,
+    ) -> None:
+        """Emit the ``gateway.request`` root span (last record in the tree)."""
+        tags: dict = {"route": route, "method": method, "status": status}
+        if query:
+            tags["query"] = query
+        self._record(
+            "gateway.request",
+            start=self.started_wall,
+            duration=self.elapsed(),
+            status="error" if status >= 500 else "ok",
+            tags=tags,
+            span_id=self.root_id,
+            # a client-supplied span id chains this tree under the caller's
+            # own span; otherwise the request is a true root
+            parent_id=self.client_span_id,
+        )

@@ -30,6 +30,7 @@ the coordinator folds both in with ``merge``/``ingest``.
 
 from __future__ import annotations
 
+from .accesslog import AccessLog, NullAccessLog, TailSampler
 from .export import (
     histogram_summary,
     load_telemetry,
@@ -51,14 +52,22 @@ from .metrics import (
     get_registry,
     set_registry,
 )
+from .profile import SamplingProfiler
+from .slo import DEFAULT_WINDOWS as SLO_DEFAULT_WINDOWS
+from .slo import SloTracker, burn_rate
 from .trace import (
     NullSpanSink,
     Span,
+    SpanBuffer,
     SpanSink,
+    capture_spans,
     current_header,
     disable_tracing,
     enable_tracing,
     get_sink,
+    new_span_id,
+    new_trace_id,
+    record_span,
     remote_span,
     render_tree,
     set_sink,
@@ -73,10 +82,17 @@ __all__ = [
     "DEFAULT_BUCKETS", "get_registry", "set_registry",
     "enable", "disable", "enabled",
     # tracing
-    "Span", "SpanSink", "NullSpanSink", "span", "remote_span",
-    "current_header", "get_sink", "set_sink",
+    "Span", "SpanSink", "NullSpanSink", "SpanBuffer", "span", "remote_span",
+    "record_span", "capture_spans", "current_header",
+    "new_trace_id", "new_span_id", "get_sink", "set_sink",
     "enable_tracing", "disable_tracing", "tracing_enabled",
     "span_trees", "render_tree",
+    # access log + tail sampling
+    "AccessLog", "NullAccessLog", "TailSampler",
+    # SLO burn rates
+    "SloTracker", "burn_rate", "SLO_DEFAULT_WINDOWS",
+    # profiler
+    "SamplingProfiler",
     # export
     "render_prometheus", "parse_prometheus", "histogram_summary",
     "telemetry_payload", "write_telemetry", "load_telemetry",

@@ -1,0 +1,223 @@
+"""Per-route SLO tracking with multi-window burn rates.
+
+Two objectives per route, in the Google SRE workbook's framing:
+
+* **availability** — the fraction of requests that do not fail server-side
+  (status < 500; a 4xx is the client's fault and spends no error budget);
+* **latency** — the fraction of *successful* requests answered within a
+  threshold (a request that failed outright is an availability problem,
+  not a latency one).
+
+For a target ``t`` the error budget is ``1 - t``; the **burn rate** over a
+window is the observed bad fraction divided by that budget::
+
+    burn = (bad / total) / (1 - target)
+
+Burn 1.0 means the budget is being spent exactly as fast as it refills;
+14.4 over an hour is the classic "page now" threshold for a 30-day 99.9%
+objective. Tracking the same ratio over several windows (5m/30m/1h/6h by
+default) separates a transient blip (short windows hot, long ones quiet)
+from a slow bleed (the reverse).
+
+Counts live in coarse time buckets (default 10s), so ``record`` is O(1)
+and a window query sums at most ``window / bucket`` buckets. Windows are
+therefore bucket-granular: a query may include up to one extra bucket of
+history, which is noise at the window sizes that matter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable, Optional
+
+__all__ = ["DEFAULT_WINDOWS", "SloTracker", "burn_rate"]
+
+#: default burn-rate windows, seconds (5m / 30m / 1h / 6h)
+DEFAULT_WINDOWS = (300.0, 1800.0, 3600.0, 21600.0)
+
+
+def burn_rate(bad: float, total: float, target: float) -> float:
+    """The error-budget burn rate for ``bad`` failures out of ``total``."""
+    if total <= 0:
+        return 0.0
+    budget = 1.0 - target
+    if budget <= 0:
+        # a 100% target has no budget: any failure is an infinite burn
+        return float("inf") if bad > 0 else 0.0
+    return (bad / total) / budget
+
+
+class _RouteCounts:
+    """Bucketed counters for one route: total / availability-bad /
+    latency-eligible / latency-bad per time bucket."""
+
+    __slots__ = ("buckets",)
+
+    def __init__(self) -> None:
+        # bucket index -> [total, avail_bad, latency_total, latency_bad]
+        self.buckets: dict[int, list[int]] = {}
+
+    def add(self, index: int, *, avail_bad: bool, latency_eligible: bool,
+            latency_bad: bool) -> None:
+        counts = self.buckets.get(index)
+        if counts is None:
+            counts = [0, 0, 0, 0]
+            self.buckets[index] = counts
+        counts[0] += 1
+        counts[1] += int(avail_bad)
+        counts[2] += int(latency_eligible)
+        counts[3] += int(latency_bad)
+
+    def sum_since(self, first_index: int) -> tuple[int, int, int, int]:
+        total = avail_bad = latency_total = latency_bad = 0
+        for index, counts in self.buckets.items():
+            if index >= first_index:
+                total += counts[0]
+                avail_bad += counts[1]
+                latency_total += counts[2]
+                latency_bad += counts[3]
+        return total, avail_bad, latency_total, latency_bad
+
+    def prune(self, oldest_index: int) -> None:
+        stale = [index for index in self.buckets if index < oldest_index]
+        for index in stale:
+            del self.buckets[index]
+
+
+class SloTracker:
+    """Record request outcomes, answer burn rates over several windows."""
+
+    def __init__(
+        self,
+        availability_target: float = 0.999,
+        latency_target: float = 0.99,
+        latency_threshold: float = 0.25,
+        windows: Iterable[float] = DEFAULT_WINDOWS,
+        bucket_seconds: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 < availability_target <= 1.0:
+            raise ValueError("availability target must be in (0, 1]")
+        if not 0.0 < latency_target <= 1.0:
+            raise ValueError("latency target must be in (0, 1]")
+        if latency_threshold <= 0:
+            raise ValueError("latency threshold must be positive")
+        if bucket_seconds <= 0:
+            raise ValueError("bucket width must be positive")
+        self.availability_target = availability_target
+        self.latency_target = latency_target
+        self.latency_threshold = latency_threshold
+        self.windows = tuple(sorted(float(w) for w in windows))
+        if not self.windows:
+            raise ValueError("at least one burn-rate window is required")
+        self.bucket_seconds = float(bucket_seconds)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._routes: dict[str, _RouteCounts] = {}
+        self._recorded = 0
+
+    def record(self, route: str, status: int, latency: float) -> None:
+        """Fold one finished request into the per-route counters."""
+        now = self.clock()
+        index = int(now // self.bucket_seconds)
+        avail_bad = status >= 500
+        latency_eligible = not avail_bad
+        latency_bad = latency_eligible and latency > self.latency_threshold
+        with self._lock:
+            counts = self._routes.get(route)
+            if counts is None:
+                counts = _RouteCounts()
+                self._routes[route] = counts
+            counts.add(
+                index,
+                avail_bad=avail_bad,
+                latency_eligible=latency_eligible,
+                latency_bad=latency_bad,
+            )
+            self._recorded += 1
+            if self._recorded % 1024 == 0:
+                oldest = int((now - self.windows[-1]) // self.bucket_seconds) - 1
+                for route_counts in self._routes.values():
+                    route_counts.prune(oldest)
+
+    def snapshot(self) -> dict:
+        """The full SLO report: per route, per objective, per window."""
+        now = self.clock()
+        with self._lock:
+            routes = {}
+            for route, counts in sorted(self._routes.items()):
+                availability = {}
+                latency = {}
+                for window in self.windows:
+                    first = int((now - window) // self.bucket_seconds)
+                    total, avail_bad, lat_total, lat_bad = counts.sum_since(first)
+                    key = f"{window:g}"
+                    availability[key] = {
+                        "total": total,
+                        "bad": avail_bad,
+                        "bad_ratio": avail_bad / total if total else 0.0,
+                        "burn_rate": burn_rate(
+                            avail_bad, total, self.availability_target
+                        ),
+                    }
+                    latency[key] = {
+                        "total": lat_total,
+                        "bad": lat_bad,
+                        "bad_ratio": lat_bad / lat_total if lat_total else 0.0,
+                        "burn_rate": burn_rate(
+                            lat_bad, lat_total, self.latency_target
+                        ),
+                    }
+                routes[route] = {
+                    "availability": availability,
+                    "latency": latency,
+                }
+        return {
+            "objectives": {
+                "availability_target": self.availability_target,
+                "latency_target": self.latency_target,
+                "latency_threshold_seconds": self.latency_threshold,
+            },
+            "windows_seconds": list(self.windows),
+            "routes": routes,
+        }
+
+    def worst_burn(self, snapshot: Optional[dict] = None) -> dict:
+        """The hottest (route, objective, window) in a snapshot — what
+        ``repro slo`` and ``repro doctor --url`` lead with."""
+        payload = snapshot if snapshot is not None else self.snapshot()
+        worst = {"burn_rate": 0.0, "route": None, "objective": None,
+                 "window": None}
+        for route, objectives in payload.get("routes", {}).items():
+            for objective, windows in objectives.items():
+                for window, entry in windows.items():
+                    if entry["burn_rate"] > worst["burn_rate"]:
+                        worst = {
+                            "burn_rate": entry["burn_rate"],
+                            "route": route,
+                            "objective": objective,
+                            "window": window,
+                        }
+        return worst
+
+    def export_gauges(self, registry) -> None:
+        """Refresh ``repro_slo_burn_rate`` gauges from the current state.
+
+        Called when ``/metrics`` or ``/slo`` renders, so scrapes see
+        current burn rates without per-request gauge churn.
+        """
+        if not registry.enabled:
+            return
+        snapshot = self.snapshot()
+        for route, objectives in snapshot["routes"].items():
+            for objective, windows in objectives.items():
+                for window, entry in windows.items():
+                    registry.gauge(
+                        "repro_slo_burn_rate",
+                        {
+                            "route": route,
+                            "objective": objective,
+                            "window": window,
+                        },
+                    ).set(entry["burn_rate"])

@@ -30,9 +30,14 @@ __all__ = [
     "Span",
     "SpanSink",
     "NullSpanSink",
+    "SpanBuffer",
     "span",
     "remote_span",
+    "record_span",
+    "capture_spans",
     "current_header",
+    "new_trace_id",
+    "new_span_id",
     "get_sink",
     "set_sink",
     "enable_tracing",
@@ -47,6 +52,19 @@ def _new_id() -> str:
     # os.urandom is fork-safe: forked workers draw distinct ids without any
     # reseeding ceremony, unlike the random module's shared Mersenne state.
     return os.urandom(8).hex()
+
+
+def new_trace_id() -> str:
+    """A fresh trace id, for callers that mint the context before the span
+    exists (the gateway creates the id first so it can echo it in the
+    response header even when the request then fails)."""
+    return _new_id()
+
+
+def new_span_id() -> str:
+    """A fresh span id, for pre-allocating a parent that is recorded later
+    (``record_span``) while children already reference it."""
+    return _new_id()
 
 
 _STACK = threading.local()
@@ -231,8 +249,63 @@ class NullSpanSink:
         return []
 
 
+class SpanBuffer:
+    """A per-request capture target: an unbounded list of span records.
+
+    Installed with :func:`capture_spans` on the thread doing a request's
+    work, it intercepts every span finished there so the caller can decide
+    *afterwards* whether the trace is worth keeping (tail sampling) — kept
+    buffers are folded into the global sink with ``ingest``, dropped ones
+    simply go out of scope. No lock: a buffer belongs to one request and
+    is only appended to from the thread that installed it.
+    """
+
+    __slots__ = ("records",)
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def record(self, record: dict) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
 _NULL_SINK = NullSpanSink()
 _SINK: SpanSink | NullSpanSink = _NULL_SINK
+
+_CAPTURE = threading.local()
+
+
+class _CaptureContext:
+    """Context manager that redirects this thread's finished spans."""
+
+    __slots__ = ("buffer", "_previous")
+
+    def __init__(self, buffer: SpanBuffer):
+        self.buffer = buffer
+        self._previous = None
+
+    def __enter__(self) -> SpanBuffer:
+        self._previous = getattr(_CAPTURE, "sink", None)
+        _CAPTURE.sink = self.buffer
+        return self.buffer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _CAPTURE.sink = self._previous
+        return None
+
+
+def capture_spans(buffer: SpanBuffer) -> _CaptureContext:
+    """Route spans finished on this thread into ``buffer`` while active."""
+    return _CaptureContext(buffer)
+
+
+def _active_sink():
+    override = getattr(_CAPTURE, "sink", None)
+    return _SINK if override is None else override
 
 
 def get_sink() -> SpanSink | NullSpanSink:
@@ -263,7 +336,7 @@ def tracing_enabled() -> bool:
 
 def span(name: str, tags: Mapping[str, object] | None = None):
     """Open a span under the current thread's context (no-op when disabled)."""
-    sink = _SINK
+    sink = _active_sink()
     if not sink.enabled:
         return _NULL_SPAN
     stack = _stack()
@@ -281,11 +354,50 @@ def remote_span(name: str, header: Mapping | None, tags=None):
     ``header`` is the dict :func:`current_header` produced on the far side;
     ``None`` (or tracing disabled locally) degrades to a no-op.
     """
-    sink = _SINK
+    sink = _active_sink()
     if not sink.enabled or not header:
         return _NULL_SPAN
     sp = Span(name, header["trace_id"], header["span_id"], tags)
     return _ActiveSpan(sp, sink)
+
+
+def record_span(
+    name: str,
+    *,
+    trace_id: str,
+    span_id: str | None = None,
+    parent_id: str | None = None,
+    start: float | None = None,
+    duration: float = 0.0,
+    status: str = "ok",
+    tags: Mapping[str, object] | None = None,
+    sink=None,
+) -> dict:
+    """Emit a finished span record directly, bypassing the context stack.
+
+    The ``with span(...)`` API assumes nesting follows the thread's call
+    stack — false inside the gateway's event loop, where many requests
+    interleave on one thread. Callers there measure phases themselves and
+    emit the finished record with explicit ids; ``span_id`` may be
+    pre-allocated (:func:`new_span_id`) so children can reference a parent
+    recorded after them. Records go to ``sink`` when given (a
+    :class:`SpanBuffer` for tail sampling), else the active sink.
+    """
+    record = {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id if span_id is not None else _new_id(),
+        "parent_id": parent_id,
+        "start": time.time() if start is None else start,
+        "duration": duration,
+        "status": status,
+        "pid": os.getpid(),
+        "tags": dict(tags or {}),
+    }
+    target = sink if sink is not None else _active_sink()
+    if target.enabled:
+        target.record(record)
+    return record
 
 
 def current_header() -> dict | None:

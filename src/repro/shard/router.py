@@ -501,7 +501,11 @@ class ShardRouter:
         return key
 
     def gather(
-        self, query: QueryLike, *, budget: Optional[float] = None
+        self,
+        query: QueryLike,
+        *,
+        budget: Optional[float] = None,
+        trace: Optional[dict] = None,
     ) -> GatherResult:
         """Best-effort scatter-gather: merge what answered, report coverage.
 
@@ -519,10 +523,20 @@ class ShardRouter:
         backoffs that would overshoot it are abandoned, and each shard
         call's own deadline is tightened to the remaining budget. A
         budget-truncated answer is degraded, so it is never cached.
+
+        ``trace`` is an optional span context (``{"trace_id", "span_id"}``,
+        the gateway's ``gateway.backend`` span): when given, the
+        ``router.gather`` span — and the ``shard.call`` spans under it —
+        chain into that request's tree instead of starting a fresh trace.
         """
         key = self._query_key(query)
         cutoff = None if budget is None else self.clock() + max(budget, 0.0)
-        with obs.span("router.gather") as gather_span:
+        span_ctx = (
+            obs.remote_span("router.gather", trace)
+            if trace is not None
+            else obs.span("router.gather")
+        )
+        with span_ctx as gather_span:
             cached = self._rank_cache.get(key)
             if cached is not None:
                 gather_span.set_tag("outcome", "cached")

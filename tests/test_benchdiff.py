@@ -1,0 +1,129 @@
+"""Tests for the benchmark diff engine behind ``repro bench-diff``."""
+
+import json
+
+import pytest
+
+from repro.benchdiff import (
+    diff_benchmarks,
+    flatten_metrics,
+    load_bench,
+    metric_direction,
+    render_diff,
+)
+
+
+class TestFlatten:
+    def test_nested_paths_and_leaf_filtering(self):
+        flat = flatten_metrics({
+            "a": 1,
+            "b": {"c": 2.5, "d": {"e": 3}},
+            "flag": True,          # booleans are not metrics
+            "name": "vectorized",  # strings are not metrics
+            "list": [1, 2, 3],     # lists are positional, skipped
+            "nothing": None,
+        })
+        assert flat == {"a": 1.0, "b.c": 2.5, "b.d.e": 3.0}
+
+
+class TestDirection:
+    @pytest.mark.parametrize("path,expected", [
+        ("legs.store.rank_per_second", "higher"),
+        ("throughput", "higher"),
+        ("results.agreement", "higher"),
+        ("coverage_mean", "higher"),
+        ("raw_seconds", "lower"),
+        ("legs.store.latency.p99", "lower"),
+        ("enabled_overhead", "lower"),
+        ("admission.shed", "lower"),
+        ("kernel_flag", None),
+        ("rounds", None),
+    ])
+    def test_name_heuristics(self, path, expected):
+        assert metric_direction(path) == expected
+
+    def test_higher_better_wins_over_seconds_suffix(self):
+        # "rank_per_second" contains "seconds"-adjacent text; per_second
+        # is checked first so throughput metrics never read as latencies
+        assert metric_direction("rank_per_second") == "higher"
+
+
+class TestDiff:
+    def test_regression_and_improvement_classification(self):
+        old = {"p99": 0.100, "rank_per_second": 1000.0, "rounds": 5}
+        new = {"p99": 0.150, "rank_per_second": 1100.0, "rounds": 7}
+        report = diff_benchmarks(old, new, threshold=0.05)
+        verdicts = {e["metric"]: e["verdict"] for e in report["entries"]}
+        assert verdicts == {
+            "p99": "regression",          # latency up 50%
+            "rank_per_second": "improvement",  # throughput up 10%
+            "rounds": "info",             # unknown direction never gates
+        }
+        assert report["regressions"] == ["p99"]
+        assert report["counts"] == {
+            "regression": 1, "improvement": 1, "unchanged": 0, "info": 1
+        }
+
+    def test_within_threshold_is_unchanged(self):
+        report = diff_benchmarks({"p99": 0.100}, {"p99": 0.104}, threshold=0.05)
+        assert report["entries"][0]["verdict"] == "unchanged"
+        assert report["regressions"] == []
+
+    def test_direction_matters_both_ways(self):
+        # throughput falling is a regression even though the value dropped
+        report = diff_benchmarks(
+            {"rank_per_second": 1000.0}, {"rank_per_second": 800.0}
+        )
+        assert report["regressions"] == ["rank_per_second"]
+        # latency falling is an improvement
+        report = diff_benchmarks({"p99": 0.100}, {"p99": 0.050})
+        assert report["entries"][0]["verdict"] == "improvement"
+
+    def test_zero_baseline_yields_infinite_relative(self):
+        report = diff_benchmarks({"shed": 0}, {"shed": 3})
+        entry = report["entries"][0]
+        assert entry["relative"] == float("inf")
+        assert entry["verdict"] == "regression"
+
+    def test_added_and_removed_metrics_are_reported_not_compared(self):
+        report = diff_benchmarks({"old_only": 1, "p99": 0.1},
+                                 {"new_only": 2, "p99": 0.1})
+        assert report["only_old"] == ["old_only"]
+        assert report["only_new"] == ["new_only"]
+        assert report["compared"] == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            diff_benchmarks({}, {}, threshold=-0.1)
+
+
+class TestRender:
+    def test_quiet_render_shows_only_meaningful_moves(self):
+        report = diff_benchmarks(
+            {"p99": 0.100, "rounds": 5}, {"p99": 0.200, "rounds": 5}
+        )
+        lines = render_diff(report)
+        text = "\n".join(lines)
+        assert "regression" in text and "p99" in text
+        assert "rounds" not in text
+
+    def test_verbose_render_shows_everything(self):
+        report = diff_benchmarks(
+            {"p99": 0.100, "rounds": 5}, {"p99": 0.100, "rounds": 5}
+        )
+        text = "\n".join(render_diff(report, verbose=True))
+        assert "unchanged" in text
+        assert "rounds" in text
+
+    def test_added_and_removed_always_listed(self):
+        report = diff_benchmarks({"gone": 1.0}, {"fresh": 2.0})
+        text = "\n".join(render_diff(report))
+        assert "removed" in text and "gone" in text
+        assert "added" in text and "fresh" in text
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"a": 1}), encoding="utf-8")
+        assert load_bench(path) == {"a": 1}

@@ -715,3 +715,188 @@ class TestServeAndDoctorUrl:
     def test_doctor_still_demands_something_to_examine(self, capsys):
         assert main(["doctor"]) == 1
         assert "--url" in capsys.readouterr().out
+
+
+class TestSloCommand:
+    @pytest.fixture()
+    def live_gateway(self, fitted_cpd, twitter_tiny):
+        from repro.gateway import GatewayServer, GatewayThread
+        from repro.serving import ProfileStore
+
+        graph, _truth = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            yield gateway, handle
+
+    def test_no_traffic_yet(self, live_gateway, capsys):
+        _gateway, handle = live_gateway
+        assert main(["slo", "--url", handle.base_url]) == 0
+        out = capsys.readouterr().out
+        assert "objectives: availability 0.999" in out
+        assert "no traffic recorded yet" in out
+
+    def test_burn_table_after_traffic(self, live_gateway, capsys):
+        from repro.serving import ProfileStore  # noqa: F401 — fixture dep
+
+        gateway, handle = live_gateway
+        term = next(iter(gateway.backend.query_index()))
+        for _ in range(3):
+            status, _h, _b = handle.get(f"/rank?q={term}")
+            assert status == 200
+        assert main(["slo", "--url", handle.base_url]) == 0
+        out = capsys.readouterr().out
+        assert "/rank" in out
+        assert "availability" in out and "latency" in out
+        assert "burn@" in out
+
+    def test_json_dump(self, live_gateway, capsys):
+        import json as _json
+
+        _gateway, handle = live_gateway
+        assert main(["slo", "--url", handle.base_url, "--json"]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert "objectives" in payload and "worst_burn" in payload
+
+    def test_unreachable_gateway_fails(self, capsys):
+        assert main(["slo", "--url", "http://127.0.0.1:9"]) == 1
+        assert "error: cannot read" in capsys.readouterr().out
+
+    def test_doctor_url_includes_the_slo_probe(self, live_gateway, capsys):
+        _gateway, handle = live_gateway
+        assert main(["doctor", "--url", handle.base_url]) == 0
+        assert "/slo:" in capsys.readouterr().out
+
+
+class TestTraceUrl:
+    def test_live_trace_renders_one_connected_tree(
+        self, fitted_cpd, twitter_tiny, capsys
+    ):
+        from repro import obs
+        from repro.gateway import GatewayServer, GatewayThread, TRACE_HEADER
+        from repro.serving import ProfileStore
+
+        graph, _truth = twitter_tiny
+        store = ProfileStore.from_fit(fitted_cpd, graph)
+        obs.enable_telemetry()
+        try:
+            gateway = GatewayServer(store, port=0)
+            trace_id = "deadbeefdeadbeef"
+            with GatewayThread(gateway) as handle:
+                term = next(iter(store.query_index()))
+                status, headers, _b = handle.get(
+                    f"/rank?q={term}", headers={TRACE_HEADER: trace_id}
+                )
+                assert status == 200
+                assert headers[TRACE_HEADER] == trace_id
+                assert main([
+                    "trace", "--url", handle.base_url,
+                    "--trace-id", trace_id,
+                ]) == 0
+        finally:
+            obs.disable_telemetry()
+        out = capsys.readouterr().out
+        assert f"trace {trace_id}:" in out
+        assert "gateway.request" in out
+        assert "gateway.backend" in out
+        assert "1 trace tree(s)" in out
+
+    def test_telemetry_and_url_are_mutually_exclusive(self, capsys):
+        assert main([
+            "trace", "--telemetry", "x.json", "--url", "http://h",
+        ]) == 1
+        assert "exactly one of" in capsys.readouterr().out
+
+    def test_neither_source_is_an_error(self, capsys):
+        assert main(["trace"]) == 1
+        assert "exactly one of" in capsys.readouterr().out
+
+    def test_unreachable_url_fails(self, capsys):
+        assert main(["trace", "--url", "http://127.0.0.1:9"]) == 1
+        assert "error: cannot read" in capsys.readouterr().out
+
+
+class TestBenchDiffCommand:
+    def _write(self, path, payload):
+        import json as _json
+
+        path.write_text(_json.dumps(payload), encoding="utf-8")
+
+    def test_clean_diff_exits_zero(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, {"p99": 0.100, "rank_per_second": 1000.0})
+        self._write(new, {"p99": 0.101, "rank_per_second": 1010.0})
+        assert main(["bench-diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "2 shared metric(s)" in out
+        assert "0 regression(s)" in out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, {"p99": 0.100})
+        self._write(new, {"p99": 0.200})
+        assert main(["bench-diff", str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "p99" in out
+
+    def test_threshold_flag_loosens_the_gate(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, {"p99": 0.100})
+        self._write(new, {"p99": 0.200})
+        assert main([
+            "bench-diff", str(old), str(new), "--threshold", "1.5",
+        ]) == 0
+
+    def test_json_report(self, tmp_path, capsys):
+        import json as _json
+
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, {"p99": 0.1})
+        self._write(new, {"p99": 0.1})
+        assert main(["bench-diff", str(old), str(new), "--json"]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["compared"] == 1
+        assert report["regressions"] == []
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        present = tmp_path / "ok.json"
+        self._write(present, {})
+        assert main([
+            "bench-diff", str(tmp_path / "absent.json"), str(present),
+        ]) == 2
+        assert "error" in capsys.readouterr().out
+
+
+class TestProfileFlag:
+    def test_fit_profile_writes_folded_stacks(self, workspace, capsys, tmp_path):
+        _root, graph_path, _model = workspace
+        model_path = tmp_path / "profiled.cpd.npz"
+        folded_path = tmp_path / "fit.folded"
+        assert main([
+            "fit", "--graph", str(graph_path), "--communities", "4",
+            "--topics", "8", "--iterations", "6", "--seed", "0",
+            "--out", str(model_path), "--profile", str(folded_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "folded stack(s)" in out and str(folded_path) in out
+        lines = folded_path.read_text(encoding="utf-8").splitlines()
+        assert lines, "a 6-iteration fit must be sampled at least once"
+        stack, count = lines[0].rsplit(" ", 1)
+        assert int(count) > 0 and ";" in stack
+
+    def test_serve_parser_accepts_the_observability_flags(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args([
+            "serve", "--model", "m.cpd.npz",
+            "--access-log", "/tmp/a.jsonl", "--access-log-capacity", "512",
+            "--tail-quantile", "0.95", "--slo-availability-target", "0.99",
+            "--slo-latency-target", "0.95", "--slo-latency-ms", "100",
+            "--profile", "/tmp/serve.folded",
+        ])
+        assert args.access_log == "/tmp/a.jsonl"
+        assert args.access_log_capacity == 512
+        assert args.tail_quantile == 0.95
+        assert args.slo_availability_target == 0.99
+        assert args.slo_latency_ms == 100.0
+        assert args.profile == "/tmp/serve.folded"

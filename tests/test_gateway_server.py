@@ -446,3 +446,127 @@ class TestBatching:
         stats = gateway.stats()
         assert stats["batches"] >= 1
         assert stats["batched_queries"] >= stats["batches"]
+
+
+class TestObservabilityRoutes:
+    """The ops surface ISSUE 10 added: /slo, uptime, access-log counters."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_telemetry(self):
+        from repro import obs
+
+        obs.disable_telemetry()
+        yield
+        obs.disable_telemetry()
+
+    def test_slo_route_reports_objectives_and_traffic(self, store, term):
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            for _ in range(3):
+                status, _h, _b = handle.get(f"/rank?q={term}")
+                assert status == 200
+            handle.get("/rank?q=zzz-not-a-word")  # 404: client error
+            status, _h, slo = handle.get("/slo")
+        assert status == 200
+        assert slo["objectives"]["availability_target"] == 0.999
+        availability = slo["routes"]["/rank"]["availability"]
+        shortest = f"{float(slo['windows_seconds'][0]):g}"
+        assert availability[shortest]["total"] == 4
+        assert availability[shortest]["bad"] == 0  # a 404 spends no budget
+        assert slo["worst_burn"]["burn_rate"] == 0.0
+
+    def test_ops_probes_mint_no_slo_series(self, store):
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            handle.get("/health")
+            handle.get("/no-such-route")
+            _s, _h, slo = handle.get("/slo")
+        assert slo["routes"] == {}
+
+    def test_metrics_exposes_uptime_and_accesslog_drops(self, store, term):
+        from repro import obs
+
+        obs.enable_telemetry()
+        gateway = GatewayServer(store, port=0, access_log_capacity=2)
+        with GatewayThread(gateway) as handle:
+            for _ in range(4):  # overflow the 2-slot access-log ring
+                handle.get(f"/rank?q={term}")
+            status, _h, text = handle.get("/metrics")
+        assert status == 200
+        parsed = obs.parse_prometheus(text)
+        samples = {s["name"]: s["value"] for s in parsed["samples"]}
+        assert samples["repro_gateway_uptime_seconds"] > 0.0
+        assert samples["repro_gateway_accesslog_dropped_total"] == 2
+        assert "repro_slo_burn_rate" in parsed["types"]
+
+    def test_health_reports_the_request_scoped_counters(self, store, term):
+        from repro import obs
+
+        obs.enable_telemetry()
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            handle.get(f"/rank?q={term}")
+            _s, _h, health = handle.get("/health")
+        assert health["access_log"]["logged"] == 1
+        assert health["access_log"]["dropped"] == 0
+        assert health["tail_sampling"]["observed"] == 1
+        assert health["traces"] == {"kept": 1, "dropped": 0}  # warm-up keeps
+        assert health["slo_worst_burn"]["burn_rate"] == 0.0
+
+    def test_tail_sampling_idle_while_tracing_is_off(self, store, term):
+        gateway = GatewayServer(store, port=0)
+        with GatewayThread(gateway) as handle:
+            handle.get(f"/rank?q={term}")
+            _s, _h, health = handle.get("/health")
+        assert health["tail_sampling"]["observed"] == 0
+        assert health["traces"] == {"kept": 0, "dropped": 0}
+
+    def test_access_log_capacity_zero_disables_logging(self, store, term):
+        gateway = GatewayServer(store, port=0, access_log_capacity=0)
+        with GatewayThread(gateway) as handle:
+            status, _h, _b = handle.get(f"/rank?q={term}")
+            assert status == 200
+        assert gateway.access_log.export() == []
+        assert gateway.access_log.stats()["logged"] == 0
+
+    def test_access_log_file_sink_writes_jsonl(self, store, term, tmp_path):
+        path = tmp_path / "access.jsonl"
+        gateway = GatewayServer(store, port=0, access_log_path=str(path))
+        with GatewayThread(gateway) as handle:
+            handle.get(f"/rank?q={term}")
+            handle.get("/rank?q=zzz-not-a-word")
+        gateway.access_log.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["status"] for r in records] == [200, 404]
+        assert records[0]["route"] == "/rank"
+        assert records[0]["total"] > 0.0
+
+    def test_shed_request_is_logged_as_shed(self, store, term):
+        # saturate the single slot, then observe the overflow's record
+        release = threading.Event()
+
+        class Blocking:
+            def rank(self, query):
+                release.wait(timeout=10)
+                return store.rank(query)
+
+            def __getattr__(self, name):
+                if name in ("rank_many", "gather"):
+                    raise AttributeError(name)
+                return getattr(store, name)
+
+        gateway = GatewayServer(
+            Blocking(), port=0, max_in_flight=1, max_queue=0
+        )
+        with GatewayThread(gateway) as handle:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                first = pool.submit(handle.get, f"/rank?q={term}")
+                time.sleep(0.2)
+                status, _h, _b = handle.get(f"/rank?q={term}")
+                release.set()
+                first.result()
+        assert status == 429
+        shed = [r for r in gateway.access_log.export() if r["shed"]]
+        assert len(shed) == 1
+        assert shed[0]["status"] == 429

@@ -1,0 +1,134 @@
+"""Tests for the structured access log and the tail-based trace sampler."""
+
+import json
+
+import pytest
+
+from repro.obs.accesslog import ACCESS_FIELDS, AccessLog, NullAccessLog, TailSampler
+
+
+def _record(i: int, **overrides) -> dict:
+    base = {field: None for field in ACCESS_FIELDS}
+    base.update(
+        ts=float(i), method="GET", route="/rank", status=200,
+        trace_id=f"t{i:04x}", total=0.01,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestAccessLog:
+    def test_ring_keeps_newest_and_counts_drops(self):
+        log = AccessLog(capacity=3)
+        for i in range(5):
+            log.log(_record(i))
+        records = log.export()
+        assert [r["ts"] for r in records] == [2.0, 3.0, 4.0]
+        stats = log.stats()
+        assert stats["logged"] == 5
+        assert stats["dropped"] == 2
+        assert stats["records"] == 3
+        assert len(log) == 3
+
+    def test_export_limit_returns_newest_oldest_first(self):
+        log = AccessLog(capacity=10)
+        for i in range(6):
+            log.log(_record(i))
+        assert [r["ts"] for r in log.export(limit=2)] == [4.0, 5.0]
+        assert log.export(limit=0) == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AccessLog(capacity=0)
+
+    def test_file_sink_appends_json_lines(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(capacity=4, path=str(path))
+        for i in range(3):
+            log.log(_record(i))
+        log.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert [p["ts"] for p in parsed] == [0.0, 1.0, 2.0]
+        assert log.stats()["written"] == 3
+
+    def test_unwritable_path_disables_file_sink_not_the_ring(self, tmp_path):
+        log = AccessLog(capacity=4, path=str(tmp_path / "no" / "dir" / "a.jsonl"))
+        log.log(_record(0))
+        stats = log.stats()
+        assert stats["write_failures"] == 1
+        assert stats["written"] == 0
+        # the in-memory ring still works
+        assert len(log.export()) == 1
+
+    def test_unserialisable_record_counts_failure_and_survives(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(capacity=4, path=str(path))
+        log.log(_record(0, query=object()))  # json.dumps raises TypeError
+        log.log(_record(1))
+        log.close()
+        stats = log.stats()
+        assert stats["write_failures"] == 1
+        assert stats["written"] == 1
+        assert len(log.export()) == 2
+
+    def test_repeated_write_failures_close_the_file_sink(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(capacity=64, path=str(path))
+        for i in range(AccessLog.MAX_WRITE_FAILURES):
+            log.log(_record(i, query=object()))
+        assert log._file is None  # sink disabled, gateway unaffected
+        log.log(_record(99))
+        assert log.stats()["write_failures"] == AccessLog.MAX_WRITE_FAILURES
+
+    def test_null_access_log_drops_everything(self):
+        log = NullAccessLog()
+        log.log(_record(0))
+        assert log.export() == []
+        assert len(log) == 0
+        assert log.stats()["logged"] == 0
+        log.close()  # no-op
+
+
+class TestTailSampler:
+    def test_warm_up_keeps_everything(self):
+        sampler = TailSampler(min_observations=8)
+        assert all(sampler.keep(0.001) for _ in range(8))
+        assert sampler.stats()["kept"] == 8
+
+    def test_slow_tail_survives_fast_bulk_does_not(self):
+        sampler = TailSampler(quantile=0.9, window=100, refresh=1,
+                              min_observations=10)
+        for _ in range(50):
+            sampler.keep(0.010)
+        # threshold is now 10ms; a fast request is dropped, a slow one kept
+        assert not sampler.keep(0.001)
+        assert sampler.keep(0.500)
+        stats = sampler.stats()
+        assert stats["dropped"] == 1
+        assert stats["threshold"] == pytest.approx(0.010)
+
+    def test_errors_and_followed_requests_always_kept(self):
+        sampler = TailSampler(quantile=0.9, refresh=1, min_observations=1)
+        for _ in range(20):
+            sampler.keep(0.010)
+        assert sampler.keep(0.0, error=True)
+        assert sampler.keep(0.0, forced=True)
+        assert not sampler.keep(0.0)
+
+    def test_threshold_refreshes_on_schedule(self):
+        sampler = TailSampler(quantile=0.5, window=4, refresh=100,
+                              min_observations=0)
+        sampler.keep(1.0)  # first call always computes a threshold
+        first = sampler.threshold
+        for _ in range(5):
+            sampler.keep(100.0)
+        # refresh interval not reached: threshold is stale by design
+        assert sampler.threshold == first
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            TailSampler(quantile=0.0)
+        with pytest.raises(ValueError):
+            TailSampler(quantile=1.0)

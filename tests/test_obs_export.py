@@ -128,3 +128,65 @@ class TestHistogramSummary:
             "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
             "max": 0.0,
         }
+
+
+class TestSloGaugeExport:
+    """``repro_slo_burn_rate`` gauges survive the Prometheus text format."""
+
+    def _registry_with_burn(self) -> MetricsRegistry:
+        from repro.obs.slo import SloTracker
+
+        tracker = SloTracker(
+            availability_target=0.99, windows=(60.0,), clock=lambda: 1000.0
+        )
+        for _ in range(98):
+            tracker.record("/rank", 200, 0.01)
+        for _ in range(2):
+            tracker.record("/rank", 500, 0.01)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry)
+        return registry
+
+    def test_burn_rate_gauges_round_trip(self):
+        text = obs.render_prometheus(self._registry_with_burn().snapshot())
+        assert "# TYPE repro_slo_burn_rate gauge" in text
+        parsed = obs.parse_prometheus(text)
+        burns = {
+            s["labels"]["objective"]: s["value"]
+            for s in parsed["samples"]
+            if s["name"] == "repro_slo_burn_rate"
+            and s["labels"]["window"] == "60"
+        }
+        # 2 bad of 100 against a 99% target — the hand-computed 2.0
+        assert burns["availability"] == pytest.approx(2.0)
+        assert burns["latency"] == pytest.approx(0.0)
+
+    def test_route_label_with_slash_round_trips(self):
+        parsed = obs.parse_prometheus(
+            obs.render_prometheus(self._registry_with_burn().snapshot())
+        )
+        routes = {
+            s["labels"]["route"]
+            for s in parsed["samples"]
+            if s["name"] == "repro_slo_burn_rate"
+        }
+        assert routes == {"/rank"}
+
+
+class TestEmptyHistogramRoundTrip:
+    def test_never_observed_histogram_renders_and_parses(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_empty", {"leg": "idle"}, bounds=(0.1, 1.0))
+        text = obs.render_prometheus(registry.snapshot())
+        assert "# TYPE h_empty histogram" in text
+        parsed = obs.parse_prometheus(text)
+        by_name = {}
+        for sample in parsed["samples"]:
+            by_name.setdefault(sample["name"], []).append(sample)
+        assert [s["value"] for s in by_name["h_empty_bucket"]] == [0, 0, 0]
+        assert by_name["h_empty_count"][0]["value"] == 0
+        assert by_name["h_empty_sum"][0]["value"] == 0
+        # labels survive on every sample of the empty histogram
+        assert all(
+            s["labels"]["leg"] == "idle" for s in by_name["h_empty_bucket"]
+        )

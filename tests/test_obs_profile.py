@@ -1,0 +1,107 @@
+"""Tests for the stdlib sampling profiler: folded output, lifecycle, safety."""
+
+import time
+
+import pytest
+
+from repro.obs.profile import MAX_DEPTH, SamplingProfiler, _frame_label
+
+
+def _busy(deadline: float) -> int:
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSampling:
+    def test_captures_nonempty_folded_stacks(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy(time.perf_counter() + 0.15)
+        folded = profiler.folded()
+        assert folded, "a busy loop under a 1ms sampler must be observed"
+        # folded format: semicolon-joined frames, space, positive count
+        stack, count = folded[0].rsplit(" ", 1)
+        assert int(count) > 0
+        assert all(":" in frame for frame in stack.split(";"))
+        # this very test function is on the observed stack somewhere
+        assert any("test_obs_profile" in line for line in folded)
+
+    def test_hottest_stack_first(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy(time.perf_counter() + 0.15)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in profiler.folded()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_stats_account_for_samples(self):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start()
+        _busy(time.perf_counter() + 0.1)
+        profiler.stop()
+        stats = profiler.stats()
+        assert stats["ticks"] > 0
+        assert stats["samples"] >= stats["ticks"]  # >=1 thread per tick
+        assert stats["distinct_stacks"] >= 1
+        assert stats["duration_seconds"] > 0.0
+        assert stats["interval"] == 0.001
+
+    def test_write_emits_one_line_per_stack(self, tmp_path):
+        path = tmp_path / "profile.folded"
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy(time.perf_counter() + 0.1)
+        written = profiler.write(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert written == len(lines) > 0
+
+    def test_write_with_no_samples_is_an_empty_file(self, tmp_path):
+        path = tmp_path / "empty.folded"
+        profiler = SamplingProfiler()
+        assert profiler.write(path) == 0
+        assert path.read_text(encoding="utf-8") == ""
+
+
+class TestLifecycle:
+    def test_double_start_is_an_error(self):
+        profiler = SamplingProfiler(interval=0.05)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_is_a_noop(self):
+        SamplingProfiler().stop()
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_sampler_excludes_its_own_thread(self):
+        # an otherwise idle interpreter: the ticker must never count itself
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy(time.perf_counter() + 0.05)
+        assert not any(
+            "profile:_run" in line for line in profiler.folded()
+        )
+
+
+class TestFrameLabel:
+    def test_module_stem_and_function(self):
+        frame = next(iter(__import__("sys")._current_frames().values()))
+        label = _frame_label(frame)
+        assert ":" in label
+
+    def test_deep_recursion_is_truncated(self):
+        def recurse(n, profiler_done):
+            if n == 0:
+                profiler_done()
+                return 0
+            return recurse(n - 1, profiler_done) + 1
+
+        with SamplingProfiler(interval=0.001) as profiler:
+            deadline = time.perf_counter() + 0.1
+            recurse(MAX_DEPTH * 2, lambda: _busy(deadline))
+        for line in profiler.folded():
+            stack = line.rsplit(" ", 1)[0]
+            assert len(stack.split(";")) <= MAX_DEPTH

@@ -1,0 +1,179 @@
+"""Tests for the SLO tracker: hand-computed burn rates, windows, gauges."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.slo import DEFAULT_WINDOWS, SloTracker, burn_rate
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBurnRate:
+    def test_hand_computed_values(self):
+        # 2 bad of 100 against a 99% target: 2% observed / 1% budget = 2.0
+        assert burn_rate(2, 100, 0.99) == pytest.approx(2.0)
+        # burning exactly at budget speed
+        assert burn_rate(1, 1000, 0.999) == pytest.approx(1.0)
+        # half the budget speed
+        assert burn_rate(5, 1000, 0.99) == pytest.approx(0.5)
+
+    def test_edge_cases(self):
+        assert burn_rate(0, 0, 0.99) == 0.0
+        assert burn_rate(0, 100, 0.99) == 0.0
+        # a 100% target has no budget: any failure is an infinite burn
+        assert burn_rate(1, 100, 1.0) == math.inf
+        assert burn_rate(0, 100, 1.0) == 0.0
+
+
+class TestSloTracker:
+    def _tracker(self, clock, **overrides):
+        options = dict(
+            availability_target=0.99,
+            latency_target=0.9,
+            latency_threshold=0.25,
+            windows=(60.0, 600.0),
+            bucket_seconds=10.0,
+            clock=clock,
+        )
+        options.update(overrides)
+        return SloTracker(**options)
+
+    def test_availability_burn_matches_hand_computation(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        for _ in range(98):
+            tracker.record("/rank", 200, 0.01)
+        for _ in range(2):
+            tracker.record("/rank", 500, 0.01)
+        snapshot = tracker.snapshot()
+        availability = snapshot["routes"]["/rank"]["availability"]["60"]
+        assert availability["total"] == 100
+        assert availability["bad"] == 2
+        # 2/100 observed over a 1% budget = burn 2.0, exactly
+        assert availability["burn_rate"] == pytest.approx(2.0)
+
+    def test_latency_burn_excludes_failed_requests(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        # 10 failures: availability-bad, excluded from the latency objective
+        for _ in range(10):
+            tracker.record("/rank", 500, 1.0)
+        # 40 fast and 10 slow successes
+        for _ in range(40):
+            tracker.record("/rank", 200, 0.01)
+        for _ in range(10):
+            tracker.record("/rank", 200, 0.5)
+        latency = tracker.snapshot()["routes"]["/rank"]["latency"]["60"]
+        assert latency["total"] == 50
+        assert latency["bad"] == 10
+        # 10/50 observed over a 10% budget = burn 2.0
+        assert latency["burn_rate"] == pytest.approx(2.0)
+
+    def test_client_errors_spend_no_budget(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        tracker.record("/rank", 404, 0.01)
+        availability = tracker.snapshot()["routes"]["/rank"]["availability"]["60"]
+        assert availability["bad"] == 0
+        assert availability["burn_rate"] == 0.0
+
+    def test_short_window_cools_off_while_long_window_remembers(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        tracker.record("/rank", 500, 0.01)
+        clock.advance(120.0)  # past the 60s window, inside the 600s one
+        for _ in range(9):
+            tracker.record("/rank", 200, 0.01)
+        availability = tracker.snapshot()["routes"]["/rank"]["availability"]
+        assert availability["60"]["bad"] == 0
+        assert availability["60"]["total"] == 9
+        assert availability["600"]["bad"] == 1
+        assert availability["600"]["total"] == 10
+        # 1/10 over a 1% budget = burn 10.0 on the long window only
+        assert availability["600"]["burn_rate"] == pytest.approx(10.0)
+
+    def test_worst_burn_names_the_hottest_cell(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        tracker.record("/rank", 200, 0.01)
+        tracker.record("/top-k", 500, 0.01)
+        worst = tracker.worst_burn()
+        assert worst["route"] == "/top-k"
+        assert worst["objective"] == "availability"
+        assert worst["window"] == "60"
+        # 1/1 bad over a 1% budget
+        assert worst["burn_rate"] == pytest.approx(100.0)
+
+    def test_worst_burn_on_no_traffic(self):
+        tracker = self._tracker(FakeClock())
+        assert tracker.worst_burn() == {
+            "burn_rate": 0.0, "route": None, "objective": None, "window": None
+        }
+
+    def test_snapshot_window_keys_are_compact(self):
+        tracker = SloTracker(clock=FakeClock())
+        tracker.record("/rank", 200, 0.01)
+        keys = set(tracker.snapshot()["routes"]["/rank"]["availability"])
+        assert keys == {f"{w:g}" for w in DEFAULT_WINDOWS}
+
+    def test_export_gauges_lands_burn_rates_in_the_registry(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        for _ in range(98):
+            tracker.record("/rank", 200, 0.01)
+        for _ in range(2):
+            tracker.record("/rank", 500, 0.01)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry)
+        snapshot = registry.snapshot()
+        gauges = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for entry in snapshot["gauges"]
+            if entry["name"] == "repro_slo_burn_rate"
+        }
+        key = (("objective", "availability"), ("route", "/rank"),
+               ("window", "60"))
+        assert gauges[key] == pytest.approx(2.0)
+        # route × objective × window series
+        assert len(gauges) == 4
+
+    def test_export_gauges_respects_disabled_registry(self):
+        tracker = self._tracker(FakeClock())
+        tracker.record("/rank", 500, 0.01)
+        registry = NullRegistry()
+        tracker.export_gauges(registry)
+        assert registry.snapshot()["gauges"] == []
+
+    def test_pruning_discards_ancient_buckets(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        tracker.record("/rank", 500, 0.01)
+        clock.advance(10_000.0)  # far past the longest window
+        for _ in range(1024):  # trip the periodic prune
+            tracker.record("/rank", 200, 0.01)
+        counts = tracker._routes["/rank"].buckets
+        oldest = int((clock.now - 600.0) // 10.0) - 1
+        assert all(index >= oldest for index in counts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloTracker(availability_target=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(latency_target=1.5)
+        with pytest.raises(ValueError):
+            SloTracker(latency_threshold=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(bucket_seconds=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(windows=())

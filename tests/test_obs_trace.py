@@ -178,3 +178,65 @@ class TestTrees:
         assert "root" in lines[0]
         assert lines[1].startswith("  !")
         assert "bad" in lines[1]
+
+
+class TestSinkEdgeCases:
+    """Ring-buffer behaviour at the margins: evicted parents, interleaved
+    writers, drain racing record."""
+
+    def test_evicted_parent_orphans_its_children_into_roots(self):
+        sink = SpanSink(capacity=2)
+        sink.record(_record("parent", None, 0.0, "parent"))
+        sink.record(_record("child1", "parent", 1.0, "child1"))
+        sink.record(_record("child2", "parent", 2.0, "child2"))
+        # the parent fell off the ring: both children surface as roots
+        assert [r["span_id"] for r in sink.export()] == ["child1", "child2"]
+        roots = sink.trees()
+        assert [r["span"]["name"] for r in roots] == ["child1", "child2"]
+        assert all(not r["children"] for r in roots)
+
+    def test_eviction_order_is_arrival_not_start_time(self):
+        sink = SpanSink(capacity=2)
+        # arrival order deliberately disagrees with start-time order
+        sink.record(_record("late", None, 9.0))
+        sink.record(_record("early", None, 1.0))
+        sink.record(_record("mid", None, 5.0))
+        # "late" arrived first, so it is the one evicted
+        assert [r["span_id"] for r in sink.export()] == ["early", "mid"]
+
+    def test_ingest_respects_the_same_ring_bound(self):
+        sink = SpanSink(capacity=3)
+        sink.record(_record("own", None, 0.0))
+        sink.ingest([_record(f"r{i}", None, float(i)) for i in range(5)])
+        assert [r["span_id"] for r in sink.export()] == ["r2", "r3", "r4"]
+
+    def test_drain_racing_record_loses_no_spans(self):
+        import threading
+
+        sink = SpanSink(capacity=100_000)
+        n_per_writer, n_writers = 200, 4
+        start = threading.Barrier(n_writers + 1)
+        drained: list[dict] = []
+
+        def write(writer: int) -> None:
+            start.wait()
+            for i in range(n_per_writer):
+                sink.record(_record(f"w{writer}-{i}", None, float(i)))
+
+        writers = [
+            threading.Thread(target=write, args=(w,))
+            for w in range(n_writers)
+        ]
+        for thread in writers:
+            thread.start()
+        start.wait()
+        for _ in range(50):  # drain while the writers are mid-flight
+            drained.extend(sink.drain())
+        for thread in writers:
+            thread.join()
+        drained.extend(sink.drain())
+        # every span lands exactly once: in some drain, never duplicated
+        ids = [r["span_id"] for r in drained]
+        assert len(ids) == n_per_writer * n_writers
+        assert len(set(ids)) == len(ids)
+        assert sink.export() == []
